@@ -1,0 +1,292 @@
+//! Step-function aggregates over valid time.
+//!
+//! The paper motivates historical databases with trend analysis: "How
+//! did the number of faculty change over the last 5 years?"  Because a
+//! historical relation stamps each tuple with a period, any aggregate of
+//! it is a *step function* of time, changing only at period endpoints.
+//! [`StepFunction`] materializes that function from endpoint events and
+//! answers point and range queries; [`count_over_time`] and
+//! [`sum_over_time`] build the standard instances.
+
+use chronos_core::chronon::Chronon;
+use chronos_core::error::{CoreError, CoreResult};
+use chronos_core::period::Period;
+use chronos_core::relation::historical::HistoricalRelation;
+use chronos_core::timepoint::TimePoint;
+use chronos_core::value::AttrType;
+
+/// A right-continuous step function `time → i64`, zero before the first
+/// breakpoint.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StepFunction {
+    /// `(t, v)`: the function takes value `v` from `t` (inclusive) to the
+    /// next breakpoint (exclusive).  Sorted by `t`, values distinct
+    /// between neighbours.
+    steps: Vec<(TimePoint, i64)>,
+}
+
+impl StepFunction {
+    /// Builds from `(time, delta)` events: the function at `t` is the sum
+    /// of deltas at or before `t`.
+    pub fn from_deltas(mut events: Vec<(TimePoint, i64)>) -> StepFunction {
+        events.sort_by_key(|(t, _)| *t);
+        let mut steps: Vec<(TimePoint, i64)> = Vec::new();
+        let mut acc = 0i64;
+        let mut i = 0;
+        while i < events.len() {
+            let t = events[i].0;
+            while i < events.len() && events[i].0 == t {
+                acc += events[i].1;
+                i += 1;
+            }
+            match steps.last() {
+                Some(&(_, v)) if v == acc => {}
+                // The function is implicitly 0 before the first
+                // breakpoint, so a leading net-zero event is elided too.
+                None if acc == 0 => {}
+                _ => steps.push((t, acc)),
+            }
+        }
+        StepFunction { steps }
+    }
+
+    /// The function's value at `t`.
+    pub fn value_at(&self, t: impl Into<TimePoint>) -> i64 {
+        let t = t.into();
+        match self.steps.partition_point(|(s, _)| *s <= t) {
+            0 => 0,
+            i => self.steps[i - 1].1,
+        }
+    }
+
+    /// The breakpoints `(t, v)`.
+    pub fn steps(&self) -> &[(TimePoint, i64)] {
+        &self.steps
+    }
+
+    /// The pieces of the function restricted to `window`, as
+    /// `(period, value)` with zero-valued leading piece included when the
+    /// window starts before the first breakpoint.
+    pub fn pieces_in(&self, window: Period) -> Vec<(Period, i64)> {
+        if window.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut cursor = window.start();
+        let mut current = self.value_at(cursor);
+        for &(t, v) in &self.steps {
+            if t <= cursor {
+                continue;
+            }
+            if t >= window.end() {
+                break;
+            }
+            out.push((Period::clamped(cursor, t), current));
+            cursor = t;
+            current = v;
+        }
+        out.push((Period::clamped(cursor, window.end()), current));
+        out.retain(|(p, _)| !p.is_empty());
+        out
+    }
+
+    /// Maximum value attained inside `window`.
+    pub fn max_in(&self, window: Period) -> Option<i64> {
+        self.pieces_in(window).iter().map(|&(_, v)| v).max()
+    }
+
+    /// Minimum value attained inside `window`.
+    pub fn min_in(&self, window: Period) -> Option<i64> {
+        self.pieces_in(window).iter().map(|&(_, v)| v).min()
+    }
+
+    /// Time-weighted integral over a finite window (value × chronons).
+    pub fn integral_over(&self, window: Period) -> CoreResult<i64> {
+        let mut total = 0i64;
+        for (p, v) in self.pieces_in(window) {
+            let dur = p.duration().ok_or_else(|| {
+                CoreError::Invalid("integral over an unbounded window".into())
+            })?;
+            total += v * dur;
+        }
+        Ok(total)
+    }
+}
+
+/// Events contributed by one validity period: `+w` at the start, `-w` at
+/// the end (open-ended periods never decrement).
+fn period_deltas(p: Period, w: i64, events: &mut Vec<(TimePoint, i64)>) {
+    if p.is_empty() || w == 0 {
+        return;
+    }
+    events.push((p.start(), w));
+    if p.end() != TimePoint::PlusInfinity {
+        events.push((p.end(), -w));
+    }
+}
+
+/// `count(r)` over time: how many tuples are valid at each instant.
+pub fn count_over_time(rel: &HistoricalRelation) -> StepFunction {
+    let mut events = Vec::with_capacity(rel.len() * 2);
+    for row in rel.rows() {
+        period_deltas(row.validity.period(), 1, &mut events);
+    }
+    StepFunction::from_deltas(events)
+}
+
+/// `sum(attr)` over time for an integer attribute.
+pub fn sum_over_time(rel: &HistoricalRelation, attr: usize) -> CoreResult<StepFunction> {
+    let a = rel
+        .schema()
+        .attributes()
+        .get(attr)
+        .ok_or_else(|| CoreError::Invalid(format!("attribute {attr} out of range")))?;
+    if a.attr_type() != AttrType::Int {
+        return Err(CoreError::Invalid(format!(
+            "sum over non-integer attribute {} ({})",
+            a.name(),
+            a.attr_type()
+        )));
+    }
+    let mut events = Vec::with_capacity(rel.len() * 2);
+    for row in rel.rows() {
+        let w = row.tuple.get(attr).as_int().expect("schema-checked int");
+        period_deltas(row.validity.period(), w, &mut events);
+    }
+    Ok(StepFunction::from_deltas(events))
+}
+
+/// Samples an aggregate yearly (or at any stride) across a window —
+/// the shape of the paper's five-year trend query.
+pub fn sample(f: &StepFunction, from: Chronon, to: Chronon, stride: i64) -> Vec<(Chronon, i64)> {
+    let mut out = Vec::new();
+    let mut t = from;
+    while t <= to {
+        out.push((t, f.value_at(t)));
+        t = t + stride.max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::calendar::date;
+    use chronos_core::schema::faculty_schema;
+    use chronos_core::schema::TemporalSignature;
+    use chronos_core::tuple::tuple;
+
+    fn d(s: &str) -> Chronon {
+        date(s).unwrap()
+    }
+
+    fn figure_6() -> HistoricalRelation {
+        let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
+        r.insert(
+            tuple(["Merrie", "associate"]),
+            Period::new(d("09/01/77"), d("12/01/82")).unwrap(),
+        )
+        .unwrap();
+        r.insert(tuple(["Merrie", "full"]), Period::from_start(d("12/01/82")))
+            .unwrap();
+        r.insert(tuple(["Tom", "associate"]), Period::from_start(d("12/05/82")))
+            .unwrap();
+        r.insert(
+            tuple(["Mike", "assistant"]),
+            Period::new(d("01/01/83"), d("03/01/84")).unwrap(),
+        )
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn faculty_headcount_trend() {
+        let f = count_over_time(&figure_6());
+        // Merrie is one person across her promotion (periods meet).
+        assert_eq!(f.value_at(d("01/01/80")), 1);
+        assert_eq!(f.value_at(d("12/01/82")), 1);
+        assert_eq!(f.value_at(d("12/05/82")), 2); // Tom arrives
+        assert_eq!(f.value_at(d("06/01/83")), 3); // Mike too
+        assert_eq!(f.value_at(d("06/01/84")), 2); // Mike left
+        assert_eq!(f.value_at(d("01/01/70")), 0); // before history
+    }
+
+    #[test]
+    fn sampled_series_matches_point_queries() {
+        let f = count_over_time(&figure_6());
+        let series = sample(&f, d("01/01/79"), d("01/01/84"), 365);
+        assert_eq!(series.len(), 6);
+        for (t, v) in series {
+            assert_eq!(v, f.value_at(t));
+        }
+    }
+
+    #[test]
+    fn pieces_and_extrema() {
+        let f = count_over_time(&figure_6());
+        let window = Period::new(d("01/01/82"), d("01/01/85")).unwrap();
+        let pieces = f.pieces_in(window);
+        // Pieces tile the window exactly.
+        assert_eq!(pieces.first().unwrap().0.start(), TimePoint::at(d("01/01/82")));
+        assert_eq!(pieces.last().unwrap().0.end(), TimePoint::at(d("01/01/85")));
+        for w in pieces.windows(2) {
+            assert_eq!(w[0].0.end(), w[1].0.start(), "no gaps");
+            assert_ne!(w[0].1, w[1].1, "value changes at breakpoints");
+        }
+        assert_eq!(f.max_in(window), Some(3));
+        assert_eq!(f.min_in(window), Some(1));
+    }
+
+    #[test]
+    fn integral_is_time_weighted() {
+        let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
+        r.insert(tuple(["A", "x"]), Period::new(Chronon::new(0), Chronon::new(10)).unwrap())
+            .unwrap();
+        r.insert(tuple(["B", "x"]), Period::new(Chronon::new(5), Chronon::new(10)).unwrap())
+            .unwrap();
+        let f = count_over_time(&r);
+        // 5 days of 1 + 5 days of 2 = 15 tuple-days.
+        let w = Period::new(Chronon::new(0), Chronon::new(10)).unwrap();
+        assert_eq!(f.integral_over(w).unwrap(), 15);
+        assert!(f.integral_over(Period::ALWAYS).is_err());
+    }
+
+    #[test]
+    fn sum_over_time_weights_by_attribute() {
+        use chronos_core::schema::{Attribute, Schema};
+        use chronos_core::value::Value;
+        let schema = Schema::new(vec![
+            Attribute::new("name", AttrType::Str),
+            Attribute::new("salary", AttrType::Int),
+        ])
+        .unwrap();
+        let mut r = HistoricalRelation::new(schema, TemporalSignature::Interval);
+        r.insert(
+            chronos_core::tuple::Tuple::new(vec![Value::str("Merrie"), Value::Int(40_000)]),
+            Period::new(Chronon::new(0), Chronon::new(100)).unwrap(),
+        )
+        .unwrap();
+        r.insert(
+            chronos_core::tuple::Tuple::new(vec![Value::str("Merrie"), Value::Int(55_000)]),
+            Period::from_start(Chronon::new(100)),
+        )
+        .unwrap();
+        let f = sum_over_time(&r, 1).unwrap();
+        assert_eq!(f.value_at(Chronon::new(50)), 40_000);
+        assert_eq!(f.value_at(Chronon::new(150)), 55_000);
+        assert!(sum_over_time(&r, 0).is_err(), "string attribute rejected");
+        assert!(sum_over_time(&r, 9).is_err());
+    }
+
+    #[test]
+    fn from_deltas_collapses_no_ops() {
+        let f = StepFunction::from_deltas(vec![
+            (TimePoint::at(Chronon::new(5)), 1),
+            (TimePoint::at(Chronon::new(5)), -1),
+            (TimePoint::at(Chronon::new(7)), 2),
+        ]);
+        assert_eq!(f.steps().len(), 1, "net-zero event elided");
+        assert_eq!(f.value_at(Chronon::new(6)), 0);
+        assert_eq!(f.value_at(Chronon::new(7)), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Coalescing: the normal form of a historical relation.
+//!
+//! Two rows of a historical relation are *value-equivalent* when their
+//! explicit attributes are equal.  Coalescing merges value-equivalent
+//! rows whose valid periods meet or overlap into maximal periods, so
+//! `Merrie associate [09/01/77, 06/01/80)` and
+//! `Merrie associate [06/01/80, 12/01/82)` become the single row the
+//! paper's Figure 6 shows.  Coalescing never changes the answer to any
+//! timeslice query — the property test in the integration suite checks
+//! exactly that — and is idempotent.
+
+use chronos_core::error::CoreResult;
+use chronos_core::period::Period;
+use chronos_core::relation::historical::HistoricalRelation;
+use chronos_core::relation::Validity;
+use chronos_core::schema::TemporalSignature;
+use chronos_core::tuple::Tuple;
+use std::collections::HashMap;
+
+/// Merges value-equivalent rows with meeting or overlapping periods.
+///
+/// Event relations coalesce only exact duplicates (which the relation
+/// classes already forbid), so they are returned unchanged.
+pub fn coalesce(rel: &HistoricalRelation) -> CoreResult<HistoricalRelation> {
+    if rel.signature() == TemporalSignature::Event {
+        return Ok(rel.clone());
+    }
+    // Group periods by tuple value.
+    let mut groups: HashMap<&Tuple, Vec<Period>> = HashMap::new();
+    let mut order: Vec<&Tuple> = Vec::new();
+    for row in rel.rows() {
+        let entry = groups.entry(&row.tuple).or_default();
+        if entry.is_empty() {
+            order.push(&row.tuple);
+        }
+        entry.push(row.validity.period());
+    }
+    let mut out = HistoricalRelation::new(rel.schema().clone(), rel.signature());
+    for tuple in order {
+        let periods = groups.get_mut(tuple).expect("grouped above");
+        for p in merge_periods(periods) {
+            out.insert(tuple.clone(), Validity::Interval(p))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Merges a set of periods into maximal non-overlapping, non-adjacent
+/// periods (sorted by start).
+pub fn merge_periods(periods: &mut [Period]) -> Vec<Period> {
+    periods.sort_by_key(|p| (p.start().order_key(), p.end().order_key()));
+    let mut out: Vec<Period> = Vec::new();
+    for &p in periods.iter() {
+        if p.is_empty() {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if last.meets_or_overlaps(p) => {
+                *last = last.union(p).expect("meeting periods union");
+            }
+            _ => out.push(p),
+        }
+    }
+    out
+}
+
+/// True iff the relation is already coalesced: no two value-equivalent
+/// rows meet or overlap.
+pub fn is_coalesced(rel: &HistoricalRelation) -> bool {
+    if rel.signature() == TemporalSignature::Event {
+        return true;
+    }
+    let rows = rel.rows();
+    for (i, a) in rows.iter().enumerate() {
+        for b in &rows[i + 1..] {
+            if a.tuple == b.tuple && a.validity.period().meets_or_overlaps(b.validity.period()) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::chronon::Chronon;
+    use chronos_core::schema::faculty_schema;
+    use chronos_core::tuple::tuple;
+
+    fn p(a: i64, b: i64) -> Period {
+        Period::new(Chronon::new(a), Chronon::new(b)).unwrap()
+    }
+
+    fn rel_with(periods: &[Period]) -> HistoricalRelation {
+        let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
+        for &per in periods {
+            r.insert(tuple(["Merrie", "associate"]), per).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn merges_adjacent_and_overlapping() {
+        let r = rel_with(&[p(0, 10), p(10, 20), p(15, 30), p(40, 50)]);
+        let c = coalesce(&r).unwrap();
+        assert_eq!(c.len(), 2);
+        let periods: Vec<Period> = c.rows().iter().map(|r| r.validity.period()).collect();
+        assert!(periods.contains(&p(0, 30)));
+        assert!(periods.contains(&p(40, 50)));
+        assert!(is_coalesced(&c));
+        assert!(!is_coalesced(&r));
+    }
+
+    #[test]
+    fn distinct_values_never_merge() {
+        let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
+        r.insert(tuple(["Merrie", "associate"]), p(0, 10)).unwrap();
+        r.insert(tuple(["Merrie", "full"]), p(10, 20)).unwrap();
+        let c = coalesce(&r).unwrap();
+        assert_eq!(c.len(), 2, "rank change is not coalescible");
+        assert!(is_coalesced(&c));
+    }
+
+    #[test]
+    fn idempotent() {
+        let r = rel_with(&[p(0, 5), p(3, 9), p(9, 12)]);
+        let once = coalesce(&r).unwrap();
+        let twice = coalesce(&once).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn preserves_timeslices() {
+        let r = rel_with(&[p(0, 10), p(10, 20), p(25, 30)]);
+        let c = coalesce(&r).unwrap();
+        for t in -2i64..32 {
+            let t = Chronon::new(t);
+            assert_eq!(r.valid_at(t), c.valid_at(t), "slice at {t:?}");
+        }
+    }
+
+    #[test]
+    fn open_ended_periods_merge() {
+        let r = rel_with(&[p(0, 10), Period::from_start(Chronon::new(8))]);
+        let c = coalesce(&r).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.rows()[0].validity.period(),
+            Period::from_start(Chronon::new(0))
+        );
+    }
+
+    #[test]
+    fn event_relations_pass_through() {
+        let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Event);
+        r.insert(tuple(["Merrie", "full"]), Chronon::new(5)).unwrap();
+        r.insert(tuple(["Merrie", "full"]), Chronon::new(6)).unwrap();
+        let c = coalesce(&r).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(is_coalesced(&r));
+    }
+
+    #[test]
+    fn merge_periods_unit() {
+        let mut ps = [p(5, 7), p(0, 2), p(2, 4), Period::EMPTY];
+        assert_eq!(merge_periods(&mut ps), vec![p(0, 4), p(5, 7)]);
+        let mut empty: [Period; 0] = [];
+        assert!(merge_periods(&mut empty).is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Temporal joins.
+//!
+//! Joining historical relations must combine both the explicit attributes
+//! and the timestamps.  The *temporal natural join* pairs rows whose
+//! valid periods overlap and stamps the result with the intersection —
+//! "Merrie was full *while* Tom was associate".  The general form takes a
+//! scalar predicate over the concatenated tuple and a temporal predicate
+//! over the operand periods, with a [`TemporalExpr`] computing the result
+//! validity (TQuel's `valid` clause).
+
+use chronos_core::error::CoreResult;
+use chronos_core::relation::historical::HistoricalRelation;
+use chronos_core::relation::Validity;
+use chronos_core::schema::{Attribute, Schema, TemporalSignature};
+
+use crate::expr::Predicate;
+use crate::when::{TemporalExpr, TemporalPred};
+
+fn concat_schema(a: &Schema, b: &Schema, b_prefix: &str) -> CoreResult<Schema> {
+    let mut attrs: Vec<Attribute> = a.attributes().to_vec();
+    for attr in b.attributes() {
+        let name = if a.index_of(attr.name()).is_some() {
+            format!("{b_prefix}.{}", attr.name())
+        } else {
+            attr.name().to_string()
+        };
+        attrs.push(Attribute::new(name, attr.attr_type()));
+    }
+    Schema::new(attrs)
+}
+
+/// General historical join.
+///
+/// For every pair of rows `(ra, rb)` the scalar predicate sees the
+/// concatenated tuple, the temporal predicate sees `[period(ra),
+/// period(rb)]` as variables 0 and 1, and the result row is stamped with
+/// `valid_expr` evaluated on the same environment (rows whose computed
+/// validity is empty are dropped — they hold at no time).
+pub fn theta_join(
+    a: &HistoricalRelation,
+    b: &HistoricalRelation,
+    scalar: &Predicate,
+    temporal: &TemporalPred,
+    valid_expr: &TemporalExpr,
+    b_prefix: &str,
+) -> CoreResult<HistoricalRelation> {
+    let schema = concat_schema(a.schema(), b.schema(), b_prefix)?;
+    let mut out = HistoricalRelation::new(schema, TemporalSignature::Interval);
+    for ra in a.rows() {
+        for rb in b.rows() {
+            let env = [ra.validity.period(), rb.validity.period()];
+            if !temporal.eval(&env)? {
+                continue;
+            }
+            let joined = ra.tuple.concat(&rb.tuple);
+            if !scalar.eval(&joined)? {
+                continue;
+            }
+            let validity = valid_expr.eval(&env)?;
+            if validity.is_empty() {
+                continue;
+            }
+            // Joins can produce duplicate (tuple, validity) pairs from
+            // distinct operand fragments; keep the first.
+            if out
+                .rows()
+                .iter()
+                .any(|r| r.tuple == joined && r.validity.period() == validity)
+            {
+                continue;
+            }
+            out.insert(joined, Validity::Interval(validity))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Temporal natural join on overlapping periods: result validity is the
+/// intersection of the operands' periods.
+pub fn overlap_join(
+    a: &HistoricalRelation,
+    b: &HistoricalRelation,
+    scalar: &Predicate,
+    b_prefix: &str,
+) -> CoreResult<HistoricalRelation> {
+    theta_join(
+        a,
+        b,
+        scalar,
+        &TemporalPred::Overlap(TemporalExpr::Var(0), TemporalExpr::Var(1)),
+        &TemporalExpr::Intersect(Box::new(TemporalExpr::Var(0)), Box::new(TemporalExpr::Var(1))),
+        b_prefix,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::calendar::date;
+    use chronos_core::chronon::Chronon;
+    use chronos_core::period::Period;
+    use chronos_core::schema::faculty_schema;
+    use chronos_core::tuple::tuple;
+
+    fn d(s: &str) -> Chronon {
+        date(s).unwrap()
+    }
+
+    fn figure_6() -> HistoricalRelation {
+        let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
+        r.insert(
+            tuple(["Merrie", "associate"]),
+            Period::new(d("09/01/77"), d("12/01/82")).unwrap(),
+        )
+        .unwrap();
+        r.insert(tuple(["Merrie", "full"]), Period::from_start(d("12/01/82")))
+            .unwrap();
+        r.insert(tuple(["Tom", "associate"]), Period::from_start(d("12/05/82")))
+            .unwrap();
+        r.insert(
+            tuple(["Mike", "assistant"]),
+            Period::new(d("01/01/83"), d("03/01/84")).unwrap(),
+        )
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn overlap_join_stamps_intersection() {
+        let f = figure_6();
+        // Who served concurrently with Mike, and when?
+        let mike_only = Predicate::attr_eq(2, "Mike");
+        let j = overlap_join(&f, &f, &mike_only, "f2").unwrap();
+        // Merrie full ∩ Mike, Tom ∩ Mike, Mike ∩ Mike.
+        assert_eq!(j.len(), 3);
+        for row in j.rows() {
+            assert_eq!(
+                row.validity.period(),
+                row.validity
+                    .period()
+                    .intersect(Period::new(d("01/01/83"), d("03/01/84")).unwrap()),
+                "stamped with the overlap"
+            );
+        }
+        let merrie_row = j
+            .rows()
+            .iter()
+            .find(|r| r.tuple.get(0).as_str() == Some("Merrie"))
+            .unwrap();
+        assert_eq!(merrie_row.tuple.get(1).as_str(), Some("full"));
+        assert_eq!(
+            merrie_row.validity.period(),
+            Period::new(d("01/01/83"), d("03/01/84")).unwrap()
+        );
+    }
+
+    #[test]
+    fn theta_join_with_custom_valid_expr() {
+        let f = figure_6();
+        // Pair Merrie's ranks with Tom, stamped with `extend` (total span).
+        let scalar = Predicate::attr_eq(0, "Merrie").and(Predicate::attr_eq(2, "Tom"));
+        let j = theta_join(
+            &f,
+            &f,
+            &scalar,
+            &TemporalPred::True,
+            &TemporalExpr::Var(0).extend(TemporalExpr::Var(1)),
+            "f2",
+        )
+        .unwrap();
+        assert_eq!(j.len(), 2);
+        for row in j.rows() {
+            assert_eq!(row.validity.period().end(), chronos_core::TimePoint::INFINITY);
+        }
+    }
+
+    #[test]
+    fn join_schema_renames_clashes() {
+        let f = figure_6();
+        let j = overlap_join(&f, &f, &Predicate::True, "g").unwrap();
+        assert_eq!(j.schema().index_of("g.name"), Some(2));
+        assert_eq!(j.schema().index_of("g.rank"), Some(3));
+    }
+
+    #[test]
+    fn empty_intersections_are_dropped() {
+        let f = figure_6();
+        // Merrie-associate vs Mike never overlap.
+        let scalar = Predicate::attr_eq(1, "associate").and(Predicate::attr_eq(2, "Mike"));
+        let j = overlap_join(&f, &f, &scalar, "f2").unwrap();
+        assert!(
+            j.rows().iter().all(|r| r.tuple.get(0).as_str() != Some("Merrie")),
+            "no Merrie-associate × Mike row"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # chronos-algebra
+//!
+//! Temporal relational algebra over the relation classes of
+//! `chronos-core`.
+//!
+//! The paper observes that historical databases need "more sophisticated
+//! operations … to manipulate the complex semantics of valid time
+//! adequately, compared to the simple rollback operation".  This crate
+//! supplies both:
+//!
+//! * [`ops`] — the static relational algebra (select, project, union,
+//!   difference, cartesian product, joins), since the result of a
+//!   rollback is "a pure static relation" that ordinary queries apply to;
+//! * [`expr`] — scalar expressions and predicates over tuples (the
+//!   `where` clause);
+//! * [`temporal`] — the rollback operator ρ, valid-time timeslice τ, and
+//!   bitemporal slices;
+//! * [`when`] — temporal expressions (`start of`, `end of`, `extend`)
+//!   and predicates (`overlap`, `precede`, `equal`) over tuple
+//!   timestamps (the TQuel `when` clause);
+//! * [`coalesce`] — merging of value-equivalent tuples with adjacent or
+//!   overlapping periods, the normal form of a historical relation;
+//! * [`join`] — temporal joins that intersect validity periods;
+//! * [`aggregate`] — step-function aggregates over valid time (trend
+//!   analysis: "how did the number of faculty change over the last 5
+//!   years?").
+
+pub mod aggregate;
+pub mod coalesce;
+pub mod expr;
+pub mod join;
+pub mod ops;
+pub mod temporal;
+pub mod when;

@@ -1,0 +1,268 @@
+//! Static relational algebra.
+//!
+//! The classic five operators plus joins, over
+//! [`StaticRelation`].
+//! Rollback results and valid-time slices are static relations, so these
+//! operators close the loop: any classical query can run over any slice
+//! of a temporal database.
+
+use std::collections::HashMap;
+
+use chronos_core::error::{CoreError, CoreResult};
+use chronos_core::relation::static_rel::StaticRelation;
+use chronos_core::schema::Schema;
+use chronos_core::tuple::Tuple;
+use chronos_core::value::Value;
+
+use crate::expr::Predicate;
+
+/// σ — tuples satisfying the predicate.
+pub fn select(rel: &StaticRelation, pred: &Predicate) -> CoreResult<StaticRelation> {
+    let mut out = StaticRelation::new(rel.schema().clone());
+    for t in rel.iter() {
+        if pred.eval(t)? {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// π — projection onto attribute indices, with duplicate elimination.
+pub fn project(rel: &StaticRelation, indices: &[usize]) -> CoreResult<StaticRelation> {
+    let schema = rel.schema().project(indices)?;
+    let mut out = StaticRelation::new(schema);
+    for t in rel.iter() {
+        let p = t.project(indices);
+        if !out.contains(&p) {
+            out.insert(p)?;
+        }
+    }
+    Ok(out)
+}
+
+fn check_union_compatible(a: &StaticRelation, b: &StaticRelation) -> CoreResult<()> {
+    let (sa, sb) = (a.schema(), b.schema());
+    if sa.arity() != sb.arity()
+        || sa
+            .attributes()
+            .iter()
+            .zip(sb.attributes())
+            .any(|(x, y)| x.attr_type() != y.attr_type())
+    {
+        return Err(CoreError::SchemaMismatch {
+            expected: sa.to_string(),
+            found: sb.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// ∪ — set union (schemas must be union-compatible; the left schema
+/// names the result).
+pub fn union(a: &StaticRelation, b: &StaticRelation) -> CoreResult<StaticRelation> {
+    check_union_compatible(a, b)?;
+    let mut out = StaticRelation::new(a.schema().clone());
+    for t in a.iter().chain(b.iter()) {
+        if !out.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// − — set difference `a \ b`.
+pub fn difference(a: &StaticRelation, b: &StaticRelation) -> CoreResult<StaticRelation> {
+    check_union_compatible(a, b)?;
+    let mut out = StaticRelation::new(a.schema().clone());
+    for t in a.iter() {
+        if !b.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// ∩ — set intersection.
+pub fn intersect(a: &StaticRelation, b: &StaticRelation) -> CoreResult<StaticRelation> {
+    check_union_compatible(a, b)?;
+    let mut out = StaticRelation::new(a.schema().clone());
+    for t in a.iter() {
+        if b.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+fn concat_schema(a: &Schema, b: &Schema, b_prefix: &str) -> CoreResult<Schema> {
+    let mut attrs: Vec<chronos_core::schema::Attribute> = a.attributes().to_vec();
+    for attr in b.attributes() {
+        let name = if a.index_of(attr.name()).is_some() {
+            format!("{b_prefix}.{}", attr.name())
+        } else {
+            attr.name().to_string()
+        };
+        attrs.push(chronos_core::schema::Attribute::new(name, attr.attr_type()));
+    }
+    Schema::new(attrs)
+}
+
+/// × — cartesian product.  Clashing attribute names from `b` are
+/// prefixed with `b_prefix`.
+pub fn cartesian(
+    a: &StaticRelation,
+    b: &StaticRelation,
+    b_prefix: &str,
+) -> CoreResult<StaticRelation> {
+    let schema = concat_schema(a.schema(), b.schema(), b_prefix)?;
+    let mut out = StaticRelation::new(schema);
+    for ta in a.iter() {
+        for tb in b.iter() {
+            let joined = ta.concat(tb);
+            if !out.contains(&joined) {
+                out.insert(joined)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// ⋈ — equi-join on `a.attrs[la] = b.attrs[lb]` pairs, via hash join on
+/// the build side `b`.
+pub fn hash_join(
+    a: &StaticRelation,
+    b: &StaticRelation,
+    keys: &[(usize, usize)],
+    b_prefix: &str,
+) -> CoreResult<StaticRelation> {
+    for &(la, lb) in keys {
+        let ta = a
+            .schema()
+            .attributes()
+            .get(la)
+            .ok_or_else(|| CoreError::Invalid(format!("join key {la} out of range")))?;
+        let tb = b
+            .schema()
+            .attributes()
+            .get(lb)
+            .ok_or_else(|| CoreError::Invalid(format!("join key {lb} out of range")))?;
+        if ta.attr_type() != tb.attr_type() {
+            return Err(CoreError::Invalid(format!(
+                "join key type mismatch: {} vs {}",
+                ta.attr_type(),
+                tb.attr_type()
+            )));
+        }
+    }
+    let schema = concat_schema(a.schema(), b.schema(), b_prefix)?;
+    let mut build: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+    for tb in b.iter() {
+        let key: Vec<Value> = keys.iter().map(|&(_, lb)| tb.get(lb).clone()).collect();
+        build.entry(key).or_default().push(tb);
+    }
+    let mut out = StaticRelation::new(schema);
+    for ta in a.iter() {
+        let key: Vec<Value> = keys.iter().map(|&(la, _)| ta.get(la).clone()).collect();
+        if let Some(matches) = build.get(&key) {
+            for tb in matches {
+                let joined = ta.concat(tb);
+                if !out.contains(&joined) {
+                    out.insert(joined)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::schema::{faculty_schema, Attribute};
+    use chronos_core::tuple::tuple;
+    use chronos_core::value::AttrType;
+
+    fn faculty() -> StaticRelation {
+        let mut r = StaticRelation::new(faculty_schema());
+        r.insert(tuple(["Merrie", "full"])).unwrap();
+        r.insert(tuple(["Tom", "associate"])).unwrap();
+        r.insert(tuple(["Mike", "assistant"])).unwrap();
+        r
+    }
+
+    #[test]
+    fn select_project_answers_figure_2_query() {
+        // retrieve (f.rank) where f.name = "Merrie"
+        let r = faculty();
+        let sel = select(&r, &Predicate::attr_eq(0, "Merrie")).unwrap();
+        let ranks = project(&sel, &[1]).unwrap();
+        assert_eq!(ranks.len(), 1);
+        assert!(ranks.contains(&tuple(["full"])));
+    }
+
+    #[test]
+    fn project_eliminates_duplicates() {
+        let mut r = StaticRelation::new(faculty_schema());
+        r.insert(tuple(["Merrie", "full"])).unwrap();
+        r.insert(tuple(["Tom", "full"])).unwrap();
+        let p = project(&r, &[1]).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn union_difference_intersect() {
+        let a = faculty();
+        let mut b = StaticRelation::new(faculty_schema());
+        b.insert(tuple(["Merrie", "full"])).unwrap();
+        b.insert(tuple(["Ilsoo", "assistant"])).unwrap();
+        assert_eq!(union(&a, &b).unwrap().len(), 4);
+        assert_eq!(difference(&a, &b).unwrap().len(), 2);
+        assert_eq!(intersect(&a, &b).unwrap().len(), 1);
+        // Incompatible schemas rejected.
+        let other = StaticRelation::new(
+            Schema::new(vec![Attribute::new("n", AttrType::Int)]).unwrap(),
+        );
+        assert!(union(&a, &other).is_err());
+    }
+
+    #[test]
+    fn cartesian_product_sizes() {
+        let a = faculty();
+        let mut b = StaticRelation::new(
+            Schema::new(vec![Attribute::new("dept", AttrType::Str)]).unwrap(),
+        );
+        b.insert(tuple(["cs"])).unwrap();
+        b.insert(tuple(["math"])).unwrap();
+        let c = cartesian(&a, &b, "b").unwrap();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.schema().arity(), 3);
+    }
+
+    #[test]
+    fn cartesian_renames_clashing_attributes() {
+        let a = faculty();
+        let c = cartesian(&a, &faculty(), "f2").unwrap();
+        assert_eq!(c.schema().index_of("f2.name"), Some(2));
+        assert_eq!(c.len(), 9);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_semantics() {
+        // Join faculty with an office relation on name.
+        let schema = Schema::new(vec![
+            Attribute::new("prof", AttrType::Str),
+            Attribute::new("office", AttrType::Int),
+        ])
+        .unwrap();
+        let mut offices = StaticRelation::new(schema);
+        offices.insert(tuple::<Value, _>([Value::str("Merrie"), Value::Int(101)])).unwrap();
+        offices.insert(tuple::<Value, _>([Value::str("Tom"), Value::Int(202)])).unwrap();
+        offices.insert(tuple::<Value, _>([Value::str("Nobody"), Value::Int(303)])).unwrap();
+        let j = hash_join(&faculty(), &offices, &[(0, 0)], "o").unwrap();
+        assert_eq!(j.len(), 2);
+        assert!(j.iter().any(|t| t.get(0).as_str() == Some("Merrie")
+            && t.get(3).as_int() == Some(101)));
+        // Mismatched key types rejected.
+        assert!(hash_join(&faculty(), &offices, &[(0, 1)], "o").is_err());
+    }
+}

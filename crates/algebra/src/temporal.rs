@@ -1,0 +1,118 @@
+//! The temporal operators: rollback ρ, timeslice τ, and bitemporal
+//! slices.
+//!
+//! These are the operators the paper's four-way classification turns on:
+//!
+//! * ρ_t (rollback) maps a rollback relation to the *static* relation
+//!   stored at transaction time `t`, and a temporal relation to the
+//!   *historical* relation stored at `t`;
+//! * τ_t (timeslice) maps a historical relation to the static relation
+//!   of tuples *valid* at `t`;
+//! * their composition ρ_t₁ ∘ τ_t₂ is the bitemporal point query "tuples
+//!   valid at t₂ seen as of t₁".
+
+use chronos_core::chronon::Chronon;
+use chronos_core::relation::historical::HistoricalRelation;
+use chronos_core::relation::rollback::RollbackStore;
+use chronos_core::relation::static_rel::StaticRelation;
+use chronos_core::relation::temporal::TemporalStore;
+
+/// ρ_t over a rollback relation: the static state as of `t`.
+pub fn rollback_static<S: RollbackStore>(rel: &S, t: Chronon) -> StaticRelation {
+    rel.rollback(t)
+}
+
+/// ρ_t over a temporal relation: the historical state as of `t`.
+pub fn rollback_temporal<S: TemporalStore>(rel: &S, t: Chronon) -> HistoricalRelation {
+    rel.rollback(t)
+}
+
+/// τ_t over a historical relation: tuples valid at `t`, as best known.
+pub fn timeslice(rel: &HistoricalRelation, t: Chronon) -> StaticRelation {
+    rel.valid_at(t)
+}
+
+/// The bitemporal point query: tuples valid at `valid`, as the database
+/// stored them at `as_of`.
+pub fn bitemporal_slice<S: TemporalStore>(
+    rel: &S,
+    valid: Chronon,
+    as_of: Chronon,
+) -> StaticRelation {
+    rel.rollback(as_of).valid_at(valid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::calendar::date;
+    use chronos_core::period::Period;
+    use chronos_core::prelude::*;
+    use chronos_core::schema::faculty_schema;
+
+    fn d(s: &str) -> Chronon {
+        date(s).unwrap()
+    }
+
+    fn figure_8_table() -> BitemporalTable {
+        let mut s = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
+        s.begin()
+            .insert(tuple(["Merrie", "associate"]), Period::from_start(d("09/01/77")))
+            .commit(d("08/25/77"))
+            .unwrap();
+        s.begin()
+            .insert(tuple(["Tom", "full"]), Period::from_start(d("12/05/82")))
+            .commit(d("12/01/82"))
+            .unwrap();
+        s.begin()
+            .remove(RowSelector::tuple(tuple(["Tom", "full"])))
+            .insert(tuple(["Tom", "associate"]), Period::from_start(d("12/05/82")))
+            .commit(d("12/07/82"))
+            .unwrap();
+        s.begin()
+            .set_validity(
+                RowSelector::tuple(tuple(["Merrie", "associate"])),
+                Period::new(d("09/01/77"), d("12/01/82")).unwrap(),
+            )
+            .insert(tuple(["Merrie", "full"]), Period::from_start(d("12/01/82")))
+            .commit(d("12/15/82"))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn rollback_then_timeslice_is_the_paper_query_pair() {
+        let rel = figure_8_table();
+        // Valid at 12/05/82 as of 12/10/82: Merrie associate.
+        let early = bitemporal_slice(&rel, d("12/05/82"), d("12/10/82"));
+        assert!(early.contains(&tuple(["Merrie", "associate"])));
+        assert!(!early.contains(&tuple(["Merrie", "full"])));
+        // Same valid instant as of 12/20/82: Merrie full.
+        let late = bitemporal_slice(&rel, d("12/05/82"), d("12/20/82"));
+        assert!(late.contains(&tuple(["Merrie", "full"])));
+        assert!(!late.contains(&tuple(["Merrie", "associate"])));
+    }
+
+    #[test]
+    fn timeslice_of_rollback_state_composes() {
+        let rel = figure_8_table();
+        let hist = rollback_temporal(&rel, d("12/10/82"));
+        let slice = timeslice(&hist, d("12/05/82"));
+        assert_eq!(slice, bitemporal_slice(&rel, d("12/05/82"), d("12/10/82")));
+    }
+
+    #[test]
+    fn rollback_static_store() {
+        let mut r = TimestampedRollback::new(faculty_schema());
+        r.begin()
+            .insert(tuple(["Merrie", "associate"]))
+            .commit(d("08/25/77"))
+            .unwrap();
+        r.begin()
+            .replace(tuple(["Merrie", "associate"]), tuple(["Merrie", "full"]))
+            .commit(d("12/15/82"))
+            .unwrap();
+        let s = rollback_static(&r, d("12/10/82"));
+        assert!(s.contains(&tuple(["Merrie", "associate"])));
+    }
+}

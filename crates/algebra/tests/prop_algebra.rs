@@ -1,0 +1,190 @@
+//! Algebraic laws of the operators, property-tested: the classical
+//! relational identities on static relations, and the temporal laws
+//! connecting joins, timeslices and coalescing.
+
+use chronos_algebra::coalesce::coalesce;
+use chronos_algebra::expr::Predicate;
+use chronos_algebra::join::overlap_join;
+use chronos_algebra::ops;
+use chronos_algebra::when::{TemporalExpr, TemporalPred};
+use chronos_core::chronon::Chronon;
+use chronos_core::period::Period;
+use chronos_core::prelude::*;
+use chronos_core::schema::faculty_schema;
+use proptest::prelude::*;
+
+const NAMES: [&str; 5] = ["Merrie", "Tom", "Mike", "Ilsoo", "Rick"];
+const RANKS: [&str; 3] = ["assistant", "associate", "full"];
+
+fn arb_static() -> impl Strategy<Value = StaticRelation> {
+    prop::collection::hash_set((0..NAMES.len(), 0..RANKS.len()), 0..12).prop_map(|pairs| {
+        let mut r = StaticRelation::new(faculty_schema());
+        for (n, k) in pairs {
+            r.insert(tuple([NAMES[n], RANKS[k]])).expect("distinct");
+        }
+        r
+    })
+}
+
+fn arb_pred() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (0..NAMES.len()).prop_map(|n| Predicate::attr_eq(0, NAMES[n])),
+        (0..RANKS.len()).prop_map(|k| Predicate::attr_eq(1, RANKS[k])),
+        Just(Predicate::True),
+    ]
+}
+
+fn arb_historical() -> impl Strategy<Value = HistoricalRelation> {
+    prop::collection::hash_set(
+        (0..NAMES.len(), 0..RANKS.len(), 0i64..80, 1i64..60),
+        0..12,
+    )
+    .prop_map(|rows| {
+        let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
+        for (n, k, a, len) in rows {
+            // Duplicate (tuple, validity) pairs are possible from the
+            // set; skip them.
+            let _ = r.insert(
+                tuple([NAMES[n], RANKS[k]]),
+                Period::new(Chronon::new(a), Chronon::new(a + len)).expect("fwd"),
+            );
+        }
+        r
+    })
+}
+
+proptest! {
+    #[test]
+    fn select_conjunction_composes(r in arb_static(), p in arb_pred(), q in arb_pred()) {
+        let both = ops::select(&r, &p.clone().and(q.clone())).unwrap();
+        let chained = ops::select(&ops::select(&r, &p).unwrap(), &q).unwrap();
+        prop_assert_eq!(both, chained);
+    }
+
+    #[test]
+    fn select_disjunction_is_union(r in arb_static(), p in arb_pred(), q in arb_pred()) {
+        let either = ops::select(&r, &p.clone().or(q.clone())).unwrap();
+        let unioned = ops::union(
+            &ops::select(&r, &p).unwrap(),
+            &ops::select(&r, &q).unwrap(),
+        )
+        .unwrap();
+        prop_assert_eq!(either, unioned);
+    }
+
+    #[test]
+    fn select_negation_is_difference(r in arb_static(), p in arb_pred()) {
+        let negated = ops::select(&r, &p.clone().not()).unwrap();
+        let diffed = ops::difference(&r, &ops::select(&r, &p).unwrap()).unwrap();
+        prop_assert_eq!(negated, diffed);
+    }
+
+    #[test]
+    fn union_laws(a in arb_static(), b in arb_static(), c in arb_static()) {
+        // Commutative, associative, idempotent.
+        prop_assert_eq!(ops::union(&a, &b).unwrap(), ops::union(&b, &a).unwrap());
+        prop_assert_eq!(
+            ops::union(&ops::union(&a, &b).unwrap(), &c).unwrap(),
+            ops::union(&a, &ops::union(&b, &c).unwrap()).unwrap()
+        );
+        prop_assert_eq!(ops::union(&a, &a).unwrap(), a.clone());
+        // Intersection distributes the other way.
+        prop_assert_eq!(
+            ops::intersect(&a, &b).unwrap(),
+            ops::difference(&a, &ops::difference(&a, &b).unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn projection_is_idempotent(r in arb_static()) {
+        let once = ops::project(&r, &[1]).unwrap();
+        let twice = ops::project(&once, &[0]).unwrap();
+        prop_assert_eq!(once, twice);
+        // Identity projection is the identity.
+        prop_assert_eq!(ops::project(&r, &[0, 1]).unwrap(), r);
+    }
+
+    #[test]
+    fn cartesian_size_is_product(a in arb_static(), b in arb_static()) {
+        let c = ops::cartesian(&a, &b, "b").unwrap();
+        prop_assert_eq!(c.len(), a.len() * b.len());
+    }
+
+    #[test]
+    fn hash_join_matches_filtered_cartesian(a in arb_static(), b in arb_static()) {
+        // a ⋈[name=name] b  ==  σ(name = b.name)(a × b)
+        let joined = ops::hash_join(&a, &b, &[(0, 0)], "b").unwrap();
+        let cart = ops::cartesian(&a, &b, "b").unwrap();
+        let eq_idx = cart.schema().index_of("b.name").unwrap();
+        let filtered = ops::select(
+            &cart,
+            &Predicate::Cmp(
+                chronos_algebra::expr::CmpOp::Eq,
+                chronos_algebra::expr::Expr::Attr(0),
+                chronos_algebra::expr::Expr::Attr(eq_idx),
+            ),
+        )
+        .unwrap();
+        prop_assert_eq!(joined, filtered);
+    }
+
+    #[test]
+    fn overlap_join_slices_commute(a in arb_historical(), b in arb_historical(), t in 0i64..140) {
+        // τ_t(a ⋈overlap b) == τ_t(a) × τ_t(b) restricted to co-valid rows:
+        // a joined row is valid at t iff both operands were.
+        let j = overlap_join(&a, &b, &Predicate::True, "b").unwrap();
+        let t = Chronon::new(t);
+        let slice_join = j.valid_at(t);
+        let slice_a = a.valid_at(t);
+        let slice_b = b.valid_at(t);
+        let cross = ops::cartesian(&slice_a, &slice_b, "b").unwrap();
+        prop_assert_eq!(slice_join, cross, "at {}", t);
+    }
+
+    #[test]
+    fn coalesce_preserves_joins(a in arb_historical(), b in arb_historical(), t in 0i64..140) {
+        // Joining coalesced operands gives the same timeslices as
+        // joining the originals.
+        let j1 = overlap_join(&a, &b, &Predicate::True, "b").unwrap();
+        let j2 = overlap_join(
+            &coalesce(&a).unwrap(),
+            &coalesce(&b).unwrap(),
+            &Predicate::True,
+            "b",
+        )
+        .unwrap();
+        let t = Chronon::new(t);
+        prop_assert_eq!(j1.valid_at(t), j2.valid_at(t), "at {}", t);
+    }
+
+    #[test]
+    fn when_predicates_respect_allen(
+        a in 0i64..100, la in 1i64..40,
+        b in 0i64..100, lb in 1i64..40,
+    ) {
+        let pa = Period::new(Chronon::new(a), Chronon::new(a + la)).unwrap();
+        let pb = Period::new(Chronon::new(b), Chronon::new(b + lb)).unwrap();
+        let env = [pa, pb];
+        let overlap = TemporalPred::Overlap(TemporalExpr::Var(0), TemporalExpr::Var(1))
+            .eval(&env)
+            .unwrap();
+        let precede_ab = TemporalPred::Precede(TemporalExpr::Var(0), TemporalExpr::Var(1))
+            .eval(&env)
+            .unwrap();
+        let precede_ba = TemporalPred::Precede(TemporalExpr::Var(1), TemporalExpr::Var(0))
+            .eval(&env)
+            .unwrap();
+        // Exactly one of: overlap, a before b, b before a.
+        prop_assert_eq!(
+            u8::from(overlap) + u8::from(precede_ab) + u8::from(precede_ba),
+            1,
+            "{:?} vs {:?}", pa, pb
+        );
+        // And extend is always an upper bound for both.
+        let ext = TemporalExpr::Var(0)
+            .extend(TemporalExpr::Var(1))
+            .eval(&env)
+            .unwrap();
+        prop_assert!(ext.encloses(pa) && ext.encloses(pb));
+    }
+}

@@ -1,0 +1,25 @@
+//! E20 — coalescing cost vs fragmentation, and the step-function
+//! aggregate (trend analysis) it feeds.
+
+use chronos_algebra::aggregate::count_over_time;
+use chronos_algebra::coalesce::coalesce;
+use chronos_bench::workload::fragmented_relation;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_coalesce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalesce");
+    for &frags in &[1usize, 4, 16] {
+        let rel = fragmented_relation(500, frags);
+        group.throughput(Throughput::Elements(rel.len() as u64));
+        group.bench_with_input(BenchmarkId::new("coalesce", frags), &rel, |b, r| {
+            b.iter(|| coalesce(r).expect("coalesces").len())
+        });
+        group.bench_with_input(BenchmarkId::new("count_over_time", frags), &rel, |b, r| {
+            b.iter(|| count_over_time(r).steps().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coalesce);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E14 — the paper's §4.2 claim that snapshot-cube rollback storage is
+//! "impractical, due to excessive duplication": per-transaction commit
+//! cost of the cube vs the tuple-timestamped store as history grows.
+
+use chronos_bench::workload;
+use chronos_core::chronon::Chronon;
+use chronos_core::prelude::*;
+use chronos_core::relation::StaticOp;
+use chronos_core::schema::faculty_schema;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn toggle_history(transactions: usize, entities: usize) -> Vec<(Chronon, StaticOp)> {
+    let tuples = workload::entity_tuples(entities);
+    let mut present = vec![false; entities];
+    (0..transactions)
+        .map(|i| {
+            let idx = if i < entities { i } else { (i * 7) % entities };
+            let op = if present[idx] {
+                present[idx] = false;
+                StaticOp::Delete(tuples[idx].clone())
+            } else {
+                present[idx] = true;
+                StaticOp::Insert(tuples[idx].clone())
+            };
+            (Chronon::new(1000 + i as i64), op)
+        })
+        .collect()
+}
+
+fn bench_rollback_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback_storage");
+    for &n in &[64usize, 256, 1024] {
+        let history = toggle_history(n, n / 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("snapshot_cube", n), &history, |b, h| {
+            b.iter(|| {
+                let mut cube = SnapshotRollback::new(faculty_schema());
+                for (t, op) in h {
+                    cube.commit(*t, std::slice::from_ref(op)).expect("valid");
+                }
+                cube.stored_tuples()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tuple_timestamped", n), &history, |b, h| {
+            b.iter(|| {
+                let mut ts = TimestampedRollback::new(faculty_schema());
+                for (t, op) in h {
+                    ts.commit(*t, std::slice::from_ref(op)).expect("valid");
+                }
+                ts.stored_tuples()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollback_storage);
+criterion_main!(benches);

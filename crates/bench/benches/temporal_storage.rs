@@ -1,0 +1,57 @@
+//! E15 — the same duplication claim for temporal relations (§4.4):
+//! building a temporal relation as a sequence of complete historical
+//! states vs as a bitemporal tuple-timestamped table (reference and
+//! storage-backed).
+
+use chronos_bench::workload::{generate, WorkloadSpec};
+use chronos_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_temporal_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("temporal_storage");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 1024] {
+        let w = generate(&WorkloadSpec {
+            entities: (n / 4).max(8),
+            transactions: n,
+            ops_per_tx: 2,
+            correction_pct: 25,
+            seed: 42,
+        });
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("snapshot_states", n), &w, |b, w| {
+            b.iter(|| {
+                let mut cube = SnapshotTemporal::new(w.schema.clone(), TemporalSignature::Interval);
+                for tx in &w.transactions {
+                    cube.commit(tx.tx_time, &tx.ops).expect("valid");
+                }
+                cube.stored_tuples()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bitemporal_table", n), &w, |b, w| {
+            b.iter(|| {
+                let mut t = BitemporalTable::new(w.schema.clone(), TemporalSignature::Interval);
+                for tx in &w.transactions {
+                    t.commit(tx.tx_time, &tx.ops).expect("valid");
+                }
+                t.stored_tuples()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stored_table_indexed", n), &w, |b, w| {
+            b.iter(|| {
+                let mut t = chronos_storage::table::StoredBitemporalTable::in_memory(
+                    w.schema.clone(),
+                    TemporalSignature::Interval,
+                );
+                for tx in &w.transactions {
+                    t.try_commit(tx.tx_time, &tx.ops).expect("valid");
+                }
+                t.stored_tuples()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_temporal_storage);
+criterion_main!(benches);

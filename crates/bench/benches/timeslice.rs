@@ -1,0 +1,55 @@
+//! E17 — historical timeslice (τ_t, "more sophisticated operations"):
+//! heap scan vs the valid-time interval tree, plus the bitemporal point
+//! query composing both axes.
+
+use chronos_bench::workload::{generate, WorkloadSpec};
+use chronos_core::chronon::Chronon;
+use chronos_core::prelude::*;
+use chronos_storage::table::StoredBitemporalTable;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn build(n: usize) -> StoredBitemporalTable {
+    let w = generate(&WorkloadSpec {
+        entities: (n / 4).max(8),
+        transactions: n,
+        ops_per_tx: 2,
+        correction_pct: 25,
+        seed: 7,
+    });
+    let mut t = StoredBitemporalTable::in_memory(w.schema.clone(), TemporalSignature::Interval);
+    for tx in &w.transactions {
+        t.try_commit(tx.tx_time, &tx.ops).expect("valid");
+    }
+    t
+}
+
+fn bench_timeslice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeslice");
+    for &n in &[256usize, 1024, 4096] {
+        let table = build(n);
+        let probe = Chronon::new(940);
+        group.bench_with_input(BenchmarkId::new("heap_scan", n), &table, |b, t| {
+            b.iter(|| {
+                let rows = t.scan_rows().expect("ok");
+                rows.into_iter()
+                    .filter(|r| r.is_current() && r.validity.valid_at(probe))
+                    .count()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("valid_interval_tree", n),
+            &table,
+            |b, t| b.iter(|| t.current_valid_at(probe).expect("ok").len()),
+        );
+        let as_of = Chronon::new(1000 + (n as i64) / 4);
+        group.bench_with_input(
+            BenchmarkId::new("bitemporal_point_query", n),
+            &table,
+            |b, t| b.iter(|| t.valid_at_as_of(probe, as_of).expect("ok").len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timeslice);
+criterion_main!(benches);

@@ -1,0 +1,651 @@
+//! Builders and renderers for every figure of the paper.
+//!
+//! Each `figure_N` function reconstructs the paper's Figure N from live
+//! ChronosDB objects — never from hard-coded output — and each
+//! `render_figure_N` lays it out in the paper's tabular shape.  The
+//! `figures` binary prints them all; `tests/paper_figures.rs` asserts
+//! the contents row by row.
+
+use chronos_core::calendar::date;
+use chronos_core::chronon::Chronon;
+use chronos_core::period::Period;
+use chronos_core::prelude::*;
+use chronos_core::relation::temporal::BitemporalRow;
+use chronos_core::render::{check, TextTable};
+use chronos_core::schema::faculty_schema;
+use chronos_core::taxonomy::literature::{figure_1 as fig1_rows, figure_13 as fig13_rows};
+use chronos_core::taxonomy::{classify, DatabaseClass, TimeKind};
+use chronos_core::value::Value;
+
+/// `d("12/01/82")` — panic-free only for valid paper dates.
+pub fn d(s: &str) -> Chronon {
+    date(s).expect("paper dates are valid")
+}
+
+fn p(from: &str, to: &str) -> Period {
+    Period::new(d(from), d(to)).expect("paper periods are forwards")
+}
+
+fn open(from: &str) -> Period {
+    Period::from_start(d(from))
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 — types of time in the prior literature
+// ---------------------------------------------------------------------
+
+/// Renders Figure 1.
+pub fn render_figure_1() -> String {
+    let mut t = TextTable::new([
+        "Reference",
+        "Terminology",
+        "Append-Only",
+        "Application Independent",
+        "Representation vs. Reality",
+    ]);
+    for row in fig1_rows() {
+        let term = if row.unsupported {
+            format!("{} (1)", row.terminology)
+        } else {
+            row.terminology.to_string()
+        };
+        t.push_row([
+            row.reference.to_string(),
+            term,
+            row.append_only.to_string(),
+            if row.application_independent { "Yes" } else { "No" }.to_string(),
+            row.models.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "\nNotes: (1) not actually supported by the system\n       (2) can make corrections only\n       (3) can make changes only in the future\n       (4) reality is indicated only in the future\n",
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Figure 2 — a static relation, and the Quel query
+// ---------------------------------------------------------------------
+
+/// Builds the static `faculty` instance of Figure 2.
+pub fn figure_2() -> StaticRelation {
+    let mut r = StaticRelation::new(faculty_schema());
+    r.insert(tuple(["Merrie", "full"])).expect("fresh");
+    r.insert(tuple(["Tom", "associate"])).expect("fresh");
+    r
+}
+
+/// Renders Figure 2.
+pub fn render_figure_2() -> String {
+    let r = figure_2();
+    let mut t = TextTable::new(["name", "rank"]);
+    for row in r.iter() {
+        t.push_row([row.get(0).to_string(), row.get(1).to_string()]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------
+// Figures 3 & 4 — static rollback relations
+// ---------------------------------------------------------------------
+
+/// The abstract three-transaction history of Figure 3, applied to a
+/// snapshot-cube rollback store: (1) add three tuples, (2) add one,
+/// (3) delete one entered in the first transaction and add another.
+pub fn figure_3() -> SnapshotRollback {
+    let schema = Schema::new(vec![Attribute::new("tuple", AttrType::Str)]).expect("valid");
+    let mut r = SnapshotRollback::new(schema);
+    r.begin()
+        .insert(tuple(["t1"]))
+        .insert(tuple(["t2"]))
+        .insert(tuple(["t3"]))
+        .commit(Chronon::new(1))
+        .expect("tx 1");
+    r.begin().insert(tuple(["t4"])).commit(Chronon::new(2)).expect("tx 2");
+    r.begin()
+        .delete(tuple(["t2"]))
+        .insert(tuple(["t5"]))
+        .commit(Chronon::new(3))
+        .expect("tx 3");
+    r
+}
+
+/// Renders Figure 3 as the sequence of static states (the vertical
+/// slices of the paper's cube).
+pub fn render_figure_3() -> String {
+    let r = figure_3();
+    let mut out = String::new();
+    for (i, (t, state)) in r.states().iter().enumerate() {
+        let members: Vec<String> = state.sorted().iter().map(|x| x.get(0).to_string()).collect();
+        out.push_str(&format!(
+            "after transaction {} (tx time {}): {{{}}}\n",
+            i + 1,
+            t.ticks(),
+            members.join(", ")
+        ));
+    }
+    out
+}
+
+/// Builds the tuple-timestamped rollback `faculty` relation of Figure 4.
+pub fn figure_4() -> TimestampedRollback {
+    let mut r = TimestampedRollback::new(faculty_schema());
+    r.begin()
+        .insert(tuple(["Merrie", "associate"]))
+        .commit(d("08/25/77"))
+        .expect("tx");
+    r.begin()
+        .insert(tuple(["Tom", "associate"]))
+        .commit(d("12/07/82"))
+        .expect("tx");
+    r.begin()
+        .replace(tuple(["Merrie", "associate"]), tuple(["Merrie", "full"]))
+        .commit(d("12/15/82"))
+        .expect("tx");
+    r.begin()
+        .insert(tuple(["Mike", "assistant"]))
+        .commit(d("01/10/83"))
+        .expect("tx");
+    r.begin()
+        .delete(tuple(["Mike", "assistant"]))
+        .commit(d("02/25/84"))
+        .expect("tx");
+    r
+}
+
+/// Renders Figure 4 in the paper's row order.
+pub fn render_figure_4() -> String {
+    let r = figure_4();
+    let mut t = TextTable::new(["name", "rank", "tx (start)", "tx (end)"])
+        .with_double_bar_before(2);
+    let mut rows = r.rows().to_vec();
+    sort_like_paper(&mut rows, |row| (row.tuple.clone(), row.tx.start()));
+    for row in rows {
+        t.push_row([
+            row.tuple.get(0).to_string(),
+            row.tuple.get(1).to_string(),
+            row.tx.start().to_string(),
+            row.tx.end().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Orders rows the way the paper prints them: grouped by entity (first
+/// attribute) in order of first appearance, then by the given key.
+fn sort_like_paper<R, K: Ord>(rows: &mut [R], key: impl Fn(&R) -> (Tuple, K))
+where
+    R: Clone,
+{
+    // Entity order of first appearance.
+    let mut first_seen: Vec<String> = Vec::new();
+    for r in rows.iter() {
+        let (t, _) = key(r);
+        let name = t.get(0).to_string();
+        if !first_seen.contains(&name) {
+            first_seen.push(name);
+        }
+    }
+    rows.sort_by(|a, b| {
+        let (ta, ka) = key(a);
+        let (tb, kb) = key(b);
+        let ia = first_seen.iter().position(|n| *n == ta.get(0).to_string());
+        let ib = first_seen.iter().position(|n| *n == tb.get(0).to_string());
+        ia.cmp(&ib).then(ka.cmp(&kb))
+    });
+}
+
+// ---------------------------------------------------------------------
+// Figures 5 & 6 — historical relations
+// ---------------------------------------------------------------------
+
+/// Figure 5: the same transaction stream as Figure 3 on a *historical*
+/// relation, followed by a fourth, correcting transaction impossible on
+/// a rollback store: the erroneous tuple from the first transaction is
+/// removed outright.
+pub fn figure_5() -> Vec<(usize, HistoricalRelation)> {
+    let schema = Schema::new(vec![Attribute::new("tuple", AttrType::Str)]).expect("valid");
+    let mut r = HistoricalRelation::new(schema, TemporalSignature::Interval);
+    let v = |from: i64| Validity::Interval(Period::from_start(Chronon::new(from)));
+    let mut states = Vec::new();
+    r.insert(tuple(["t1"]), v(1)).expect("fresh");
+    r.insert(tuple(["t2"]), v(1)).expect("fresh");
+    r.insert(tuple(["t3"]), v(1)).expect("fresh");
+    states.push((1, r.clone()));
+    r.insert(tuple(["t4"]), v(2)).expect("fresh");
+    states.push((2, r.clone()));
+    r.insert(tuple(["t5"]), v(3)).expect("fresh");
+    r.set_validity(
+        &RowSelector::tuple(tuple(["t2"])),
+        Validity::Interval(Period::new(Chronon::new(1), Chronon::new(3)).expect("fwd")),
+    )
+    .expect("t2 exists");
+    states.push((3, r.clone()));
+    // The correcting transaction: t3 should never have been there.
+    r.remove(&RowSelector::tuple(tuple(["t3"]))).expect("t3 exists");
+    states.push((4, r));
+    states
+}
+
+/// Renders Figure 5 as the evolving single historical state.
+pub fn render_figure_5() -> String {
+    let mut out = String::new();
+    for (i, state) in figure_5() {
+        let members: Vec<String> = state
+            .sorted_rows()
+            .iter()
+            .map(|r| format!("{} {}", r.tuple.get(0), r.validity))
+            .collect();
+        out.push_str(&format!("after modification {i}: {{{}}}\n", members.join(", ")));
+    }
+    out
+}
+
+/// Builds the historical `faculty` relation of Figure 6.
+pub fn figure_6() -> HistoricalRelation {
+    let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
+    r.insert(tuple(["Merrie", "associate"]), p("09/01/77", "12/01/82"))
+        .expect("fresh");
+    r.insert(tuple(["Merrie", "full"]), open("12/01/82")).expect("fresh");
+    r.insert(tuple(["Tom", "associate"]), open("12/05/82")).expect("fresh");
+    r.insert(tuple(["Mike", "assistant"]), p("01/01/83", "03/01/84"))
+        .expect("fresh");
+    r
+}
+
+/// Renders Figure 6 in the paper's row order.
+pub fn render_figure_6() -> String {
+    let r = figure_6();
+    let mut t = TextTable::new(["name", "rank", "valid (from)", "valid (to)"])
+        .with_double_bar_before(2);
+    let mut rows = r.rows().to_vec();
+    sort_like_paper(&mut rows, |row| (row.tuple.clone(), row.validity.period().start()));
+    for row in rows {
+        let per = row.validity.period();
+        t.push_row([
+            row.tuple.get(0).to_string(),
+            row.tuple.get(1).to_string(),
+            per.start().to_string(),
+            per.end().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------
+// Figures 7 & 8 — temporal relations
+// ---------------------------------------------------------------------
+
+/// Figure 7: a temporal relation as the sequence of historical states
+/// after four transactions: (1) add three, (2) add one, (3) add one and
+/// delete one, (4) delete an erroneous earlier tuple.
+pub fn figure_7() -> SnapshotTemporal {
+    let schema = Schema::new(vec![Attribute::new("tuple", AttrType::Str)]).expect("valid");
+    let mut r = SnapshotTemporal::new(schema, TemporalSignature::Interval);
+    let v = |from: i64| Validity::Interval(Period::from_start(Chronon::new(from)));
+    r.begin()
+        .insert(tuple(["t1"]), v(1))
+        .insert(tuple(["t2"]), v(1))
+        .insert(tuple(["t3"]), v(1))
+        .commit(Chronon::new(1))
+        .expect("tx 1");
+    r.begin().insert(tuple(["t4"]), v(2)).commit(Chronon::new(2)).expect("tx 2");
+    r.begin()
+        .insert(tuple(["t5"]), v(3))
+        .set_validity(
+            RowSelector::tuple(tuple(["t2"])),
+            Validity::Interval(Period::new(Chronon::new(1), Chronon::new(3)).expect("fwd")),
+        )
+        .commit(Chronon::new(3))
+        .expect("tx 3");
+    r.begin()
+        .remove(RowSelector::tuple(tuple(["t3"])))
+        .commit(Chronon::new(4))
+        .expect("tx 4");
+    r
+}
+
+/// Renders Figure 7 as the append-only sequence of historical states.
+pub fn render_figure_7() -> String {
+    let r = figure_7();
+    let mut out = String::new();
+    for (i, (t, state)) in r.states().iter().enumerate() {
+        let members: Vec<String> = state
+            .sorted_rows()
+            .iter()
+            .map(|row| format!("{} {}", row.tuple.get(0), row.validity))
+            .collect();
+        out.push_str(&format!(
+            "historical state after transaction {} (tx time {}): {{{}}}\n",
+            i + 1,
+            t.ticks(),
+            members.join(", ")
+        ));
+    }
+    out
+}
+
+/// Drives the six transactions that produce Figure 8 against any
+/// temporal store.
+pub fn drive_figure_8<S: chronos_core::relation::temporal::TemporalStore>(s: &mut S) {
+    s.begin()
+        .insert(tuple(["Merrie", "associate"]), open("09/01/77"))
+        .commit(d("08/25/77"))
+        .expect("tx");
+    s.begin()
+        .insert(tuple(["Tom", "full"]), open("12/05/82"))
+        .commit(d("12/01/82"))
+        .expect("tx");
+    s.begin()
+        .remove(RowSelector::tuple(tuple(["Tom", "full"])))
+        .insert(tuple(["Tom", "associate"]), open("12/05/82"))
+        .commit(d("12/07/82"))
+        .expect("tx");
+    s.begin()
+        .set_validity(
+            RowSelector::tuple(tuple(["Merrie", "associate"])),
+            p("09/01/77", "12/01/82"),
+        )
+        .insert(tuple(["Merrie", "full"]), open("12/01/82"))
+        .commit(d("12/15/82"))
+        .expect("tx");
+    s.begin()
+        .insert(tuple(["Mike", "assistant"]), open("01/01/83"))
+        .commit(d("01/10/83"))
+        .expect("tx");
+    s.begin()
+        .set_validity(
+            RowSelector::tuple(tuple(["Mike", "assistant"])),
+            p("01/01/83", "03/01/84"),
+        )
+        .commit(d("02/25/84"))
+        .expect("tx");
+}
+
+/// Builds the bitemporal `faculty` table of Figure 8.
+pub fn figure_8() -> BitemporalTable {
+    let mut t = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
+    drive_figure_8(&mut t);
+    t
+}
+
+/// Renders bitemporal rows in the paper's order and shape.
+pub fn render_bitemporal_rows(rows: &[BitemporalRow]) -> String {
+    let mut t = TextTable::new([
+        "name",
+        "rank",
+        "valid (from)",
+        "valid (to)",
+        "tx (start)",
+        "tx (end)",
+    ])
+    .with_double_bar_before(2);
+    let mut rows = rows.to_vec();
+    sort_like_paper(&mut rows, |row| {
+        (row.tuple.clone(), (row.tx.start(), row.validity.period().start()))
+    });
+    for row in rows {
+        let per = row.validity.period();
+        t.push_row([
+            row.tuple.get(0).to_string(),
+            row.tuple.get(1).to_string(),
+            per.start().to_string(),
+            per.end().to_string(),
+            row.tx.start().to_string(),
+            row.tx.end().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders Figure 8.
+pub fn render_figure_8() -> String {
+    render_bitemporal_rows(figure_8().rows())
+}
+
+// ---------------------------------------------------------------------
+// Figure 9 — a temporal event relation with user-defined time
+// ---------------------------------------------------------------------
+
+/// Builds the `promotion` temporal event relation of Figure 9.  The
+/// `effective` attribute is user-defined time: an ordinary date column
+/// the DBMS stores but never interprets.
+pub fn figure_9() -> BitemporalTable {
+    let schema = Schema::new(vec![
+        Attribute::new("name", AttrType::Str),
+        Attribute::new("rank", AttrType::Str),
+        Attribute::new("effective", AttrType::Date),
+    ])
+    .expect("valid");
+    let mut t = BitemporalTable::new(schema, TemporalSignature::Event);
+    let ev = |name: &str, rank: &str, eff: &str| {
+        Tuple::new(vec![
+            Value::str(name),
+            Value::str(rank),
+            Value::Date(d(eff)),
+        ])
+    };
+    t.begin()
+        .insert(ev("Merrie", "associate", "09/01/77"), d("08/25/77"))
+        .commit(d("08/25/77"))
+        .expect("tx");
+    t.begin()
+        .insert(ev("Tom", "full", "12/05/82"), d("12/05/82"))
+        .commit(d("12/01/82"))
+        .expect("tx");
+    t.begin()
+        .remove(RowSelector::tuple(ev("Tom", "full", "12/05/82")))
+        .insert(ev("Tom", "associate", "12/05/82"), d("12/07/82"))
+        .commit(d("12/07/82"))
+        .expect("tx");
+    t.begin()
+        .insert(ev("Merrie", "full", "12/01/82"), d("12/11/82"))
+        .commit(d("12/15/82"))
+        .expect("tx");
+    t.begin()
+        .insert(ev("Mike", "assistant", "01/01/83"), d("01/01/83"))
+        .commit(d("01/10/83"))
+        .expect("tx");
+    t.begin()
+        .insert(ev("Mike", "left", "03/01/84"), d("02/25/84"))
+        .commit(d("02/25/84"))
+        .expect("tx");
+    t
+}
+
+/// Renders Figure 9.
+pub fn render_figure_9() -> String {
+    let rel = figure_9();
+    let mut t = TextTable::new([
+        "name",
+        "rank",
+        "effective date",
+        "valid (at)",
+        "tx (start)",
+        "tx (end)",
+    ])
+    .with_double_bar_before(3);
+    let mut rows = rel.rows().to_vec();
+    sort_like_paper(&mut rows, |row| {
+        (row.tuple.clone(), (row.tx.start(), row.validity.period().start()))
+    });
+    for row in rows {
+        let at = match row.validity {
+            Validity::Event(c) => c.to_string(),
+            Validity::Interval(p) => p.to_string(),
+        };
+        t.push_row([
+            row.tuple.get(0).to_string(),
+            row.tuple.get(1).to_string(),
+            row.tuple.get(2).to_string(),
+            at,
+            row.tx.start().to_string(),
+            row.tx.end().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+// ---------------------------------------------------------------------
+// Figures 10–13 — the taxonomy tables
+// ---------------------------------------------------------------------
+
+/// Renders Figure 10 (the 2×2 classification), generated from
+/// [`classify`].
+pub fn render_figure_10() -> String {
+    let mut t = TextTable::new(["", "No Rollback", "Rollback"]);
+    t.push_row([
+        "Static Queries".to_string(),
+        classify(false, false).to_string(),
+        classify(true, false).to_string(),
+    ]);
+    t.push_row([
+        "Historical Queries".to_string(),
+        classify(false, true).to_string(),
+        classify(true, true).to_string(),
+    ]);
+    t.render()
+}
+
+/// Renders Figure 11 (database class × time kind incidence).
+pub fn render_figure_11() -> String {
+    let mut t = TextTable::new(["", "Transaction", "Valid", "User-defined"]);
+    for class in DatabaseClass::ALL {
+        t.push_row([
+            class.to_string(),
+            check(class.supports(TimeKind::Transaction)).to_string(),
+            check(class.supports(TimeKind::Valid)).to_string(),
+            check(class.supports(TimeKind::UserDefined)).to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders Figure 12 (attributes of the three kinds of time).
+pub fn render_figure_12() -> String {
+    let mut t = TextTable::new([
+        "Terminology",
+        "Append-Only",
+        "Application Independent",
+        "Representation vs. Reality",
+    ]);
+    for kind in TimeKind::ALL {
+        t.push_row([
+            kind.to_string(),
+            if kind.append_only() { "Yes" } else { "No" }.to_string(),
+            if kind.application_independent() { "Yes" } else { "No" }.to_string(),
+            kind.models().to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders Figure 13 (time support in existing or proposed systems).
+pub fn render_figure_13() -> String {
+    let mut t = TextTable::new([
+        "Reference",
+        "System or Language",
+        "Transaction Time",
+        "Valid Time",
+        "User-defined Time",
+    ]);
+    for s in fig13_rows() {
+        t.push_row([
+            s.reference.to_string(),
+            s.system.to_string(),
+            check(s.transaction).to_string(),
+            check(s.valid).to_string(),
+            check(s.user_defined).to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_3_states_match_the_paper_drawing() {
+        let r = figure_3();
+        let states = r.states();
+        assert_eq!(states.len(), 3);
+        assert_eq!(states[0].1.len(), 3);
+        assert_eq!(states[1].1.len(), 4);
+        assert_eq!(states[2].1.len(), 4);
+        assert!(!states[2].1.contains(&tuple(["t2"])));
+        assert!(states[2].1.contains(&tuple(["t5"])));
+        // Rollback still sees the deleted tuple in earlier states.
+        assert!(r.rollback(Chronon::new(2)).contains(&tuple(["t2"])));
+    }
+
+    #[test]
+    fn figure_5_differs_from_rollback_by_the_correction() {
+        let states = figure_5();
+        let last = &states.last().unwrap().1;
+        assert_eq!(last.len(), 4, "t1, t2(closed), t4, t5 — t3 forgotten");
+        assert!(!last.rows().iter().any(|r| r.tuple == tuple(["t3"])));
+        // "There is no record kept of the errors that have been
+        // corrected": nothing in the relation mentions t3.
+    }
+
+    #[test]
+    fn figure_7_has_four_historical_states() {
+        let r = figure_7();
+        assert_eq!(r.states().len(), 4);
+        assert_eq!(r.states()[3].1.len(), 4);
+        // The erroneous tuple is still visible by rollback…
+        assert!(r
+            .rollback(Chronon::new(3))
+            .rows()
+            .iter()
+            .any(|row| row.tuple == tuple(["t3"])));
+        // …but absent from the current historical state.
+        assert!(!r
+            .current()
+            .rows()
+            .iter()
+            .any(|row| row.tuple == tuple(["t3"])));
+    }
+
+    #[test]
+    fn figure_8_current_state_is_figure_6() {
+        assert_eq!(figure_8().current(), figure_6());
+    }
+
+    #[test]
+    fn figure_9_has_the_six_paper_events() {
+        let r = figure_9();
+        assert_eq!(r.stored_tuples(), 6);
+        let rendered = render_figure_9();
+        for needle in [
+            "Merrie", "associate", "09/01/77", "08/25/77", "12/11/82", "left", "03/01/84",
+            "02/25/84", "∞",
+        ] {
+            assert!(rendered.contains(needle), "missing {needle} in:\n{rendered}");
+        }
+        // Tom's erroneous `full` promotion record was superseded on
+        // 12/07/82: its transaction period is closed.
+        let closed_tom = r
+            .rows()
+            .iter()
+            .find(|row| row.tuple.get(1).as_str() == Some("full")
+                && row.tuple.get(0).as_str() == Some("Tom"))
+            .unwrap();
+        assert_eq!(closed_tom.tx, p("12/01/82", "12/07/82"));
+    }
+
+    #[test]
+    fn rendered_tables_contain_paper_landmarks() {
+        assert!(render_figure_1().contains("Data-Valid-Time-From/To"));
+        assert!(render_figure_2().contains("Merrie | full"));
+        assert!(render_figure_4().contains("12/15/82"));
+        assert!(render_figure_6().contains("12/01/82"));
+        assert!(render_figure_8().contains("∞"));
+        assert!(render_figure_10().contains("Static Rollback"));
+        assert!(render_figure_11().contains("✓"));
+        assert!(render_figure_12().contains("Representation"));
+        assert!(render_figure_13().contains("TQuel"));
+    }
+}

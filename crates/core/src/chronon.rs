@@ -1,0 +1,172 @@
+//! The indivisible unit of the time axis.
+//!
+//! The paper treats time as a discrete axis of indivisible instants; the
+//! temporal-database literature later settled on the name *chronon* for
+//! such an instant.  ChronosDB uses a single signed 64-bit chronon axis for
+//! every kind of time — transaction time, valid time and user-defined time
+//! all take values from the same domain, exactly as in the paper where all
+//! three are calendar dates such as `12/01/82`.
+//!
+//! The interpretation of one chronon tick is fixed by the [`calendar`]
+//! module (one tick = one day, with tick 0 = 1970-01-01); nothing in this
+//! module depends on that choice.
+//!
+//! [`calendar`]: crate::calendar
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A discrete instant on the global time axis.
+///
+/// `Chronon` is a transparent wrapper over `i64` ticks.  It is `Copy`,
+/// totally ordered, and supports saturating tick arithmetic (the axis is
+/// bounded, and [`TimePoint`](crate::TimePoint) supplies the `±∞`
+/// sentinels the paper's figures use, so overflow must not wrap).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Chronon(i64);
+
+impl Chronon {
+    /// The smallest representable chronon.
+    pub const MIN: Chronon = Chronon(i64::MIN);
+    /// The largest representable chronon.
+    pub const MAX: Chronon = Chronon(i64::MAX);
+    /// The axis origin (1970-01-01 under the day calendar).
+    pub const ZERO: Chronon = Chronon(0);
+
+    /// Creates a chronon from raw ticks.
+    #[inline]
+    pub const fn new(ticks: i64) -> Self {
+        Chronon(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> i64 {
+        self.0
+    }
+
+    /// The immediately following chronon (saturating at the axis end).
+    #[inline]
+    #[must_use]
+    pub const fn succ(self) -> Self {
+        Chronon(self.0.saturating_add(1))
+    }
+
+    /// The immediately preceding chronon (saturating at the axis start).
+    #[inline]
+    #[must_use]
+    pub const fn pred(self) -> Self {
+        Chronon(self.0.saturating_sub(1))
+    }
+
+    /// Signed distance in ticks from `other` to `self`.
+    #[inline]
+    pub const fn since(self, other: Chronon) -> i64 {
+        self.0.saturating_sub(other.0)
+    }
+
+    /// The earlier of two chronons.
+    #[inline]
+    #[must_use]
+    pub fn min_of(self, other: Chronon) -> Chronon {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two chronons.
+    #[inline]
+    #[must_use]
+    pub fn max_of(self, other: Chronon) -> Chronon {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<i64> for Chronon {
+    type Output = Chronon;
+
+    #[inline]
+    fn add(self, rhs: i64) -> Chronon {
+        Chronon(self.0.saturating_add(rhs))
+    }
+}
+
+impl Sub<i64> for Chronon {
+    type Output = Chronon;
+
+    #[inline]
+    fn sub(self, rhs: i64) -> Chronon {
+        Chronon(self.0.saturating_sub(rhs))
+    }
+}
+
+impl Sub<Chronon> for Chronon {
+    type Output = i64;
+
+    #[inline]
+    fn sub(self, rhs: Chronon) -> i64 {
+        self.since(rhs)
+    }
+}
+
+impl From<i64> for Chronon {
+    #[inline]
+    fn from(ticks: i64) -> Self {
+        Chronon(ticks)
+    }
+}
+
+impl fmt::Debug for Chronon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Chronon({})", self.0)
+    }
+}
+
+impl fmt::Display for Chronon {
+    /// Displays through the day calendar when the value is within calendar
+    /// range, falling back to raw ticks.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::calendar::Date::from_chronon(*self).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = Chronon::new(10);
+        let b = Chronon::new(12);
+        assert!(a < b);
+        assert_eq!(a + 2, b);
+        assert_eq!(b - 2, a);
+        assert_eq!(b - a, 2);
+        assert_eq!(a.succ(), Chronon::new(11));
+        assert_eq!(a.pred(), Chronon::new(9));
+        assert_eq!(a.min_of(b), a);
+        assert_eq!(a.max_of(b), b);
+    }
+
+    #[test]
+    fn saturation_at_bounds() {
+        assert_eq!(Chronon::MAX.succ(), Chronon::MAX);
+        assert_eq!(Chronon::MIN.pred(), Chronon::MIN);
+        assert_eq!(Chronon::MAX + 5, Chronon::MAX);
+        assert_eq!(Chronon::MIN - 5, Chronon::MIN);
+    }
+
+    #[test]
+    fn distance_is_signed() {
+        let a = Chronon::new(10);
+        let b = Chronon::new(3);
+        assert_eq!(a.since(b), 7);
+        assert_eq!(b.since(a), -7);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for the core crate.
+
+use std::fmt;
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors arising from the time domain, relational model, or the relation
+/// classes' capability rules.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// A date literal failed to parse or validate.
+    InvalidDate(String),
+    /// A schema was malformed (duplicate attribute, empty, bad key).
+    InvalidSchema(String),
+    /// A tuple did not match its relation's schema.
+    SchemaMismatch {
+        /// What the schema expected.
+        expected: String,
+        /// What the tuple provided.
+        found: String,
+    },
+    /// A commit timestamp did not advance the transaction clock.
+    ///
+    /// Transaction time is append-only (paper, Figure 12): each commit must
+    /// carry a transaction time strictly after every earlier commit.
+    NonMonotonicCommit {
+        /// Transaction time of the latest committed transaction.
+        last: String,
+        /// The offending commit time.
+        attempted: String,
+    },
+    /// An operation was applied to a relation class that cannot support it
+    /// (e.g. correcting a past state of a rollback relation).
+    CapabilityViolation(String),
+    /// A modification referenced a row that does not exist in the current
+    /// state.
+    NoSuchRow(String),
+    /// A validity of the wrong temporal signature was supplied (interval
+    /// validity for an event relation or vice versa).
+    SignatureMismatch {
+        /// The relation's signature.
+        expected: &'static str,
+        /// The supplied validity's signature.
+        found: &'static str,
+    },
+    /// Any other domain rule violation.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidDate(m) => write!(f, "invalid date: {m}"),
+            CoreError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+            CoreError::SchemaMismatch { expected, found } => {
+                write!(f, "tuple does not match schema: expected {expected}, found {found}")
+            }
+            CoreError::NonMonotonicCommit { last, attempted } => write!(
+                f,
+                "transaction time must advance: last commit at {last}, attempted {attempted}"
+            ),
+            CoreError::CapabilityViolation(m) => write!(f, "capability violation: {m}"),
+            CoreError::NoSuchRow(m) => write!(f, "no such row: {m}"),
+            CoreError::SignatureMismatch { expected, found } => write!(
+                f,
+                "temporal signature mismatch: relation is {expected}, validity is {found}"
+            ),
+            CoreError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::NonMonotonicCommit {
+            last: "12/15/82".into(),
+            attempted: "12/10/82".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("12/15/82") && s.contains("12/10/82"));
+        assert!(CoreError::InvalidDate("x".into()).to_string().contains("invalid date"));
+    }
+}

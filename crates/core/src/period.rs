@@ -1,0 +1,560 @@
+//! Periods (time intervals) and their algebra.
+//!
+//! A [`Period`] is a half-open interval `[start, end)` of [`TimePoint`]s.
+//! Half-open periods compose without gaps or double counting: the paper's
+//! Figure 6 row `Merrie associate [09/01/77, 12/01/82)` meets
+//! `Merrie full [12/01/82, ∞)` exactly.
+//!
+//! Besides set operations (intersection, union of adjacent periods,
+//! difference), this module implements:
+//!
+//! * **Allen's thirteen interval relations** ([`AllenRelation`]), the
+//!   standard vocabulary for "the temporal relationship of tuples
+//!   participating in a derivation" that the paper's `when` clause needs;
+//! * the **TQuel temporal constructors** `start of`, `end of` and
+//!   `extend`, and the **TQuel predicates** `overlap`, `precede` and
+//!   `equal` used in the paper's example queries.
+
+use std::fmt;
+
+use crate::chronon::Chronon;
+use crate::timepoint::TimePoint;
+
+/// A half-open period `[start, end)` on the compactified time axis.
+///
+/// A period with `start >= end` is *empty*; all empty periods compare
+/// equal through [`Period::is_empty`] but retain their endpoints.
+/// Construction via [`Period::new`] never produces `start > end`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Period {
+    start: TimePoint,
+    end: TimePoint,
+}
+
+impl Period {
+    /// The full axis `(-∞, ∞)`.
+    pub const ALWAYS: Period = Period {
+        start: TimePoint::MinusInfinity,
+        end: TimePoint::PlusInfinity,
+    };
+
+    /// The canonical empty period.
+    pub const EMPTY: Period = Period {
+        start: TimePoint::PlusInfinity,
+        end: TimePoint::PlusInfinity,
+    };
+
+    /// Creates `[start, end)`, returning `None` when `start > end`.
+    #[inline]
+    pub fn new(start: impl Into<TimePoint>, end: impl Into<TimePoint>) -> Option<Period> {
+        let (start, end) = (start.into(), end.into());
+        if start > end {
+            None
+        } else {
+            Some(Period { start, end })
+        }
+    }
+
+    /// Creates `[start, end)`, clamping a backwards pair to empty.
+    #[inline]
+    pub fn clamped(start: impl Into<TimePoint>, end: impl Into<TimePoint>) -> Period {
+        let (start, end) = (start.into(), end.into());
+        if start > end {
+            Period::EMPTY
+        } else {
+            Period { start, end }
+        }
+    }
+
+    /// `[start, ∞)` — "valid until further notice", the `∞` rows of the
+    /// paper's figures.
+    #[inline]
+    pub fn from_start(start: impl Into<TimePoint>) -> Period {
+        Period {
+            start: start.into(),
+            end: TimePoint::PlusInfinity,
+        }
+    }
+
+    /// `(-∞, end)`.
+    #[inline]
+    pub fn until(end: impl Into<TimePoint>) -> Period {
+        Period {
+            start: TimePoint::MinusInfinity,
+            end: end.into(),
+        }
+    }
+
+    /// The degenerate period holding the single chronon `c`: `[c, c+1)`.
+    ///
+    /// Event relations (paper Figure 9) and `start of` / `end of`
+    /// expressions denote instants; representing an instant as a
+    /// one-chronon period lets every temporal predicate work uniformly on
+    /// periods.
+    #[inline]
+    pub fn instant(c: Chronon) -> Period {
+        Period {
+            start: TimePoint::Finite(c),
+            end: TimePoint::Finite(c.succ()),
+        }
+    }
+
+    /// The degenerate period at a time point; infinite points yield an
+    /// empty period anchored at that point.
+    #[inline]
+    pub fn instant_at(p: TimePoint) -> Period {
+        match p {
+            TimePoint::Finite(c) => Period::instant(c),
+            other => Period {
+                start: other,
+                end: other,
+            },
+        }
+    }
+
+    /// The inclusive start (`from` / `(start)` column of the figures).
+    #[inline]
+    pub const fn start(self) -> TimePoint {
+        self.start
+    }
+
+    /// The exclusive end (`to` / `(end)` column of the figures).
+    #[inline]
+    pub const fn end(self) -> TimePoint {
+        self.end
+    }
+
+    /// True iff the period contains no chronon.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Number of chronons covered, if finite.
+    pub fn duration(self) -> Option<i64> {
+        match (self.start, self.end) {
+            _ if self.is_empty() => Some(0),
+            (TimePoint::Finite(s), TimePoint::Finite(e)) => Some(e.since(s)),
+            _ => None,
+        }
+    }
+
+    /// True iff the period contains the chronon `c`.
+    #[inline]
+    pub fn contains(self, c: Chronon) -> bool {
+        let p = TimePoint::Finite(c);
+        self.start <= p && p < self.end
+    }
+
+    /// True iff the period contains the time point `p`.
+    ///
+    /// `-∞` is a member only of periods starting at `-∞`; `+∞` is a member
+    /// of no half-open period but is treated as contained when the period
+    /// extends to `+∞`, matching the paper's reading of a `∞` end as
+    /// "still valid now and into the future".
+    #[inline]
+    pub fn contains_point(self, p: TimePoint) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        match p {
+            TimePoint::PlusInfinity => self.end == TimePoint::PlusInfinity,
+            _ => self.start <= p && p < self.end,
+        }
+    }
+
+    /// True iff `other` lies entirely within `self`.
+    #[inline]
+    pub fn encloses(self, other: Period) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// TQuel `overlap`: the two periods share at least one chronon
+    /// (instants being one-chronon periods).
+    #[inline]
+    pub fn overlaps(self, other: Period) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// TQuel `precede`: every chronon of `self` is before every chronon of
+    /// `other` (adjacency counts: `[a,b)` precedes `[b,c)`).
+    #[inline]
+    pub fn precedes(self, other: Period) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        self.end <= other.start
+    }
+
+    /// Periods that together cover `[min(start), max(end))` without a gap.
+    #[inline]
+    pub fn meets_or_overlaps(self, other: Period) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Intersection (possibly empty).
+    #[inline]
+    #[must_use]
+    pub fn intersect(self, other: Period) -> Period {
+        let start = self.start.max_of(other.start);
+        let end = self.end.min_of(other.end);
+        if start >= end {
+            Period::EMPTY
+        } else {
+            Period { start, end }
+        }
+    }
+
+    /// Union, defined only when the periods meet or overlap (otherwise the
+    /// result would not be a period).
+    #[must_use]
+    pub fn union(self, other: Period) -> Option<Period> {
+        if self.is_empty() {
+            return Some(other);
+        }
+        if other.is_empty() {
+            return Some(self);
+        }
+        if self.meets_or_overlaps(other) {
+            Some(Period {
+                start: self.start.min_of(other.start),
+                end: self.end.max_of(other.end),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// TQuel `extend`: the smallest period covering both operands
+    /// (`e1 extend e2` = from the earlier start to the later end), defined
+    /// even across a gap.
+    #[must_use]
+    pub fn extend(self, other: Period) -> Period {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        Period {
+            start: self.start.min_of(other.start),
+            end: self.end.max_of(other.end),
+        }
+    }
+
+    /// Set difference `self \ other`, yielding zero, one or two pieces.
+    pub fn difference(self, other: Period) -> (Option<Period>, Option<Period>) {
+        if self.is_empty() {
+            return (None, None);
+        }
+        let cut = self.intersect(other);
+        if cut.is_empty() {
+            return (Some(self), None);
+        }
+        let left = if self.start < cut.start {
+            Some(Period {
+                start: self.start,
+                end: cut.start,
+            })
+        } else {
+            None
+        };
+        let right = if cut.end < self.end {
+            Some(Period {
+                start: cut.end,
+                end: self.end,
+            })
+        } else {
+            None
+        };
+        (left, right)
+    }
+
+    /// TQuel `start of`: the instant at which the period begins.
+    #[must_use]
+    pub fn start_of(self) -> Period {
+        Period::instant_at(self.start)
+    }
+
+    /// TQuel `end of`: the instant at which the period ends.
+    ///
+    /// For a period ending at a finite `e`, `end of` denotes the last
+    /// chronon *inside* the period (`e - 1`), matching the inclusive
+    /// endpoints printed in the paper's tables.
+    #[must_use]
+    pub fn end_of(self) -> Period {
+        match self.end {
+            TimePoint::Finite(e) if !self.is_empty() => Period::instant(e.pred()),
+            _ => Period::instant_at(self.end),
+        }
+    }
+
+    /// Classifies the pair under Allen's thirteen interval relations.
+    ///
+    /// Both periods must be non-empty (empty periods have no Allen
+    /// classification); returns `None` otherwise.
+    pub fn allen(self, other: Period) -> Option<AllenRelation> {
+        use std::cmp::Ordering::*;
+        if self.is_empty() || other.is_empty() {
+            return None;
+        }
+        let (s1, e1, s2, e2) = (self.start, self.end, other.start, other.end);
+        Some(match (s1.cmp(&s2), e1.cmp(&e2)) {
+            (Equal, Equal) => AllenRelation::Equal,
+            (Equal, Less) => AllenRelation::Starts,
+            (Equal, Greater) => AllenRelation::StartedBy,
+            (Greater, Equal) => AllenRelation::Finishes,
+            (Less, Equal) => AllenRelation::FinishedBy,
+            (Less, Less) => {
+                if e1 < s2 {
+                    AllenRelation::Before
+                } else if e1 == s2 {
+                    AllenRelation::Meets
+                } else {
+                    AllenRelation::Overlaps
+                }
+            }
+            (Less, Greater) => AllenRelation::Contains,
+            (Greater, Less) => AllenRelation::During,
+            (Greater, Greater) => {
+                if s1 > e2 {
+                    AllenRelation::After
+                } else if s1 == e2 {
+                    AllenRelation::MetBy
+                } else {
+                    AllenRelation::OverlappedBy
+                }
+            }
+        })
+    }
+}
+
+impl From<Chronon> for Period {
+    /// A chronon converts to the instant period containing it.
+    fn from(c: Chronon) -> Self {
+        Period::instant(c)
+    }
+}
+
+impl fmt::Debug for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}, {:?})", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Allen's thirteen qualitative relations between two non-empty intervals.
+///
+/// `LEGOL 2.0` and TQuel expose a subset (`precede`, `overlap`, `equal`);
+/// the full set is provided because historical-query languages are built
+/// from it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AllenRelation {
+    /// `self` ends strictly before `other` starts.
+    Before,
+    /// `self` ends exactly where `other` starts.
+    Meets,
+    /// proper overlap with `self` starting first.
+    Overlaps,
+    /// same start, `self` ends first.
+    Starts,
+    /// `self` strictly inside `other`.
+    During,
+    /// same end, `self` starts later.
+    Finishes,
+    /// identical intervals.
+    Equal,
+    /// same end, `self` starts earlier (inverse of `Finishes`).
+    FinishedBy,
+    /// `other` strictly inside `self` (inverse of `During`).
+    Contains,
+    /// same start, `self` ends later (inverse of `Starts`).
+    StartedBy,
+    /// proper overlap with `other` starting first (inverse of `Overlaps`).
+    OverlappedBy,
+    /// `other` ends exactly where `self` starts (inverse of `Meets`).
+    MetBy,
+    /// `self` starts strictly after `other` ends (inverse of `Before`).
+    After,
+}
+
+impl AllenRelation {
+    /// The inverse relation (swap the operands).
+    #[must_use]
+    pub fn inverse(self) -> AllenRelation {
+        use AllenRelation::*;
+        match self {
+            Before => After,
+            Meets => MetBy,
+            Overlaps => OverlappedBy,
+            Starts => StartedBy,
+            During => Contains,
+            Finishes => FinishedBy,
+            Equal => Equal,
+            FinishedBy => Finishes,
+            Contains => During,
+            StartedBy => Starts,
+            OverlappedBy => Overlaps,
+            MetBy => Meets,
+            After => Before,
+        }
+    }
+
+    /// True for the relations in which the intervals share a chronon
+    /// (TQuel `overlap`).
+    pub fn is_overlapping(self) -> bool {
+        use AllenRelation::*;
+        !matches!(self, Before | Meets | MetBy | After)
+    }
+}
+
+impl fmt::Display for AllenRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AllenRelation::Before => "before",
+            AllenRelation::Meets => "meets",
+            AllenRelation::Overlaps => "overlaps",
+            AllenRelation::Starts => "starts",
+            AllenRelation::During => "during",
+            AllenRelation::Finishes => "finishes",
+            AllenRelation::Equal => "equal",
+            AllenRelation::FinishedBy => "finished-by",
+            AllenRelation::Contains => "contains",
+            AllenRelation::StartedBy => "started-by",
+            AllenRelation::OverlappedBy => "overlapped-by",
+            AllenRelation::MetBy => "met-by",
+            AllenRelation::After => "after",
+        };
+        f.pad(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(a: i64, b: i64) -> Period {
+        Period::new(Chronon::new(a), Chronon::new(b)).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_backwards() {
+        assert!(Period::new(Chronon::new(5), Chronon::new(3)).is_none());
+        assert!(Period::new(Chronon::new(3), Chronon::new(3)).unwrap().is_empty());
+        assert_eq!(Period::clamped(Chronon::new(5), Chronon::new(3)), Period::EMPTY);
+    }
+
+    #[test]
+    fn contains_half_open() {
+        let q = p(2, 5);
+        assert!(!q.contains(Chronon::new(1)));
+        assert!(q.contains(Chronon::new(2)));
+        assert!(q.contains(Chronon::new(4)));
+        assert!(!q.contains(Chronon::new(5)));
+    }
+
+    #[test]
+    fn contains_point_at_infinity() {
+        let open = Period::from_start(Chronon::new(3));
+        assert!(open.contains_point(TimePoint::INFINITY));
+        assert!(!p(0, 9).contains_point(TimePoint::INFINITY));
+        assert!(Period::ALWAYS.contains_point(TimePoint::MINUS_INFINITY));
+        assert!(!p(0, 9).contains_point(TimePoint::MINUS_INFINITY));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        assert_eq!(p(1, 5).intersect(p(3, 9)), p(3, 5));
+        assert!(p(1, 3).intersect(p(3, 5)).is_empty());
+        assert_eq!(p(1, 3).union(p(3, 5)), Some(p(1, 5)));
+        assert_eq!(p(1, 2).union(p(4, 5)), None);
+        assert_eq!(p(1, 2).extend(p(4, 5)), p(1, 5));
+    }
+
+    #[test]
+    fn difference_pieces() {
+        let (l, r) = p(1, 9).difference(p(3, 5));
+        assert_eq!((l, r), (Some(p(1, 3)), Some(p(5, 9))));
+        let (l, r) = p(1, 9).difference(p(0, 10));
+        assert_eq!((l, r), (None, None));
+        let (l, r) = p(1, 9).difference(p(20, 30));
+        assert_eq!((l, r), (Some(p(1, 9)), None));
+        let (l, r) = p(1, 9).difference(p(1, 5));
+        assert_eq!((l, r), (None, Some(p(5, 9))));
+    }
+
+    #[test]
+    fn tquel_predicates() {
+        // Figure 6 query: Merrie's `full` period overlaps the start of
+        // Tom's period.
+        let merrie_full = Period::from_start(Chronon::new(100));
+        let tom = Period::from_start(Chronon::new(104));
+        assert!(merrie_full.overlaps(tom.start_of()));
+        let merrie_assoc = p(0, 100);
+        assert!(!merrie_assoc.overlaps(tom.start_of()));
+        assert!(merrie_assoc.precedes(tom));
+        assert!(!tom.precedes(merrie_assoc));
+    }
+
+    #[test]
+    fn start_and_end_of() {
+        let q = p(2, 7);
+        assert_eq!(q.start_of(), Period::instant(Chronon::new(2)));
+        assert_eq!(q.end_of(), Period::instant(Chronon::new(6)));
+        let open = Period::from_start(Chronon::new(2));
+        assert_eq!(open.end_of().start(), TimePoint::INFINITY);
+        assert!(open.end_of().is_empty());
+    }
+
+    #[test]
+    fn allen_all_thirteen() {
+        use AllenRelation::*;
+        let cases = [
+            (p(0, 2), p(5, 8), Before),
+            (p(0, 5), p(5, 8), Meets),
+            (p(0, 6), p(5, 8), Overlaps),
+            (p(5, 6), p(5, 8), Starts),
+            (p(6, 7), p(5, 8), During),
+            (p(6, 8), p(5, 8), Finishes),
+            (p(5, 8), p(5, 8), Equal),
+            (p(4, 8), p(5, 8), FinishedBy),
+            (p(4, 9), p(5, 8), Contains),
+            (p(5, 9), p(5, 8), StartedBy),
+            (p(6, 9), p(5, 8), OverlappedBy),
+            (p(8, 9), p(5, 8), MetBy),
+            (p(9, 12), p(5, 8), After),
+        ];
+        for (a, b, expect) in cases {
+            assert_eq!(a.allen(b), Some(expect), "{a:?} vs {b:?}");
+            assert_eq!(b.allen(a), Some(expect.inverse()), "inverse {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn allen_empty_is_unclassified() {
+        assert_eq!(Period::EMPTY.allen(p(0, 1)), None);
+        assert_eq!(p(0, 1).allen(Period::EMPTY), None);
+    }
+
+    #[test]
+    fn overlap_matches_allen() {
+        let samples = [p(0, 2), p(0, 5), p(2, 5), p(4, 9), p(5, 6), Period::ALWAYS];
+        for a in samples {
+            for b in samples {
+                let via_allen = a.allen(b).map(AllenRelation::is_overlapping);
+                assert_eq!(Some(a.overlaps(b)), via_allen, "{a:?} vs {b:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! Historical relations (paper §4.3).
+//!
+//! "Historical databases record a single historical state per relation,
+//! storing the history as it is best known.  As errors are discovered,
+//! they are corrected by modifying the database.  Previous states are not
+//! retained…  Historical databases must represent valid time, the time
+//! that the stored information models reality."
+//!
+//! A [`HistoricalRelation`] is therefore a *mutable* set of valid-time
+//! stamped tuples: inserts record newly learned facts, removals retract
+//! errors, and [`set_validity`] corrects *when* a fact held.  Unlike
+//! rollback relations there is no memory of the corrections themselves —
+//! that requires a temporal relation.
+//!
+//! [`set_validity`]: HistoricalRelation::set_validity
+
+use crate::chronon::Chronon;
+use crate::error::{CoreError, CoreResult};
+use crate::period::Period;
+use crate::relation::static_rel::StaticRelation;
+use crate::relation::{HistoricalOp, RowSelector, Validity};
+use crate::schema::{Schema, TemporalSignature};
+use crate::tuple::Tuple;
+
+/// A valid-time stamped row of a historical relation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct HistoricalRow {
+    /// The explicit attribute values.
+    pub tuple: Tuple,
+    /// When the information is true in reality (Figure 6's `(from)`/`(to)`
+    /// columns, or Figure 9's `(at)`).
+    pub validity: Validity,
+}
+
+/// The single, correctable historical state of a relation.
+#[derive(Clone, Debug)]
+pub struct HistoricalRelation {
+    schema: Schema,
+    signature: TemporalSignature,
+    rows: Vec<HistoricalRow>,
+    /// Exact-row index for O(1) duplicate detection (rows are unique).
+    present: std::collections::HashSet<HistoricalRow>,
+}
+
+impl HistoricalRelation {
+    /// Creates an empty historical relation.
+    pub fn new(schema: Schema, signature: TemporalSignature) -> HistoricalRelation {
+        HistoricalRelation {
+            schema,
+            signature,
+            rows: Vec::new(),
+            present: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The relation's schema (explicit attributes only — valid time is
+    /// tuple overhead, not a schema column).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Interval or event relation.
+    pub fn signature(&self) -> TemporalSignature {
+        self.signature
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows in insertion order.
+    pub fn rows(&self) -> &[HistoricalRow] {
+        &self.rows
+    }
+
+    /// Iterates `(tuple, validity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &HistoricalRow> {
+        self.rows.iter()
+    }
+
+    /// Records new information.  Errors on schema or signature mismatch,
+    /// or an exact duplicate row.
+    pub fn insert(&mut self, tuple: Tuple, validity: impl Into<Validity>) -> CoreResult<()> {
+        let validity = validity.into();
+        self.schema.check(&tuple)?;
+        validity.check_signature(self.signature)?;
+        if let Validity::Interval(p) = validity {
+            if p.is_empty() {
+                return Err(CoreError::Invalid(format!(
+                    "empty validity period {p} for tuple {tuple}"
+                )));
+            }
+        }
+        let row = HistoricalRow { tuple, validity };
+        if !self.present.insert(row.clone()) {
+            return Err(CoreError::Invalid(format!(
+                "duplicate historical row {} valid {}",
+                row.tuple, row.validity
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Retracts rows matching the selector, returning how many were
+    /// removed.  Errors if none match (retracting nothing is almost
+    /// always a bug in the caller).
+    pub fn remove(&mut self, selector: &RowSelector) -> CoreResult<usize> {
+        let before = self.rows.len();
+        let present = &mut self.present;
+        self.rows.retain(|r| {
+            if selector.matches(&r.tuple, r.validity) {
+                present.remove(r);
+                false
+            } else {
+                true
+            }
+        });
+        let removed = before - self.rows.len();
+        if removed == 0 {
+            return Err(CoreError::NoSuchRow(format!(
+                "no row matches {:?}",
+                selector.tuple.to_string()
+            )));
+        }
+        Ok(removed)
+    }
+
+    /// Corrects the validity of the matching rows, returning how many
+    /// were restamped.  Errors if none match, on signature mismatch, or
+    /// if the correction would duplicate an existing row.
+    pub fn set_validity(
+        &mut self,
+        selector: &RowSelector,
+        validity: impl Into<Validity>,
+    ) -> CoreResult<usize> {
+        let validity = validity.into();
+        validity.check_signature(self.signature)?;
+        if let Validity::Interval(p) = validity {
+            if p.is_empty() {
+                return Err(CoreError::Invalid(format!("empty corrected period {p}")));
+            }
+        }
+        let targets: Vec<usize> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| selector.matches(&r.tuple, r.validity))
+            .map(|(i, _)| i)
+            .collect();
+        if targets.is_empty() {
+            return Err(CoreError::NoSuchRow(format!(
+                "no row matches {:?}",
+                selector.tuple.to_string()
+            )));
+        }
+        // Restamp through the exact-row index: drop the targets' old
+        // keys, then claim the new ones, undoing on a clash so the
+        // relation is unchanged on error.
+        for &i in &targets {
+            self.present.remove(&self.rows[i]);
+        }
+        for (n, &i) in targets.iter().enumerate() {
+            let would_be = HistoricalRow {
+                tuple: self.rows[i].tuple.clone(),
+                validity,
+            };
+            if !self.present.insert(would_be) {
+                // Undo: release the new keys claimed so far, restore the
+                // old ones.
+                for &j in &targets[..n] {
+                    self.present.remove(&HistoricalRow {
+                        tuple: self.rows[j].tuple.clone(),
+                        validity,
+                    });
+                }
+                for &j in &targets {
+                    self.present.insert(self.rows[j].clone());
+                }
+                return Err(CoreError::Invalid(format!(
+                    "correction would duplicate row {} valid {validity}",
+                    self.rows[i].tuple
+                )));
+            }
+        }
+        for i in targets.iter() {
+            self.rows[*i].validity = validity;
+        }
+        Ok(targets.len())
+    }
+
+    /// Applies a batch of historical operations; on any error the relation
+    /// is left unchanged.
+    pub fn apply(&mut self, ops: &[HistoricalOp]) -> CoreResult<()> {
+        let mut scratch = self.clone();
+        for op in ops {
+            match op {
+                HistoricalOp::Insert { tuple, validity } => {
+                    scratch.insert(tuple.clone(), *validity)?;
+                }
+                HistoricalOp::Remove { selector } => {
+                    scratch.remove(selector)?;
+                }
+                HistoricalOp::SetValidity { selector, validity } => {
+                    scratch.set_validity(selector, *validity)?;
+                }
+            }
+        }
+        *self = scratch;
+        Ok(())
+    }
+
+    /// The historical timeslice τ_t: the static relation of tuples valid
+    /// at chronon `t`, *as currently best known*.
+    pub fn valid_at(&self, t: Chronon) -> StaticRelation {
+        let mut out = StaticRelation::new(self.schema.clone());
+        for row in &self.rows {
+            if row.validity.valid_at(t) && !out.contains(&row.tuple) {
+                out.insert(row.tuple.clone())
+                    .expect("schema-checked tuples re-insert cleanly");
+            }
+        }
+        out
+    }
+
+    /// Rows whose validity period overlaps `p`.
+    pub fn overlapping(&self, p: Period) -> impl Iterator<Item = &HistoricalRow> {
+        self.rows.iter().filter(move |r| r.validity.period().overlaps(p))
+    }
+
+    /// Canonical sorted copy of the rows (for order-insensitive
+    /// comparison and rendering).
+    pub fn sorted_rows(&self) -> Vec<HistoricalRow> {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            (&a.tuple, a.validity.period().start(), a.validity.period().end()).cmp(&(
+                &b.tuple,
+                b.validity.period().start(),
+                b.validity.period().end(),
+            ))
+        });
+        rows
+    }
+}
+
+impl PartialEq for HistoricalRelation {
+    /// Order-insensitive: two historical relations are equal when they
+    /// hold the same set of rows.
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.signature == other.signature
+            && self.sorted_rows() == other.sorted_rows()
+    }
+}
+
+impl Eq for HistoricalRelation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::date;
+    use crate::schema::faculty_schema;
+    use crate::tuple::tuple;
+
+    /// Builds the paper's Figure 6 historical `faculty` relation.
+    pub(crate) fn figure_6() -> HistoricalRelation {
+        let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
+        r.insert(
+            tuple(["Merrie", "associate"]),
+            Period::new(date("09/01/77").unwrap(), date("12/01/82").unwrap()).unwrap(),
+        )
+        .unwrap();
+        r.insert(tuple(["Merrie", "full"]), Period::from_start(date("12/01/82").unwrap()))
+            .unwrap();
+        r.insert(tuple(["Tom", "associate"]), Period::from_start(date("12/05/82").unwrap()))
+            .unwrap();
+        r.insert(
+            tuple(["Mike", "assistant"]),
+            Period::new(date("01/01/83").unwrap(), date("03/01/84").unwrap()).unwrap(),
+        )
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn figure_6_timeslices() {
+        let r = figure_6();
+        assert_eq!(r.len(), 4);
+        // On 12/03/82 Merrie is full (promoted 12/01) and Tom not yet hired.
+        let s = r.valid_at(date("12/03/82").unwrap());
+        assert!(s.contains(&tuple(["Merrie", "full"])));
+        assert!(!s.contains(&tuple(["Tom", "associate"])));
+        // Historical query: Merrie's rank two years before 12/82.
+        let s = r.valid_at(date("12/01/80").unwrap());
+        assert!(s.contains(&tuple(["Merrie", "associate"])));
+        assert!(!s.contains(&tuple(["Merrie", "full"])));
+        // After Mike left.
+        let s = r.valid_at(date("03/01/84").unwrap());
+        assert!(!s.contains(&tuple(["Mike", "assistant"])));
+    }
+
+    #[test]
+    fn corrections_modify_in_place() {
+        let mut r = figure_6();
+        // Merrie's promotion is discovered to have been 11/01/82.
+        r.set_validity(
+            &RowSelector::exact(
+                tuple(["Merrie", "full"]),
+                Period::from_start(date("12/01/82").unwrap()),
+            ),
+            Period::from_start(date("11/01/82").unwrap()),
+        )
+        .unwrap();
+        let s = r.valid_at(date("11/15/82").unwrap());
+        assert!(s.contains(&tuple(["Merrie", "full"])));
+        // No record remains of the old belief: the relation simply *is*
+        // the corrected history.
+        assert!(!r
+            .rows()
+            .iter()
+            .any(|row| row.validity.period().start()
+                == crate::timepoint::TimePoint::at(date("12/01/82").unwrap())));
+    }
+
+    #[test]
+    fn remove_retracts_errors_completely() {
+        let mut r = figure_6();
+        let removed = r.remove(&RowSelector::tuple(tuple(["Tom", "associate"]))).unwrap();
+        assert_eq!(removed, 1);
+        assert!(r.remove(&RowSelector::tuple(tuple(["Tom", "associate"]))).is_err());
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_rows_rejected() {
+        let mut r = figure_6();
+        let err = r.insert(
+            tuple(["Merrie", "full"]),
+            Period::from_start(date("12/01/82").unwrap()),
+        );
+        assert!(err.is_err());
+        // Same tuple with a different validity is fine (re-appointment).
+        r.insert(
+            tuple(["Mike", "assistant"]),
+            Period::from_start(date("01/01/85").unwrap()),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn empty_periods_rejected() {
+        let mut r = figure_6();
+        let d = date("01/01/83").unwrap();
+        assert!(r.insert(tuple(["X", "y"]), Period::new(d, d).unwrap()).is_err());
+        assert!(r
+            .set_validity(
+                &RowSelector::tuple(tuple(["Tom", "associate"])),
+                Period::new(d, d).unwrap(),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn event_relations_take_instants() {
+        let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Event);
+        let d = date("12/11/82").unwrap();
+        r.insert(tuple(["Merrie", "full"]), d).unwrap();
+        assert!(r
+            .insert(tuple(["Tom", "full"]), Period::from_start(d))
+            .is_err());
+        assert!(r.valid_at(d).contains(&tuple(["Merrie", "full"])));
+        assert!(r.valid_at(d.succ()).is_empty());
+    }
+
+    #[test]
+    fn apply_is_atomic() {
+        let mut r = figure_6();
+        let snapshot = r.clone();
+        let bad = [
+            HistoricalOp::remove(RowSelector::tuple(tuple(["Tom", "associate"]))),
+            HistoricalOp::remove(RowSelector::tuple(tuple(["Nobody", "x"]))),
+        ];
+        assert!(r.apply(&bad).is_err());
+        assert_eq!(r, snapshot);
+    }
+
+    #[test]
+    fn equality_is_order_insensitive() {
+        let a = figure_6();
+        let mut b = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
+        for row in a.sorted_rows().into_iter().rev() {
+            b.insert(row.tuple, row.validity).unwrap();
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlapping_scan() {
+        let r = figure_6();
+        let q = Period::new(date("01/01/83").unwrap(), date("01/01/84").unwrap()).unwrap();
+        let names: Vec<_> = r
+            .overlapping(q)
+            .map(|row| row.tuple.get(0).as_str().unwrap().to_string())
+            .collect();
+        assert!(names.contains(&"Merrie".to_string())); // full, open-ended
+        assert!(names.contains(&"Tom".to_string()));
+        assert!(names.contains(&"Mike".to_string()));
+        assert_eq!(names.len(), 3);
+    }
+}

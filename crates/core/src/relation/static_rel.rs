@@ -1,0 +1,259 @@
+//! Static relations (paper §4.1).
+//!
+//! "Conventional databases model the real world, as it changes
+//! dynamically, by a snapshot at a particular point in time. … In this
+//! process, past states of the database, and those of the real world, are
+//! discarded and forgotten completely."
+//!
+//! [`StaticRelation`] is that snapshot: a set of tuples under a schema,
+//! mutated destructively.  It is also the *result type* of a rollback
+//! operation ("the result of a query on a static rollback database is a
+//! pure static relation") and the building block of the snapshot-cube
+//! stores.
+
+use std::collections::HashSet;
+
+use crate::error::{CoreError, CoreResult};
+use crate::relation::StaticOp;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// A set of tuples under a schema, in first-insertion order.
+#[derive(Clone, Debug)]
+pub struct StaticRelation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    present: HashSet<Tuple>,
+}
+
+impl StaticRelation {
+    /// Creates an empty relation.
+    pub fn new(schema: Schema) -> StaticRelation {
+        StaticRelation {
+            schema,
+            tuples: Vec::new(),
+            present: HashSet::new(),
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation holds no tuples (the paper's "null
+    /// relation").
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// True iff the tuple is present.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.present.contains(t)
+    }
+
+    /// Iterates tuples in first-insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Adds a tuple.  Errors on schema mismatch or duplicate (relations
+    /// are sets).
+    pub fn insert(&mut self, t: Tuple) -> CoreResult<()> {
+        self.schema.check(&t)?;
+        if !self.present.insert(t.clone()) {
+            return Err(CoreError::Invalid(format!("duplicate tuple {t}")));
+        }
+        self.tuples.push(t);
+        Ok(())
+    }
+
+    /// Removes a tuple.  Errors if absent.
+    pub fn delete(&mut self, t: &Tuple) -> CoreResult<()> {
+        if !self.present.remove(t) {
+            return Err(CoreError::NoSuchRow(t.to_string()));
+        }
+        let idx = self
+            .tuples
+            .iter()
+            .position(|u| u == t)
+            .expect("present set and tuple list agree");
+        self.tuples.remove(idx);
+        Ok(())
+    }
+
+    /// Removes every tuple satisfying `pred`, returning how many were
+    /// removed.
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Tuple) -> bool) -> usize {
+        let before = self.tuples.len();
+        let present = &mut self.present;
+        self.tuples.retain(|t| {
+            if pred(t) {
+                present.remove(t);
+                false
+            } else {
+                true
+            }
+        });
+        before - self.tuples.len()
+    }
+
+    /// Replaces `old` by `new` atomically.
+    pub fn replace(&mut self, old: &Tuple, new: Tuple) -> CoreResult<()> {
+        self.schema.check(&new)?;
+        if !self.present.contains(old) {
+            return Err(CoreError::NoSuchRow(old.to_string()));
+        }
+        if old != &new && self.present.contains(&new) {
+            return Err(CoreError::Invalid(format!("duplicate tuple {new}")));
+        }
+        let idx = self
+            .tuples
+            .iter()
+            .position(|u| u == old)
+            .expect("present set and tuple list agree");
+        self.present.remove(old);
+        self.present.insert(new.clone());
+        self.tuples[idx] = new;
+        Ok(())
+    }
+
+    /// Applies a batch of static operations in order; on any error the
+    /// relation is left unchanged.
+    pub fn apply(&mut self, ops: &[StaticOp]) -> CoreResult<()> {
+        let mut scratch = self.clone();
+        for op in ops {
+            match op {
+                StaticOp::Insert(t) => scratch.insert(t.clone())?,
+                StaticOp::Delete(t) => scratch.delete(t)?,
+                StaticOp::Replace { old, new } => scratch.replace(old, new.clone())?,
+            }
+        }
+        *self = scratch;
+        Ok(())
+    }
+
+    /// Set equality, ignoring tuple order.
+    pub fn set_eq(&self, other: &StaticRelation) -> bool {
+        self.schema == other.schema && self.present == other.present
+    }
+
+    /// The tuples as a sorted vector (canonical order for comparisons and
+    /// rendering).
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v = self.tuples.clone();
+        v.sort();
+        v
+    }
+}
+
+impl PartialEq for StaticRelation {
+    /// Relations are sets: equality ignores insertion order.
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+
+impl Eq for StaticRelation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::faculty_schema;
+    use crate::tuple::tuple;
+
+    fn rel() -> StaticRelation {
+        StaticRelation::new(faculty_schema())
+    }
+
+    #[test]
+    fn figure_2_static_relation() {
+        // An instance of a relation `faculty` at a certain moment.
+        let mut r = rel();
+        r.insert(tuple(["Merrie", "full"])).unwrap();
+        r.insert(tuple(["Tom", "associate"])).unwrap();
+        assert_eq!(r.len(), 2);
+        // Quel: retrieve (f.rank) where f.name = "Merrie"  =>  full
+        let ranks: Vec<_> = r
+            .iter()
+            .filter(|t| t.get(0).as_str() == Some("Merrie"))
+            .map(|t| t.get(1).as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(ranks, ["full"]);
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut r = rel();
+        let t = tuple(["Tom", "associate"]);
+        r.insert(t.clone()).unwrap();
+        assert!(r.insert(t.clone()).is_err());
+        assert!(r.contains(&t));
+        r.delete(&t).unwrap();
+        assert!(r.delete(&t).is_err());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn replace_is_atomic() {
+        let mut r = rel();
+        r.insert(tuple(["Merrie", "associate"])).unwrap();
+        r.insert(tuple(["Merrie", "full"])).unwrap();
+        // Replacing onto an existing tuple must fail and change nothing.
+        let err = r.replace(&tuple(["Merrie", "associate"]), tuple(["Merrie", "full"]));
+        assert!(err.is_err());
+        assert_eq!(r.len(), 2);
+        r.replace(&tuple(["Merrie", "associate"]), tuple(["Merrie", "emeritus"]))
+            .unwrap();
+        assert!(r.contains(&tuple(["Merrie", "emeritus"])));
+        assert!(!r.contains(&tuple(["Merrie", "associate"])));
+    }
+
+    #[test]
+    fn apply_is_all_or_nothing() {
+        let mut r = rel();
+        r.insert(tuple(["Tom", "associate"])).unwrap();
+        let bad = [
+            StaticOp::Insert(tuple(["Mike", "assistant"])),
+            StaticOp::Delete(tuple(["Nobody", "here"])),
+        ];
+        assert!(r.apply(&bad).is_err());
+        assert_eq!(r.len(), 1);
+        assert!(!r.contains(&tuple(["Mike", "assistant"])));
+        let good = [
+            StaticOp::Insert(tuple(["Mike", "assistant"])),
+            StaticOp::Replace {
+                old: tuple(["Tom", "associate"]),
+                new: tuple(["Tom", "full"]),
+            },
+        ];
+        r.apply(&good).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&tuple(["Tom", "full"])));
+    }
+
+    #[test]
+    fn delete_where_and_equality() {
+        let mut a = rel();
+        a.insert(tuple(["Merrie", "full"])).unwrap();
+        a.insert(tuple(["Tom", "associate"])).unwrap();
+        let mut b = rel();
+        b.insert(tuple(["Tom", "associate"])).unwrap();
+        b.insert(tuple(["Merrie", "full"])).unwrap();
+        assert_eq!(a, b); // order-insensitive
+        let n = a.delete_where(|t| t.get(1).as_str() == Some("associate"));
+        assert_eq!(n, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn schema_enforced() {
+        let mut r = rel();
+        assert!(r.insert(Tuple::new(vec![crate::value::Value::Int(3)])).is_err());
+    }
+}

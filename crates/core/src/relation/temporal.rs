@@ -1,0 +1,586 @@
+//! Temporal (bitemporal) relations (paper §4.4).
+//!
+//! "A temporal relation may be thought of as a sequence of historical
+//! states, each of which is a complete historical relation.  The rollback
+//! operation on a temporal relation selects a particular historical
+//! state, on which an historical query may be performed.  Each
+//! transaction causes a new historical state to be created; hence,
+//! temporal relations are append-only."
+//!
+//! As with rollback relations, two implementations share the
+//! [`TemporalStore`] interface:
+//!
+//! * [`SnapshotTemporal`] — the conceptual form of Figure 7: one complete
+//!   historical relation per transaction;
+//! * [`BitemporalTable`] — the practical form of Figure 8: each tuple
+//!   carries both a valid-time stamp and a transaction-time period.
+//!
+//! A temporal relation "makes it possible to view tuples valid at some
+//! moment seen as of some other moment, completely capturing the history
+//! of retroactive/postactive changes".
+
+use crate::chronon::Chronon;
+use crate::error::{CoreError, CoreResult};
+use crate::period::Period;
+use crate::relation::historical::HistoricalRelation;
+use crate::relation::{HistoricalOp, RowSelector, Validity};
+use crate::schema::{Schema, TemporalSignature};
+use crate::timepoint::TimePoint;
+use crate::tuple::Tuple;
+
+/// Common interface of the two temporal-relation implementations.
+pub trait TemporalStore {
+    /// The relation's schema.
+    fn schema(&self) -> &Schema;
+
+    /// Interval or event relation.
+    fn signature(&self) -> TemporalSignature;
+
+    /// Commits a transaction of historical operations at transaction time
+    /// `tx_time`, creating a new historical state.  Fails atomically on
+    /// invalid operations or a non-advancing transaction time.
+    fn commit(&mut self, tx_time: Chronon, ops: &[HistoricalOp]) -> CoreResult<()>;
+
+    /// The rollback operation: the complete historical state as of
+    /// transaction time `t` (the null relation before the first commit).
+    fn rollback(&self, t: Chronon) -> HistoricalRelation;
+
+    /// The most recent historical state — what a plain historical DBMS
+    /// would hold.
+    fn current(&self) -> HistoricalRelation;
+
+    /// The transaction time of the latest commit, if any.
+    fn last_commit(&self) -> Option<Chronon>;
+
+    /// Number of committed transactions.
+    fn transactions(&self) -> usize;
+
+    /// Total rows physically stored (space metric of experiment E15).
+    fn stored_tuples(&self) -> usize;
+
+    /// Starts a transaction builder.
+    fn begin(&mut self) -> TemporalTx<'_, Self>
+    where
+        Self: Sized,
+    {
+        TemporalTx {
+            store: self,
+            ops: Vec::new(),
+        }
+    }
+}
+
+/// A transaction being assembled against a temporal store.
+#[must_use = "a transaction does nothing until committed"]
+pub struct TemporalTx<'a, S: TemporalStore> {
+    store: &'a mut S,
+    ops: Vec<HistoricalOp>,
+}
+
+impl<S: TemporalStore> TemporalTx<'_, S> {
+    /// Stages recording new information.
+    pub fn insert(mut self, tuple: Tuple, validity: impl Into<Validity>) -> Self {
+        self.ops.push(HistoricalOp::insert(tuple, validity));
+        self
+    }
+
+    /// Stages retracting rows.
+    pub fn remove(mut self, selector: RowSelector) -> Self {
+        self.ops.push(HistoricalOp::remove(selector));
+        self
+    }
+
+    /// Stages correcting a validity.
+    pub fn set_validity(mut self, selector: RowSelector, validity: impl Into<Validity>) -> Self {
+        self.ops.push(HistoricalOp::set_validity(selector, validity));
+        self
+    }
+
+    /// Commits at `tx_time`.
+    pub fn commit(self, tx_time: Chronon) -> CoreResult<()> {
+        self.store.commit(tx_time, &self.ops)
+    }
+}
+
+fn check_monotonic(last: Option<Chronon>, attempted: Chronon) -> CoreResult<()> {
+    match last {
+        Some(l) if attempted <= l => Err(CoreError::NonMonotonicCommit {
+            last: l.to_string(),
+            attempted: attempted.to_string(),
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// The conceptual form: a complete historical relation per transaction
+/// (Figure 7's sequence of historical states).
+#[derive(Clone, Debug)]
+pub struct SnapshotTemporal {
+    schema: Schema,
+    signature: TemporalSignature,
+    states: Vec<(Chronon, HistoricalRelation)>,
+}
+
+impl SnapshotTemporal {
+    /// Creates an empty temporal relation.
+    pub fn new(schema: Schema, signature: TemporalSignature) -> SnapshotTemporal {
+        SnapshotTemporal {
+            schema,
+            signature,
+            states: Vec::new(),
+        }
+    }
+
+    /// The committed historical states, oldest first.
+    pub fn states(&self) -> &[(Chronon, HistoricalRelation)] {
+        &self.states
+    }
+}
+
+impl TemporalStore for SnapshotTemporal {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn signature(&self) -> TemporalSignature {
+        self.signature
+    }
+
+    fn commit(&mut self, tx_time: Chronon, ops: &[HistoricalOp]) -> CoreResult<()> {
+        check_monotonic(self.last_commit(), tx_time)?;
+        let mut next = self.current();
+        next.apply(ops)?;
+        self.states.push((tx_time, next));
+        Ok(())
+    }
+
+    fn rollback(&self, t: Chronon) -> HistoricalRelation {
+        self.states
+            .iter()
+            .rev()
+            .find(|(commit, _)| *commit <= t)
+            .map(|(_, state)| state.clone())
+            .unwrap_or_else(|| HistoricalRelation::new(self.schema.clone(), self.signature))
+    }
+
+    fn current(&self) -> HistoricalRelation {
+        self.states
+            .last()
+            .map(|(_, s)| s.clone())
+            .unwrap_or_else(|| HistoricalRelation::new(self.schema.clone(), self.signature))
+    }
+
+    fn last_commit(&self) -> Option<Chronon> {
+        self.states.last().map(|(c, _)| *c)
+    }
+
+    fn transactions(&self) -> usize {
+        self.states.len()
+    }
+
+    fn stored_tuples(&self) -> usize {
+        self.states.iter().map(|(_, s)| s.len()).sum()
+    }
+}
+
+/// A bitemporal row: the tuple plus both timestamps (one row of the
+/// paper's Figure 8).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitemporalRow {
+    /// The explicit attribute values.
+    pub tuple: Tuple,
+    /// Valid time: when the information is true in reality.
+    pub validity: Validity,
+    /// Transaction time: when this version was in the database, end `∞`
+    /// while current.
+    pub tx: Period,
+}
+
+impl BitemporalRow {
+    /// True iff the row belongs to the current historical state.
+    pub fn is_current(&self) -> bool {
+        self.tx.end() == TimePoint::PlusInfinity
+    }
+}
+
+/// The practical form: valid-time and transaction-time stamps appended to
+/// each tuple (Figure 8).
+#[derive(Clone, Debug)]
+pub struct BitemporalTable {
+    schema: Schema,
+    signature: TemporalSignature,
+    rows: Vec<BitemporalRow>,
+    /// Incrementally maintained mirror of the current historical state
+    /// (the rows with open transaction periods).
+    current: HistoricalRelation,
+    last_commit: Option<Chronon>,
+    transactions: usize,
+}
+
+impl BitemporalTable {
+    /// Creates an empty temporal relation.
+    pub fn new(schema: Schema, signature: TemporalSignature) -> BitemporalTable {
+        BitemporalTable {
+            current: HistoricalRelation::new(schema.clone(), signature),
+            schema,
+            signature,
+            rows: Vec::new(),
+            last_commit: None,
+            transactions: 0,
+        }
+    }
+
+    /// All physical rows in creation order (closed versions included).
+    pub fn rows(&self) -> &[BitemporalRow] {
+        &self.rows
+    }
+
+    /// Bitemporal point query: the tuples valid at `valid` as the
+    /// database knew them at transaction time `as_of` — the full
+    /// four-dimensional view of §4.4.
+    pub fn valid_at_as_of(&self, valid: Chronon, as_of: Chronon) -> Vec<&BitemporalRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.tx.contains(as_of) && r.validity.valid_at(valid))
+            .collect()
+    }
+
+    fn apply_rows(&mut self, tx_time: Chronon, ops: &[HistoricalOp]) {
+        let t = TimePoint::at(tx_time);
+        for op in ops {
+            match op {
+                HistoricalOp::Insert { tuple, validity } => {
+                    self.rows.push(BitemporalRow {
+                        tuple: tuple.clone(),
+                        validity: *validity,
+                        tx: Period::from_start(tx_time),
+                    });
+                }
+                HistoricalOp::Remove { selector } => {
+                    for row in self.rows.iter_mut() {
+                        if row.is_current() && selector.matches(&row.tuple, row.validity) {
+                            row.tx = Period::clamped(row.tx.start(), t);
+                        }
+                    }
+                }
+                HistoricalOp::SetValidity { selector, validity } => {
+                    let mut corrected = Vec::new();
+                    for row in self.rows.iter_mut() {
+                        if row.is_current() && selector.matches(&row.tuple, row.validity) {
+                            row.tx = Period::clamped(row.tx.start(), t);
+                            corrected.push(row.tuple.clone());
+                        }
+                    }
+                    for tuple in corrected {
+                        self.rows.push(BitemporalRow {
+                            tuple,
+                            validity: *validity,
+                            tx: Period::from_start(tx_time),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl TemporalStore for BitemporalTable {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn signature(&self) -> TemporalSignature {
+        self.signature
+    }
+
+    fn commit(&mut self, tx_time: Chronon, ops: &[HistoricalOp]) -> CoreResult<()> {
+        check_monotonic(self.last_commit, tx_time)?;
+        // Validate through the reference semantics: the ops must form a
+        // legal transition of the current historical state.  This is what
+        // guarantees the timestamped encoding stays observationally
+        // equivalent to the snapshot form.
+        let mut state = self.current.clone();
+        state.apply(ops)?;
+        self.apply_rows(tx_time, ops);
+        self.current = state;
+        self.last_commit = Some(tx_time);
+        self.transactions += 1;
+        Ok(())
+    }
+
+    fn rollback(&self, t: Chronon) -> HistoricalRelation {
+        let mut out = HistoricalRelation::new(self.schema.clone(), self.signature);
+        for row in &self.rows {
+            if row.tx.contains(t) {
+                out.insert(row.tuple.clone(), row.validity)
+                    .expect("any past state of a valid store is itself valid");
+            }
+        }
+        out
+    }
+
+    fn current(&self) -> HistoricalRelation {
+        self.current.clone()
+    }
+
+    fn last_commit(&self) -> Option<Chronon> {
+        self.last_commit
+    }
+
+    fn transactions(&self) -> usize {
+        self.transactions
+    }
+
+    fn stored_tuples(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::date;
+    use crate::schema::faculty_schema;
+    use crate::tuple::tuple;
+
+    fn d(s: &str) -> Chronon {
+        date(s).unwrap()
+    }
+
+    fn p(from: &str, to: &str) -> Period {
+        Period::new(d(from), d(to)).unwrap()
+    }
+
+    /// Drives a temporal store through the six transactions that produce
+    /// the paper's Figure 8.
+    pub(crate) fn figure_8_history<S: TemporalStore>(s: &mut S) {
+        // Merrie hired, entered postactively.
+        s.begin()
+            .insert(tuple(["Merrie", "associate"]), Period::from_start(d("09/01/77")))
+            .commit(d("08/25/77"))
+            .unwrap();
+        // Tom entered as full…
+        s.begin()
+            .insert(tuple(["Tom", "full"]), Period::from_start(d("12/05/82")))
+            .commit(d("12/01/82"))
+            .unwrap();
+        // …corrected to associate.
+        s.begin()
+            .remove(RowSelector::tuple(tuple(["Tom", "full"])))
+            .insert(tuple(["Tom", "associate"]), Period::from_start(d("12/05/82")))
+            .commit(d("12/07/82"))
+            .unwrap();
+        // Merrie's promotion recorded retroactively.
+        s.begin()
+            .set_validity(
+                RowSelector::tuple(tuple(["Merrie", "associate"])),
+                p("09/01/77", "12/01/82"),
+            )
+            .insert(tuple(["Merrie", "full"]), Period::from_start(d("12/01/82")))
+            .commit(d("12/15/82"))
+            .unwrap();
+        // Mike hired.
+        s.begin()
+            .insert(tuple(["Mike", "assistant"]), Period::from_start(d("01/01/83")))
+            .commit(d("01/10/83"))
+            .unwrap();
+        // Mike leaves effective 03/01/84, recorded 02/25/84.
+        s.begin()
+            .set_validity(
+                RowSelector::tuple(tuple(["Mike", "assistant"])),
+                p("01/01/83", "03/01/84"),
+            )
+            .commit(d("02/25/84"))
+            .unwrap();
+    }
+
+    #[test]
+    fn figure_8_rows_exact() {
+        let mut s = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
+        figure_8_history(&mut s);
+        let expect = [
+            ("Merrie", "associate", "09/01/77", None, "08/25/77", Some("12/15/82")),
+            ("Merrie", "associate", "09/01/77", Some("12/01/82"), "12/15/82", None),
+            ("Merrie", "full", "12/01/82", None, "12/15/82", None),
+            ("Tom", "full", "12/05/82", None, "12/01/82", Some("12/07/82")),
+            ("Tom", "associate", "12/05/82", None, "12/07/82", None),
+            ("Mike", "assistant", "01/01/83", None, "01/10/83", Some("02/25/84")),
+            ("Mike", "assistant", "01/01/83", Some("03/01/84"), "02/25/84", None),
+        ];
+        assert_eq!(s.rows().len(), expect.len(), "exactly the 7 rows of Figure 8");
+        for (name, rank, vf, vt, ts, te) in expect {
+            let validity = Validity::Interval(match vt {
+                Some(vt) => p(vf, vt),
+                None => Period::from_start(d(vf)),
+            });
+            let tx = match te {
+                Some(te) => p(ts, te),
+                None => Period::from_start(d(ts)),
+            };
+            assert!(
+                s.rows().iter().any(|r| r.tuple == tuple([name, rank])
+                    && r.validity == validity
+                    && r.tx == tx),
+                "missing Figure 8 row: {name} {rank} valid {validity} tx {tx}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitemporal_query_of_section_4_4() {
+        // Merrie's rank when Tom arrived (12/05/82), as of 12/10/82 vs
+        // 12/20/82 — the paper's flagship query pair.
+        let mut s = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
+        figure_8_history(&mut s);
+        let when_tom_arrived = d("12/05/82");
+        let as_of_early: Vec<_> = s
+            .valid_at_as_of(when_tom_arrived, d("12/10/82"))
+            .into_iter()
+            .filter(|r| r.tuple.get(0).as_str() == Some("Merrie"))
+            .collect();
+        assert_eq!(as_of_early.len(), 1);
+        let row = as_of_early[0];
+        assert_eq!(row.tuple.get(1).as_str(), Some("associate"));
+        assert_eq!(row.validity.period(), Period::from_start(d("09/01/77")));
+        assert_eq!(row.tx, p("08/25/77", "12/15/82"));
+
+        let as_of_late: Vec<_> = s
+            .valid_at_as_of(when_tom_arrived, d("12/20/82"))
+            .into_iter()
+            .filter(|r| r.tuple.get(0).as_str() == Some("Merrie"))
+            .collect();
+        assert_eq!(as_of_late.len(), 1);
+        assert_eq!(as_of_late[0].tuple.get(1).as_str(), Some("full"));
+    }
+
+    #[test]
+    fn snapshot_and_bitemporal_agree_everywhere() {
+        let mut a = SnapshotTemporal::new(faculty_schema(), TemporalSignature::Interval);
+        let mut b = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
+        figure_8_history(&mut a);
+        figure_8_history(&mut b);
+        let lo = d("01/01/77").ticks();
+        let hi = d("12/31/84").ticks();
+        for t in (lo..=hi).step_by(5) {
+            let t = Chronon::new(t);
+            assert_eq!(a.rollback(t), b.rollback(t), "divergence at {t}");
+        }
+        assert_eq!(a.current(), b.current());
+    }
+
+    #[test]
+    fn rollback_yields_historical_states() {
+        let mut s = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
+        figure_8_history(&mut s);
+        // As of 12/10/82 the database believed Merrie had been associate
+        // since 09/01/77 with no end, and Tom was (correctly) associate.
+        let h = s.rollback(d("12/10/82"));
+        assert_eq!(h.len(), 2);
+        let merrie: Vec<_> = h
+            .rows()
+            .iter()
+            .filter(|r| r.tuple.get(0).as_str() == Some("Merrie"))
+            .collect();
+        assert_eq!(merrie.len(), 1);
+        assert_eq!(merrie[0].tuple.get(1).as_str(), Some("associate"));
+        assert_eq!(merrie[0].validity.period(), Period::from_start(d("09/01/77")));
+        // The database was inconsistent with reality 12/01–12/15: the
+        // historical relation would already show `full`, the rollback
+        // state does not.
+    }
+
+    #[test]
+    fn current_matches_figure_6() {
+        let mut s = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
+        figure_8_history(&mut s);
+        let h = s.current();
+        assert_eq!(h.len(), 4);
+        let rows = h.sorted_rows();
+        let as_strings: Vec<String> = rows
+            .iter()
+            .map(|r| format!("{} {} {}", r.tuple.get(0), r.tuple.get(1), r.validity))
+            .collect();
+        assert_eq!(
+            as_strings,
+            [
+                "Merrie associate [09/01/77, 12/01/82)",
+                "Merrie full [12/01/82, ∞)",
+                "Mike assistant [01/01/83, 03/01/84)",
+                "Tom associate [12/05/82, ∞)",
+            ]
+        );
+    }
+
+    #[test]
+    fn append_only_and_atomicity() {
+        let mut s = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
+        figure_8_history(&mut s);
+        let frozen = s.rollback(d("12/10/82"));
+        // Non-monotonic commit rejected.
+        let err = s
+            .begin()
+            .insert(tuple(["X", "y"]), Period::from_start(d("01/01/83")))
+            .commit(d("01/01/80"));
+        assert!(matches!(err, Err(CoreError::NonMonotonicCommit { .. })));
+        // Failing transaction leaves rows untouched.
+        let before = s.rows().to_vec();
+        let err = s
+            .begin()
+            .remove(RowSelector::tuple(tuple(["Ghost", "prof"])))
+            .commit(d("06/01/84"));
+        assert!(err.is_err());
+        assert_eq!(s.rows(), &before[..]);
+        // Later valid commits never disturb past rollback states.
+        s.begin()
+            .insert(tuple(["New", "prof"]), Period::from_start(d("07/01/84")))
+            .commit(d("06/15/84"))
+            .unwrap();
+        assert_eq!(s.rollback(d("12/10/82")), frozen);
+    }
+
+    #[test]
+    fn storage_metrics_show_duplication() {
+        let mut a = SnapshotTemporal::new(faculty_schema(), TemporalSignature::Interval);
+        let mut b = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
+        figure_8_history(&mut a);
+        figure_8_history(&mut b);
+        // Historical states: 1, 2, 2, 3, 4, 4 rows.
+        assert_eq!(a.stored_tuples(), 1 + 2 + 2 + 3 + 4 + 4);
+        assert_eq!(b.stored_tuples(), 7);
+        assert_eq!(a.transactions(), 6);
+        assert_eq!(b.transactions(), 6);
+    }
+
+    #[test]
+    fn event_temporal_relation_like_figure_9() {
+        use crate::schema::Attribute;
+        use crate::value::AttrType;
+        // promotion (name, rank, effective) — `effective` is user-defined
+        // time: an ordinary date attribute the engine never interprets.
+        let schema = Schema::new(vec![
+            Attribute::new("name", AttrType::Str),
+            Attribute::new("rank", AttrType::Str),
+            Attribute::new("effective", AttrType::Date),
+        ])
+        .unwrap();
+        let mut s = BitemporalTable::new(schema, TemporalSignature::Event);
+        let merrie_assoc = Tuple::new(vec![
+            "Merrie".into(),
+            "associate".into(),
+            crate::value::Value::Date(d("09/01/77")),
+        ]);
+        s.begin()
+            .insert(merrie_assoc.clone(), d("08/25/77"))
+            .commit(d("08/25/77"))
+            .unwrap();
+        let h = s.current();
+        assert!(h.valid_at(d("08/25/77")).contains(&merrie_assoc));
+        assert!(h.valid_at(d("08/26/77")).is_empty());
+        // Interval validity is rejected on an event relation.
+        let err = s
+            .begin()
+            .insert(merrie_assoc, Period::from_start(d("12/11/82")))
+            .commit(d("12/15/82"));
+        assert!(matches!(err, Err(CoreError::SignatureMismatch { .. })));
+    }
+}

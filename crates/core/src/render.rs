@@ -1,0 +1,176 @@
+//! Plain-text table rendering.
+//!
+//! The paper's figures are tables; the `figures` binary and several
+//! integration tests render ChronosDB state in the same tabular shape.
+//! [`TextTable`] is a minimal, dependency-free column-aligned renderer
+//! with support for the paper's double-bar separator between explicit
+//! attributes and implicit temporal columns ("the double vertical bars
+//! separate the non-temporal domains from the DBMS-maintained temporal
+//! domains").
+
+use std::fmt::Write as _;
+
+/// A column-aligned plain-text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    /// Column index before which the double bar `||` is drawn.
+    double_bar_before: Option<usize>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            double_bar_before: None,
+        }
+    }
+
+    /// Draws the paper's double bar before column `idx` (separating
+    /// explicit attributes from implicit temporal columns).
+    #[must_use]
+    pub fn with_double_bar_before(mut self, idx: usize) -> TextTable {
+        self.double_bar_before = Some(idx);
+        self
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with one space of padding, a header rule, and
+    /// `|` column separators (`||` at the double bar).
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| display_width(h)).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(display_width(cell));
+            }
+        }
+        let sep_for = |i: usize| -> &'static str {
+            if self.double_bar_before == Some(i) {
+                " || "
+            } else if i == 0 {
+                ""
+            } else {
+                " | "
+            }
+        };
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, w) in widths.iter().enumerate() {
+                out.push_str(sep_for(i));
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(cell);
+                for _ in 0..w.saturating_sub(display_width(cell)) {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        // Header rule.
+        let mut rule = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            rule.push_str(match sep_for(i) {
+                " || " => "-++-",
+                " | " => "-+-",
+                _ => "",
+            });
+            for _ in 0..*w {
+                rule.push('-');
+            }
+        }
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Character count treating the multi-byte `∞` and `✓` glyphs as width 1.
+fn display_width(s: &str) -> usize {
+    s.chars().count()
+}
+
+/// Renders a check-mark cell the way the paper's Figures 11 and 13 do.
+pub fn check(b: bool) -> &'static str {
+    if b {
+        "✓"
+    } else {
+        ""
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "rank"]);
+        t.push_row(["Merrie", "full"]);
+        t.push_row(["Tom", "associate"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-' || c == '+'));
+        assert!(lines[2].starts_with("Merrie | full"));
+        assert!(lines[3].starts_with("Tom"));
+        // Columns align: the separator offset is identical in all rows.
+        let bar = lines[2].find('|').unwrap();
+        assert_eq!(lines[3].find('|').unwrap(), bar);
+    }
+
+    #[test]
+    fn double_bar_between_attribute_groups() {
+        let mut t = TextTable::new(["name", "rank", "tx start", "tx end"]).with_double_bar_before(2);
+        t.push_row(["Merrie", "full", "12/15/82", "∞"]);
+        let s = t.render();
+        assert!(s.lines().nth(2).unwrap().contains("|| 12/15/82"));
+        assert!(s.lines().nth(1).unwrap().contains("++"));
+    }
+
+    #[test]
+    fn infinity_counts_one_column() {
+        assert_eq!(display_width("∞"), 1);
+        assert_eq!(display_width("12/15/82"), 8);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.push_row(["x"]);
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.lines().nth(2).unwrap().starts_with("x"));
+    }
+
+    #[test]
+    fn check_marks() {
+        assert_eq!(check(true), "✓");
+        assert_eq!(check(false), "");
+    }
+}

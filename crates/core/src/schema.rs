@@ -1,0 +1,253 @@
+//! Schemas: the explicit attributes of a relation.
+//!
+//! A schema describes only the *explicit* attributes — the ones the user
+//! declared.  The paper is explicit that the implicit temporal columns
+//! "do not appear in the schema for the relation, but may rather be
+//! considered part of the overheads associated with each tuple"; ChronosDB
+//! follows that: valid and transaction timestamps are carried beside the
+//! tuple by the relation classes, never inside the schema.  User-defined
+//! time, by contrast, *is* in the schema, as a plain [`AttrType::Date`]
+//! attribute (paper §4.5).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{CoreError, CoreResult};
+use crate::tuple::Tuple;
+use crate::value::AttrType;
+
+/// A named, typed attribute.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Attribute {
+    name: Arc<str>,
+    ty: AttrType,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl AsRef<str>, ty: AttrType) -> Attribute {
+        Attribute {
+            name: Arc::from(name.as_ref()),
+            ty,
+        }
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute type.
+    pub fn attr_type(&self) -> AttrType {
+        self.ty
+    }
+}
+
+/// Whether a relation's valid time is an interval or a single event
+/// instant.
+///
+/// Interval relations (Figures 6 and 8) timestamp tuples with a period
+/// `[from, to)`; event relations (Figure 9's `promotion`) carry a single
+/// valid instant — "since it is an event relation, only one valid time is
+/// necessary".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum TemporalSignature {
+    /// Tuples model states holding over a period.
+    #[default]
+    Interval,
+    /// Tuples model instantaneous events.
+    Event,
+}
+
+impl fmt::Display for TemporalSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            TemporalSignature::Interval => "interval",
+            TemporalSignature::Event => "event",
+        })
+    }
+}
+
+/// The four relation classes of the paper's Figure 10.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RelationClass {
+    /// Snapshot only; updates destroy the past (§4.1).
+    Static,
+    /// Transaction-time sequence of static states; append-only; supports
+    /// `rollback` (§4.2).
+    StaticRollback,
+    /// Valid-time relation holding history "as it is best known";
+    /// arbitrarily correctable (§4.3).
+    Historical,
+    /// Both axes: an append-only sequence of historical states (§4.4).
+    Temporal,
+}
+
+impl RelationClass {
+    /// The database class this relation class belongs to (identical
+    /// lattice).
+    pub fn database_class(self) -> crate::taxonomy::DatabaseClass {
+        use crate::taxonomy::DatabaseClass as D;
+        match self {
+            RelationClass::Static => D::Static,
+            RelationClass::StaticRollback => D::StaticRollback,
+            RelationClass::Historical => D::Historical,
+            RelationClass::Temporal => D::Temporal,
+        }
+    }
+}
+
+impl fmt::Display for RelationClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            RelationClass::Static => "static",
+            RelationClass::StaticRollback => "static rollback",
+            RelationClass::Historical => "historical",
+            RelationClass::Temporal => "temporal",
+        })
+    }
+}
+
+/// An ordered list of distinct named attributes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Schema {
+    attrs: Arc<[Attribute]>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting empty attribute lists and duplicate
+    /// names.
+    pub fn new(attrs: Vec<Attribute>) -> CoreResult<Schema> {
+        if attrs.is_empty() {
+            return Err(CoreError::InvalidSchema("no attributes".into()));
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name() == a.name()) {
+                return Err(CoreError::InvalidSchema(format!(
+                    "duplicate attribute {:?}",
+                    a.name()
+                )));
+            }
+        }
+        Ok(Schema {
+            attrs: attrs.into(),
+        })
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Looks up an attribute index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name() == name)
+    }
+
+    /// The attribute at `idx`.
+    pub fn attribute(&self, idx: usize) -> &Attribute {
+        &self.attrs[idx]
+    }
+
+    /// Checks a tuple against this schema (arity and types).
+    pub fn check(&self, tuple: &Tuple) -> CoreResult<()> {
+        if tuple.arity() != self.arity() {
+            return Err(CoreError::SchemaMismatch {
+                expected: format!("{} attributes", self.arity()),
+                found: format!("{} values", tuple.arity()),
+            });
+        }
+        for (i, a) in self.attrs.iter().enumerate() {
+            let got = tuple.get(i).attr_type();
+            if got != a.attr_type() {
+                return Err(CoreError::SchemaMismatch {
+                    expected: format!("{}: {}", a.name(), a.attr_type()),
+                    found: format!("{}: {}", a.name(), got),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Derives a projection schema from attribute indices.
+    pub fn project(&self, indices: &[usize]) -> CoreResult<Schema> {
+        let mut attrs = Vec::with_capacity(indices.len());
+        for &i in indices {
+            let a = self.attrs.get(i).ok_or_else(|| {
+                CoreError::InvalidSchema(format!("projection index {i} out of range"))
+            })?;
+            attrs.push(a.clone());
+        }
+        Schema::new(attrs)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name(), a.attr_type())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience constructor for the paper's `faculty (name, rank)` schema.
+pub fn faculty_schema() -> Schema {
+    Schema::new(vec![
+        Attribute::new("name", AttrType::Str),
+        Attribute::new("rank", AttrType::Str),
+    ])
+    .expect("static schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::tuple;
+    use crate::value::Value;
+
+    #[test]
+    fn rejects_bad_schemas() {
+        assert!(Schema::new(vec![]).is_err());
+        assert!(Schema::new(vec![
+            Attribute::new("a", AttrType::Int),
+            Attribute::new("a", AttrType::Str),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn checks_tuples() {
+        let s = faculty_schema();
+        assert!(s.check(&tuple(["Merrie", "full"])).is_ok());
+        assert!(s.check(&Tuple::new(vec![Value::Int(1), Value::str("full")])).is_err());
+        assert!(s.check(&Tuple::new(vec![Value::str("Merrie")])).is_err());
+    }
+
+    #[test]
+    fn lookup_and_projection() {
+        let s = faculty_schema();
+        assert_eq!(s.index_of("rank"), Some(1));
+        assert_eq!(s.index_of("salary"), None);
+        let p = s.project(&[1]).unwrap();
+        assert_eq!(p.arity(), 1);
+        assert_eq!(p.attribute(0).name(), "rank");
+        assert!(s.project(&[7]).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(faculty_schema().to_string(), "(name: str, rank: str)");
+        assert_eq!(RelationClass::StaticRollback.to_string(), "static rollback");
+        assert_eq!(TemporalSignature::Event.to_string(), "event");
+    }
+}

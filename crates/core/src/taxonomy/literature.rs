@@ -1,0 +1,249 @@
+//! The paper's survey of the prior literature, encoded as data.
+//!
+//! Figure 1 ("Types of Time") characterizes the time attributes proposed
+//! before 1985; Figure 13 ("Time Support in Existing or Proposed
+//! Systems") classifies sixteen systems under the new taxonomy.  Both
+//! tables are regenerated verbatim by the `figures` binary in
+//! `chronos-bench` and asserted by the integration tests.
+//!
+//! One OCR caveat is recorded where the source scan is ambiguous; see
+//! [`figure_13`].
+
+use std::fmt;
+
+use super::{classify, DatabaseClass, Modeled, TimeKind};
+
+/// The "Append-Only" column of Figure 1, including the paper's qualified
+/// footnote values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AppendOnly {
+    /// Plain "Yes".
+    Yes,
+    /// Plain "No".
+    No,
+    /// Footnote (2): "Can make corrections only".
+    CorrectionsOnly,
+    /// Footnote (3): "Can make changes only in the future".
+    FutureChangesOnly,
+}
+
+impl fmt::Display for AppendOnly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            AppendOnly::Yes => "Yes",
+            AppendOnly::No => "No",
+            AppendOnly::CorrectionsOnly => "(2)",
+            AppendOnly::FutureChangesOnly => "(3)",
+        })
+    }
+}
+
+/// The "Representation vs. Reality" column of Figure 1.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelsCell {
+    /// A plain classification.
+    Plain(Modeled),
+    /// Footnote (4): "Reality is indicated only in the future" —
+    /// representation, with reality only prospectively.
+    RepresentationWithFutureReality,
+    /// The paper leaves the cell blank (Clifford & Warren's `State`).
+    Unstated,
+}
+
+impl fmt::Display for ModelsCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelsCell::Plain(m) => fmt::Display::fmt(m, f),
+            ModelsCell::RepresentationWithFutureReality => f.pad("Representation (4)"),
+            ModelsCell::Unstated => f.pad(""),
+        }
+    }
+}
+
+/// One time attribute proposed in the pre-1985 literature: a row of
+/// Figure 1.
+#[derive(Clone, Debug)]
+pub struct PriorTime {
+    /// Bibliographic reference as printed in the figure.
+    pub reference: &'static str,
+    /// The name the cited work gives its time attribute.
+    pub terminology: &'static str,
+    /// May values only be appended?
+    pub append_only: AppendOnly,
+    /// Is the value under DBMS rather than application control?
+    pub application_independent: bool,
+    /// What the value models.
+    pub models: ModelsCell,
+    /// Footnote (1): the attribute is described but "not actually
+    /// supported by the system".
+    pub unsupported: bool,
+}
+
+/// Figure 1: the characterizations of time in the prior literature.
+pub fn figure_1() -> Vec<PriorTime> {
+    use AppendOnly::*;
+    use ModelsCell::*;
+    let row = |reference, terminology, append_only, application_independent, models, unsupported| {
+        PriorTime {
+            reference,
+            terminology,
+            append_only,
+            application_independent,
+            models,
+            unsupported,
+        }
+    };
+    vec![
+        row("[Ariav & Morgan 1982]", "Time", Yes, true, Plain(Modeled::Representation), false),
+        row("[Ben-Zvi 1982]", "Registration", Yes, true, Plain(Modeled::Representation), false),
+        row("[Ben-Zvi 1982]", "Effective", No, true, Plain(Modeled::Reality), false),
+        row("[Clifford & Warren 1983]", "State", No, true, Unstated, false),
+        row("[Copeland & Maier 1984]", "Transaction", Yes, true, Plain(Modeled::Representation), false),
+        row("[Copeland & Maier 1984]", "Event", No, false, Plain(Modeled::Reality), true),
+        row("[Dadam et al. 1984] & [Lum et al. 1984]", "Physical", CorrectionsOnly, true, Plain(Modeled::Representation), false),
+        row("[Dadam et al. 1984] & [Lum et al. 1984]", "Logical", No, false, Plain(Modeled::Reality), true),
+        row("[Jones et al. 1979] & [Jones & Mason 1980]", "Start/End", CorrectionsOnly, true, Plain(Modeled::Reality), false),
+        row("[Jones et al. 1979] & [Jones & Mason 1980]", "User Defined", No, false, Plain(Modeled::Reality), false),
+        row("[Mueller & Steinbauer 1983]", "Data-Valid-Time-From/To", FutureChangesOnly, true, ModelsCell::RepresentationWithFutureReality, false),
+        row("[Reed 1978]", "Start/End", Yes, true, Plain(Modeled::Representation), false),
+        row("[Snodgrass 1984]", "Valid Time", No, true, Plain(Modeled::Reality), false),
+    ]
+}
+
+/// A system or language surveyed in Figure 13, with the kinds of time it
+/// supports under the new taxonomy.
+#[derive(Clone, Debug)]
+pub struct SurveyedSystem {
+    /// Bibliographic reference as printed in the figure.
+    pub reference: &'static str,
+    /// System or language name.
+    pub system: &'static str,
+    /// Supports transaction time.
+    pub transaction: bool,
+    /// Supports valid time.
+    pub valid: bool,
+    /// Supports user-defined time.
+    pub user_defined: bool,
+}
+
+impl SurveyedSystem {
+    /// Whether the system supports the given kind of time.
+    pub fn supports(&self, kind: TimeKind) -> bool {
+        match kind {
+            TimeKind::Transaction => self.transaction,
+            TimeKind::Valid => self.valid,
+            TimeKind::UserDefined => self.user_defined,
+        }
+    }
+
+    /// The database class implied by the supported times (Figure 10):
+    /// transaction time ⇔ rollback, valid time ⇔ historical queries.
+    pub fn database_class(&self) -> DatabaseClass {
+        classify(self.transaction, self.valid)
+    }
+}
+
+/// Figure 13: time support in existing or proposed systems (1985).
+///
+/// The scan of the figure is partly illegible; the check-marks below
+/// follow the paper's prose (§§2, 4.2, 4.3, 4.5 name the systems
+/// supporting each kind) and the published history of each system.  The
+/// one genuinely ambiguous cell is TODS ([Wiederhold et al. 1975]), read
+/// here as valid time: the cited work records clinical histories keyed
+/// by the time of the patient visit, i.e. reality.
+pub fn figure_13() -> Vec<SurveyedSystem> {
+    let row = |reference, system, transaction, valid, user_defined| SurveyedSystem {
+        reference,
+        system,
+        transaction,
+        valid,
+        user_defined,
+    };
+    vec![
+        row("[Ariav & Morgan 1982]", "MDM/DB", true, false, false),
+        row("[Ben-Zvi 1982]", "TRM", true, true, false),
+        row("[Bontempo 1983]", "QBE", false, false, true),
+        row("[Breutmann et al. 1979]", "CSL", false, true, false),
+        row("[Clifford & Warren 1983]", "IL_s", false, true, false),
+        row("[Copeland & Maier 1984]", "GemStone", true, false, false),
+        row("[Findler & Chen 1971]", "AMPPL-II", false, true, false),
+        row("[Jones & Mason 1980]", "LEGOL 2.0", false, true, true),
+        row("[Klopprogge 1981]", "TERM", false, true, false),
+        row("[Lum et al. 1984]", "AIM", true, false, false),
+        row("[Relational 1984]", "MicroINGRES", false, false, true),
+        row("[Mueller & Steinbauer 1983]", "(CAM databases)", true, false, false),
+        row("[Overmyer & Stonebraker 1982]", "INGRES", false, false, true),
+        row("[Reed 1978]", "SWALLOW", true, false, false),
+        row("[Snodgrass 1985]", "TQuel", true, true, true),
+        row("[Tandem 1983]", "ENFORM", false, false, true),
+        row("[Wiederhold et al. 1975]", "TODS", false, true, false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_has_all_nine_references() {
+        let rows = figure_1();
+        assert_eq!(rows.len(), 13);
+        let refs: std::collections::HashSet<_> = rows.iter().map(|r| r.reference).collect();
+        assert_eq!(refs.len(), 9, "nine distinct reference groups");
+    }
+
+    #[test]
+    fn figure_1_matches_new_taxonomy_where_clean() {
+        // The rows the paper maps onto transaction time are append-only,
+        // application-independent representations…
+        let rows = figure_1();
+        let registration = rows.iter().find(|r| r.terminology == "Registration").unwrap();
+        assert_eq!(registration.append_only, AppendOnly::Yes);
+        assert!(registration.application_independent);
+        // …and Snodgrass's valid time matches the Valid row of Figure 12.
+        let valid = rows.iter().find(|r| r.terminology == "Valid Time").unwrap();
+        assert_eq!(valid.append_only, AppendOnly::No);
+        assert!(valid.application_independent);
+        assert_eq!(valid.models, ModelsCell::Plain(Modeled::Reality));
+    }
+
+    #[test]
+    fn figure_13_has_seventeen_rows() {
+        assert_eq!(figure_13().len(), 17);
+    }
+
+    #[test]
+    fn figure_13_classes() {
+        let rows = figure_13();
+        let class_of = |name: &str| {
+            rows.iter()
+                .find(|r| r.system == name)
+                .unwrap()
+                .database_class()
+        };
+        // TRM supports both axes: a temporal database (§4.4).
+        assert_eq!(class_of("TRM"), DatabaseClass::Temporal);
+        assert_eq!(class_of("TQuel"), DatabaseClass::Temporal);
+        // GemStone, SWALLOW, MDM/DB, AIM: static rollback (§4.2).
+        for s in ["GemStone", "SWALLOW", "MDM/DB", "AIM"] {
+            assert_eq!(class_of(s), DatabaseClass::StaticRollback, "{s}");
+        }
+        // CSL, TERM, IL_s, AMPPL-II, LEGOL 2.0: historical (§4.3).
+        for s in ["CSL", "TERM", "IL_s", "AMPPL-II", "LEGOL 2.0"] {
+            assert_eq!(class_of(s), DatabaseClass::Historical, "{s}");
+        }
+        // User-defined time alone leaves a system static (§4.5).
+        for s in ["QBE", "ENFORM", "INGRES", "MicroINGRES"] {
+            assert_eq!(class_of(s), DatabaseClass::Static, "{s}");
+        }
+    }
+
+    #[test]
+    fn supports_agrees_with_fields() {
+        for s in figure_13() {
+            assert_eq!(s.supports(TimeKind::Transaction), s.transaction);
+            assert_eq!(s.supports(TimeKind::Valid), s.valid);
+            assert_eq!(s.supports(TimeKind::UserDefined), s.user_defined);
+        }
+    }
+}

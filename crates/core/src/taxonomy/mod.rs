@@ -1,0 +1,223 @@
+//! The taxonomy itself, as code.
+//!
+//! The paper's central contribution is a classification, so ChronosDB
+//! makes the classification executable: [`TimeKind`] carries the
+//! attribute matrix of Figure 12, [`DatabaseClass`] the 2×2 of Figure 10
+//! and the incidence matrix of Figure 11, and [`classify`] derives a
+//! database class from capability predicates.  The [`literature`]
+//! submodule encodes the paper's survey tables (Figures 1 and 13).
+
+pub mod literature;
+
+use std::fmt;
+
+/// What a time value models: the stored *representation* or *reality*.
+///
+/// This is the distinction the paper keeps (and sharpens) from the prior
+/// literature, discarding the ill-defined "application dependence" as a
+/// classifier (§3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Modeled {
+    /// The history of database activity.
+    Representation,
+    /// The history of the real world.
+    Reality,
+}
+
+impl fmt::Display for Modeled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            Modeled::Representation => "Representation",
+            Modeled::Reality => "Reality",
+        })
+    }
+}
+
+/// The three kinds of time (paper §4, Figure 12).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TimeKind {
+    /// When the information was stored in the database; DBMS-supplied.
+    Transaction,
+    /// When the stored information is true in reality; user-supplied and
+    /// correctable.
+    Valid,
+    /// Additional temporal attributes the DBMS stores but never
+    /// interprets.
+    UserDefined,
+}
+
+impl TimeKind {
+    /// All three kinds, in the paper's order.
+    pub const ALL: [TimeKind; 3] = [TimeKind::Transaction, TimeKind::Valid, TimeKind::UserDefined];
+
+    /// Figure 12, column "Append-Only": may values of this kind only be
+    /// appended, never changed?
+    pub fn append_only(self) -> bool {
+        matches!(self, TimeKind::Transaction)
+    }
+
+    /// Figure 12, column "Application Independent": is the value under
+    /// DBMS rather than user control, with DBMS-interpretable semantics?
+    pub fn application_independent(self) -> bool {
+        !matches!(self, TimeKind::UserDefined)
+    }
+
+    /// Figure 12, column "Representation vs. Reality".
+    pub fn models(self) -> Modeled {
+        match self {
+            TimeKind::Transaction => Modeled::Representation,
+            TimeKind::Valid | TimeKind::UserDefined => Modeled::Reality,
+        }
+    }
+}
+
+impl fmt::Display for TimeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            TimeKind::Transaction => "Transaction",
+            TimeKind::Valid => "Valid",
+            TimeKind::UserDefined => "User-defined",
+        })
+    }
+}
+
+/// The four database classes (paper §5, Figure 10).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DatabaseClass {
+    /// Snapshot only (§4.1).
+    Static,
+    /// Static + rollback via transaction time (§4.2).
+    StaticRollback,
+    /// Historical queries via valid time (§4.3).
+    Historical,
+    /// Both: rollback over historical states (§4.4).
+    Temporal,
+}
+
+impl DatabaseClass {
+    /// All four classes, in the paper's order.
+    pub const ALL: [DatabaseClass; 4] = [
+        DatabaseClass::Static,
+        DatabaseClass::StaticRollback,
+        DatabaseClass::Historical,
+        DatabaseClass::Temporal,
+    ];
+
+    /// Does the class support the rollback operation (⇔ transaction
+    /// time)?
+    pub fn supports_rollback(self) -> bool {
+        matches!(self, DatabaseClass::StaticRollback | DatabaseClass::Temporal)
+    }
+
+    /// Does the class support historical queries (⇔ valid time)?
+    pub fn supports_historical_queries(self) -> bool {
+        matches!(self, DatabaseClass::Historical | DatabaseClass::Temporal)
+    }
+
+    /// "DBMS's supporting rollback are append-only, whereas those not
+    /// supporting rollback allow updates of arbitrary information."
+    pub fn is_append_only(self) -> bool {
+        self.supports_rollback()
+    }
+
+    /// Figure 11: which kinds of time the class incorporates.
+    ///
+    /// User-defined time accompanies valid time: "both valid time and
+    /// user-defined time concern modeling of reality, and so it is
+    /// appropriate that they should appear together" (§4.3, §4.5).
+    pub fn time_kinds(self) -> &'static [TimeKind] {
+        match self {
+            DatabaseClass::Static => &[],
+            DatabaseClass::StaticRollback => &[TimeKind::Transaction],
+            DatabaseClass::Historical => &[TimeKind::Valid, TimeKind::UserDefined],
+            DatabaseClass::Temporal => {
+                &[TimeKind::Transaction, TimeKind::Valid, TimeKind::UserDefined]
+            }
+        }
+    }
+
+    /// True iff the class incorporates the given kind of time.
+    pub fn supports(self, kind: TimeKind) -> bool {
+        self.time_kinds().contains(&kind)
+    }
+}
+
+impl fmt::Display for DatabaseClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(match self {
+            DatabaseClass::Static => "Static",
+            DatabaseClass::StaticRollback => "Static Rollback",
+            DatabaseClass::Historical => "Historical",
+            DatabaseClass::Temporal => "Temporal",
+        })
+    }
+}
+
+/// Figure 10 as a function: the class determined by the two orthogonal
+/// capabilities.
+pub fn classify(rollback: bool, historical_queries: bool) -> DatabaseClass {
+    match (historical_queries, rollback) {
+        (false, false) => DatabaseClass::Static,
+        (false, true) => DatabaseClass::StaticRollback,
+        (true, false) => DatabaseClass::Historical,
+        (true, true) => DatabaseClass::Temporal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_12_attribute_matrix() {
+        // Transaction: yes / yes / representation.
+        assert!(TimeKind::Transaction.append_only());
+        assert!(TimeKind::Transaction.application_independent());
+        assert_eq!(TimeKind::Transaction.models(), Modeled::Representation);
+        // Valid: no / yes / reality.
+        assert!(!TimeKind::Valid.append_only());
+        assert!(TimeKind::Valid.application_independent());
+        assert_eq!(TimeKind::Valid.models(), Modeled::Reality);
+        // User-defined: no / no / reality.
+        assert!(!TimeKind::UserDefined.append_only());
+        assert!(!TimeKind::UserDefined.application_independent());
+        assert_eq!(TimeKind::UserDefined.models(), Modeled::Reality);
+    }
+
+    #[test]
+    fn figure_10_classification() {
+        assert_eq!(classify(false, false), DatabaseClass::Static);
+        assert_eq!(classify(true, false), DatabaseClass::StaticRollback);
+        assert_eq!(classify(false, true), DatabaseClass::Historical);
+        assert_eq!(classify(true, true), DatabaseClass::Temporal);
+    }
+
+    #[test]
+    fn figure_11_incidence() {
+        use DatabaseClass as D;
+        use TimeKind as T;
+        assert_eq!(D::Static.time_kinds(), &[] as &[TimeKind]);
+        assert_eq!(D::StaticRollback.time_kinds(), &[T::Transaction]);
+        assert_eq!(D::Historical.time_kinds(), &[T::Valid, T::UserDefined]);
+        assert_eq!(
+            D::Temporal.time_kinds(),
+            &[T::Transaction, T::Valid, T::UserDefined]
+        );
+        // Capability ⇔ time-kind correspondences.
+        for c in D::ALL {
+            assert_eq!(c.supports(T::Transaction), c.supports_rollback());
+            assert_eq!(c.supports(T::Valid), c.supports_historical_queries());
+            assert_eq!(c.is_append_only(), c.supports_rollback());
+        }
+    }
+
+    #[test]
+    fn classify_round_trips_capabilities() {
+        for c in DatabaseClass::ALL {
+            assert_eq!(
+                classify(c.supports_rollback(), c.supports_historical_queries()),
+                c
+            );
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Time points: chronons extended with the `±∞` sentinels.
+//!
+//! The paper's tuple-timestamped figures (Figures 4, 6, 8 and 9) use `∞`
+//! as the *(end)* of transaction time ("still current") and the *(to)* of
+//! valid time ("valid until further notice").  `TimePoint` is the chronon
+//! axis compactified with `-∞` and `+∞` so that every period endpoint,
+//! including those, is a first-class ordered value.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::chronon::Chronon;
+
+/// A point on the compactified time axis: `-∞`, a finite [`Chronon`], or `+∞`.
+///
+/// The ordering is the obvious total order with `-∞` least and `+∞`
+/// greatest; between finite points it agrees with [`Chronon`]'s order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimePoint {
+    /// Before every chronon ("beginning of time").
+    MinusInfinity,
+    /// A finite instant.
+    Finite(Chronon),
+    /// After every chronon; printed as `∞` exactly as in the paper.
+    PlusInfinity,
+}
+
+impl TimePoint {
+    /// `-∞`.
+    pub const MINUS_INFINITY: TimePoint = TimePoint::MinusInfinity;
+    /// `+∞`.
+    pub const INFINITY: TimePoint = TimePoint::PlusInfinity;
+
+    /// Wraps a finite chronon.
+    #[inline]
+    pub const fn at(c: Chronon) -> Self {
+        TimePoint::Finite(c)
+    }
+
+    /// Returns the finite chronon, if any.
+    #[inline]
+    pub const fn finite(self) -> Option<Chronon> {
+        match self {
+            TimePoint::Finite(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// True iff this point is a finite chronon.
+    #[inline]
+    pub const fn is_finite(self) -> bool {
+        matches!(self, TimePoint::Finite(_))
+    }
+
+    /// True iff this point is `+∞`.
+    #[inline]
+    pub const fn is_plus_infinity(self) -> bool {
+        matches!(self, TimePoint::PlusInfinity)
+    }
+
+    /// True iff this point is `-∞`.
+    #[inline]
+    pub const fn is_minus_infinity(self) -> bool {
+        matches!(self, TimePoint::MinusInfinity)
+    }
+
+    /// Successor on the compactified axis; infinities are fixed points.
+    #[inline]
+    #[must_use]
+    pub fn succ(self) -> Self {
+        match self {
+            TimePoint::Finite(c) => TimePoint::Finite(c.succ()),
+            other => other,
+        }
+    }
+
+    /// Predecessor on the compactified axis; infinities are fixed points.
+    #[inline]
+    #[must_use]
+    pub fn pred(self) -> Self {
+        match self {
+            TimePoint::Finite(c) => TimePoint::Finite(c.pred()),
+            other => other,
+        }
+    }
+
+    /// The earlier of two points.
+    #[inline]
+    #[must_use]
+    pub fn min_of(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two points.
+    #[inline]
+    #[must_use]
+    pub fn max_of(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Encodes to an `i128` preserving order (used by storage codecs and
+    /// index keys: `-∞ < all chronons < +∞`).
+    #[inline]
+    pub const fn order_key(self) -> i128 {
+        match self {
+            TimePoint::MinusInfinity => i128::MIN,
+            TimePoint::Finite(c) => c.ticks() as i128,
+            TimePoint::PlusInfinity => i128::MAX,
+        }
+    }
+}
+
+impl PartialOrd for TimePoint {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimePoint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use TimePoint::*;
+        match (self, other) {
+            (MinusInfinity, MinusInfinity) | (PlusInfinity, PlusInfinity) => Ordering::Equal,
+            (MinusInfinity, _) | (_, PlusInfinity) => Ordering::Less,
+            (_, MinusInfinity) | (PlusInfinity, _) => Ordering::Greater,
+            (Finite(a), Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl From<Chronon> for TimePoint {
+    #[inline]
+    fn from(c: Chronon) -> Self {
+        TimePoint::Finite(c)
+    }
+}
+
+impl fmt::Debug for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimePoint::MinusInfinity => write!(f, "-∞"),
+            TimePoint::Finite(c) => write!(f, "{c:?}"),
+            TimePoint::PlusInfinity => write!(f, "∞"),
+        }
+    }
+}
+
+impl fmt::Display for TimePoint {
+    /// Prints finite points through the calendar and infinities as the
+    /// paper does (`∞`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimePoint::MinusInfinity => f.pad("-∞"),
+            TimePoint::Finite(c) => fmt::Display::fmt(c, f),
+            TimePoint::PlusInfinity => f.pad("∞"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order() {
+        let pts = [
+            TimePoint::MINUS_INFINITY,
+            TimePoint::at(Chronon::new(-5)),
+            TimePoint::at(Chronon::new(0)),
+            TimePoint::at(Chronon::new(7)),
+            TimePoint::INFINITY,
+        ];
+        for w in pts.windows(2) {
+            assert!(w[0] < w[1], "{:?} should be < {:?}", w[0], w[1]);
+        }
+        assert_eq!(
+            TimePoint::MINUS_INFINITY.cmp(&TimePoint::MINUS_INFINITY),
+            Ordering::Equal
+        );
+        assert_eq!(TimePoint::INFINITY.cmp(&TimePoint::INFINITY), Ordering::Equal);
+    }
+
+    #[test]
+    fn succ_pred_fix_infinities() {
+        assert_eq!(TimePoint::INFINITY.succ(), TimePoint::INFINITY);
+        assert_eq!(TimePoint::MINUS_INFINITY.pred(), TimePoint::MINUS_INFINITY);
+        assert_eq!(
+            TimePoint::at(Chronon::new(1)).succ(),
+            TimePoint::at(Chronon::new(2))
+        );
+    }
+
+    #[test]
+    fn order_key_preserves_order() {
+        let a = TimePoint::MINUS_INFINITY;
+        let b = TimePoint::at(Chronon::MIN);
+        let c = TimePoint::at(Chronon::MAX);
+        let d = TimePoint::INFINITY;
+        assert!(a.order_key() < b.order_key());
+        assert!(b.order_key() < c.order_key());
+        assert!(c.order_key() < d.order_key());
+    }
+
+    #[test]
+    fn display_uses_infinity_glyph() {
+        assert_eq!(TimePoint::INFINITY.to_string(), "∞");
+        assert_eq!(TimePoint::MINUS_INFINITY.to_string(), "-∞");
+    }
+}

@@ -1,0 +1,130 @@
+//! Tuples: ordered sequences of attribute values.
+//!
+//! A [`Tuple`] holds only the explicit attribute values; the implicit
+//! temporal dimensions (valid and transaction time) live beside the
+//! tuple in the relation classes, exactly as the paper's "overheads
+//! associated with each tuple".
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// An immutable tuple of attribute values.
+///
+/// Cloning is cheap (a single `Arc` bump): the algebra layer freely
+/// passes tuples between operators.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at `idx` (panics when out of range, as does slice
+    /// indexing).
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// The value at `idx`, if in range.
+    pub fn try_get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// A new tuple holding the values at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Concatenates two tuples (used by joins and cartesian products).
+    #[must_use]
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Tuple::new(v)
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.values.iter()).finish()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Tuple {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+/// Builds a tuple from anything convertible to [`Value`]s.
+///
+/// ```
+/// use chronos_core::tuple::tuple;
+/// let t = tuple(["Merrie", "full"]);
+/// assert_eq!(t.to_string(), "(Merrie, full)");
+/// ```
+pub fn tuple<V: Into<Value>, I: IntoIterator<Item = V>>(values: I) -> Tuple {
+    values.into_iter().map(Into::into).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple(["Tom", "associate"]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0).as_str(), Some("Tom"));
+        assert_eq!(t.try_get(2), None);
+    }
+
+    #[test]
+    fn projection_and_concat() {
+        let t = tuple(["Merrie", "full"]);
+        assert_eq!(t.project(&[1]), tuple(["full"]));
+        assert_eq!(t.project(&[1, 0]), tuple(["full", "Merrie"]));
+        let u = Tuple::new(vec![Value::Int(7)]);
+        let c = t.concat(&u);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.get(2).as_int(), Some(7));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(tuple(["a", "b"]), tuple(["a", "b"]));
+        assert_ne!(tuple(["a", "b"]), tuple(["b", "a"]));
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the relation classes: for every generated
+//! transaction history, the conceptual snapshot ("cube") stores and the
+//! practical tuple-timestamped stores are observationally equivalent —
+//! the executable statement of the paper's Figures 3↔4 and 7↔8
+//! correspondences.
+
+use chronos_core::chronon::Chronon;
+use chronos_core::period::Period;
+use chronos_core::prelude::*;
+use chronos_core::relation::StaticOp;
+use chronos_core::schema::faculty_schema;
+use proptest::prelude::*;
+
+const NAMES: [&str; 5] = ["Merrie", "Tom", "Mike", "Ilsoo", "Rick"];
+const RANKS: [&str; 4] = ["assistant", "associate", "full", "emeritus"];
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    (0..NAMES.len(), 0..RANKS.len()).prop_map(|(n, r)| tuple([NAMES[n], RANKS[r]]))
+}
+
+fn arb_validity() -> impl Strategy<Value = Period> {
+    (0i64..200, prop::option::of(1i64..120)).prop_map(|(from, len)| match len {
+        Some(len) => Period::new(Chronon::new(from), Chronon::new(from + len)).unwrap(),
+        None => Period::from_start(Chronon::new(from)),
+    })
+}
+
+/// Abstract transaction scripts: op descriptions that are *made valid*
+/// against the store's current state at application time, so every
+/// generated history commits successfully.
+#[derive(Clone, Debug)]
+enum ScriptOp {
+    Insert(Tuple, Period),
+    RemoveNth(usize),
+    RestampNth(usize, Period),
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<Vec<ScriptOp>>> {
+    let op = prop_oneof![
+        4 => (arb_tuple(), arb_validity()).prop_map(|(t, v)| ScriptOp::Insert(t, v)),
+        2 => (0usize..16).prop_map(ScriptOp::RemoveNth),
+        2 => ((0usize..16), arb_validity()).prop_map(|(n, v)| ScriptOp::RestampNth(n, v)),
+    ];
+    prop::collection::vec(prop::collection::vec(op, 1..5), 1..12)
+}
+
+/// Lowers a script transaction into concrete ops valid against `state`,
+/// mutating `state` to follow.
+fn lower(state: &mut HistoricalRelation, script: &[ScriptOp]) -> Vec<HistoricalOp> {
+    let mut ops = Vec::new();
+    for s in script {
+        match s {
+            ScriptOp::Insert(t, v) => {
+                let op = HistoricalOp::insert(t.clone(), *v);
+                if state.apply(std::slice::from_ref(&op)).is_ok() {
+                    ops.push(op);
+                }
+            }
+            ScriptOp::RemoveNth(n) => {
+                let rows = state.rows();
+                if rows.is_empty() {
+                    continue;
+                }
+                let row = &rows[n % rows.len()];
+                let op = HistoricalOp::remove(RowSelector::exact(
+                    row.tuple.clone(),
+                    row.validity,
+                ));
+                state
+                    .apply(std::slice::from_ref(&op))
+                    .expect("exact removal of an existing row succeeds");
+                ops.push(op);
+            }
+            ScriptOp::RestampNth(n, v) => {
+                let rows = state.rows();
+                if rows.is_empty() {
+                    continue;
+                }
+                let row = &rows[n % rows.len()];
+                let op = HistoricalOp::set_validity(
+                    RowSelector::exact(row.tuple.clone(), row.validity),
+                    *v,
+                );
+                if state.apply(std::slice::from_ref(&op)).is_ok() {
+                    ops.push(op);
+                }
+            }
+        }
+    }
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn temporal_stores_equivalent(script in arb_script()) {
+        let schema = faculty_schema();
+        let mut cube = SnapshotTemporal::new(schema.clone(), TemporalSignature::Interval);
+        let mut table = BitemporalTable::new(schema.clone(), TemporalSignature::Interval);
+        let mut shadow = HistoricalRelation::new(schema, TemporalSignature::Interval);
+
+        let mut tx_time = Chronon::new(1000);
+        let mut commit_times = Vec::new();
+        for tx in &script {
+            let ops = lower(&mut shadow, tx);
+            if ops.is_empty() {
+                continue;
+            }
+            cube.commit(tx_time, &ops).expect("lowered ops are valid");
+            table.commit(tx_time, &ops).expect("lowered ops are valid");
+            commit_times.push(tx_time);
+            tx_time = tx_time + 10;
+        }
+
+        // Current states agree with each other and with the shadow.
+        prop_assert_eq!(cube.current(), table.current());
+        prop_assert_eq!(table.current(), shadow.clone());
+
+        // Rollback agrees at, around, and between every commit.
+        for &ct in &commit_times {
+            for probe in [ct - 1, ct, ct + 1, ct + 5] {
+                prop_assert_eq!(cube.rollback(probe), table.rollback(probe), "at {:?}", probe);
+            }
+        }
+        // And before history began.
+        prop_assert!(table.rollback(Chronon::new(0)).is_empty());
+
+        // Append-only: the timestamped store never stores fewer rows than
+        // distinct versions, and the cube never fewer tuples than the table.
+        prop_assert!(cube.stored_tuples() >= table.current().len());
+
+        // Valid-time timeslices of the current state agree between the
+        // two stores at assorted instants.
+        for t in [0i64, 50, 100, 150, 199, 250, 320] {
+            let t = Chronon::new(t);
+            prop_assert_eq!(cube.current().valid_at(t), table.current().valid_at(t));
+        }
+    }
+
+    #[test]
+    fn rollback_stores_equivalent(
+        txs in prop::collection::vec(prop::collection::vec(arb_tuple(), 1..4), 1..10)
+    ) {
+        let schema = faculty_schema();
+        let mut cube = SnapshotRollback::new(schema.clone());
+        let mut ts = TimestampedRollback::new(schema.clone());
+        let mut shadow = StaticRelation::new(schema);
+
+        let mut tx_time = Chronon::new(100);
+        let mut commits = Vec::new();
+        for tx in &txs {
+            // Toggle semantics: present tuples are deleted, absent inserted
+            // — always valid, and exercises insert/delete/reinsert chains.
+            let mut ops = Vec::new();
+            for t in tx {
+                let op = if shadow.contains(t) {
+                    StaticOp::Delete(t.clone())
+                } else {
+                    StaticOp::Insert(t.clone())
+                };
+                if shadow.apply(std::slice::from_ref(&op)).is_ok() {
+                    ops.push(op);
+                }
+            }
+            if ops.is_empty() {
+                continue;
+            }
+            cube.commit(tx_time, &ops).expect("toggled ops are valid");
+            ts.commit(tx_time, &ops).expect("toggled ops are valid");
+            commits.push(tx_time);
+            tx_time = tx_time + 7;
+        }
+
+        prop_assert_eq!(cube.current(), ts.current());
+        prop_assert_eq!(&ts.current(), &shadow);
+        for &ct in &commits {
+            for probe in [ct - 1, ct, ct + 3] {
+                prop_assert_eq!(cube.rollback(probe), ts.rollback(probe), "at {:?}", probe);
+            }
+        }
+        prop_assert!(ts.rollback(Chronon::new(0)).is_empty());
+        // The cube stores at least as many tuples as the timestamped form
+        // whenever any state carries more than one tuple (duplication).
+        prop_assert!(cube.stored_tuples() + commits.len() >= ts.stored_tuples());
+    }
+
+    #[test]
+    fn rollback_past_is_immutable(
+        txs in prop::collection::vec(prop::collection::vec(arb_tuple(), 1..4), 2..8),
+        probe_off in 0i64..40,
+    ) {
+        let schema = faculty_schema();
+        let mut ts = TimestampedRollback::new(schema.clone());
+        let mut shadow = StaticRelation::new(schema);
+        let mut tx_time = Chronon::new(100);
+        let mut snapshots: Vec<(Chronon, StaticRelation)> = Vec::new();
+        for tx in &txs {
+            let mut ops = Vec::new();
+            for t in tx {
+                let op = if shadow.contains(t) {
+                    StaticOp::Delete(t.clone())
+                } else {
+                    StaticOp::Insert(t.clone())
+                };
+                if shadow.apply(std::slice::from_ref(&op)).is_ok() {
+                    ops.push(op);
+                }
+            }
+            if ops.is_empty() { continue; }
+            // Record what an earlier probe sees *before* this commit…
+            let probe = Chronon::new(tx_time.ticks() - 1 - probe_off);
+            snapshots.push((probe, ts.rollback(probe)));
+            ts.commit(tx_time, &ops).unwrap();
+            tx_time = tx_time + 7;
+            // …and verify all earlier snapshots are unchanged after it.
+            for (p, snap) in &snapshots {
+                prop_assert_eq!(&ts.rollback(*p), snap, "past mutated at {:?}", p);
+            }
+        }
+    }
+}

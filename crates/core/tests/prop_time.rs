@@ -1,0 +1,137 @@
+//! Property tests for the time domain: period algebra laws, Allen
+//! relation coherence, and calendar round-trips.
+
+use chronos_core::calendar::{date, Date};
+use chronos_core::chronon::Chronon;
+use chronos_core::period::{AllenRelation, Period};
+use chronos_core::timepoint::TimePoint;
+use proptest::prelude::*;
+
+fn arb_timepoint() -> impl Strategy<Value = TimePoint> {
+    prop_oneof![
+        1 => Just(TimePoint::MINUS_INFINITY),
+        1 => Just(TimePoint::INFINITY),
+        8 => (-500i64..500).prop_map(|t| TimePoint::at(Chronon::new(t))),
+    ]
+}
+
+prop_compose! {
+    fn arb_period()(a in arb_timepoint(), b in arb_timepoint()) -> Period {
+        Period::clamped(a.min_of(b), a.max_of(b))
+    }
+}
+
+fn sample_points(p: Period, q: Period) -> Vec<Chronon> {
+    let mut pts = Vec::new();
+    for tp in [p.start(), p.end(), q.start(), q.end()] {
+        if let Some(c) = tp.finite() {
+            for d in [-1, 0, 1] {
+                pts.push(c + d);
+            }
+        }
+    }
+    pts.push(Chronon::new(-501));
+    pts.push(Chronon::new(501));
+    pts
+}
+
+proptest! {
+    #[test]
+    fn intersection_is_pointwise_and(p in arb_period(), q in arb_period()) {
+        let i = p.intersect(q);
+        for c in sample_points(p, q) {
+            prop_assert_eq!(i.contains(c), p.contains(c) && q.contains(c), "at {:?}", c);
+        }
+    }
+
+    #[test]
+    fn intersection_commutes_and_is_idempotent(p in arb_period(), q in arb_period()) {
+        let a = p.intersect(q);
+        let b = q.intersect(p);
+        // Both empty, or equal.
+        prop_assert!(a == b || (a.is_empty() && b.is_empty()));
+        prop_assert_eq!(p.intersect(p).is_empty(), p.is_empty());
+        if !p.is_empty() {
+            prop_assert_eq!(p.intersect(p), p);
+        }
+    }
+
+    #[test]
+    fn union_is_pointwise_or_when_defined(p in arb_period(), q in arb_period()) {
+        if let Some(u) = p.union(q) {
+            for c in sample_points(p, q) {
+                prop_assert_eq!(u.contains(c), p.contains(c) || q.contains(c), "at {:?}", c);
+            }
+        }
+    }
+
+    #[test]
+    fn difference_is_pointwise_andnot(p in arb_period(), q in arb_period()) {
+        let (l, r) = p.difference(q);
+        for c in sample_points(p, q) {
+            let in_diff = l.is_some_and(|x| x.contains(c)) || r.is_some_and(|x| x.contains(c));
+            prop_assert_eq!(in_diff, p.contains(c) && !q.contains(c), "at {:?}", c);
+        }
+    }
+
+    #[test]
+    fn extend_covers_both(p in arb_period(), q in arb_period()) {
+        let e = p.extend(q);
+        prop_assert!(e.encloses(p));
+        prop_assert!(e.encloses(q));
+        // Minimality: extend is no larger than necessary at the ends.
+        if !p.is_empty() && !q.is_empty() {
+            prop_assert_eq!(e.start(), p.start().min_of(q.start()));
+            prop_assert_eq!(e.end(), p.end().max_of(q.end()));
+        }
+    }
+
+    #[test]
+    fn allen_partitions_pairs(p in arb_period(), q in arb_period()) {
+        match (p.is_empty(), q.is_empty()) {
+            (false, false) => {
+                let r = p.allen(q).expect("non-empty pairs are classified");
+                prop_assert_eq!(q.allen(p), Some(r.inverse()));
+                prop_assert_eq!(r.is_overlapping(), p.overlaps(q));
+                // precede agrees with Before/Meets.
+                let precedes = matches!(r, AllenRelation::Before | AllenRelation::Meets);
+                prop_assert_eq!(p.precedes(q), precedes);
+            }
+            _ => prop_assert_eq!(p.allen(q), None),
+        }
+    }
+
+    #[test]
+    fn overlap_symmetric(p in arb_period(), q in arb_period()) {
+        prop_assert_eq!(p.overlaps(q), q.overlaps(p));
+    }
+
+    #[test]
+    fn encloses_transitive(p in arb_period(), q in arb_period(), r in arb_period()) {
+        if p.encloses(q) && q.encloses(r) {
+            prop_assert!(p.encloses(r));
+        }
+    }
+
+    #[test]
+    fn calendar_round_trip(t in -200_000i64..200_000) {
+        let c = Chronon::new(t);
+        let d = Date::from_chronon(c);
+        prop_assert_eq!(d.to_chronon(), c);
+        // And through the textual form.
+        let again = date(&d.to_string()).unwrap();
+        prop_assert_eq!(again, c);
+    }
+
+    #[test]
+    fn calendar_is_monotone(t in -200_000i64..200_000) {
+        let d0 = Date::from_chronon(Chronon::new(t));
+        let d1 = Date::from_chronon(Chronon::new(t + 1));
+        prop_assert!(d0 < d1);
+    }
+
+    #[test]
+    fn timepoint_order_key_monotone(a in arb_timepoint(), b in arb_timepoint()) {
+        prop_assert_eq!(a.cmp(&b), a.order_key().cmp(&b.order_key()));
+    }
+}

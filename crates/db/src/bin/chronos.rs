@@ -1,0 +1,157 @@
+//! `chronos` — an interactive TQuel shell over ChronosDB.
+//!
+//! ```text
+//! cargo run -p chronos-db --bin chronos [-- <database-dir>]
+//! ```
+//!
+//! With a directory argument the database is durable (catalog + WAL +
+//! checkpoints); without one it is in-memory.  Statements may span
+//! lines and are executed when a blank line (or end of input) is
+//! reached, so the paper's multi-line queries paste directly.  Shell
+//! commands start with `\`:
+//!
+//! ```text
+//! \d                 list relations and their classes
+//! \checkpoint        checkpoint a durable database
+//! \now               show the database clock
+//! \advance mm/dd/yy  move the clock forward (great for replaying the paper)
+//! \q                 quit
+//! ```
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use chronos_core::calendar::date;
+use chronos_core::clock::{Clock, ManualClock, SystemClock};
+use chronos_db::{Database, ExecOutcome};
+use chronos_tquel::printer::render;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // The clock starts at the epoch and only moves forward (transaction
+    // time is append-only): `\advance` to any date — e.g. the paper's
+    // 08/25/77 — before your first commit, or to today with
+    // `\advance <today>`.
+    let manual = Arc::new(ManualClock::new(chronos_core::chronon::Chronon::ZERO));
+    let clock: Arc<dyn Clock> = manual.clone();
+    let _today = SystemClock::default().now(); // printed in the banner below
+    let mut db = match args.first() {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            match Database::open(&dir, clock) {
+                Ok(db) => {
+                    eprintln!("opened durable database at {}", dir.display());
+                    db
+                }
+                Err(e) => {
+                    eprintln!("cannot open {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            eprintln!("in-memory database (pass a directory for durability)");
+            Database::in_memory(clock)
+        }
+    };
+    eprintln!(
+        "clock at {} — use \\advance mm/dd/yy to move it (today is {})",
+        chronos_core::calendar::Date::from_chronon(db.now()),
+        chronos_core::calendar::Date::from_chronon(_today)
+    );
+
+    let stdin = std::io::stdin();
+    let interactive = args.iter().all(|a| a != "--batch");
+    let mut session = db.session();
+    let mut buffer = String::new();
+    if interactive {
+        print!("chronos> ");
+        let _ = std::io::stdout().flush();
+    }
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed.starts_with('\\') {
+            if !buffer.trim().is_empty() {
+                execute(&mut session, &buffer);
+                buffer.clear();
+            }
+            let mut parts = trimmed.split_whitespace();
+            match parts.next() {
+                Some("\\q") | Some("\\quit") => break,
+                Some("\\d") => {
+                    let db = session.database();
+                    for name in db.relation_names() {
+                        let class = db.classify(&name).expect("cataloged");
+                        let stored = db.relation(&name).expect("cataloged").stored_tuples();
+                        println!("  {name}  [{class}]  {stored} stored tuples");
+                    }
+                }
+                Some("\\now") => {
+                    println!("  {}", chronos_core::calendar::Date::from_chronon(
+                        session.database().now()
+                    ));
+                }
+                Some("\\advance") => match parts.next().map(date) {
+                    Some(Ok(t)) => {
+                        manual.advance_to(t);
+                        println!("  clock at {}", chronos_core::calendar::Date::from_chronon(t));
+                    }
+                    _ => eprintln!("usage: \\advance mm/dd/yy"),
+                },
+                Some("\\checkpoint") => match session.database().checkpoint() {
+                    Ok(()) => println!("  checkpointed"),
+                    Err(e) => eprintln!("  {e}"),
+                },
+                Some(other) => eprintln!("unknown command {other} (try \\d, \\now, \\advance, \\checkpoint, \\q)"),
+                None => {}
+            }
+        } else if trimmed.is_empty() {
+            if !buffer.trim().is_empty() {
+                execute(&mut session, &buffer);
+                buffer.clear();
+            }
+        } else {
+            buffer.push_str(&line);
+            buffer.push('\n');
+        }
+        if interactive && buffer.trim().is_empty() {
+            print!("chronos> ");
+            let _ = std::io::stdout().flush();
+        }
+    }
+    if !buffer.trim().is_empty() {
+        execute(&mut session, &buffer);
+    }
+}
+
+fn execute(session: &mut chronos_db::Session<'_>, src: &str) {
+    match session.run(src) {
+        Ok(outcomes) => {
+            for outcome in outcomes {
+                match outcome {
+                    ExecOutcome::Retrieved(rel) => {
+                        print!("{}", render(&rel));
+                        println!("({} row{})", rel.len(), if rel.len() == 1 { "" } else { "s" });
+                    }
+                    ExecOutcome::Appended(t) => {
+                        println!("appended (transaction time {})",
+                            chronos_core::calendar::Date::from_chronon(t));
+                    }
+                    ExecOutcome::Materialized { relation, rows } => {
+                        println!("materialized {rows} row(s) into {relation}");
+                    }
+                    ExecOutcome::Deleted(n) => println!("deleted {n} row(s)"),
+                    ExecOutcome::Replaced(n) => println!("replaced {n} row(s)"),
+                    ExecOutcome::Created => println!("created"),
+                    ExecOutcome::Destroyed => println!("destroyed"),
+                    ExecOutcome::Declared => {}
+                }
+            }
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}

@@ -1,0 +1,306 @@
+//! The catalog: durable relation definitions.
+//!
+//! The catalog maps relation names to `(rel_id, schema, class,
+//! signature)`.  For durable databases it is persisted to a `catalog`
+//! file in the database directory — a checksummed binary image rewritten
+//! on every DDL statement — while committed data lives in the shared
+//! write-ahead log, keyed by `rel_id`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use chronos_core::schema::{Attribute, RelationClass, Schema, TemporalSignature};
+use chronos_core::value::AttrType;
+use chronos_storage::codec::{crc32, put_bytes, put_uvarint, Reader};
+use chronos_storage::{StorageError, StorageResult};
+
+/// One catalog entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CatalogEntry {
+    /// Stable id used in the write-ahead log.
+    pub rel_id: u32,
+    /// Explicit attributes.
+    pub schema: Schema,
+    /// The relation's class.
+    pub class: RelationClass,
+    /// Interval or event valid time.
+    pub signature: TemporalSignature,
+}
+
+/// The set of relation definitions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Catalog {
+    entries: BTreeMap<String, CatalogEntry>,
+    next_rel_id: u32,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Looks up a relation.
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.get(name)
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &CatalogEntry)> {
+        self.entries.iter()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no relations are defined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Defines a relation, allocating a fresh `rel_id`.
+    pub fn define(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        class: RelationClass,
+        signature: TemporalSignature,
+    ) -> Result<u32, String> {
+        if self.entries.contains_key(name) {
+            return Err(format!("relation {name:?} already exists"));
+        }
+        let rel_id = self.next_rel_id;
+        self.next_rel_id += 1;
+        self.entries.insert(
+            name.to_string(),
+            CatalogEntry {
+                rel_id,
+                schema,
+                class,
+                signature,
+            },
+        );
+        Ok(rel_id)
+    }
+
+    /// Removes a relation definition.  `rel_id`s are never reused, so
+    /// log records of dropped relations stay unambiguous.
+    pub fn remove(&mut self, name: &str) -> Option<CatalogEntry> {
+        self.entries.remove(name)
+    }
+
+    // ----------------------------------------------------------------
+    // Persistence
+    // ----------------------------------------------------------------
+
+    const MAGIC: &'static [u8; 8] = b"CHRONCAT";
+
+    fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        put_uvarint(&mut body, u64::from(self.next_rel_id));
+        put_uvarint(&mut body, self.entries.len() as u64);
+        for (name, e) in &self.entries {
+            put_bytes(&mut body, name.as_bytes());
+            put_uvarint(&mut body, u64::from(e.rel_id));
+            body.push(match e.class {
+                RelationClass::Static => 0,
+                RelationClass::StaticRollback => 1,
+                RelationClass::Historical => 2,
+                RelationClass::Temporal => 3,
+            });
+            body.push(match e.signature {
+                TemporalSignature::Interval => 0,
+                TemporalSignature::Event => 1,
+            });
+            put_uvarint(&mut body, e.schema.arity() as u64);
+            for a in e.schema.attributes() {
+                put_bytes(&mut body, a.name().as_bytes());
+                body.push(match a.attr_type() {
+                    AttrType::Str => 0,
+                    AttrType::Int => 1,
+                    AttrType::Float => 2,
+                    AttrType::Bool => 3,
+                    AttrType::Date => 4,
+                });
+            }
+        }
+        let mut out = Vec::with_capacity(body.len() + 12);
+        out.extend_from_slice(Self::MAGIC);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> StorageResult<Catalog> {
+        if bytes.len() < 12 || &bytes[..8] != Self::MAGIC {
+            return Err(StorageError::Corrupt("bad catalog magic".into()));
+        }
+        let stored = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        let body = &bytes[12..];
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(StorageError::ChecksumMismatch {
+                expected: stored,
+                computed,
+            });
+        }
+        let mut r = Reader::new(body);
+        let next_rel_id = r.get_uvarint()? as u32;
+        let n = r.get_uvarint()? as usize;
+        let mut entries = BTreeMap::new();
+        for _ in 0..n {
+            let name = r.get_str()?.to_string();
+            let rel_id = r.get_uvarint()? as u32;
+            let class = match r.get_u8()? {
+                0 => RelationClass::Static,
+                1 => RelationClass::StaticRollback,
+                2 => RelationClass::Historical,
+                3 => RelationClass::Temporal,
+                t => return Err(StorageError::Corrupt(format!("bad class tag {t}"))),
+            };
+            let signature = match r.get_u8()? {
+                0 => TemporalSignature::Interval,
+                1 => TemporalSignature::Event,
+                t => return Err(StorageError::Corrupt(format!("bad signature tag {t}"))),
+            };
+            let arity = r.get_uvarint()? as usize;
+            let mut attrs = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let aname = r.get_str()?.to_string();
+                let ty = match r.get_u8()? {
+                    0 => AttrType::Str,
+                    1 => AttrType::Int,
+                    2 => AttrType::Float,
+                    3 => AttrType::Bool,
+                    4 => AttrType::Date,
+                    t => return Err(StorageError::Corrupt(format!("bad type tag {t}"))),
+                };
+                attrs.push(Attribute::new(aname, ty));
+            }
+            let schema = Schema::new(attrs)
+                .map_err(|e| StorageError::Corrupt(format!("bad schema: {e}")))?;
+            entries.insert(
+                name,
+                CatalogEntry {
+                    rel_id,
+                    schema,
+                    class,
+                    signature,
+                },
+            );
+        }
+        Ok(Catalog {
+            entries,
+            next_rel_id,
+        })
+    }
+
+    /// Writes the catalog image to `path` (atomically via a temp file).
+    pub fn save(&self, path: &Path) -> StorageResult<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.encode())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a catalog image, or an empty catalog if the file is absent.
+    pub fn load(path: &Path) -> StorageResult<Catalog> {
+        match std::fs::read(path) {
+            Ok(bytes) => Self::decode(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Catalog::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::schema::faculty_schema;
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::new();
+        c.define(
+            "faculty",
+            faculty_schema(),
+            RelationClass::Temporal,
+            TemporalSignature::Interval,
+        )
+        .unwrap();
+        c.define(
+            "promotion",
+            Schema::new(vec![
+                Attribute::new("name", AttrType::Str),
+                Attribute::new("effective", AttrType::Date),
+            ])
+            .unwrap(),
+            RelationClass::Temporal,
+            TemporalSignature::Event,
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn define_and_lookup() {
+        let c = sample();
+        assert_eq!(c.len(), 2);
+        let f = c.get("faculty").unwrap();
+        assert_eq!(f.rel_id, 0);
+        assert_eq!(f.class, RelationClass::Temporal);
+        assert!(c.get("absent").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected_and_ids_never_reused() {
+        let mut c = sample();
+        assert!(c
+            .define(
+                "faculty",
+                faculty_schema(),
+                RelationClass::Static,
+                TemporalSignature::Interval
+            )
+            .is_err());
+        c.remove("faculty").unwrap();
+        let id = c
+            .define(
+                "faculty",
+                faculty_schema(),
+                RelationClass::Static,
+                TemporalSignature::Interval,
+            )
+            .unwrap();
+        assert_eq!(id, 2, "rel ids are never reused");
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let c = sample();
+        let mut path = std::env::temp_dir();
+        path.push(format!("chronos-catalog-{}", std::process::id()));
+        c.save(&path).unwrap();
+        let loaded = Catalog::load(&path).unwrap();
+        assert_eq!(loaded, c);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty_catalog() {
+        let mut path = std::env::temp_dir();
+        path.push("chronos-catalog-definitely-missing");
+        assert!(Catalog::load(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let c = sample();
+        let mut bytes = c.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(Catalog::decode(&bytes).is_err());
+        assert!(Catalog::decode(b"NOTMAGIC0000").is_err());
+    }
+}

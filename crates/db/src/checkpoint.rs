@@ -1,0 +1,302 @@
+//! Checkpointing: bounding recovery time without giving up append-only
+//! history.
+//!
+//! A durable ChronosDB database is logically *the write-ahead log*:
+//! reopening replays every committed transaction.  That is faithful to
+//! the paper's append-only transaction time, but recovery is O(history).
+//! [`Database::checkpoint`](crate::Database::checkpoint) bounds it: the
+//! complete physical state of every relation — including closed
+//! versions, which a temporal database may never forget — is written to
+//! a checksummed `checkpoint` file, and the log is truncated.  Reopening
+//! loads the checkpoint and replays only the log suffix.
+//!
+//! The checkpoint preserves *everything* the log encoded: every
+//! bitemporal version, every rollback version, all transaction counters
+//! and the last commit time, so `as of` queries answer identically
+//! before and after (asserted by the durability tests).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use chronos_core::chronon::Chronon;
+use chronos_core::relation::rollback::{RollbackRow, TimestampedRollback};
+use chronos_core::relation::static_rel::StaticRelation;
+use chronos_core::relation::historical::HistoricalRelation;
+use chronos_core::relation::temporal::{BitemporalRow, TemporalStore as _};
+use chronos_core::relation::rollback::RollbackStore as _;
+use chronos_core::schema::Schema;
+use chronos_storage::codec::{
+    crc32, get_period, get_tuple, get_validity, put_ivarint, put_period, put_tuple, put_uvarint,
+    put_validity, Reader,
+};
+use chronos_storage::table::StoredBitemporalTable;
+use chronos_storage::{StorageError, StorageResult};
+
+use crate::catalog::CatalogEntry;
+use crate::relation::Relation;
+
+const MAGIC: &[u8; 8] = b"CHRONCKP";
+
+/// The checkpointed state of one relation.
+pub enum RelationImage {
+    /// A static relation's tuples.
+    Static(Vec<chronos_core::tuple::Tuple>),
+    /// A rollback relation's rows plus counters.
+    Rollback {
+        /// All versions.
+        rows: Vec<RollbackRow>,
+        /// Latest commit time.
+        last_commit: Option<Chronon>,
+        /// Committed transaction count.
+        transactions: u64,
+    },
+    /// A historical relation's rows.
+    Historical(Vec<chronos_core::relation::historical::HistoricalRow>),
+    /// A temporal relation's rows plus counters.
+    Temporal {
+        /// All versions.
+        rows: Vec<BitemporalRow>,
+        /// Latest commit time.
+        last_commit: Option<Chronon>,
+        /// Committed transaction count.
+        transactions: u64,
+    },
+}
+
+fn put_opt_chronon(buf: &mut Vec<u8>, c: Option<Chronon>) {
+    match c {
+        None => buf.push(0),
+        Some(c) => {
+            buf.push(1);
+            put_ivarint(buf, c.ticks());
+        }
+    }
+}
+
+fn get_opt_chronon(r: &mut Reader<'_>) -> StorageResult<Option<Chronon>> {
+    match r.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(Chronon::new(r.get_ivarint()?))),
+        t => Err(StorageError::Corrupt(format!("bad option tag {t}"))),
+    }
+}
+
+/// Captures the image of a live relation.
+pub fn capture(rel: &Relation) -> StorageResult<RelationImage> {
+    Ok(match rel {
+        Relation::Static(r) => RelationImage::Static(r.iter().cloned().collect()),
+        Relation::Rollback(r) => RelationImage::Rollback {
+            rows: r.rows().to_vec(),
+            last_commit: r.last_commit(),
+            transactions: r.transactions() as u64,
+        },
+        Relation::Historical(r) => RelationImage::Historical(r.rows().to_vec()),
+        Relation::Temporal(r) => RelationImage::Temporal {
+            rows: r.scan_rows()?,
+            last_commit: r.last_commit(),
+            transactions: r.transactions() as u64,
+        },
+    })
+}
+
+fn encode_image(buf: &mut Vec<u8>, image: &RelationImage) {
+    match image {
+        RelationImage::Static(tuples) => {
+            buf.push(0);
+            put_uvarint(buf, tuples.len() as u64);
+            for t in tuples {
+                put_tuple(buf, t);
+            }
+        }
+        RelationImage::Rollback {
+            rows,
+            last_commit,
+            transactions,
+        } => {
+            buf.push(1);
+            put_opt_chronon(buf, *last_commit);
+            put_uvarint(buf, *transactions);
+            put_uvarint(buf, rows.len() as u64);
+            for row in rows {
+                put_tuple(buf, &row.tuple);
+                put_period(buf, row.tx);
+            }
+        }
+        RelationImage::Historical(rows) => {
+            buf.push(2);
+            put_uvarint(buf, rows.len() as u64);
+            for row in rows {
+                put_tuple(buf, &row.tuple);
+                put_validity(buf, row.validity);
+            }
+        }
+        RelationImage::Temporal {
+            rows,
+            last_commit,
+            transactions,
+        } => {
+            buf.push(3);
+            put_opt_chronon(buf, *last_commit);
+            put_uvarint(buf, *transactions);
+            put_uvarint(buf, rows.len() as u64);
+            for row in rows {
+                put_tuple(buf, &row.tuple);
+                put_validity(buf, row.validity);
+                put_period(buf, row.tx);
+            }
+        }
+    }
+}
+
+fn decode_image(r: &mut Reader<'_>) -> StorageResult<RelationImage> {
+    match r.get_u8()? {
+        0 => {
+            let n = r.get_uvarint()? as usize;
+            let mut tuples = Vec::with_capacity(n);
+            for _ in 0..n {
+                tuples.push(get_tuple(r)?);
+            }
+            Ok(RelationImage::Static(tuples))
+        }
+        1 => {
+            let last_commit = get_opt_chronon(r)?;
+            let transactions = r.get_uvarint()?;
+            let n = r.get_uvarint()? as usize;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(RollbackRow {
+                    tuple: get_tuple(r)?,
+                    tx: get_period(r)?,
+                });
+            }
+            Ok(RelationImage::Rollback {
+                rows,
+                last_commit,
+                transactions,
+            })
+        }
+        2 => {
+            let n = r.get_uvarint()? as usize;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(chronos_core::relation::historical::HistoricalRow {
+                    tuple: get_tuple(r)?,
+                    validity: get_validity(r)?,
+                });
+            }
+            Ok(RelationImage::Historical(rows))
+        }
+        3 => {
+            let last_commit = get_opt_chronon(r)?;
+            let transactions = r.get_uvarint()?;
+            let n = r.get_uvarint()? as usize;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(BitemporalRow {
+                    tuple: get_tuple(r)?,
+                    validity: get_validity(r)?,
+                    tx: get_period(r)?,
+                });
+            }
+            Ok(RelationImage::Temporal {
+                rows,
+                last_commit,
+                transactions,
+            })
+        }
+        t => Err(StorageError::Corrupt(format!("bad relation image tag {t}"))),
+    }
+}
+
+/// Restores a live relation from its image, validating against the
+/// catalog entry's schema/class/signature.
+pub fn restore(entry: &CatalogEntry, image: RelationImage) -> StorageResult<Relation> {
+    let schema: Schema = entry.schema.clone();
+    Ok(match image {
+        RelationImage::Static(tuples) => {
+            let mut r = StaticRelation::new(schema);
+            for t in tuples {
+                r.insert(t).map_err(StorageError::Core)?;
+            }
+            Relation::Static(r)
+        }
+        RelationImage::Rollback {
+            rows,
+            last_commit,
+            transactions,
+        } => Relation::Rollback(
+            TimestampedRollback::from_parts(schema, rows, last_commit, transactions as usize)
+                .map_err(StorageError::Core)?,
+        ),
+        RelationImage::Historical(rows) => {
+            let mut r = HistoricalRelation::new(schema, entry.signature);
+            for row in rows {
+                r.insert(row.tuple, row.validity).map_err(StorageError::Core)?;
+            }
+            Relation::Historical(r)
+        }
+        RelationImage::Temporal {
+            rows,
+            last_commit,
+            transactions,
+        } => Relation::Temporal(Box::new(
+            StoredBitemporalTable::<chronos_storage::pager::MemPager>::from_rows(
+            schema,
+            entry.signature,
+            rows,
+            last_commit,
+            transactions as usize,
+        )?)),
+    })
+}
+
+/// Writes a checkpoint file: `(rel_id → image)` for every relation,
+/// framed with magic and CRC-32.
+pub fn save(path: &Path, images: &BTreeMap<u32, RelationImage>) -> StorageResult<()> {
+    let mut body = Vec::new();
+    put_uvarint(&mut body, images.len() as u64);
+    for (rel_id, image) in images {
+        put_uvarint(&mut body, u64::from(*rel_id));
+        encode_image(&mut body, image);
+    }
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, out)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a checkpoint file; absent file means no checkpoint.
+pub fn load(path: &Path) -> StorageResult<Option<BTreeMap<u32, RelationImage>>> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < 12 || &bytes[..8] != MAGIC {
+        return Err(StorageError::Corrupt("bad checkpoint magic".into()));
+    }
+    let stored = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let body = &bytes[12..];
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(StorageError::ChecksumMismatch {
+            expected: stored,
+            computed,
+        });
+    }
+    let mut r = Reader::new(body);
+    let n = r.get_uvarint()? as usize;
+    let mut images = BTreeMap::new();
+    for _ in 0..n {
+        let rel_id = r.get_uvarint()? as u32;
+        images.insert(rel_id, decode_image(&mut r)?);
+    }
+    if !r.is_exhausted() {
+        return Err(StorageError::Corrupt("trailing bytes in checkpoint".into()));
+    }
+    Ok(Some(images))
+}

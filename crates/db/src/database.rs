@@ -1,0 +1,359 @@
+//! The database: catalog + relations + transaction clock + durability.
+//!
+//! A [`Database`] owns the catalog and one store per defined relation.
+//! All mutation funnels through [`Database::commit`], which allocates a
+//! strictly monotonic transaction time from the
+//! [`TxnManager`], validates the operations, writes them ahead to the
+//! shared log (durable databases), then applies them.  Reopening a
+//! durable database loads the catalog image and replays the log — the
+//! log *is* the temporal database, which is precisely the paper's
+//! append-only transaction-time semantics.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use chronos_core::chronon::Chronon;
+use chronos_core::clock::Clock;
+use chronos_core::relation::HistoricalOp;
+use chronos_core::schema::{RelationClass, Schema, TemporalSignature};
+use chronos_core::taxonomy::DatabaseClass;
+use chronos_storage::txn::TxnManager;
+use chronos_storage::wal::{Wal, WalRecord};
+use chronos_tquel::provider::{AsOfSpec, RelationInfo, RelationProvider, SourceRow};
+use chronos_tquel::TquelError;
+
+use crate::catalog::Catalog;
+use crate::error::{DbError, DbResult};
+use crate::relation::Relation;
+use crate::session::Session;
+
+/// A ChronosDB database instance.
+pub struct Database {
+    catalog: Catalog,
+    relations: HashMap<String, Relation>,
+    txn: TxnManager,
+    dir: Option<PathBuf>,
+    wal: Option<Wal>,
+}
+
+impl Database {
+    /// Creates a volatile in-memory database.
+    pub fn in_memory(clock: Arc<dyn Clock>) -> Database {
+        Database {
+            catalog: Catalog::new(),
+            relations: HashMap::new(),
+            txn: TxnManager::new(clock),
+            dir: None,
+            wal: None,
+        }
+    }
+
+    /// Opens (creating if needed) a durable database in `dir`: loads the
+    /// catalog image, replays the write-ahead log (truncating a torn
+    /// tail), and resumes the transaction clock after the last replayed
+    /// commit.
+    pub fn open(dir: &Path, clock: Arc<dyn Clock>) -> DbResult<Database> {
+        std::fs::create_dir_all(dir).map_err(chronos_storage::StorageError::from)?;
+        let catalog = Catalog::load(&dir.join("catalog"))?;
+        // Start from the checkpoint image when one exists, otherwise
+        // from empty stores; either way the log suffix replays on top.
+        let mut images = crate::checkpoint::load(&dir.join("checkpoint"))?.unwrap_or_default();
+        let mut relations = HashMap::new();
+        let mut by_id: HashMap<u32, String> = HashMap::new();
+        let mut last_commit: Option<chronos_core::chronon::Chronon> = None;
+        let mut observe = |t: Option<chronos_core::chronon::Chronon>| {
+            if let Some(t) = t {
+                last_commit = Some(match last_commit {
+                    Some(prev) => prev.max_of(t),
+                    None => t,
+                });
+            }
+        };
+        for (name, entry) in catalog.iter() {
+            let rel = match images.remove(&entry.rel_id) {
+                Some(image) => {
+                    if let crate::checkpoint::RelationImage::Rollback { last_commit, .. }
+                    | crate::checkpoint::RelationImage::Temporal { last_commit, .. } = &image
+                    {
+                        observe(*last_commit);
+                    }
+                    crate::checkpoint::restore(entry, image)?
+                }
+                None => Relation::new(entry.schema.clone(), entry.class, entry.signature),
+            };
+            relations.insert(name.clone(), rel);
+            by_id.insert(entry.rel_id, name.clone());
+        }
+        let wal_path = dir.join("wal");
+        let recovered = Wal::truncate_torn_tail(&wal_path)?;
+        for rec in &recovered.records {
+            let Some(name) = by_id.get(&rec.rel_id) else {
+                continue; // relation since destroyed
+            };
+            let rel = relations.get_mut(name).expect("catalog and stores in sync");
+            rel.apply(rec.tx_time, &rec.ops).map_err(|e| {
+                DbError::Storage(chronos_storage::StorageError::Corrupt(format!(
+                    "log replay failed for {name:?} at {}: {e}",
+                    rec.tx_time
+                )))
+            })?;
+            observe(Some(rec.tx_time));
+        }
+        Ok(Database {
+            catalog,
+            relations,
+            txn: TxnManager::resuming_after(clock, last_commit),
+            dir: Some(dir.to_path_buf()),
+            wal: Some(Wal::open(&wal_path)?),
+        })
+    }
+
+    /// Checkpoints the database: writes the complete physical state of
+    /// every relation (all versions included — a temporal database
+    /// forgets nothing) to the `checkpoint` file and truncates the
+    /// write-ahead log, bounding future recovery time.  Only meaningful
+    /// on durable databases.
+    pub fn checkpoint(&mut self) -> DbResult<()> {
+        let Some(dir) = self.dir.clone() else {
+            return Err(DbError::Catalog(
+                "checkpoint requires a durable database".into(),
+            ));
+        };
+        let mut images = std::collections::BTreeMap::new();
+        for (name, entry) in self.catalog.iter() {
+            let rel = self.relations.get(name).expect("catalog and stores in sync");
+            images.insert(entry.rel_id, crate::checkpoint::capture(rel)?);
+        }
+        crate::checkpoint::save(&dir.join("checkpoint"), &images)?;
+        if let Some(wal) = &mut self.wal {
+            wal.reset()?;
+        }
+        Ok(())
+    }
+
+    /// True iff the database persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// The current reading of the database clock: the transaction time
+    /// the next commit would receive.
+    pub fn now(&self) -> Chronon {
+        self.txn.peek_now()
+    }
+
+    /// Defines a new relation.
+    pub fn create_relation(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        class: RelationClass,
+        signature: TemporalSignature,
+    ) -> DbResult<()> {
+        self.catalog
+            .define(name, schema.clone(), class, signature)
+            .map_err(DbError::Catalog)?;
+        self.relations
+            .insert(name.to_string(), Relation::new(schema, class, signature));
+        self.persist_catalog()?;
+        Ok(())
+    }
+
+    /// Drops a relation and its store.
+    pub fn destroy_relation(&mut self, name: &str) -> DbResult<()> {
+        if self.catalog.remove(name).is_none() {
+            return Err(DbError::Catalog(format!("unknown relation {name:?}")));
+        }
+        self.relations.remove(name);
+        self.persist_catalog()?;
+        Ok(())
+    }
+
+    fn persist_catalog(&self) -> DbResult<()> {
+        if let Some(dir) = &self.dir {
+            self.catalog.save(&dir.join("catalog"))?;
+        }
+        Ok(())
+    }
+
+    /// Names of all defined relations, in name order.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.catalog.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Borrows a relation's store.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// The database class of a relation (Figure 10 classification).
+    pub fn classify(&self, name: &str) -> Option<DatabaseClass> {
+        self.catalog.get(name).map(|e| e.class.database_class())
+    }
+
+    /// Commits a transaction against one relation: allocates the
+    /// transaction time, validates, logs (write-ahead), applies.
+    /// Returns the transaction time.
+    pub fn commit(&mut self, relation: &str, ops: &[HistoricalOp]) -> DbResult<Chronon> {
+        if ops.is_empty() {
+            return Err(DbError::Catalog("empty transaction".into()));
+        }
+        let entry = self
+            .catalog
+            .get(relation)
+            .ok_or_else(|| DbError::Catalog(format!("unknown relation {relation:?}")))?;
+        let rel_id = entry.rel_id;
+        let rel = self
+            .relations
+            .get(relation)
+            .expect("catalog and stores in sync");
+        let tx_time = self.txn.next_commit_time();
+        rel.validate(tx_time, ops)?;
+        if let Some(wal) = &mut self.wal {
+            wal.append(&WalRecord {
+                rel_id,
+                tx_time,
+                ops: ops.to_vec(),
+            })?;
+        }
+        let rel = self
+            .relations
+            .get_mut(relation)
+            .expect("catalog and stores in sync");
+        rel.apply(tx_time, ops)
+            .expect("validated transaction applies");
+        Ok(tx_time)
+    }
+
+    /// Materializes a derived relation under `name` — the executable
+    /// form of the paper's closure property ("this derived relation is a
+    /// temporal relation, so further temporal relations can be derived
+    /// from it").  The new relation's class is the result's class; its
+    /// rows keep their derived timestamps verbatim.  On a durable
+    /// database a checkpoint is taken immediately, since derived
+    /// timestamps cannot be replayed through the append-only log.
+    pub fn materialize(
+        &mut self,
+        name: &str,
+        result: &chronos_tquel::exec::ResultRelation,
+    ) -> DbResult<()> {
+        use chronos_core::relation::temporal::BitemporalRow;
+        let class = match result.kind {
+            DatabaseClass::Static => RelationClass::Static,
+            DatabaseClass::StaticRollback => RelationClass::StaticRollback,
+            DatabaseClass::Historical => RelationClass::Historical,
+            DatabaseClass::Temporal => RelationClass::Temporal,
+        };
+        let schema = result.schema.clone();
+        let relation = match class {
+            RelationClass::Static => {
+                let mut r = chronos_core::relation::static_rel::StaticRelation::new(schema.clone());
+                for row in &result.rows {
+                    r.insert(row.tuple.clone())?;
+                }
+                Relation::Static(r)
+            }
+            RelationClass::Historical => {
+                let mut r = chronos_core::relation::historical::HistoricalRelation::new(
+                    schema.clone(),
+                    result.signature,
+                );
+                for row in &result.rows {
+                    let validity = row.validity.ok_or_else(|| {
+                        DbError::Capability("historical result row lacks valid time".into())
+                    })?;
+                    r.insert(row.tuple.clone(), validity)?;
+                }
+                Relation::Historical(r)
+            }
+            RelationClass::Temporal => {
+                let mut rows = Vec::with_capacity(result.rows.len());
+                let mut last_commit: Option<Chronon> = None;
+                for row in &result.rows {
+                    let validity = row.validity.ok_or_else(|| {
+                        DbError::Capability("temporal result row lacks valid time".into())
+                    })?;
+                    let tx = row.tx.ok_or_else(|| {
+                        DbError::Capability("temporal result row lacks transaction time".into())
+                    })?;
+                    if let Some(start) = tx.start().finite() {
+                        last_commit = Some(match last_commit {
+                            Some(prev) => prev.max_of(start),
+                            None => start,
+                        });
+                    }
+                    rows.push(BitemporalRow {
+                        tuple: row.tuple.clone(),
+                        validity,
+                        tx,
+                    });
+                }
+                let transactions = {
+                    let mut starts: Vec<_> = rows.iter().map(|r| r.tx.start()).collect();
+                    starts.sort();
+                    starts.dedup();
+                    starts.len()
+                };
+                Relation::Temporal(Box::new(
+                    chronos_storage::table::StoredBitemporalTable::<
+                        chronos_storage::pager::MemPager,
+                    >::from_rows(
+                        schema.clone(),
+                        result.signature,
+                        rows,
+                        last_commit,
+                        transactions,
+                    )?,
+                ))
+            }
+            RelationClass::StaticRollback => {
+                return Err(DbError::Capability(
+                    "query results are never rollback relations (rollback yields static results)"
+                        .into(),
+                ))
+            }
+        };
+        self.catalog
+            .define(name, schema, class, result.signature)
+            .map_err(DbError::Catalog)?;
+        self.relations.insert(name.to_string(), relation);
+        self.persist_catalog()?;
+        // Derived timestamps aren't reproducible from the log; capture
+        // them (and everything else) in a checkpoint right away.
+        if self.is_durable() {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Starts a session for executing TQuel programs.
+    pub fn session(&mut self) -> Session<'_> {
+        Session::new(self)
+    }
+}
+
+impl RelationProvider for Database {
+    fn info(&self, relation: &str) -> Option<RelationInfo> {
+        self.catalog.get(relation).map(|e| RelationInfo {
+            schema: e.schema.clone(),
+            class: e.class,
+            signature: e.signature,
+        })
+    }
+
+    fn scan(
+        &self,
+        relation: &str,
+        as_of: Option<&AsOfSpec>,
+    ) -> Result<Vec<SourceRow>, TquelError> {
+        let rel = self.relations.get(relation).ok_or_else(|| {
+            TquelError::Semantic(format!("unknown relation {relation:?}"))
+        })?;
+        rel.scan(as_of).map_err(|e| match e {
+            DbError::Tquel(t) => t,
+            DbError::Core(c) => TquelError::Core(c),
+            other => TquelError::Semantic(other.to_string()),
+        })
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the database facade.
+
+use std::fmt;
+
+use chronos_core::CoreError;
+use chronos_storage::StorageError;
+use chronos_tquel::TquelError;
+
+/// Result alias for database operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors surfaced by the database facade.
+#[derive(Debug)]
+pub enum DbError {
+    /// Catalog errors: unknown or duplicate relation names, DDL misuse.
+    Catalog(String),
+    /// A capability violation: the statement needs a time the relation's
+    /// class does not support (e.g. `as of` on a historical relation).
+    Capability(String),
+    /// A query-language error.
+    Tquel(TquelError),
+    /// A relation-model error.
+    Core(CoreError),
+    /// A storage-layer error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DbError::Capability(m) => write!(f, "capability violation: {m}"),
+            DbError::Tquel(e) => write!(f, "{e}"),
+            DbError::Core(e) => write!(f, "{e}"),
+            DbError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Tquel(e) => Some(e),
+            DbError::Core(e) => Some(e),
+            DbError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TquelError> for DbError {
+    fn from(e: TquelError) -> Self {
+        DbError::Tquel(e)
+    }
+}
+
+impl From<CoreError> for DbError {
+    fn from(e: CoreError) -> Self {
+        DbError::Core(e)
+    }
+}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nested_errors() {
+        let e = DbError::Catalog("relation \"x\" already exists".into());
+        assert!(e.to_string().contains("already exists"));
+        let e: DbError = CoreError::Invalid("boom".into()).into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # chronos-db
+//!
+//! The ChronosDB facade: a catalog of named relations spanning all four
+//! of the paper's database classes, TQuel execution (queries *and*
+//! modifications), transaction-time allocation, and durability via a
+//! shared write-ahead log.
+//!
+//! ```
+//! use chronos_db::Database;
+//! use chronos_core::clock::ManualClock;
+//! use chronos_core::calendar::date;
+//! use std::sync::Arc;
+//!
+//! let clock = Arc::new(ManualClock::new(date("08/25/77").unwrap()));
+//! let mut db = Database::in_memory(clock.clone());
+//! let mut session = db.session();
+//! session.run(r#"
+//!     create faculty (name = str, rank = str) as temporal
+//!     append to faculty (name = "Merrie", rank = "associate")
+//!         valid from "09/01/77" to forever
+//!     range of f is faculty
+//!     retrieve (f.rank) where f.name = "Merrie"
+//! "#).unwrap();
+//! ```
+
+pub mod catalog;
+pub mod checkpoint;
+pub mod database;
+pub mod error;
+pub mod relation;
+pub mod session;
+
+pub use database::Database;
+pub use error::{DbError, DbResult};
+pub use session::{ExecOutcome, Session};

@@ -1,0 +1,368 @@
+//! The four relation classes behind one interface.
+//!
+//! A [`Relation`] is whichever store the catalog entry's class calls
+//! for.  All mutation flows through [`Relation::validate`] +
+//! [`Relation::apply`] with a *uniform* operation vocabulary (the
+//! [`HistoricalOp`]s that the write-ahead log records):
+//!
+//! * static and rollback relations read only the tuple out of an op
+//!   (`Insert` ignores the validity, which is stamped `(-∞, ∞)` by the
+//!   session layer);
+//! * historical relations apply the ops directly (arbitrary
+//!   modification, no memory of corrections — §4.3);
+//! * temporal relations commit them at the allocated transaction time
+//!   (append-only — §4.4), through the storage-backed, index-accelerated
+//!   table.
+
+use chronos_core::chronon::Chronon;
+use chronos_core::period::Period;
+use chronos_core::relation::historical::HistoricalRelation;
+use chronos_core::relation::rollback::{RollbackStore, TimestampedRollback};
+use chronos_core::relation::static_rel::StaticRelation;
+use chronos_core::relation::temporal::TemporalStore;
+use chronos_core::relation::{HistoricalOp, StaticOp};
+use chronos_core::schema::{RelationClass, Schema, TemporalSignature};
+use chronos_storage::table::StoredBitemporalTable;
+
+use crate::error::{DbError, DbResult};
+use chronos_tquel::provider::{AsOfSpec, SourceRow};
+
+/// A named relation of any class.
+pub enum Relation {
+    /// §4.1 — snapshot only.
+    Static(StaticRelation),
+    /// §4.2 — transaction time, append-only, tuple-timestamped.
+    Rollback(TimestampedRollback),
+    /// §4.3 — valid time, arbitrarily correctable.
+    Historical(HistoricalRelation),
+    /// §4.4 — both axes, storage-backed (boxed: the stored table with
+    /// its indexes is much larger than the other variants).
+    Temporal(Box<StoredBitemporalTable>),
+}
+
+impl Relation {
+    /// Creates an empty relation of the given class.
+    pub fn new(schema: Schema, class: RelationClass, signature: TemporalSignature) -> Relation {
+        match class {
+            RelationClass::Static => Relation::Static(StaticRelation::new(schema)),
+            RelationClass::StaticRollback => {
+                Relation::Rollback(TimestampedRollback::new(schema))
+            }
+            RelationClass::Historical => {
+                Relation::Historical(HistoricalRelation::new(schema, signature))
+            }
+            RelationClass::Temporal => Relation::Temporal(Box::new(
+                StoredBitemporalTable::in_memory(schema, signature),
+            )),
+        }
+    }
+
+    /// The relation's class.
+    pub fn class(&self) -> RelationClass {
+        match self {
+            Relation::Static(_) => RelationClass::Static,
+            Relation::Rollback(_) => RelationClass::StaticRollback,
+            Relation::Historical(_) => RelationClass::Historical,
+            Relation::Temporal(_) => RelationClass::Temporal,
+        }
+    }
+
+    /// Rows currently stored (versions included for temporal relations).
+    pub fn stored_tuples(&self) -> usize {
+        match self {
+            Relation::Static(r) => r.len(),
+            Relation::Rollback(r) => r.stored_tuples(),
+            Relation::Historical(r) => r.len(),
+            Relation::Temporal(r) => r.stored_tuples(),
+        }
+    }
+
+    /// Borrows the static store (panics on class mismatch — callers
+    /// check the catalog first).
+    pub fn as_static(&self) -> &StaticRelation {
+        match self {
+            Relation::Static(r) => r,
+            _ => panic!("relation is not static"),
+        }
+    }
+
+    /// Borrows the rollback store.
+    pub fn as_rollback(&self) -> &TimestampedRollback {
+        match self {
+            Relation::Rollback(r) => r,
+            _ => panic!("relation is not a rollback relation"),
+        }
+    }
+
+    /// Borrows the historical store.
+    pub fn as_historical(&self) -> &HistoricalRelation {
+        match self {
+            Relation::Historical(r) => r,
+            _ => panic!("relation is not historical"),
+        }
+    }
+
+    /// Borrows the temporal store.
+    pub fn as_temporal(&self) -> &StoredBitemporalTable {
+        match self {
+            Relation::Temporal(r) => r,
+            _ => panic!("relation is not temporal"),
+        }
+    }
+
+    fn to_static_ops(ops: &[HistoricalOp]) -> DbResult<Vec<StaticOp>> {
+        ops.iter()
+            .map(|op| match op {
+                HistoricalOp::Insert { tuple, .. } => Ok(StaticOp::Insert(tuple.clone())),
+                HistoricalOp::Remove { selector } => Ok(StaticOp::Delete(selector.tuple.clone())),
+                HistoricalOp::SetValidity { .. } => Err(DbError::Capability(
+                    "validity corrections require a historical or temporal relation".into(),
+                )),
+            })
+            .collect()
+    }
+
+    /// Checks that `ops` would apply cleanly at `tx_time`, without
+    /// modifying anything (so the write-ahead log never records a failing
+    /// transaction).
+    pub fn validate(&self, tx_time: Chronon, ops: &[HistoricalOp]) -> DbResult<()> {
+        match self {
+            Relation::Static(r) => {
+                let mut scratch = r.clone();
+                scratch.apply(&Self::to_static_ops(ops)?)?;
+                Ok(())
+            }
+            Relation::Rollback(r) => {
+                let mut scratch = r.clone();
+                scratch.commit(tx_time, &Self::to_static_ops(ops)?)?;
+                Ok(())
+            }
+            Relation::Historical(r) => {
+                let mut scratch = r.clone();
+                scratch.apply(ops)?;
+                Ok(())
+            }
+            Relation::Temporal(r) => {
+                if let Some(last) = r.last_commit() {
+                    if tx_time <= last {
+                        return Err(DbError::Core(
+                            chronos_core::CoreError::NonMonotonicCommit {
+                                last: last.to_string(),
+                                attempted: tx_time.to_string(),
+                            },
+                        ));
+                    }
+                }
+                let mut current = r.current();
+                current.apply(ops)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies a validated transaction.
+    pub fn apply(&mut self, tx_time: Chronon, ops: &[HistoricalOp]) -> DbResult<()> {
+        match self {
+            Relation::Static(r) => {
+                r.apply(&Self::to_static_ops(ops)?)?;
+                Ok(())
+            }
+            Relation::Rollback(r) => {
+                r.commit(tx_time, &Self::to_static_ops(ops)?)?;
+                Ok(())
+            }
+            Relation::Historical(r) => {
+                r.apply(ops)?;
+                Ok(())
+            }
+            Relation::Temporal(r) => {
+                r.try_commit(tx_time, ops)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Scans the relation for the evaluator, applying an `as of`
+    /// specification when the class supports it.
+    pub fn scan(&self, as_of: Option<&AsOfSpec>) -> DbResult<Vec<SourceRow>> {
+        match self {
+            Relation::Static(r) => {
+                if as_of.is_some() {
+                    return Err(DbError::Capability(
+                        "'as of' on a static relation (no transaction time)".into(),
+                    ));
+                }
+                Ok(r.iter()
+                    .map(|t| SourceRow {
+                        tuple: t.clone(),
+                        validity: None,
+                        tx: None,
+                    })
+                    .collect())
+            }
+            Relation::Rollback(r) => {
+                // "The result of a query on a static rollback database is
+                // a pure static relation": no timestamps on the rows.
+                let tuples: Vec<chronos_core::tuple::Tuple> = match as_of {
+                    None => r.current().iter().cloned().collect(),
+                    Some(AsOfSpec::At(t)) => r.rollback(*t).iter().cloned().collect(),
+                    Some(AsOfSpec::Through(t1, t2)) => {
+                        let window = Period::clamped(*t1, t2.succ());
+                        let mut seen = std::collections::HashSet::new();
+                        r.rows()
+                            .iter()
+                            .filter(|row| row.tx.overlaps(window))
+                            .filter(|row| seen.insert(row.tuple.clone()))
+                            .map(|row| row.tuple.clone())
+                            .collect()
+                    }
+                };
+                Ok(tuples
+                    .into_iter()
+                    .map(|tuple| SourceRow {
+                        tuple,
+                        validity: None,
+                        tx: None,
+                    })
+                    .collect())
+            }
+            Relation::Historical(r) => {
+                if as_of.is_some() {
+                    return Err(DbError::Capability(
+                        "'as of' on a historical relation (no transaction time)".into(),
+                    ));
+                }
+                Ok(r.rows()
+                    .iter()
+                    .map(|row| SourceRow {
+                        tuple: row.tuple.clone(),
+                        validity: Some(row.validity),
+                        tx: None,
+                    })
+                    .collect())
+            }
+            Relation::Temporal(r) => {
+                let rows = match as_of {
+                    None => r
+                        .scan_rows()?
+                        .into_iter()
+                        .filter(|row| row.is_current())
+                        .collect(),
+                    Some(AsOfSpec::At(t)) => r.rows_at(*t)?,
+                    Some(AsOfSpec::Through(t1, t2)) => {
+                        r.rows_during(Period::clamped(*t1, t2.succ()))?
+                    }
+                };
+                Ok(rows
+                    .into_iter()
+                    .map(|row| SourceRow {
+                        tuple: row.tuple,
+                        validity: Some(row.validity),
+                        tx: Some(row.tx),
+                    })
+                    .collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::relation::RowSelector;
+    use chronos_core::schema::faculty_schema;
+    use chronos_core::tuple::tuple;
+    use chronos_core::relation::Validity;
+
+    fn always() -> Validity {
+        Validity::Interval(Period::ALWAYS)
+    }
+
+    #[test]
+    fn uniform_ops_drive_every_class() {
+        let insert = HistoricalOp::insert(tuple(["Merrie", "full"]), always());
+        let remove = HistoricalOp::remove(RowSelector::tuple(tuple(["Merrie", "full"])));
+        for class in [
+            RelationClass::Static,
+            RelationClass::StaticRollback,
+            RelationClass::Historical,
+            RelationClass::Temporal,
+        ] {
+            let mut rel = Relation::new(faculty_schema(), class, TemporalSignature::Interval);
+            assert_eq!(rel.class(), class);
+            let t1 = Chronon::new(100);
+            rel.validate(t1, std::slice::from_ref(&insert)).unwrap();
+            rel.apply(t1, std::slice::from_ref(&insert)).unwrap();
+            assert_eq!(rel.scan(None).unwrap().len(), 1, "{class}");
+            let t2 = Chronon::new(200);
+            rel.validate(t2, std::slice::from_ref(&remove)).unwrap();
+            rel.apply(t2, std::slice::from_ref(&remove)).unwrap();
+            assert!(rel.scan(None).unwrap().is_empty(), "{class}");
+        }
+    }
+
+    #[test]
+    fn validate_never_mutates() {
+        let mut rel = Relation::new(
+            faculty_schema(),
+            RelationClass::Temporal,
+            TemporalSignature::Interval,
+        );
+        let insert = HistoricalOp::insert(tuple(["Tom", "associate"]), always());
+        rel.apply(Chronon::new(10), std::slice::from_ref(&insert)).unwrap();
+        // A failing op validates to an error and changes nothing.
+        let bad = HistoricalOp::remove(RowSelector::tuple(tuple(["Ghost", "x"])));
+        assert!(rel.validate(Chronon::new(20), std::slice::from_ref(&bad)).is_err());
+        assert_eq!(rel.stored_tuples(), 1);
+        // A succeeding validate also changes nothing.
+        let good = HistoricalOp::insert(tuple(["Mike", "assistant"]), always());
+        rel.validate(Chronon::new(20), std::slice::from_ref(&good)).unwrap();
+        assert_eq!(rel.stored_tuples(), 1);
+    }
+
+    #[test]
+    fn set_validity_rejected_on_static_classes() {
+        let op = HistoricalOp::set_validity(
+            RowSelector::tuple(tuple(["Tom", "associate"])),
+            always(),
+        );
+        for class in [RelationClass::Static, RelationClass::StaticRollback] {
+            let rel = Relation::new(faculty_schema(), class, TemporalSignature::Interval);
+            assert!(matches!(
+                rel.validate(Chronon::new(1), std::slice::from_ref(&op)),
+                Err(DbError::Capability(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn as_of_rejected_without_transaction_time() {
+        for class in [RelationClass::Static, RelationClass::Historical] {
+            let rel = Relation::new(faculty_schema(), class, TemporalSignature::Interval);
+            assert!(rel.scan(Some(&AsOfSpec::At(Chronon::new(5)))).is_err());
+        }
+    }
+
+    #[test]
+    fn rollback_scan_as_of_and_through() {
+        let mut rel = Relation::new(
+            faculty_schema(),
+            RelationClass::StaticRollback,
+            TemporalSignature::Interval,
+        );
+        let merrie = HistoricalOp::insert(tuple(["Merrie", "associate"]), always());
+        let tom = HistoricalOp::insert(tuple(["Tom", "associate"]), always());
+        let drop_merrie = HistoricalOp::remove(RowSelector::tuple(tuple(["Merrie", "associate"])));
+        rel.apply(Chronon::new(10), &[merrie]).unwrap();
+        rel.apply(Chronon::new(20), &[tom]).unwrap();
+        rel.apply(Chronon::new(30), &[drop_merrie]).unwrap();
+        assert_eq!(rel.scan(Some(&AsOfSpec::At(Chronon::new(15)))).unwrap().len(), 1);
+        assert_eq!(rel.scan(Some(&AsOfSpec::At(Chronon::new(25)))).unwrap().len(), 2);
+        assert_eq!(rel.scan(None).unwrap().len(), 1);
+        // Through a window spanning Merrie's life sees both.
+        let through = rel
+            .scan(Some(&AsOfSpec::Through(Chronon::new(15), Chronon::new(35))))
+            .unwrap();
+        assert_eq!(through.len(), 2);
+    }
+}

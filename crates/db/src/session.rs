@@ -1,0 +1,526 @@
+//! Sessions: executing TQuel programs against a database.
+//!
+//! A [`Session`] tracks `range of` declarations and dispatches each
+//! statement: retrieves go to the `chronos-tquel` evaluator; data
+//! definition and modification statements are lowered here to the
+//! uniform [`HistoricalOp`] vocabulary and committed through the
+//! database.
+//!
+//! ## Modification semantics by class
+//!
+//! * **static** — destructive insert/delete/replace (§4.1);
+//! * **static rollback** — the same operations, recorded append-only at
+//!   the allocated transaction time (§4.2);
+//! * **historical / temporal, interval** — `append` records a new fact
+//!   over its `valid` period (default `[now, ∞)`); `delete` *logically
+//!   deletes*: it closes the validity of affected rows at `now`
+//!   (future-only rows are retracted outright); `replace` terminates the
+//!   old fact where the new period begins and records the new fact —
+//!   exactly the transaction shape that produces the paper's Figure 8;
+//! * **event relations** — `append` records an event at `valid at e`
+//!   (default `now`); `delete` retracts matching events; `replace`
+//!   retracts and re-records.
+
+use std::collections::HashMap;
+
+use chronos_core::calendar::date;
+use chronos_core::chronon::Chronon;
+use chronos_core::period::Period;
+use chronos_core::relation::{HistoricalOp, RowSelector, Validity};
+use chronos_core::schema::{RelationClass, Schema, TemporalSignature};
+use chronos_core::timepoint::TimePoint;
+use chronos_core::tuple::Tuple;
+use chronos_core::value::{AttrType, Value};
+use chronos_tquel::analyze::{analyze_valid_const, analyze_where_single, ValidPlan};
+use chronos_tquel::ast::{Assignment, ClassAst, Operand, Statement, ValidClause, WhereExpr};
+use chronos_tquel::exec::{execute_retrieve, ResultRelation};
+use chronos_tquel::parser::parse_program;
+use chronos_tquel::provider::RelationInfo;
+use chronos_tquel::TquelError;
+
+use crate::database::Database;
+use crate::error::{DbError, DbResult};
+
+/// What executing one statement produced.
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// A `range of` declaration was recorded.
+    Declared,
+    /// A retrieve produced a derived relation.
+    Retrieved(ResultRelation),
+    /// A `retrieve into` materialized a derived relation in the catalog.
+    Materialized {
+        /// The new relation's name.
+        relation: String,
+        /// How many rows it holds.
+        rows: usize,
+    },
+    /// An `append` committed (with its transaction time).
+    Appended(Chronon),
+    /// A `delete` affected this many rows.
+    Deleted(usize),
+    /// A `replace` affected this many rows.
+    Replaced(usize),
+    /// A `create` defined a relation.
+    Created,
+    /// A `destroy` dropped a relation.
+    Destroyed,
+}
+
+impl ExecOutcome {
+    /// The derived relation, if this outcome carries one.
+    pub fn relation(&self) -> Option<&ResultRelation> {
+        match self {
+            ExecOutcome::Retrieved(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// An interactive session over a database.
+pub struct Session<'a> {
+    db: &'a mut Database,
+    ranges: HashMap<String, String>,
+}
+
+impl<'a> Session<'a> {
+    pub(crate) fn new(db: &'a mut Database) -> Session<'a> {
+        Session {
+            db,
+            ranges: HashMap::new(),
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&mut self) -> &mut Database {
+        self.db
+    }
+
+    /// Parses and executes a TQuel program, returning one outcome per
+    /// statement.  Execution stops at the first error.
+    pub fn run(&mut self, src: &str) -> DbResult<Vec<ExecOutcome>> {
+        let stmts = parse_program(src)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.execute(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Parses and executes a program, returning the last derived
+    /// relation (convenience for query-shaped programs).
+    pub fn query(&mut self, src: &str) -> DbResult<ResultRelation> {
+        let outcomes = self.run(src)?;
+        outcomes
+            .into_iter()
+            .rev()
+            .find_map(|o| match o {
+                ExecOutcome::Retrieved(r) => Some(r),
+                _ => None,
+            })
+            .ok_or_else(|| DbError::Catalog("program contained no retrieve".into()))
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute(&mut self, stmt: &Statement) -> DbResult<ExecOutcome> {
+        match stmt {
+            Statement::RangeDecl { var, relation } => {
+                if self.db.relation(relation).is_none() {
+                    return Err(DbError::Catalog(format!("unknown relation {relation:?}")));
+                }
+                self.ranges.insert(var.clone(), relation.clone());
+                Ok(ExecOutcome::Declared)
+            }
+            Statement::Retrieve(r) => {
+                let result = execute_retrieve(r, &self.ranges, self.db)?;
+                if let Some(into) = &r.into {
+                    let n = result.len();
+                    self.db.materialize(into, &result)?;
+                    return Ok(ExecOutcome::Materialized {
+                        relation: into.clone(),
+                        rows: n,
+                    });
+                }
+                Ok(ExecOutcome::Retrieved(result))
+            }
+            Statement::Append {
+                relation,
+                assignments,
+                valid,
+            } => self.append(relation, assignments, valid.as_ref()),
+            Statement::Delete { var, where_clause } => {
+                self.delete(var, where_clause.as_ref())
+            }
+            Statement::Replace {
+                var,
+                assignments,
+                valid,
+                where_clause,
+            } => self.replace(var, assignments, valid.as_ref(), where_clause.as_ref()),
+            Statement::Create {
+                relation,
+                attrs,
+                class,
+                event,
+            } => {
+                let schema = Schema::new(
+                    attrs
+                        .iter()
+                        .map(|(n, t)| chronos_core::schema::Attribute::new(n, *t))
+                        .collect(),
+                )?;
+                let class = match class {
+                    ClassAst::Static => RelationClass::Static,
+                    ClassAst::Rollback => RelationClass::StaticRollback,
+                    ClassAst::Historical => RelationClass::Historical,
+                    ClassAst::Temporal => RelationClass::Temporal,
+                };
+                let signature = if *event {
+                    TemporalSignature::Event
+                } else {
+                    TemporalSignature::Interval
+                };
+                self.db.create_relation(relation, schema, class, signature)?;
+                Ok(ExecOutcome::Created)
+            }
+            Statement::Destroy { relation } => {
+                self.db.destroy_relation(relation)?;
+                Ok(ExecOutcome::Destroyed)
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // append
+    // ----------------------------------------------------------------
+
+    fn append(
+        &mut self,
+        relation: &str,
+        assignments: &[Assignment],
+        valid: Option<&ValidClause>,
+    ) -> DbResult<ExecOutcome> {
+        let info = self.info(relation)?;
+        let tuple = build_tuple(&info.schema, assignments)?;
+        let validity = self.modification_validity(&info, valid, None)?;
+        let ops = [HistoricalOp::Insert {
+            tuple,
+            validity,
+        }];
+        let t = self.db.commit(relation, &ops)?;
+        Ok(ExecOutcome::Appended(t))
+    }
+
+    // ----------------------------------------------------------------
+    // delete
+    // ----------------------------------------------------------------
+
+    fn delete(&mut self, var: &str, where_clause: Option<&WhereExpr>) -> DbResult<ExecOutcome> {
+        let relation = self.resolve_var(var)?;
+        let info = self.info(&relation)?;
+        let pred = self.lower_where(where_clause, var, &info)?;
+        let now = self.db.now();
+        let rows = self.db.relation(&relation).expect("resolved").scan(None)?;
+        let mut ops = Vec::new();
+        for row in &rows {
+            if !pred.eval(&row.tuple).map_err(TquelError::Core)? {
+                continue;
+            }
+            match row.validity {
+                None => {
+                    // Static classes: remove the tuple.
+                    ops.push(HistoricalOp::remove(RowSelector::tuple(row.tuple.clone())));
+                }
+                Some(Validity::Event(_)) => {
+                    ops.push(HistoricalOp::remove(RowSelector::exact(
+                        row.tuple.clone(),
+                        row.validity.expect("matched Some"),
+                    )));
+                }
+                Some(Validity::Interval(p)) => {
+                    // Logical delete at `now`.
+                    if p.end() <= TimePoint::at(now) {
+                        continue; // already ended; nothing to delete
+                    }
+                    let sel = RowSelector::exact(row.tuple.clone(), Validity::Interval(p));
+                    if p.start() >= TimePoint::at(now) {
+                        // Postactive row: retract it outright.
+                        ops.push(HistoricalOp::remove(sel));
+                    } else {
+                        ops.push(HistoricalOp::set_validity(
+                            sel,
+                            Period::clamped(p.start(), TimePoint::at(now)),
+                        ));
+                    }
+                }
+            }
+        }
+        if ops.is_empty() {
+            return Ok(ExecOutcome::Deleted(0));
+        }
+        let n = ops.len();
+        self.db.commit(&relation, &ops)?;
+        Ok(ExecOutcome::Deleted(n))
+    }
+
+    // ----------------------------------------------------------------
+    // replace
+    // ----------------------------------------------------------------
+
+    fn replace(
+        &mut self,
+        var: &str,
+        assignments: &[Assignment],
+        valid: Option<&ValidClause>,
+        where_clause: Option<&WhereExpr>,
+    ) -> DbResult<ExecOutcome> {
+        let relation = self.resolve_var(var)?;
+        let info = self.info(&relation)?;
+        let pred = self.lower_where(where_clause, var, &info)?;
+        let rows = self.db.relation(&relation).expect("resolved").scan(None)?;
+
+        let mut ops = Vec::new();
+        let mut affected = 0usize;
+        // Several matched rows may produce the *same* new fact (e.g. a
+        // retroactive promotion superseding both the old rank's rows);
+        // the fact is recorded once.
+        let mut staged: std::collections::HashSet<(Tuple, Validity)> =
+            std::collections::HashSet::new();
+        for row in &rows {
+            if !pred.eval(&row.tuple).map_err(TquelError::Core)? {
+                continue;
+            }
+            let new_tuple = apply_assignments(&info.schema, &row.tuple, assignments)?;
+            match row.validity {
+                None => {
+                    // Static classes: in-place replacement.
+                    ops.push(HistoricalOp::remove(RowSelector::tuple(row.tuple.clone())));
+                    ops.push(HistoricalOp::insert(
+                        new_tuple,
+                        Validity::Interval(Period::ALWAYS),
+                    ));
+                }
+                Some(Validity::Event(at)) => {
+                    let validity =
+                        self.modification_validity(&info, valid, Some(Validity::Event(at)))?;
+                    ops.push(HistoricalOp::remove(RowSelector::exact(
+                        row.tuple.clone(),
+                        Validity::Event(at),
+                    )));
+                    if staged.insert((new_tuple.clone(), validity)) {
+                        ops.push(HistoricalOp::insert(new_tuple, validity));
+                    }
+                }
+                Some(Validity::Interval(old)) => {
+                    let validity = self.modification_validity(
+                        &info,
+                        valid,
+                        Some(Validity::Interval(old)),
+                    )?;
+                    let new_period = validity.period();
+                    if old.end() <= new_period.start() {
+                        continue; // old fact entirely before the new period
+                    }
+                    let sel = RowSelector::exact(row.tuple.clone(), Validity::Interval(old));
+                    if old.start() < new_period.start() {
+                        // Terminate the old belief where the new one
+                        // begins (Merrie's promotion, Figure 8).
+                        ops.push(HistoricalOp::set_validity(
+                            sel,
+                            Period::clamped(old.start(), new_period.start()),
+                        ));
+                    } else {
+                        ops.push(HistoricalOp::remove(sel));
+                    }
+                    if staged.insert((new_tuple.clone(), validity)) {
+                        ops.push(HistoricalOp::insert(new_tuple, validity));
+                    }
+                }
+            }
+            affected += 1;
+        }
+        if ops.is_empty() {
+            return Ok(ExecOutcome::Replaced(0));
+        }
+        self.db.commit(&relation, &ops)?;
+        Ok(ExecOutcome::Replaced(affected))
+    }
+
+    // ----------------------------------------------------------------
+    // helpers
+    // ----------------------------------------------------------------
+
+    fn info(&self, relation: &str) -> DbResult<RelationInfo> {
+        use chronos_tquel::provider::RelationProvider as _;
+        self.db
+            .info(relation)
+            .ok_or_else(|| DbError::Catalog(format!("unknown relation {relation:?}")))
+    }
+
+    fn resolve_var(&self, var: &str) -> DbResult<String> {
+        self.ranges.get(var).cloned().ok_or_else(|| {
+            DbError::Tquel(TquelError::Semantic(format!(
+                "range variable {var:?} is not declared"
+            )))
+        })
+    }
+
+    fn lower_where(
+        &self,
+        where_clause: Option<&WhereExpr>,
+        var: &str,
+        info: &RelationInfo,
+    ) -> DbResult<chronos_algebra::expr::Predicate> {
+        match where_clause {
+            Some(w) => Ok(analyze_where_single(w, var, info)?),
+            None => Ok(chronos_algebra::expr::Predicate::True),
+        }
+    }
+
+    /// Computes the validity for a modification from its `valid` clause,
+    /// the relation's class/signature, and "now" defaults.
+    fn modification_validity(
+        &self,
+        info: &RelationInfo,
+        valid: Option<&ValidClause>,
+        _old: Option<Validity>,
+    ) -> DbResult<Validity> {
+        let timestamped = matches!(
+            info.class,
+            RelationClass::Historical | RelationClass::Temporal
+        );
+        if !timestamped {
+            if valid.is_some() {
+                return Err(DbError::Capability(format!(
+                    "'valid' clause on a {} relation (no valid time)",
+                    info.class
+                )));
+            }
+            // Static classes carry no valid time; the op's validity is a
+            // placeholder ignored by the store.
+            return Ok(Validity::Interval(Period::ALWAYS));
+        }
+        let now = self.db.now();
+        match (info.signature, valid) {
+            (TemporalSignature::Event, None) => Ok(Validity::Event(now)),
+            (TemporalSignature::Event, Some(clause)) => match analyze_valid_const(clause)? {
+                ValidPlan::At(e) => {
+                    let p = e.eval(&[]).map_err(TquelError::Core)?;
+                    match p.start() {
+                        TimePoint::Finite(c) => Ok(Validity::Event(c)),
+                        other => Err(DbError::Capability(format!(
+                            "event validity must be finite, got {other}"
+                        ))),
+                    }
+                }
+                ValidPlan::FromTo(..) => Err(DbError::Capability(
+                    "event relations take 'valid at', not 'valid from … to …'".into(),
+                )),
+            },
+            (TemporalSignature::Interval, None) => {
+                Ok(Validity::Interval(Period::from_start(now)))
+            }
+            (TemporalSignature::Interval, Some(clause)) => match analyze_valid_const(clause)? {
+                ValidPlan::FromTo(a, b) => {
+                    // `to` is an exclusive bound (see the paper's Figure
+                    // 6: `associate … to 12/01/82` meets `full` starting
+                    // that same day).
+                    let from = a.eval(&[]).map_err(TquelError::Core)?.start();
+                    let to = b.eval(&[]).map_err(TquelError::Core)?.start();
+                    let p = Period::new(from, to).ok_or_else(|| {
+                        DbError::Capability(format!(
+                            "backwards validity [{from}, {to})"
+                        ))
+                    })?;
+                    if p.is_empty() {
+                        return Err(DbError::Capability(format!("empty validity {p}")));
+                    }
+                    Ok(Validity::Interval(p))
+                }
+                ValidPlan::At(_) => Err(DbError::Capability(
+                    "interval relations take 'valid from … to …', not 'valid at'".into(),
+                )),
+            },
+        }
+    }
+}
+
+fn literal_value(op: &Operand, expected: AttrType) -> DbResult<Value> {
+    let v = match (op, expected) {
+        (Operand::Str(s), AttrType::Str) => Value::str(s),
+        (Operand::Str(s), AttrType::Date) => Value::Date(date(s)?),
+        (Operand::Int(i), AttrType::Int) => Value::Int(*i),
+        (Operand::Int(i), AttrType::Float) => Value::Float(*i as f64),
+        (Operand::Float(x), AttrType::Float) => Value::Float(*x),
+        (Operand::Str(s), AttrType::Bool) => match s.as_str() {
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            other => {
+                return Err(DbError::Tquel(TquelError::Semantic(format!(
+                    "expected a boolean, got {other:?}"
+                ))))
+            }
+        },
+        (Operand::Attr(_), _) => {
+            return Err(DbError::Tquel(TquelError::Semantic(
+                "assignments take literals, not attribute references".into(),
+            )))
+        }
+        (op, ty) => {
+            return Err(DbError::Tquel(TquelError::Semantic(format!(
+                "cannot assign {op:?} to an attribute of type {ty}"
+            ))))
+        }
+    };
+    Ok(v)
+}
+
+fn build_tuple(schema: &Schema, assignments: &[Assignment]) -> DbResult<Tuple> {
+    let mut values: Vec<Option<Value>> = vec![None; schema.arity()];
+    for a in assignments {
+        let idx = schema.index_of(&a.attr).ok_or_else(|| {
+            DbError::Tquel(TquelError::Semantic(format!(
+                "no attribute {:?} in schema {schema}",
+                a.attr
+            )))
+        })?;
+        if values[idx].is_some() {
+            return Err(DbError::Tquel(TquelError::Semantic(format!(
+                "attribute {:?} assigned twice",
+                a.attr
+            ))));
+        }
+        values[idx] = Some(literal_value(&a.value, schema.attribute(idx).attr_type())?);
+    }
+    let mut out = Vec::with_capacity(schema.arity());
+    for (i, v) in values.into_iter().enumerate() {
+        match v {
+            Some(v) => out.push(v),
+            None => {
+                return Err(DbError::Tquel(TquelError::Semantic(format!(
+                    "attribute {:?} not assigned in append",
+                    schema.attribute(i).name()
+                ))))
+            }
+        }
+    }
+    Ok(Tuple::new(out))
+}
+
+fn apply_assignments(
+    schema: &Schema,
+    old: &Tuple,
+    assignments: &[Assignment],
+) -> DbResult<Tuple> {
+    let mut values: Vec<Value> = old.values().to_vec();
+    for a in assignments {
+        let idx = schema.index_of(&a.attr).ok_or_else(|| {
+            DbError::Tquel(TquelError::Semantic(format!(
+                "no attribute {:?} in schema {schema}",
+                a.attr
+            )))
+        })?;
+        values[idx] = literal_value(&a.value, schema.attribute(idx).attr_type())?;
+    }
+    Ok(Tuple::new(values))
+}

@@ -1,0 +1,402 @@
+//! An in-memory B+ tree.
+//!
+//! Keys live in internal nodes for routing; key/value pairs live in the
+//! leaves.  The fanout is fixed at [`ORDER`].  Deletion removes entries
+//! from leaves without rebalancing (underfull leaves are tolerated, as in
+//! many production engines); the tree therefore never returns stale
+//! entries but may hold sparse leaves after heavy churn — `len` and
+//! lookup costs remain correct.
+//!
+//! The implementation is deliberately dependency-free and is
+//! property-tested against `std::collections::BTreeMap`.
+
+use std::borrow::Borrow;
+use std::fmt::Debug;
+
+/// Maximum number of keys per node.
+pub const ORDER: usize = 32;
+
+/// Result of inserting into a subtree: the separator key and new right
+/// sibling when the child split.
+type Split<K, V> = Option<(K, Node<K, V>)>;
+
+enum Node<K, V> {
+    Leaf {
+        entries: Vec<(K, V)>,
+    },
+    Internal {
+        /// `keys[i]` is the smallest key reachable under `children[i+1]`.
+        keys: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    fn first_key(&self) -> Option<&K> {
+        match self {
+            Node::Leaf { entries } => entries.first().map(|(k, _)| k),
+            Node::Internal { children, .. } => children.first().and_then(Node::first_key),
+        }
+    }
+}
+
+/// An ordered map with B+ tree structure.
+pub struct BPlusTree<K, V> {
+    root: Node<K, V>,
+    len: usize,
+}
+
+impl<K: Ord + Clone + Debug, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        BPlusTree::new()
+    }
+}
+
+impl<K: Ord + Clone + Debug, V> BPlusTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> BPlusTree<K, V> {
+        BPlusTree {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a key/value pair, returning the previous value for the key
+    /// if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (old, split) = Self::insert_rec(&mut self.root, key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        if let Some((sep, right)) = split {
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Leaf {
+                    entries: Vec::new(),
+                },
+            );
+            self.root = Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            };
+        }
+        old
+    }
+
+    fn insert_rec(node: &mut Node<K, V>, key: K, value: V) -> (Option<V>, Split<K, V>) {
+        match node {
+            Node::Leaf { entries } => {
+                match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                    Ok(i) => (Some(std::mem::replace(&mut entries[i].1, value)), None),
+                    Err(i) => {
+                        entries.insert(i, (key, value));
+                        if entries.len() > ORDER {
+                            let right_entries = entries.split_off(entries.len() / 2);
+                            let sep = right_entries[0].0.clone();
+                            (
+                                None,
+                                Some((
+                                    sep,
+                                    Node::Leaf {
+                                        entries: right_entries,
+                                    },
+                                )),
+                            )
+                        } else {
+                            (None, None)
+                        }
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(&key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let (old, split) = Self::insert_rec(&mut children[idx], key, value);
+                if let Some((sep, right)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if keys.len() > ORDER {
+                        let mid = keys.len() / 2;
+                        let sep_up = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // sep_up moves up
+                        let right_children = children.split_off(mid + 1);
+                        return (
+                            old,
+                            Some((
+                                sep_up,
+                                Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                },
+                            )),
+                        );
+                    }
+                }
+                (old, None)
+            }
+        }
+    }
+
+    /// Looks up the value for `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    return entries
+                        .binary_search_by(|(k, _)| k.borrow().cmp(key))
+                        .ok()
+                        .map(|i| &entries[i].1);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search_by(|k| k.borrow().cmp(key)) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    return match entries.binary_search_by(|(k, _)| k.borrow().cmp(key)) {
+                        Ok(i) => Some(&mut entries[i].1),
+                        Err(_) => None,
+                    };
+                }
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search_by(|k| k.borrow().cmp(key)) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = &mut children[idx];
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if present.  Leaves are not
+    /// rebalanced (see module docs).
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Leaf { entries } => {
+                    return match entries.binary_search_by(|(k, _)| k.borrow().cmp(key)) {
+                        Ok(i) => {
+                            self.len -= 1;
+                            Some(entries.remove(i).1)
+                        }
+                        Err(_) => None,
+                    };
+                }
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search_by(|k| k.borrow().cmp(key)) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = &mut children[idx];
+                }
+            }
+        }
+    }
+
+    /// Visits entries with keys in `[lo, hi]` in ascending order.
+    pub fn range(&self, lo: &K, hi: &K, mut f: impl FnMut(&K, &V)) {
+        Self::range_rec(&self.root, lo, hi, &mut f);
+    }
+
+    fn range_rec(node: &Node<K, V>, lo: &K, hi: &K, f: &mut impl FnMut(&K, &V)) {
+        match node {
+            Node::Leaf { entries } => {
+                let start = entries.partition_point(|(k, _)| k < lo);
+                for (k, v) in &entries[start..] {
+                    if k > hi {
+                        break;
+                    }
+                    f(k, v);
+                }
+            }
+            Node::Internal { keys, children } => {
+                let start = match keys.binary_search(lo) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                for (i, child) in children.iter().enumerate().skip(start) {
+                    // Prune children entirely above `hi`.
+                    if i > 0 && &keys[i - 1] > hi {
+                        break;
+                    }
+                    Self::range_rec(child, lo, hi, f);
+                }
+            }
+        }
+    }
+
+    /// Visits all entries in ascending key order.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        Self::for_each_rec(&self.root, &mut f);
+    }
+
+    fn for_each_rec(node: &Node<K, V>, f: &mut impl FnMut(&K, &V)) {
+        match node {
+            Node::Leaf { entries } => {
+                for (k, v) in entries {
+                    f(k, v);
+                }
+            }
+            Node::Internal { children, .. } => {
+                for c in children {
+                    Self::for_each_rec(c, f);
+                }
+            }
+        }
+    }
+
+    /// The smallest key, if any.
+    pub fn min_key(&self) -> Option<&K> {
+        self.root.first_key()
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            h += 1;
+            node = &children[0];
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(5, "five"), None);
+        assert_eq!(t.insert(3, "three"), None);
+        assert_eq!(t.insert(5, "FIVE"), Some("five"));
+        assert_eq!(t.get(&5), Some(&"FIVE"));
+        assert_eq!(t.get(&4), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn splits_maintain_order() {
+        let mut t = BPlusTree::new();
+        let n = 10_000;
+        for i in 0..n {
+            // Insert in a scrambled order.
+            let k = (i * 7919) % n;
+            t.insert(k, k * 2);
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.height() >= 3, "10k keys should split, height {}", t.height());
+        let mut prev = -1;
+        let mut count = 0;
+        t.for_each(|k, v| {
+            assert!(*k > prev);
+            assert_eq!(*v, k * 2);
+            prev = *k;
+            count += 1;
+        });
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn range_queries_match_btreemap() {
+        let mut t = BPlusTree::new();
+        let mut m = BTreeMap::new();
+        for i in 0..1000 {
+            let k = (i * 37) % 500; // duplicates overwrite
+            t.insert(k, i);
+            m.insert(k, i);
+        }
+        assert_eq!(t.len(), m.len());
+        for (lo, hi) in [(0, 499), (10, 20), (100, 100), (450, 600), (600, 700)] {
+            let mut got = Vec::new();
+            t.range(&lo, &hi, |k, v| got.push((*k, *v)));
+            let want: Vec<(i32, i32)> = m.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(got, want, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn removal_then_reinsert() {
+        let mut t = BPlusTree::new();
+        for i in 0..500 {
+            t.insert(i, i);
+        }
+        for i in (0..500).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        assert_eq!(t.len(), 250);
+        assert_eq!(t.remove(&0), None);
+        for i in (0..500).step_by(2) {
+            assert_eq!(t.get(&i), None);
+            assert_eq!(t.get(&(i + 1)), Some(&(i + 1)));
+        }
+        for i in (0..500).step_by(2) {
+            t.insert(i, -i);
+        }
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.get(&4), Some(&-4));
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = BPlusTree::new();
+        t.insert("k".to_string(), vec![1]);
+        t.get_mut("k").unwrap().push(2);
+        assert_eq!(t.get("k"), Some(&vec![1, 2]));
+        assert!(t.get_mut("absent").is_none());
+    }
+
+    #[test]
+    fn min_key_tracks_smallest() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.min_key(), None);
+        for k in [50, 10, 90, 5, 70] {
+            t.insert(k, ());
+        }
+        assert_eq!(t.min_key(), Some(&5));
+    }
+}

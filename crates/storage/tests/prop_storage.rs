@@ -1,0 +1,247 @@
+//! Property tests for the storage layer: codec fuzz round-trips, B+ tree
+//! vs `BTreeMap`, interval tree vs linear scan, WAL record round-trips,
+//! and the storage-backed table vs the reference bitemporal store.
+
+use chronos_core::chronon::Chronon;
+use chronos_core::period::Period;
+use chronos_core::prelude::*;
+use chronos_core::schema::faculty_schema;
+use chronos_core::timepoint::TimePoint;
+use chronos_storage::codec;
+use chronos_storage::index::{BPlusTree, IntervalTree};
+use chronos_storage::table::StoredBitemporalTable;
+use chronos_storage::wal::{decode_record, encode_record, WalRecord};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[a-zA-Z ]{0,12}".prop_map(Value::str),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        (-100_000i64..100_000).prop_map(|t| Value::Date(Chronon::new(t))),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    prop::collection::vec(arb_value(), 0..5).prop_map(Tuple::new)
+}
+
+fn arb_validity() -> impl Strategy<Value = Validity> {
+    prop_oneof![
+        (-1000i64..1000, 1i64..500).prop_map(|(a, len)| Validity::Interval(
+            Period::new(Chronon::new(a), Chronon::new(a + len)).unwrap()
+        )),
+        (-1000i64..1000).prop_map(|a| Validity::Interval(Period::from_start(Chronon::new(a)))),
+        (-1000i64..1000).prop_map(|a| Validity::Event(Chronon::new(a))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn value_codec_round_trips(v in arb_value()) {
+        let mut buf = Vec::new();
+        codec::put_value(&mut buf, &v);
+        let mut r = codec::Reader::new(&buf);
+        prop_assert_eq!(codec::get_value(&mut r).unwrap(), v);
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn tuple_codec_round_trips(t in arb_tuple()) {
+        let mut buf = Vec::new();
+        codec::put_tuple(&mut buf, &t);
+        let mut r = codec::Reader::new(&buf);
+        prop_assert_eq!(codec::get_tuple(&mut r).unwrap(), t);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let mut r = codec::Reader::new(&bytes);
+        let _ = codec::get_tuple(&mut r); // must not panic
+        let mut r = codec::Reader::new(&bytes);
+        let _ = codec::get_validity(&mut r);
+        let _ = decode_record(&bytes);
+    }
+
+    #[test]
+    fn wal_record_round_trips(
+        rel_id in any::<u32>(),
+        tx in -10_000i64..10_000,
+        tuples in prop::collection::vec((arb_tuple(), arb_validity()), 0..6),
+    ) {
+        let ops: Vec<HistoricalOp> = tuples
+            .into_iter()
+            .map(|(t, v)| HistoricalOp::insert(t, v))
+            .collect();
+        let rec = WalRecord { rel_id, tx_time: Chronon::new(tx), ops };
+        prop_assert_eq!(decode_record(&encode_record(&rec)).unwrap(), rec);
+    }
+
+    #[test]
+    fn bptree_matches_btreemap(
+        ops in prop::collection::vec((any::<u16>(), any::<u8>(), any::<bool>()), 1..400)
+    ) {
+        let mut tree = BPlusTree::new();
+        let mut map = BTreeMap::new();
+        for (k, v, insert) in ops {
+            if insert {
+                prop_assert_eq!(tree.insert(k, v), map.insert(k, v));
+            } else {
+                prop_assert_eq!(tree.remove(&k), map.remove(&k));
+            }
+        }
+        prop_assert_eq!(tree.len(), map.len());
+        let mut collected = Vec::new();
+        tree.for_each(|k, v| collected.push((*k, *v)));
+        let expected: Vec<(u16, u8)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn interval_tree_matches_scan(
+        entries in prop::collection::vec((0i64..300, 1i64..60), 1..150),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 0..40),
+        probes in prop::collection::vec(0i64..360, 1..20),
+    ) {
+        let mut tree = IntervalTree::new();
+        let mut shadow: Vec<(Period, usize)> = Vec::new();
+        for (i, (a, len)) in entries.iter().enumerate() {
+            let p = Period::new(Chronon::new(*a), Chronon::new(a + len)).unwrap();
+            tree.insert(p, i);
+            shadow.push((p, i));
+        }
+        for idx in removals {
+            if shadow.is_empty() { break; }
+            let (p, v) = shadow.swap_remove(idx.index(shadow.len()));
+            prop_assert!(tree.remove(p, &v));
+        }
+        prop_assert_eq!(tree.len(), shadow.len());
+        for probe in probes {
+            let t = TimePoint::at(Chronon::new(probe));
+            let mut got: Vec<usize> = tree.stab_values(t).into_iter().copied().collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = shadow
+                .iter()
+                .filter(|(p, _)| p.contains_point(t))
+                .map(|(_, v)| *v)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "probe {}", probe);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential: stored table vs reference bitemporal store
+// ---------------------------------------------------------------------
+
+const NAMES: [&str; 4] = ["Merrie", "Tom", "Mike", "Ilsoo"];
+const RANKS: [&str; 3] = ["assistant", "associate", "full"];
+
+#[derive(Clone, Debug)]
+enum ScriptOp {
+    Insert(usize, usize, i64, Option<i64>),
+    RemoveNth(usize),
+    RestampNth(usize, i64, Option<i64>),
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<Vec<ScriptOp>>> {
+    let op = prop_oneof![
+        4 => (0..NAMES.len(), 0..RANKS.len(), 0i64..300, prop::option::of(1i64..200))
+            .prop_map(|(n, r, a, len)| ScriptOp::Insert(n, r, a, len)),
+        2 => (0usize..32).prop_map(ScriptOp::RemoveNth),
+        2 => ((0usize..32), 0i64..300, prop::option::of(1i64..200))
+            .prop_map(|(i, a, len)| ScriptOp::RestampNth(i, a, len)),
+    ];
+    prop::collection::vec(prop::collection::vec(op, 1..4), 1..10)
+}
+
+fn validity(a: i64, len: Option<i64>) -> Validity {
+    Validity::Interval(match len {
+        Some(l) => Period::new(Chronon::new(a), Chronon::new(a + l)).unwrap(),
+        None => Period::from_start(Chronon::new(a)),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stored_table_equivalent_to_reference(script in arb_script()) {
+        let schema = faculty_schema();
+        let mut stored = StoredBitemporalTable::in_memory(schema.clone(), TemporalSignature::Interval);
+        let mut reference = BitemporalTable::new(schema.clone(), TemporalSignature::Interval);
+        let mut shadow = HistoricalRelation::new(schema, TemporalSignature::Interval);
+
+        let mut tx_time = Chronon::new(1000);
+        let mut commits = Vec::new();
+        for tx in &script {
+            let mut ops = Vec::new();
+            for s in tx {
+                match s {
+                    ScriptOp::Insert(n, r, a, len) => {
+                        let op = HistoricalOp::insert(tuple([NAMES[*n], RANKS[*r]]), validity(*a, *len));
+                        if shadow.apply(std::slice::from_ref(&op)).is_ok() {
+                            ops.push(op);
+                        }
+                    }
+                    ScriptOp::RemoveNth(i) => {
+                        let rows = shadow.rows();
+                        if rows.is_empty() { continue; }
+                        let row = &rows[i % rows.len()];
+                        let op = HistoricalOp::remove(RowSelector::exact(row.tuple.clone(), row.validity));
+                        shadow.apply(std::slice::from_ref(&op)).unwrap();
+                        ops.push(op);
+                    }
+                    ScriptOp::RestampNth(i, a, len) => {
+                        let rows = shadow.rows();
+                        if rows.is_empty() { continue; }
+                        let row = &rows[i % rows.len()];
+                        let op = HistoricalOp::set_validity(
+                            RowSelector::exact(row.tuple.clone(), row.validity),
+                            validity(*a, *len),
+                        );
+                        if shadow.apply(std::slice::from_ref(&op)).is_ok() {
+                            ops.push(op);
+                        }
+                    }
+                }
+            }
+            if ops.is_empty() { continue; }
+            stored.try_commit(tx_time, &ops).expect("valid ops");
+            reference.commit(tx_time, &ops).expect("valid ops");
+            commits.push(tx_time);
+            tx_time = tx_time + 3;
+        }
+
+        prop_assert_eq!(stored.current(), reference.current());
+        prop_assert_eq!(stored.stored_tuples(), reference.stored_tuples());
+        for &ct in &commits {
+            for probe in [ct - 1, ct, ct + 1] {
+                prop_assert_eq!(stored.rollback(probe), reference.rollback(probe), "at {}", probe);
+            }
+        }
+        // Indexed bitemporal point queries agree with brute force over
+        // the reference rows.
+        for (v, a) in [(50i64, 1001i64), (150, 1010), (290, 1030)] {
+            let (v, a) = (Chronon::new(v), Chronon::new(a));
+            let mut got: Vec<Tuple> = stored
+                .valid_at_as_of(v, a)
+                .unwrap()
+                .into_iter()
+                .map(|r| r.tuple)
+                .collect();
+            got.sort();
+            let mut want: Vec<Tuple> = reference
+                .rows()
+                .iter()
+                .filter(|r| r.tx.contains(a) && r.validity.valid_at(v))
+                .map(|r| r.tuple.clone())
+                .collect();
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

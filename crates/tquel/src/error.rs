@@ -1,0 +1,77 @@
+//! TQuel error types.
+
+use std::fmt;
+
+use chronos_core::CoreError;
+
+/// Result alias for TQuel operations.
+pub type TquelResult<T> = Result<T, TquelError>;
+
+/// Errors from lexing, parsing, semantic analysis, or execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TquelError {
+    /// A lexical error at a byte offset.
+    Lex {
+        /// What went wrong.
+        message: String,
+        /// Byte offset into the source.
+        offset: usize,
+    },
+    /// A parse error at a byte offset.
+    Parse {
+        /// What went wrong (includes what was expected).
+        message: String,
+        /// Byte offset into the source.
+        offset: usize,
+    },
+    /// A semantic error (unknown relation, unknown attribute, type
+    /// mismatch, clause not supported by the relation's class).
+    Semantic(String),
+    /// An error from the relation layer during execution.
+    Core(CoreError),
+}
+
+impl fmt::Display for TquelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TquelError::Lex { message, offset } => {
+                write!(f, "lexical error at offset {offset}: {message}")
+            }
+            TquelError::Parse { message, offset } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+            TquelError::Semantic(m) => write!(f, "semantic error: {m}"),
+            TquelError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TquelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TquelError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for TquelError {
+    fn from(e: CoreError) -> Self {
+        TquelError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_position() {
+        let e = TquelError::Parse {
+            message: "expected ')'".into(),
+            offset: 17,
+        };
+        let s = e.to_string();
+        assert!(s.contains("17") && s.contains("')'"));
+    }
+}

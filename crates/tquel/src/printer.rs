@@ -1,0 +1,152 @@
+//! Rendering of derived relations in the paper's tabular format.
+//!
+//! Explicit attributes come first; the double bar separates them from
+//! the DBMS-maintained temporal columns, exactly as in Figures 4, 6, 8
+//! and 9 ("the double vertical bars separate the non-temporal domains
+//! from the DBMS-maintained temporal domains").
+
+use chronos_core::relation::Validity;
+use chronos_core::render::TextTable;
+use chronos_core::schema::TemporalSignature;
+
+use crate::exec::ResultRelation;
+
+/// Renders a result relation as an aligned text table.
+pub fn render(rel: &ResultRelation) -> String {
+    let has_valid = rel.rows.iter().any(|r| r.validity.is_some())
+        || matches!(rel.kind, chronos_core::taxonomy::DatabaseClass::Historical
+            | chronos_core::taxonomy::DatabaseClass::Temporal);
+    let has_tx = rel.rows.iter().any(|r| r.tx.is_some())
+        || rel.kind == chronos_core::taxonomy::DatabaseClass::Temporal;
+
+    let mut headers: Vec<String> = rel
+        .schema
+        .attributes()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    let explicit = headers.len();
+    if has_valid {
+        match rel.signature {
+            TemporalSignature::Event => headers.push("valid (at)".into()),
+            TemporalSignature::Interval => {
+                headers.push("valid (from)".into());
+                headers.push("valid (to)".into());
+            }
+        }
+    }
+    if has_tx {
+        headers.push("tx (start)".into());
+        headers.push("tx (end)".into());
+    }
+
+    let mut table = TextTable::new(headers);
+    if has_valid || has_tx {
+        table = table.with_double_bar_before(explicit);
+    }
+    for row in &rel.rows {
+        let mut cells: Vec<String> = row.tuple.values().iter().map(ToString::to_string).collect();
+        if has_valid {
+            match row.validity {
+                Some(Validity::Event(c)) => cells.push(c.to_string()),
+                Some(Validity::Interval(p)) => {
+                    cells.push(p.start().to_string());
+                    cells.push(p.end().to_string());
+                }
+                None => {
+                    cells.push(String::new());
+                    if rel.signature == TemporalSignature::Interval {
+                        cells.push(String::new());
+                    }
+                }
+            }
+        }
+        if has_tx {
+            match row.tx {
+                Some(p) => {
+                    cells.push(p.start().to_string());
+                    cells.push(p.end().to_string());
+                }
+                None => {
+                    cells.push(String::new());
+                    cells.push(String::new());
+                }
+            }
+        }
+        table.push_row(cells);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ResultRow;
+    use chronos_core::calendar::date;
+    use chronos_core::period::Period;
+    use chronos_core::schema::{Attribute, Schema};
+    use chronos_core::taxonomy::DatabaseClass;
+    use chronos_core::tuple::tuple;
+    use chronos_core::value::AttrType;
+
+    #[test]
+    fn renders_the_figure_8_result_row() {
+        let rel = ResultRelation {
+            schema: Schema::new(vec![Attribute::new("rank", AttrType::Str)]).unwrap(),
+            kind: DatabaseClass::Temporal,
+            signature: TemporalSignature::Interval,
+            rows: vec![ResultRow {
+                tuple: tuple(["associate"]),
+                validity: Some(Validity::Interval(Period::from_start(
+                    date("09/01/77").unwrap(),
+                ))),
+                tx: Some(
+                    Period::new(date("08/25/77").unwrap(), date("12/15/82").unwrap()).unwrap(),
+                ),
+            }],
+        };
+        let s = render(&rel);
+        assert!(s.contains("rank"), "{s}");
+        assert!(s.contains("associate"), "{s}");
+        assert!(s.contains("09/01/77"), "{s}");
+        assert!(s.contains("∞"), "{s}");
+        assert!(s.contains("08/25/77") && s.contains("12/15/82"), "{s}");
+        assert!(s.contains("||"), "double bar separates temporal domains: {s}");
+    }
+
+    #[test]
+    fn static_results_have_no_temporal_columns() {
+        let rel = ResultRelation {
+            schema: Schema::new(vec![Attribute::new("rank", AttrType::Str)]).unwrap(),
+            kind: DatabaseClass::Static,
+            signature: TemporalSignature::Interval,
+            rows: vec![ResultRow {
+                tuple: tuple(["full"]),
+                validity: None,
+                tx: None,
+            }],
+        };
+        let s = render(&rel);
+        assert!(!s.contains("valid"), "{s}");
+        assert!(!s.contains("tx"), "{s}");
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn event_results_use_single_at_column() {
+        let rel = ResultRelation {
+            schema: Schema::new(vec![Attribute::new("name", AttrType::Str)]).unwrap(),
+            kind: DatabaseClass::Historical,
+            signature: TemporalSignature::Event,
+            rows: vec![ResultRow {
+                tuple: tuple(["Merrie"]),
+                validity: Some(Validity::Event(date("12/11/82").unwrap())),
+                tx: None,
+            }],
+        };
+        let s = render(&rel);
+        assert!(s.contains("valid (at)"), "{s}");
+        assert!(!s.contains("(from)"), "{s}");
+        assert!(s.contains("12/11/82"), "{s}");
+    }
+}

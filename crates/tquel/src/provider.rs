@@ -1,0 +1,64 @@
+//! The interface between TQuel and the relations it queries.
+//!
+//! The evaluator is storage-agnostic: it sees relations through
+//! [`RelationProvider`], which `chronos-db` implements over its catalog.
+//! A scan yields [`SourceRow`]s — tuples with whatever timestamps the
+//! relation's class carries — optionally rolled back by an
+//! [`AsOfSpec`].
+
+use chronos_core::chronon::Chronon;
+use chronos_core::period::Period;
+use chronos_core::relation::Validity;
+use chronos_core::schema::{RelationClass, Schema, TemporalSignature};
+use chronos_core::tuple::Tuple;
+
+use crate::error::TquelResult;
+
+/// Catalog metadata for one relation.
+#[derive(Clone, Debug)]
+pub struct RelationInfo {
+    /// Explicit attributes.
+    pub schema: Schema,
+    /// Which of the paper's four classes the relation is.
+    pub class: RelationClass,
+    /// Interval or event valid time (meaningful for historical and
+    /// temporal relations).
+    pub signature: TemporalSignature,
+}
+
+/// A resolved `as of` clause.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AsOfSpec {
+    /// `as of t`: the state stored at transaction time `t`.
+    At(Chronon),
+    /// `as of t1 through t2`: every version stored at any time in
+    /// `[t1, t2]`.
+    Through(Chronon, Chronon),
+}
+
+/// One tuple as scanned from a relation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SourceRow {
+    /// The explicit attribute values.
+    pub tuple: Tuple,
+    /// Valid time, when the relation's class carries it.
+    pub validity: Option<Validity>,
+    /// Transaction time, when the relation's class carries it (temporal
+    /// relations only — rollback queries yield pure static relations).
+    pub tx: Option<Period>,
+}
+
+/// Access to relations by name.
+pub trait RelationProvider {
+    /// Catalog lookup.
+    fn info(&self, relation: &str) -> Option<RelationInfo>;
+
+    /// Scans a relation, applying `as_of` when given.
+    ///
+    /// * static: current tuples (`as_of` rejected by analysis);
+    /// * rollback: the static state as of the given time (or current);
+    /// * historical: rows with validity (`as_of` rejected by analysis);
+    /// * temporal: rows with validity and transaction periods, filtered
+    ///   to those stored as of the given time (or current).
+    fn scan(&self, relation: &str, as_of: Option<&AsOfSpec>) -> TquelResult<Vec<SourceRow>>;
+}

@@ -1,0 +1,404 @@
+//! Lexical analysis.
+//!
+//! TQuel keywords are reserved case-insensitively (the paper writes them
+//! lowercase).  String literals are double-quoted; in temporal positions
+//! they carry date values (`as of "12/10/82"`), which the semantic
+//! analyzer interprets.
+
+use std::fmt;
+
+use crate::error::{TquelError, TquelResult};
+
+/// A lexical token with its byte offset.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// An identifier (relation, range variable, or attribute name).
+    Ident(String),
+    /// A keyword.
+    Keyword(Keyword),
+    /// A double-quoted string literal (unescaped content).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier {s:?}"),
+            TokenKind::Keyword(k) => write!(f, "keyword {k}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Float(x) => write!(f, "float {x}"),
+            TokenKind::LParen => f.pad("'('"),
+            TokenKind::RParen => f.pad("')'"),
+            TokenKind::Comma => f.pad("','"),
+            TokenKind::Dot => f.pad("'.'"),
+            TokenKind::Eq => f.pad("'='"),
+            TokenKind::Ne => f.pad("'!='"),
+            TokenKind::Lt => f.pad("'<'"),
+            TokenKind::Le => f.pad("'<='"),
+            TokenKind::Gt => f.pad("'>'"),
+            TokenKind::Ge => f.pad("'>='"),
+            TokenKind::Eof => f.pad("end of input"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),+ $(,)?) => {
+        /// Reserved words of Quel/TQuel.
+        #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+        pub enum Keyword {
+            $(#[doc = $text] $variant),+
+        }
+
+        impl Keyword {
+            /// Parses a keyword (case-insensitive).
+            pub fn from_str_ci(s: &str) -> Option<Keyword> {
+                let lower = s.to_ascii_lowercase();
+                match lower.as_str() {
+                    $($text => Some(Keyword::$variant),)+
+                    _ => None,
+                }
+            }
+
+            /// The canonical (lowercase) spelling.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$variant => $text,)+
+                }
+            }
+        }
+
+        impl fmt::Display for Keyword {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.pad(self.as_str())
+            }
+        }
+    };
+}
+
+keywords! {
+    Range => "range",
+    Of => "of",
+    Is => "is",
+    Retrieve => "retrieve",
+    Into => "into",
+    Where => "where",
+    When => "when",
+    Valid => "valid",
+    From => "from",
+    To => "to",
+    At => "at",
+    As => "as",
+    Through => "through",
+    Append => "append",
+    Delete => "delete",
+    Replace => "replace",
+    Create => "create",
+    Destroy => "destroy",
+    Start => "start",
+    End => "end",
+    Extend => "extend",
+    Overlap => "overlap",
+    Precede => "precede",
+    Equal => "equal",
+    And => "and",
+    Or => "or",
+    Not => "not",
+    Forever => "forever",
+    Event => "event",
+    Interval => "interval",
+    Static => "static",
+    Rollback => "rollback",
+    Historical => "historical",
+    Temporal => "temporal",
+}
+
+/// Tokenizes a source string.
+pub fn lex(src: &str) -> TquelResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            '#' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    return Err(TquelError::Lex {
+                        message: "'!' must be followed by '='".into(),
+                        offset: start,
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '"' => {
+                i += 1;
+                let mut content = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(TquelError::Lex {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            // Simple escapes: \" \\ \n \t
+                            match bytes.get(i + 1) {
+                                Some(b'"') => content.push('"'),
+                                Some(b'\\') => content.push('\\'),
+                                Some(b'n') => content.push('\n'),
+                                Some(b't') => content.push('\t'),
+                                _ => {
+                                    return Err(TquelError::Lex {
+                                        message: "bad escape in string".into(),
+                                        offset: i,
+                                    })
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            content.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(content),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                i += 1;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || (bytes[i] == b'.'
+                            && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| TquelError::Lex {
+                        message: format!("bad float literal {text:?}"),
+                        offset: start,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| TquelError::Lex {
+                        message: format!("bad integer literal {text:?}"),
+                        offset: start,
+                    })?)
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                i += 1;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let kind = match Keyword::from_str_ci(text) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(text.to_string()),
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            other => {
+                return Err(TquelError::Lex {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_query() {
+        let toks = kinds(r#"retrieve (f.rank) where f.name = "Merrie" as of "12/10/82""#);
+        use super::Keyword as K;
+        use TokenKind::*;
+        assert_eq!(
+            toks,
+            vec![
+                Keyword(K::Retrieve),
+                LParen,
+                Ident("f".into()),
+                Dot,
+                Ident("rank".into()),
+                RParen,
+                Keyword(K::Where),
+                Ident("f".into()),
+                Dot,
+                Ident("name".into()),
+                Eq,
+                Str("Merrie".into()),
+                Keyword(K::As),
+                Keyword(K::Of),
+                Str("12/10/82".into()),
+                Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("RETRIEVE Retrieve retrieve").len(), 4);
+        assert!(matches!(kinds("WHEN")[0], TokenKind::Keyword(Keyword::When)));
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let toks = kinds("x >= 42 y != -3.5 z < 7");
+        assert!(toks.contains(&TokenKind::Ge));
+        assert!(toks.contains(&TokenKind::Int(42)));
+        assert!(toks.contains(&TokenKind::Ne));
+        assert!(toks.contains(&TokenKind::Float(-3.5)));
+        assert!(toks.contains(&TokenKind::Lt));
+    }
+
+    #[test]
+    fn comments_and_escapes() {
+        let toks = kinds("a # the rest is ignored\n b");
+        assert_eq!(toks.len(), 3);
+        let toks = kinds(r#""he said \"hi\"\n""#);
+        assert_eq!(toks[0], TokenKind::Str("he said \"hi\"\n".into()));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        match lex("abc $") {
+            Err(TquelError::Lex { offset, .. }) => assert_eq!(offset, 4),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn dots_in_numbers_vs_projections() {
+        // `f.2` must lex as ident, dot, int — not a float.
+        let toks = kinds("f.2 1.5");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("f".into()),
+                TokenKind::Dot,
+                TokenKind::Int(2),
+                TokenKind::Float(1.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

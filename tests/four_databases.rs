@@ -1,0 +1,213 @@
+//! The four database classes, exercised side by side: capabilities,
+//! update disciplines, and the exact semantic differences the paper
+//! describes between them.
+
+use std::sync::Arc;
+
+use chronos_core::calendar::date;
+use chronos_core::chronon::Chronon;
+use chronos_core::clock::ManualClock;
+use chronos_core::taxonomy::DatabaseClass;
+use chronos_db::{Database, ExecOutcome};
+
+fn d(s: &str) -> Chronon {
+    date(s).unwrap()
+}
+
+fn db_with_all_classes() -> (Database, Arc<ManualClock>) {
+    let clock = Arc::new(ManualClock::new(d("01/01/80")));
+    let mut db = Database::in_memory(clock.clone());
+    db.session()
+        .run(
+            r#"
+        create s_rel (name = str, rank = str) as static
+        create r_rel (name = str, rank = str) as rollback
+        create h_rel (name = str, rank = str) as historical
+        create t_rel (name = str, rank = str) as temporal
+    "#,
+        )
+        .unwrap();
+    (db, clock)
+}
+
+/// Applies the same story to each class: hire Merrie as associate, then
+/// promote her; ask what each class can still tell us.
+fn run_story(db: &mut Database, clock: &Arc<ManualClock>, rel: &str) {
+    clock.advance_to(d("01/05/80"));
+    db.session()
+        .run(&format!(r#"append to {rel} (name = "Merrie", rank = "associate")"#))
+        .unwrap();
+    clock.advance_to(d("06/01/82"));
+    db.session()
+        .run(&format!(
+            r#"range of v is {rel}
+               replace v (rank = "full") where v.name = "Merrie""#
+        ))
+        .unwrap();
+}
+
+#[test]
+fn static_database_forgets_everything() {
+    let (mut db, clock) = db_with_all_classes();
+    run_story(&mut db, &clock, "s_rel");
+    assert_eq!(db.classify("s_rel"), Some(DatabaseClass::Static));
+    // Only the snapshot survives.
+    let res = db
+        .session()
+        .query(r#"range of v is s_rel retrieve (v.rank)"#)
+        .unwrap();
+    assert_eq!(res.column_strings(0), ["full"]);
+    // Neither rollback nor historical queries are possible.
+    assert!(db
+        .session()
+        .query(r#"range of v is s_rel retrieve (v.rank) as of "01/01/81""#)
+        .is_err());
+    assert!(db
+        .session()
+        .query(r#"range of v is s_rel retrieve (v.rank) when v overlap "01/01/81""#)
+        .is_err());
+}
+
+#[test]
+fn rollback_database_remembers_states_but_not_reality() {
+    let (mut db, clock) = db_with_all_classes();
+    run_story(&mut db, &clock, "r_rel");
+    assert_eq!(db.classify("r_rel"), Some(DatabaseClass::StaticRollback));
+    // Rollback sees the old stored state…
+    let res = db
+        .session()
+        .query(r#"range of v is r_rel retrieve (v.rank) as of "01/01/81""#)
+        .unwrap();
+    assert_eq!(res.column_strings(0), ["associate"]);
+    assert_eq!(res.kind, DatabaseClass::Static, "pure static result");
+    // …but has no concept of when the promotion was true in reality.
+    assert!(db
+        .session()
+        .query(r#"range of v is r_rel retrieve (v.rank) when v overlap "01/01/81""#)
+        .is_err());
+}
+
+#[test]
+fn historical_database_models_reality_but_forgets_beliefs() {
+    let (mut db, clock) = db_with_all_classes();
+    run_story(&mut db, &clock, "h_rel");
+    assert_eq!(db.classify("h_rel"), Some(DatabaseClass::Historical));
+    // The replace closed the associate period at its valid start (the
+    // commit day, since no valid clause was given).
+    let res = db
+        .session()
+        .query(r#"range of v is h_rel retrieve (v.rank) when v overlap "01/01/81""#)
+        .unwrap();
+    assert_eq!(res.column_strings(0), ["associate"]);
+    let res = db
+        .session()
+        .query(r#"range of v is h_rel retrieve (v.rank) when v overlap "01/01/83""#)
+        .unwrap();
+    assert_eq!(res.column_strings(0), ["full"]);
+    // But there is no rollback: the belief history is gone.
+    assert!(db
+        .session()
+        .query(r#"range of v is h_rel retrieve (v.rank) as of "01/01/81""#)
+        .is_err());
+}
+
+#[test]
+fn temporal_database_captures_both() {
+    let (mut db, clock) = db_with_all_classes();
+    run_story(&mut db, &clock, "t_rel");
+    assert_eq!(db.classify("t_rel"), Some(DatabaseClass::Temporal));
+    // Reality: associate during 1981.
+    let res = db
+        .session()
+        .query(r#"range of v is t_rel retrieve (v.rank) when v overlap "01/01/81""#)
+        .unwrap();
+    assert_eq!(res.column_strings(0), ["associate"]);
+    // Representation: the database of 1981 believed Merrie was (still)
+    // associate on that day; the database of 1983 knew she was full.
+    for (as_of, expect) in [("01/01/81", "associate"), ("01/01/83", "full")] {
+        let res = db
+            .session()
+            .query(&format!(
+                r#"range of v is t_rel retrieve (v.rank)
+                   when v overlap "{as_of}" as of "{as_of}""#
+            ))
+            .unwrap();
+        assert_eq!(res.column_strings(0), [expect], "as of {as_of}");
+    }
+    // And both at once.
+    let res = db
+        .session()
+        .query(
+            r#"range of v is t_rel
+               retrieve (v.rank)
+               when v overlap "01/01/81"
+               as of "01/01/83""#,
+        )
+        .unwrap();
+    assert_eq!(res.column_strings(0), ["associate"]);
+}
+
+#[test]
+fn corrections_distinguish_historical_from_rollback() {
+    // A historical database can make a retroactive correction; a rollback
+    // database can only append new states.
+    let (mut db, clock) = db_with_all_classes();
+    run_story(&mut db, &clock, "h_rel");
+    clock.advance_to(d("01/01/83"));
+    // Retroactive: the promotion was actually effective 01/01/82.
+    db.session()
+        .run(
+            r#"range of v is h_rel
+               replace v (rank = "full") valid from "01/01/82" to forever
+               where v.name = "Merrie""#,
+        )
+        .unwrap();
+    let res = db
+        .session()
+        .query(r#"range of v is h_rel retrieve (v.rank) when v overlap "03/01/82""#)
+        .unwrap();
+    assert_eq!(res.column_strings(0), ["full"], "corrected history");
+    // No record remains of the old (wrong) belief: the old full row from
+    // 06/01/82 was superseded; only the corrected rows exist.
+    let rel = db.relation("h_rel").unwrap().as_historical();
+    assert_eq!(rel.len(), 2, "associate (closed) + full (corrected)");
+}
+
+#[test]
+fn same_updates_different_stored_tuples() {
+    // The classes store radically different amounts for the same story
+    // (the paper's Figure 3 vs 4 / 7 vs 8 distinction, at tuple level).
+    let (mut db, clock) = db_with_all_classes();
+    for rel in ["s_rel", "r_rel", "h_rel", "t_rel"] {
+        run_story(&mut db, &clock, rel);
+    }
+    let stored = |db: &Database, rel: &str| db.relation(rel).unwrap().stored_tuples();
+    assert_eq!(stored(&db, "s_rel"), 1, "static: snapshot only");
+    assert_eq!(stored(&db, "r_rel"), 2, "rollback: both stored versions");
+    assert_eq!(stored(&db, "h_rel"), 2, "historical: both validity rows");
+    assert_eq!(stored(&db, "t_rel"), 3, "temporal: closed row + 2 current");
+}
+
+#[test]
+fn outcomes_report_affected_rows() {
+    let (mut db, clock) = db_with_all_classes();
+    clock.advance_to(d("02/01/80"));
+    db.session()
+        .run(
+            r#"append to t_rel (name = "A", rank = "assistant")
+               append to t_rel (name = "B", rank = "assistant")"#,
+        )
+        .unwrap();
+    clock.advance_to(d("03/01/80"));
+    let out = db
+        .session()
+        .run(r#"range of v is t_rel replace v (rank = "associate") where v.rank = "assistant""#)
+        .unwrap();
+    assert!(matches!(out[1], ExecOutcome::Replaced(2)));
+    clock.advance_to(d("04/01/80"));
+    let out = db
+        .session()
+        .run(r#"range of v is t_rel delete v where v.name = "A""#)
+        .unwrap();
+    assert!(matches!(out[1], ExecOutcome::Deleted(1)));
+}
