@@ -1,0 +1,111 @@
+//! E14b — checkpointed rollback reconstruction.
+//!
+//! The paper's two rollback encodings are the ends of a spectrum: the
+//! snapshot cube answers `rollback(t)` in one lookup but stores every
+//! unchanged tuple again per transaction; the tuple-timestamped store
+//! keeps each version once but reconstructs a past state by touching
+//! every row ever stored.  The checkpointed stores sit between them —
+//! a commit log plus a materialized state every K commits, so rollback
+//! binary-searches the checkpoints and replays at most K−1 deltas.
+//!
+//! Measured here at both layers:
+//!
+//! * core (`CheckpointedRollback` vs `TimestampedRollback`) with
+//!   K ∈ {1, 16, 64, 256};
+//! * storage (`StoredBitemporalTable::try_rollback_checkpointed` vs the
+//!   transaction-time-index path).
+//!
+//! The experiments binary (`experiments`, table E14b) records the same
+//! sweep with space figures; EXPERIMENTS.md holds the numbers.
+
+use chronos_bench::workload::{self, WorkloadSpec};
+use chronos_core::chronon::Chronon;
+use chronos_core::prelude::*;
+use chronos_core::relation::StaticOp;
+use chronos_core::schema::faculty_schema;
+use chronos_storage::table::StoredBitemporalTable;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn toggle_history(transactions: usize, entities: usize) -> Vec<(Chronon, StaticOp)> {
+    let tuples = workload::entity_tuples(entities);
+    let mut present = vec![false; entities];
+    (0..transactions)
+        .map(|i| {
+            let idx = if i < entities { i } else { (i * 7) % entities };
+            let op = if present[idx] {
+                present[idx] = false;
+                StaticOp::Delete(tuples[idx].clone())
+            } else {
+                present[idx] = true;
+                StaticOp::Insert(tuples[idx].clone())
+            };
+            (Chronon::new(1000 + i as i64), op)
+        })
+        .collect()
+}
+
+fn bench_core_rollback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback_checkpoint/core");
+    for &n in &[1024usize, 4096] {
+        let history = toggle_history(n, n / 2);
+        // Probe mid-history: the worst case for checkpoint replay is a
+        // probe just below a checkpoint boundary; mid-history averages
+        // over boundary positions across K values.
+        let probe = Chronon::new(1000 + (n as i64) / 2);
+
+        let mut ts = TimestampedRollback::new(faculty_schema());
+        for (t, op) in &history {
+            ts.commit(*t, std::slice::from_ref(op)).expect("valid");
+        }
+        group.bench_with_input(BenchmarkId::new("timestamped_scan", n), &ts, |b, s| {
+            b.iter(|| s.rollback(probe).len())
+        });
+
+        for &k in &[1usize, 16, 64, 256] {
+            let mut ck = CheckpointedRollback::with_interval(faculty_schema(), k);
+            for (t, op) in &history {
+                ck.commit(*t, std::slice::from_ref(op)).expect("valid");
+            }
+            assert_eq!(ck.rollback(probe), ts.rollback(probe));
+            group.bench_with_input(
+                BenchmarkId::new(format!("checkpointed_k{k}"), n),
+                &ck,
+                |b, s| b.iter(|| s.rollback(probe).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_storage_rollback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollback_checkpoint/storage");
+    for &n in &[1024usize, 4096] {
+        let w = workload::generate(&WorkloadSpec {
+            entities: (n / 4).max(8),
+            transactions: n,
+            ops_per_tx: 2,
+            correction_pct: 25,
+            seed: 7,
+        });
+        let mut table =
+            StoredBitemporalTable::in_memory(w.schema.clone(), TemporalSignature::Interval);
+        for tx in &w.transactions {
+            table.try_commit(tx.tx_time, &tx.ops).expect("valid");
+        }
+        let probe = Chronon::new(1000 + (n as i64) / 2);
+        assert_eq!(
+            table.try_rollback_checkpointed(probe).expect("ok"),
+            table.try_rollback_indexed(probe).expect("ok"),
+        );
+        group.bench_with_input(BenchmarkId::new("tx_index_stab", n), &table, |b, t| {
+            b.iter(|| t.try_rollback_indexed(probe).expect("ok").len())
+        });
+        group.bench_with_input(BenchmarkId::new("checkpoint_replay", n), &table, |b, t| {
+            b.iter(|| t.try_rollback_checkpointed(probe).expect("ok").len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_rollback, bench_storage_rollback);
+criterion_main!(benches);

@@ -1,6 +1,26 @@
 //! E17 — historical timeslice (τ_t, "more sophisticated operations"):
 //! heap scan vs the valid-time interval tree, plus the bitemporal point
 //! query composing both axes.
+//!
+//! ## Measurement asymmetry
+//!
+//! The scan and index variants do *not* do the same per-row work, and
+//! the asymmetry cuts both ways:
+//!
+//! * `heap_scan` decodes **every** stored row (page-sequential reads,
+//!   cheap per row) and then filters — cost ∝ history size;
+//! * `valid_interval_tree` touches only rows whose valid period covers
+//!   the probe, but pays a tree stab, a sort of the matching record
+//!   ids, and a **random** heap access + decode per hit — cost ∝
+//!   answer size with a higher per-row constant.
+//!
+//! With few hits the index wins outright; as the answer approaches the
+//! whole table the scan's sequential advantage reasserts itself.  To
+//! keep the comparison honest, `valid_tree_materialized` measures the
+//! index probe *including* full row materialization into an owned
+//! `Vec` (exactly what a query executor consumes) rather than just the
+//! hit count, and `heap_scan_parallel` gives the scan side its best
+//! shot: the morsel-driven parallel scan over heap pages.
 
 use chronos_bench::workload::{generate, WorkloadSpec};
 use chronos_core::chronon::Chronon;
@@ -23,6 +43,14 @@ fn build(n: usize) -> StoredBitemporalTable {
     t
 }
 
+/// Same table with the parallel threshold dropped to zero, so every
+/// scan takes the morsel-driven path regardless of size.
+fn build_parallel(n: usize) -> StoredBitemporalTable {
+    let mut t = build(n);
+    t.set_parallel_threshold(0);
+    t
+}
+
 fn bench_timeslice(c: &mut Criterion) {
     let mut group = c.benchmark_group("timeslice");
     for &n in &[256usize, 1024, 4096] {
@@ -36,10 +64,41 @@ fn bench_timeslice(c: &mut Criterion) {
                     .count()
             })
         });
+        let parallel = build_parallel(n);
+        group.bench_with_input(
+            BenchmarkId::new("heap_scan_parallel", n),
+            &parallel,
+            |b, t| {
+                b.iter(|| {
+                    let rows = t.scan_rows().expect("ok");
+                    rows.into_iter()
+                        .filter(|r| r.is_current() && r.validity.valid_at(probe))
+                        .count()
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("valid_interval_tree", n),
             &table,
             |b, t| b.iter(|| t.current_valid_at(probe).expect("ok").len()),
+        );
+        // Index probe including row materialization: the hits are moved
+        // into a fresh owned Vec (tuple clones included), matching what
+        // an executor keeps, so the variant's cost is comparable to the
+        // scan variants above rather than to a bare count.
+        group.bench_with_input(
+            BenchmarkId::new("valid_tree_materialized", n),
+            &table,
+            |b, t| {
+                b.iter(|| {
+                    let rows = t.current_valid_at(probe).expect("ok");
+                    let materialized: Vec<(chronos_core::tuple::Tuple, Validity)> = rows
+                        .into_iter()
+                        .map(|r| (r.tuple, r.validity))
+                        .collect();
+                    materialized.len()
+                })
+            },
         );
         let as_of = Chronon::new(1000 + (n as i64) / 4);
         group.bench_with_input(

@@ -65,12 +65,14 @@ fn approx_row_bytes(t: &Tuple) -> usize {
 fn main() {
     println!("ChronosDB experiments (paper: Snodgrass & Ahn, SIGMOD 1985)");
     t1_rollback_storage();
+    t1b_checkpoint_sweep();
     t2_temporal_storage();
     t3_rollback_query();
     t4_timeslice();
     t5_capability_matrix();
     t6_coalesce();
     t7_tquel_throughput();
+    t8_query_cache();
     println!("\nDone.  These tables are recorded in EXPERIMENTS.md.");
 }
 
@@ -131,9 +133,144 @@ fn t1_rollback_storage() {
             cube_ms,
             ts_ms
         );
-        assert_eq!(cube.current(), ts.current());
+        // Borrowed accessor: compare against the cube's live state
+        // without cloning the whole snapshot out of the store.
+        assert_eq!(*cube.current_ref().expect("committed"), ts.current());
     }
     println!("(cube tuples grow quadratically with history; tuple timestamping is linear)");
+}
+
+// ---------------------------------------------------------------------
+// T1b — E14b: checkpoint interval sweep
+// ---------------------------------------------------------------------
+
+/// One measured row of the E14b sweep (serialized to BENCH_rollback.json).
+struct SweepRow {
+    transactions: usize,
+    interval: usize,
+    rollback_ns: u64,
+    speedup: f64,
+    checkpoints: usize,
+    checkpoint_tuples: usize,
+}
+
+fn t1b_checkpoint_sweep() {
+    heading("T1b (E14b): checkpoint interval sweep — rollback latency vs space");
+    println!(
+        "{:>6} | {:>9} | {:>12} | {:>8} | {:>11} | {:>12}",
+        "txns", "K", "rollback µs", "speedup", "checkpoints", "ckpt tuples"
+    );
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut baseline_rows: Vec<SweepRow> = Vec::new();
+    for &n in &[1024usize, 4096] {
+        let history = rollback_toggle_history(n, n / 2);
+        let schema = chronos_core::schema::faculty_schema();
+        // Probe mid-history: early probes flatter the checkpointed store
+        // (less log to search), late probes flatter nothing — mid is the
+        // representative regime for `as of` auditing queries.
+        let probe = Chronon::new(1000 + (n as i64) / 2);
+
+        let mut ts = TimestampedRollback::new(schema.clone());
+        for (t, op) in &history {
+            ts.commit(*t, std::slice::from_ref(op)).expect("valid");
+        }
+        let expected = ts.rollback(probe);
+        let scan_ns = time_ns(10, || {
+            std::hint::black_box(ts.rollback(probe));
+        });
+        println!(
+            "{:>6} | {:>9} | {:>12.1} | {:>8} | {:>11} | {:>12}",
+            n,
+            "scan",
+            scan_ns as f64 / 1e3,
+            "1.0x",
+            "—",
+            "—"
+        );
+        baseline_rows.push(SweepRow {
+            transactions: n,
+            interval: 0, // 0 = the unaccelerated full-scan baseline
+            rollback_ns: scan_ns,
+            speedup: 1.0,
+            checkpoints: 0,
+            checkpoint_tuples: 0,
+        });
+
+        for &k in &[1usize, 16, 64, 256] {
+            let mut ck = CheckpointedRollback::with_interval(schema.clone(), k);
+            for (t, op) in &history {
+                ck.commit(*t, std::slice::from_ref(op)).expect("valid");
+            }
+            assert_eq!(ck.rollback(probe), expected, "equivalence at K={k}");
+            let ck_ns = time_ns(10, || {
+                std::hint::black_box(ck.rollback(probe));
+            });
+            let speedup = scan_ns as f64 / ck_ns.max(1) as f64;
+            println!(
+                "{:>6} | {:>9} | {:>12.1} | {:>7.1}x | {:>11} | {:>12}",
+                n,
+                k,
+                ck_ns as f64 / 1e3,
+                speedup,
+                ck.checkpoints(),
+                ck.checkpoint_tuples()
+            );
+            rows.push(SweepRow {
+                transactions: n,
+                interval: k,
+                rollback_ns: ck_ns,
+                speedup,
+                checkpoints: ck.checkpoints(),
+                checkpoint_tuples: ck.checkpoint_tuples(),
+            });
+        }
+    }
+    println!("(K trades replay latency against checkpoint space: K=1 is the paper's");
+    println!(" snapshot cube, large K approaches pure log replay)");
+
+    // The acceptance bar for the acceleration layer: at 4096
+    // transactions the checkpointed reconstruction beats the full scan
+    // by at least 5x at some swept K.
+    let best = rows
+        .iter()
+        .filter(|r| r.transactions == 4096)
+        .map(|r| r.speedup)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best >= 5.0,
+        "checkpointed rollback speedup at 4096 txns was only {best:.1}x"
+    );
+
+    write_bench_rollback_json(&baseline_rows, &rows);
+}
+
+/// Emits the sweep as `BENCH_rollback.json` next to the working
+/// directory, for tooling that tracks the acceleration layer across
+/// commits.  Hand-rolled JSON: the workspace deliberately has no serde.
+fn write_bench_rollback_json(baselines: &[SweepRow], rows: &[SweepRow]) {
+    let mut out = String::from("{\n  \"experiment\": \"E14b\",\n");
+    out.push_str("  \"description\": \"checkpointed rollback reconstruction sweep\",\n");
+    out.push_str("  \"baseline\": \"timestamped full-scan rollback (interval 0)\",\n");
+    out.push_str("  \"rows\": [\n");
+    let all: Vec<&SweepRow> = baselines.iter().chain(rows.iter()).collect();
+    for (i, r) in all.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"transactions\": {}, \"interval\": {}, \"rollback_ns\": {}, \
+             \"speedup\": {:.2}, \"checkpoints\": {}, \"checkpoint_tuples\": {}}}{}\n",
+            r.transactions,
+            r.interval,
+            r.rollback_ns,
+            r.speedup,
+            r.checkpoints,
+            r.checkpoint_tuples,
+            if i + 1 < all.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_rollback.json", &out) {
+        Ok(()) => println!("(wrote BENCH_rollback.json)"),
+        Err(e) => println!("(could not write BENCH_rollback.json: {e})"),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -442,4 +579,71 @@ fn t7_tquel_throughput() {
         });
         println!("{:>20} | {:>12.1} | {:>6}", name, ns as f64 / 1e3, rows);
     }
+}
+
+// ---------------------------------------------------------------------
+// T8 — the bitemporal query cache
+// ---------------------------------------------------------------------
+
+fn t8_query_cache() {
+    heading("T8: bitemporal query cache — repeated retrieves at one coordinate");
+    let build = || {
+        let clock = Arc::new(ManualClock::new(Chronon::new(900)));
+        let mut db = Database::in_memory(clock.clone());
+        db.session()
+            .run("create faculty (name = str, rank = str) as temporal")
+            .expect("create");
+        for i in 0..300 {
+            clock.tick(1);
+            db.session()
+                .run(&format!(
+                    r#"append to faculty (name = "prof{i:05}", rank = "assistant")
+                       valid from "{}" to forever"#,
+                    chronos_core::calendar::Date::from_chronon(Chronon::new(900 + i))
+                ))
+                .expect("append");
+        }
+        db
+    };
+    let as_of = chronos_core::calendar::Date::from_chronon(Chronon::new(1100));
+    let query = format!(
+        r#"range of f is faculty retrieve (f.rank) where f.name = "prof00007" as of "{as_of}""#
+    );
+
+    let mut cold = build();
+    cold.set_cache_capacity(0); // cache disabled: every retrieve rescans
+    let expected = cold.session().query(&query).expect("query");
+    let mut session_src = build();
+    session_src.set_cache_capacity(0);
+    let cold_ns = {
+        let mut s = session_src.session();
+        time_ns(20, || {
+            std::hint::black_box(s.query(&query).expect("query"));
+        })
+    };
+
+    let mut warm = build();
+    warm.session().query(&query).expect("warm the cache");
+    let warm_ns = {
+        let mut s = warm.session();
+        time_ns(20, || {
+            std::hint::black_box(s.query(&query).expect("query"));
+        })
+    };
+    assert_eq!(warm.session().query(&query).expect("query"), expected);
+    let stats = warm.cache_stats();
+    println!(
+        "{:>12} | {:>12} | {:>8} | {:>6} | {:>6}",
+        "uncached µs", "cached µs", "speedup", "hits", "misses"
+    );
+    println!(
+        "{:>12.1} | {:>12.1} | {:>7.1}x | {:>6} | {:>6}",
+        cold_ns as f64 / 1e3,
+        warm_ns as f64 / 1e3,
+        cold_ns as f64 / warm_ns.max(1) as f64,
+        stats.hits,
+        stats.misses
+    );
+    println!("(the cache serves the scan behind an Arc; commits bump the relation's");
+    println!(" epoch, so modified relations are rescanned on next retrieve)");
 }

@@ -576,8 +576,14 @@ mod tests {
         assert_eq!(states[2].1.len(), 4);
         assert!(!states[2].1.contains(&tuple(["t2"])));
         assert!(states[2].1.contains(&tuple(["t5"])));
-        // Rollback still sees the deleted tuple in earlier states.
-        assert!(r.rollback(Chronon::new(2)).contains(&tuple(["t2"])));
+        // Rollback still sees the deleted tuple in earlier states — via
+        // the borrowed accessors, which don't clone the cube's state.
+        assert!(r
+            .rollback_ref(Chronon::new(2))
+            .expect("two commits by then")
+            .contains(&tuple(["t2"])));
+        assert_eq!(r.state_at(1), r.rollback_ref(Chronon::new(2)));
+        assert_eq!(r.current_ref(), r.state_at(2));
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! The bitemporal query cache.
+//!
+//! Retrieves repeatedly scan the same relations at the same bitemporal
+//! coordinates — a figure-generation loop probes one relation `as of`
+//! many times, and a multi-variable retrieve scans each operand once per
+//! statement.  [`QueryCache`] memoizes those scans: the key is the
+//! relation name plus the resolved [`AsOfSpec`] (the transaction-time
+//! coordinate; valid-time selection happens downstream in the
+//! evaluator), and the value is the scanned row set behind an [`Arc`] so
+//! hits clone a pointer, not the rows.
+//!
+//! Invalidation is epoch-based, which suits the paper's append-only
+//! transaction-time semantics: every commit to a relation bumps that
+//! relation's epoch, and a cached entry is served only while its
+//! recorded epoch is current.  Entries for historical coordinates are
+//! *logically* immortal — a rollback relation's state `as of t` never
+//! changes once `t` is in the past — but a commit still invalidates
+//! them conservatively because a scan with `as_of = None` (or an
+//! `as of` at or beyond the new commit time) does observe the new
+//! state.  Distinguishing the two would need the commit time threaded
+//! through the key comparison; the conservative bump keeps the cache
+//! trivially correct and still wins on read-heavy workloads.
+//!
+//! Eviction is least-recently-used over a small fixed capacity: each
+//! access stamps the entry with a monotone use counter and inserts
+//! evict the smallest stamp when full.  Capacity is small (relations ×
+//! distinct coordinates per workload), so the linear eviction scan is
+//! noise next to the scans it saves.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use chronos_tquel::provider::{AsOfSpec, SourceRow};
+
+/// Default number of cached scans.
+pub const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+/// Observable cache behaviour (tests assert on these; the experiments
+/// binary reports them).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Scans answered from the cache.
+    pub hits: u64,
+    /// Scans that had to run (absent or stale entry).
+    pub misses: u64,
+    /// Entries dropped because their relation's epoch moved on.
+    pub invalidations: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+#[derive(Clone)]
+struct Entry {
+    rows: Arc<Vec<SourceRow>>,
+    /// Relation epoch the rows were scanned at.
+    epoch: u64,
+    /// LRU stamp: the use counter at last access.
+    last_used: u64,
+}
+
+/// An LRU cache of relation scans keyed by bitemporal coordinate.
+pub struct QueryCache {
+    capacity: usize,
+    entries: HashMap<(String, Option<AsOfSpec>), Entry>,
+    /// Per-relation modification epochs (bumped on every commit, create,
+    /// destroy, and materialize touching the relation).
+    epochs: HashMap<String, u64>,
+    use_counter: u64,
+    stats: CacheStats,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` scans (capacity 0
+    /// disables caching: every lookup misses, every insert is dropped).
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity,
+            entries: HashMap::new(),
+            epochs: HashMap::new(),
+            use_counter: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn epoch_of(&self, relation: &str) -> u64 {
+        self.epochs.get(relation).copied().unwrap_or(0)
+    }
+
+    /// Looks up a cached scan, refreshing its LRU stamp.  A stale entry
+    /// (relation committed to since it was cached) is dropped and
+    /// reported as a miss.
+    pub fn get(
+        &mut self,
+        relation: &str,
+        as_of: Option<&AsOfSpec>,
+    ) -> Option<Arc<Vec<SourceRow>>> {
+        let key = (relation.to_string(), as_of.copied());
+        let current = self.epoch_of(relation);
+        match self.entries.get_mut(&key) {
+            Some(entry) if entry.epoch == current => {
+                self.use_counter += 1;
+                entry.last_used = self.use_counter;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.rows))
+            }
+            Some(_) => {
+                self.entries.remove(&key);
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches a scan result at the relation's current epoch, evicting
+    /// the least-recently-used entry when full.
+    pub fn insert(
+        &mut self,
+        relation: &str,
+        as_of: Option<&AsOfSpec>,
+        rows: Arc<Vec<SourceRow>>,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (relation.to_string(), as_of.copied());
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.use_counter += 1;
+        let epoch = self.epoch_of(relation);
+        self.entries.insert(
+            key,
+            Entry {
+                rows,
+                epoch,
+                last_used: self.use_counter,
+            },
+        );
+    }
+
+    /// Records a modification of `relation`: bumps its epoch so cached
+    /// entries become stale (they are dropped lazily on next lookup).
+    pub fn bump_epoch(&mut self, relation: &str) {
+        *self.epochs.entry(relation.to_string()).or_insert(0) += 1;
+    }
+
+    /// Drops every entry (epochs are kept — they order modifications,
+    /// not cache contents).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::chronon::Chronon;
+    use chronos_core::tuple::tuple;
+
+    fn rows(tag: &str) -> Arc<Vec<SourceRow>> {
+        Arc::new(vec![SourceRow {
+            tuple: tuple([tag]),
+            validity: None,
+            tx: None,
+        }])
+    }
+
+    #[test]
+    fn hit_after_insert_miss_after_bump() {
+        let mut c = QueryCache::new(4);
+        assert!(c.get("faculty", None).is_none());
+        c.insert("faculty", None, rows("a"));
+        let hit = c.get("faculty", None).expect("cached");
+        assert_eq!(hit[0].tuple, tuple(["a"]));
+        c.bump_epoch("faculty");
+        assert!(c.get("faculty", None).is_none(), "stale after commit");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+    }
+
+    #[test]
+    fn distinct_coordinates_are_distinct_entries() {
+        let mut c = QueryCache::new(4);
+        let at = AsOfSpec::At(Chronon::new(10));
+        c.insert("r", None, rows("current"));
+        c.insert("r", Some(&at), rows("past"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("r", Some(&at)).unwrap()[0].tuple, tuple(["past"]));
+        assert_eq!(c.get("r", None).unwrap()[0].tuple, tuple(["current"]));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut c = QueryCache::new(2);
+        c.insert("a", None, rows("a"));
+        c.insert("b", None, rows("b"));
+        assert!(c.get("a", None).is_some()); // warm "a"
+        c.insert("c", None, rows("c")); // evicts "b"
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get("a", None).is_some());
+        assert!(c.get("b", None).is_none());
+        assert!(c.get("c", None).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = QueryCache::new(0);
+        c.insert("r", None, rows("x"));
+        assert!(c.is_empty());
+        assert!(c.get("r", None).is_none());
+    }
+}

@@ -13,6 +13,8 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use chronos_core::chronon::Chronon;
 use chronos_core::clock::Clock;
 use chronos_core::relation::HistoricalOp;
@@ -23,6 +25,7 @@ use chronos_storage::wal::{Wal, WalRecord};
 use chronos_tquel::provider::{AsOfSpec, RelationInfo, RelationProvider, SourceRow};
 use chronos_tquel::TquelError;
 
+use crate::cache::{CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
 use crate::relation::Relation;
@@ -35,6 +38,10 @@ pub struct Database {
     txn: TxnManager,
     dir: Option<PathBuf>,
     wal: Option<Wal>,
+    /// Memoized relation scans ([`RelationProvider::scan`] takes
+    /// `&self`, hence the mutex; uncontended in this single-threaded
+    /// facade).
+    cache: Mutex<QueryCache>,
 }
 
 impl Database {
@@ -46,6 +53,7 @@ impl Database {
             txn: TxnManager::new(clock),
             dir: None,
             wal: None,
+            cache: Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY)),
         }
     }
 
@@ -106,6 +114,7 @@ impl Database {
             txn: TxnManager::resuming_after(clock, last_commit),
             dir: Some(dir.to_path_buf()),
             wal: Some(Wal::open(&wal_path)?),
+            cache: Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY)),
         })
     }
 
@@ -156,6 +165,7 @@ impl Database {
             .map_err(DbError::Catalog)?;
         self.relations
             .insert(name.to_string(), Relation::new(schema, class, signature));
+        self.cache.lock().bump_epoch(name);
         self.persist_catalog()?;
         Ok(())
     }
@@ -166,6 +176,7 @@ impl Database {
             return Err(DbError::Catalog(format!("unknown relation {name:?}")));
         }
         self.relations.remove(name);
+        self.cache.lock().bump_epoch(name);
         self.persist_catalog()?;
         Ok(())
     }
@@ -223,7 +234,19 @@ impl Database {
             .expect("catalog and stores in sync");
         rel.apply(tx_time, ops)
             .expect("validated transaction applies");
+        self.cache.lock().bump_epoch(relation);
         Ok(tx_time)
+    }
+
+    /// Query-cache counters (hits, misses, invalidations, evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+
+    /// Replaces the query cache with one holding `capacity` scans
+    /// (0 disables caching).  Existing entries and counters are reset.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        *self.cache.lock() = QueryCache::new(capacity);
     }
 
     /// Materializes a derived relation under `name` — the executable
@@ -318,6 +341,7 @@ impl Database {
             .define(name, schema, class, result.signature)
             .map_err(DbError::Catalog)?;
         self.relations.insert(name.to_string(), relation);
+        self.cache.lock().bump_epoch(name);
         self.persist_catalog()?;
         // Derived timestamps aren't reproducible from the log; capture
         // them (and everything else) in a checkpoint right away.
@@ -346,14 +370,22 @@ impl RelationProvider for Database {
         &self,
         relation: &str,
         as_of: Option<&AsOfSpec>,
-    ) -> Result<Vec<SourceRow>, TquelError> {
+    ) -> Result<Arc<Vec<SourceRow>>, TquelError> {
+        if let Some(rows) = self.cache.lock().get(relation, as_of) {
+            return Ok(rows);
+        }
         let rel = self.relations.get(relation).ok_or_else(|| {
             TquelError::Semantic(format!("unknown relation {relation:?}"))
         })?;
-        rel.scan(as_of).map_err(|e| match e {
-            DbError::Tquel(t) => t,
-            DbError::Core(c) => TquelError::Core(c),
-            other => TquelError::Semantic(other.to_string()),
-        })
+        let rows = rel
+            .scan(as_of)
+            .map(Arc::new)
+            .map_err(|e| match e {
+                DbError::Tquel(t) => t,
+                DbError::Core(c) => TquelError::Core(c),
+                other => TquelError::Semantic(other.to_string()),
+            })?;
+        self.cache.lock().insert(relation, as_of, Arc::clone(&rows));
+        Ok(rows)
     }
 }

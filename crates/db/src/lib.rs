@@ -23,6 +23,7 @@
 //! "#).unwrap();
 //! ```
 
+pub mod cache;
 pub mod catalog;
 pub mod checkpoint;
 pub mod database;

@@ -85,8 +85,9 @@ pub fn execute_plan(
     plan: &RetrievePlan,
     provider: &dyn RelationProvider,
 ) -> TquelResult<ResultRelation> {
-    // Scan each range variable.
-    let mut scans: Vec<Vec<SourceRow>> = Vec::with_capacity(plan.vars.len());
+    // Scan each range variable (shared row sets — a caching provider
+    // hands the same Arc to every retrieve at the same coordinate).
+    let mut scans: Vec<std::sync::Arc<Vec<SourceRow>>> = Vec::with_capacity(plan.vars.len());
     for v in &plan.vars {
         scans.push(provider.scan(&v.relation, plan.as_of.as_ref())?);
     }
@@ -108,7 +109,7 @@ pub fn execute_plan(
 
     // Cartesian product via an index vector (no recursion, no clones of
     // the scans).
-    if scans.iter().any(Vec::is_empty) {
+    if scans.iter().any(|s| s.is_empty()) {
         return Ok(ResultRelation {
             schema: plan.out_schema.clone(),
             kind,
@@ -252,7 +253,7 @@ impl AggState {
 /// value aggregate is undefined over an empty set).
 fn execute_aggregate(
     plan: &RetrievePlan,
-    scans: &[Vec<SourceRow>],
+    scans: &[std::sync::Arc<Vec<SourceRow>>],
 ) -> TquelResult<ResultRelation> {
     let mut states: Vec<(AggState, usize)> = plan
         .targets
@@ -268,7 +269,7 @@ fn execute_aggregate(
         })
         .collect();
 
-    if !scans.iter().any(Vec::is_empty) {
+    if !scans.iter().any(|s| s.is_empty()) {
         let mut idx = vec![0usize; scans.len()];
         'product: loop {
             let combo: Vec<&SourceRow> = idx.iter().zip(scans).map(|(&i, s)| &s[i]).collect();

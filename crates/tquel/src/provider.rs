@@ -6,6 +6,8 @@
 //! relation's class carries — optionally rolled back by an
 //! [`AsOfSpec`].
 
+use std::sync::Arc;
+
 use chronos_core::chronon::Chronon;
 use chronos_core::period::Period;
 use chronos_core::relation::Validity;
@@ -27,7 +29,11 @@ pub struct RelationInfo {
 }
 
 /// A resolved `as of` clause.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// `Hash`/`Eq` matter beyond the usual derives: the pair
+/// `(relation name, Option<AsOfSpec>)` is the key of `chronos-db`'s
+/// bitemporal query cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AsOfSpec {
     /// `as of t`: the state stored at transaction time `t`.
     At(Chronon),
@@ -60,5 +66,10 @@ pub trait RelationProvider {
     /// * historical: rows with validity (`as_of` rejected by analysis);
     /// * temporal: rows with validity and transaction periods, filtered
     ///   to those stored as of the given time (or current).
-    fn scan(&self, relation: &str, as_of: Option<&AsOfSpec>) -> TquelResult<Vec<SourceRow>>;
+    ///
+    /// The rows come back behind an [`Arc`] so a caching provider can
+    /// serve repeated scans of the same bitemporal coordinate without
+    /// copying the row set.
+    fn scan(&self, relation: &str, as_of: Option<&AsOfSpec>)
+        -> TquelResult<Arc<Vec<SourceRow>>>;
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, lints, bench smoke.  Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "==> bench smoke (cargo bench -p chronos-bench -- --test)"
+cargo bench -p chronos-bench --offline -- --test
+
+echo "==> all checks passed"

@@ -1,0 +1,164 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements only what the storage layer uses: a `Vec<u8>`-backed
+//! `BytesMut` and the `Buf`/`BufMut` little-endian accessors on byte
+//! slices. Semantics match the real crate for this subset (reads and
+//! writes advance the slice cursor).
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, mutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut { inner: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// A buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> BytesMut {
+        BytesMut {
+            inner: vec![0; len],
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.inner.extend_from_slice(extend);
+    }
+
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.inner.resize(new_len, value);
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> BytesMut {
+        BytesMut {
+            inner: src.to_vec(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(inner: Vec<u8>) -> BytesMut {
+        BytesMut { inner }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+/// Sequential little-endian reads from a byte source, advancing past
+/// what was read. Panics when the source is too short, like the real
+/// crate.
+pub trait Buf {
+    fn get_u8(&mut self) -> u8;
+    fn get_u16_le(&mut self) -> u16;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_le_bytes(head.try_into().expect("two bytes"))
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("four bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("eight bytes"))
+    }
+}
+
+/// Sequential little-endian writes into a byte sink, advancing past
+/// what was written.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for &mut [u8] {
+    fn put_u8(&mut self, v: u8) {
+        let (head, rest) = std::mem::take(self).split_at_mut(1);
+        head[0] = v;
+        *self = rest;
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        let (head, rest) = std::mem::take(self).split_at_mut(2);
+        head.copy_from_slice(&v.to_le_bytes());
+        *self = rest;
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        let (head, rest) = std::mem::take(self).split_at_mut(4);
+        head.copy_from_slice(&v.to_le_bytes());
+        *self = rest;
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        let (head, rest) = std::mem::take(self).split_at_mut(8);
+        head.copy_from_slice(&v.to_le_bytes());
+        *self = rest;
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock harness with the same source-level API surface
+//! the benches use (`benchmark_group`, `bench_with_input`, `iter`,
+//! `Throughput`, `BenchmarkId`, the `criterion_group!`/`criterion_main!`
+//! macros). Measurement model: warm up, pick an iteration count that
+//! runs ~40 ms, take the best of three samples, and print one line per
+//! benchmark. `--test` on the command line (criterion's smoke mode, used
+//! by `cargo bench -- --test`) runs every closure exactly once.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut quick = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => quick = true,
+                // Flags cargo/criterion pass through that we can ignore.
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { quick, filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        run_one(self.quick, &self.filter, &label, &mut f);
+        self
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        match &self.filter {
+            Some(f) => label.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        if self.parent.matches(&label) {
+            run_one(self.parent.quick, &None, &label, &mut |b: &mut Bencher| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        if self.parent.matches(&label) {
+            run_one(self.parent.quick, &None, &label, &mut f);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(quick: bool, filter: &Option<String>, label: &str, f: &mut F) {
+    if let Some(flt) = filter {
+        if !label.contains(flt.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        quick,
+        best_ns_per_iter: f64::INFINITY,
+        iters: 0,
+    };
+    f(&mut b);
+    if quick {
+        println!("{label}: ok (smoke)");
+    } else {
+        println!(
+            "{label}  time: {:>12.1} ns/iter  ({} iters/sample)",
+            b.best_ns_per_iter, b.iters
+        );
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the measuring.
+pub struct Bencher {
+    quick: bool,
+    best_ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            self.iters = 1;
+            self.best_ns_per_iter = 0.0;
+            return;
+        }
+        // Warm-up + calibration: run until ~5 ms or 1k iters to size the
+        // measured batches.
+        let cal_start = Instant::now();
+        let mut cal_iters = 0u64;
+        while cal_start.elapsed().as_millis() < 5 && cal_iters < 1000 {
+            black_box(f());
+            cal_iters += 1;
+        }
+        let per_iter = cal_start.elapsed().as_nanos() as f64 / cal_iters as f64;
+        let target_ns = 40_000_000.0; // ~40 ms per sample
+        let n = ((target_ns / per_iter.max(1.0)) as u64).clamp(1, 10_000_000);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / n as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.best_ns_per_iter = best;
+        self.iters = n;
+    }
+}
+
+/// Benchmark identifier: `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Accepted and recorded for API compatibility; not used in output.
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

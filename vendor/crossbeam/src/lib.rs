@@ -1,0 +1,46 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The tests only use `crossbeam::scope` with `Scope::spawn`, which
+//! maps directly onto `std::thread::scope` (stable since Rust 1.63).
+//! Differences from the real crate: a panicking child thread aborts the
+//! scope by propagating the panic instead of surfacing it through the
+//! returned `Result` — equivalent for test assertions.
+
+pub mod thread {
+    /// Scoped-thread handle mirroring `crossbeam_utils::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow from the enclosing scope. The
+        /// closure receives the scope again so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads are all joined before
+    /// this returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
