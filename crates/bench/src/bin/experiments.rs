@@ -21,7 +21,13 @@
 //!   classes (Figure 10/11, measured rather than asserted);
 //! * **T6 (E20)** — coalescing cost and compression;
 //! * **T7 (E19)** — TQuel end-to-end latency for the paper's four query
-//!   shapes.
+//!   shapes;
+//! * **T8** — the bitemporal query cache;
+//! * **T9** — observability: the engine's own counters quantify the
+//!   checkpoint-interval trade-off (transactions replayed per probe),
+//!   and the disabled recorder is verified to cost nothing.
+//!
+//! Set `EXPERIMENTS_ONLY=<id>` (e.g. `T9`) to run a single experiment.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -32,6 +38,7 @@ use chronos_core::clock::ManualClock;
 use chronos_core::prelude::*;
 use chronos_core::relation::StaticOp;
 use chronos_db::Database;
+use chronos_obs::Recorder;
 use chronos_storage::codec;
 use chronos_storage::table::StoredBitemporalTable;
 
@@ -64,15 +71,38 @@ fn approx_row_bytes(t: &Tuple) -> usize {
 
 fn main() {
     println!("ChronosDB experiments (paper: Snodgrass & Ahn, SIGMOD 1985)");
-    t1_rollback_storage();
-    t1b_checkpoint_sweep();
-    t2_temporal_storage();
-    t3_rollback_query();
-    t4_timeslice();
-    t5_capability_matrix();
-    t6_coalesce();
-    t7_tquel_throughput();
-    t8_query_cache();
+    let only = std::env::var("EXPERIMENTS_ONLY").ok();
+    let want = |id: &str| only.as_deref().is_none_or(|o| o.eq_ignore_ascii_case(id));
+    if want("T1") {
+        t1_rollback_storage();
+    }
+    if want("T1b") {
+        t1b_checkpoint_sweep();
+    }
+    if want("T2") {
+        t2_temporal_storage();
+    }
+    if want("T3") {
+        t3_rollback_query();
+    }
+    if want("T4") {
+        t4_timeslice();
+    }
+    if want("T5") {
+        t5_capability_matrix();
+    }
+    if want("T6") {
+        t6_coalesce();
+    }
+    if want("T7") {
+        t7_tquel_throughput();
+    }
+    if want("T8") {
+        t8_query_cache();
+    }
+    if want("T9") {
+        t9_observability();
+    }
     println!("\nDone.  These tables are recorded in EXPERIMENTS.md.");
 }
 
@@ -631,19 +661,162 @@ fn t8_query_cache() {
         })
     };
     assert_eq!(warm.session().query(&query).expect("query"), expected);
-    let stats = warm.cache_stats();
+    let stats = warm.engine_stats();
     println!(
-        "{:>12} | {:>12} | {:>8} | {:>6} | {:>6}",
-        "uncached µs", "cached µs", "speedup", "hits", "misses"
+        "{:>12} | {:>12} | {:>8} | {:>6} | {:>6} | {:>7} | {:>7}",
+        "uncached µs", "cached µs", "speedup", "hits", "misses", "entries", "epochs"
     );
     println!(
-        "{:>12.1} | {:>12.1} | {:>7.1}x | {:>6} | {:>6}",
+        "{:>12.1} | {:>12.1} | {:>7.1}x | {:>6} | {:>6} | {:>7} | {:>7}",
         cold_ns as f64 / 1e3,
         warm_ns as f64 / 1e3,
         cold_ns as f64 / warm_ns.max(1) as f64,
-        stats.hits,
-        stats.misses
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache_entries,
+        stats.cache.epoch_bumps
     );
+    // The recorder mirrors the cache counters, so both surfaces agree.
+    assert_eq!(stats.metrics.cache_hits, stats.cache.hits);
+    assert_eq!(stats.metrics.cache_misses, stats.cache.misses);
     println!("(the cache serves the scan behind an Arc; commits bump the relation's");
     println!(" epoch, so modified relations are rescanned on next retrieve)");
+}
+
+// ---------------------------------------------------------------------
+// T9 — observability: counters quantify the access-path trade-offs
+// ---------------------------------------------------------------------
+
+/// One measured row of the T9 sweep (serialized to
+/// BENCH_observability.json).
+struct ObsRow {
+    transactions: usize,
+    interval: usize,
+    txns_replayed: u64,
+    checkpoint_hits: u64,
+    rollback_ns: u64,
+}
+
+fn t9_observability() {
+    heading("T9: observability — replayed transactions per checkpoint interval");
+    let n = 2048usize;
+    let w = workload::generate(&WorkloadSpec {
+        entities: (n / 4).max(8),
+        transactions: n,
+        ops_per_tx: 2,
+        correction_pct: 25,
+        seed: 7,
+    });
+    let probe = Chronon::new(1000 + (n as i64) / 2);
+    println!(
+        "{:>6} | {:>9} | {:>14} | {:>10} | {:>12}",
+        "txns", "K", "txns replayed", "ckpt hits", "rollback µs"
+    );
+    let mut rows: Vec<ObsRow> = Vec::new();
+    for &k in &[1usize, 16, 64, 256] {
+        let mut stored =
+            StoredBitemporalTable::in_memory(w.schema.clone(), TemporalSignature::Interval);
+        for tx in &w.transactions {
+            stored.try_commit(tx.tx_time, &tx.ops).expect("valid");
+        }
+        stored.set_checkpoint_interval(k).expect("rebuild");
+        let recorder = Arc::new(Recorder::new());
+        stored.set_recorder(Arc::clone(&recorder));
+        let before = recorder.snapshot();
+        stored.try_rollback_checkpointed(probe).expect("rollback");
+        let after = recorder.snapshot();
+        let replayed = after.rollback_txns_replayed - before.rollback_txns_replayed;
+        let hits = after.rollback_checkpoint_hits - before.rollback_checkpoint_hits;
+        // The counter is bounded by construction: a checkpoint lands
+        // every K commits, so a probe replays at most K − 1 of them.
+        assert!(
+            (replayed as usize) < k.max(2),
+            "replayed {replayed} transactions at K={k}"
+        );
+        let ns = time_ns(10, || {
+            std::hint::black_box(stored.try_rollback_checkpointed(probe).expect("rollback"));
+        });
+        println!(
+            "{:>6} | {:>9} | {:>14} | {:>10} | {:>12.1}",
+            n,
+            k,
+            replayed,
+            hits,
+            ns as f64 / 1e3
+        );
+        rows.push(ObsRow {
+            transactions: n,
+            interval: k,
+            txns_replayed: replayed,
+            checkpoint_hits: hits,
+            rollback_ns: ns,
+        });
+    }
+    println!("(replayed-per-probe is the latency side of the E14b space trade-off,");
+    println!(" read off the engine's own counters rather than re-derived)");
+    write_bench_observability_json(&rows);
+    overhead_check();
+}
+
+/// Emits the T9 sweep as `BENCH_observability.json`.  Hand-rolled JSON:
+/// the workspace deliberately has no serde.
+fn write_bench_observability_json(rows: &[ObsRow]) {
+    let mut out = String::from("{\n  \"experiment\": \"T9\",\n");
+    out.push_str("  \"description\": \"replayed transactions per checkpoint interval\",\n");
+    out.push_str("  \"source\": \"engine metrics registry (rollback counters)\",\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"transactions\": {}, \"interval\": {}, \"txns_replayed\": {}, \
+             \"checkpoint_hits\": {}, \"rollback_ns\": {}}}{}\n",
+            r.transactions,
+            r.interval,
+            r.txns_replayed,
+            r.checkpoint_hits,
+            r.rollback_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_observability.json", &out) {
+        Ok(()) => println!("(wrote BENCH_observability.json)"),
+        Err(e) => println!("(could not write BENCH_observability.json: {e})"),
+    }
+}
+
+/// Asserts the disabled recorder costs nothing measurable: a loop of
+/// real work with a counter call per iteration must stay within 5% of
+/// the same loop without it.  Samples are interleaved (base,
+/// instrumented, base, …) and the minimum of each side is compared, so
+/// scheduler noise and frequency drift hit both variants alike.
+fn overhead_check() {
+    let data: Vec<u64> = (0..1024).collect();
+    let work = |instrumented: bool, disabled: &Recorder| -> u64 {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..20_000 {
+            acc = acc.wrapping_add(std::hint::black_box(&data).iter().sum::<u64>());
+            if instrumented {
+                disabled.count(|m| &m.heap_rows_scanned);
+            }
+        }
+        std::hint::black_box(acc);
+        start.elapsed().as_nanos() as u64
+    };
+    let disabled = Recorder::disabled();
+    let (mut base_ns, mut instrumented_ns) = (u64::MAX, u64::MAX);
+    for _ in 0..9 {
+        base_ns = base_ns.min(work(false, &disabled));
+        instrumented_ns = instrumented_ns.min(work(true, &disabled));
+    }
+    assert!(
+        disabled.snapshot().is_zero(),
+        "disabled recorder accumulated counts"
+    );
+    let ratio = instrumented_ns as f64 / base_ns.max(1) as f64;
+    println!("observability overhead: disabled-recorder ratio {ratio:.3} — within budget (<1.05)");
+    assert!(
+        ratio < 1.05,
+        "disabled recorder overhead {ratio:.3} exceeds the 5% budget"
+    );
 }

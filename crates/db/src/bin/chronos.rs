@@ -15,8 +15,12 @@
 //! \checkpoint        checkpoint a durable database
 //! \now               show the database clock
 //! \advance mm/dd/yy  move the clock forward (great for replaying the paper)
+//! \stats             engine counters (Prometheus text exposition)
 //! \q                 quit
 //! ```
+//!
+//! Any statement may be prefixed with `explain` (span tree, access
+//! paths, row counts) or `profile` (the same plus wall times).
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -35,7 +39,7 @@ fn main() {
     let manual = Arc::new(ManualClock::new(chronos_core::chronon::Chronon::ZERO));
     let clock: Arc<dyn Clock> = manual.clone();
     let _today = SystemClock::default().now(); // printed in the banner below
-    let mut db = match args.first() {
+    let mut db = match args.iter().find(|a| !a.starts_with("--")) {
         Some(dir) => {
             let dir = std::path::PathBuf::from(dir);
             match Database::open(&dir, clock) {
@@ -106,7 +110,10 @@ fn main() {
                     Ok(()) => println!("  checkpointed"),
                     Err(e) => eprintln!("  {e}"),
                 },
-                Some(other) => eprintln!("unknown command {other} (try \\d, \\now, \\advance, \\checkpoint, \\q)"),
+                Some("\\stats") => {
+                    print!("{}", session.database().engine_stats().to_prometheus());
+                }
+                Some(other) => eprintln!("unknown command {other} (try \\d, \\now, \\advance, \\checkpoint, \\stats, \\q)"),
                 None => {}
             }
         } else if trimmed.is_empty() {
@@ -148,6 +155,12 @@ fn execute(session: &mut chronos_db::Session<'_>, src: &str) {
                     ExecOutcome::Replaced(n) => println!("replaced {n} row(s)"),
                     ExecOutcome::Created => println!("created"),
                     ExecOutcome::Destroyed => println!("destroyed"),
+                    ExecOutcome::Explained { profile, report } => {
+                        println!("{} plan:", if profile { "profile" } else { "explain" });
+                        for line in report.lines() {
+                            println!("  {line}");
+                        }
+                    }
                     ExecOutcome::Declared => {}
                 }
             }

@@ -47,6 +47,9 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Epoch bumps recorded (one per commit/create/destroy/materialize
+    /// touching any relation).
+    pub epoch_bumps: u64,
 }
 
 #[derive(Clone)]
@@ -155,6 +158,7 @@ impl QueryCache {
     /// entries become stale (they are dropped lazily on next lookup).
     pub fn bump_epoch(&mut self, relation: &str) {
         *self.epochs.entry(relation.to_string()).or_insert(0) += 1;
+        self.stats.epoch_bumps += 1;
     }
 
     /// Drops every entry (epochs are kept — they order modifications,

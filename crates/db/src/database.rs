@@ -20,6 +20,7 @@ use chronos_core::clock::Clock;
 use chronos_core::relation::HistoricalOp;
 use chronos_core::schema::{RelationClass, Schema, TemporalSignature};
 use chronos_core::taxonomy::DatabaseClass;
+use chronos_obs::{MetricsSnapshot, Recorder};
 use chronos_storage::txn::TxnManager;
 use chronos_storage::wal::{Wal, WalRecord};
 use chronos_tquel::provider::{AsOfSpec, RelationInfo, RelationProvider, SourceRow};
@@ -42,6 +43,9 @@ pub struct Database {
     /// `&self`, hence the mutex; uncontended in this single-threaded
     /// facade).
     cache: Mutex<QueryCache>,
+    /// Engine instruments and trace spans, shared with every relation
+    /// store, the shared WAL, and the TQuel executor.
+    recorder: Arc<Recorder>,
 }
 
 impl Database {
@@ -54,6 +58,7 @@ impl Database {
             dir: None,
             wal: None,
             cache: Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY)),
+            recorder: Arc::new(Recorder::new()),
         }
     }
 
@@ -108,13 +113,20 @@ impl Database {
             })?;
             observe(Some(rec.tx_time));
         }
+        let recorder = Arc::new(Recorder::new());
+        for rel in relations.values_mut() {
+            rel.set_recorder(Arc::clone(&recorder));
+        }
+        let mut wal = Wal::open(&wal_path)?;
+        wal.set_recorder(Arc::clone(&recorder));
         Ok(Database {
             catalog,
             relations,
             txn: TxnManager::resuming_after(clock, last_commit),
             dir: Some(dir.to_path_buf()),
-            wal: Some(Wal::open(&wal_path)?),
+            wal: Some(wal),
             cache: Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY)),
+            recorder,
         })
     }
 
@@ -163,8 +175,9 @@ impl Database {
         self.catalog
             .define(name, schema.clone(), class, signature)
             .map_err(DbError::Catalog)?;
-        self.relations
-            .insert(name.to_string(), Relation::new(schema, class, signature));
+        let mut rel = Relation::new(schema, class, signature);
+        rel.set_recorder(Arc::clone(&self.recorder));
+        self.relations.insert(name.to_string(), rel);
         self.cache.lock().bump_epoch(name);
         self.persist_catalog()?;
         Ok(())
@@ -207,6 +220,12 @@ impl Database {
     /// transaction time, validates, logs (write-ahead), applies.
     /// Returns the transaction time.
     pub fn commit(&mut self, relation: &str, ops: &[HistoricalOp]) -> DbResult<Chronon> {
+        // Clone the handle so the span's borrow doesn't pin `self`.
+        let recorder = Arc::clone(&self.recorder);
+        let span = recorder.span("db/commit");
+        span.detail(relation.to_string());
+        span.rows_in(ops.len() as u64);
+        let started = std::time::Instant::now();
         if ops.is_empty() {
             return Err(DbError::Catalog("empty transaction".into()));
         }
@@ -235,10 +254,34 @@ impl Database {
         rel.apply(tx_time, ops)
             .expect("validated transaction applies");
         self.cache.lock().bump_epoch(relation);
+        recorder.count(|m| &m.commits);
+        recorder.record_latency(|m| &m.commit_latency, started.elapsed().as_nanos() as u64);
         Ok(tx_time)
     }
 
+    /// The engine's observability handle.  Shared (behind the `Arc`)
+    /// with every relation store, the WAL, and traced query execution.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// Unified engine statistics: every instrument in the metrics
+    /// registry plus the query-cache section.
+    pub fn engine_stats(&self) -> EngineStats {
+        let cache = self.cache.lock();
+        EngineStats {
+            metrics: self.recorder.snapshot(),
+            cache: cache.stats(),
+            cache_entries: cache.len(),
+        }
+    }
+
     /// Query-cache counters (hits, misses, invalidations, evictions).
+    ///
+    /// Deprecated in favour of [`engine_stats`](Self::engine_stats),
+    /// whose `cache` section carries the same counters alongside the
+    /// rest of the engine's instruments; this accessor remains for
+    /// callers that only watch the cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().stats()
     }
@@ -269,7 +312,7 @@ impl Database {
             DatabaseClass::Temporal => RelationClass::Temporal,
         };
         let schema = result.schema.clone();
-        let relation = match class {
+        let mut relation = match class {
             RelationClass::Static => {
                 let mut r = chronos_core::relation::static_rel::StaticRelation::new(schema.clone());
                 for row in &result.rows {
@@ -340,6 +383,7 @@ impl Database {
         self.catalog
             .define(name, schema, class, result.signature)
             .map_err(DbError::Catalog)?;
+        relation.set_recorder(Arc::clone(&self.recorder));
         self.relations.insert(name.to_string(), relation);
         self.cache.lock().bump_epoch(name);
         self.persist_catalog()?;
@@ -371,9 +415,26 @@ impl RelationProvider for Database {
         relation: &str,
         as_of: Option<&AsOfSpec>,
     ) -> Result<Arc<Vec<SourceRow>>, TquelError> {
-        if let Some(rows) = self.cache.lock().get(relation, as_of) {
+        let span = self.recorder.span("db/scan");
+        let cached = {
+            let mut cache = self.cache.lock();
+            let before = cache.stats();
+            let got = cache.get(relation, as_of);
+            // Mirror the cache's own accounting (a stale entry dropped
+            // on lookup counts as an invalidation) into the registry.
+            if cache.stats().invalidations > before.invalidations {
+                self.recorder.count(|m| &m.cache_invalidations);
+            }
+            got
+        };
+        if let Some(rows) = cached {
+            self.recorder.count(|m| &m.cache_hits);
+            span.detail(format!("{relation} (cache hit)"));
+            span.rows_out(rows.len() as u64);
             return Ok(rows);
         }
+        self.recorder.count(|m| &m.cache_misses);
+        span.detail(format!("{relation} (cache miss)"));
         let rel = self.relations.get(relation).ok_or_else(|| {
             TquelError::Semantic(format!("unknown relation {relation:?}"))
         })?;
@@ -385,7 +446,65 @@ impl RelationProvider for Database {
                 DbError::Core(c) => TquelError::Core(c),
                 other => TquelError::Semantic(other.to_string()),
             })?;
-        self.cache.lock().insert(relation, as_of, Arc::clone(&rows));
+        {
+            let mut cache = self.cache.lock();
+            let before = cache.stats();
+            cache.insert(relation, as_of, Arc::clone(&rows));
+            if cache.stats().evictions > before.evictions {
+                self.recorder.count(|m| &m.cache_evictions);
+            }
+        }
+        span.rows_out(rows.len() as u64);
         Ok(rows)
+    }
+}
+
+/// Serializable point-in-time snapshot of every engine instrument plus
+/// the query-cache section, returned by [`Database::engine_stats`].
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// The metrics registry (pager, WAL, scans, rollback, commits …).
+    pub metrics: MetricsSnapshot,
+    /// Query-cache counters since construction.
+    pub cache: CacheStats,
+    /// Live query-cache entries right now.
+    pub cache_entries: usize,
+}
+
+impl EngineStats {
+    /// Hand-rolled JSON object (the workspace deliberately has no
+    /// serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"metrics\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \
+             \"invalidations\": {}, \"evictions\": {}, \"epoch_bumps\": {}, \
+             \"entries\": {}}}}}",
+            self.metrics.to_json(),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.invalidations,
+            self.cache.evictions,
+            self.cache.epoch_bumps,
+            self.cache_entries
+        )
+    }
+
+    /// Prometheus text exposition: the registry families plus
+    /// `chronos_query_cache_*` gauges for the cache section.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = self.metrics.to_prometheus();
+        for (name, v) in [
+            ("query_cache_hits", self.cache.hits),
+            ("query_cache_misses", self.cache.misses),
+            ("query_cache_invalidations", self.cache.invalidations),
+            ("query_cache_evictions", self.cache.evictions),
+            ("query_cache_epoch_bumps", self.cache.epoch_bumps),
+            ("query_cache_entries", self.cache_entries as u64),
+        ] {
+            out.push_str(&format!(
+                "# TYPE chronos_{name} gauge\nchronos_{name} {v}\n"
+            ));
+        }
+        out
     }
 }

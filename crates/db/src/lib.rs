@@ -31,6 +31,6 @@ pub mod error;
 pub mod relation;
 pub mod session;
 
-pub use database::Database;
+pub use database::{Database, EngineStats};
 pub use error::{DbError, DbResult};
 pub use session::{ExecOutcome, Session};

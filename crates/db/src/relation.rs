@@ -57,6 +57,15 @@ impl Relation {
         }
     }
 
+    /// Routes the store's instruments into `recorder`.  Only temporal
+    /// relations have instrumented storage underneath; the in-memory
+    /// reference stores are observed at the `db`/`tquel` layers.
+    pub fn set_recorder(&mut self, recorder: std::sync::Arc<chronos_obs::Recorder>) {
+        if let Relation::Temporal(table) = self {
+            table.set_recorder(recorder);
+        }
+    }
+
     /// The relation's class.
     pub fn class(&self) -> RelationClass {
         match self {

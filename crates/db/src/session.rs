@@ -33,8 +33,9 @@ use chronos_core::tuple::Tuple;
 use chronos_core::value::{AttrType, Value};
 use chronos_tquel::analyze::{analyze_valid_const, analyze_where_single, ValidPlan};
 use chronos_tquel::ast::{Assignment, ClassAst, Operand, Statement, ValidClause, WhereExpr};
-use chronos_tquel::exec::{execute_retrieve, ResultRelation};
-use chronos_tquel::parser::parse_program;
+use chronos_tquel::exec::{execute_retrieve, execute_retrieve_traced, ResultRelation};
+use chronos_tquel::parser::{parse_program, parse_statement};
+use chronos_tquel::unparse::unparse;
 use chronos_tquel::provider::RelationInfo;
 use chronos_tquel::TquelError;
 
@@ -65,6 +66,13 @@ pub enum ExecOutcome {
     Created,
     /// A `destroy` dropped a relation.
     Destroyed,
+    /// An `explain`/`profile` prefix traced the inner statement.
+    Explained {
+        /// True when invoked as `profile` (timings included).
+        profile: bool,
+        /// The rendered span tree plus counter deltas.
+        report: String,
+    },
 }
 
 impl ExecOutcome {
@@ -187,7 +195,52 @@ impl<'a> Session<'a> {
                 self.db.destroy_relation(relation)?;
                 Ok(ExecOutcome::Destroyed)
             }
+            Statement::Explain { profile, inner } => self.explain(*profile, inner),
         }
+    }
+
+    /// Executes `inner` with tracing active and returns the rendered
+    /// span tree (`explain` shows structure, access paths, and row
+    /// counts; `profile` adds wall times).
+    fn explain(&mut self, profile: bool, inner: &Statement) -> DbResult<ExecOutcome> {
+        let recorder = std::sync::Arc::clone(self.db.recorder());
+        let before = recorder.snapshot();
+        recorder.begin_trace();
+        // Parse cost is measured honestly by re-parsing the statement's
+        // canonical text (the unparser round-trips by construction).
+        {
+            let span = recorder.span("tquel/parse");
+            let text = unparse(inner);
+            span.rows_out(text.len() as u64);
+            let _ = parse_statement(&text);
+        }
+        let result: DbResult<()> = match inner {
+            // Retrieves run through the traced evaluator so analyze /
+            // scan / product spans land in this capture.
+            Statement::Retrieve(r) => {
+                match execute_retrieve_traced(r, &self.ranges, self.db, &recorder) {
+                    Ok(result) => {
+                        if let Some(into) = &r.into {
+                            self.db.materialize(into, &result).map(|_| ())
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    Err(e) => Err(e.into()),
+                }
+            }
+            // Everything else takes the normal path; the db/storage
+            // layer spans it emits are captured all the same.
+            other => self.execute(other).map(|_| ()),
+        };
+        // End the capture even on error so a failed statement does not
+        // leave a stale capture eating later spans.
+        let report = recorder.end_trace(&before);
+        result?;
+        let report = report
+            .map(|r| r.render(profile))
+            .unwrap_or_else(|| "(tracing disabled on this database)".to_string());
+        Ok(ExecOutcome::Explained { profile, report })
     }
 
     // ----------------------------------------------------------------

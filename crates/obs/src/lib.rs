@@ -1,0 +1,20 @@
+//! Observability primitives for ChronosDB: a lock-cheap metrics
+//! registry (atomic counters + fixed-bucket latency histograms) and
+//! lightweight tracing spans (RAII guards that record wall time into
+//! the registry and, while a trace capture is active, build the span
+//! tree rendered by TQuel `explain` / `profile`).
+//!
+//! The crate has no dependencies and no global state: every engine
+//! component holds an `Arc<Recorder>` handed down from the `Database`
+//! (or a disabled recorder when observability is off).  A disabled
+//! recorder is a single relaxed load + branch per instrument call, so
+//! the hot paths stay byte-identical in behaviour — see the
+//! figure-regeneration smoke assertion in `figures.rs`.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
+pub use trace::{
+    noop_recorder, Instruments, Recorder, RingEvent, SpanGuard, SpanRecord, TraceReport,
+};

@@ -1,0 +1,406 @@
+//! The metrics registry: named atomic counters and fixed-bucket
+//! latency histograms, snapshotted into a plain serializable struct.
+//!
+//! Counters are relaxed `AtomicU64`s — a single uncontended RMW per
+//! increment, safe to call from the morsel-scan worker threads.
+//! Histograms use power-of-two nanosecond buckets (bucket *i* covers
+//! `[2^i, 2^(i+1))` ns) so recording is a `leading_zeros` plus one
+//! atomic increment, with percentiles estimated from bucket upper
+//! bounds at snapshot time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 39 covers everything at or
+/// above `2^39` ns (~9.2 minutes), far beyond any single operation.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Fixed-bucket latency histogram over power-of-two nanosecond bins.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    samples: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            samples: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a duration: `floor(log2(ns))`, clamped.
+    #[inline]
+    fn bucket_of(ns: u64) -> usize {
+        if ns <= 1 {
+            0
+        } else {
+            (63 - ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            samples: self.samples.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub samples: u64,
+    pub total_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            samples: 0,
+            total_ns: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Upper bound (exclusive) of bucket `i` in nanoseconds.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        1u64 << (i as u32 + 1).min(63)
+    }
+
+    /// Estimated value at percentile `p` in `[0, 100]`, as the upper
+    /// bound of the bucket where the cumulative count crosses the
+    /// target rank.  Returns `None` for an empty histogram.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_upper_bound(i));
+            }
+        }
+        Some(Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1))
+    }
+
+    pub fn mean_ns(&self) -> Option<u64> {
+        self.total_ns.checked_div(self.samples)
+    }
+
+    /// Per-field difference against an earlier snapshot.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| {
+                self.buckets[i].saturating_sub(earlier.buckets[i])
+            }),
+            samples: self.samples.saturating_sub(earlier.samples),
+            total_ns: self.total_ns.saturating_sub(earlier.total_ns),
+        }
+    }
+}
+
+/// Every named counter in the engine, snapshotted.  Field order is the
+/// exposition order for both the Prometheus text format and JSON.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub pager_page_reads: u64,
+    pub pager_page_writes: u64,
+    pub wal_appends: u64,
+    pub wal_fsyncs: u64,
+    pub heap_morsels_claimed: u64,
+    pub heap_rows_scanned: u64,
+    pub index_probes: u64,
+    pub rollback_checkpoint_hits: u64,
+    pub rollback_txns_replayed: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub cache_invalidations: u64,
+    pub commits: u64,
+    pub commit_latency: HistogramSnapshot,
+    pub query_latency: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// `(name, value)` pairs for every plain counter, in exposition
+    /// order.  Keeping this as the single enumeration point means the
+    /// JSON and Prometheus renderings can never drift apart.
+    pub fn counters(&self) -> [(&'static str, u64); 14] {
+        [
+            ("pager_page_reads", self.pager_page_reads),
+            ("pager_page_writes", self.pager_page_writes),
+            ("wal_appends", self.wal_appends),
+            ("wal_fsyncs", self.wal_fsyncs),
+            ("heap_morsels_claimed", self.heap_morsels_claimed),
+            ("heap_rows_scanned", self.heap_rows_scanned),
+            ("index_probes", self.index_probes),
+            ("rollback_checkpoint_hits", self.rollback_checkpoint_hits),
+            ("rollback_txns_replayed", self.rollback_txns_replayed),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("cache_evictions", self.cache_evictions),
+            ("cache_invalidations", self.cache_invalidations),
+            ("commits", self.commits),
+        ]
+    }
+
+    /// True iff no instrument ever fired — the disabled-recorder
+    /// invariant asserted by the figures smoke check.
+    pub fn is_zero(&self) -> bool {
+        self.counters().iter().all(|(_, v)| *v == 0)
+            && self.commit_latency.samples == 0
+            && self.query_latency.samples == 0
+    }
+
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            pager_page_reads: self.pager_page_reads - earlier.pager_page_reads,
+            pager_page_writes: self.pager_page_writes - earlier.pager_page_writes,
+            wal_appends: self.wal_appends - earlier.wal_appends,
+            wal_fsyncs: self.wal_fsyncs - earlier.wal_fsyncs,
+            heap_morsels_claimed: self.heap_morsels_claimed - earlier.heap_morsels_claimed,
+            heap_rows_scanned: self.heap_rows_scanned - earlier.heap_rows_scanned,
+            index_probes: self.index_probes - earlier.index_probes,
+            rollback_checkpoint_hits: self.rollback_checkpoint_hits
+                - earlier.rollback_checkpoint_hits,
+            rollback_txns_replayed: self.rollback_txns_replayed - earlier.rollback_txns_replayed,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_evictions: self.cache_evictions - earlier.cache_evictions,
+            cache_invalidations: self.cache_invalidations - earlier.cache_invalidations,
+            commits: self.commits - earlier.commits,
+            commit_latency: self.commit_latency.since(&earlier.commit_latency),
+            query_latency: self.query_latency.since(&earlier.query_latency),
+        }
+    }
+
+    /// Hand-rolled JSON object (the workspace deliberately has no
+    /// serde); numbers only, so no escaping is needed.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.counters().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {v}"));
+        }
+        for (name, h) in [
+            ("commit_latency", &self.commit_latency),
+            ("query_latency", &self.query_latency),
+        ] {
+            out.push_str(&format!(
+                ", \"{name}\": {{\"samples\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                h.samples,
+                h.total_ns,
+                h.percentile(50.0).unwrap_or(0),
+                h.percentile(99.0).unwrap_or(0)
+            ));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Prometheus text exposition (one `chronos_*` family per
+    /// instrument; histograms use the cumulative `_bucket` form).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            out.push_str(&format!(
+                "# TYPE chronos_{name} counter\nchronos_{name} {v}\n"
+            ));
+        }
+        for (name, h) in [
+            ("commit_latency_ns", &self.commit_latency),
+            ("query_latency_ns", &self.query_latency),
+        ] {
+            out.push_str(&format!("# TYPE chronos_{name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                cumulative += c;
+                if c > 0 {
+                    out.push_str(&format!(
+                        "chronos_{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        HistogramSnapshot::bucket_upper_bound(i)
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "chronos_{name}_bucket{{le=\"+Inf\"}} {}\n", h.samples
+            ));
+            out.push_str(&format!("chronos_{name}_sum {}\n", h.total_ns));
+            out.push_str(&format!("chronos_{name}_count {}\n", h.samples));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_basic() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        // Bucket i covers [2^i, 2^(i+1)): boundary values land low.
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(4), 2);
+        assert_eq!(LatencyHistogram::bucket_of(1023), 9);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot().percentile(50.0), None);
+        // 90 fast samples (~100ns, bucket 6) and 10 slow (~1ms, bucket 19).
+        for _ in 0..90 {
+            h.record_ns(100);
+        }
+        for _ in 0..10 {
+            h.record_ns(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.percentile(50.0), Some(128)); // bucket 6 upper bound
+        assert_eq!(s.percentile(90.0), Some(128));
+        assert_eq!(s.percentile(99.0), Some(1 << 20)); // bucket 19 upper bound
+        assert_eq!(s.mean_ns(), Some((90 * 100 + 10 * 1_000_000) / 100));
+    }
+
+    #[test]
+    fn histogram_since_is_counterwise() {
+        let h = LatencyHistogram::new();
+        h.record_ns(10);
+        let early = h.snapshot();
+        h.record_ns(10);
+        h.record_ns(1000);
+        let diff = h.snapshot().since(&early);
+        assert_eq!(diff.samples, 2);
+        assert_eq!(diff.total_ns, 1010);
+    }
+
+    #[test]
+    fn snapshot_consistent_under_concurrent_updates() {
+        // Writers hammer the histogram while a reader snapshots; every
+        // snapshot must be internally coherent (bucket sum == samples
+        // is not guaranteed mid-update, but it may never exceed the
+        // number of recordings issued, and the final snapshot must be
+        // exact).
+        let h = Arc::new(LatencyHistogram::new());
+        let writers = 4;
+        let per_writer = 10_000u64;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        h.record_ns((w as u64 + 1) * 37 + i % 512);
+                    }
+                });
+            }
+            let h = Arc::clone(&h);
+            s.spawn(move || {
+                for _ in 0..100 {
+                    let snap = h.snapshot();
+                    let bucket_sum: u64 = snap.buckets.iter().sum();
+                    assert!(bucket_sum <= writers as u64 * per_writer);
+                    assert!(snap.samples <= writers as u64 * per_writer);
+                    if snap.samples > 0 {
+                        assert!(snap.percentile(99.0).is_some());
+                    }
+                }
+            });
+        });
+        let final_snap = h.snapshot();
+        assert_eq!(final_snap.samples, writers as u64 * per_writer);
+        assert_eq!(
+            final_snap.buckets.iter().sum::<u64>(),
+            writers as u64 * per_writer
+        );
+    }
+
+    #[test]
+    fn snapshot_json_and_prometheus_render() {
+        let mut s = MetricsSnapshot::default();
+        s.cache_hits = 3;
+        s.commits = 7;
+        let json = s.to_json();
+        assert!(json.contains("\"cache_hits\": 3"));
+        assert!(json.contains("\"commits\": 7"));
+        assert!(json.contains("\"commit_latency\""));
+        let prom = s.to_prometheus();
+        assert!(prom.contains("chronos_cache_hits 3"));
+        assert!(prom.contains("# TYPE chronos_commits counter"));
+        assert!(prom.contains("chronos_commit_latency_ns_count 0"));
+    }
+
+    #[test]
+    fn zero_detection() {
+        let mut s = MetricsSnapshot::default();
+        assert!(s.is_zero());
+        s.index_probes = 1;
+        assert!(!s.is_zero());
+    }
+}

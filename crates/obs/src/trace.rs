@@ -1,0 +1,477 @@
+//! The [`Recorder`]: named instruments plus lightweight tracing spans.
+//!
+//! A span is an RAII guard ([`SpanGuard`]).  Creating one while a
+//! trace capture is active appends a record to the capture's span
+//! list at the current nesting depth; dropping it writes the measured
+//! wall time back.  Outside a capture, finished spans still land in a
+//! small ring-buffer event log (the last [`EVENT_RING_CAPACITY`]
+//! spans), so post-hoc debugging has *some* recent history even when
+//! nobody asked for a trace.
+//!
+//! A disabled recorder short-circuits every instrument to a branch on
+//! a plain bool — no atomics touched, no locks taken, no `Instant`
+//! read — which is what lets the figure-regeneration binaries run
+//! with instrumented code and byte-identical output.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::{Counter, LatencyHistogram, MetricsSnapshot};
+
+/// How many finished spans the background event ring retains.
+pub const EVENT_RING_CAPACITY: usize = 256;
+
+/// A process-wide disabled recorder, for call sites that must accept a
+/// `&Recorder` but have none threaded to them.
+pub fn noop_recorder() -> &'static Recorder {
+    static NOOP: OnceLock<Recorder> = OnceLock::new();
+    NOOP.get_or_init(Recorder::disabled)
+}
+
+/// One finished (or in-flight) span inside a trace capture.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub name: &'static str,
+    /// Free-form annotation, e.g. the access path chosen.
+    pub detail: String,
+    /// Nesting depth at entry (0 = root).
+    pub depth: usize,
+    pub duration_ns: u64,
+    pub rows_in: Option<u64>,
+    pub rows_out: Option<u64>,
+}
+
+/// A finished span in the background event ring.
+#[derive(Debug, Clone)]
+pub struct RingEvent {
+    pub name: &'static str,
+    pub duration_ns: u64,
+}
+
+#[derive(Default)]
+struct TraceState {
+    /// `Some` while a capture is active.
+    capture: Option<Vec<SpanRecord>>,
+    depth: usize,
+    ring: Vec<RingEvent>,
+    ring_next: usize,
+}
+
+/// Every named instrument in the engine.  Public fields: callers
+/// increment through [`Recorder`] helpers so the enabled check stays
+/// in one place, but tests may read counters directly.
+#[derive(Default)]
+pub struct Instruments {
+    pub pager_page_reads: Counter,
+    pub pager_page_writes: Counter,
+    pub wal_appends: Counter,
+    pub wal_fsyncs: Counter,
+    pub heap_morsels_claimed: Counter,
+    pub heap_rows_scanned: Counter,
+    pub index_probes: Counter,
+    pub rollback_checkpoint_hits: Counter,
+    pub rollback_txns_replayed: Counter,
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    pub cache_evictions: Counter,
+    pub cache_invalidations: Counter,
+    pub commits: Counter,
+    pub commit_latency: LatencyHistogram,
+    pub query_latency: LatencyHistogram,
+}
+
+/// The engine-wide observability handle.
+pub struct Recorder {
+    enabled: bool,
+    metrics: Instruments,
+    trace: Mutex<TraceState>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// An enabled recorder: instruments record, spans are captured.
+    pub fn new() -> Self {
+        Recorder {
+            enabled: true,
+            metrics: Instruments::default(),
+            trace: Mutex::new(TraceState::default()),
+        }
+    }
+
+    /// A recorder whose every operation is a no-op (one branch).
+    pub fn disabled() -> Self {
+        Recorder {
+            enabled: false,
+            metrics: Instruments::default(),
+            trace: Mutex::new(TraceState::default()),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Direct read access for tests and stats surfacing.
+    pub fn instruments(&self) -> &Instruments {
+        &self.metrics
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = &self.metrics;
+        MetricsSnapshot {
+            pager_page_reads: m.pager_page_reads.get(),
+            pager_page_writes: m.pager_page_writes.get(),
+            wal_appends: m.wal_appends.get(),
+            wal_fsyncs: m.wal_fsyncs.get(),
+            heap_morsels_claimed: m.heap_morsels_claimed.get(),
+            heap_rows_scanned: m.heap_rows_scanned.get(),
+            index_probes: m.index_probes.get(),
+            rollback_checkpoint_hits: m.rollback_checkpoint_hits.get(),
+            rollback_txns_replayed: m.rollback_txns_replayed.get(),
+            cache_hits: m.cache_hits.get(),
+            cache_misses: m.cache_misses.get(),
+            cache_evictions: m.cache_evictions.get(),
+            cache_invalidations: m.cache_invalidations.get(),
+            commits: m.commits.get(),
+            commit_latency: m.commit_latency.snapshot(),
+            query_latency: m.query_latency.snapshot(),
+        }
+    }
+
+    // ---- counter helpers (all gated on `enabled`) -------------------
+
+    #[inline]
+    pub fn count(&self, pick: impl FnOnce(&Instruments) -> &Counter) {
+        if self.enabled {
+            pick(&self.metrics).incr();
+        }
+    }
+
+    #[inline]
+    pub fn count_n(&self, pick: impl FnOnce(&Instruments) -> &Counter, n: u64) {
+        if self.enabled {
+            pick(&self.metrics).add(n);
+        }
+    }
+
+    #[inline]
+    pub fn record_latency(
+        &self,
+        pick: impl FnOnce(&Instruments) -> &LatencyHistogram,
+        ns: u64,
+    ) {
+        if self.enabled {
+            pick(&self.metrics).record_ns(ns);
+        }
+    }
+
+    // ---- tracing ----------------------------------------------------
+
+    /// Start capturing a span tree.  A capture already in progress is
+    /// discarded (traces don't nest; the outermost wins is *not* the
+    /// rule — the newest request wins, matching the CLI's one-query-
+    /// at-a-time use).
+    pub fn begin_trace(&self) {
+        if !self.enabled {
+            return;
+        }
+        let mut t = self.trace.lock().unwrap();
+        t.capture = Some(Vec::new());
+        t.depth = 0;
+    }
+
+    /// Stop capturing and return the span tree plus the metrics delta
+    /// accumulated since `since` (callers snapshot before the traced
+    /// work).  Returns `None` when disabled or no capture was active.
+    pub fn end_trace(&self, since: &MetricsSnapshot) -> Option<TraceReport> {
+        if !self.enabled {
+            return None;
+        }
+        let spans = self.trace.lock().unwrap().capture.take()?;
+        Some(TraceReport {
+            spans,
+            delta: self.snapshot().since(since),
+        })
+    }
+
+    /// Open a span.  The guard records wall time on drop.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if !self.enabled {
+            return SpanGuard {
+                rec: None,
+                name,
+                index: None,
+                start: None,
+            };
+        }
+        let mut t = self.trace.lock().unwrap();
+        let depth = t.depth;
+        let index = t.capture.as_mut().map(|spans| {
+            spans.push(SpanRecord {
+                name,
+                detail: String::new(),
+                depth,
+                duration_ns: 0,
+                rows_in: None,
+                rows_out: None,
+            });
+            spans.len() - 1
+        });
+        if index.is_some() {
+            t.depth += 1;
+        }
+        drop(t);
+        SpanGuard {
+            rec: Some(self),
+            name,
+            index,
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// Copy of the background event ring, oldest first.
+    pub fn recent_events(&self) -> Vec<RingEvent> {
+        let t = self.trace.lock().unwrap();
+        let mut out = Vec::with_capacity(t.ring.len());
+        if t.ring.len() == EVENT_RING_CAPACITY {
+            out.extend_from_slice(&t.ring[t.ring_next..]);
+            out.extend_from_slice(&t.ring[..t.ring_next]);
+        } else {
+            out.extend_from_slice(&t.ring);
+        }
+        out
+    }
+
+    fn finish_span(&self, index: Option<usize>, name: &'static str, ns: u64) {
+        let mut t = self.trace.lock().unwrap();
+        if let Some(i) = index {
+            if let Some(spans) = t.capture.as_mut() {
+                if let Some(rec) = spans.get_mut(i) {
+                    rec.duration_ns = ns;
+                }
+            }
+            t.depth = t.depth.saturating_sub(1);
+        }
+        let ev = RingEvent {
+            name,
+            duration_ns: ns,
+        };
+        if t.ring.len() < EVENT_RING_CAPACITY {
+            t.ring.push(ev);
+        } else {
+            let slot = t.ring_next;
+            t.ring[slot] = ev;
+        }
+        t.ring_next = (t.ring_next + 1) % EVENT_RING_CAPACITY;
+    }
+
+    fn annotate(&self, index: usize, f: impl FnOnce(&mut SpanRecord)) {
+        let mut t = self.trace.lock().unwrap();
+        if let Some(spans) = t.capture.as_mut() {
+            if let Some(rec) = spans.get_mut(index) {
+                f(rec);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled)
+            .finish_non_exhaustive()
+    }
+}
+
+/// RAII span guard; see [`Recorder::span`].
+pub struct SpanGuard<'a> {
+    rec: Option<&'a Recorder>,
+    name: &'static str,
+    /// Position in the active capture, if one was running at entry.
+    index: Option<usize>,
+    start: Option<Instant>,
+}
+
+impl SpanGuard<'_> {
+    /// Attach a free-form annotation (e.g. the access path chosen).
+    pub fn detail(&self, detail: impl Into<String>) {
+        if let (Some(rec), Some(i)) = (self.rec, self.index) {
+            let d = detail.into();
+            rec.annotate(i, |r| r.detail = d);
+        }
+    }
+
+    pub fn rows_in(&self, n: u64) {
+        if let (Some(rec), Some(i)) = (self.rec, self.index) {
+            rec.annotate(i, |r| r.rows_in = Some(n));
+        }
+    }
+
+    pub fn rows_out(&self, n: u64) {
+        if let (Some(rec), Some(i)) = (self.rec, self.index) {
+            rec.annotate(i, |r| r.rows_out = Some(n));
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some(rec), Some(start)) = (self.rec, self.start) {
+            rec.finish_span(self.index, self.name, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// A captured span tree plus the metrics delta over the traced work.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    pub spans: Vec<SpanRecord>,
+    pub delta: MetricsSnapshot,
+}
+
+impl TraceReport {
+    /// First span with the given name, if any (test convenience).
+    pub fn span_named(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Render the span tree.  With `timings` (profile mode) each row
+    /// carries its wall time; without (explain mode) only structure,
+    /// row counts, and access-path details are shown.
+    pub fn render(&self, timings: bool) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            out.push_str(&"  ".repeat(s.depth));
+            out.push_str(s.name);
+            if !s.detail.is_empty() {
+                out.push_str(&format!(" [{}]", s.detail));
+            }
+            if let Some(n) = s.rows_in {
+                out.push_str(&format!(" rows_in={n}"));
+            }
+            if let Some(n) = s.rows_out {
+                out.push_str(&format!(" rows_out={n}"));
+            }
+            if timings {
+                out.push_str(&format!(" ({})", fmt_ns(s.duration_ns)));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "counters: rows_scanned={} morsels={} index_probes={} txns_replayed={} \
+             checkpoint_hits={} cache_hits={} cache_misses={} page_reads={}\n",
+            self.delta.heap_rows_scanned,
+            self.delta.heap_morsels_claimed,
+            self.delta.index_probes,
+            self.delta.rollback_txns_replayed,
+            self.delta.rollback_checkpoint_hits,
+            self.delta.cache_hits,
+            self.delta.cache_misses,
+            self.delta.pager_page_reads,
+        ));
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        r.count(|m| &m.cache_hits);
+        r.count_n(|m| &m.heap_rows_scanned, 100);
+        r.record_latency(|m| &m.commit_latency, 42);
+        r.begin_trace();
+        {
+            let s = r.span("scan");
+            s.detail("sequential");
+            s.rows_out(10);
+        }
+        assert!(r.end_trace(&MetricsSnapshot::default()).is_none());
+        assert!(r.snapshot().is_zero());
+        assert!(r.recent_events().is_empty());
+    }
+
+    #[test]
+    fn span_tree_capture_nests_by_depth() {
+        let r = Recorder::new();
+        let before = r.snapshot();
+        r.begin_trace();
+        {
+            let outer = r.span("exec");
+            outer.rows_out(2);
+            {
+                let inner = r.span("scan");
+                inner.detail("sequential");
+                inner.rows_out(5);
+                r.count_n(|m| &m.heap_rows_scanned, 5);
+            }
+            let sibling = r.span("product");
+            sibling.rows_in(5);
+        }
+        let report = r.end_trace(&before).expect("capture active");
+        assert_eq!(report.spans.len(), 3);
+        assert_eq!(report.spans[0].name, "exec");
+        assert_eq!(report.spans[0].depth, 0);
+        assert_eq!(report.spans[1].name, "scan");
+        assert_eq!(report.spans[1].depth, 1);
+        assert_eq!(report.spans[2].name, "product");
+        assert_eq!(report.spans[2].depth, 1);
+        assert_eq!(report.delta.heap_rows_scanned, 5);
+        let rendered = report.render(true);
+        assert!(rendered.contains("scan [sequential] rows_out=5"));
+        assert!(rendered.contains("rows_scanned=5"));
+    }
+
+    #[test]
+    fn spans_outside_capture_land_in_ring() {
+        let r = Recorder::new();
+        for _ in 0..3 {
+            let _s = r.span("commit");
+        }
+        let events = r.recent_events();
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.name == "commit"));
+    }
+
+    #[test]
+    fn ring_wraps_at_capacity() {
+        let r = Recorder::new();
+        for _ in 0..EVENT_RING_CAPACITY + 10 {
+            let _s = r.span("tick");
+        }
+        assert_eq!(r.recent_events().len(), EVENT_RING_CAPACITY);
+    }
+
+    #[test]
+    fn trace_delta_is_scoped_to_snapshot() {
+        let r = Recorder::new();
+        r.count_n(|m| &m.index_probes, 7);
+        let before = r.snapshot();
+        r.begin_trace();
+        r.count_n(|m| &m.index_probes, 3);
+        let report = r.end_trace(&before).unwrap();
+        assert_eq!(report.delta.index_probes, 3);
+        assert_eq!(r.snapshot().index_probes, 10);
+    }
+}

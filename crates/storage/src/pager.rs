@@ -8,8 +8,10 @@
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::path::Path;
+use std::sync::Arc;
 
 use bytes::BytesMut;
+use chronos_obs::Recorder;
 use parking_lot::Mutex;
 
 use crate::error::{StorageError, StorageResult};
@@ -178,6 +180,9 @@ struct PoolInner<S: PageStore> {
     tick: u64,
     hits: u64,
     misses: u64,
+    /// Engine-wide instruments; disabled by default until the owning
+    /// table (ultimately the `Database`) hands down a live recorder.
+    recorder: Arc<Recorder>,
 }
 
 /// An LRU buffer pool over any [`PageStore`].
@@ -199,8 +204,14 @@ impl<S: PageStore> BufferPool<S> {
                 tick: 0,
                 hits: 0,
                 misses: 0,
+                recorder: Arc::new(Recorder::disabled()),
             }),
         }
+    }
+
+    /// Routes physical page reads/writes into `recorder`.
+    pub fn set_recorder(&self, recorder: Arc<Recorder>) {
+        self.inner.lock().recorder = recorder;
     }
 
     /// Reads page `page_no` through the cache.
@@ -263,6 +274,7 @@ impl<S: PageStore> PoolInner<S> {
         if self.frames.len() >= self.capacity {
             self.evict_one()?;
         }
+        self.recorder.count(|m| &m.pager_page_reads);
         let page = self.store.read_page(page_no)?;
         self.frames.insert(
             page_no,
@@ -284,6 +296,7 @@ impl<S: PageStore> PoolInner<S> {
             .expect("eviction only when non-empty");
         let frame = self.frames.remove(&victim).expect("victim present");
         if frame.dirty {
+            self.recorder.count(|m| &m.pager_page_writes);
             self.store.write_page(&frame.page)?;
         }
         Ok(())
@@ -292,6 +305,7 @@ impl<S: PageStore> PoolInner<S> {
     fn flush_all(&mut self) -> StorageResult<()> {
         for frame in self.frames.values_mut() {
             if frame.dirty {
+                self.recorder.count(|m| &m.pager_page_writes);
                 self.store.write_page(&frame.page)?;
                 frame.dirty = false;
             }

@@ -32,8 +32,10 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use chronos_core::chronon::Chronon;
+use chronos_obs::Recorder;
 use chronos_core::error::CoreError;
 use chronos_core::period::Period;
 use chronos_core::relation::historical::HistoricalRelation;
@@ -113,6 +115,9 @@ pub struct StoredBitemporalTable<S: PageStore = MemPager> {
     checkpoints: Vec<(usize, HistoricalRelation)>,
     checkpoint_every: usize,
     parallel_threshold: usize,
+    /// Engine instruments and trace spans; a disabled recorder until
+    /// the owning `Database` (or a test) hands down a live one.
+    recorder: Arc<Recorder>,
 }
 
 impl StoredBitemporalTable<MemPager> {
@@ -136,6 +141,7 @@ impl StoredBitemporalTable<MemPager> {
             checkpoints: Vec::new(),
             checkpoint_every: DEFAULT_CHECKPOINT_INTERVAL,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            recorder: Arc::new(Recorder::disabled()),
         }
     }
 
@@ -173,6 +179,16 @@ impl<S: PageStore> StoredBitemporalTable<S> {
     /// The relation id used in the shared log.
     pub fn rel_id(&self) -> u32 {
         self.rel_id
+    }
+
+    /// Routes this table's instruments (access-path spans, rollback
+    /// replay counts, scan morsels, pager and WAL I/O) into `recorder`.
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.heap.pool().set_recorder(Arc::clone(&recorder));
+        if let Some(wal) = &mut self.wal {
+            wal.set_recorder(Arc::clone(&recorder));
+        }
+        self.recorder = recorder;
     }
 
     /// Reconstructs a table from checkpointed rows, rebuilding the heap,
@@ -217,11 +233,20 @@ impl<S: PageStore> StoredBitemporalTable<S> {
     /// All physical rows (decoded from the heap).  Dispatches to the
     /// parallel scan above the row-count threshold.
     pub fn scan_rows(&self) -> StorageResult<Vec<BitemporalRow>> {
-        if self.heap.len() >= self.parallel_threshold && self.heap.pages() > 1 {
+        let span = self.recorder.span("storage/scan");
+        let parallel = self.heap.len() >= self.parallel_threshold && self.heap.pages() > 1;
+        span.detail(if parallel {
+            "parallel heap scan"
+        } else {
+            "sequential heap scan"
+        });
+        let rows = if parallel {
             self.scan_rows_parallel()
         } else {
             self.scan_rows_sequential()
-        }
+        }?;
+        span.rows_out(rows.len() as u64);
+        Ok(rows)
     }
 
     /// Single-threaded full scan in page order (the reference path the
@@ -235,7 +260,11 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         })?;
         match err {
             Some(e) => Err(e),
-            None => Ok(out),
+            None => {
+                self.recorder
+                    .count_n(|m| &m.heap_rows_scanned, out.len() as u64);
+                Ok(out)
+            }
         }
     }
 
@@ -251,6 +280,7 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         }
         let next_page = AtomicU32::new(0);
         let heap = &self.heap;
+        let recorder = &self.recorder;
         let mut chunks: Vec<(u32, Vec<BitemporalRow>)> = Vec::with_capacity(pages as usize);
         std::thread::scope(|s| -> StorageResult<()> {
             let handles: Vec<_> = (0..workers)
@@ -262,11 +292,13 @@ impl<S: PageStore> StoredBitemporalTable<S> {
                             if page >= pages {
                                 break;
                             }
+                            recorder.count(|m| &m.heap_morsels_claimed);
                             let records = heap.page_records(page)?;
                             let mut rows = Vec::with_capacity(records.len());
                             for (_, bytes) in &records {
                                 rows.push(decode_row(bytes)?);
                             }
+                            recorder.count_n(|m| &m.heap_rows_scanned, rows.len() as u64);
                             local.push((page, rows));
                         }
                         Ok(local)
@@ -350,6 +382,7 @@ impl<S: PageStore> StoredBitemporalTable<S> {
     /// the last materialised state at or before `t` and replays at most
     /// `checkpoint_interval() − 1` commits on top of it.
     pub fn try_rollback_checkpointed(&self, t: Chronon) -> StorageResult<HistoricalRelation> {
+        let span = self.recorder.span("storage/rollback");
         let visible = self.commit_log.partition_point(|(commit, _)| *commit <= t);
         let idx = self.checkpoints.partition_point(|(commits, _)| *commits <= visible);
         let (mut replayed, mut state) = match idx.checked_sub(1) {
@@ -362,11 +395,28 @@ impl<S: PageStore> StoredBitemporalTable<S> {
                 HistoricalRelation::new(self.schema.clone(), self.signature),
             ),
         };
+        let from_checkpoint = idx > 0;
+        if from_checkpoint {
+            self.recorder.count(|m| &m.rollback_checkpoint_hits);
+        }
+        let to_replay = visible - replayed;
+        self.recorder
+            .count_n(|m| &m.rollback_txns_replayed, to_replay as u64);
+        span.detail(format!(
+            "checkpointed ({}, replayed {to_replay} of {visible} txns, K={})",
+            if from_checkpoint {
+                "checkpoint hit"
+            } else {
+                "full replay"
+            },
+            self.checkpoint_every
+        ));
         while replayed < visible {
             let (_, ops) = &self.commit_log[replayed];
             state.apply(ops).map_err(StorageError::Core)?;
             replayed += 1;
         }
+        span.rows_out(state.len() as u64);
         Ok(state)
     }
 
@@ -375,7 +425,10 @@ impl<S: PageStore> StoredBitemporalTable<S> {
     /// Cost is proportional to the size of the answer *plus* a decode
     /// per matching row; the checkpointed path usually wins (E14b).
     pub fn try_rollback_indexed(&self, t: Chronon) -> StorageResult<HistoricalRelation> {
+        let span = self.recorder.span("storage/rollback");
+        span.detail("tx-index stab");
         let mut rids = Vec::new();
+        self.recorder.count(|m| &m.index_probes);
         self.tx_index.stab(TimePoint::at(t), |_, rid| rids.push(*rid));
         let mut out = HistoricalRelation::new(self.schema.clone(), self.signature);
         // Deterministic order: by record id.
@@ -384,6 +437,7 @@ impl<S: PageStore> StoredBitemporalTable<S> {
             out.insert(row.tuple, row.validity)
                 .map_err(StorageError::Core)?;
         }
+        span.rows_out(out.len() as u64);
         Ok(out)
     }
 
@@ -429,6 +483,13 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         self.parallel_threshold = rows;
     }
 
+    /// Heap pages backing the table — each page is one morsel of the
+    /// parallel scan, so `heap_morsels_claimed` advances by exactly
+    /// this much per parallel scan.
+    pub fn heap_pages(&self) -> u32 {
+        self.heap.pages()
+    }
+
     /// Borrowed view of the current historical state (avoids the clone
     /// in [`TemporalStore::current`]).
     pub fn current_ref(&self) -> &HistoricalRelation {
@@ -438,19 +499,29 @@ impl<S: PageStore> StoredBitemporalTable<S> {
     /// Rows stored as of transaction time `t`, via the transaction-time
     /// index (each with its full timestamps).
     pub fn rows_at(&self, t: Chronon) -> StorageResult<Vec<BitemporalRow>> {
+        let span = self.recorder.span("storage/asof");
+        span.detail("tx-index stab");
         let mut rids = Vec::new();
+        self.recorder.count(|m| &m.index_probes);
         self.tx_index.stab(TimePoint::at(t), |_, rid| rids.push(*rid));
         rids.sort_unstable();
-        self.decode_rows_filtered(&rids, |_| true)
+        let rows = self.decode_rows_filtered(&rids, |_| true)?;
+        span.rows_out(rows.len() as u64);
+        Ok(rows)
     }
 
     /// Rows whose transaction period overlaps `window` (`as of …
     /// through …`).
     pub fn rows_during(&self, window: Period) -> StorageResult<Vec<BitemporalRow>> {
+        let span = self.recorder.span("storage/asof");
+        span.detail("tx-index overlap");
         let mut rids = Vec::new();
+        self.recorder.count(|m| &m.index_probes);
         self.tx_index.overlapping(window, |_, rid| rids.push(*rid));
         rids.sort_unstable();
-        self.decode_rows_filtered(&rids, |_| true)
+        let rows = self.decode_rows_filtered(&rids, |_| true)?;
+        span.rows_out(rows.len() as u64);
+        Ok(rows)
     }
 
     /// Bitemporal point query through the indexes: rows valid at `valid`
@@ -460,27 +531,43 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         valid: Chronon,
         as_of: Chronon,
     ) -> StorageResult<Vec<BitemporalRow>> {
+        let span = self.recorder.span("storage/bitemporal-point");
+        span.detail("tx-index stab + valid filter");
         let mut rids = Vec::new();
+        self.recorder.count(|m| &m.index_probes);
         self.tx_index.stab(TimePoint::at(as_of), |_, rid| rids.push(*rid));
         rids.sort_unstable();
-        self.decode_rows_filtered(&rids, |row| row.validity.valid_at(valid))
+        let rows = self.decode_rows_filtered(&rids, |row| row.validity.valid_at(valid))?;
+        span.rows_out(rows.len() as u64);
+        Ok(rows)
     }
 
     /// Historical timeslice of the *current* state at `t`, answered by
     /// the valid-time interval tree.
     pub fn current_valid_at(&self, t: Chronon) -> StorageResult<Vec<BitemporalRow>> {
+        let span = self.recorder.span("storage/timeslice");
+        span.detail("valid-interval-tree stab");
         let mut rids = Vec::new();
+        self.recorder.count(|m| &m.index_probes);
         self.valid_index.stab(TimePoint::at(t), |_, rid| rids.push(*rid));
         rids.sort_unstable();
-        self.decode_rows_filtered(&rids, |row| row.is_current() && row.validity.valid_at(t))
+        let rows =
+            self.decode_rows_filtered(&rids, |row| row.is_current() && row.validity.valid_at(t))?;
+        span.rows_out(rows.len() as u64);
+        Ok(rows)
     }
 
     /// Rows whose valid period overlaps `q` in the current state.
     pub fn current_overlapping(&self, q: Period) -> StorageResult<Vec<BitemporalRow>> {
+        let span = self.recorder.span("storage/timeslice");
+        span.detail("valid-interval-tree overlap");
         let mut rids = Vec::new();
+        self.recorder.count(|m| &m.index_probes);
         self.valid_index.overlapping(q, |_, rid| rids.push(*rid));
         rids.sort_unstable();
-        self.decode_rows_filtered(&rids, |row| row.is_current())
+        let rows = self.decode_rows_filtered(&rids, |row| row.is_current())?;
+        span.rows_out(rows.len() as u64);
+        Ok(rows)
     }
 
     /// Fallible commit.
@@ -494,6 +581,10 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         ops: &[HistoricalOp],
         log: bool,
     ) -> StorageResult<()> {
+        // Clone the handle so the span's borrow doesn't pin `self`.
+        let recorder = Arc::clone(&self.recorder);
+        let span = recorder.span("storage/commit");
+        span.rows_in(ops.len() as u64);
         if let Some(last) = self.last_commit {
             if tx_time <= last {
                 return Err(StorageError::Core(CoreError::NonMonotonicCommit {

@@ -17,8 +17,10 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use chronos_core::chronon::Chronon;
+use chronos_obs::Recorder;
 use chronos_core::relation::{HistoricalOp, RowSelector};
 
 use crate::codec::{
@@ -150,6 +152,7 @@ pub struct Recovered {
 pub struct Wal {
     file: File,
     path: PathBuf,
+    recorder: Arc<Recorder>,
 }
 
 impl Wal {
@@ -163,6 +166,7 @@ impl Wal {
         Ok(Wal {
             file,
             path: path.to_path_buf(),
+            recorder: Arc::new(Recorder::disabled()),
         })
     }
 
@@ -171,15 +175,23 @@ impl Wal {
         &self.path
     }
 
+    /// Routes append/fsync counts into `recorder`.
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.recorder = recorder;
+    }
+
     /// Appends one record (framed and checksummed) and syncs to disk.
     pub fn append(&mut self, rec: &WalRecord) -> StorageResult<()> {
+        let _span = self.recorder.span("wal/append");
         let payload = encode_record(rec);
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
         self.file.write_all(&frame)?;
+        self.recorder.count(|m| &m.wal_appends);
         self.file.sync_data()?;
+        self.recorder.count(|m| &m.wal_fsyncs);
         Ok(())
     }
 

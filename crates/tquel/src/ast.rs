@@ -264,4 +264,15 @@ pub enum Statement {
         /// The relation to drop.
         relation: String,
     },
+    /// `explain stmt` / `profile stmt` — run the wrapped statement with
+    /// a trace capture and report the span tree instead of (or, for
+    /// `profile`, alongside) its normal output.  `explain` shows
+    /// structure, access paths, and row counts; `profile` adds wall
+    /// times.  Both words are contextual identifiers, not reserved.
+    Explain {
+        /// True for `profile` (include timings).
+        profile: bool,
+        /// The statement being traced.
+        inner: Box<Statement>,
+    },
 }

@@ -29,6 +29,8 @@ use chronos_core::timepoint::TimePoint;
 use chronos_core::tuple::Tuple;
 use chronos_core::value::Value;
 
+use chronos_obs::{noop_recorder, Recorder};
+
 use crate::analyze::{analyze_retrieve, RetrievePlan, TargetPlan, ValidPlan};
 use crate::ast::{AggFunc, Retrieve, Statement};
 use crate::error::{TquelError, TquelResult};
@@ -85,16 +87,39 @@ pub fn execute_plan(
     plan: &RetrievePlan,
     provider: &dyn RelationProvider,
 ) -> TquelResult<ResultRelation> {
+    execute_plan_traced(plan, provider, noop_recorder())
+}
+
+/// Executes an analyzed plan, recording per-operator spans (scan,
+/// product, aggregate) into `recorder`.
+pub fn execute_plan_traced(
+    plan: &RetrievePlan,
+    provider: &dyn RelationProvider,
+    recorder: &Recorder,
+) -> TquelResult<ResultRelation> {
+    let exec_span = recorder.span("tquel/exec");
     // Scan each range variable (shared row sets — a caching provider
     // hands the same Arc to every retrieve at the same coordinate).
     let mut scans: Vec<std::sync::Arc<Vec<SourceRow>>> = Vec::with_capacity(plan.vars.len());
     for v in &plan.vars {
-        scans.push(provider.scan(&v.relation, plan.as_of.as_ref())?);
+        let span = recorder.span("tquel/scan");
+        span.detail(format!("{} over {}", v.name, v.relation));
+        let rows = provider.scan(&v.relation, plan.as_of.as_ref())?;
+        span.rows_out(rows.len() as u64);
+        scans.push(rows);
     }
+    let combinations: u64 = scans.iter().map(|s| s.len() as u64).product();
 
     if plan.aggregated {
-        return execute_aggregate(plan, &scans);
+        let span = recorder.span("tquel/aggregate");
+        span.rows_in(combinations);
+        let result = execute_aggregate(plan, &scans)?;
+        span.rows_out(result.len() as u64);
+        exec_span.rows_out(result.len() as u64);
+        return Ok(result);
     }
+    let product_span = recorder.span("tquel/product");
+    product_span.rows_in(combinations);
 
     let kind = match (plan.result_valid, plan.result_tx) {
         (true, true) => DatabaseClass::Temporal,
@@ -110,6 +135,8 @@ pub fn execute_plan(
     // Cartesian product via an index vector (no recursion, no clones of
     // the scans).
     if scans.iter().any(|s| s.is_empty()) {
+        product_span.rows_out(0);
+        exec_span.rows_out(0);
         return Ok(ResultRelation {
             schema: plan.out_schema.clone(),
             kind,
@@ -160,6 +187,8 @@ pub fn execute_plan(
         }
     }
 
+    product_span.rows_out(rows.len() as u64);
+    exec_span.rows_out(rows.len() as u64);
     Ok(ResultRelation {
         schema: plan.out_schema.clone(),
         kind,
@@ -430,8 +459,22 @@ pub fn execute_retrieve(
     ranges: &HashMap<String, String>,
     provider: &dyn RelationProvider,
 ) -> TquelResult<ResultRelation> {
-    let plan = analyze_retrieve(stmt, ranges, provider)?;
-    execute_plan(&plan, provider)
+    execute_retrieve_traced(stmt, ranges, provider, noop_recorder())
+}
+
+/// Analyzes and executes a retrieve statement with analyze/exec spans
+/// recorded into `recorder` (the `explain`/`profile` entry point).
+pub fn execute_retrieve_traced(
+    stmt: &Retrieve,
+    ranges: &HashMap<String, String>,
+    provider: &dyn RelationProvider,
+    recorder: &Recorder,
+) -> TquelResult<ResultRelation> {
+    let plan = {
+        let _span = recorder.span("tquel/analyze");
+        analyze_retrieve(stmt, ranges, provider)?
+    };
+    execute_plan_traced(&plan, provider, recorder)
 }
 
 /// A read-only interpreter session: tracks `range of` declarations and

@@ -5,6 +5,9 @@
 //! ```text
 //! statement   := range | retrieve | append | delete | replace
 //!              | create | destroy
+//!              | ("explain" | "profile") statement
+//!              ; "select" is accepted as an alias for "retrieve";
+//!              ; all three are contextual identifiers, not reserved
 //! range       := "range" "of" ident "is" ident
 //! retrieve    := "retrieve" ["into" ident] "(" target {"," target} ")"
 //!                { "valid" valid | "where" wexpr | "when" pred
@@ -141,6 +144,29 @@ impl Parser {
             T::Keyword(K::Replace) => self.replace(),
             T::Keyword(K::Create) => self.create(),
             T::Keyword(K::Destroy) => self.destroy(),
+            // `explain`, `profile`, and `select` are *contextual*
+            // identifiers (like aggregate function names): recognised
+            // only in statement-initial position, so relations and
+            // attributes may still use the words freely.
+            T::Ident(s) if s.eq_ignore_ascii_case("explain") => {
+                self.bump();
+                Ok(Statement::Explain {
+                    profile: false,
+                    inner: Box::new(self.statement()?),
+                })
+            }
+            T::Ident(s) if s.eq_ignore_ascii_case("profile") => {
+                self.bump();
+                Ok(Statement::Explain {
+                    profile: true,
+                    inner: Box::new(self.statement()?),
+                })
+            }
+            T::Ident(s) if s.eq_ignore_ascii_case("select") => {
+                // SQL-flavoured alias for `retrieve`.
+                self.bump();
+                self.retrieve_tail()
+            }
             _ => Err(self.error("expected a statement")),
         }
     }
@@ -156,6 +182,12 @@ impl Parser {
 
     fn retrieve(&mut self) -> TquelResult<Statement> {
         self.expect_kw(K::Retrieve)?;
+        self.retrieve_tail()
+    }
+
+    /// Everything after the `retrieve` keyword (shared with the
+    /// `select` alias).
+    fn retrieve_tail(&mut self) -> TquelResult<Statement> {
         let into = if self.eat_kw(K::Into) {
             Some(self.ident()?)
         } else {

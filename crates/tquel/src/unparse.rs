@@ -92,6 +92,10 @@ pub fn unparse(stmt: &Statement) -> String {
         Statement::Destroy { relation } => {
             let _ = write!(out, "destroy {relation}");
         }
+        Statement::Explain { profile, inner } => {
+            out.push_str(if *profile { "profile " } else { "explain " });
+            out.push_str(&unparse(inner));
+        }
     }
     out
 }
@@ -391,5 +395,18 @@ mod tests {
     #[test]
     fn string_escapes_survive() {
         round_trip(r#"retrieve (f.rank) where f.name = "he said \"hi\"\n\t\\""#);
+    }
+
+    #[test]
+    fn round_trips_explain_and_profile() {
+        round_trip(r#"explain retrieve (f.rank) where f.name = "Merrie""#);
+        round_trip(r#"profile retrieve (f.rank) as of "12/10/82""#);
+        round_trip("explain destroy faculty");
+        // `select` is a parse-time alias: it round-trips *as* retrieve.
+        let alias = parse_statement(r#"profile select (f.rank) where f.name = "Tom""#).unwrap();
+        let canonical =
+            parse_statement(r#"profile retrieve (f.rank) where f.name = "Tom""#).unwrap();
+        assert_eq!(alias, canonical);
+        round_trip(&unparse(&alias));
     }
 }

@@ -15,4 +15,48 @@ cargo clippy --workspace --offline -- -D warnings
 echo "==> bench smoke (cargo bench -p chronos-bench -- --test)"
 cargo bench -p chronos-bench --offline -- --test
 
+echo "==> observability smoke (explain per relation class + overhead budget)"
+# One explain per relation class through the CLI; the span tree must
+# name the tquel and storage layers for each.
+explain_out=$(./target/release/chronos --batch <<'EOF'
+create s_rel (name = str, rank = str) as static
+create r_rel (name = str, rank = str) as rollback
+create h_rel (name = str, rank = str) as historical
+create t_rel (name = str, rank = str) as temporal
+
+append to s_rel (name = "Merrie", rank = "full")
+
+append to r_rel (name = "Merrie", rank = "full")
+
+append to h_rel (name = "Merrie", rank = "full")
+
+append to t_rel (name = "Merrie", rank = "full")
+
+range of s is s_rel
+range of r is r_rel
+range of h is h_rel
+range of t is t_rel
+
+explain retrieve (s.rank)
+
+explain retrieve (r.rank)
+
+explain retrieve (h.rank)
+
+explain retrieve (t.rank)
+
+profile select (t.rank) where t.name = "Merrie"
+EOF
+)
+[ "$(grep -c 'tquel/exec' <<<"$explain_out")" -eq 5 ] \
+  || { echo "explain smoke: expected 5 span trees"; echo "$explain_out"; exit 1; }
+grep -q 'storage/scan' <<<"$explain_out" \
+  || { echo "explain smoke: storage span missing"; echo "$explain_out"; exit 1; }
+grep -q 'counters:' <<<"$explain_out" \
+  || { echo "explain smoke: counter line missing"; echo "$explain_out"; exit 1; }
+# T9 asserts the disabled recorder stays within the <5% overhead budget.
+t9_out=$(EXPERIMENTS_ONLY=T9 ./target/release/experiments)
+grep -q 'within budget' <<<"$t9_out" \
+  || { echo "observability overhead budget exceeded"; echo "$t9_out"; exit 1; }
+
 echo "==> all checks passed"

@@ -1,0 +1,234 @@
+//! Observability end-to-end: `explain`/`profile` must name the access
+//! path the engine *actually* took (not a guess re-derived from the
+//! plan), and the metrics registry must lose nothing when the work is
+//! spread across scan threads.
+
+use std::sync::Arc;
+
+use chronos_bench::workload::{generate, WorkloadSpec};
+use chronos_core::calendar::date;
+use chronos_core::clock::ManualClock;
+use chronos_core::prelude::*;
+use chronos_db::{Database, ExecOutcome};
+use chronos_obs::Recorder;
+use chronos_storage::table::StoredBitemporalTable;
+
+fn step(db: &mut Database, clock: &Arc<ManualClock>, day: &str, stmt: &str) {
+    clock.advance_to(date(day).expect("valid date"));
+    db.session()
+        .run(stmt)
+        .unwrap_or_else(|e| panic!("{stmt}: {e}"));
+}
+
+/// The paper's Figure 8 faculty history, built through TQuel.
+fn figure8_db() -> (Database, Arc<ManualClock>) {
+    let clock = Arc::new(ManualClock::new(date("08/25/77").expect("valid")));
+    let mut db = Database::in_memory(clock.clone());
+    db.session()
+        .run("create faculty (name = str, rank = str) as temporal")
+        .expect("create");
+    step(&mut db, &clock, "08/25/77",
+        r#"append to faculty (name = "Merrie", rank = "associate")
+           valid from "09/01/77" to forever"#);
+    step(&mut db, &clock, "12/01/82",
+        r#"append to faculty (name = "Tom", rank = "full")
+           valid from "12/05/82" to forever"#);
+    step(&mut db, &clock, "12/07/82",
+        r#"range of f is faculty
+           replace f (rank = "associate") valid from "12/05/82" to forever
+           where f.name = "Tom""#);
+    step(&mut db, &clock, "12/15/82",
+        r#"range of f is faculty
+           replace f (rank = "full") valid from "12/01/82" to forever
+           where f.name = "Merrie""#);
+    (db, clock)
+}
+
+#[test]
+fn profile_names_the_access_path_for_a_figure8_rollback_query() {
+    let (mut db, _clock) = figure8_db();
+    let before = db.engine_stats();
+    let outcomes = db
+        .session()
+        .run(
+            r#"range of f is faculty
+               profile select (f.rank) where f.name = "Tom" as of "12/10/82""#,
+        )
+        .expect("profile runs");
+    let report = match &outcomes[1] {
+        ExecOutcome::Explained {
+            profile: true,
+            report,
+        } => report.clone(),
+        other => panic!("expected a profile report, got {other:?}"),
+    };
+    // The span tree covers every layer of the query.
+    for needle in ["tquel/parse", "tquel/analyze", "tquel/exec", "db/scan"] {
+        assert!(report.contains(needle), "missing {needle} in:\n{report}");
+    }
+    // The rollback coordinate was answered by the transaction-time
+    // index — the report names the path the storage layer took.
+    assert!(
+        report.contains("storage/asof") && report.contains("tx-index stab"),
+        "access path not named in:\n{report}"
+    );
+    assert!(report.contains("counters:"), "counter line missing:\n{report}");
+
+    // The report's counters and the registry agree: the traced query
+    // advanced the same global counters engine_stats() snapshots.
+    let after = db.engine_stats();
+    assert!(
+        after.metrics.index_probes > before.metrics.index_probes,
+        "profile reported a stab but index_probes did not advance"
+    );
+    assert!(after.metrics.cache_misses > before.metrics.cache_misses);
+
+    // Both exposition formats carry the instrument.
+    let prom = after.to_prometheus();
+    assert!(prom.contains("chronos_index_probes"));
+    assert!(prom.contains("chronos_commit_latency_ns"));
+    assert!(after.to_json().contains("\"index_probes\""));
+}
+
+#[test]
+fn explain_omits_timings_but_keeps_the_span_tree() {
+    let (mut db, _clock) = figure8_db();
+    let outcomes = db
+        .session()
+        .run(
+            r#"range of f is faculty
+               explain retrieve (f.rank) where f.name = "Merrie""#,
+        )
+        .expect("explain runs");
+    match &outcomes[1] {
+        ExecOutcome::Explained {
+            profile: false,
+            report,
+        } => {
+            assert!(report.contains("tquel/exec"), "span tree missing:\n{report}");
+            assert!(report.contains("storage/scan"), "span tree missing:\n{report}");
+        }
+        other => panic!("expected an explain report, got {other:?}"),
+    }
+}
+
+fn built_table(transactions: usize, seed: u64) -> StoredBitemporalTable {
+    let w = generate(&WorkloadSpec {
+        entities: (transactions / 4).max(8),
+        transactions,
+        ops_per_tx: 2,
+        correction_pct: 25,
+        seed,
+    });
+    let mut table =
+        StoredBitemporalTable::in_memory(w.schema.clone(), TemporalSignature::Interval);
+    for tx in &w.transactions {
+        table.try_commit(tx.tx_time, &tx.ops).expect("valid");
+    }
+    table
+}
+
+#[test]
+fn rollback_spans_name_checkpoint_hit_vs_full_replay() {
+    let w = generate(&WorkloadSpec {
+        entities: 16,
+        transactions: 64,
+        ops_per_tx: 2,
+        correction_pct: 25,
+        seed: 11,
+    });
+    let mut table =
+        StoredBitemporalTable::in_memory(w.schema.clone(), TemporalSignature::Interval);
+    let mut commit_times = Vec::new();
+    for tx in &w.transactions {
+        table.try_commit(tx.tx_time, &tx.ops).expect("valid");
+        commit_times.push(tx.tx_time);
+    }
+    table.set_checkpoint_interval(8).expect("rebuild");
+    let recorder = Arc::new(Recorder::new());
+    table.set_recorder(Arc::clone(&recorder));
+
+    // A late probe lands past several checkpoints: the span must say
+    // so, and the replayed-transactions counter stays below K.
+    let late = *commit_times.last().expect("nonempty");
+    let before = recorder.snapshot();
+    recorder.begin_trace();
+    table.try_rollback_checkpointed(late).expect("rollback");
+    let report = recorder.end_trace(&before).expect("capture active");
+    let span = report.span_named("storage/rollback").expect("span recorded");
+    assert!(span.detail.contains("checkpoint hit"), "{}", span.detail);
+    assert_eq!(report.delta.rollback_checkpoint_hits, 1);
+    assert!(
+        report.delta.rollback_txns_replayed < 8,
+        "replayed {} ≥ K",
+        report.delta.rollback_txns_replayed
+    );
+
+    // A probe before the first checkpoint replays from genesis.
+    let early = commit_times[2];
+    let before = recorder.snapshot();
+    recorder.begin_trace();
+    table.try_rollback_checkpointed(early).expect("rollback");
+    let report = recorder.end_trace(&before).expect("capture active");
+    let span = report.span_named("storage/rollback").expect("span recorded");
+    assert!(span.detail.contains("full replay"), "{}", span.detail);
+    assert_eq!(report.delta.rollback_checkpoint_hits, 0);
+
+    // The indexed alternative names its own path and probes the tree.
+    let before = recorder.snapshot();
+    recorder.begin_trace();
+    table.try_rollback_indexed(late).expect("rollback");
+    let report = recorder.end_trace(&before).expect("capture active");
+    let span = report.span_named("storage/rollback").expect("span recorded");
+    assert!(span.detail.contains("tx-index stab"), "{}", span.detail);
+    assert_eq!(report.delta.index_probes, 1);
+}
+
+#[test]
+fn parallel_scan_aggregates_morsel_counters_without_loss() {
+    let mut table = built_table(2048, 7);
+    table.set_parallel_threshold(0);
+    let recorder = Arc::new(Recorder::new());
+    table.set_recorder(Arc::clone(&recorder));
+    let pages = u64::from(table.heap_pages());
+    assert!(pages > 1, "workload too small to span heap pages");
+
+    let before = recorder.snapshot();
+    let rows = table.scan_rows_parallel().expect("scan");
+    let after = recorder.snapshot();
+    let scanned = after.heap_rows_scanned - before.heap_rows_scanned;
+    let morsels = after.heap_morsels_claimed - before.heap_morsels_claimed;
+
+    // Per-worker counts aggregate to exactly the rows returned: no
+    // increment is lost to the thread fan-out.
+    assert_eq!(scanned, rows.len() as u64, "rows counted ≠ rows returned");
+    if morsels > 0 {
+        // Each heap page is one morsel and is claimed exactly once.
+        assert_eq!(morsels, pages, "pages claimed ≠ pages present");
+    }
+    // (morsels == 0 only on a single-core host, where the parallel
+    // entry point legitimately falls back to the sequential scan.)
+
+    // And the parallel path stays observationally invisible.
+    let sequential = table.scan_rows_sequential().expect("scan");
+    assert_eq!(rows, sequential);
+}
+
+#[test]
+fn engine_stats_tracks_commits_and_cache_traffic() {
+    let (mut db, _clock) = figure8_db();
+    let stats = db.engine_stats();
+    // Four committing statements built Figure 8.
+    assert_eq!(stats.metrics.commits, 4);
+    assert_eq!(stats.metrics.commit_latency.samples, 4);
+    // The replace path scans its relation; those scans went through the
+    // query cache and were mirrored into the registry.
+    assert_eq!(stats.metrics.cache_hits, stats.cache.hits);
+    assert_eq!(stats.metrics.cache_misses, stats.cache.misses);
+    assert_eq!(stats.metrics.cache_evictions, stats.cache.evictions);
+    assert!(stats.cache.epoch_bumps >= 4);
+
+    // The deprecated accessor still answers (doc-deprecated, kept for
+    // callers that only care about the cache).
+    assert_eq!(db.cache_stats(), stats.cache);
+}
