@@ -456,13 +456,17 @@ impl CheckpointedRollback {
     /// The state after the first `commits` log entries, reconstructed
     /// from the nearest checkpoint at or before it.
     fn state_after(&self, commits: usize) -> StaticRelation {
+        self.state_after_traced(commits).0
+    }
+
+    fn state_after_traced(&self, commits: usize) -> (StaticRelation, RollbackAccess) {
         let idx = self.checkpoints.partition_point(|(c, _)| *c <= commits);
-        let (mut replay_from, mut state) = match idx.checked_sub(1) {
+        let (seed, mut replay_from, mut state) = match idx.checked_sub(1) {
             Some(i) => {
                 let (c, s) = &self.checkpoints[i];
-                (*c, s.clone())
+                (Some(*c), *c, s.clone())
             }
-            None => (0, StaticRelation::new(self.schema.clone())),
+            None => (None, 0, StaticRelation::new(self.schema.clone())),
         };
         while replay_from < commits {
             let (_, ops) = &self.log[replay_from];
@@ -471,7 +475,44 @@ impl CheckpointedRollback {
                 .expect("committed operations replay cleanly");
             replay_from += 1;
         }
-        state
+        let access = RollbackAccess {
+            visible: commits,
+            checkpoint_seed: seed,
+            replayed: commits - seed.unwrap_or(0),
+            interval: self.interval,
+        };
+        (state, access)
+    }
+
+    /// [`rollback`](RollbackStore::rollback) plus a description of the
+    /// access path taken — whether a checkpoint seeded the
+    /// reconstruction and how many delta transactions were replayed on
+    /// top.  The observability layer names the path ("checkpoint hit"
+    /// vs "full replay") from this.
+    pub fn rollback_traced(&self, t: Chronon) -> (StaticRelation, RollbackAccess) {
+        let visible = self.log.partition_point(|(commit, _)| *commit <= t);
+        self.state_after_traced(visible)
+    }
+}
+
+/// How a [`CheckpointedRollback::rollback_traced`] reconstruction was
+/// answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RollbackAccess {
+    /// Commits visible at the rollback time.
+    pub visible: usize,
+    /// Commit count of the checkpoint that seeded the state, if any.
+    pub checkpoint_seed: Option<usize>,
+    /// Delta transactions replayed on top of the seed.
+    pub replayed: usize,
+    /// The store's checkpoint interval `K`.
+    pub interval: usize,
+}
+
+impl RollbackAccess {
+    /// True iff a materialized checkpoint seeded the reconstruction.
+    pub fn checkpoint_hit(&self) -> bool {
+        self.checkpoint_seed.is_some()
     }
 }
 
@@ -632,6 +673,31 @@ mod tests {
             let expected = 5 / interval;
             assert_eq!(a.checkpoints(), expected, "interval {interval}");
         }
+    }
+
+    #[test]
+    fn rollback_traced_names_the_access_path() {
+        let mut s = CheckpointedRollback::with_interval(faculty_schema(), 2);
+        figure_4_history(&mut s); // 5 commits → checkpoints after 2 and 4
+        // Before the first checkpoint: full replay from empty.
+        let (state, access) = s.rollback_traced(date("12/01/82").unwrap());
+        assert_eq!(state, s.rollback(date("12/01/82").unwrap()));
+        assert!(!access.checkpoint_hit());
+        assert_eq!(access.visible, 1);
+        assert_eq!(access.replayed, 1);
+        assert_eq!(access.interval, 2);
+        // After the second checkpoint: seeded, one delta replayed.
+        let (state, access) = s.rollback_traced(date("06/01/84").unwrap());
+        assert_eq!(state, s.rollback(date("06/01/84").unwrap()));
+        assert!(access.checkpoint_hit());
+        assert_eq!(access.checkpoint_seed, Some(4));
+        assert_eq!(access.visible, 5);
+        assert_eq!(access.replayed, 1);
+        // Three commits visible → seeded at 2, one delta on top.
+        let (_, access) = s.rollback_traced(date("12/15/82").unwrap());
+        assert_eq!(access.checkpoint_seed, Some(2));
+        assert_eq!(access.visible, 3);
+        assert_eq!(access.replayed, 1);
     }
 
     #[test]

@@ -1,14 +1,34 @@
 //! `chronos` — an interactive TQuel shell over ChronosDB.
 //!
 //! ```text
-//! cargo run -p chronos-db --bin chronos [-- <database-dir>]
+//! cargo run -p chronos-db --bin chronos [-- [flags] <database-dir>]
 //! ```
 //!
 //! With a directory argument the database is durable (catalog + WAL +
-//! checkpoints); without one it is in-memory.  Statements may span
-//! lines and are executed when a blank line (or end of input) is
-//! reached, so the paper's multi-line queries paste directly.  Shell
-//! commands start with `\`:
+//! checkpoints + `events.jsonl` journal); without one it is in-memory.
+//! Statements may span lines and are executed when a blank line (or end
+//! of input) is reached, so the paper's multi-line queries paste
+//! directly.
+//!
+//! Flags:
+//!
+//! ```text
+//! --batch                  no prompt (for piped scripts)
+//! --obs-addr ADDR          serve /metrics /stats /slow /healthz /readyz
+//!                          on ADDR (e.g. 127.0.0.1:0); the bound
+//!                          address is printed to stderr.  For durable
+//!                          databases the exporter starts *before*
+//!                          recovery, so /healthz reports 503 until the
+//!                          WAL is replayed.
+//! --slow-threshold-ns N    capture statements slower than N ns in the
+//!                          slow-query log (0 captures everything)
+//! --get ADDR PATH          one-shot mode: HTTP GET PATH from a running
+//!                          exporter at ADDR, print status + body, exit
+//! --check-jsonl FILE       one-shot mode: validate FILE as JSONL
+//!                          (e.g. a database's events.jsonl), exit
+//! ```
+//!
+//! Shell commands start with `\`:
 //!
 //! ```text
 //! \d                 list relations and their classes
@@ -16,6 +36,8 @@
 //! \now               show the database clock
 //! \advance mm/dd/yy  move the clock forward (great for replaying the paper)
 //! \stats             engine counters (Prometheus text exposition)
+//! \slow              the slow-query log (captured profiles)
+//! \obs PATH          GET PATH from this process's own exporter
 //! \q                 quit
 //! ```
 //!
@@ -27,11 +49,102 @@ use std::sync::Arc;
 
 use chronos_core::calendar::date;
 use chronos_core::clock::{Clock, ManualClock, SystemClock};
-use chronos_db::{Database, ExecOutcome};
+use chronos_db::{Database, ExecOutcome, ObsBootstrap};
+use chronos_obs::export::ObsServer;
 use chronos_tquel::printer::render;
 
+/// Parsed command line; `None` from [`Args::parse`] means a one-shot
+/// mode already ran (or usage was printed) and the process should exit.
+struct Args {
+    dir: Option<std::path::PathBuf>,
+    batch: bool,
+    obs_addr: Option<String>,
+    slow_threshold_ns: Option<u64>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Option<Args>, String> {
+        let mut args = Args {
+            dir: None,
+            batch: false,
+            obs_addr: None,
+            slow_threshold_ns: None,
+        };
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--batch" => args.batch = true,
+                "--obs-addr" => {
+                    let addr = it.next().ok_or("--obs-addr takes an address")?;
+                    args.obs_addr = Some(addr.clone());
+                }
+                "--slow-threshold-ns" => {
+                    let n = it.next().ok_or("--slow-threshold-ns takes a number")?;
+                    let n: u64 = n
+                        .parse()
+                        .map_err(|_| format!("bad --slow-threshold-ns value {n:?}"))?;
+                    args.slow_threshold_ns = Some(n);
+                }
+                "--get" => {
+                    let addr = it.next().ok_or("--get takes ADDR PATH")?;
+                    let path = it.next().ok_or("--get takes ADDR PATH")?;
+                    match chronos_obs::http_get(addr, path) {
+                        Ok((status, body)) => {
+                            println!("{status}");
+                            print!("{body}");
+                            std::process::exit(if status == 200 { 0 } else { 2 });
+                        }
+                        Err(e) => {
+                            eprintln!("GET {addr}{path} failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                "--check-jsonl" => {
+                    let file = it.next().ok_or("--check-jsonl takes a file")?;
+                    let text = std::fs::read_to_string(file)
+                        .map_err(|e| format!("cannot read {file}: {e}"))?;
+                    match chronos_obs::validate_jsonl(&text) {
+                        Ok(n) => {
+                            println!("{file}: {n} well-formed JSON line(s)");
+                            std::process::exit(0);
+                        }
+                        Err(e) => {
+                            eprintln!("{file}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag {other}"));
+                }
+                dir => {
+                    if args.dir.is_some() {
+                        return Err(format!("more than one database dir ({dir:?})"));
+                    }
+                    args.dir = Some(std::path::PathBuf::from(dir));
+                }
+            }
+        }
+        Ok(Some(args))
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => return,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: chronos [--batch] [--obs-addr ADDR] [--slow-threshold-ns N] [dir]"
+            );
+            eprintln!("       chronos --get ADDR PATH");
+            eprintln!("       chronos --check-jsonl FILE");
+            std::process::exit(1);
+        }
+    };
     // The clock starts at the epoch and only moves forward (transaction
     // time is append-only): `\advance` to any date — e.g. the paper's
     // 08/25/77 — before your first commit, or to today with
@@ -39,10 +152,25 @@ fn main() {
     let manual = Arc::new(ManualClock::new(chronos_core::chronon::Chronon::ZERO));
     let clock: Arc<dyn Clock> = manual.clone();
     let _today = SystemClock::default().now(); // printed in the banner below
-    let mut db = match args.iter().find(|a| !a.starts_with("--")) {
+    let mut obs_server: Option<ObsServer> = None;
+    let mut db = match &args.dir {
         Some(dir) => {
-            let dir = std::path::PathBuf::from(dir);
-            match Database::open(&dir, clock) {
+            // The exporter comes up before recovery so /healthz honestly
+            // reports 503 while the WAL replays.
+            let obs = ObsBootstrap::new();
+            if let Some(addr) = &args.obs_addr {
+                match obs.serve(addr) {
+                    Ok(server) => {
+                        eprintln!("observability at http://{}/", server.addr());
+                        obs_server = Some(server);
+                    }
+                    Err(e) => {
+                        eprintln!("cannot serve observability on {addr}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            match Database::open_with_obs(dir, clock, &obs) {
                 Ok(db) => {
                     eprintln!("opened durable database at {}", dir.display());
                     db
@@ -55,9 +183,25 @@ fn main() {
         }
         None => {
             eprintln!("in-memory database (pass a directory for durability)");
-            Database::in_memory(clock)
+            let db = Database::in_memory(clock);
+            if let Some(addr) = &args.obs_addr {
+                match db.serve_observability(addr) {
+                    Ok(server) => {
+                        eprintln!("observability at http://{}/", server.addr());
+                        obs_server = Some(server);
+                    }
+                    Err(e) => {
+                        eprintln!("cannot serve observability on {addr}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            db
         }
     };
+    if let Some(ns) = args.slow_threshold_ns {
+        db.set_slow_query_threshold_ns(ns);
+    }
     eprintln!(
         "clock at {} — use \\advance mm/dd/yy to move it (today is {})",
         chronos_core::calendar::Date::from_chronon(db.now()),
@@ -65,7 +209,7 @@ fn main() {
     );
 
     let stdin = std::io::stdin();
-    let interactive = args.iter().all(|a| a != "--batch");
+    let interactive = !args.batch;
     let mut session = db.session();
     let mut buffer = String::new();
     if interactive {
@@ -113,7 +257,23 @@ fn main() {
                 Some("\\stats") => {
                     print!("{}", session.database().engine_stats().to_prometheus());
                 }
-                Some(other) => eprintln!("unknown command {other} (try \\d, \\now, \\advance, \\checkpoint, \\stats, \\q)"),
+                Some("\\slow") => {
+                    print!("{}", session.database().recorder().slowlog().render());
+                }
+                Some("\\obs") => match (&obs_server, parts.next()) {
+                    (Some(server), Some(path)) => {
+                        match chronos_obs::http_get(&server.addr().to_string(), path) {
+                            Ok((status, body)) => {
+                                println!("{status} {path}");
+                                print!("{body}");
+                            }
+                            Err(e) => eprintln!("  GET {path} failed: {e}"),
+                        }
+                    }
+                    (None, _) => eprintln!("  no exporter (start with --obs-addr ADDR)"),
+                    (_, None) => eprintln!("usage: \\obs /healthz"),
+                },
+                Some(other) => eprintln!("unknown command {other} (try \\d, \\now, \\advance, \\checkpoint, \\stats, \\slow, \\obs, \\q)"),
                 None => {}
             }
         } else if trimmed.is_empty() {
@@ -133,6 +293,8 @@ fn main() {
     if !buffer.trim().is_empty() {
         execute(&mut session, &buffer);
     }
+    drop(session);
+    drop(obs_server); // joins the accept thread
 }
 
 fn execute(session: &mut chronos_db::Session<'_>, src: &str) {

@@ -86,9 +86,9 @@ pub fn capture(rel: &Relation) -> StorageResult<RelationImage> {
     Ok(match rel {
         Relation::Static(r) => RelationImage::Static(r.iter().cloned().collect()),
         Relation::Rollback(r) => RelationImage::Rollback {
-            rows: r.rows().to_vec(),
-            last_commit: r.last_commit(),
-            transactions: r.transactions() as u64,
+            rows: r.store().rows().to_vec(),
+            last_commit: r.store().last_commit(),
+            transactions: r.store().transactions() as u64,
         },
         Relation::Historical(r) => RelationImage::Historical(r.rows().to_vec()),
         Relation::Temporal(r) => RelationImage::Temporal {
@@ -224,10 +224,10 @@ pub fn restore(entry: &CatalogEntry, image: RelationImage) -> StorageResult<Rela
             rows,
             last_commit,
             transactions,
-        } => Relation::Rollback(
+        } => Relation::Rollback(crate::relation::RollbackRelation::from_restored(
             TimestampedRollback::from_parts(schema, rows, last_commit, transactions as usize)
                 .map_err(StorageError::Core)?,
-        ),
+        )),
         RelationImage::Historical(rows) => {
             let mut r = HistoricalRelation::new(schema, entry.signature);
             for row in rows {

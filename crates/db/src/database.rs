@@ -20,15 +20,17 @@ use chronos_core::clock::Clock;
 use chronos_core::relation::HistoricalOp;
 use chronos_core::schema::{RelationClass, Schema, TemporalSignature};
 use chronos_core::taxonomy::DatabaseClass;
-use chronos_obs::{MetricsSnapshot, Recorder};
+use chronos_obs::export::{Health, ObsServer};
+use chronos_obs::{EventJournal, MetricsSnapshot, Recorder};
 use chronos_storage::txn::TxnManager;
 use chronos_storage::wal::{Wal, WalRecord};
 use chronos_tquel::provider::{AsOfSpec, RelationInfo, RelationProvider, SourceRow};
 use chronos_tquel::TquelError;
 
-use crate::cache::{CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
+use crate::cache::{QueryCache, CacheStats, DEFAULT_CACHE_CAPACITY};
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
+use crate::observe::{DbObsSource, ObsBootstrap};
 use crate::relation::Relation;
 use crate::session::Session;
 
@@ -40,12 +42,14 @@ pub struct Database {
     dir: Option<PathBuf>,
     wal: Option<Wal>,
     /// Memoized relation scans ([`RelationProvider::scan`] takes
-    /// `&self`, hence the mutex; uncontended in this single-threaded
-    /// facade).
-    cache: Mutex<QueryCache>,
+    /// `&self`, hence the mutex).  `Arc`-shared so the HTTP exporter
+    /// can read cache stats without borrowing the database.
+    cache: Arc<Mutex<QueryCache>>,
     /// Engine instruments and trace spans, shared with every relation
     /// store, the shared WAL, and the TQuel executor.
     recorder: Arc<Recorder>,
+    /// Readiness flags served by `/healthz` + `/readyz`.
+    health: Arc<Health>,
 }
 
 impl Database {
@@ -57,8 +61,10 @@ impl Database {
             txn: TxnManager::new(clock),
             dir: None,
             wal: None,
-            cache: Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY)),
+            cache: Arc::new(Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY))),
             recorder: Arc::new(Recorder::new()),
+            // Nothing to recover: ready from the first instant.
+            health: Arc::new(Health::ready_now()),
         }
     }
 
@@ -67,11 +73,36 @@ impl Database {
     /// tail), and resumes the transaction clock after the last replayed
     /// commit.
     pub fn open(dir: &Path, clock: Arc<dyn Clock>) -> DbResult<Database> {
+        Self::open_with_obs(dir, clock, &ObsBootstrap::new())
+    }
+
+    /// [`open`](Self::open) against pre-created observability handles,
+    /// so an exporter started from the same [`ObsBootstrap`] observes
+    /// recovery as it happens: `/healthz` answers 503 until the
+    /// catalog, checkpoint image, and WAL replay have all completed.
+    pub fn open_with_obs(
+        dir: &Path,
+        clock: Arc<dyn Clock>,
+        obs: &ObsBootstrap,
+    ) -> DbResult<Database> {
         std::fs::create_dir_all(dir).map_err(chronos_storage::StorageError::from)?;
+        let recorder = Arc::clone(&obs.recorder);
+        // The lifecycle journal lives beside the WAL.  Journaling is
+        // diagnostic: a journal that cannot be opened is skipped, never
+        // a reason to refuse recovery.
+        if let Ok(journal) = EventJournal::open(&dir.join("events.jsonl")) {
+            recorder.set_journal(Arc::new(journal));
+        }
         let catalog = Catalog::load(&dir.join("catalog"))?;
+        obs.health.mark_catalog_loaded();
+        recorder.emit_event(
+            "recovery_start",
+            &[("relations", catalog.iter().count().into())],
+        );
         // Start from the checkpoint image when one exists, otherwise
         // from empty stores; either way the log suffix replays on top.
         let mut images = crate::checkpoint::load(&dir.join("checkpoint"))?.unwrap_or_default();
+        obs.health.mark_checkpoint_loaded();
         let mut relations = HashMap::new();
         let mut by_id: HashMap<u32, String> = HashMap::new();
         let mut last_commit: Option<chronos_core::chronon::Chronon> = None;
@@ -113,7 +144,15 @@ impl Database {
             })?;
             observe(Some(rec.tx_time));
         }
-        let recorder = Arc::new(Recorder::new());
+        obs.health.mark_wal_recovered();
+        recorder.emit_event(
+            "recovery",
+            &[
+                ("frames_replayed", recovered.records.len().into()),
+                ("truncated_at", recovered.valid_len.into()),
+                ("torn_bytes", recovered.torn_bytes.into()),
+            ],
+        );
         for rel in relations.values_mut() {
             rel.set_recorder(Arc::clone(&recorder));
         }
@@ -125,8 +164,9 @@ impl Database {
             txn: TxnManager::resuming_after(clock, last_commit),
             dir: Some(dir.to_path_buf()),
             wal: Some(wal),
-            cache: Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY)),
+            cache: Arc::clone(&obs.cache),
             recorder,
+            health: Arc::clone(&obs.health),
         })
     }
 
@@ -141,15 +181,31 @@ impl Database {
                 "checkpoint requires a durable database".into(),
             ));
         };
+        self.recorder.emit_event(
+            "db_checkpoint_start",
+            &[("relations", self.relations.len().into())],
+        );
         let mut images = std::collections::BTreeMap::new();
         for (name, entry) in self.catalog.iter() {
             let rel = self.relations.get(name).expect("catalog and stores in sync");
             images.insert(entry.rel_id, crate::checkpoint::capture(rel)?);
         }
         crate::checkpoint::save(&dir.join("checkpoint"), &images)?;
-        if let Some(wal) = &mut self.wal {
-            wal.reset()?;
-        }
+        let wal_bytes_truncated = match &mut self.wal {
+            Some(wal) => {
+                let len = wal.len().unwrap_or(0);
+                wal.reset()?;
+                len
+            }
+            None => 0,
+        };
+        self.recorder.emit_event(
+            "db_checkpoint_finish",
+            &[
+                ("relations", self.relations.len().into()),
+                ("wal_bytes_truncated", wal_bytes_truncated.into()),
+            ],
+        );
         Ok(())
     }
 
@@ -178,7 +234,7 @@ impl Database {
         let mut rel = Relation::new(schema, class, signature);
         rel.set_recorder(Arc::clone(&self.recorder));
         self.relations.insert(name.to_string(), rel);
-        self.cache.lock().bump_epoch(name);
+        self.bump_epoch(name, "create");
         self.persist_catalog()?;
         Ok(())
     }
@@ -189,9 +245,18 @@ impl Database {
             return Err(DbError::Catalog(format!("unknown relation {name:?}")));
         }
         self.relations.remove(name);
-        self.cache.lock().bump_epoch(name);
+        self.bump_epoch(name, "destroy");
         self.persist_catalog()?;
         Ok(())
+    }
+
+    /// Invalidates cached scans of `relation` and journals why.
+    fn bump_epoch(&self, relation: &str, reason: &str) {
+        self.cache.lock().bump_epoch(relation);
+        self.recorder.emit_event(
+            "cache_epoch_bump",
+            &[("relation", relation.into()), ("reason", reason.into())],
+        );
     }
 
     fn persist_catalog(&self) -> DbResult<()> {
@@ -253,7 +318,7 @@ impl Database {
             .expect("catalog and stores in sync");
         rel.apply(tx_time, ops)
             .expect("validated transaction applies");
-        self.cache.lock().bump_epoch(relation);
+        self.bump_epoch(relation, "commit");
         recorder.count(|m| &m.commits);
         recorder.record_latency(|m| &m.commit_latency, started.elapsed().as_nanos() as u64);
         Ok(tx_time)
@@ -266,24 +331,40 @@ impl Database {
     }
 
     /// Unified engine statistics: every instrument in the metrics
-    /// registry plus the query-cache section.
+    /// registry plus the query-cache section.  This is the sole stats
+    /// surface (the former `cache_stats` accessor is gone; read the
+    /// `cache` section here instead).
     pub fn engine_stats(&self) -> EngineStats {
-        let cache = self.cache.lock();
-        EngineStats {
-            metrics: self.recorder.snapshot(),
-            cache: cache.stats(),
-            cache_entries: cache.len(),
-        }
+        crate::observe::engine_stats_from(&self.recorder, &self.cache)
     }
 
-    /// Query-cache counters (hits, misses, invalidations, evictions).
-    ///
-    /// Deprecated in favour of [`engine_stats`](Self::engine_stats),
-    /// whose `cache` section carries the same counters alongside the
-    /// rest of the engine's instruments; this accessor remains for
-    /// callers that only watch the cache.
-    pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().stats()
+    /// The database's readiness flags (`/healthz` + `/readyz`).
+    pub fn health(&self) -> &Arc<Health> {
+        &self.health
+    }
+
+    /// Starts the embedded HTTP observability exporter on `addr`
+    /// (e.g. `"127.0.0.1:9090"`, or port `:0` for an ephemeral port —
+    /// read it back from [`ObsServer::addr`]).  The server owns `Arc`
+    /// clones of the engine handles and keeps serving until dropped;
+    /// it never borrows the database.
+    pub fn serve_observability(&self, addr: &str) -> std::io::Result<ObsServer> {
+        chronos_obs::export::serve(
+            addr,
+            Arc::new(DbObsSource {
+                recorder: Arc::clone(&self.recorder),
+                health: Arc::clone(&self.health),
+                cache: Arc::clone(&self.cache),
+            }),
+        )
+    }
+
+    /// Sets the slow-query admission threshold: statements at least
+    /// this slow are captured (with their span tree and counter
+    /// deltas) into the recorder's slow log.  `0` captures everything;
+    /// `u64::MAX` (the default) disables capture.
+    pub fn set_slow_query_threshold_ns(&self, ns: u64) {
+        self.recorder.slowlog().set_threshold_ns(ns);
     }
 
     /// Replaces the query cache with one holding `capacity` scans
@@ -385,7 +466,7 @@ impl Database {
             .map_err(DbError::Catalog)?;
         relation.set_recorder(Arc::clone(&self.recorder));
         self.relations.insert(name.to_string(), relation);
-        self.cache.lock().bump_epoch(name);
+        self.bump_epoch(name, "materialize");
         self.persist_catalog()?;
         // Derived timestamps aren't reproducible from the log; capture
         // them (and everything else) in a checkpoint right away.
@@ -439,7 +520,7 @@ impl RelationProvider for Database {
             TquelError::Semantic(format!("unknown relation {relation:?}"))
         })?;
         let rows = rel
-            .scan(as_of)
+            .scan_traced(as_of, &self.recorder)
             .map(Arc::new)
             .map_err(|e| match e {
                 DbError::Tquel(t) => t,

@@ -28,9 +28,11 @@ pub mod catalog;
 pub mod checkpoint;
 pub mod database;
 pub mod error;
+pub mod observe;
 pub mod relation;
 pub mod session;
 
 pub use database::{Database, EngineStats};
+pub use observe::ObsBootstrap;
 pub use error::{DbError, DbResult};
 pub use session::{ExecOutcome, Session};

@@ -1,0 +1,118 @@
+//! The database's operational observability surface.
+//!
+//! [`ObsBootstrap`] bundles the `Arc`-shared engine handles the HTTP
+//! exporter reads — recorder (metrics, slow log, journal), readiness
+//! flags, and the query cache — *independently of the `Database` value
+//! itself*.  That indirection is what lets an exporter start **before**
+//! recovery: create a bootstrap, serve it (`/healthz` answers 503),
+//! then pass it to [`Database::open_with_obs`], which marks the
+//! readiness flags as the catalog, checkpoint image, and WAL replay
+//! complete — flipping the endpoint to 200 with no server restart.
+//!
+//! For the common case (observe an already-open database),
+//! [`Database::serve_observability`] does the same wiring from the
+//! database's own handles.
+//!
+//! [`Database::open_with_obs`]: crate::Database::open_with_obs
+//! [`Database::serve_observability`]: crate::Database::serve_observability
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use chronos_obs::export::{serve, Health, ObsServer, ObsSource};
+use chronos_obs::Recorder;
+
+use crate::cache::{QueryCache, DEFAULT_CACHE_CAPACITY};
+use crate::database::EngineStats;
+
+/// Pre-created engine handles shared between a [`Database`] and the
+/// exporter serving it.
+///
+/// [`Database`]: crate::Database
+pub struct ObsBootstrap {
+    pub(crate) recorder: Arc<Recorder>,
+    pub(crate) health: Arc<Health>,
+    pub(crate) cache: Arc<Mutex<QueryCache>>,
+}
+
+impl Default for ObsBootstrap {
+    fn default() -> Self {
+        ObsBootstrap::new()
+    }
+}
+
+impl ObsBootstrap {
+    /// Fresh handles with every readiness flag down.
+    pub fn new() -> ObsBootstrap {
+        ObsBootstrap {
+            recorder: Arc::new(Recorder::new()),
+            health: Arc::new(Health::starting()),
+            cache: Arc::new(Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY))),
+        }
+    }
+
+    /// The readiness flags (for tests and callers that mark stages).
+    pub fn health(&self) -> &Arc<Health> {
+        &self.health
+    }
+
+    /// The shared recorder.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// Starts the HTTP exporter over these handles.  Endpoints answer
+    /// immediately; `/healthz` stays 503 until a database opened with
+    /// this bootstrap finishes recovery.
+    pub fn serve(&self, addr: &str) -> std::io::Result<ObsServer> {
+        serve(
+            addr,
+            Arc::new(DbObsSource {
+                recorder: Arc::clone(&self.recorder),
+                health: Arc::clone(&self.health),
+                cache: Arc::clone(&self.cache),
+            }),
+        )
+    }
+}
+
+/// The exporter's view of a database: everything it serves is computed
+/// from `Arc`-shared handles, so it never borrows the `Database`.
+pub(crate) struct DbObsSource {
+    pub(crate) recorder: Arc<Recorder>,
+    pub(crate) health: Arc<Health>,
+    pub(crate) cache: Arc<Mutex<QueryCache>>,
+}
+
+impl ObsSource for DbObsSource {
+    fn prometheus(&self) -> String {
+        engine_stats_from(&self.recorder, &self.cache).to_prometheus()
+    }
+
+    fn stats_json(&self) -> String {
+        engine_stats_from(&self.recorder, &self.cache).to_json()
+    }
+
+    fn slow_json(&self) -> String {
+        self.recorder.slowlog().to_json()
+    }
+
+    fn health(&self) -> &Health {
+        &self.health
+    }
+}
+
+/// Builds the unified stats snapshot from the shared handles (also the
+/// body of [`Database::engine_stats`](crate::Database::engine_stats)).
+pub(crate) fn engine_stats_from(
+    recorder: &Recorder,
+    cache: &Mutex<QueryCache>,
+) -> EngineStats {
+    let cache = cache.lock();
+    EngineStats {
+        metrics: recorder.snapshot(),
+        cache: cache.stats(),
+        cache_entries: cache.len(),
+    }
+}

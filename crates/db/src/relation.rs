@@ -17,22 +17,129 @@
 use chronos_core::chronon::Chronon;
 use chronos_core::period::Period;
 use chronos_core::relation::historical::HistoricalRelation;
-use chronos_core::relation::rollback::{RollbackStore, TimestampedRollback};
+use chronos_core::relation::rollback::{
+    CheckpointedRollback, RollbackStore, TimestampedRollback,
+};
 use chronos_core::relation::static_rel::StaticRelation;
 use chronos_core::relation::temporal::TemporalStore;
 use chronos_core::relation::{HistoricalOp, StaticOp};
 use chronos_core::schema::{RelationClass, Schema, TemporalSignature};
+use chronos_obs::{noop_recorder, Recorder};
 use chronos_storage::table::StoredBitemporalTable;
 
 use crate::error::{DbError, DbResult};
 use chronos_tquel::provider::{AsOfSpec, SourceRow};
 
+/// Checkpoint interval of the rollback-class accelerator.  Interactive
+/// rollback relations see far fewer commits than the K=64 sweet spot of
+/// the storage table's E14b sweep; a small K makes checkpoint-seeded
+/// reconstruction reachable (and observable) in short histories.
+pub const ROLLBACK_CHECKPOINT_INTERVAL: usize = 8;
+
+/// The rollback-class store pair: the tuple-timestamped encoding of
+/// Figure 4 (authoritative — it alone can answer `through` windows and
+/// feeds checkpoint images) plus the checkpointed accelerator answering
+/// `as of t` reconstructions sublinearly.
+///
+/// Both commit every transaction; the paper's store-equivalence
+/// property (checked in core and the integration suite) guarantees they
+/// agree on every `rollback(t)`.  A relation restored from a checkpoint
+/// image has no replay log to rebuild the accelerator from, so it runs
+/// without one — the scan path then reports a full tuple-timestamped
+/// scan, which is exactly what it does.
+pub struct RollbackRelation {
+    ts: TimestampedRollback,
+    accel: Option<CheckpointedRollback>,
+}
+
+impl RollbackRelation {
+    fn new(schema: Schema) -> RollbackRelation {
+        RollbackRelation {
+            ts: TimestampedRollback::new(schema.clone()),
+            accel: Some(CheckpointedRollback::with_interval(
+                schema,
+                ROLLBACK_CHECKPOINT_INTERVAL,
+            )),
+        }
+    }
+
+    /// Wraps a store restored from a checkpoint image (no commit log —
+    /// no accelerator).
+    pub(crate) fn from_restored(ts: TimestampedRollback) -> RollbackRelation {
+        RollbackRelation { ts, accel: None }
+    }
+
+    /// The authoritative tuple-timestamped store.
+    pub fn store(&self) -> &TimestampedRollback {
+        &self.ts
+    }
+
+    /// True iff `as of` reconstructions are checkpoint-accelerated.
+    pub fn is_accelerated(&self) -> bool {
+        self.accel.is_some()
+    }
+
+    fn commit(&mut self, tx_time: Chronon, ops: &[StaticOp]) -> DbResult<()> {
+        self.ts.commit(tx_time, ops)?;
+        if let Some(accel) = &mut self.accel {
+            // The stores apply identical validated ops to identical
+            // states; a divergence would be a bug, but degrade to the
+            // unaccelerated path rather than desynchronize.
+            if accel.commit(tx_time, ops).is_err() {
+                self.accel = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstructs the state `as of t`, reporting the access path into
+    /// `span`/`recorder` ("checkpoint hit" vs "full replay").
+    fn rollback_traced(
+        &self,
+        t: Chronon,
+        span: &chronos_obs::SpanGuard<'_>,
+        recorder: &Recorder,
+    ) -> StaticRelation {
+        match &self.accel {
+            Some(accel) => {
+                let (state, access) = accel.rollback_traced(t);
+                recorder.count_n(|m| &m.rollback_txns_replayed, access.replayed as u64);
+                if access.checkpoint_hit() {
+                    recorder.count(|m| &m.rollback_checkpoint_hits);
+                    span.detail(format!(
+                        "checkpoint hit (seed at {} commits, replayed {} of {} txns, K={})",
+                        access.checkpoint_seed.unwrap_or(0),
+                        access.replayed,
+                        access.visible,
+                        access.interval
+                    ));
+                } else {
+                    span.detail(format!(
+                        "full replay ({} of {} txns, K={})",
+                        access.replayed, access.visible, access.interval
+                    ));
+                }
+                state
+            }
+            None => {
+                recorder.count_n(|m| &m.rollback_txns_replayed, self.ts.transactions() as u64);
+                span.detail(format!(
+                    "full replay (tuple-timestamped scan of {} versions)",
+                    self.ts.stored_tuples()
+                ));
+                self.ts.rollback(t)
+            }
+        }
+    }
+}
+
 /// A named relation of any class.
 pub enum Relation {
     /// §4.1 — snapshot only.
     Static(StaticRelation),
-    /// §4.2 — transaction time, append-only, tuple-timestamped.
-    Rollback(TimestampedRollback),
+    /// §4.2 — transaction time, append-only: the tuple-timestamped
+    /// store paired with the checkpointed reconstruction accelerator.
+    Rollback(RollbackRelation),
     /// §4.3 — valid time, arbitrarily correctable.
     Historical(HistoricalRelation),
     /// §4.4 — both axes, storage-backed (boxed: the stored table with
@@ -46,7 +153,7 @@ impl Relation {
         match class {
             RelationClass::Static => Relation::Static(StaticRelation::new(schema)),
             RelationClass::StaticRollback => {
-                Relation::Rollback(TimestampedRollback::new(schema))
+                Relation::Rollback(RollbackRelation::new(schema))
             }
             RelationClass::Historical => {
                 Relation::Historical(HistoricalRelation::new(schema, signature))
@@ -80,7 +187,7 @@ impl Relation {
     pub fn stored_tuples(&self) -> usize {
         match self {
             Relation::Static(r) => r.len(),
-            Relation::Rollback(r) => r.stored_tuples(),
+            Relation::Rollback(r) => r.store().stored_tuples(),
             Relation::Historical(r) => r.len(),
             Relation::Temporal(r) => r.stored_tuples(),
         }
@@ -95,8 +202,17 @@ impl Relation {
         }
     }
 
-    /// Borrows the rollback store.
+    /// Borrows the rollback store (the authoritative tuple-timestamped
+    /// encoding; see [`RollbackRelation`] for the accelerator pair).
     pub fn as_rollback(&self) -> &TimestampedRollback {
+        match self {
+            Relation::Rollback(r) => r.store(),
+            _ => panic!("relation is not a rollback relation"),
+        }
+    }
+
+    /// Borrows the full rollback store pair.
+    pub fn as_rollback_pair(&self) -> &RollbackRelation {
         match self {
             Relation::Rollback(r) => r,
             _ => panic!("relation is not a rollback relation"),
@@ -142,7 +258,7 @@ impl Relation {
                 Ok(())
             }
             Relation::Rollback(r) => {
-                let mut scratch = r.clone();
+                let mut scratch = r.store().clone();
                 scratch.commit(tx_time, &Self::to_static_ops(ops)?)?;
                 Ok(())
             }
@@ -180,6 +296,7 @@ impl Relation {
                 r.commit(tx_time, &Self::to_static_ops(ops)?)?;
                 Ok(())
             }
+            // (RollbackRelation::commit feeds both paired stores.)
             Relation::Historical(r) => {
                 r.apply(ops)?;
                 Ok(())
@@ -194,6 +311,17 @@ impl Relation {
     /// Scans the relation for the evaluator, applying an `as of`
     /// specification when the class supports it.
     pub fn scan(&self, as_of: Option<&AsOfSpec>) -> DbResult<Vec<SourceRow>> {
+        self.scan_traced(as_of, noop_recorder())
+    }
+
+    /// [`scan`](Self::scan) with access-path spans and counters routed
+    /// into `recorder` (rollback-class `as of` reconstructions name
+    /// "checkpoint hit" vs "full replay" there).
+    pub fn scan_traced(
+        &self,
+        as_of: Option<&AsOfSpec>,
+        recorder: &Recorder,
+    ) -> DbResult<Vec<SourceRow>> {
         match self {
             Relation::Static(r) => {
                 if as_of.is_some() {
@@ -213,12 +341,18 @@ impl Relation {
                 // "The result of a query on a static rollback database is
                 // a pure static relation": no timestamps on the rows.
                 let tuples: Vec<chronos_core::tuple::Tuple> = match as_of {
-                    None => r.current().iter().cloned().collect(),
-                    Some(AsOfSpec::At(t)) => r.rollback(*t).iter().cloned().collect(),
+                    None => r.store().current().iter().cloned().collect(),
+                    Some(AsOfSpec::At(t)) => {
+                        let span = recorder.span("db/rollback");
+                        let state = r.rollback_traced(*t, &span, recorder);
+                        span.rows_out(state.len() as u64);
+                        state.iter().cloned().collect()
+                    }
                     Some(AsOfSpec::Through(t1, t2)) => {
                         let window = Period::clamped(*t1, t2.succ());
                         let mut seen = std::collections::HashSet::new();
-                        r.rows()
+                        r.store()
+                            .rows()
                             .iter()
                             .filter(|row| row.tx.overlaps(window))
                             .filter(|row| seen.insert(row.tuple.clone()))

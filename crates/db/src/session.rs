@@ -110,7 +110,7 @@ impl<'a> Session<'a> {
         let stmts = parse_program(src)?;
         let mut out = Vec::with_capacity(stmts.len());
         for stmt in &stmts {
-            out.push(self.execute(stmt)?);
+            out.push(self.execute_monitored(stmt)?);
         }
         Ok(out)
     }
@@ -197,6 +197,66 @@ impl<'a> Session<'a> {
             }
             Statement::Explain { profile, inner } => self.explain(*profile, inner),
         }
+    }
+
+    /// [`execute`](Self::execute) wrapped in slow-query capture.
+    ///
+    /// When the statement's wall time meets the recorder's slow-log
+    /// threshold, its rendered span tree plus counter deltas — the
+    /// `profile` artifact — is admitted to the bounded slow-query ring
+    /// and a `slow_query` event is journaled.  With the slow log
+    /// disabled (threshold `u64::MAX`, the default) this is one atomic
+    /// load and a branch on top of [`execute`](Self::execute); the T10
+    /// experiment asserts that overhead stays under 5%.
+    pub fn execute_monitored(&mut self, stmt: &Statement) -> DbResult<ExecOutcome> {
+        // `explain`/`profile` runs its own capture; wrapping it would
+        // steal that capture (newest trace request wins), so it — and
+        // any disabled recorder or slow log — takes the plain path.
+        let capture = {
+            let recorder = self.db.recorder();
+            recorder.is_enabled() && recorder.slowlog().is_enabled()
+        } && !matches!(stmt, Statement::Explain { .. });
+        if !capture {
+            return self.execute(stmt);
+        }
+        let recorder = std::sync::Arc::clone(self.db.recorder());
+        let threshold = recorder.slowlog().threshold_ns();
+        let before = recorder.snapshot();
+        recorder.begin_trace();
+        let started = std::time::Instant::now();
+        let result = {
+            // The root span guarantees every captured profile has a
+            // non-empty tree; access-path details (e.g. a rollback
+            // reconstruction's "checkpoint hit" vs "full replay") are
+            // recorded by the layers below on this same recorder.
+            let span = recorder.span("session/statement");
+            span.detail(statement_kind(stmt).to_string());
+            self.execute(stmt)
+        };
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        // End the capture even on error so a failed statement does not
+        // leave a stale capture eating later spans.
+        let report = recorder.end_trace(&before);
+        if elapsed_ns >= threshold {
+            if let Some(report) = report {
+                let statement = unparse(stmt);
+                let seq = recorder.slowlog().admit(
+                    statement.clone(),
+                    elapsed_ns,
+                    report.render(true),
+                );
+                recorder.emit_event(
+                    "slow_query",
+                    &[
+                        ("slow_seq", seq.into()),
+                        ("duration_ns", elapsed_ns.into()),
+                        ("threshold_ns", threshold.into()),
+                        ("statement", statement.as_str().into()),
+                    ],
+                );
+            }
+        }
+        result
     }
 
     /// Executes `inner` with tracing active and returns the rendered
@@ -495,6 +555,21 @@ impl<'a> Session<'a> {
                 )),
             },
         }
+    }
+}
+
+/// A short label for the root span of a monitored statement.
+fn statement_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::RangeDecl { .. } => "range",
+        Statement::Retrieve(r) if r.into.is_some() => "retrieve into",
+        Statement::Retrieve(_) => "retrieve",
+        Statement::Append { .. } => "append",
+        Statement::Delete { .. } => "delete",
+        Statement::Replace { .. } => "replace",
+        Statement::Create { .. } => "create",
+        Statement::Destroy { .. } => "destroy",
+        Statement::Explain { .. } => "explain",
     }
 }
 

@@ -1,0 +1,505 @@
+//! Structured lifecycle event journal.
+//!
+//! An [`EventJournal`] is a JSONL file (`events.jsonl`, kept beside the
+//! WAL) recording engine lifecycle events — WAL append/fsync batches,
+//! recovery start/stop, checkpoint builds, cache epoch bumps, slow-query
+//! admissions.  Each line is one self-contained JSON object:
+//!
+//! ```text
+//! {"seq": 12, "ts_ns": 48211094, "event": "recovery", "frames_replayed": 3, ...}
+//! ```
+//!
+//! * `seq` is a strictly increasing admission number (never reset, not
+//!   even by rotation), so consumers can detect gaps.
+//! * `ts_ns` is a **monotonic** timestamp: nanoseconds since the journal
+//!   was opened, read from [`Instant`].  Wall-clock time is deliberately
+//!   absent — the engine's own notion of time is the transaction clock,
+//!   and a monotonic offset cannot run backwards under NTP steps.
+//! * Rotation is by size: when appending a line would push the file past
+//!   `max_bytes`, the current file is renamed to `<path>.1` (replacing
+//!   any previous rotation) and a fresh file is started.  At most two
+//!   generations exist, bounding disk use at ~`2 × max_bytes`.
+//!
+//! The workspace has no serde; encoding is hand-rolled here and checked
+//! by the [`validate_json`] well-formedness validator (also used by the
+//! `check.sh` JSONL gate).
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default rotation threshold: 4 MiB per generation.
+pub const DEFAULT_JOURNAL_MAX_BYTES: u64 = 4 * 1024 * 1024;
+
+/// A field value in a journal event.
+#[derive(Debug, Clone)]
+pub enum EventValue {
+    U64(u64),
+    I64(i64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<u64> for EventValue {
+    fn from(v: u64) -> Self {
+        EventValue::U64(v)
+    }
+}
+impl From<usize> for EventValue {
+    fn from(v: usize) -> Self {
+        EventValue::U64(v as u64)
+    }
+}
+impl From<i64> for EventValue {
+    fn from(v: i64) -> Self {
+        EventValue::I64(v)
+    }
+}
+impl From<bool> for EventValue {
+    fn from(v: bool) -> Self {
+        EventValue::Bool(v)
+    }
+}
+impl From<&str> for EventValue {
+    fn from(v: &str) -> Self {
+        EventValue::Str(v.to_string())
+    }
+}
+impl From<String> for EventValue {
+    fn from(v: String) -> Self {
+        EventValue::Str(v)
+    }
+}
+
+impl EventValue {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            EventValue::U64(v) => out.push_str(&v.to_string()),
+            EventValue::I64(v) => out.push_str(&v.to_string()),
+            EventValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            EventValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape_json(s));
+                out.push('"');
+            }
+        }
+    }
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct JournalInner {
+    file: File,
+    seq: u64,
+    bytes: u64,
+}
+
+/// Append-only JSONL journal of engine lifecycle events.
+pub struct EventJournal {
+    path: PathBuf,
+    max_bytes: u64,
+    origin: Instant,
+    inner: Mutex<JournalInner>,
+}
+
+impl EventJournal {
+    /// Opens (appending to, creating if needed) the journal at `path`
+    /// with the default rotation threshold.
+    pub fn open(path: &Path) -> std::io::Result<EventJournal> {
+        Self::open_with_max(path, DEFAULT_JOURNAL_MAX_BYTES)
+    }
+
+    /// Opens the journal, rotating once the file exceeds `max_bytes`.
+    pub fn open_with_max(path: &Path, max_bytes: u64) -> std::io::Result<EventJournal> {
+        let file = OpenOptions::new().append(true).create(true).open(path)?;
+        let bytes = file.metadata()?.len();
+        Ok(EventJournal {
+            path: path.to_path_buf(),
+            max_bytes: max_bytes.max(1),
+            origin: Instant::now(),
+            inner: Mutex::new(JournalInner {
+                file,
+                seq: 0,
+                bytes,
+            }),
+        })
+    }
+
+    /// The journal's live file path (`<path>.1` is the rotated
+    /// generation).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Admission numbers handed out so far.
+    pub fn seq(&self) -> u64 {
+        self.inner.lock().unwrap().seq
+    }
+
+    /// Appends one event line.  Write errors are swallowed: journaling
+    /// is diagnostic, never a reason to fail the engine operation that
+    /// emitted the event.
+    pub fn emit(&self, event: &str, fields: &[(&str, EventValue)]) {
+        let ts_ns = self.origin.elapsed().as_nanos() as u64;
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.seq;
+        inner.seq += 1;
+        let mut line = String::with_capacity(96);
+        line.push_str(&format!(
+            "{{\"seq\": {seq}, \"ts_ns\": {ts_ns}, \"event\": \"{}\"",
+            escape_json(event)
+        ));
+        for (name, value) in fields {
+            line.push_str(&format!(", \"{}\": ", escape_json(name)));
+            value.write_json(&mut line);
+        }
+        line.push_str("}\n");
+        if inner.bytes > 0
+            && inner.bytes + line.len() as u64 > self.max_bytes
+            && self.rotate(&mut inner).is_err()
+        {
+            return;
+        }
+        if inner.file.write_all(line.as_bytes()).is_ok() {
+            inner.bytes += line.len() as u64;
+        }
+    }
+
+    /// Renames the live file to `<path>.1` and starts a fresh one.
+    fn rotate(&self, inner: &mut JournalInner) -> std::io::Result<()> {
+        let mut rotated = self.path.as_os_str().to_owned();
+        rotated.push(".1");
+        std::fs::rename(&self.path, PathBuf::from(rotated))?;
+        inner.file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&self.path)?;
+        inner.bytes = 0;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventJournal")
+            .field("path", &self.path)
+            .field("max_bytes", &self.max_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON well-formedness validation (for the check.sh JSONL gate and the
+// journal's own tests; the workspace has no serde to lean on).
+// ---------------------------------------------------------------------
+
+/// Validates that `s` is exactly one well-formed JSON value.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+/// Validates that every non-empty line of `text` parses as JSON.
+/// Returns the number of lines validated.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut n = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at offset {pos}")),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}"));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        *pos += 1;
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening quote
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                match b.get(*pos + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 2..*pos + 6)
+                            .ok_or_else(|| format!("short \\u escape at offset {pos}"))?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at offset {pos}"));
+                        }
+                        *pos += 6;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!("unescaped control byte {c:#04x} at offset {pos}"))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b.get(*pos..*pos + lit.len()) == Some(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |pos: &mut usize| {
+        let from = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > from
+    };
+    if !digits(pos) {
+        return Err(format!("bad number at offset {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(pos) {
+            return Err(format!("bad fraction at offset {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(pos) {
+            return Err(format!("bad exponent at offset {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("chronos-events-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        let mut rotated = p.as_os_str().to_owned();
+        rotated.push(".1");
+        let _ = std::fs::remove_file(PathBuf::from(rotated));
+        p
+    }
+
+    #[test]
+    fn every_emitted_line_is_well_formed_json() {
+        let path = temp_path("wellformed");
+        let j = EventJournal::open(&path).unwrap();
+        j.emit("recovery", &[("frames_replayed", 3u64.into())]);
+        j.emit(
+            "slow_query",
+            &[
+                ("statement", "retrieve (f.rank) \"quoted\"\nnext".into()),
+                ("duration_ns", 12345u64.into()),
+                ("admitted", true.into()),
+            ],
+        );
+        j.emit("plain", &[]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(validate_jsonl(&text).unwrap(), 3);
+        assert!(text.contains("\"event\": \"recovery\""));
+        assert!(text.contains("\\\"quoted\\\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn seq_and_ts_are_monotonic() {
+        let path = temp_path("monotonic");
+        let j = EventJournal::open(&path).unwrap();
+        for _ in 0..5 {
+            j.emit("tick", &[]);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut last_seq = None;
+        let mut last_ts = None;
+        for line in text.lines() {
+            let seq: u64 = extract_number(line, "\"seq\": ");
+            let ts: u64 = extract_number(line, "\"ts_ns\": ");
+            if let Some(prev) = last_seq {
+                assert!(seq > prev, "seq must strictly increase");
+            }
+            if let Some(prev) = last_ts {
+                assert!(ts >= prev, "ts_ns must be monotonic");
+            }
+            last_seq = Some(seq);
+            last_ts = Some(ts);
+        }
+        assert_eq!(last_seq, Some(4));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rotation_by_size_keeps_two_generations_and_global_seq() {
+        let path = temp_path("rotate");
+        let j = EventJournal::open_with_max(&path, 256).unwrap();
+        for i in 0..40 {
+            j.emit("fill", &[("i", (i as u64).into())]);
+        }
+        let live = std::fs::read_to_string(&path).unwrap();
+        let mut rotated_path = path.as_os_str().to_owned();
+        rotated_path.push(".1");
+        let rotated_path = PathBuf::from(rotated_path);
+        let rotated = std::fs::read_to_string(&rotated_path).unwrap();
+        assert!(live.len() as u64 <= 256);
+        validate_jsonl(&live).unwrap();
+        validate_jsonl(&rotated).unwrap();
+        // seq keeps counting across the rotation boundary.
+        assert_eq!(j.seq(), 40);
+        assert!(live.contains("\"i\": 39"));
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&rotated_path).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "{\"a\": [1, -2.5, 3e4], \"b\": {\"c\": null}, \"d\": \"x\\n\\u0041\"}",
+            "  true  ",
+            "-0.5e-2",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good:?} rejected: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "\"unterminated",
+            "01abc",
+            "{} trailing",
+            "{\"a\" 1}",
+            "nul",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    fn extract_number(line: &str, key: &str) -> u64 {
+        let at = line.find(key).unwrap() + key.len();
+        line[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+}

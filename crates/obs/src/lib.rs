@@ -11,10 +11,16 @@
 //! the hot paths stay byte-identical in behaviour — see the
 //! figure-regeneration smoke assertion in `figures.rs`.
 
+pub mod events;
+pub mod export;
 pub mod metrics;
+pub mod slowlog;
 pub mod trace;
 
+pub use events::{validate_json, validate_jsonl, EventJournal, EventValue};
+pub use export::{http_get, serve, Health, ObsServer, ObsSource};
 pub use metrics::{Counter, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
+pub use slowlog::{SlowEntry, SlowLog, SLOWLOG_DISABLED};
 pub use trace::{
     noop_recorder, Instruments, Recorder, RingEvent, SpanGuard, SpanRecord, TraceReport,
 };

@@ -13,10 +13,13 @@
 //! read — which is what lets the figure-regeneration binaries run
 //! with instrumented code and byte-identical output.
 
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+use crate::events::{EventJournal, EventValue};
 use crate::metrics::{Counter, LatencyHistogram, MetricsSnapshot};
+use crate::slowlog::SlowLog;
 
 /// How many finished spans the background event ring retains.
 pub const EVENT_RING_CAPACITY: usize = 256;
@@ -85,6 +88,12 @@ pub struct Recorder {
     enabled: bool,
     metrics: Instruments,
     trace: Mutex<TraceState>,
+    /// Slow-statement captures (disabled until a threshold is set).
+    slowlog: SlowLog,
+    /// Lifecycle event sink, present only on databases that attached a
+    /// journal (durable ones); `has_journal` is the lock-free fast path.
+    journal: Mutex<Option<Arc<EventJournal>>>,
+    has_journal: AtomicBool,
 }
 
 impl Default for Recorder {
@@ -100,6 +109,9 @@ impl Recorder {
             enabled: true,
             metrics: Instruments::default(),
             trace: Mutex::new(TraceState::default()),
+            slowlog: SlowLog::default(),
+            journal: Mutex::new(None),
+            has_journal: AtomicBool::new(false),
         }
     }
 
@@ -109,6 +121,9 @@ impl Recorder {
             enabled: false,
             metrics: Instruments::default(),
             trace: Mutex::new(TraceState::default()),
+            slowlog: SlowLog::default(),
+            journal: Mutex::new(None),
+            has_journal: AtomicBool::new(false),
         }
     }
 
@@ -120,6 +135,39 @@ impl Recorder {
     /// Direct read access for tests and stats surfacing.
     pub fn instruments(&self) -> &Instruments {
         &self.metrics
+    }
+
+    /// The slow-query log (disabled until a threshold is set).
+    pub fn slowlog(&self) -> &SlowLog {
+        &self.slowlog
+    }
+
+    /// Attaches the lifecycle event journal; subsequent
+    /// [`emit_event`](Self::emit_event) calls append to it.
+    pub fn set_journal(&self, journal: Arc<EventJournal>) {
+        *self.journal.lock().unwrap() = Some(journal);
+        self.has_journal.store(true, Ordering::Release);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<Arc<EventJournal>> {
+        if !self.has_journal.load(Ordering::Acquire) {
+            return None;
+        }
+        self.journal.lock().unwrap().clone()
+    }
+
+    /// Appends one lifecycle event to the journal, if one is attached.
+    /// One relaxed-ish atomic load when none is — the common case for
+    /// in-memory databases and the figure binaries.
+    #[inline]
+    pub fn emit_event(&self, event: &str, fields: &[(&str, EventValue)]) {
+        if !self.has_journal.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(journal) = self.journal.lock().unwrap().as_ref() {
+            journal.emit(event, fields);
+        }
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {

@@ -466,6 +466,13 @@ impl<S: PageStore> StoredBitemporalTable<S> {
     /// rebuilding the checkpoint list from the commit log.
     pub fn set_checkpoint_interval(&mut self, every: usize) -> StorageResult<()> {
         self.checkpoint_every = every.max(1);
+        self.recorder.emit_event(
+            "storage_checkpoint_rebuild_start",
+            &[
+                ("k", self.checkpoint_every.into()),
+                ("txns", self.commit_log.len().into()),
+            ],
+        );
         self.checkpoints.clear();
         let mut state = HistoricalRelation::new(self.schema.clone(), self.signature);
         for (i, (_, ops)) in self.commit_log.iter().enumerate() {
@@ -474,6 +481,13 @@ impl<S: PageStore> StoredBitemporalTable<S> {
                 self.checkpoints.push((i + 1, state.clone()));
             }
         }
+        self.recorder.emit_event(
+            "storage_checkpoint_rebuild_finish",
+            &[
+                ("k", self.checkpoint_every.into()),
+                ("checkpoints", self.checkpoints.len().into()),
+            ],
+        );
         Ok(())
     }
 
@@ -635,6 +649,14 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         if self.commit_log.len().is_multiple_of(self.checkpoint_every) {
             self.checkpoints
                 .push((self.commit_log.len(), self.current.clone()));
+            self.recorder.emit_event(
+                "storage_checkpoint",
+                &[
+                    ("k", self.checkpoint_every.into()),
+                    ("txns", self.commit_log.len().into()),
+                    ("rows", self.current.len().into()),
+                ],
+            );
         }
         Ok(())
     }

@@ -192,6 +192,15 @@ impl Wal {
         self.recorder.count(|m| &m.wal_appends);
         self.file.sync_data()?;
         self.recorder.count(|m| &m.wal_fsyncs);
+        self.recorder.emit_event(
+            "wal_append",
+            &[
+                ("rel_id", u64::from(rec.rel_id).into()),
+                ("ops", rec.ops.len().into()),
+                ("frame_bytes", frame.len().into()),
+                ("fsync", true.into()),
+            ],
+        );
         Ok(())
     }
 

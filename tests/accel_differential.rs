@@ -261,8 +261,8 @@ proptest! {
             }
         }
         // The cached database actually cached something.
-        let stats = cached.cache_stats();
+        let stats = cached.engine_stats().cache;
         prop_assert!(stats.hits > 0, "no cache hits in {} rounds", rounds);
-        prop_assert_eq!(uncached.cache_stats().hits, 0);
+        prop_assert_eq!(uncached.engine_stats().cache.hits, 0);
     }
 }

@@ -227,8 +227,4 @@ fn engine_stats_tracks_commits_and_cache_traffic() {
     assert_eq!(stats.metrics.cache_misses, stats.cache.misses);
     assert_eq!(stats.metrics.cache_evictions, stats.cache.evictions);
     assert!(stats.cache.epoch_bumps >= 4);
-
-    // The deprecated accessor still answers (doc-deprecated, kept for
-    // callers that only care about the cache).
-    assert_eq!(db.cache_stats(), stats.cache);
 }
