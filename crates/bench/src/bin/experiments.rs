@@ -28,10 +28,13 @@
 //!   and the disabled recorder is verified to cost nothing;
 //! * **T10** — the operational surface: `/metrics` scrape latency under
 //!   concurrent query load, and the slow-query wrapper's overhead at
-//!   the disabled threshold (`u64::MAX`).
+//!   the disabled threshold (`u64::MAX`);
+//! * **T11** — temporal introspection: the background stats sampler's
+//!   overhead on the timeslice workload, and the latency of querying
+//!   the telemetry itself (`retrieve` over `sys$stats`).
 //!
-//! Set `EXPERIMENTS_ONLY=<ids>` (comma-separated, e.g. `T9,T10`) to run
-//! a subset.
+//! Set `EXPERIMENTS_ONLY=<ids>` (comma-separated, e.g. `T9,T10,T11`) to
+//! run a subset.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -116,10 +119,15 @@ fn main() {
     if want("T10") {
         t10_stats = Some(t10_operational_surface());
     }
-    if t9_rows.is_some() || t10_stats.is_some() {
+    let mut t11_stats = None;
+    if want("T11") {
+        t11_stats = Some(t11_temporal_introspection());
+    }
+    if t9_rows.is_some() || t10_stats.is_some() || t11_stats.is_some() {
         write_bench_observability_json(
             t9_rows.as_deref().unwrap_or(&[]),
             t10_stats.as_ref(),
+            t11_stats.as_ref(),
         );
     }
     println!("\nDone.  These tables are recorded in EXPERIMENTS.md.");
@@ -908,12 +916,129 @@ fn t10_operational_surface() -> T10Stats {
     }
 }
 
-/// Emits the T9 sweep plus the T10 stats as
+// ---------------------------------------------------------------------
+// T11 — temporal introspection: the sampler's cost and the telemetry's
+// queryability
+// ---------------------------------------------------------------------
+
+/// The T11 measurements (serialized to BENCH_observability.json).
+struct T11Stats {
+    iters: u32,
+    sampler_overhead_ratio: f64,
+    samples_taken: u64,
+    telemetry_query_ns: u64,
+}
+
+fn t11_temporal_introspection() -> T11Stats {
+    heading("T11: temporal introspection — sampler overhead on the timeslice workload");
+    let clock = Arc::new(ManualClock::new(Chronon::new(900)));
+    let mut db = Database::in_memory(clock.clone());
+    db.session()
+        .run("create faculty (name = str, rank = str) as temporal")
+        .expect("create");
+    for i in 0..200 {
+        clock.tick(1);
+        db.session()
+            .run(&format!(
+                r#"append to faculty (name = "prof{i:05}", rank = "assistant")
+                   valid from "{}" to forever"#,
+                chronos_core::calendar::Date::from_chronon(Chronon::new(900 + i))
+            ))
+            .expect("append");
+    }
+    // The T4 shape through TQuel: a historical timeslice.
+    let day = chronos_core::calendar::Date::from_chronon(Chronon::new(1000));
+    let stmt = chronos_tquel::parser::parse_statement(&format!(
+        r#"retrieve (f.rank) where f.name = "prof00007" when f overlap "{day}""#
+    ))
+    .expect("parse");
+
+    // Sampler off vs on, interleaved min-of-9 (same discipline as
+    // overhead_check): the background thread snapshots engine_stats()
+    // every 5ms while the foreground runs the timeslice loop.
+    let iters = 300u32;
+    let run_loop = |db: &mut Database| -> u64 {
+        let mut session = db.session();
+        session.run("range of f is faculty").expect("range");
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(session.execute(&stmt).expect("execute"));
+        }
+        start.elapsed().as_nanos() as u64
+    };
+    std::hint::black_box(run_loop(&mut db)); // warmup
+    // Paired rounds: each measures off and on adjacently (alternating
+    // which goes first, so frequency drift hits both sides alike) and
+    // contributes one ratio; the median ratio is immune to the odd
+    // preempted loop that a min-of-totals would let dominate.
+    let mut ratios = Vec::new();
+    for round in 0..15 {
+        let off_first = round % 2 == 0;
+        let mut off_ns = 0u64;
+        if off_first {
+            off_ns = run_loop(&mut db);
+        }
+        db.start_stats_sampler(std::time::Duration::from_millis(5))
+            .expect("sampler");
+        let on_ns = run_loop(&mut db);
+        db.stop_stats_sampler();
+        if !off_first {
+            off_ns = run_loop(&mut db);
+        }
+        ratios.push(on_ns as f64 / off_ns.max(1) as f64);
+    }
+    let samples_taken = db.telemetry().stats().samples_taken;
+    assert!(samples_taken > 0, "the sampler never sampled under load");
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[ratios.len() / 2];
+    assert!(
+        ratio < 1.05,
+        "sampler-enabled overhead {ratio:.3} exceeds the 5% budget"
+    );
+    println!("sampler overhead: enabled-vs-off ratio {ratio:.3} — within budget (<1.05)");
+
+    // Querying the telemetry is an ordinary TQuel retrieve over
+    // sys$stats; measure its end-to-end latency.
+    db.sample_now();
+    let mut session = db.session();
+    session.run("range of s is sys$stats").expect("range");
+    let tstmt = chronos_tquel::parser::parse_statement(
+        r#"retrieve (s.value) where s.metric = "commits""#,
+    )
+    .expect("parse");
+    let telemetry_query_ns = time_ns(50, || {
+        std::hint::black_box(session.execute(&tstmt).expect("telemetry query"));
+    });
+    drop(session);
+    println!(
+        "{:>8} | {:>13} | {:>8} | {:>18}",
+        "iters", "overhead", "samples", "sys$stats query µs"
+    );
+    println!(
+        "{:>8} | {:>12.3}x | {:>8} | {:>18.1}",
+        iters,
+        ratio,
+        samples_taken,
+        telemetry_query_ns as f64 / 1e3
+    );
+    T11Stats {
+        iters,
+        sampler_overhead_ratio: ratio,
+        samples_taken,
+        telemetry_query_ns,
+    }
+}
+
+/// Emits the T9 sweep plus the T10/T11 stats as
 /// `BENCH_observability.json`.  Hand-rolled JSON: the workspace
 /// deliberately has no serde.
-fn write_bench_observability_json(rows: &[ObsRow], t10: Option<&T10Stats>) {
-    let mut out = String::from("{\n  \"experiment\": \"T9+T10\",\n");
-    out.push_str("  \"description\": \"replayed transactions per checkpoint interval; operational surface\",\n");
+fn write_bench_observability_json(
+    rows: &[ObsRow],
+    t10: Option<&T10Stats>,
+    t11: Option<&T11Stats>,
+) {
+    let mut out = String::from("{\n  \"experiment\": \"T9+T10+T11\",\n");
+    out.push_str("  \"description\": \"replayed transactions per checkpoint interval; operational surface; temporal introspection\",\n");
     out.push_str("  \"source\": \"engine metrics registry + embedded HTTP exporter\",\n");
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -938,6 +1063,13 @@ fn write_bench_observability_json(rows: &[ObsRow], t10: Option<&T10Stats>) {
             t.scrape_p99_ns,
             t.statements,
             t.slowlog_disabled_overhead_ratio
+        ));
+    }
+    if let Some(t) = t11 {
+        out.push_str(&format!(
+            ",\n  \"t11\": {{\"iters\": {}, \"sampler_overhead_ratio\": {:.4}, \
+             \"samples_taken\": {}, \"telemetry_query_ns\": {}}}",
+            t.iters, t.sampler_overhead_ratio, t.samples_taken, t.telemetry_query_ns
         ));
     }
     out.push_str("\n}\n");

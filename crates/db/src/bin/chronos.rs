@@ -22,6 +22,10 @@
 //!                          WAL is replayed.
 //! --slow-threshold-ns N    capture statements slower than N ns in the
 //!                          slow-query log (0 captures everything)
+//! --sample-interval-ms N   start the background stats sampler: every
+//!                          N ms a snapshot of the engine counters is
+//!                          appended to the `sys$stats` system relation
+//!                          (queryable in TQuel, served at /history)
 //! --get ADDR PATH          one-shot mode: HTTP GET PATH from a running
 //!                          exporter at ADDR, print status + body, exit
 //! --check-jsonl FILE       one-shot mode: validate FILE as JSONL
@@ -37,6 +41,8 @@
 //! \advance mm/dd/yy  move the clock forward (great for replaying the paper)
 //! \stats             engine counters (Prometheus text exposition)
 //! \slow              the slow-query log (captured profiles)
+//! \sample            take one telemetry sample now (into sys$stats)
+//! \top               top operators by time over the recent span ring
 //! \obs PATH          GET PATH from this process's own exporter
 //! \q                 quit
 //! ```
@@ -60,6 +66,7 @@ struct Args {
     batch: bool,
     obs_addr: Option<String>,
     slow_threshold_ns: Option<u64>,
+    sample_interval_ms: Option<u64>,
 }
 
 impl Args {
@@ -69,6 +76,7 @@ impl Args {
             batch: false,
             obs_addr: None,
             slow_threshold_ns: None,
+            sample_interval_ms: None,
         };
         let mut it = argv.iter();
         while let Some(arg) = it.next() {
@@ -84,6 +92,16 @@ impl Args {
                         .parse()
                         .map_err(|_| format!("bad --slow-threshold-ns value {n:?}"))?;
                     args.slow_threshold_ns = Some(n);
+                }
+                "--sample-interval-ms" => {
+                    let n = it.next().ok_or("--sample-interval-ms takes a number")?;
+                    let n: u64 = n
+                        .parse()
+                        .map_err(|_| format!("bad --sample-interval-ms value {n:?}"))?;
+                    if n == 0 {
+                        return Err("--sample-interval-ms must be positive".into());
+                    }
+                    args.sample_interval_ms = Some(n);
                 }
                 "--get" => {
                     let addr = it.next().ok_or("--get takes ADDR PATH")?;
@@ -138,7 +156,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: chronos [--batch] [--obs-addr ADDR] [--slow-threshold-ns N] [dir]"
+                "usage: chronos [--batch] [--obs-addr ADDR] [--slow-threshold-ns N] [--sample-interval-ms N] [dir]"
             );
             eprintln!("       chronos --get ADDR PATH");
             eprintln!("       chronos --check-jsonl FILE");
@@ -202,6 +220,15 @@ fn main() {
     if let Some(ns) = args.slow_threshold_ns {
         db.set_slow_query_threshold_ns(ns);
     }
+    if let Some(ms) = args.sample_interval_ms {
+        match db.start_stats_sampler(std::time::Duration::from_millis(ms)) {
+            Ok(()) => eprintln!("stats sampler running every {ms}ms (retrieve from sys$stats)"),
+            Err(e) => {
+                eprintln!("cannot start stats sampler: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!(
         "clock at {} — use \\advance mm/dd/yy to move it (today is {})",
         chronos_core::calendar::Date::from_chronon(db.now()),
@@ -237,6 +264,9 @@ fn main() {
                         let stored = db.relation(&name).expect("cataloged").stored_tuples();
                         println!("  {name}  [{class}]  {stored} stored tuples");
                     }
+                    for name in chronos_db::system_relation_names() {
+                        println!("  {name}  [system, read-only]");
+                    }
                 }
                 Some("\\now") => {
                     println!("  {}", chronos_core::calendar::Date::from_chronon(
@@ -260,6 +290,16 @@ fn main() {
                 Some("\\slow") => {
                     print!("{}", session.database().recorder().slowlog().render());
                 }
+                Some("\\sample") => {
+                    let at = session.database().sample_now();
+                    println!(
+                        "  sampled at {} (retrieve from sys$stats)",
+                        chronos_core::calendar::Date::from_chronon(at)
+                    );
+                }
+                Some("\\top") => {
+                    print!("{}", render_top(session.database().recorder().recent_events()));
+                }
                 Some("\\obs") => match (&obs_server, parts.next()) {
                     (Some(server), Some(path)) => {
                         match chronos_obs::http_get(&server.addr().to_string(), path) {
@@ -273,7 +313,7 @@ fn main() {
                     (None, _) => eprintln!("  no exporter (start with --obs-addr ADDR)"),
                     (_, None) => eprintln!("usage: \\obs /healthz"),
                 },
-                Some(other) => eprintln!("unknown command {other} (try \\d, \\now, \\advance, \\checkpoint, \\stats, \\slow, \\obs, \\q)"),
+                Some(other) => eprintln!("unknown command {other} (try \\d, \\now, \\advance, \\checkpoint, \\stats, \\slow, \\sample, \\top, \\obs, \\q)"),
                 None => {}
             }
         } else if trimmed.is_empty() {
@@ -295,6 +335,33 @@ fn main() {
     }
     drop(session);
     drop(obs_server); // joins the accept thread
+}
+
+/// Aggregates the recorder's span ring into a "top operators" table:
+/// one row per span name with call count and accumulated wall time,
+/// hottest first.
+fn render_top(events: Vec<chronos_obs::RingEvent>) -> String {
+    if events.is_empty() {
+        return "  (no spans recorded yet — run some statements)\n".to_string();
+    }
+    let mut by_name: Vec<(&'static str, u64, u64)> = Vec::new();
+    for ev in &events {
+        match by_name.iter_mut().find(|(name, ..)| *name == ev.name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += ev.duration_ns;
+            }
+            None => by_name.push((ev.name, 1, ev.duration_ns)),
+        }
+    }
+    by_name.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    let mut out = format!("  top operators over the last {} span(s):\n", events.len());
+    for (name, count, total_ns) in by_name {
+        out.push_str(&format!(
+            "  {total_ns:>12} ns  {count:>6} call(s)  {name}\n"
+        ));
+    }
+    out
 }
 
 fn execute(session: &mut chronos_db::Session<'_>, src: &str) {

@@ -21,7 +21,7 @@ use chronos_core::relation::HistoricalOp;
 use chronos_core::schema::{RelationClass, Schema, TemporalSignature};
 use chronos_core::taxonomy::DatabaseClass;
 use chronos_obs::export::{Health, ObsServer};
-use chronos_obs::{EventJournal, MetricsSnapshot, Recorder};
+use chronos_obs::{EventJournal, JournalStats, MetricsSnapshot, Recorder};
 use chronos_storage::txn::TxnManager;
 use chronos_storage::wal::{Wal, WalRecord};
 use chronos_tquel::provider::{AsOfSpec, RelationInfo, RelationProvider, SourceRow};
@@ -30,6 +30,9 @@ use chronos_tquel::TquelError;
 use crate::cache::{QueryCache, CacheStats, DEFAULT_CACHE_CAPACITY};
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
+use crate::introspect::{
+    is_system, system_info, CatalogRow, StatsSampler, TelemetryStats, TelemetryStore,
+};
 use crate::observe::{DbObsSource, ObsBootstrap};
 use crate::relation::Relation;
 use crate::session::Session;
@@ -50,22 +53,35 @@ pub struct Database {
     recorder: Arc<Recorder>,
     /// Readiness flags served by `/healthz` + `/readyz`.
     health: Arc<Health>,
+    /// The clock behind the transaction manager, kept for the sampler
+    /// (the manager owns its own handle privately).
+    clock: Arc<dyn Clock>,
+    /// Sample rings backing the `sys$stats` / `sys$relations` system
+    /// relations; `Arc`-shared with the sampler and the HTTP exporter.
+    telemetry: Arc<TelemetryStore>,
+    /// The background stats sampler, when started.
+    sampler: Option<StatsSampler>,
 }
 
 impl Database {
     /// Creates a volatile in-memory database.
     pub fn in_memory(clock: Arc<dyn Clock>) -> Database {
-        Database {
+        let db = Database {
             catalog: Catalog::new(),
             relations: HashMap::new(),
-            txn: TxnManager::new(clock),
+            txn: TxnManager::new(Arc::clone(&clock)),
             dir: None,
             wal: None,
             cache: Arc::new(Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY))),
             recorder: Arc::new(Recorder::new()),
             // Nothing to recover: ready from the first instant.
             health: Arc::new(Health::ready_now()),
-        }
+            clock,
+            telemetry: Arc::new(TelemetryStore::default()),
+            sampler: None,
+        };
+        db.record_catalog_sample(db.txn.peek_now());
+        db
     }
 
     /// Opens (creating if needed) a durable database in `dir`: loads the
@@ -158,16 +174,24 @@ impl Database {
         }
         let mut wal = Wal::open(&wal_path)?;
         wal.set_recorder(Arc::clone(&recorder));
-        Ok(Database {
+        let telemetry = Arc::clone(&obs.telemetry);
+        // Evicted telemetry samples spill beside the WAL.
+        telemetry.set_spill_path(dir.join("telemetry.spill.jsonl"));
+        let db = Database {
             catalog,
             relations,
-            txn: TxnManager::resuming_after(clock, last_commit),
+            txn: TxnManager::resuming_after(Arc::clone(&clock), last_commit),
             dir: Some(dir.to_path_buf()),
             wal: Some(wal),
             cache: Arc::clone(&obs.cache),
             recorder,
             health: Arc::clone(&obs.health),
-        })
+            clock,
+            telemetry,
+            sampler: None,
+        };
+        db.record_catalog_sample(db.txn.peek_now());
+        Ok(db)
     }
 
     /// Checkpoints the database: writes the complete physical state of
@@ -228,6 +252,7 @@ impl Database {
         class: RelationClass,
         signature: TemporalSignature,
     ) -> DbResult<()> {
+        Self::reject_system_write(name)?;
         self.catalog
             .define(name, schema.clone(), class, signature)
             .map_err(DbError::Catalog)?;
@@ -236,17 +261,30 @@ impl Database {
         self.relations.insert(name.to_string(), rel);
         self.bump_epoch(name, "create");
         self.persist_catalog()?;
+        self.record_catalog_sample(self.txn.peek_now());
         Ok(())
     }
 
     /// Drops a relation and its store.
     pub fn destroy_relation(&mut self, name: &str) -> DbResult<()> {
+        Self::reject_system_write(name)?;
         if self.catalog.remove(name).is_none() {
             return Err(DbError::Catalog(format!("unknown relation {name:?}")));
         }
         self.relations.remove(name);
         self.bump_epoch(name, "destroy");
         self.persist_catalog()?;
+        self.record_catalog_sample(self.txn.peek_now());
+        Ok(())
+    }
+
+    /// The `sys$` namespace is reserved: every write path refuses it.
+    fn reject_system_write(name: &str) -> DbResult<()> {
+        if is_system(name) {
+            return Err(DbError::Capability(format!(
+                "{name:?} is in the reserved sys$ namespace: system relations are read-only"
+            )));
+        }
         Ok(())
     }
 
@@ -291,6 +329,7 @@ impl Database {
         span.detail(relation.to_string());
         span.rows_in(ops.len() as u64);
         let started = std::time::Instant::now();
+        Self::reject_system_write(relation)?;
         if ops.is_empty() {
             return Err(DbError::Catalog("empty transaction".into()));
         }
@@ -321,6 +360,10 @@ impl Database {
         self.bump_epoch(relation, "commit");
         recorder.count(|m| &m.commits);
         recorder.record_latency(|m| &m.commit_latency, started.elapsed().as_nanos() as u64);
+        // Commits are the only points where tuple counts change, so a
+        // synchronous catalog sample at the commit time makes the
+        // `sys$relations` rollback view exact.
+        self.record_catalog_sample(tx_time);
         Ok(tx_time)
     }
 
@@ -335,7 +378,7 @@ impl Database {
     /// surface (the former `cache_stats` accessor is gone; read the
     /// `cache` section here instead).
     pub fn engine_stats(&self) -> EngineStats {
-        crate::observe::engine_stats_from(&self.recorder, &self.cache)
+        crate::observe::engine_stats_from(&self.recorder, &self.cache, &self.telemetry)
     }
 
     /// The database's readiness flags (`/healthz` + `/readyz`).
@@ -355,6 +398,7 @@ impl Database {
                 recorder: Arc::clone(&self.recorder),
                 health: Arc::clone(&self.health),
                 cache: Arc::clone(&self.cache),
+                telemetry: Arc::clone(&self.telemetry),
             }),
         )
     }
@@ -386,6 +430,7 @@ impl Database {
         result: &chronos_tquel::exec::ResultRelation,
     ) -> DbResult<()> {
         use chronos_core::relation::temporal::BitemporalRow;
+        Self::reject_system_write(name)?;
         let class = match result.kind {
             DatabaseClass::Static => RelationClass::Static,
             DatabaseClass::StaticRollback => RelationClass::StaticRollback,
@@ -473,6 +518,7 @@ impl Database {
         if self.is_durable() {
             self.checkpoint()?;
         }
+        self.record_catalog_sample(self.txn.peek_now());
         Ok(())
     }
 
@@ -480,10 +526,189 @@ impl Database {
     pub fn session(&mut self) -> Session<'_> {
         Session::new(self)
     }
+
+    // -----------------------------------------------------------------
+    // Temporal introspection (the `sys$` system relations)
+    // -----------------------------------------------------------------
+
+    /// The telemetry store backing `sys$stats` / `sys$relations`.
+    pub fn telemetry(&self) -> &Arc<TelemetryStore> {
+        &self.telemetry
+    }
+
+    /// Takes one stats + catalog sample right now, at the transaction
+    /// time the next commit would receive.  Returns that chronon.  The
+    /// deterministic counterpart of the background sampler (tests and
+    /// the CLI's `\sample` drive this).
+    pub fn sample_now(&self) -> Chronon {
+        let at = self.txn.peek_now();
+        let stats = self.engine_stats();
+        self.telemetry.record_stats(at, &stats);
+        self.record_catalog_sample(at);
+        at
+    }
+
+    /// Records the catalog's current shape into the telemetry store at
+    /// transaction time `at`.
+    fn record_catalog_sample(&self, at: Chronon) {
+        let rows: Vec<CatalogRow> = self
+            .catalog
+            .iter()
+            .map(|(name, entry)| {
+                let rel = self.relations.get(name).expect("catalog and stores in sync");
+                CatalogRow {
+                    name: name.clone(),
+                    class: entry.class.to_string(),
+                    tuples: rel.stored_tuples() as i64,
+                    bytes: relation_bytes(rel) as i64,
+                    checkpoint_k: relation_checkpoint_k(rel) as i64,
+                }
+            })
+            .collect();
+        self.telemetry.record_catalog(at, rows);
+    }
+
+    /// Starts the background stats sampler on `interval`.  Restarting
+    /// replaces (and joins) a previous sampler.  The lifecycle is
+    /// journaled and visible in `/readyz` as `sampler_running`.
+    pub fn start_stats_sampler(&mut self, interval: std::time::Duration) -> std::io::Result<()> {
+        self.stop_stats_sampler();
+        let sampler = StatsSampler::start(
+            interval,
+            Arc::clone(&self.recorder),
+            Arc::clone(&self.health),
+            Arc::clone(&self.cache),
+            Arc::clone(&self.telemetry),
+            Arc::clone(&self.clock),
+        )?;
+        self.sampler = Some(sampler);
+        Ok(())
+    }
+
+    /// Stops (and joins) the background sampler, if running.
+    pub fn stop_stats_sampler(&mut self) {
+        if let Some(sampler) = self.sampler.take() {
+            sampler.stop();
+        }
+    }
+
+    /// True while the background sampler thread is alive.
+    pub fn sampler_running(&self) -> bool {
+        self.telemetry.sampler_running()
+    }
+
+    /// Scan of one system relation.  System scans bypass the query
+    /// cache: telemetry is volatile and never bumps relation epochs, so
+    /// a cached entry would serve stale history.
+    fn scan_system(
+        &self,
+        relation: &str,
+        as_of: Option<&AsOfSpec>,
+    ) -> Result<Arc<Vec<SourceRow>>, TquelError> {
+        let span = self.recorder.span("db/scan");
+        span.detail(format!("{relation} (system)"));
+        let rows = match relation {
+            "sys$stats" => self.telemetry.stats_scan(as_of),
+            "sys$relations" => self.telemetry.catalog_scan(as_of),
+            "sys$slow" => {
+                reject_system_as_of(relation, as_of)?;
+                self.recorder
+                    .slowlog()
+                    .entries()
+                    .iter()
+                    .map(|e| SourceRow {
+                        tuple: chronos_core::tuple::Tuple::new(vec![
+                            chronos_core::value::Value::Int(e.seq as i64),
+                            chronos_core::value::Value::Int(
+                                e.duration_ns.min(i64::MAX as u64) as i64
+                            ),
+                            chronos_core::value::Value::str(&e.statement),
+                        ]),
+                        validity: Some(chronos_core::relation::Validity::Event(Chronon::new(
+                            e.at_tick,
+                        ))),
+                        tx: None,
+                    })
+                    .collect()
+            }
+            "sys$events" => {
+                reject_system_as_of(relation, as_of)?;
+                match self.recorder.journal() {
+                    Some(journal) => journal
+                        .tail_lines(chronos_obs::export::DEFAULT_EVENTS_TAIL)
+                        .iter()
+                        .filter_map(|line| chronos_obs::parse_event_summary(line))
+                        .map(|(seq, ts_ns, event)| SourceRow {
+                            tuple: chronos_core::tuple::Tuple::new(vec![
+                                chronos_core::value::Value::Int(seq.min(i64::MAX as u64) as i64),
+                                chronos_core::value::Value::Int(
+                                    ts_ns.min(i64::MAX as u64) as i64
+                                ),
+                                chronos_core::value::Value::str(&event),
+                            ]),
+                            validity: None,
+                            tx: None,
+                        })
+                        .collect(),
+                    None => Vec::new(),
+                }
+            }
+            other => {
+                return Err(TquelError::Semantic(format!(
+                    "unknown relation {other:?}"
+                )))
+            }
+        };
+        span.rows_out(rows.len() as u64);
+        Ok(Arc::new(rows))
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        self.stop_stats_sampler();
+    }
+}
+
+/// Rough resident size of a relation's store in bytes: exact heap pages
+/// for temporal relations, a tuple-count estimate otherwise.
+fn relation_bytes(rel: &Relation) -> u64 {
+    match rel {
+        Relation::Temporal(r) => {
+            r.heap_pages() as u64 * chronos_storage::page::PAGE_SIZE as u64
+        }
+        other => other.stored_tuples() as u64 * 64,
+    }
+}
+
+/// Checkpoint interval K of a relation's accelerator, 0 when it has
+/// none.
+fn relation_checkpoint_k(rel: &Relation) -> usize {
+    match rel {
+        Relation::Temporal(r) => r.checkpoint_interval(),
+        Relation::Rollback(r) if r.is_accelerated() => {
+            crate::relation::ROLLBACK_CHECKPOINT_INTERVAL
+        }
+        _ => 0,
+    }
+}
+
+/// The analyzer already rejects `as of` over relations without
+/// transaction time; this backstop keeps direct provider calls honest.
+fn reject_system_as_of(relation: &str, as_of: Option<&AsOfSpec>) -> Result<(), TquelError> {
+    if as_of.is_some() {
+        return Err(TquelError::Semantic(format!(
+            "{relation} has no transaction time: rollback (as of) does not apply"
+        )));
+    }
+    Ok(())
 }
 
 impl RelationProvider for Database {
     fn info(&self, relation: &str) -> Option<RelationInfo> {
+        if is_system(relation) {
+            return system_info(relation);
+        }
         self.catalog.get(relation).map(|e| RelationInfo {
             schema: e.schema.clone(),
             class: e.class,
@@ -496,6 +721,9 @@ impl RelationProvider for Database {
         relation: &str,
         as_of: Option<&AsOfSpec>,
     ) -> Result<Arc<Vec<SourceRow>>, TquelError> {
+        if is_system(relation) {
+            return self.scan_system(relation, as_of);
+        }
         let span = self.recorder.span("db/scan");
         let cached = {
             let mut cache = self.cache.lock();
@@ -550,6 +778,11 @@ pub struct EngineStats {
     pub cache: CacheStats,
     /// Live query-cache entries right now.
     pub cache_entries: usize,
+    /// Event-journal counters (seq, rotations, retention); `None` for
+    /// in-memory databases, which have no journal.
+    pub journal: Option<JournalStats>,
+    /// Telemetry-subsystem counters (samples, spill, sampler state).
+    pub telemetry: TelemetryStats,
 }
 
 impl EngineStats {
@@ -559,19 +792,24 @@ impl EngineStats {
         format!(
             "{{\"metrics\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \
              \"invalidations\": {}, \"evictions\": {}, \"epoch_bumps\": {}, \
-             \"entries\": {}}}}}",
+             \"entries\": {}}}, \"journal\": {}, \"telemetry\": {}}}",
             self.metrics.to_json(),
             self.cache.hits,
             self.cache.misses,
             self.cache.invalidations,
             self.cache.evictions,
             self.cache.epoch_bumps,
-            self.cache_entries
+            self.cache_entries,
+            match &self.journal {
+                Some(j) => j.to_json(),
+                None => "null".to_string(),
+            },
+            self.telemetry.to_json()
         )
     }
 
     /// Prometheus text exposition: the registry families plus
-    /// `chronos_query_cache_*` gauges for the cache section.
+    /// `chronos_query_cache_*`, journal, and telemetry gauges.
     pub fn to_prometheus(&self) -> String {
         let mut out = self.metrics.to_prometheus();
         for (name, v) in [
@@ -581,6 +819,30 @@ impl EngineStats {
             ("query_cache_evictions", self.cache.evictions),
             ("query_cache_epoch_bumps", self.cache.epoch_bumps),
             ("query_cache_entries", self.cache_entries as u64),
+        ] {
+            out.push_str(&format!(
+                "# TYPE chronos_{name} gauge\nchronos_{name} {v}\n"
+            ));
+        }
+        if let Some(j) = &self.journal {
+            for (name, v) in [
+                ("journal_seq", j.seq),
+                ("journal_rotations", j.rotations),
+                ("journal_generations", j.generations as u64),
+            ] {
+                out.push_str(&format!(
+                    "# TYPE chronos_{name} gauge\nchronos_{name} {v}\n"
+                ));
+            }
+        }
+        for (name, v) in [
+            ("telemetry_samples_taken", self.telemetry.samples_taken),
+            ("telemetry_samples_spilled", self.telemetry.samples_spilled),
+            ("telemetry_stats_retained", self.telemetry.stats_retained as u64),
+            (
+                "telemetry_sampler_running",
+                u64::from(self.telemetry.sampler_running),
+            ),
         ] {
             out.push_str(&format!(
                 "# TYPE chronos_{name} gauge\nchronos_{name} {v}\n"

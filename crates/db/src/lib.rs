@@ -28,11 +28,15 @@ pub mod catalog;
 pub mod checkpoint;
 pub mod database;
 pub mod error;
+pub mod introspect;
 pub mod observe;
 pub mod relation;
 pub mod session;
 
 pub use database::{Database, EngineStats};
+pub use introspect::{
+    is_system, system_relation_names, TelemetryStats, TelemetryStore, SYS_PREFIX,
+};
 pub use observe::ObsBootstrap;
 pub use error::{DbError, DbResult};
 pub use session::{ExecOutcome, Session};

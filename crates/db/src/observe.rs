@@ -25,6 +25,7 @@ use chronos_obs::Recorder;
 
 use crate::cache::{QueryCache, DEFAULT_CACHE_CAPACITY};
 use crate::database::EngineStats;
+use crate::introspect::TelemetryStore;
 
 /// Pre-created engine handles shared between a [`Database`] and the
 /// exporter serving it.
@@ -34,6 +35,7 @@ pub struct ObsBootstrap {
     pub(crate) recorder: Arc<Recorder>,
     pub(crate) health: Arc<Health>,
     pub(crate) cache: Arc<Mutex<QueryCache>>,
+    pub(crate) telemetry: Arc<TelemetryStore>,
 }
 
 impl Default for ObsBootstrap {
@@ -49,6 +51,7 @@ impl ObsBootstrap {
             recorder: Arc::new(Recorder::new()),
             health: Arc::new(Health::starting()),
             cache: Arc::new(Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY))),
+            telemetry: Arc::new(TelemetryStore::default()),
         }
     }
 
@@ -62,6 +65,11 @@ impl ObsBootstrap {
         &self.recorder
     }
 
+    /// The shared telemetry store (`sys$stats` samples, `/history`).
+    pub fn telemetry(&self) -> &Arc<TelemetryStore> {
+        &self.telemetry
+    }
+
     /// Starts the HTTP exporter over these handles.  Endpoints answer
     /// immediately; `/healthz` stays 503 until a database opened with
     /// this bootstrap finishes recovery.
@@ -72,6 +80,7 @@ impl ObsBootstrap {
                 recorder: Arc::clone(&self.recorder),
                 health: Arc::clone(&self.health),
                 cache: Arc::clone(&self.cache),
+                telemetry: Arc::clone(&self.telemetry),
             }),
         )
     }
@@ -83,19 +92,54 @@ pub(crate) struct DbObsSource {
     pub(crate) recorder: Arc<Recorder>,
     pub(crate) health: Arc<Health>,
     pub(crate) cache: Arc<Mutex<QueryCache>>,
+    pub(crate) telemetry: Arc<TelemetryStore>,
 }
 
 impl ObsSource for DbObsSource {
     fn prometheus(&self) -> String {
-        engine_stats_from(&self.recorder, &self.cache).to_prometheus()
+        engine_stats_from(&self.recorder, &self.cache, &self.telemetry).to_prometheus()
     }
 
     fn stats_json(&self) -> String {
-        engine_stats_from(&self.recorder, &self.cache).to_json()
+        engine_stats_from(&self.recorder, &self.cache, &self.telemetry).to_json()
     }
 
     fn slow_json(&self) -> String {
         self.recorder.slowlog().to_json()
+    }
+
+    fn events_json(&self, n: usize) -> String {
+        match self.recorder.journal() {
+            Some(journal) => {
+                // Each tail line is already one well-formed JSON object.
+                let lines = journal.tail_lines(n);
+                let mut out = String::from("{\"events\": [");
+                for (i, line) in lines.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(line.trim());
+                }
+                out.push_str("]}");
+                out
+            }
+            None => "{\"events\": []}".to_string(),
+        }
+    }
+
+    fn history_json(&self, metric: &str, n: usize) -> String {
+        let mut out = format!(
+            "{{\"metric\": \"{}\", \"samples\": [",
+            chronos_obs::events::escape_json(metric)
+        );
+        for (i, (at, value)) in self.telemetry.history(metric, n).iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{{\"at\": {}, \"value\": {value}}}", at.ticks()));
+        }
+        out.push_str("]}");
+        out
     }
 
     fn health(&self) -> &Health {
@@ -108,11 +152,14 @@ impl ObsSource for DbObsSource {
 pub(crate) fn engine_stats_from(
     recorder: &Recorder,
     cache: &Mutex<QueryCache>,
+    telemetry: &TelemetryStore,
 ) -> EngineStats {
     let cache = cache.lock();
     EngineStats {
         metrics: recorder.snapshot(),
         cache: cache.stats(),
         cache_entries: cache.len(),
+        journal: recorder.journal().map(|j| j.stats()),
+        telemetry: telemetry.stats(),
     }
 }

@@ -133,7 +133,10 @@ impl<'a> Session<'a> {
     pub fn execute(&mut self, stmt: &Statement) -> DbResult<ExecOutcome> {
         match stmt {
             Statement::RangeDecl { var, relation } => {
-                if self.db.relation(relation).is_none() {
+                // Resolve through the provider so `sys$` system relations
+                // (catalog-less) are rangeable just like stored ones.
+                use chronos_tquel::provider::RelationProvider as _;
+                if self.db.info(relation).is_none() {
                     return Err(DbError::Catalog(format!("unknown relation {relation:?}")));
                 }
                 self.ranges.insert(var.clone(), relation.clone());
@@ -244,6 +247,7 @@ impl<'a> Session<'a> {
                     statement.clone(),
                     elapsed_ns,
                     report.render(true),
+                    self.db.now().ticks(),
                 );
                 recorder.emit_event(
                     "slow_query",
@@ -330,6 +334,7 @@ impl<'a> Session<'a> {
 
     fn delete(&mut self, var: &str, where_clause: Option<&WhereExpr>) -> DbResult<ExecOutcome> {
         let relation = self.resolve_var(var)?;
+        reject_system_modification(&relation)?;
         let info = self.info(&relation)?;
         let pred = self.lower_where(where_clause, var, &info)?;
         let now = self.db.now();
@@ -388,6 +393,7 @@ impl<'a> Session<'a> {
         where_clause: Option<&WhereExpr>,
     ) -> DbResult<ExecOutcome> {
         let relation = self.resolve_var(var)?;
+        reject_system_modification(&relation)?;
         let info = self.info(&relation)?;
         let pred = self.lower_where(where_clause, var, &info)?;
         let rows = self.db.relation(&relation).expect("resolved").scan(None)?;
@@ -556,6 +562,17 @@ impl<'a> Session<'a> {
             },
         }
     }
+}
+
+/// System relations are projections of engine state; TQuel
+/// modifications cannot target them.
+fn reject_system_modification(relation: &str) -> DbResult<()> {
+    if crate::introspect::is_system(relation) {
+        return Err(DbError::Capability(format!(
+            "cannot modify {relation:?}: system relations are read-only"
+        )));
+    }
+    Ok(())
 }
 
 /// A short label for the root span of a monitored statement.

@@ -16,9 +16,12 @@
 //!   absent — the engine's own notion of time is the transaction clock,
 //!   and a monotonic offset cannot run backwards under NTP steps.
 //! * Rotation is by size: when appending a line would push the file past
-//!   `max_bytes`, the current file is renamed to `<path>.1` (replacing
-//!   any previous rotation) and a fresh file is started.  At most two
-//!   generations exist, bounding disk use at ~`2 × max_bytes`.
+//!   `max_bytes`, older generations shift (`.1` → `.2`, …), the current
+//!   file is renamed to `<path>.1`, and a fresh file is started.  The
+//!   number of retained generations is configurable (default one), so
+//!   disk use is bounded at ~`(generations + 1) × max_bytes`.  Each
+//!   rotation writes a `journal_rotate` event as the first line of the
+//!   fresh file.
 //!
 //! The workspace has no serde; encoding is hand-rolled here and checked
 //! by the [`validate_json`] well-formedness validator (also used by the
@@ -32,6 +35,9 @@ use std::time::Instant;
 
 /// Default rotation threshold: 4 MiB per generation.
 pub const DEFAULT_JOURNAL_MAX_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Default number of rotated generations kept on disk (`<path>.1`).
+pub const DEFAULT_JOURNAL_GENERATIONS: usize = 1;
 
 /// A field value in a journal event.
 #[derive(Debug, Clone)]
@@ -109,12 +115,38 @@ struct JournalInner {
     file: File,
     seq: u64,
     bytes: u64,
+    rotations: u64,
+}
+
+/// Point-in-time counters of an [`EventJournal`], surfaced through
+/// `engine_stats()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Admission numbers handed out so far.
+    pub seq: u64,
+    /// Rotations performed since the journal was opened.
+    pub rotations: u64,
+    /// Rotated generations retained on disk (`.1`..`.k`).
+    pub generations: usize,
+    /// Per-generation size threshold in bytes.
+    pub max_bytes: u64,
+}
+
+impl JournalStats {
+    /// Hand-rolled JSON object (the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\": {}, \"rotations\": {}, \"generations\": {}, \"max_bytes\": {}}}",
+            self.seq, self.rotations, self.generations, self.max_bytes
+        )
+    }
 }
 
 /// Append-only JSONL journal of engine lifecycle events.
 pub struct EventJournal {
     path: PathBuf,
     max_bytes: u64,
+    generations: usize,
     origin: Instant,
     inner: Mutex<JournalInner>,
 }
@@ -128,24 +160,43 @@ impl EventJournal {
 
     /// Opens the journal, rotating once the file exceeds `max_bytes`.
     pub fn open_with_max(path: &Path, max_bytes: u64) -> std::io::Result<EventJournal> {
+        Self::open_with_retention(path, max_bytes, DEFAULT_JOURNAL_GENERATIONS)
+    }
+
+    /// Opens the journal with an explicit rotation threshold and number
+    /// of rotated generations to retain (`<path>.1` .. `<path>.k`).
+    pub fn open_with_retention(
+        path: &Path,
+        max_bytes: u64,
+        generations: usize,
+    ) -> std::io::Result<EventJournal> {
         let file = OpenOptions::new().append(true).create(true).open(path)?;
         let bytes = file.metadata()?.len();
         Ok(EventJournal {
             path: path.to_path_buf(),
             max_bytes: max_bytes.max(1),
+            generations: generations.max(1),
             origin: Instant::now(),
             inner: Mutex::new(JournalInner {
                 file,
                 seq: 0,
                 bytes,
+                rotations: 0,
             }),
         })
     }
 
-    /// The journal's live file path (`<path>.1` is the rotated
-    /// generation).
+    /// The journal's live file path (`<path>.1` .. `<path>.k` are the
+    /// rotated generations, `.1` newest).
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Path of rotated generation `i` (1-based).
+    fn generation_path(&self, i: usize) -> PathBuf {
+        let mut rotated = self.path.as_os_str().to_owned();
+        rotated.push(format!(".{i}"));
+        PathBuf::from(rotated)
     }
 
     /// Admission numbers handed out so far.
@@ -153,14 +204,19 @@ impl EventJournal {
         self.inner.lock().unwrap().seq
     }
 
-    /// Appends one event line.  Write errors are swallowed: journaling
-    /// is diagnostic, never a reason to fail the engine operation that
-    /// emitted the event.
-    pub fn emit(&self, event: &str, fields: &[(&str, EventValue)]) {
-        let ts_ns = self.origin.elapsed().as_nanos() as u64;
-        let mut inner = self.inner.lock().unwrap();
-        let seq = inner.seq;
-        inner.seq += 1;
+    /// Snapshot of the journal's counters and configuration.
+    pub fn stats(&self) -> JournalStats {
+        let inner = self.inner.lock().unwrap();
+        JournalStats {
+            seq: inner.seq,
+            rotations: inner.rotations,
+            generations: self.generations,
+            max_bytes: self.max_bytes,
+        }
+    }
+
+    /// Composes one JSONL line (without allocating a sequence number).
+    fn compose(seq: u64, ts_ns: u64, event: &str, fields: &[(&str, EventValue)]) -> String {
         let mut line = String::with_capacity(96);
         line.push_str(&format!(
             "{{\"seq\": {seq}, \"ts_ns\": {ts_ns}, \"event\": \"{}\"",
@@ -171,22 +227,60 @@ impl EventJournal {
             value.write_json(&mut line);
         }
         line.push_str("}\n");
-        if inner.bytes > 0
-            && inner.bytes + line.len() as u64 > self.max_bytes
-            && self.rotate(&mut inner).is_err()
-        {
-            return;
-        }
+        line
+    }
+
+    /// Allocates the next seq and writes `line` (already composed with
+    /// that seq).  Write errors are swallowed.
+    fn write_line(inner: &mut JournalInner, line: &str) {
+        inner.seq += 1;
         if inner.file.write_all(line.as_bytes()).is_ok() {
             inner.bytes += line.len() as u64;
         }
     }
 
-    /// Renames the live file to `<path>.1` and starts a fresh one.
+    /// Appends one event line.  Write errors are swallowed: journaling
+    /// is diagnostic, never a reason to fail the engine operation that
+    /// emitted the event.
+    pub fn emit(&self, event: &str, fields: &[(&str, EventValue)]) {
+        let ts_ns = self.origin.elapsed().as_nanos() as u64;
+        let mut inner = self.inner.lock().unwrap();
+        let line = Self::compose(inner.seq, ts_ns, event, fields);
+        if inner.bytes > 0 && inner.bytes + line.len() as u64 > self.max_bytes {
+            // The rotation decision precedes seq allocation so the
+            // `journal_rotate` marker lands first in the fresh file
+            // with a lower seq than the event that triggered it.
+            if self.rotate(&mut inner).is_err() {
+                return;
+            }
+            inner.rotations += 1;
+            let rot = Self::compose(
+                inner.seq,
+                ts_ns,
+                "journal_rotate",
+                &[
+                    ("rotations", inner.rotations.into()),
+                    ("generations", self.generations.into()),
+                ],
+            );
+            Self::write_line(&mut inner, &rot);
+            let line = Self::compose(inner.seq, ts_ns, event, fields);
+            Self::write_line(&mut inner, &line);
+        } else {
+            Self::write_line(&mut inner, &line);
+        }
+    }
+
+    /// Shifts rotated generations (`.i` → `.i+1`, dropping the oldest),
+    /// renames the live file to `<path>.1`, and starts a fresh one.
     fn rotate(&self, inner: &mut JournalInner) -> std::io::Result<()> {
-        let mut rotated = self.path.as_os_str().to_owned();
-        rotated.push(".1");
-        std::fs::rename(&self.path, PathBuf::from(rotated))?;
+        for i in (1..self.generations).rev() {
+            let from = self.generation_path(i);
+            if from.exists() {
+                std::fs::rename(&from, self.generation_path(i + 1))?;
+            }
+        }
+        std::fs::rename(&self.path, self.generation_path(1))?;
         inner.file = OpenOptions::new()
             .append(true)
             .create(true)
@@ -194,6 +288,46 @@ impl EventJournal {
         inner.bytes = 0;
         Ok(())
     }
+
+    /// Last `n` journal lines across all retained generations, oldest
+    /// first.  Holds the journal lock so a concurrent rotation cannot
+    /// tear the read.
+    pub fn tail_lines(&self, n: usize) -> Vec<String> {
+        let _inner = self.inner.lock().unwrap();
+        let mut lines: Vec<String> = Vec::new();
+        for i in (1..=self.generations).rev() {
+            if let Ok(text) = std::fs::read_to_string(self.generation_path(i)) {
+                lines.extend(
+                    text.lines().filter(|l| !l.trim().is_empty()).map(str::to_string),
+                );
+            }
+        }
+        if let Ok(text) = std::fs::read_to_string(&self.path) {
+            lines.extend(text.lines().filter(|l| !l.trim().is_empty()).map(str::to_string));
+        }
+        if lines.len() > n {
+            lines.split_off(lines.len() - n)
+        } else {
+            lines
+        }
+    }
+}
+
+/// Extracts `(seq, ts_ns, event)` from the fixed prefix every journal
+/// line starts with; `None` for lines that don't carry it.  Event names
+/// are engine-chosen identifiers, so no unescaping is needed.
+pub fn parse_event_summary(line: &str) -> Option<(u64, u64, String)> {
+    fn field_u64(line: &str, key: &str) -> Option<u64> {
+        let at = line.find(key)? + key.len();
+        let digits: String = line[at..].chars().take_while(char::is_ascii_digit).collect();
+        digits.parse().ok()
+    }
+    let seq = field_u64(line, "\"seq\": ")?;
+    let ts_ns = field_u64(line, "\"ts_ns\": ")?;
+    let key = "\"event\": \"";
+    let at = line.find(key)? + key.len();
+    let end = line[at..].find('"')?;
+    Some((seq, ts_ns, line[at..at + end].to_string()))
 }
 
 impl std::fmt::Debug for EventJournal {
@@ -457,14 +591,67 @@ mod tests {
         rotated_path.push(".1");
         let rotated_path = PathBuf::from(rotated_path);
         let rotated = std::fs::read_to_string(&rotated_path).unwrap();
-        assert!(live.len() as u64 <= 256);
         validate_jsonl(&live).unwrap();
         validate_jsonl(&rotated).unwrap();
-        // seq keeps counting across the rotation boundary.
-        assert_eq!(j.seq(), 40);
+        // seq keeps counting across the rotation boundary; each
+        // rotation spends one extra seq on its journal_rotate marker.
+        let stats = j.stats();
+        assert!(stats.rotations >= 1);
+        assert_eq!(j.seq(), 40 + stats.rotations);
+        assert_eq!(stats.generations, DEFAULT_JOURNAL_GENERATIONS);
         assert!(live.contains("\"i\": 39"));
+        // The fresh file opens with the rotation marker.
+        assert!(live.starts_with("{\"seq\": "));
+        assert!(live.lines().next().unwrap().contains("\"event\": \"journal_rotate\""));
         std::fs::remove_file(&path).unwrap();
         std::fs::remove_file(&rotated_path).unwrap();
+    }
+
+    #[test]
+    fn retention_keeps_k_generations_with_global_seq() {
+        let path = temp_path("retention");
+        // Clean up any stale generation files from a previous run.
+        for i in 1..=4 {
+            let mut p = path.as_os_str().to_owned();
+            p.push(format!(".{i}"));
+            let _ = std::fs::remove_file(PathBuf::from(p));
+        }
+        let j = EventJournal::open_with_retention(&path, 128, 3).unwrap();
+        for i in 0..120 {
+            j.emit("fill", &[("i", (i as u64).into())]);
+        }
+        let gen = |i: usize| {
+            let mut p = path.as_os_str().to_owned();
+            p.push(format!(".{i}"));
+            PathBuf::from(p)
+        };
+        assert!(gen(1).exists() && gen(2).exists() && gen(3).exists());
+        assert!(!gen(4).exists(), "retention must cap at 3 generations");
+        let stats = j.stats();
+        assert!(stats.rotations > 3, "expected many rotations, got {}", stats.rotations);
+        assert_eq!(stats.generations, 3);
+        // tail_lines stitches generations oldest-first with strictly
+        // increasing seq, and the rotation markers parse.
+        let tail = j.tail_lines(50);
+        assert!(!tail.is_empty());
+        let mut last = None;
+        let mut saw_rotate = false;
+        for line in &tail {
+            let (seq, _ts, event) = parse_event_summary(line).unwrap();
+            if let Some(prev) = last {
+                assert!(seq > prev, "seq must strictly increase across generations");
+            }
+            last = Some(seq);
+            if event == "journal_rotate" {
+                saw_rotate = true;
+            }
+        }
+        assert!(saw_rotate);
+        assert_eq!(j.tail_lines(3).len(), 3);
+        std::fs::remove_file(&path).unwrap();
+        for i in 1..=3 {
+            std::fs::remove_file(gen(i)).unwrap();
+        }
     }
 
     #[test]

@@ -1,15 +1,17 @@
 //! The embedded HTTP observability exporter.
 //!
 //! A zero-dependency HTTP/1.1 server over [`std::net::TcpListener`]
-//! serving five read-only endpoints:
+//! serving seven read-only endpoints:
 //!
-//! | endpoint   | body                                   | status        |
-//! |------------|----------------------------------------|---------------|
-//! | `/metrics` | Prometheus text exposition             | 200           |
-//! | `/stats`   | engine stats JSON                      | 200           |
-//! | `/slow`    | slow-query log JSON                    | 200           |
-//! | `/healthz` | `ok` / `starting`                      | 200 / 503     |
-//! | `/readyz`  | readiness detail JSON                  | 200 / 503     |
+//! | endpoint               | body                                   | status    |
+//! |------------------------|----------------------------------------|-----------|
+//! | `/metrics`             | Prometheus text exposition             | 200       |
+//! | `/stats`               | engine stats JSON                      | 200       |
+//! | `/slow`                | slow-query log JSON                    | 200       |
+//! | `/events?n=N`          | last N event-journal entries (JSON)    | 200       |
+//! | `/history?metric=&n=`  | sampled metric history (JSON)          | 200       |
+//! | `/healthz`             | `ok` / `starting`                      | 200 / 503 |
+//! | `/readyz`              | readiness detail JSON                  | 200 / 503 |
 //!
 //! The server knows nothing about the database: it reads everything
 //! through the [`ObsSource`] trait, which the `db` crate implements over
@@ -35,6 +37,10 @@ pub struct Health {
     catalog_loaded: AtomicBool,
     checkpoint_loaded: AtomicBool,
     wal_recovered: AtomicBool,
+    // Informational: whether the background stats sampler is running.
+    // Deliberately not part of ready() — a database without a sampler
+    // is fully serviceable.
+    sampler_running: AtomicBool,
 }
 
 impl Health {
@@ -64,6 +70,17 @@ impl Health {
         self.wal_recovered.store(true, Ordering::Release);
     }
 
+    /// Records whether the background stats sampler is running (shown
+    /// in `/readyz`, never gates readiness).
+    pub fn mark_sampler(&self, running: bool) {
+        self.sampler_running.store(running, Ordering::Release);
+    }
+
+    /// True while the background stats sampler thread is alive.
+    pub fn sampler_running(&self) -> bool {
+        self.sampler_running.load(Ordering::Acquire)
+    }
+
     /// True once catalog, checkpoint image, and WAL recovery are done.
     pub fn ready(&self) -> bool {
         self.catalog_loaded.load(Ordering::Acquire)
@@ -75,11 +92,12 @@ impl Health {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"ready\": {}, \"catalog_loaded\": {}, \"checkpoint_loaded\": {}, \
-             \"wal_recovered\": {}}}",
+             \"wal_recovered\": {}, \"sampler_running\": {}}}",
             self.ready(),
             self.catalog_loaded.load(Ordering::Acquire),
             self.checkpoint_loaded.load(Ordering::Acquire),
-            self.wal_recovered.load(Ordering::Acquire)
+            self.wal_recovered.load(Ordering::Acquire),
+            self.sampler_running.load(Ordering::Acquire)
         )
     }
 }
@@ -93,6 +111,21 @@ pub trait ObsSource: Send + Sync {
     fn stats_json(&self) -> String;
     /// `/slow`: slow-query log JSON.
     fn slow_json(&self) -> String;
+    /// `/events?n=N`: last `n` event-journal entries as a JSON array of
+    /// objects.  Sources without a journal return `{"events": []}`.
+    fn events_json(&self, n: usize) -> String {
+        let _ = n;
+        "{\"events\": []}".to_string()
+    }
+    /// `/history?metric=&n=`: the last `n` sampled values of `metric`
+    /// from the telemetry store, as `{"metric": ..., "samples": [...]}`.
+    fn history_json(&self, metric: &str, n: usize) -> String {
+        let _ = n;
+        format!(
+            "{{\"metric\": \"{}\", \"samples\": []}}",
+            crate::events::escape_json(metric)
+        )
+    }
     /// Readiness for `/healthz` + `/readyz`.
     fn health(&self) -> &Health;
 }
@@ -187,10 +220,35 @@ fn handle_connection(mut stream: TcpStream, source: &dyn ObsSource) -> std::io::
     }
     const PROM: &str = "text/plain; version=0.0.4";
     const JSON: &str = "application/json";
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     match path {
         "/metrics" => respond(&mut stream, 200, "OK", PROM, &source.prometheus()),
         "/stats" => respond(&mut stream, 200, "OK", JSON, &source.stats_json()),
         "/slow" => respond(&mut stream, 200, "OK", JSON, &source.slow_json()),
+        "/events" => {
+            let n = query_param(query, "n")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_EVENTS_TAIL);
+            respond(&mut stream, 200, "OK", JSON, &source.events_json(n))
+        }
+        "/history" => match query_param(query, "metric") {
+            Some(metric) if !metric.is_empty() => {
+                let n = query_param(query, "n")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_HISTORY_TAIL);
+                respond(&mut stream, 200, "OK", JSON, &source.history_json(&metric, n))
+            }
+            _ => respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                "missing ?metric= parameter\n",
+            ),
+        },
         "/healthz" => {
             if source.health().ready() {
                 respond(&mut stream, 200, "OK", "text/plain", "ok\n")
@@ -215,6 +273,21 @@ fn handle_connection(mut stream: TcpStream, source: &dyn ObsSource) -> std::io::
         }
         _ => respond(&mut stream, 404, "Not Found", "text/plain", "not found\n"),
     }
+}
+
+/// Default tail length for `/events` when `?n=` is absent.
+pub const DEFAULT_EVENTS_TAIL: usize = 64;
+
+/// Default tail length for `/history` when `?n=` is absent.
+pub const DEFAULT_HISTORY_TAIL: usize = 32;
+
+/// Extracts `key` from an `a=1&b=2` query string (no percent-decoding:
+/// the observability parameters are metric names and counts).
+fn query_param(query: &str, key: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| v.to_string())
+    })
 }
 
 /// Reads up to the end of the request head (or 8 KiB) and returns the
@@ -305,6 +378,12 @@ mod tests {
         fn slow_json(&self) -> String {
             "[]".to_string()
         }
+        fn events_json(&self, n: usize) -> String {
+            format!("{{\"requested\": {n}, \"events\": []}}")
+        }
+        fn history_json(&self, metric: &str, n: usize) -> String {
+            format!("{{\"metric\": \"{metric}\", \"requested\": {n}, \"samples\": []}}")
+        }
         fn health(&self) -> &Health {
             &self.health
         }
@@ -330,7 +409,36 @@ mod tests {
         let (status, body) = http_get(&addr, "/readyz").unwrap();
         assert_eq!(status, 200);
         assert!(body.contains("\"ready\": true"));
+        assert!(body.contains("\"sampler_running\": false"));
         assert_eq!(http_get(&addr, "/nope").unwrap().0, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_string_endpoints_route_and_validate() {
+        let server = serve(
+            "127.0.0.1:0",
+            Arc::new(FakeSource {
+                health: Health::ready_now(),
+            }),
+        )
+        .unwrap();
+        let addr = server.addr().to_string();
+        let (status, body) = http_get(&addr, "/events?n=5").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"requested\": 5"));
+        // Default n when the parameter is absent or malformed.
+        let (_, body) = http_get(&addr, "/events").unwrap();
+        assert!(body.contains(&format!("\"requested\": {DEFAULT_EVENTS_TAIL}")));
+        let (_, body) = http_get(&addr, "/events?n=bogus").unwrap();
+        assert!(body.contains(&format!("\"requested\": {DEFAULT_EVENTS_TAIL}")));
+        let (status, body) = http_get(&addr, "/history?metric=commits&n=3").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"metric\": \"commits\""));
+        assert!(body.contains("\"requested\": 3"));
+        // metric is mandatory.
+        assert_eq!(http_get(&addr, "/history").unwrap().0, 400);
+        assert_eq!(http_get(&addr, "/history?n=3").unwrap().0, 400);
         server.shutdown();
     }
 

@@ -17,7 +17,9 @@ pub mod metrics;
 pub mod slowlog;
 pub mod trace;
 
-pub use events::{validate_json, validate_jsonl, EventJournal, EventValue};
+pub use events::{
+    parse_event_summary, validate_json, validate_jsonl, EventJournal, EventValue, JournalStats,
+};
 pub use export::{http_get, serve, Health, ObsServer, ObsSource};
 pub use metrics::{Counter, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use slowlog::{SlowEntry, SlowLog, SLOWLOG_DISABLED};

@@ -238,12 +238,29 @@ impl MetricsSnapshot {
             ("query_latency", &self.query_latency),
         ] {
             out.push_str(&format!(
-                ", \"{name}\": {{\"samples\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                ", \"{name}\": {{\"samples\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"buckets\": [",
                 h.samples,
                 h.total_ns,
                 h.percentile(50.0).unwrap_or(0),
-                h.percentile(99.0).unwrap_or(0)
+                h.percentile(99.0).unwrap_or(0),
+                h.percentile(99.9).unwrap_or(0)
             ));
+            // Explicit upper bounds so scrapers need not hard-code the
+            // power-of-two bucketing; empty buckets are elided.
+            let mut first = true;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c > 0 {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    out.push_str(&format!(
+                        "{{\"le_ns\": {}, \"count\": {c}}}",
+                        HistogramSnapshot::bucket_upper_bound(i)
+                    ));
+                }
+            }
+            out.push_str("]}");
         }
         out.push('}');
         out
@@ -326,6 +343,13 @@ mod tests {
         assert_eq!(s.percentile(50.0), Some(128)); // bucket 6 upper bound
         assert_eq!(s.percentile(90.0), Some(128));
         assert_eq!(s.percentile(99.0), Some(1 << 20)); // bucket 19 upper bound
+        assert_eq!(s.percentile(99.9), Some(1 << 20));
+        // The JSON form carries the explicit bucket bounds.
+        let mut m = MetricsSnapshot::default();
+        m.query_latency = s.clone();
+        let json = m.to_json();
+        assert!(json.contains("{\"le_ns\": 128, \"count\": 90}"));
+        assert!(json.contains(&format!("{{\"le_ns\": {}, \"count\": 10}}", 1u64 << 20)));
         assert_eq!(s.mean_ns(), Some((90 * 100 + 10 * 1_000_000) / 100));
     }
 
@@ -390,6 +414,8 @@ mod tests {
         assert!(json.contains("\"cache_hits\": 3"));
         assert!(json.contains("\"commits\": 7"));
         assert!(json.contains("\"commit_latency\""));
+        assert!(json.contains("\"p999_ns\": 0"));
+        assert!(json.contains("\"buckets\": []"));
         let prom = s.to_prometheus();
         assert!(prom.contains("chronos_cache_hits 3"));
         assert!(prom.contains("# TYPE chronos_commits counter"));

@@ -40,6 +40,9 @@ pub struct SlowEntry {
     pub duration_ns: u64,
     /// Rendered span tree + counter deltas (the `profile` artifact).
     pub report: String,
+    /// Transaction-clock reading (chronon ticks) at admission; lets the
+    /// `sys$slow` system relation index entries in engine time.
+    pub at_tick: i64,
 }
 
 #[derive(Default)]
@@ -91,7 +94,8 @@ impl SlowLog {
     }
 
     /// Admits one slow statement; returns its global seq number.
-    pub fn admit(&self, statement: String, duration_ns: u64, report: String) -> u64 {
+    /// `at_tick` is the transaction clock's current chronon reading.
+    pub fn admit(&self, statement: String, duration_ns: u64, report: String, at_tick: i64) -> u64 {
         let mut inner = self.inner.lock().unwrap();
         let seq = inner.seq;
         inner.seq += 1;
@@ -100,6 +104,7 @@ impl SlowLog {
             statement,
             duration_ns,
             report,
+            at_tick,
         };
         if inner.entries.len() < self.capacity {
             inner.entries.push(entry);
@@ -159,10 +164,11 @@ impl SlowLog {
                 out.push_str(", ");
             }
             out.push_str(&format!(
-                "{{\"seq\": {}, \"duration_ns\": {}, \"statement\": \"{}\", \
-                 \"report\": \"{}\"}}",
+                "{{\"seq\": {}, \"duration_ns\": {}, \"at_tick\": {}, \
+                 \"statement\": \"{}\", \"report\": \"{}\"}}",
                 e.seq,
                 e.duration_ns,
+                e.at_tick,
                 escape_json(&e.statement),
                 escape_json(&e.report)
             ));
@@ -228,7 +234,7 @@ mod tests {
         let log = SlowLog::new(3);
         log.set_threshold_ns(0);
         for i in 0..5 {
-            log.admit(format!("stmt {i}"), i, format!("report {i}"));
+            log.admit(format!("stmt {i}"), i, format!("report {i}"), i as i64);
         }
         let entries = log.entries();
         assert_eq!(entries.len(), 3);
@@ -247,6 +253,7 @@ mod tests {
             "retrieve (f.name) where f.name = \"Mer\\rie\"\n".to_string(),
             42,
             "tquel/exec [path \"quoted\"]\n  storage/scan\n".to_string(),
+            7,
         );
         validate_json(&log.to_json()).unwrap();
     }
@@ -254,10 +261,10 @@ mod tests {
     #[test]
     fn clear_empties_but_seq_continues() {
         let log = SlowLog::new(2);
-        log.admit("a".into(), 1, String::new());
+        log.admit("a".into(), 1, String::new(), 0);
         log.clear();
         assert!(log.is_empty());
-        let seq = log.admit("b".into(), 1, String::new());
+        let seq = log.admit("b".into(), 1, String::new(), 0);
         assert_eq!(seq, 1);
     }
 }

@@ -289,8 +289,13 @@ pub fn lex(src: &str) -> TquelResult<Vec<Token>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 i += 1;
+                // `$` continues an identifier (but cannot start one):
+                // the engine's system relations live in the reserved
+                // `sys$` namespace (`sys$stats`, `sys$relations`, …).
                 while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'$')
                 {
                     i += 1;
                 }
@@ -374,6 +379,14 @@ mod tests {
         assert_eq!(toks.len(), 3);
         let toks = kinds(r#""he said \"hi\"\n""#);
         assert_eq!(toks[0], TokenKind::Str("he said \"hi\"\n".into()));
+    }
+
+    #[test]
+    fn dollar_continues_identifiers_for_system_relations() {
+        let toks = kinds(r#"range of s is sys$stats retrieve (s.value)"#);
+        assert!(toks.contains(&TokenKind::Ident("sys$stats".into())));
+        // `$` still cannot *start* an identifier.
+        assert!(lex("$stats").is_err());
     }
 
     #[test]

@@ -56,9 +56,10 @@ grep -q 'counters:' <<<"$explain_out" \
   || { echo "explain smoke: counter line missing"; echo "$explain_out"; exit 1; }
 # T9 asserts the disabled recorder stays within the <5% overhead budget;
 # T10 does the same for the slow-query wrapper and measures /metrics
-# scrape latency under load.
-t9_out=$(EXPERIMENTS_ONLY=T9,T10 ./target/release/experiments)
-[ "$(grep -c 'within budget' <<<"$t9_out")" -eq 2 ] \
+# scrape latency under load; T11 for the background stats sampler on
+# the timeslice workload.
+t9_out=$(EXPERIMENTS_ONLY=T9,T10,T11 ./target/release/experiments)
+[ "$(grep -c 'within budget' <<<"$t9_out")" -eq 3 ] \
   || { echo "observability overhead budget exceeded"; echo "$t9_out"; exit 1; }
 
 echo "==> clippy over the obs modules (-D warnings)"
@@ -96,5 +97,58 @@ grep -q 'session/statement' <<<"$obs_out" \
 ./target/release/chronos --check-jsonl "$obs_dir/db/events.jsonl" \
   || { echo "obs smoke: events.jsonl malformed"; exit 1; }
 rm -rf "$obs_dir"
+
+echo "==> temporal introspection smoke (sys\$stats via TQuel + /history)"
+intro_dir=$(mktemp -d)
+intro_out=$(./target/release/chronos --batch --obs-addr 127.0.0.1:0 \
+              --sample-interval-ms 20 "$intro_dir/db" <<'EOF'
+\advance 01/01/80
+create faculty (name = str, rank = str) as temporal
+
+append to faculty (name = "Merrie", rank = "associate")
+
+\sample
+range of s is sys$stats
+retrieve (s.metric, s.value) where s.metric = "commits"
+
+range of r is sys$relations
+retrieve (r.name, r.class, r.tuples)
+
+\top
+\obs /stats
+\obs /history?metric=commits&n=8
+\obs /events?n=16
+\obs /readyz
+\q
+EOF
+)
+grep -q 'commits | 1' <<<"$intro_out" \
+  || { echo "introspection smoke: sys\$stats missing the commit sample"; echo "$intro_out"; exit 1; }
+grep -q 'faculty | temporal' <<<"$intro_out" \
+  || { echo "introspection smoke: sys\$relations missing the catalog row"; echo "$intro_out"; exit 1; }
+grep -q 'top operators' <<<"$intro_out" \
+  || { echo "introspection smoke: \\top produced nothing"; echo "$intro_out"; exit 1; }
+grep -q '200 /stats' <<<"$intro_out" \
+  || { echo "introspection smoke: /stats not 200"; echo "$intro_out"; exit 1; }
+grep -q '"telemetry"' <<<"$intro_out" \
+  || { echo "introspection smoke: /stats missing telemetry section"; echo "$intro_out"; exit 1; }
+grep -q '200 /history' <<<"$intro_out" \
+  || { echo "introspection smoke: /history not 200"; echo "$intro_out"; exit 1; }
+grep -q '"metric": "commits"' <<<"$intro_out" \
+  || { echo "introspection smoke: /history body wrong"; echo "$intro_out"; exit 1; }
+grep -q '200 /events' <<<"$intro_out" \
+  || { echo "introspection smoke: /events not 200"; echo "$intro_out"; exit 1; }
+grep -q '"sampler_running": true' <<<"$intro_out" \
+  || { echo "introspection smoke: /readyz missing sampler flag"; echo "$intro_out"; exit 1; }
+# The /stats and /history bodies must be well-formed JSON; reuse the
+# JSONL validator by extracting each body onto one line.
+grep -A1 '^200 /stats' <<<"$intro_out" | tail -1 > "$intro_dir/bodies.jsonl"
+grep -A1 '^200 /history' <<<"$intro_out" | tail -1 >> "$intro_dir/bodies.jsonl"
+./target/release/chronos --check-jsonl "$intro_dir/bodies.jsonl" \
+  || { echo "introspection smoke: HTTP bodies malformed"; exit 1; }
+# The run's journal records the sampler lifecycle.
+grep -q 'sampler_start' "$intro_dir/db/events.jsonl" \
+  || { echo "introspection smoke: sampler_start not journaled"; exit 1; }
+rm -rf "$intro_dir"
 
 echo "==> all checks passed"

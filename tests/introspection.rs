@@ -1,0 +1,354 @@
+//! Temporal introspection end-to-end: the engine's telemetry queried
+//! *as relations* through TQuel.  `sys$stats` is an event relation
+//! indexed at transaction time, so the paper's own rollback vocabulary
+//! ("as best known at t") answers operational questions — "how many
+//! commits had we seen as of noon?" — with no new query surface.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use chronos_core::calendar::date;
+use chronos_core::chronon::Chronon;
+use chronos_core::clock::ManualClock;
+use chronos_db::{Database, ObsBootstrap};
+use chronos_obs::{http_get, validate_json};
+
+fn d(s: &str) -> Chronon {
+    date(s).unwrap()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("chronos-introspect-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One workload step: advance the clock, run a statement.
+fn step(db: &mut Database, clock: &Arc<ManualClock>, day: &str, stmt: &str) {
+    clock.advance_to(d(day));
+    db.session()
+        .run(stmt)
+        .unwrap_or_else(|e| panic!("{stmt}: {e}"));
+}
+
+/// The sampled `commits` counter as best known at `as_of`.
+fn commits_as_of(db: &mut Database, as_of: &str) -> Vec<i64> {
+    db.session()
+        .query(&format!(
+            r#"range of s is sys$stats
+               retrieve (s.value) where s.metric = "commits" as of "{as_of}""#
+        ))
+        .expect("rollback query over sys$stats")
+        .rows
+        .iter()
+        .map(|r| r.tuple.get(0).as_int().expect("int value"))
+        .collect()
+}
+
+/// The acceptance scenario: sample, advance the workload, sample again,
+/// then ask for the counter values that were current at two distinct
+/// as-of points and get two distinct (correct) answers.
+#[test]
+fn sys_stats_as_of_returns_the_then_current_counters() {
+    let clock = Arc::new(ManualClock::new(d("01/01/80")));
+    let mut db = Database::in_memory(clock.clone());
+    db.session()
+        .run("create faculty (name = str, rank = str) as temporal")
+        .expect("create");
+    step(&mut db, &clock, "01/05/80",
+        r#"append to faculty (name = "Merrie", rank = "associate")"#);
+
+    clock.advance_to(d("02/01/80"));
+    let t1 = db.sample_now();
+    assert_eq!(t1, d("02/01/80"), "sample lands at the clock reading");
+    let commits_t1 = db.engine_stats().metrics.commits as i64;
+    assert_eq!(commits_t1, 1);
+
+    step(&mut db, &clock, "02/10/80",
+        r#"append to faculty (name = "Tom", rank = "full")"#);
+    step(&mut db, &clock, "02/11/80",
+        r#"append to faculty (name = "Jane", rank = "assistant")"#);
+
+    clock.advance_to(d("03/01/80"));
+    let t2 = db.sample_now();
+    assert_eq!(t2, d("03/01/80"));
+    let commits_t2 = db.engine_stats().metrics.commits as i64;
+    assert_eq!(commits_t2, 3);
+
+    // Two distinct as-of points, two distinct counter values.
+    assert_eq!(commits_as_of(&mut db, "02/01/80"), vec![commits_t1]);
+    assert_eq!(commits_as_of(&mut db, "03/01/80"), vec![commits_t2]);
+    // Between samples the earlier one is still the current belief.
+    assert_eq!(commits_as_of(&mut db, "02/15/80"), vec![commits_t1]);
+    // Before any sample, nothing was known.
+    assert_eq!(commits_as_of(&mut db, "01/02/80"), Vec::<i64>::new());
+
+    // The default (no as-of) view is the newest sample only.
+    let now = db
+        .session()
+        .query(r#"range of s is sys$stats retrieve (s.value) where s.metric = "commits""#)
+        .expect("current query");
+    assert_eq!(now.rows.len(), 1);
+    assert_eq!(now.rows[0].tuple.get(0).as_int(), Some(commits_t2));
+}
+
+/// `when` works over telemetry: samples carry their sampling event as
+/// validity, so valid-time predicates select among them.
+#[test]
+fn when_clause_selects_samples_by_their_sampling_event() {
+    let clock = Arc::new(ManualClock::new(d("01/01/80")));
+    let mut db = Database::in_memory(clock.clone());
+    db.session()
+        .run("create faculty (name = str) as temporal")
+        .expect("create");
+    step(&mut db, &clock, "01/05/80", r#"append to faculty (name = "Merrie")"#);
+    clock.advance_to(d("02/01/80"));
+    db.sample_now();
+    step(&mut db, &clock, "02/10/80", r#"append to faculty (name = "Tom")"#);
+    clock.advance_to(d("03/01/80"));
+    db.sample_now();
+
+    // A through-window exposes both samples; the when clause picks the
+    // one whose sampling event is 02/01/80.
+    let res = db
+        .session()
+        .query(
+            r#"range of s is sys$stats
+               retrieve (s.value) where s.metric = "commits"
+               when s overlap "02/01/80"
+               as of "01/01/80" through "04/01/80""#,
+        )
+        .expect("when over telemetry");
+    assert_eq!(res.rows.len(), 1);
+    assert_eq!(res.rows[0].tuple.get(0).as_int(), Some(1));
+}
+
+/// `sys$relations` is a static rollback view of the catalog: DDL and
+/// commits are sampled synchronously, so as-of answers are exact.
+#[test]
+fn sys_relations_rolls_the_catalog_back_across_ddl() {
+    let clock = Arc::new(ManualClock::new(d("01/01/80")));
+    let mut db = Database::in_memory(clock.clone());
+    db.session()
+        .run("create faculty (name = str, rank = str) as temporal")
+        .expect("create");
+    step(&mut db, &clock, "01/05/80",
+        r#"append to faculty (name = "Merrie", rank = "associate")"#);
+    step(&mut db, &clock, "02/10/80",
+        r#"append to faculty (name = "Tom", rank = "full")"#);
+    clock.advance_to(d("04/01/80"));
+    db.session()
+        .run("create dept (name = str) as static")
+        .expect("create dept");
+
+    // Current catalog: both relations, as pure static rows.
+    let now = db
+        .session()
+        .query(r#"range of r is sys$relations retrieve (r.name, r.class, r.tuples)"#)
+        .expect("current catalog");
+    let mut names = now.column_strings(0);
+    names.sort();
+    assert_eq!(names, ["dept", "faculty"]);
+    assert!(now.rows.iter().all(|r| r.validity.is_none() && r.tx.is_none()));
+
+    // As of before dept existed: faculty alone, with the tuple count it
+    // had then.
+    let then = db
+        .session()
+        .query(
+            r#"range of r is sys$relations
+               retrieve (r.name, r.tuples) as of "03/01/80""#,
+        )
+        .expect("rollback catalog");
+    assert_eq!(then.column_strings(0), ["faculty"]);
+    assert_eq!(then.rows[0].tuple.get(1).as_int(), Some(2));
+
+    // As of before the first append: cataloged but empty.
+    let empty = db
+        .session()
+        .query(
+            r#"range of r is sys$relations
+               retrieve (r.name, r.tuples) as of "01/02/80""#,
+        )
+        .expect("rollback catalog");
+    assert_eq!(empty.rows[0].tuple.get(1).as_int(), Some(0));
+}
+
+/// Every modification path refuses the reserved namespace.
+#[test]
+fn system_relations_are_read_only() {
+    let clock = Arc::new(ManualClock::new(d("01/01/80")));
+    let mut db = Database::in_memory(clock.clone());
+    db.sample_now();
+    for stmt in [
+        r#"append to sys$stats (metric = "forged", value = 1)"#,
+        "create sys$mine (a = int) as static",
+        "destroy sys$stats",
+        "range of s is sys$stats delete s",
+        r#"range of s is sys$stats replace s (value = 0)"#,
+        r#"range of s is sys$stats retrieve into sys$copy (s.metric)"#,
+    ] {
+        let err = db.session().run(stmt).expect_err(stmt).to_string();
+        assert!(err.contains("read-only"), "{stmt}: {err}");
+    }
+    // Unknown sys$ names are ordinary unknown relations.
+    let err = db
+        .session()
+        .run("range of x is sys$nope")
+        .expect_err("unknown system relation")
+        .to_string();
+    assert!(err.contains("unknown relation"), "{err}");
+}
+
+/// Ordinary TQuel aggregates run over telemetry unchanged.
+#[test]
+fn aggregates_run_over_sys_stats() {
+    let clock = Arc::new(ManualClock::new(d("01/01/80")));
+    let mut db = Database::in_memory(clock.clone());
+    db.session()
+        .run("create faculty (name = str) as temporal")
+        .expect("create");
+    step(&mut db, &clock, "01/05/80", r#"append to faculty (name = "Merrie")"#);
+    clock.advance_to(d("02/01/80"));
+    db.sample_now();
+    let res = db
+        .session()
+        .query(
+            r#"range of s is sys$stats
+               retrieve (n = count(s.metric), hi = max(s.value))"#,
+        )
+        .expect("aggregate over telemetry");
+    let n = res.rows[0].tuple.get(0).as_int().unwrap();
+    let hi = res.rows[0].tuple.get(1).as_int().unwrap();
+    assert!(n > 20, "the flattened metric set is wide, got {n}");
+    assert!(hi >= 1, "some counter advanced, got {hi}");
+
+    // explain works too: the system scan is spanned like any other.
+    let outcomes = db
+        .session()
+        .run(r#"range of s is sys$stats explain retrieve (s.metric)"#)
+        .expect("explain over telemetry");
+    let report = match &outcomes[1] {
+        chronos_db::ExecOutcome::Explained { report, .. } => report.clone(),
+        other => panic!("expected explain, got {other:?}"),
+    };
+    assert!(report.contains("db/scan"), "{report}");
+}
+
+/// The background sampler feeds `sys$stats` while the HTTP surface
+/// (`/history`, `/events`, `/readyz`) and the journal observe its
+/// lifecycle; `sys$slow` and `sys$events` project the slow log and the
+/// journal into TQuel.
+#[test]
+fn background_sampler_and_system_relations_on_a_durable_database() {
+    let dir = temp_dir("sampler");
+    let clock = Arc::new(ManualClock::new(d("01/01/80")));
+    let obs = ObsBootstrap::new();
+    let server = obs.serve("127.0.0.1:0").expect("serve");
+    let addr = server.addr().to_string();
+    let mut db = Database::open_with_obs(&dir, clock.clone(), &obs).expect("open");
+    db.session()
+        .run("create faculty (name = str, rank = str) as temporal")
+        .expect("create");
+    step(&mut db, &clock, "02/01/80",
+        r#"append to faculty (name = "Merrie", rank = "associate")"#);
+
+    assert!(!db.sampler_running());
+    db.start_stats_sampler(Duration::from_millis(5)).expect("sampler");
+    assert!(db.sampler_running());
+    let (status, ready) = http_get(&addr, "/readyz").expect("GET /readyz");
+    assert_eq!(status, 200);
+    assert!(ready.contains("\"sampler_running\": true"), "{ready}");
+
+    // Wait for the thread to take at least two samples.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while db.telemetry().stats().samples_taken < 2 {
+        assert!(std::time::Instant::now() < deadline, "sampler never sampled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let (status, hist) = http_get(&addr, "/history?metric=commits&n=8").expect("GET /history");
+    assert_eq!(status, 200);
+    validate_json(&hist).expect("untorn /history JSON");
+    assert!(hist.contains("\"metric\": \"commits\""), "{hist}");
+    assert!(hist.contains("\"value\": 1"), "{hist}");
+    let (status, body) = http_get(&addr, "/history").expect("GET /history sans metric");
+    assert_eq!(status, 400, "{body}");
+
+    let (status, events) = http_get(&addr, "/events?n=50").expect("GET /events");
+    assert_eq!(status, 200);
+    validate_json(&events).expect("untorn /events JSON");
+    assert!(events.contains("\"event\": \"sampler_start\""), "{events}");
+
+    db.stop_stats_sampler();
+    assert!(!db.sampler_running());
+    let (_, ready) = http_get(&addr, "/readyz").expect("GET /readyz");
+    assert!(ready.contains("\"sampler_running\": false"), "{ready}");
+
+    // The sampler's own counters ride in engine_stats().
+    let stats = db.engine_stats();
+    assert!(stats.telemetry.samples_taken >= 2);
+    assert!(!stats.telemetry.sampler_running);
+    assert!(stats.to_json().contains("\"telemetry\""));
+    assert!(stats.to_prometheus().contains("chronos_telemetry_samples_taken"));
+
+    // sys$events projects the journal into TQuel…
+    let res = db
+        .session()
+        .query(r#"range of e is sys$events retrieve (e.kind, e.seq)"#)
+        .expect("sys$events");
+    let events = res.column_strings(0);
+    assert!(events.iter().any(|e| e == "wal_append"), "{events:?}");
+    assert!(events.iter().any(|e| e == "sampler_stop"), "{events:?}");
+
+    // …and sys$slow the slow-query ring, with the capture clock reading
+    // as the row's validity event.
+    db.set_slow_query_threshold_ns(0);
+    db.session()
+        .query(r#"range of f is faculty retrieve (f.name)"#)
+        .expect("slow-captured query");
+    let res = db
+        .session()
+        .query(r#"range of w is sys$slow retrieve (w.statement, w.duration_ns)"#)
+        .expect("sys$slow");
+    assert!(!res.rows.is_empty());
+    assert!(
+        res.rows.iter().any(|r| r
+            .tuple
+            .get(0)
+            .as_str()
+            .is_some_and(|s| s.contains("retrieve (f.name)"))),
+        "captured statement missing"
+    );
+    assert!(res
+        .rows
+        .iter()
+        .all(|r| matches!(r.validity, Some(chronos_core::relation::Validity::Event(_)))));
+
+    server.shutdown();
+    drop(db);
+    // The journal recorded the sampler lifecycle durably.
+    let journal = std::fs::read_to_string(dir.join("events.jsonl")).expect("journal");
+    assert!(journal.contains("\"event\": \"sampler_start\""), "{journal}");
+    assert!(journal.contains("\"event\": \"sampler_stop\""), "{journal}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Restarting the sampler replaces the previous thread, and dropping
+/// the database joins it (no leaked threads, no double-running flags).
+#[test]
+fn sampler_restart_replaces_the_previous_thread() {
+    let clock = Arc::new(ManualClock::new(d("01/01/80")));
+    let mut db = Database::in_memory(clock);
+    db.start_stats_sampler(Duration::from_millis(400)).expect("first");
+    assert!(db.sampler_running());
+    db.start_stats_sampler(Duration::from_millis(400)).expect("second");
+    assert!(db.sampler_running());
+    db.stop_stats_sampler();
+    assert!(!db.sampler_running());
+    // Idempotent stop.
+    db.stop_stats_sampler();
+    assert!(!db.sampler_running());
+}

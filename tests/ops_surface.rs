@@ -5,7 +5,7 @@
 //! Every HTTP interaction here goes through [`chronos_obs::http_get`],
 //! a raw-TCP GET — there is no HTTP client dependency to hide behind.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use chronos_core::calendar::date;
@@ -13,7 +13,7 @@ use chronos_core::chronon::Chronon;
 use chronos_core::clock::ManualClock;
 use chronos_core::relation::temporal::TemporalStore as _;
 use chronos_db::{Database, ObsBootstrap};
-use chronos_obs::{http_get, validate_jsonl, SLOWLOG_DISABLED};
+use chronos_obs::{http_get, validate_json, validate_jsonl, SLOWLOG_DISABLED};
 
 fn d(s: &str) -> Chronon {
     date(s).unwrap()
@@ -131,6 +131,70 @@ fn exporter_serves_all_five_endpoints_with_live_counters() {
     let (status, _) = http_get(&addr, "/metrics").expect("GET again");
     assert_eq!(status, 200);
 
+    server.shutdown();
+}
+
+/// The scrape path under fire: several readers hammer `/metrics` and
+/// `/stats` while a writer session commits.  Every response must be
+/// whole (parseable, counters present) and the commit counter seen by
+/// any one reader must be monotone — a torn snapshot would violate
+/// either.
+#[test]
+fn exporter_survives_concurrent_scrapes_during_writes() {
+    const READERS: usize = 4;
+    const SCRAPES: usize = 20;
+    const COMMITS: usize = 40;
+
+    let clock = Arc::new(ManualClock::new(d("01/01/80")));
+    let mut db = Database::in_memory(clock.clone());
+    db.session()
+        .run("create log (name = str) as temporal")
+        .expect("create");
+    let server = db.serve_observability("127.0.0.1:0").expect("serve");
+    let addr = server.addr().to_string();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..READERS)
+            .map(|_| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut last_commits = 0u64;
+                    for _ in 0..SCRAPES {
+                        let (status, metrics) =
+                            http_get(&addr, "/metrics").expect("GET /metrics");
+                        assert_eq!(status, 200);
+                        let commits = metrics
+                            .lines()
+                            .find(|l| l.starts_with("chronos_commits "))
+                            .and_then(|l| l.rsplit(' ').next())
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .unwrap_or_else(|| panic!("torn exposition:\n{metrics}"));
+                        assert!(
+                            commits >= last_commits,
+                            "commit counter went backwards: {last_commits} -> {commits}"
+                        );
+                        last_commits = commits;
+                        let (status, stats) = http_get(&addr, "/stats").expect("GET /stats");
+                        assert_eq!(status, 200);
+                        validate_json(&stats).expect("torn /stats body");
+                    }
+                    last_commits
+                })
+            })
+            .collect();
+        // The writer keeps committing on this thread the whole time.
+        for i in 0..COMMITS {
+            clock.tick(1);
+            db.session()
+                .run(&format!(r#"append to log (name = "e{i:03}")"#))
+                .expect("append");
+        }
+        for h in handles {
+            let seen = h.join().expect("reader thread");
+            assert!(seen <= COMMITS as u64);
+        }
+    });
+    assert_eq!(db.engine_stats().metrics.commits, COMMITS as u64);
     server.shutdown();
 }
 
