@@ -104,9 +104,9 @@ impl StepFunction {
     pub fn integral_over(&self, window: Period) -> CoreResult<i64> {
         let mut total = 0i64;
         for (p, v) in self.pieces_in(window) {
-            let dur = p.duration().ok_or_else(|| {
-                CoreError::Invalid("integral over an unbounded window".into())
-            })?;
+            let dur = p
+                .duration()
+                .ok_or_else(|| CoreError::Invalid("integral over an unbounded window".into()))?;
             total += v * dur;
         }
         Ok(total)
@@ -189,8 +189,11 @@ mod tests {
         .unwrap();
         r.insert(tuple(["Merrie", "full"]), Period::from_start(d("12/01/82")))
             .unwrap();
-        r.insert(tuple(["Tom", "associate"]), Period::from_start(d("12/05/82")))
-            .unwrap();
+        r.insert(
+            tuple(["Tom", "associate"]),
+            Period::from_start(d("12/05/82")),
+        )
+        .unwrap();
         r.insert(
             tuple(["Mike", "assistant"]),
             Period::new(d("01/01/83"), d("03/01/84")).unwrap(),
@@ -227,7 +230,10 @@ mod tests {
         let window = Period::new(d("01/01/82"), d("01/01/85")).unwrap();
         let pieces = f.pieces_in(window);
         // Pieces tile the window exactly.
-        assert_eq!(pieces.first().unwrap().0.start(), TimePoint::at(d("01/01/82")));
+        assert_eq!(
+            pieces.first().unwrap().0.start(),
+            TimePoint::at(d("01/01/82"))
+        );
         assert_eq!(pieces.last().unwrap().0.end(), TimePoint::at(d("01/01/85")));
         for w in pieces.windows(2) {
             assert_eq!(w[0].0.end(), w[1].0.start(), "no gaps");
@@ -240,10 +246,16 @@ mod tests {
     #[test]
     fn integral_is_time_weighted() {
         let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
-        r.insert(tuple(["A", "x"]), Period::new(Chronon::new(0), Chronon::new(10)).unwrap())
-            .unwrap();
-        r.insert(tuple(["B", "x"]), Period::new(Chronon::new(5), Chronon::new(10)).unwrap())
-            .unwrap();
+        r.insert(
+            tuple(["A", "x"]),
+            Period::new(Chronon::new(0), Chronon::new(10)).unwrap(),
+        )
+        .unwrap();
+        r.insert(
+            tuple(["B", "x"]),
+            Period::new(Chronon::new(5), Chronon::new(10)).unwrap(),
+        )
+        .unwrap();
         let f = count_over_time(&r);
         // 5 days of 1 + 5 days of 2 = 15 tuple-days.
         let w = Period::new(Chronon::new(0), Chronon::new(10)).unwrap();

@@ -154,8 +154,10 @@ mod tests {
     #[test]
     fn event_relations_pass_through() {
         let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Event);
-        r.insert(tuple(["Merrie", "full"]), Chronon::new(5)).unwrap();
-        r.insert(tuple(["Merrie", "full"]), Chronon::new(6)).unwrap();
+        r.insert(tuple(["Merrie", "full"]), Chronon::new(5))
+            .unwrap();
+        r.insert(tuple(["Merrie", "full"]), Chronon::new(6))
+            .unwrap();
         let c = coalesce(&r).unwrap();
         assert_eq!(c.len(), 2);
         assert!(is_coalesced(&r));

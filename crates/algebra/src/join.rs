@@ -88,7 +88,10 @@ pub fn overlap_join(
         b,
         scalar,
         &TemporalPred::Overlap(TemporalExpr::Var(0), TemporalExpr::Var(1)),
-        &TemporalExpr::Intersect(Box::new(TemporalExpr::Var(0)), Box::new(TemporalExpr::Var(1))),
+        &TemporalExpr::Intersect(
+            Box::new(TemporalExpr::Var(0)),
+            Box::new(TemporalExpr::Var(1)),
+        ),
         b_prefix,
     )
 }
@@ -115,8 +118,11 @@ mod tests {
         .unwrap();
         r.insert(tuple(["Merrie", "full"]), Period::from_start(d("12/01/82")))
             .unwrap();
-        r.insert(tuple(["Tom", "associate"]), Period::from_start(d("12/05/82")))
-            .unwrap();
+        r.insert(
+            tuple(["Tom", "associate"]),
+            Period::from_start(d("12/05/82")),
+        )
+        .unwrap();
         r.insert(
             tuple(["Mike", "assistant"]),
             Period::new(d("01/01/83"), d("03/01/84")).unwrap(),
@@ -170,7 +176,10 @@ mod tests {
         .unwrap();
         assert_eq!(j.len(), 2);
         for row in j.rows() {
-            assert_eq!(row.validity.period().end(), chronos_core::TimePoint::INFINITY);
+            assert_eq!(
+                row.validity.period().end(),
+                chronos_core::TimePoint::INFINITY
+            );
         }
     }
 
@@ -189,7 +198,9 @@ mod tests {
         let scalar = Predicate::attr_eq(1, "associate").and(Predicate::attr_eq(2, "Mike"));
         let j = overlap_join(&f, &f, &scalar, "f2").unwrap();
         assert!(
-            j.rows().iter().all(|r| r.tuple.get(0).as_str() != Some("Merrie")),
+            j.rows()
+                .iter()
+                .all(|r| r.tuple.get(0).as_str() != Some("Merrie")),
             "no Merrie-associate × Mike row"
         );
     }

@@ -219,18 +219,16 @@ mod tests {
         assert_eq!(difference(&a, &b).unwrap().len(), 2);
         assert_eq!(intersect(&a, &b).unwrap().len(), 1);
         // Incompatible schemas rejected.
-        let other = StaticRelation::new(
-            Schema::new(vec![Attribute::new("n", AttrType::Int)]).unwrap(),
-        );
+        let other =
+            StaticRelation::new(Schema::new(vec![Attribute::new("n", AttrType::Int)]).unwrap());
         assert!(union(&a, &other).is_err());
     }
 
     #[test]
     fn cartesian_product_sizes() {
         let a = faculty();
-        let mut b = StaticRelation::new(
-            Schema::new(vec![Attribute::new("dept", AttrType::Str)]).unwrap(),
-        );
+        let mut b =
+            StaticRelation::new(Schema::new(vec![Attribute::new("dept", AttrType::Str)]).unwrap());
         b.insert(tuple(["cs"])).unwrap();
         b.insert(tuple(["math"])).unwrap();
         let c = cartesian(&a, &b, "b").unwrap();
@@ -255,13 +253,20 @@ mod tests {
         ])
         .unwrap();
         let mut offices = StaticRelation::new(schema);
-        offices.insert(tuple::<Value, _>([Value::str("Merrie"), Value::Int(101)])).unwrap();
-        offices.insert(tuple::<Value, _>([Value::str("Tom"), Value::Int(202)])).unwrap();
-        offices.insert(tuple::<Value, _>([Value::str("Nobody"), Value::Int(303)])).unwrap();
+        offices
+            .insert(tuple::<Value, _>([Value::str("Merrie"), Value::Int(101)]))
+            .unwrap();
+        offices
+            .insert(tuple::<Value, _>([Value::str("Tom"), Value::Int(202)]))
+            .unwrap();
+        offices
+            .insert(tuple::<Value, _>([Value::str("Nobody"), Value::Int(303)]))
+            .unwrap();
         let j = hash_join(&faculty(), &offices, &[(0, 0)], "o").unwrap();
         assert_eq!(j.len(), 2);
-        assert!(j.iter().any(|t| t.get(0).as_str() == Some("Merrie")
-            && t.get(3).as_int() == Some(101)));
+        assert!(j
+            .iter()
+            .any(|t| t.get(0).as_str() == Some("Merrie") && t.get(3).as_int() == Some(101)));
         // Mismatched key types rejected.
         assert!(hash_join(&faculty(), &offices, &[(0, 1)], "o").is_err());
     }

@@ -57,7 +57,10 @@ mod tests {
     fn figure_8_table() -> BitemporalTable {
         let mut s = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
         s.begin()
-            .insert(tuple(["Merrie", "associate"]), Period::from_start(d("09/01/77")))
+            .insert(
+                tuple(["Merrie", "associate"]),
+                Period::from_start(d("09/01/77")),
+            )
             .commit(d("08/25/77"))
             .unwrap();
         s.begin()
@@ -66,7 +69,10 @@ mod tests {
             .unwrap();
         s.begin()
             .remove(RowSelector::tuple(tuple(["Tom", "full"])))
-            .insert(tuple(["Tom", "associate"]), Period::from_start(d("12/05/82")))
+            .insert(
+                tuple(["Tom", "associate"]),
+                Period::from_start(d("12/05/82")),
+            )
             .commit(d("12/07/82"))
             .unwrap();
         s.begin()

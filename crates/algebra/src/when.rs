@@ -183,9 +183,11 @@ mod tests {
         let both = t.clone().and(p.clone());
         assert!(both.eval(&env).unwrap());
         assert!(!TemporalPred::Not(Box::new(p.clone())).eval(&env).unwrap());
-        assert!(TemporalPred::Or(Box::new(TemporalPred::Not(Box::new(t))), Box::new(p))
-            .eval(&env)
-            .unwrap());
+        assert!(
+            TemporalPred::Or(Box::new(TemporalPred::Not(Box::new(t))), Box::new(p))
+                .eval(&env)
+                .unwrap()
+        );
     }
 
     #[test]

@@ -35,22 +35,19 @@ fn arb_pred() -> impl Strategy<Value = Predicate> {
 }
 
 fn arb_historical() -> impl Strategy<Value = HistoricalRelation> {
-    prop::collection::hash_set(
-        (0..NAMES.len(), 0..RANKS.len(), 0i64..80, 1i64..60),
-        0..12,
-    )
-    .prop_map(|rows| {
-        let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
-        for (n, k, a, len) in rows {
-            // Duplicate (tuple, validity) pairs are possible from the
-            // set; skip them.
-            let _ = r.insert(
-                tuple([NAMES[n], RANKS[k]]),
-                Period::new(Chronon::new(a), Chronon::new(a + len)).expect("fwd"),
-            );
-        }
-        r
-    })
+    prop::collection::hash_set((0..NAMES.len(), 0..RANKS.len(), 0i64..80, 1i64..60), 0..12)
+        .prop_map(|rows| {
+            let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
+            for (n, k, a, len) in rows {
+                // Duplicate (tuple, validity) pairs are possible from the
+                // set; skip them.
+                let _ = r.insert(
+                    tuple([NAMES[n], RANKS[k]]),
+                    Period::new(Chronon::new(a), Chronon::new(a + len)).expect("fwd"),
+                );
+            }
+            r
+        })
 }
 
 proptest! {

@@ -41,15 +41,19 @@ fn bench_rollback_storage(c: &mut Criterion) {
                 cube.stored_tuples()
             })
         });
-        group.bench_with_input(BenchmarkId::new("tuple_timestamped", n), &history, |b, h| {
-            b.iter(|| {
-                let mut ts = TimestampedRollback::new(faculty_schema());
-                for (t, op) in h {
-                    ts.commit(*t, std::slice::from_ref(op)).expect("valid");
-                }
-                ts.stored_tuples()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("tuple_timestamped", n),
+            &history,
+            |b, h| {
+                b.iter(|| {
+                    let mut ts = TimestampedRollback::new(faculty_schema());
+                    for (t, op) in h {
+                        ts.commit(*t, std::slice::from_ref(op)).expect("valid");
+                    }
+                    ts.stored_tuples()
+                })
+            },
+        );
     }
     group.finish();
 }

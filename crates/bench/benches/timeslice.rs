@@ -111,10 +111,8 @@ fn bench_timeslice(c: &mut Criterion) {
             |b, t| {
                 b.iter(|| {
                     let rows = t.current_valid_at(probe).expect("ok");
-                    let materialized: Vec<(chronos_core::tuple::Tuple, Validity)> = rows
-                        .into_iter()
-                        .map(|r| (r.tuple, r.validity))
-                        .collect();
+                    let materialized: Vec<(chronos_core::tuple::Tuple, Validity)> =
+                        rows.into_iter().map(|r| (r.tuple, r.validity)).collect();
                     materialized.len()
                 })
             },

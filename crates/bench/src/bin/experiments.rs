@@ -77,12 +77,14 @@ fn approx_row_bytes(t: &Tuple) -> usize {
 }
 
 fn main() {
+    // A crash-matrix child re-execs this binary with the fault armed;
+    // it runs the workload and never returns.
+    chronos_bench::fault_matrix::maybe_run_child();
     println!("ChronosDB experiments (paper: Snodgrass & Ahn, SIGMOD 1985)");
     let only = std::env::var("EXPERIMENTS_ONLY").ok();
     let want = |id: &str| {
-        only.as_deref().is_none_or(|o| {
-            o.split(',').any(|p| p.trim().eq_ignore_ascii_case(id))
-        })
+        only.as_deref()
+            .is_none_or(|o| o.split(',').any(|p| p.trim().eq_ignore_ascii_case(id)))
     };
     if want("T1") {
         t1_rollback_storage();
@@ -123,6 +125,9 @@ fn main() {
     if want("T11") {
         t11_stats = Some(t11_temporal_introspection());
     }
+    if want("faults") {
+        faults_matrix();
+    }
     if t9_rows.is_some() || t10_stats.is_some() || t11_stats.is_some() {
         write_bench_observability_json(
             t9_rows.as_deref().unwrap_or(&[]),
@@ -131,6 +136,48 @@ fn main() {
         );
     }
     println!("\nDone.  These tables are recorded in EXPERIMENTS.md.");
+}
+
+// ---------------------------------------------------------------------
+// faults — the crash/unwind fault matrix (EXPERIMENTS_ONLY=faults)
+// ---------------------------------------------------------------------
+
+/// Runs the full fault matrix: every registered crash site crashes a
+/// re-exec'd child mid-workload and the recovered state is verified
+/// against the oracle, then every site is re-run in unwind (injected
+/// `Err`) mode in-process.  Exits non-zero if any site fails.
+fn faults_matrix() {
+    heading("faults — deterministic fault-injection matrix (crash + unwind)");
+    let exe = std::env::current_exe().expect("own executable path");
+    println!(
+        "crash matrix ({} sites):",
+        chronos_obs::fault::CRASH_SITES.len()
+    );
+    let crash = chronos_bench::fault_matrix::run_crash_matrix(&exe, &[]);
+    match &crash {
+        Ok(lines) => {
+            for l in lines {
+                println!("  {l}");
+            }
+        }
+        Err(e) => eprintln!("  FAILED: {e}"),
+    }
+    println!(
+        "unwind matrix ({} sites):",
+        chronos_obs::fault::CRASH_SITES.len()
+    );
+    let unwind = chronos_bench::fault_matrix::run_unwind_matrix();
+    match &unwind {
+        Ok(lines) => {
+            for l in lines {
+                println!("  {l}");
+            }
+        }
+        Err(e) => eprintln!("  FAILED: {e}"),
+    }
+    if crash.is_err() || unwind.is_err() {
+        std::process::exit(1);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -495,7 +542,9 @@ fn t5_capability_matrix() {
     for rel in ["s_rel", "r_rel", "h_rel", "t_rel"] {
         clock.tick(1);
         db.session()
-            .run(&format!(r#"append to {rel} (name = "Merrie", rank = "full")"#))
+            .run(&format!(
+                r#"append to {rel} (name = "Merrie", rank = "full")"#
+            ))
             .expect("append");
     }
     println!(
@@ -627,7 +676,10 @@ fn t7_tquel_throughput() {
             ),
         ),
     ];
-    println!("{:>20} | {:>12} | {:>6}", "query shape", "latency µs", "rows");
+    println!(
+        "{:>20} | {:>12} | {:>6}",
+        "query shape", "latency µs", "rows"
+    );
     for (name, src) in shapes {
         let rows = db.session().query(src).expect("query").len();
         let mut session = db.session();
@@ -872,9 +924,7 @@ fn t10_operational_surface() -> T10Stats {
     // Slow-log overhead: the monitored wrapper at the disabled
     // threshold (the default, u64::MAX) against the plain execute
     // path.  Interleaved min-of-9, same discipline as overhead_check.
-    let retrieve = format!(
-        r#"retrieve (f.rank) where f.name = "prof00007" as of "{as_of}""#
-    );
+    let retrieve = format!(r#"retrieve (f.rank) where f.name = "prof00007" as of "{as_of}""#);
     let stmt = chronos_tquel::parser::parse_statement(&retrieve).expect("parse");
     assert_eq!(
         db.recorder().slowlog().threshold_ns(),
@@ -967,10 +1017,10 @@ fn t11_temporal_introspection() -> T11Stats {
         start.elapsed().as_nanos() as u64
     };
     std::hint::black_box(run_loop(&mut db)); // warmup
-    // Paired rounds: each measures off and on adjacently (alternating
-    // which goes first, so frequency drift hits both sides alike) and
-    // contributes one ratio; the median ratio is immune to the odd
-    // preempted loop that a min-of-totals would let dominate.
+                                             // Paired rounds: each measures off and on adjacently (alternating
+                                             // which goes first, so frequency drift hits both sides alike) and
+                                             // contributes one ratio; the median ratio is immune to the odd
+                                             // preempted loop that a min-of-totals would let dominate.
     let mut ratios = Vec::new();
     for round in 0..15 {
         let off_first = round % 2 == 0;
@@ -1002,10 +1052,9 @@ fn t11_temporal_introspection() -> T11Stats {
     db.sample_now();
     let mut session = db.session();
     session.run("range of s is sys$stats").expect("range");
-    let tstmt = chronos_tquel::parser::parse_statement(
-        r#"retrieve (s.value) where s.metric = "commits""#,
-    )
-    .expect("parse");
+    let tstmt =
+        chronos_tquel::parser::parse_statement(r#"retrieve (s.value) where s.metric = "commits""#)
+            .expect("parse");
     let telemetry_query_ns = time_ns(50, || {
         std::hint::black_box(session.execute(&tstmt).expect("telemetry query"));
     });
@@ -1032,11 +1081,7 @@ fn t11_temporal_introspection() -> T11Stats {
 /// Emits the T9 sweep plus the T10/T11 stats as
 /// `BENCH_observability.json`.  Hand-rolled JSON: the workspace
 /// deliberately has no serde.
-fn write_bench_observability_json(
-    rows: &[ObsRow],
-    t10: Option<&T10Stats>,
-    t11: Option<&T11Stats>,
-) {
+fn write_bench_observability_json(rows: &[ObsRow], t10: Option<&T10Stats>, t11: Option<&T11Stats>) {
     let mut out = String::from("{\n  \"experiment\": \"T9+T10+T11\",\n");
     out.push_str("  \"description\": \"replayed transactions per checkpoint interval; operational surface; temporal introspection\",\n");
     out.push_str("  \"source\": \"engine metrics registry + embedded HTTP exporter\",\n");

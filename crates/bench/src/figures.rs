@@ -53,7 +53,12 @@ pub fn render_figure_1() -> String {
             row.reference.to_string(),
             term,
             row.append_only.to_string(),
-            if row.application_independent { "Yes" } else { "No" }.to_string(),
+            if row.application_independent {
+                "Yes"
+            } else {
+                "No"
+            }
+            .to_string(),
             row.models.to_string(),
         ]);
     }
@@ -102,7 +107,10 @@ pub fn figure_3() -> SnapshotRollback {
         .insert(tuple(["t3"]))
         .commit(Chronon::new(1))
         .expect("tx 1");
-    r.begin().insert(tuple(["t4"])).commit(Chronon::new(2)).expect("tx 2");
+    r.begin()
+        .insert(tuple(["t4"]))
+        .commit(Chronon::new(2))
+        .expect("tx 2");
     r.begin()
         .delete(tuple(["t2"]))
         .insert(tuple(["t5"]))
@@ -117,7 +125,11 @@ pub fn render_figure_3() -> String {
     let r = figure_3();
     let mut out = String::new();
     for (i, (t, state)) in r.states().iter().enumerate() {
-        let members: Vec<String> = state.sorted().iter().map(|x| x.get(0).to_string()).collect();
+        let members: Vec<String> = state
+            .sorted()
+            .iter()
+            .map(|x| x.get(0).to_string())
+            .collect();
         out.push_str(&format!(
             "after transaction {} (tx time {}): {{{}}}\n",
             i + 1,
@@ -157,8 +169,8 @@ pub fn figure_4() -> TimestampedRollback {
 /// Renders Figure 4 in the paper's row order.
 pub fn render_figure_4() -> String {
     let r = figure_4();
-    let mut t = TextTable::new(["name", "rank", "tx (start)", "tx (end)"])
-        .with_double_bar_before(2);
+    let mut t =
+        TextTable::new(["name", "rank", "tx (start)", "tx (end)"]).with_double_bar_before(2);
     let mut rows = r.rows().to_vec();
     sort_like_paper(&mut rows, |row| (row.tuple.clone(), row.tx.start()));
     for row in rows {
@@ -223,7 +235,8 @@ pub fn figure_5() -> Vec<(usize, HistoricalRelation)> {
     .expect("t2 exists");
     states.push((3, r.clone()));
     // The correcting transaction: t3 should never have been there.
-    r.remove(&RowSelector::tuple(tuple(["t3"]))).expect("t3 exists");
+    r.remove(&RowSelector::tuple(tuple(["t3"])))
+        .expect("t3 exists");
     states.push((4, r));
     states
 }
@@ -237,7 +250,10 @@ pub fn render_figure_5() -> String {
             .iter()
             .map(|r| format!("{} {}", r.tuple.get(0), r.validity))
             .collect();
-        out.push_str(&format!("after modification {i}: {{{}}}\n", members.join(", ")));
+        out.push_str(&format!(
+            "after modification {i}: {{{}}}\n",
+            members.join(", ")
+        ));
     }
     out
 }
@@ -247,8 +263,10 @@ pub fn figure_6() -> HistoricalRelation {
     let mut r = HistoricalRelation::new(faculty_schema(), TemporalSignature::Interval);
     r.insert(tuple(["Merrie", "associate"]), p("09/01/77", "12/01/82"))
         .expect("fresh");
-    r.insert(tuple(["Merrie", "full"]), open("12/01/82")).expect("fresh");
-    r.insert(tuple(["Tom", "associate"]), open("12/05/82")).expect("fresh");
+    r.insert(tuple(["Merrie", "full"]), open("12/01/82"))
+        .expect("fresh");
+    r.insert(tuple(["Tom", "associate"]), open("12/05/82"))
+        .expect("fresh");
     r.insert(tuple(["Mike", "assistant"]), p("01/01/83", "03/01/84"))
         .expect("fresh");
     r
@@ -257,10 +275,12 @@ pub fn figure_6() -> HistoricalRelation {
 /// Renders Figure 6 in the paper's row order.
 pub fn render_figure_6() -> String {
     let r = figure_6();
-    let mut t = TextTable::new(["name", "rank", "valid (from)", "valid (to)"])
-        .with_double_bar_before(2);
+    let mut t =
+        TextTable::new(["name", "rank", "valid (from)", "valid (to)"]).with_double_bar_before(2);
     let mut rows = r.rows().to_vec();
-    sort_like_paper(&mut rows, |row| (row.tuple.clone(), row.validity.period().start()));
+    sort_like_paper(&mut rows, |row| {
+        (row.tuple.clone(), row.validity.period().start())
+    });
     for row in rows {
         let per = row.validity.period();
         t.push_row([
@@ -290,7 +310,10 @@ pub fn figure_7() -> SnapshotTemporal {
         .insert(tuple(["t3"]), v(1))
         .commit(Chronon::new(1))
         .expect("tx 1");
-    r.begin().insert(tuple(["t4"]), v(2)).commit(Chronon::new(2)).expect("tx 2");
+    r.begin()
+        .insert(tuple(["t4"]), v(2))
+        .commit(Chronon::new(2))
+        .expect("tx 2");
     r.begin()
         .insert(tuple(["t5"]), v(3))
         .set_validity(
@@ -383,7 +406,10 @@ pub fn render_bitemporal_rows(rows: &[BitemporalRow]) -> String {
     .with_double_bar_before(2);
     let mut rows = rows.to_vec();
     sort_like_paper(&mut rows, |row| {
-        (row.tuple.clone(), (row.tx.start(), row.validity.period().start()))
+        (
+            row.tuple.clone(),
+            (row.tx.start(), row.validity.period().start()),
+        )
     });
     for row in rows {
         let per = row.validity.period();
@@ -468,7 +494,10 @@ pub fn render_figure_9() -> String {
     .with_double_bar_before(3);
     let mut rows = rel.rows().to_vec();
     sort_like_paper(&mut rows, |row| {
-        (row.tuple.clone(), (row.tx.start(), row.validity.period().start()))
+        (
+            row.tuple.clone(),
+            (row.tx.start(), row.validity.period().start()),
+        )
     });
     for row in rows {
         let at = match row.validity {
@@ -534,7 +563,12 @@ pub fn render_figure_12() -> String {
         t.push_row([
             kind.to_string(),
             if kind.append_only() { "Yes" } else { "No" }.to_string(),
-            if kind.application_independent() { "Yes" } else { "No" }.to_string(),
+            if kind.application_independent() {
+                "Yes"
+            } else {
+                "No"
+            }
+            .to_string(),
             kind.models().to_string(),
         ]);
     }
@@ -626,18 +660,30 @@ mod tests {
         assert_eq!(r.stored_tuples(), 6);
         let rendered = render_figure_9();
         for needle in [
-            "Merrie", "associate", "09/01/77", "08/25/77", "12/11/82", "left", "03/01/84",
-            "02/25/84", "∞",
+            "Merrie",
+            "associate",
+            "09/01/77",
+            "08/25/77",
+            "12/11/82",
+            "left",
+            "03/01/84",
+            "02/25/84",
+            "∞",
         ] {
-            assert!(rendered.contains(needle), "missing {needle} in:\n{rendered}");
+            assert!(
+                rendered.contains(needle),
+                "missing {needle} in:\n{rendered}"
+            );
         }
         // Tom's erroneous `full` promotion record was superseded on
         // 12/07/82: its transaction period is closed.
         let closed_tom = r
             .rows()
             .iter()
-            .find(|row| row.tuple.get(1).as_str() == Some("full")
-                && row.tuple.get(0).as_str() == Some("Tom"))
+            .find(|row| {
+                row.tuple.get(1).as_str() == Some("full")
+                    && row.tuple.get(0).as_str() == Some("Tom")
+            })
             .unwrap();
         assert_eq!(closed_tom.tx, p("12/01/82", "12/07/82"));
     }

@@ -11,5 +11,6 @@
 //! * `cargo bench -p chronos-bench` runs the criterion benchmarks behind
 //!   those experiments.
 
+pub mod fault_matrix;
 pub mod figures;
 pub mod workload;

@@ -9,9 +9,9 @@
 
 use chronos_core::chronon::Chronon;
 use chronos_core::period::Period;
+use chronos_core::relation::historical::HistoricalRelation;
 use chronos_core::relation::{HistoricalOp, RowSelector, Validity};
 use chronos_core::schema::{faculty_schema, Schema, TemporalSignature};
-use chronos_core::relation::historical::HistoricalRelation;
 use chronos_core::tuple::{tuple, Tuple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -228,7 +228,10 @@ mod tests {
             seed: 7,
         };
         let w = generate(&spec);
-        assert!(w.transactions.len() >= 45, "almost all transactions generated");
+        assert!(
+            w.transactions.len() >= 45,
+            "almost all transactions generated"
+        );
         let mut cube = SnapshotTemporal::new(w.schema.clone(), TemporalSignature::Interval);
         let mut table = BitemporalTable::new(w.schema.clone(), TemporalSignature::Interval);
         for tx in &w.transactions {
@@ -248,10 +251,7 @@ mod tests {
             assert_eq!(x.tx_time, y.tx_time);
             assert_eq!(x.ops, y.ops);
         }
-        let c = generate(&WorkloadSpec {
-            seed: 43,
-            ..spec
-        });
+        let c = generate(&WorkloadSpec { seed: 43, ..spec });
         assert!(a
             .transactions
             .iter()

@@ -192,15 +192,17 @@ mod tests {
     #[test]
     fn epoch_is_day_zero() {
         assert_eq!(Date::new(1970, 1, 1).unwrap().to_chronon(), Chronon::ZERO);
-        assert_eq!(Date::from_chronon(Chronon::ZERO), Date::new(1970, 1, 1).unwrap());
+        assert_eq!(
+            Date::from_chronon(Chronon::ZERO),
+            Date::new(1970, 1, 1).unwrap()
+        );
     }
 
     #[test]
     fn paper_dates_parse_and_print() {
         for s in [
-            "08/25/77", "12/15/82", "12/07/82", "01/10/83", "02/25/84", "09/01/77",
-            "12/01/82", "12/05/82", "01/01/83", "03/01/84", "12/10/82", "12/11/82",
-            "12/20/82",
+            "08/25/77", "12/15/82", "12/07/82", "01/10/83", "02/25/84", "09/01/77", "12/01/82",
+            "12/05/82", "01/01/83", "03/01/84", "12/10/82", "12/11/82", "12/20/82",
         ] {
             let c = date(s).unwrap();
             assert_eq!(Date::from_chronon(c).to_string(), s, "round trip of {s}");

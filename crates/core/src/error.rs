@@ -54,7 +54,10 @@ impl fmt::Display for CoreError {
             CoreError::InvalidDate(m) => write!(f, "invalid date: {m}"),
             CoreError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
             CoreError::SchemaMismatch { expected, found } => {
-                write!(f, "tuple does not match schema: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "tuple does not match schema: expected {expected}, found {found}"
+                )
             }
             CoreError::NonMonotonicCommit { last, attempted } => write!(
                 f,
@@ -85,6 +88,8 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("12/15/82") && s.contains("12/10/82"));
-        assert!(CoreError::InvalidDate("x".into()).to_string().contains("invalid date"));
+        assert!(CoreError::InvalidDate("x".into())
+            .to_string()
+            .contains("invalid date"));
     }
 }

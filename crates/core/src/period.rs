@@ -451,8 +451,13 @@ mod tests {
     #[test]
     fn construction_rejects_backwards() {
         assert!(Period::new(Chronon::new(5), Chronon::new(3)).is_none());
-        assert!(Period::new(Chronon::new(3), Chronon::new(3)).unwrap().is_empty());
-        assert_eq!(Period::clamped(Chronon::new(5), Chronon::new(3)), Period::EMPTY);
+        assert!(Period::new(Chronon::new(3), Chronon::new(3))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            Period::clamped(Chronon::new(5), Chronon::new(3)),
+            Period::EMPTY
+        );
     }
 
     #[test]

@@ -231,7 +231,9 @@ impl HistoricalRelation {
 
     /// Rows whose validity period overlaps `p`.
     pub fn overlapping(&self, p: Period) -> impl Iterator<Item = &HistoricalRow> {
-        self.rows.iter().filter(move |r| r.validity.period().overlaps(p))
+        self.rows
+            .iter()
+            .filter(move |r| r.validity.period().overlaps(p))
     }
 
     /// Canonical sorted copy of the rows (for order-insensitive
@@ -239,11 +241,16 @@ impl HistoricalRelation {
     pub fn sorted_rows(&self) -> Vec<HistoricalRow> {
         let mut rows = self.rows.clone();
         rows.sort_by(|a, b| {
-            (&a.tuple, a.validity.period().start(), a.validity.period().end()).cmp(&(
-                &b.tuple,
-                b.validity.period().start(),
-                b.validity.period().end(),
-            ))
+            (
+                &a.tuple,
+                a.validity.period().start(),
+                a.validity.period().end(),
+            )
+                .cmp(&(
+                    &b.tuple,
+                    b.validity.period().start(),
+                    b.validity.period().end(),
+                ))
         });
         rows
     }
@@ -276,10 +283,16 @@ mod tests {
             Period::new(date("09/01/77").unwrap(), date("12/01/82").unwrap()).unwrap(),
         )
         .unwrap();
-        r.insert(tuple(["Merrie", "full"]), Period::from_start(date("12/01/82").unwrap()))
-            .unwrap();
-        r.insert(tuple(["Tom", "associate"]), Period::from_start(date("12/05/82").unwrap()))
-            .unwrap();
+        r.insert(
+            tuple(["Merrie", "full"]),
+            Period::from_start(date("12/01/82").unwrap()),
+        )
+        .unwrap();
+        r.insert(
+            tuple(["Tom", "associate"]),
+            Period::from_start(date("12/05/82").unwrap()),
+        )
+        .unwrap();
         r.insert(
             tuple(["Mike", "assistant"]),
             Period::new(date("01/01/83").unwrap(), date("03/01/84").unwrap()).unwrap(),
@@ -321,19 +334,20 @@ mod tests {
         assert!(s.contains(&tuple(["Merrie", "full"])));
         // No record remains of the old belief: the relation simply *is*
         // the corrected history.
-        assert!(!r
-            .rows()
-            .iter()
-            .any(|row| row.validity.period().start()
-                == crate::timepoint::TimePoint::at(date("12/01/82").unwrap())));
+        assert!(!r.rows().iter().any(|row| row.validity.period().start()
+            == crate::timepoint::TimePoint::at(date("12/01/82").unwrap())));
     }
 
     #[test]
     fn remove_retracts_errors_completely() {
         let mut r = figure_6();
-        let removed = r.remove(&RowSelector::tuple(tuple(["Tom", "associate"]))).unwrap();
+        let removed = r
+            .remove(&RowSelector::tuple(tuple(["Tom", "associate"])))
+            .unwrap();
         assert_eq!(removed, 1);
-        assert!(r.remove(&RowSelector::tuple(tuple(["Tom", "associate"]))).is_err());
+        assert!(r
+            .remove(&RowSelector::tuple(tuple(["Tom", "associate"])))
+            .is_err());
         assert_eq!(r.len(), 3);
     }
 
@@ -357,7 +371,9 @@ mod tests {
     fn empty_periods_rejected() {
         let mut r = figure_6();
         let d = date("01/01/83").unwrap();
-        assert!(r.insert(tuple(["X", "y"]), Period::new(d, d).unwrap()).is_err());
+        assert!(r
+            .insert(tuple(["X", "y"]), Period::new(d, d).unwrap())
+            .is_err());
         assert!(r
             .set_validity(
                 &RowSelector::tuple(tuple(["Tom", "associate"])),

@@ -530,7 +530,8 @@ impl RollbackStore for CheckpointedRollback {
         self.current = next;
         self.log.push((tx_time, ops.to_vec()));
         if self.log.len().is_multiple_of(self.interval) {
-            self.checkpoints.push((self.log.len(), self.current.clone()));
+            self.checkpoints
+                .push((self.log.len(), self.current.clone()));
         }
         Ok(())
     }
@@ -679,7 +680,7 @@ mod tests {
     fn rollback_traced_names_the_access_path() {
         let mut s = CheckpointedRollback::with_interval(faculty_schema(), 2);
         figure_4_history(&mut s); // 5 commits → checkpoints after 2 and 4
-        // Before the first checkpoint: full replay from empty.
+                                  // Before the first checkpoint: full replay from empty.
         let (state, access) = s.rollback_traced(date("12/01/82").unwrap());
         assert_eq!(state, s.rollback(date("12/01/82").unwrap()));
         assert!(!access.checkpoint_hit());
@@ -809,9 +810,18 @@ mod tests {
     fn delete_then_reinsert_same_tuple() {
         let mut s = TimestampedRollback::new(faculty_schema());
         let t = tuple(["Mike", "assistant"]);
-        s.begin().insert(t.clone()).commit(Chronon::new(10)).unwrap();
-        s.begin().delete(t.clone()).commit(Chronon::new(20)).unwrap();
-        s.begin().insert(t.clone()).commit(Chronon::new(30)).unwrap();
+        s.begin()
+            .insert(t.clone())
+            .commit(Chronon::new(10))
+            .unwrap();
+        s.begin()
+            .delete(t.clone())
+            .commit(Chronon::new(20))
+            .unwrap();
+        s.begin()
+            .insert(t.clone())
+            .commit(Chronon::new(30))
+            .unwrap();
         assert!(!s.rollback(Chronon::new(25)).contains(&t));
         assert!(s.rollback(Chronon::new(35)).contains(&t));
         assert_eq!(s.stored_tuples(), 2, "two versions of the tuple");

@@ -208,8 +208,11 @@ mod tests {
         let err = r.replace(&tuple(["Merrie", "associate"]), tuple(["Merrie", "full"]));
         assert!(err.is_err());
         assert_eq!(r.len(), 2);
-        r.replace(&tuple(["Merrie", "associate"]), tuple(["Merrie", "emeritus"]))
-            .unwrap();
+        r.replace(
+            &tuple(["Merrie", "associate"]),
+            tuple(["Merrie", "emeritus"]),
+        )
+        .unwrap();
         assert!(r.contains(&tuple(["Merrie", "emeritus"])));
         assert!(!r.contains(&tuple(["Merrie", "associate"])));
     }
@@ -254,6 +257,8 @@ mod tests {
     #[test]
     fn schema_enforced() {
         let mut r = rel();
-        assert!(r.insert(Tuple::new(vec![crate::value::Value::Int(3)])).is_err());
+        assert!(r
+            .insert(Tuple::new(vec![crate::value::Value::Int(3)]))
+            .is_err());
     }
 }

@@ -92,7 +92,8 @@ impl<S: TemporalStore> TemporalTx<'_, S> {
 
     /// Stages correcting a validity.
     pub fn set_validity(mut self, selector: RowSelector, validity: impl Into<Validity>) -> Self {
-        self.ops.push(HistoricalOp::set_validity(selector, validity));
+        self.ops
+            .push(HistoricalOp::set_validity(selector, validity));
         self
     }
 
@@ -356,7 +357,10 @@ mod tests {
     pub(crate) fn figure_8_history<S: TemporalStore>(s: &mut S) {
         // Merrie hired, entered postactively.
         s.begin()
-            .insert(tuple(["Merrie", "associate"]), Period::from_start(d("09/01/77")))
+            .insert(
+                tuple(["Merrie", "associate"]),
+                Period::from_start(d("09/01/77")),
+            )
             .commit(d("08/25/77"))
             .unwrap();
         // Tom entered as full…
@@ -367,7 +371,10 @@ mod tests {
         // …corrected to associate.
         s.begin()
             .remove(RowSelector::tuple(tuple(["Tom", "full"])))
-            .insert(tuple(["Tom", "associate"]), Period::from_start(d("12/05/82")))
+            .insert(
+                tuple(["Tom", "associate"]),
+                Period::from_start(d("12/05/82")),
+            )
             .commit(d("12/07/82"))
             .unwrap();
         // Merrie's promotion recorded retroactively.
@@ -381,7 +388,10 @@ mod tests {
             .unwrap();
         // Mike hired.
         s.begin()
-            .insert(tuple(["Mike", "assistant"]), Period::from_start(d("01/01/83")))
+            .insert(
+                tuple(["Mike", "assistant"]),
+                Period::from_start(d("01/01/83")),
+            )
             .commit(d("01/10/83"))
             .unwrap();
         // Mike leaves effective 03/01/84, recorded 02/25/84.
@@ -399,15 +409,54 @@ mod tests {
         let mut s = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
         figure_8_history(&mut s);
         let expect = [
-            ("Merrie", "associate", "09/01/77", None, "08/25/77", Some("12/15/82")),
-            ("Merrie", "associate", "09/01/77", Some("12/01/82"), "12/15/82", None),
+            (
+                "Merrie",
+                "associate",
+                "09/01/77",
+                None,
+                "08/25/77",
+                Some("12/15/82"),
+            ),
+            (
+                "Merrie",
+                "associate",
+                "09/01/77",
+                Some("12/01/82"),
+                "12/15/82",
+                None,
+            ),
             ("Merrie", "full", "12/01/82", None, "12/15/82", None),
-            ("Tom", "full", "12/05/82", None, "12/01/82", Some("12/07/82")),
+            (
+                "Tom",
+                "full",
+                "12/05/82",
+                None,
+                "12/01/82",
+                Some("12/07/82"),
+            ),
             ("Tom", "associate", "12/05/82", None, "12/07/82", None),
-            ("Mike", "assistant", "01/01/83", None, "01/10/83", Some("02/25/84")),
-            ("Mike", "assistant", "01/01/83", Some("03/01/84"), "02/25/84", None),
+            (
+                "Mike",
+                "assistant",
+                "01/01/83",
+                None,
+                "01/10/83",
+                Some("02/25/84"),
+            ),
+            (
+                "Mike",
+                "assistant",
+                "01/01/83",
+                Some("03/01/84"),
+                "02/25/84",
+                None,
+            ),
         ];
-        assert_eq!(s.rows().len(), expect.len(), "exactly the 7 rows of Figure 8");
+        assert_eq!(
+            s.rows().len(),
+            expect.len(),
+            "exactly the 7 rows of Figure 8"
+        );
         for (name, rank, vf, vt, ts, te) in expect {
             let validity = Validity::Interval(match vt {
                 Some(vt) => p(vf, vt),
@@ -483,7 +532,10 @@ mod tests {
             .collect();
         assert_eq!(merrie.len(), 1);
         assert_eq!(merrie[0].tuple.get(1).as_str(), Some("associate"));
-        assert_eq!(merrie[0].validity.period(), Period::from_start(d("09/01/77")));
+        assert_eq!(
+            merrie[0].validity.period(),
+            Period::from_start(d("09/01/77"))
+        );
         // The database was inconsistent with reality 12/01–12/15: the
         // historical relation would already show `full`, the rollback
         // state does not.

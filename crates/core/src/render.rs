@@ -146,7 +146,8 @@ mod tests {
 
     #[test]
     fn double_bar_between_attribute_groups() {
-        let mut t = TextTable::new(["name", "rank", "tx start", "tx end"]).with_double_bar_before(2);
+        let mut t =
+            TextTable::new(["name", "rank", "tx start", "tx end"]).with_double_bar_before(2);
         t.push_row(["Merrie", "full", "12/15/82", "∞"]);
         let s = t.render();
         assert!(s.lines().nth(2).unwrap().contains("|| 12/15/82"));

@@ -229,7 +229,9 @@ mod tests {
     fn checks_tuples() {
         let s = faculty_schema();
         assert!(s.check(&tuple(["Merrie", "full"])).is_ok());
-        assert!(s.check(&Tuple::new(vec![Value::Int(1), Value::str("full")])).is_err());
+        assert!(s
+            .check(&Tuple::new(vec![Value::Int(1), Value::str("full")]))
+            .is_err());
         assert!(s.check(&Tuple::new(vec![Value::str("Merrie")])).is_err());
     }
 

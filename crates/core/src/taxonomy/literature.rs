@@ -83,30 +83,122 @@ pub struct PriorTime {
 pub fn figure_1() -> Vec<PriorTime> {
     use AppendOnly::*;
     use ModelsCell::*;
-    let row = |reference, terminology, append_only, application_independent, models, unsupported| {
-        PriorTime {
-            reference,
-            terminology,
-            append_only,
-            application_independent,
-            models,
-            unsupported,
-        }
-    };
+    let row =
+        |reference, terminology, append_only, application_independent, models, unsupported| {
+            PriorTime {
+                reference,
+                terminology,
+                append_only,
+                application_independent,
+                models,
+                unsupported,
+            }
+        };
     vec![
-        row("[Ariav & Morgan 1982]", "Time", Yes, true, Plain(Modeled::Representation), false),
-        row("[Ben-Zvi 1982]", "Registration", Yes, true, Plain(Modeled::Representation), false),
-        row("[Ben-Zvi 1982]", "Effective", No, true, Plain(Modeled::Reality), false),
-        row("[Clifford & Warren 1983]", "State", No, true, Unstated, false),
-        row("[Copeland & Maier 1984]", "Transaction", Yes, true, Plain(Modeled::Representation), false),
-        row("[Copeland & Maier 1984]", "Event", No, false, Plain(Modeled::Reality), true),
-        row("[Dadam et al. 1984] & [Lum et al. 1984]", "Physical", CorrectionsOnly, true, Plain(Modeled::Representation), false),
-        row("[Dadam et al. 1984] & [Lum et al. 1984]", "Logical", No, false, Plain(Modeled::Reality), true),
-        row("[Jones et al. 1979] & [Jones & Mason 1980]", "Start/End", CorrectionsOnly, true, Plain(Modeled::Reality), false),
-        row("[Jones et al. 1979] & [Jones & Mason 1980]", "User Defined", No, false, Plain(Modeled::Reality), false),
-        row("[Mueller & Steinbauer 1983]", "Data-Valid-Time-From/To", FutureChangesOnly, true, ModelsCell::RepresentationWithFutureReality, false),
-        row("[Reed 1978]", "Start/End", Yes, true, Plain(Modeled::Representation), false),
-        row("[Snodgrass 1984]", "Valid Time", No, true, Plain(Modeled::Reality), false),
+        row(
+            "[Ariav & Morgan 1982]",
+            "Time",
+            Yes,
+            true,
+            Plain(Modeled::Representation),
+            false,
+        ),
+        row(
+            "[Ben-Zvi 1982]",
+            "Registration",
+            Yes,
+            true,
+            Plain(Modeled::Representation),
+            false,
+        ),
+        row(
+            "[Ben-Zvi 1982]",
+            "Effective",
+            No,
+            true,
+            Plain(Modeled::Reality),
+            false,
+        ),
+        row(
+            "[Clifford & Warren 1983]",
+            "State",
+            No,
+            true,
+            Unstated,
+            false,
+        ),
+        row(
+            "[Copeland & Maier 1984]",
+            "Transaction",
+            Yes,
+            true,
+            Plain(Modeled::Representation),
+            false,
+        ),
+        row(
+            "[Copeland & Maier 1984]",
+            "Event",
+            No,
+            false,
+            Plain(Modeled::Reality),
+            true,
+        ),
+        row(
+            "[Dadam et al. 1984] & [Lum et al. 1984]",
+            "Physical",
+            CorrectionsOnly,
+            true,
+            Plain(Modeled::Representation),
+            false,
+        ),
+        row(
+            "[Dadam et al. 1984] & [Lum et al. 1984]",
+            "Logical",
+            No,
+            false,
+            Plain(Modeled::Reality),
+            true,
+        ),
+        row(
+            "[Jones et al. 1979] & [Jones & Mason 1980]",
+            "Start/End",
+            CorrectionsOnly,
+            true,
+            Plain(Modeled::Reality),
+            false,
+        ),
+        row(
+            "[Jones et al. 1979] & [Jones & Mason 1980]",
+            "User Defined",
+            No,
+            false,
+            Plain(Modeled::Reality),
+            false,
+        ),
+        row(
+            "[Mueller & Steinbauer 1983]",
+            "Data-Valid-Time-From/To",
+            FutureChangesOnly,
+            true,
+            ModelsCell::RepresentationWithFutureReality,
+            false,
+        ),
+        row(
+            "[Reed 1978]",
+            "Start/End",
+            Yes,
+            true,
+            Plain(Modeled::Representation),
+            false,
+        ),
+        row(
+            "[Snodgrass 1984]",
+            "Valid Time",
+            No,
+            true,
+            Plain(Modeled::Reality),
+            false,
+        ),
     ]
 }
 
@@ -171,8 +263,20 @@ pub fn figure_13() -> Vec<SurveyedSystem> {
         row("[Klopprogge 1981]", "TERM", false, true, false),
         row("[Lum et al. 1984]", "AIM", true, false, false),
         row("[Relational 1984]", "MicroINGRES", false, false, true),
-        row("[Mueller & Steinbauer 1983]", "(CAM databases)", true, false, false),
-        row("[Overmyer & Stonebraker 1982]", "INGRES", false, false, true),
+        row(
+            "[Mueller & Steinbauer 1983]",
+            "(CAM databases)",
+            true,
+            false,
+            false,
+        ),
+        row(
+            "[Overmyer & Stonebraker 1982]",
+            "INGRES",
+            false,
+            false,
+            true,
+        ),
         row("[Reed 1978]", "SWALLOW", true, false, false),
         row("[Snodgrass 1985]", "TQuel", true, true, true),
         row("[Tandem 1983]", "ENFORM", false, false, true),
@@ -197,7 +301,10 @@ mod tests {
         // The rows the paper maps onto transaction time are append-only,
         // application-independent representations…
         let rows = figure_1();
-        let registration = rows.iter().find(|r| r.terminology == "Registration").unwrap();
+        let registration = rows
+            .iter()
+            .find(|r| r.terminology == "Registration")
+            .unwrap();
         assert_eq!(registration.append_only, AppendOnly::Yes);
         assert!(registration.application_independent);
         // …and Snodgrass's valid time matches the Valid row of Figure 12.

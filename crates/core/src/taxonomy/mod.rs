@@ -48,7 +48,11 @@ pub enum TimeKind {
 
 impl TimeKind {
     /// All three kinds, in the paper's order.
-    pub const ALL: [TimeKind; 3] = [TimeKind::Transaction, TimeKind::Valid, TimeKind::UserDefined];
+    pub const ALL: [TimeKind; 3] = [
+        TimeKind::Transaction,
+        TimeKind::Valid,
+        TimeKind::UserDefined,
+    ];
 
     /// Figure 12, column "Append-Only": may values of this kind only be
     /// appended, never changed?
@@ -106,7 +110,10 @@ impl DatabaseClass {
     /// Does the class support the rollback operation (⇔ transaction
     /// time)?
     pub fn supports_rollback(self) -> bool {
-        matches!(self, DatabaseClass::StaticRollback | DatabaseClass::Temporal)
+        matches!(
+            self,
+            DatabaseClass::StaticRollback | DatabaseClass::Temporal
+        )
     }
 
     /// Does the class support historical queries (⇔ valid time)?
@@ -130,9 +137,11 @@ impl DatabaseClass {
             DatabaseClass::Static => &[],
             DatabaseClass::StaticRollback => &[TimeKind::Transaction],
             DatabaseClass::Historical => &[TimeKind::Valid, TimeKind::UserDefined],
-            DatabaseClass::Temporal => {
-                &[TimeKind::Transaction, TimeKind::Valid, TimeKind::UserDefined]
-            }
+            DatabaseClass::Temporal => &[
+                TimeKind::Transaction,
+                TimeKind::Valid,
+                TimeKind::UserDefined,
+            ],
         }
     }
 

@@ -186,7 +186,10 @@ mod tests {
             TimePoint::MINUS_INFINITY.cmp(&TimePoint::MINUS_INFINITY),
             Ordering::Equal
         );
-        assert_eq!(TimePoint::INFINITY.cmp(&TimePoint::INFINITY), Ordering::Equal);
+        assert_eq!(
+            TimePoint::INFINITY.cmp(&TimePoint::INFINITY),
+            Ordering::Equal
+        );
     }
 
     #[test]

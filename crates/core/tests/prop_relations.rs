@@ -62,10 +62,7 @@ fn lower(state: &mut HistoricalRelation, script: &[ScriptOp]) -> Vec<HistoricalO
                     continue;
                 }
                 let row = &rows[n % rows.len()];
-                let op = HistoricalOp::remove(RowSelector::exact(
-                    row.tuple.clone(),
-                    row.validity,
-                ));
+                let op = HistoricalOp::remove(RowSelector::exact(row.tuple.clone(), row.validity));
                 state
                     .apply(std::slice::from_ref(&op))
                     .expect("exact removal of an existing row succeeds");

@@ -149,6 +149,9 @@ impl Args {
 }
 
 fn main() {
+    // Deterministic fault injection (CHRONOS_FAULT_SITE/HIT/MODE/KEEP):
+    // lets scripts crash-test the CLI's own open/commit/checkpoint paths.
+    chronos_obs::fault::arm_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match Args::parse(&argv) {
         Ok(Some(args)) => args,
@@ -239,6 +242,9 @@ fn main() {
     let interactive = !args.batch;
     let mut session = db.session();
     let mut buffer = String::new();
+    // Batch scripts (heredocs in CI) must fail loudly: any statement
+    // error makes the whole run exit non-zero.
+    let mut had_error = false;
     if interactive {
         print!("chronos> ");
         let _ = std::io::stdout().flush();
@@ -251,7 +257,7 @@ fn main() {
         let trimmed = line.trim();
         if trimmed.starts_with('\\') {
             if !buffer.trim().is_empty() {
-                execute(&mut session, &buffer);
+                had_error |= !execute(&mut session, &buffer);
                 buffer.clear();
             }
             let mut parts = trimmed.split_whitespace();
@@ -282,7 +288,10 @@ fn main() {
                 },
                 Some("\\checkpoint") => match session.database().checkpoint() {
                     Ok(()) => println!("  checkpointed"),
-                    Err(e) => eprintln!("  {e}"),
+                    Err(e) => {
+                        eprintln!("  {e}");
+                        had_error = true;
+                    }
                 },
                 Some("\\stats") => {
                     print!("{}", session.database().engine_stats().to_prometheus());
@@ -318,7 +327,7 @@ fn main() {
             }
         } else if trimmed.is_empty() {
             if !buffer.trim().is_empty() {
-                execute(&mut session, &buffer);
+                had_error |= !execute(&mut session, &buffer);
                 buffer.clear();
             }
         } else {
@@ -331,10 +340,13 @@ fn main() {
         }
     }
     if !buffer.trim().is_empty() {
-        execute(&mut session, &buffer);
+        had_error |= !execute(&mut session, &buffer);
     }
     drop(session);
     drop(obs_server); // joins the accept thread
+    if args.batch && had_error {
+        std::process::exit(1);
+    }
 }
 
 /// Aggregates the recorder's span ring into a "top operators" table:
@@ -364,18 +376,25 @@ fn render_top(events: Vec<chronos_obs::RingEvent>) -> String {
     out
 }
 
-fn execute(session: &mut chronos_db::Session<'_>, src: &str) {
+/// Runs one statement batch; returns `false` if it errored.
+fn execute(session: &mut chronos_db::Session<'_>, src: &str) -> bool {
     match session.run(src) {
         Ok(outcomes) => {
             for outcome in outcomes {
                 match outcome {
                     ExecOutcome::Retrieved(rel) => {
                         print!("{}", render(&rel));
-                        println!("({} row{})", rel.len(), if rel.len() == 1 { "" } else { "s" });
+                        println!(
+                            "({} row{})",
+                            rel.len(),
+                            if rel.len() == 1 { "" } else { "s" }
+                        );
                     }
                     ExecOutcome::Appended(t) => {
-                        println!("appended (transaction time {})",
-                            chronos_core::calendar::Date::from_chronon(t));
+                        println!(
+                            "appended (transaction time {})",
+                            chronos_core::calendar::Date::from_chronon(t)
+                        );
                     }
                     ExecOutcome::Materialized { relation, rows } => {
                         println!("materialized {rows} row(s) into {relation}");
@@ -393,7 +412,11 @@ fn execute(session: &mut chronos_db::Session<'_>, src: &str) {
                     ExecOutcome::Declared => {}
                 }
             }
+            true
         }
-        Err(e) => eprintln!("error: {e}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            false
+        }
     }
 }

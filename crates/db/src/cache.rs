@@ -92,11 +92,7 @@ impl QueryCache {
     /// Looks up a cached scan, refreshing its LRU stamp.  A stale entry
     /// (relation committed to since it was cached) is dropped and
     /// reported as a miss.
-    pub fn get(
-        &mut self,
-        relation: &str,
-        as_of: Option<&AsOfSpec>,
-    ) -> Option<Arc<Vec<SourceRow>>> {
+    pub fn get(&mut self, relation: &str, as_of: Option<&AsOfSpec>) -> Option<Arc<Vec<SourceRow>>> {
         let key = (relation.to_string(), as_of.copied());
         let current = self.epoch_of(relation);
         match self.entries.get_mut(&key) {
@@ -121,12 +117,7 @@ impl QueryCache {
 
     /// Caches a scan result at the relation's current epoch, evicting
     /// the least-recently-used entry when full.
-    pub fn insert(
-        &mut self,
-        relation: &str,
-        as_of: Option<&AsOfSpec>,
-        rows: Arc<Vec<SourceRow>>,
-    ) {
+    pub fn insert(&mut self, relation: &str, as_of: Option<&AsOfSpec>, rows: Arc<Vec<SourceRow>>) {
         if self.capacity == 0 {
             return;
         }

@@ -19,11 +19,11 @@ use std::collections::BTreeMap;
 use std::path::Path;
 
 use chronos_core::chronon::Chronon;
+use chronos_core::relation::historical::HistoricalRelation;
+use chronos_core::relation::rollback::RollbackStore as _;
 use chronos_core::relation::rollback::{RollbackRow, TimestampedRollback};
 use chronos_core::relation::static_rel::StaticRelation;
-use chronos_core::relation::historical::HistoricalRelation;
 use chronos_core::relation::temporal::{BitemporalRow, TemporalStore as _};
-use chronos_core::relation::rollback::RollbackStore as _;
 use chronos_core::schema::Schema;
 use chronos_storage::codec::{
     crc32, get_period, get_tuple, get_validity, put_ivarint, put_period, put_tuple, put_uvarint,
@@ -36,6 +36,19 @@ use crate::catalog::CatalogEntry;
 use crate::relation::Relation;
 
 const MAGIC: &[u8; 8] = b"CHRONCKP";
+
+/// A loaded checkpoint: the per-relation images plus the WAL floor —
+/// the last commit time the checkpoint has already absorbed.  Replay
+/// skips log records at or below the floor, which makes recovery
+/// idempotent when a crash lands *between* checkpoint rename and WAL
+/// reset (the classic double-apply window: checkpoint and full log
+/// both on disk).
+pub struct Checkpoint {
+    /// Last commit time captured by the images, if any commit happened.
+    pub wal_floor: Option<Chronon>,
+    /// `rel_id → image` for every relation at checkpoint time.
+    pub images: BTreeMap<u32, RelationImage>,
+}
 
 /// The checkpointed state of one relation.
 pub enum RelationImage {
@@ -231,7 +244,8 @@ pub fn restore(entry: &CatalogEntry, image: RelationImage) -> StorageResult<Rela
         RelationImage::Historical(rows) => {
             let mut r = HistoricalRelation::new(schema, entry.signature);
             for row in rows {
-                r.insert(row.tuple, row.validity).map_err(StorageError::Core)?;
+                r.insert(row.tuple, row.validity)
+                    .map_err(StorageError::Core)?;
             }
             Relation::Historical(r)
         }
@@ -239,8 +253,9 @@ pub fn restore(entry: &CatalogEntry, image: RelationImage) -> StorageResult<Rela
             rows,
             last_commit,
             transactions,
-        } => Relation::Temporal(Box::new(
-            StoredBitemporalTable::<chronos_storage::pager::MemPager>::from_rows(
+        } => Relation::Temporal(Box::new(StoredBitemporalTable::<
+            chronos_storage::pager::MemPager,
+        >::from_rows(
             schema,
             entry.signature,
             rows,
@@ -250,10 +265,18 @@ pub fn restore(entry: &CatalogEntry, image: RelationImage) -> StorageResult<Rela
     })
 }
 
-/// Writes a checkpoint file: `(rel_id → image)` for every relation,
-/// framed with magic and CRC-32.
-pub fn save(path: &Path, images: &BTreeMap<u32, RelationImage>) -> StorageResult<()> {
+/// Writes a checkpoint file: the WAL floor, then `(rel_id → image)`
+/// for every relation, framed with magic and CRC-32.  The file is
+/// written to a `.tmp` sibling, fsynced, and renamed into place, so a
+/// crash at any point leaves either the old checkpoint or the new one
+/// — never a torn mixture.
+pub fn save(
+    path: &Path,
+    wal_floor: Option<Chronon>,
+    images: &BTreeMap<u32, RelationImage>,
+) -> StorageResult<()> {
     let mut body = Vec::new();
+    put_opt_chronon(&mut body, wal_floor);
     put_uvarint(&mut body, images.len() as u64);
     for (rel_id, image) in images {
         put_uvarint(&mut body, u64::from(*rel_id));
@@ -264,13 +287,20 @@ pub fn save(path: &Path, images: &BTreeMap<u32, RelationImage>) -> StorageResult
     out.extend_from_slice(&crc32(&body).to_le_bytes());
     out.extend_from_slice(&body);
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, out)?;
+    chronos_storage::fault::crash_point("checkpoint.save.pre_write")?;
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        std::io::Write::write_all(&mut f, &out)?;
+        f.sync_all()?;
+    }
+    chronos_storage::fault::crash_point("checkpoint.save.pre_rename")?;
     std::fs::rename(&tmp, path)?;
+    chronos_storage::fault::crash_point("checkpoint.save.post_rename")?;
     Ok(())
 }
 
 /// Loads a checkpoint file; absent file means no checkpoint.
-pub fn load(path: &Path) -> StorageResult<Option<BTreeMap<u32, RelationImage>>> {
+pub fn load(path: &Path) -> StorageResult<Option<Checkpoint>> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -289,6 +319,7 @@ pub fn load(path: &Path) -> StorageResult<Option<BTreeMap<u32, RelationImage>>> 
         });
     }
     let mut r = Reader::new(body);
+    let wal_floor = get_opt_chronon(&mut r)?;
     let n = r.get_uvarint()? as usize;
     let mut images = BTreeMap::new();
     for _ in 0..n {
@@ -298,5 +329,5 @@ pub fn load(path: &Path) -> StorageResult<Option<BTreeMap<u32, RelationImage>>> 
     if !r.is_exhausted() {
         return Err(StorageError::Corrupt("trailing bytes in checkpoint".into()));
     }
-    Ok(Some(images))
+    Ok(Some(Checkpoint { wal_floor, images }))
 }

@@ -27,7 +27,7 @@ use chronos_storage::wal::{Wal, WalRecord};
 use chronos_tquel::provider::{AsOfSpec, RelationInfo, RelationProvider, SourceRow};
 use chronos_tquel::TquelError;
 
-use crate::cache::{QueryCache, CacheStats, DEFAULT_CACHE_CAPACITY};
+use crate::cache::{CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
 use crate::introspect::{
@@ -117,7 +117,12 @@ impl Database {
         );
         // Start from the checkpoint image when one exists, otherwise
         // from empty stores; either way the log suffix replays on top.
-        let mut images = crate::checkpoint::load(&dir.join("checkpoint"))?.unwrap_or_default();
+        let checkpoint = crate::checkpoint::load(&dir.join("checkpoint"))?;
+        // A crash between checkpoint rename and WAL reset leaves the
+        // full log beside a checkpoint that already contains its
+        // effects; the floor tells replay which records to skip.
+        let wal_floor = checkpoint.as_ref().and_then(|c| c.wal_floor);
+        let mut images = checkpoint.map(|c| c.images).unwrap_or_default();
         obs.health.mark_checkpoint_loaded();
         let mut relations = HashMap::new();
         let mut by_id: HashMap<u32, String> = HashMap::new();
@@ -147,7 +152,27 @@ impl Database {
         }
         let wal_path = dir.join("wal");
         let recovered = Wal::truncate_torn_tail(&wal_path)?;
+        if recovered.torn_bytes > 0 {
+            // Graceful degradation, journaled: the torn tail (a crash
+            // mid-append) was cut at the last valid record.
+            recorder.emit_event(
+                "wal_truncated",
+                &[
+                    ("truncated_at", recovered.valid_len.into()),
+                    ("torn_bytes", recovered.torn_bytes.into()),
+                ],
+            );
+        }
+        observe(wal_floor);
+        let mut frames_replayed = 0usize;
+        let mut frames_skipped = 0usize;
         for rec in &recovered.records {
+            if wal_floor.is_some_and(|floor| rec.tx_time <= floor) {
+                // Already absorbed by the checkpoint image (crash
+                // between checkpoint rename and WAL reset).
+                frames_skipped += 1;
+                continue;
+            }
             let Some(name) = by_id.get(&rec.rel_id) else {
                 continue; // relation since destroyed
             };
@@ -158,13 +183,15 @@ impl Database {
                     rec.tx_time
                 )))
             })?;
+            frames_replayed += 1;
             observe(Some(rec.tx_time));
         }
         obs.health.mark_wal_recovered();
         recorder.emit_event(
             "recovery",
             &[
-                ("frames_replayed", recovered.records.len().into()),
+                ("frames_replayed", frames_replayed.into()),
+                ("frames_skipped", frames_skipped.into()),
                 ("truncated_at", recovered.valid_len.into()),
                 ("torn_bytes", recovered.torn_bytes.into()),
             ],
@@ -211,10 +238,22 @@ impl Database {
         );
         let mut images = std::collections::BTreeMap::new();
         for (name, entry) in self.catalog.iter() {
-            let rel = self.relations.get(name).expect("catalog and stores in sync");
+            let rel = self
+                .relations
+                .get(name)
+                .expect("catalog and stores in sync");
             images.insert(entry.rel_id, crate::checkpoint::capture(rel)?);
         }
-        crate::checkpoint::save(&dir.join("checkpoint"), &images)?;
+        // Every WAL record's commit time is ≤ the manager's last commit
+        // time, and every future commit gets a strictly greater one —
+        // so this floor cleanly splits "absorbed by the images" from
+        // "must replay" if a crash strands the full log next to the
+        // new checkpoint.
+        crate::checkpoint::save(
+            &dir.join("checkpoint"),
+            self.txn.last_commit_time(),
+            &images,
+        )?;
         let wal_bytes_truncated = match &mut self.wal {
             Some(wal) => {
                 let len = wal.len().unwrap_or(0);
@@ -344,19 +383,34 @@ impl Database {
             .expect("catalog and stores in sync");
         let tx_time = self.txn.next_commit_time();
         rel.validate(tx_time, ops)?;
-        if let Some(wal) = &mut self.wal {
-            wal.append(&WalRecord {
-                rel_id,
-                tx_time,
-                ops: ops.to_vec(),
-            })?;
-        }
+        let wal_len_before = match &mut self.wal {
+            Some(wal) => {
+                let len = wal.len()?;
+                wal.append(&WalRecord {
+                    rel_id,
+                    tx_time,
+                    ops: ops.to_vec(),
+                })?;
+                Some(len)
+            }
+            None => None,
+        };
         let rel = self
             .relations
             .get_mut(relation)
             .expect("catalog and stores in sync");
-        rel.apply(tx_time, ops)
-            .expect("validated transaction applies");
+        if let Err(e) = rel.apply(tx_time, ops) {
+            // The transaction validated but the physical apply failed
+            // (an I/O fault in the heap/pager path).  The record is
+            // already in the log; roll it back so the database never
+            // resurrects at reopen a commit it reported as failed.
+            if let (Some(wal), Some(len)) = (&mut self.wal, wal_len_before) {
+                let _ = wal.truncate_to(len);
+            }
+            return Err(DbError::Storage(chronos_storage::StorageError::Corrupt(
+                format!("commit apply failed after write-ahead (log rolled back): {e}"),
+            )));
+        }
         self.bump_epoch(relation, "commit");
         recorder.count(|m| &m.commits);
         recorder.record_latency(|m| &m.commit_latency, started.elapsed().as_nanos() as u64);
@@ -487,17 +541,15 @@ impl Database {
                     starts.dedup();
                     starts.len()
                 };
-                Relation::Temporal(Box::new(
-                    chronos_storage::table::StoredBitemporalTable::<
-                        chronos_storage::pager::MemPager,
-                    >::from_rows(
-                        schema.clone(),
-                        result.signature,
-                        rows,
-                        last_commit,
-                        transactions,
-                    )?,
-                ))
+                Relation::Temporal(Box::new(chronos_storage::table::StoredBitemporalTable::<
+                    chronos_storage::pager::MemPager,
+                >::from_rows(
+                    schema.clone(),
+                    result.signature,
+                    rows,
+                    last_commit,
+                    transactions,
+                )?))
             }
             RelationClass::StaticRollback => {
                 return Err(DbError::Capability(
@@ -555,7 +607,10 @@ impl Database {
             .catalog
             .iter()
             .map(|(name, entry)| {
-                let rel = self.relations.get(name).expect("catalog and stores in sync");
+                let rel = self
+                    .relations
+                    .get(name)
+                    .expect("catalog and stores in sync");
                 CatalogRow {
                     name: name.clone(),
                     class: entry.class.to_string(),
@@ -641,9 +696,7 @@ impl Database {
                         .map(|(seq, ts_ns, event)| SourceRow {
                             tuple: chronos_core::tuple::Tuple::new(vec![
                                 chronos_core::value::Value::Int(seq.min(i64::MAX as u64) as i64),
-                                chronos_core::value::Value::Int(
-                                    ts_ns.min(i64::MAX as u64) as i64
-                                ),
+                                chronos_core::value::Value::Int(ts_ns.min(i64::MAX as u64) as i64),
                                 chronos_core::value::Value::str(&event),
                             ]),
                             validity: None,
@@ -653,11 +706,7 @@ impl Database {
                     None => Vec::new(),
                 }
             }
-            other => {
-                return Err(TquelError::Semantic(format!(
-                    "unknown relation {other:?}"
-                )))
-            }
+            other => return Err(TquelError::Semantic(format!("unknown relation {other:?}"))),
         };
         span.rows_out(rows.len() as u64);
         Ok(Arc::new(rows))
@@ -674,9 +723,7 @@ impl Drop for Database {
 /// for temporal relations, a tuple-count estimate otherwise.
 fn relation_bytes(rel: &Relation) -> u64 {
     match rel {
-        Relation::Temporal(r) => {
-            r.heap_pages() as u64 * chronos_storage::page::PAGE_SIZE as u64
-        }
+        Relation::Temporal(r) => r.heap_pages() as u64 * chronos_storage::page::PAGE_SIZE as u64,
         other => other.stored_tuples() as u64 * 64,
     }
 }
@@ -744,9 +791,10 @@ impl RelationProvider for Database {
         }
         self.recorder.count(|m| &m.cache_misses);
         span.detail(format!("{relation} (cache miss)"));
-        let rel = self.relations.get(relation).ok_or_else(|| {
-            TquelError::Semantic(format!("unknown relation {relation:?}"))
-        })?;
+        let rel = self
+            .relations
+            .get(relation)
+            .ok_or_else(|| TquelError::Semantic(format!("unknown relation {relation:?}")))?;
         let rows = rel
             .scan_traced(as_of, &self.recorder)
             .map(Arc::new)
@@ -838,7 +886,10 @@ impl EngineStats {
         for (name, v) in [
             ("telemetry_samples_taken", self.telemetry.samples_taken),
             ("telemetry_samples_spilled", self.telemetry.samples_spilled),
-            ("telemetry_stats_retained", self.telemetry.stats_retained as u64),
+            (
+                "telemetry_stats_retained",
+                self.telemetry.stats_retained as u64,
+            ),
             (
                 "telemetry_sampler_running",
                 u64::from(self.telemetry.sampler_running),

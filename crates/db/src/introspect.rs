@@ -236,7 +236,11 @@ impl TelemetryStore {
         }
         line.push_str("}\n");
         use std::io::Write;
-        if let Ok(mut f) = std::fs::OpenOptions::new().append(true).create(true).open(&path) {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+        {
             if f.write_all(line.as_bytes()).is_ok() {
                 self.samples_spilled.fetch_add(1, Ordering::Relaxed);
             }
@@ -252,12 +256,7 @@ impl TelemetryStore {
             // Current state: the newest sample only.
             None => ring.back().into_iter().collect(),
             // State as of t: the newest sample taken at or before t.
-            Some(AsOfSpec::At(t)) => ring
-                .iter()
-                .rev()
-                .find(|s| s.at <= *t)
-                .into_iter()
-                .collect(),
+            Some(AsOfSpec::At(t)) => ring.iter().rev().find(|s| s.at <= *t).into_iter().collect(),
             // Every sample whose currency period overlaps [t1, t2].
             Some(AsOfSpec::Through(t1, t2)) => {
                 let window = Period::clamped(*t1, t2.succ());
@@ -272,14 +271,14 @@ impl TelemetryStore {
         let periods = sample_periods(&ring);
         let mut rows = Vec::new();
         for s in samples {
-            let idx = ring.iter().position(|r| r.at == s.at).expect("sample in ring");
+            let idx = ring
+                .iter()
+                .position(|r| r.at == s.at)
+                .expect("sample in ring");
             let tx = periods[idx];
             for (metric, value) in &s.metrics {
                 rows.push(SourceRow {
-                    tuple: Tuple::new(vec![
-                        Value::str(metric),
-                        Value::Int(*value),
-                    ]),
+                    tuple: Tuple::new(vec![Value::str(metric), Value::Int(*value)]),
                     validity: Some(Validity::Event(s.at)),
                     tx: Some(tx),
                 });
@@ -399,7 +398,10 @@ pub fn flatten_stats(stats: &EngineStats) -> Vec<(&'static str, i64)> {
         .collect();
     out.push(("query_cache_hits", clamp(stats.cache.hits)));
     out.push(("query_cache_misses", clamp(stats.cache.misses)));
-    out.push(("query_cache_invalidations", clamp(stats.cache.invalidations)));
+    out.push((
+        "query_cache_invalidations",
+        clamp(stats.cache.invalidations),
+    ));
     out.push(("query_cache_evictions", clamp(stats.cache.evictions)));
     out.push(("query_cache_epoch_bumps", clamp(stats.cache.epoch_bumps)));
     out.push(("query_cache_entries", clamp(stats.cache_entries as u64)));
@@ -512,8 +514,7 @@ impl StatsSampler {
             .name("chronos-sampler".to_string())
             .spawn(move || {
                 while !stop_flag.load(Ordering::Acquire) {
-                    let stats =
-                        crate::observe::engine_stats_from(&recorder, &cache, &telemetry);
+                    let stats = crate::observe::engine_stats_from(&recorder, &cache, &telemetry);
                     telemetry.record_stats(clock.now(), &stats);
                     // Sleep in short slices so stop() stays responsive
                     // even with multi-second intervals.
@@ -600,7 +601,10 @@ mod tests {
         assert_eq!(commits_at(Some(&AsOfSpec::At(Chronon::new(25)))), vec![5]);
         assert_eq!(commits_at(Some(&AsOfSpec::At(Chronon::new(99)))), vec![9]);
         // Before the first sample: nothing was current.
-        assert_eq!(commits_at(Some(&AsOfSpec::At(Chronon::new(5)))), Vec::<i64>::new());
+        assert_eq!(
+            commits_at(Some(&AsOfSpec::At(Chronon::new(5)))),
+            Vec::<i64>::new()
+        );
         // Through a window: every sample whose currency overlaps it.
         assert_eq!(
             commits_at(Some(&AsOfSpec::Through(Chronon::new(15), Chronon::new(25)))),
@@ -631,7 +635,10 @@ mod tests {
     #[test]
     fn spill_writes_evicted_samples_as_jsonl() {
         let dir = std::env::temp_dir();
-        let path = dir.join(format!("chronos-telemetry-spill-{}.jsonl", std::process::id()));
+        let path = dir.join(format!(
+            "chronos-telemetry-spill-{}.jsonl",
+            std::process::id()
+        ));
         let _ = std::fs::remove_file(&path);
         let store = TelemetryStore::new(2);
         store.set_spill_path(path.clone());
@@ -661,16 +668,16 @@ mod tests {
         // Rollback rows are pure static: no timestamps.
         let current = store.catalog_scan(None);
         assert_eq!(current.len(), 2);
-        assert!(current.iter().all(|r| r.validity.is_none() && r.tx.is_none()));
+        assert!(current
+            .iter()
+            .all(|r| r.validity.is_none() && r.tx.is_none()));
         let then = store.catalog_scan(Some(&AsOfSpec::At(Chronon::new(15))));
         assert_eq!(then.len(), 1);
         assert_eq!(then[0].tuple.get(0).as_str(), Some("faculty"));
         assert_eq!(then[0].tuple.get(2).as_int(), Some(1));
         // A window spanning both samples unions (and dedups) the rows.
-        let window = store.catalog_scan(Some(&AsOfSpec::Through(
-            Chronon::new(10),
-            Chronon::new(25),
-        )));
+        let window =
+            store.catalog_scan(Some(&AsOfSpec::Through(Chronon::new(10), Chronon::new(25))));
         assert_eq!(window.len(), 3);
     }
 

@@ -34,9 +34,9 @@ pub mod relation;
 pub mod session;
 
 pub use database::{Database, EngineStats};
+pub use error::{DbError, DbResult};
 pub use introspect::{
     is_system, system_relation_names, TelemetryStats, TelemetryStore, SYS_PREFIX,
 };
 pub use observe::ObsBootstrap;
-pub use error::{DbError, DbResult};
 pub use session::{ExecOutcome, Session};

@@ -17,9 +17,7 @@
 use chronos_core::chronon::Chronon;
 use chronos_core::period::Period;
 use chronos_core::relation::historical::HistoricalRelation;
-use chronos_core::relation::rollback::{
-    CheckpointedRollback, RollbackStore, TimestampedRollback,
-};
+use chronos_core::relation::rollback::{CheckpointedRollback, RollbackStore, TimestampedRollback};
 use chronos_core::relation::static_rel::StaticRelation;
 use chronos_core::relation::temporal::TemporalStore;
 use chronos_core::relation::{HistoricalOp, StaticOp};
@@ -152,9 +150,7 @@ impl Relation {
     pub fn new(schema: Schema, class: RelationClass, signature: TemporalSignature) -> Relation {
         match class {
             RelationClass::Static => Relation::Static(StaticRelation::new(schema)),
-            RelationClass::StaticRollback => {
-                Relation::Rollback(RollbackRelation::new(schema))
-            }
+            RelationClass::StaticRollback => Relation::Rollback(RollbackRelation::new(schema)),
             RelationClass::Historical => {
                 Relation::Historical(HistoricalRelation::new(schema, signature))
             }
@@ -270,12 +266,10 @@ impl Relation {
             Relation::Temporal(r) => {
                 if let Some(last) = r.last_commit() {
                     if tx_time <= last {
-                        return Err(DbError::Core(
-                            chronos_core::CoreError::NonMonotonicCommit {
-                                last: last.to_string(),
-                                attempted: tx_time.to_string(),
-                            },
-                        ));
+                        return Err(DbError::Core(chronos_core::CoreError::NonMonotonicCommit {
+                            last: last.to_string(),
+                            attempted: tx_time.to_string(),
+                        }));
                     }
                 }
                 let mut current = r.current();
@@ -413,9 +407,9 @@ impl Relation {
 mod tests {
     use super::*;
     use chronos_core::relation::RowSelector;
+    use chronos_core::relation::Validity;
     use chronos_core::schema::faculty_schema;
     use chronos_core::tuple::tuple;
-    use chronos_core::relation::Validity;
 
     fn always() -> Validity {
         Validity::Interval(Period::ALWAYS)
@@ -452,23 +446,25 @@ mod tests {
             TemporalSignature::Interval,
         );
         let insert = HistoricalOp::insert(tuple(["Tom", "associate"]), always());
-        rel.apply(Chronon::new(10), std::slice::from_ref(&insert)).unwrap();
+        rel.apply(Chronon::new(10), std::slice::from_ref(&insert))
+            .unwrap();
         // A failing op validates to an error and changes nothing.
         let bad = HistoricalOp::remove(RowSelector::tuple(tuple(["Ghost", "x"])));
-        assert!(rel.validate(Chronon::new(20), std::slice::from_ref(&bad)).is_err());
+        assert!(rel
+            .validate(Chronon::new(20), std::slice::from_ref(&bad))
+            .is_err());
         assert_eq!(rel.stored_tuples(), 1);
         // A succeeding validate also changes nothing.
         let good = HistoricalOp::insert(tuple(["Mike", "assistant"]), always());
-        rel.validate(Chronon::new(20), std::slice::from_ref(&good)).unwrap();
+        rel.validate(Chronon::new(20), std::slice::from_ref(&good))
+            .unwrap();
         assert_eq!(rel.stored_tuples(), 1);
     }
 
     #[test]
     fn set_validity_rejected_on_static_classes() {
-        let op = HistoricalOp::set_validity(
-            RowSelector::tuple(tuple(["Tom", "associate"])),
-            always(),
-        );
+        let op =
+            HistoricalOp::set_validity(RowSelector::tuple(tuple(["Tom", "associate"])), always());
         for class in [RelationClass::Static, RelationClass::StaticRollback] {
             let rel = Relation::new(faculty_schema(), class, TemporalSignature::Interval);
             assert!(matches!(
@@ -499,8 +495,18 @@ mod tests {
         rel.apply(Chronon::new(10), &[merrie]).unwrap();
         rel.apply(Chronon::new(20), &[tom]).unwrap();
         rel.apply(Chronon::new(30), &[drop_merrie]).unwrap();
-        assert_eq!(rel.scan(Some(&AsOfSpec::At(Chronon::new(15)))).unwrap().len(), 1);
-        assert_eq!(rel.scan(Some(&AsOfSpec::At(Chronon::new(25)))).unwrap().len(), 2);
+        assert_eq!(
+            rel.scan(Some(&AsOfSpec::At(Chronon::new(15))))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            rel.scan(Some(&AsOfSpec::At(Chronon::new(25))))
+                .unwrap()
+                .len(),
+            2
+        );
         assert_eq!(rel.scan(None).unwrap().len(), 1);
         // Through a window spanning Merrie's life sees both.
         let through = rel

@@ -35,8 +35,8 @@ use chronos_tquel::analyze::{analyze_valid_const, analyze_where_single, ValidPla
 use chronos_tquel::ast::{Assignment, ClassAst, Operand, Statement, ValidClause, WhereExpr};
 use chronos_tquel::exec::{execute_retrieve, execute_retrieve_traced, ResultRelation};
 use chronos_tquel::parser::{parse_program, parse_statement};
-use chronos_tquel::unparse::unparse;
 use chronos_tquel::provider::RelationInfo;
+use chronos_tquel::unparse::unparse;
 use chronos_tquel::TquelError;
 
 use crate::database::Database;
@@ -159,9 +159,7 @@ impl<'a> Session<'a> {
                 assignments,
                 valid,
             } => self.append(relation, assignments, valid.as_ref()),
-            Statement::Delete { var, where_clause } => {
-                self.delete(var, where_clause.as_ref())
-            }
+            Statement::Delete { var, where_clause } => self.delete(var, where_clause.as_ref()),
             Statement::Replace {
                 var,
                 assignments,
@@ -191,7 +189,8 @@ impl<'a> Session<'a> {
                 } else {
                     TemporalSignature::Interval
                 };
-                self.db.create_relation(relation, schema, class, signature)?;
+                self.db
+                    .create_relation(relation, schema, class, signature)?;
                 Ok(ExecOutcome::Created)
             }
             Statement::Destroy { relation } => {
@@ -320,10 +319,7 @@ impl<'a> Session<'a> {
         let info = self.info(relation)?;
         let tuple = build_tuple(&info.schema, assignments)?;
         let validity = self.modification_validity(&info, valid, None)?;
-        let ops = [HistoricalOp::Insert {
-            tuple,
-            validity,
-        }];
+        let ops = [HistoricalOp::Insert { tuple, validity }];
         let t = self.db.commit(relation, &ops)?;
         Ok(ExecOutcome::Appended(t))
     }
@@ -431,11 +427,8 @@ impl<'a> Session<'a> {
                     }
                 }
                 Some(Validity::Interval(old)) => {
-                    let validity = self.modification_validity(
-                        &info,
-                        valid,
-                        Some(Validity::Interval(old)),
-                    )?;
+                    let validity =
+                        self.modification_validity(&info, valid, Some(Validity::Interval(old)))?;
                     let new_period = validity.period();
                     if old.end() <= new_period.start() {
                         continue; // old fact entirely before the new period
@@ -536,9 +529,7 @@ impl<'a> Session<'a> {
                     "event relations take 'valid at', not 'valid from … to …'".into(),
                 )),
             },
-            (TemporalSignature::Interval, None) => {
-                Ok(Validity::Interval(Period::from_start(now)))
-            }
+            (TemporalSignature::Interval, None) => Ok(Validity::Interval(Period::from_start(now))),
             (TemporalSignature::Interval, Some(clause)) => match analyze_valid_const(clause)? {
                 ValidPlan::FromTo(a, b) => {
                     // `to` is an exclusive bound (see the paper's Figure
@@ -547,9 +538,7 @@ impl<'a> Session<'a> {
                     let from = a.eval(&[]).map_err(TquelError::Core)?.start();
                     let to = b.eval(&[]).map_err(TquelError::Core)?.start();
                     let p = Period::new(from, to).ok_or_else(|| {
-                        DbError::Capability(format!(
-                            "backwards validity [{from}, {to})"
-                        ))
+                        DbError::Capability(format!("backwards validity [{from}, {to})"))
                     })?;
                     if p.is_empty() {
                         return Err(DbError::Capability(format!("empty validity {p}")));
@@ -652,11 +641,7 @@ fn build_tuple(schema: &Schema, assignments: &[Assignment]) -> DbResult<Tuple> {
     Ok(Tuple::new(out))
 }
 
-fn apply_assignments(
-    schema: &Schema,
-    old: &Tuple,
-    assignments: &[Assignment],
-) -> DbResult<Tuple> {
+fn apply_assignments(schema: &Schema, old: &Tuple, assignments: &[Assignment]) -> DbResult<Tuple> {
     let mut values: Vec<Value> = old.values().to_vec();
     for a in assignments {
         let idx = schema.index_of(&a.attr).ok_or_else(|| {

@@ -23,7 +23,9 @@ fn d(s: &str) -> Chronon {
 fn build_figure_8(db: &mut Database, clock: &Arc<ManualClock>) {
     let mut run = |day: &str, stmt: &str| {
         clock.advance_to(d(day));
-        db.session().run(stmt).unwrap_or_else(|e| panic!("{stmt}: {e}"));
+        db.session()
+            .run(stmt)
+            .unwrap_or_else(|e| panic!("{stmt}: {e}"));
     };
     run(
         "08/25/77",
@@ -157,12 +159,14 @@ fn four_classes_coexist_in_one_database() {
     let clock = Arc::new(ManualClock::new(Chronon::new(100)));
     let mut db = Database::in_memory(clock.clone());
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         create s_rel (name = str) as static
         create r_rel (name = str) as rollback
         create h_rel (name = str) as historical
         create t_rel (name = str) as temporal
-    "#)
+    "#,
+    )
     .unwrap();
     assert_eq!(db.classify("s_rel"), Some(DatabaseClass::Static));
     assert_eq!(db.classify("r_rel"), Some(DatabaseClass::StaticRollback));
@@ -177,7 +181,12 @@ fn four_classes_coexist_in_one_database() {
     }
 
     // `as of` works only where transaction time exists.
-    for (rel, ok) in [("s_rel", false), ("r_rel", true), ("h_rel", false), ("t_rel", true)] {
+    for (rel, ok) in [
+        ("s_rel", false),
+        ("r_rel", true),
+        ("h_rel", false),
+        ("t_rel", true),
+    ] {
         let res = db.session().query(&format!(
             r#"range of v is {rel}
                retrieve (v.name) as of "{}""#,
@@ -194,7 +203,11 @@ fn four_classes_coexist_in_one_database() {
             .kind
     };
     assert_eq!(kind(&mut db, "s_rel"), DatabaseClass::Static);
-    assert_eq!(kind(&mut db, "r_rel"), DatabaseClass::Static, "pure static result");
+    assert_eq!(
+        kind(&mut db, "r_rel"),
+        DatabaseClass::Static,
+        "pure static result"
+    );
     assert_eq!(kind(&mut db, "h_rel"), DatabaseClass::Historical);
     assert_eq!(kind(&mut db, "t_rel"), DatabaseClass::Temporal);
 }
@@ -243,7 +256,8 @@ fn destroyed_relations_stay_destroyed_after_reopen() {
     {
         let mut db = Database::open(&dir, clock.clone()).unwrap();
         let mut s = db.session();
-        s.run(r#"create temp_rel (name = str) as temporal"#).unwrap();
+        s.run(r#"create temp_rel (name = str) as temporal"#)
+            .unwrap();
         s.run(r#"append to temp_rel (name = "ghost")"#).unwrap();
         s.run("destroy temp_rel").unwrap();
         s.run("create keeper (name = str) as temporal").unwrap();
@@ -253,7 +267,10 @@ fn destroyed_relations_stay_destroyed_after_reopen() {
     assert_eq!(db.relation_names(), ["keeper"]);
     // The old relation's log records were skipped, the new one's
     // replayed; rel-ids were not confused.
-    assert_eq!(db.relation("keeper").unwrap().as_temporal().stored_tuples(), 1);
+    assert_eq!(
+        db.relation("keeper").unwrap().as_temporal().stored_tuples(),
+        1
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -262,7 +279,8 @@ fn errors_are_reported_not_panicked() {
     let clock = Arc::new(ManualClock::new(Chronon::new(10)));
     let mut db = Database::in_memory(clock);
     let mut s = db.session();
-    s.run("create faculty (name = str, rank = str) as temporal").unwrap();
+    s.run("create faculty (name = str, rank = str) as temporal")
+        .unwrap();
     // Unknown relation.
     assert!(matches!(
         s.run("range of f is nosuch"),
@@ -311,8 +329,5 @@ fn event_relation_appends_take_valid_at() {
         .query(r#"range of p is promotion retrieve (p.effective) where p.name = "Merrie""#)
         .unwrap();
     assert_eq!(res.column_strings(0), ["09/01/77"]);
-    assert_eq!(
-        res.rows[0].validity,
-        Some(Validity::Event(d("08/25/77")))
-    );
+    assert_eq!(res.rows[0].validity, Some(Validity::Event(d("08/25/77"))));
 }

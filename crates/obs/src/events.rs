@@ -243,6 +243,11 @@ impl EventJournal {
     /// is diagnostic, never a reason to fail the engine operation that
     /// emitted the event.
     pub fn emit(&self, event: &str, fields: &[(&str, EventValue)]) {
+        // An injected *error* here degrades to a dropped event — the
+        // same contract as a real journal write failure.
+        if crate::fault::crash_point("journal.emit").is_err() {
+            return;
+        }
         let ts_ns = self.origin.elapsed().as_nanos() as u64;
         let mut inner = self.inner.lock().unwrap();
         let line = Self::compose(inner.seq, ts_ns, event, fields);
@@ -298,12 +303,18 @@ impl EventJournal {
         for i in (1..=self.generations).rev() {
             if let Ok(text) = std::fs::read_to_string(self.generation_path(i)) {
                 lines.extend(
-                    text.lines().filter(|l| !l.trim().is_empty()).map(str::to_string),
+                    text.lines()
+                        .filter(|l| !l.trim().is_empty())
+                        .map(str::to_string),
                 );
             }
         }
         if let Ok(text) = std::fs::read_to_string(&self.path) {
-            lines.extend(text.lines().filter(|l| !l.trim().is_empty()).map(str::to_string));
+            lines.extend(
+                text.lines()
+                    .filter(|l| !l.trim().is_empty())
+                    .map(str::to_string),
+            );
         }
         if lines.len() > n {
             lines.split_off(lines.len() - n)
@@ -319,7 +330,10 @@ impl EventJournal {
 pub fn parse_event_summary(line: &str) -> Option<(u64, u64, String)> {
     fn field_u64(line: &str, key: &str) -> Option<u64> {
         let at = line.find(key)? + key.len();
-        let digits: String = line[at..].chars().take_while(char::is_ascii_digit).collect();
+        let digits: String = line[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
         digits.parse().ok()
     }
     let seq = field_u64(line, "\"seq\": ")?;
@@ -452,21 +466,19 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
                 *pos += 1;
                 return Ok(());
             }
-            b'\\' => {
-                match b.get(*pos + 1) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 2..*pos + 6)
-                            .ok_or_else(|| format!("short \\u escape at offset {pos}"))?;
-                        if !hex.iter().all(u8::is_ascii_hexdigit) {
-                            return Err(format!("bad \\u escape at offset {pos}"));
-                        }
-                        *pos += 6;
+            b'\\' => match b.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    let hex = b
+                        .get(*pos + 2..*pos + 6)
+                        .ok_or_else(|| format!("short \\u escape at offset {pos}"))?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(format!("bad \\u escape at offset {pos}"));
                     }
-                    _ => return Err(format!("bad escape at offset {pos}")),
+                    *pos += 6;
                 }
-            }
+                _ => return Err(format!("bad escape at offset {pos}")),
+            },
             c if c < 0x20 => {
                 return Err(format!("unescaped control byte {c:#04x} at offset {pos}"))
             }
@@ -602,7 +614,11 @@ mod tests {
         assert!(live.contains("\"i\": 39"));
         // The fresh file opens with the rotation marker.
         assert!(live.starts_with("{\"seq\": "));
-        assert!(live.lines().next().unwrap().contains("\"event\": \"journal_rotate\""));
+        assert!(live
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"event\": \"journal_rotate\""));
         std::fs::remove_file(&path).unwrap();
         std::fs::remove_file(&rotated_path).unwrap();
     }
@@ -628,7 +644,11 @@ mod tests {
         assert!(gen(1).exists() && gen(2).exists() && gen(3).exists());
         assert!(!gen(4).exists(), "retention must cap at 3 generations");
         let stats = j.stats();
-        assert!(stats.rotations > 3, "expected many rotations, got {}", stats.rotations);
+        assert!(
+            stats.rotations > 3,
+            "expected many rotations, got {}",
+            stats.rotations
+        );
         assert_eq!(stats.generations, 3);
         // tail_lines stitches generations oldest-first with strictly
         // increasing seq, and the rotation markers parse.

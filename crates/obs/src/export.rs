@@ -168,7 +168,9 @@ impl Drop for ObsServer {
 
 impl std::fmt::Debug for ObsServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ObsServer").field("addr", &self.addr).finish()
+        f.debug_struct("ObsServer")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -207,7 +209,15 @@ fn handle_connection(mut stream: TcpStream, source: &dyn ObsSource) -> std::io::
     let mut parts = request_line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m, p),
-        _ => return respond(&mut stream, 400, "Bad Request", "text/plain", "bad request\n"),
+        _ => {
+            return respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain",
+                "bad request\n",
+            )
+        }
     };
     if method != "GET" {
         return respond(
@@ -239,7 +249,13 @@ fn handle_connection(mut stream: TcpStream, source: &dyn ObsSource) -> std::io::
                 let n = query_param(query, "n")
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(DEFAULT_HISTORY_TAIL);
-                respond(&mut stream, 200, "OK", JSON, &source.history_json(&metric, n))
+                respond(
+                    &mut stream,
+                    200,
+                    "OK",
+                    JSON,
+                    &source.history_json(&metric, n),
+                )
             }
             _ => respond(
                 &mut stream,
@@ -403,7 +419,10 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("chronos_commits 7"));
         // JSON bodies come back newline-terminated.
-        assert_eq!(http_get(&addr, "/stats").unwrap(), (200, "{\"metrics\": {}}\n".into()));
+        assert_eq!(
+            http_get(&addr, "/stats").unwrap(),
+            (200, "{\"metrics\": {}}\n".into())
+        );
         assert_eq!(http_get(&addr, "/slow").unwrap(), (200, "[]\n".into()));
         assert_eq!(http_get(&addr, "/healthz").unwrap(), (200, "ok\n".into()));
         let (status, body) = http_get(&addr, "/readyz").unwrap();

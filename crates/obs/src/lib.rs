@@ -13,6 +13,7 @@
 
 pub mod events;
 pub mod export;
+pub mod fault;
 pub mod metrics;
 pub mod slowlog;
 pub mod trace;

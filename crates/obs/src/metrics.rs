@@ -138,9 +138,7 @@ impl HistogramSnapshot {
     /// Per-field difference against an earlier snapshot.
     pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
         HistogramSnapshot {
-            buckets: std::array::from_fn(|i| {
-                self.buckets[i].saturating_sub(earlier.buckets[i])
-            }),
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
             samples: self.samples.saturating_sub(earlier.samples),
             total_ns: self.total_ns.saturating_sub(earlier.total_ns),
         }
@@ -291,7 +289,8 @@ impl MetricsSnapshot {
                 }
             }
             out.push_str(&format!(
-                "chronos_{name}_bucket{{le=\"+Inf\"}} {}\n", h.samples
+                "chronos_{name}_bucket{{le=\"+Inf\"}} {}\n",
+                h.samples
             ));
             out.push_str(&format!("chronos_{name}_sum {}\n", h.total_ns));
             out.push_str(&format!("chronos_{name}_count {}\n", h.samples));

@@ -209,11 +209,7 @@ impl Recorder {
     }
 
     #[inline]
-    pub fn record_latency(
-        &self,
-        pick: impl FnOnce(&Instruments) -> &LatencyHistogram,
-        ns: u64,
-    ) {
+    pub fn record_latency(&self, pick: impl FnOnce(&Instruments) -> &LatencyHistogram, ns: u64) {
         if self.enabled {
             pick(&self.metrics).record_ns(ns);
         }

@@ -55,6 +55,7 @@ impl<S: PageStore> HeapFile<S> {
 
     /// Inserts a record, returning its id.
     pub fn insert(&mut self, data: &[u8]) -> StorageResult<RecordId> {
+        crate::fault::crash_point("heap.insert")?;
         if data.len() > MAX_RECORD {
             return Err(StorageError::Corrupt(format!(
                 "record of {} bytes exceeds page capacity {MAX_RECORD}",
@@ -96,7 +97,8 @@ impl<S: PageStore> HeapFile<S> {
 
     /// Deletes the record at `rid`.
     pub fn delete(&mut self, rid: RecordId) -> StorageResult<()> {
-        self.pool.with_page_mut(rid.page, |p| p.delete(rid.slot))??;
+        self.pool
+            .with_page_mut(rid.page, |p| p.delete(rid.slot))??;
         self.records -= 1;
         Ok(())
     }

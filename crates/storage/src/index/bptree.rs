@@ -97,29 +97,27 @@ impl<K: Ord + Clone + Debug, V> BPlusTree<K, V> {
 
     fn insert_rec(node: &mut Node<K, V>, key: K, value: V) -> (Option<V>, Split<K, V>) {
         match node {
-            Node::Leaf { entries } => {
-                match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
-                    Ok(i) => (Some(std::mem::replace(&mut entries[i].1, value)), None),
-                    Err(i) => {
-                        entries.insert(i, (key, value));
-                        if entries.len() > ORDER {
-                            let right_entries = entries.split_off(entries.len() / 2);
-                            let sep = right_entries[0].0.clone();
-                            (
-                                None,
-                                Some((
-                                    sep,
-                                    Node::Leaf {
-                                        entries: right_entries,
-                                    },
-                                )),
-                            )
-                        } else {
-                            (None, None)
-                        }
+            Node::Leaf { entries } => match entries.binary_search_by(|(k, _)| k.cmp(&key)) {
+                Ok(i) => (Some(std::mem::replace(&mut entries[i].1, value)), None),
+                Err(i) => {
+                    entries.insert(i, (key, value));
+                    if entries.len() > ORDER {
+                        let right_entries = entries.split_off(entries.len() / 2);
+                        let sep = right_entries[0].0.clone();
+                        (
+                            None,
+                            Some((
+                                sep,
+                                Node::Leaf {
+                                    entries: right_entries,
+                                },
+                            )),
+                        )
+                    } else {
+                        (None, None)
                     }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let idx = match keys.binary_search(&key) {
                     Ok(i) => i + 1,
@@ -329,7 +327,11 @@ mod tests {
             t.insert(k, k * 2);
         }
         assert_eq!(t.len(), n as usize);
-        assert!(t.height() >= 3, "10k keys should split, height {}", t.height());
+        assert!(
+            t.height() >= 3,
+            "10k keys should split, height {}",
+            t.height()
+        );
         let mut prev = -1;
         let mut count = 0;
         t.for_each(|k, v| {

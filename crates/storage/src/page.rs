@@ -138,7 +138,11 @@ impl Page {
     /// True iff a record of `len` bytes fits (reusing a dead slot when
     /// one exists).
     pub fn fits(&self, len: usize) -> bool {
-        let slot_cost = if self.dead_slot().is_some() { 0 } else { SLOT_SIZE };
+        let slot_cost = if self.dead_slot().is_some() {
+            0
+        } else {
+            SLOT_SIZE
+        };
         len + slot_cost <= self.free_space()
     }
 
@@ -219,10 +223,7 @@ impl Page {
     /// Rewrites record data contiguously at the end of the page,
     /// reclaiming space from deleted records.  Slot numbers are stable.
     pub fn compact(&mut self) {
-        let live: Vec<(u16, Vec<u8>)> = self
-            .iter()
-            .map(|(s, d)| (s, d.to_vec()))
-            .collect();
+        let live: Vec<(u16, Vec<u8>)> = self.iter().map(|(s, d)| (s, d.to_vec())).collect();
         let mut end = PAGE_SIZE;
         for (slot, data) in &live {
             end -= data.len();

@@ -139,7 +139,10 @@ impl PageStore for FilePager {
     fn write_page(&mut self, page: &Page) -> StorageResult<()> {
         use std::os::unix::fs::FileExt;
         if page.page_no() >= self.num_pages {
-            return Err(StorageError::NoSuchRecord(format!("page {}", page.page_no())));
+            return Err(StorageError::NoSuchRecord(format!(
+                "page {}",
+                page.page_no()
+            )));
         }
         self.file
             .write_all_at(page.as_bytes(), page.page_no() as u64 * PAGE_SIZE as u64)?;
@@ -230,13 +233,17 @@ impl<S: PageStore> BufferPool<S> {
     ) -> StorageResult<R> {
         let mut inner = self.inner.lock();
         inner.touch(page_no)?;
-        let frame = inner.frames.get_mut(&page_no).expect("touched frame present");
+        let frame = inner
+            .frames
+            .get_mut(&page_no)
+            .expect("touched frame present");
         frame.dirty = true;
         Ok(f(&mut frame.page))
     }
 
     /// Appends a fresh page, returning its number.
     pub fn allocate(&self) -> StorageResult<u32> {
+        crate::fault::crash_point("pager.allocate")?;
         let mut inner = self.inner.lock();
         inner.store.allocate()
     }
@@ -271,6 +278,7 @@ impl<S: PageStore> PoolInner<S> {
             return Ok(());
         }
         self.misses += 1;
+        crate::fault::crash_point("pager.read.miss")?;
         if self.frames.len() >= self.capacity {
             self.evict_one()?;
         }
@@ -384,7 +392,9 @@ mod tests {
         let (hits, misses) = pool.stats();
         assert_eq!((hits, misses), (1, 3));
         // Dirty page survives eviction via write-back.
-        let slot = pool.with_page_mut(0, |p| p.insert(b"cached").unwrap()).unwrap();
+        let slot = pool
+            .with_page_mut(0, |p| p.insert(b"cached").unwrap())
+            .unwrap();
         pool.with_page(3, |_| ()).unwrap();
         pool.with_page(4, |_| ()).unwrap(); // page 0 evicted, written back
         let data = pool
@@ -402,7 +412,8 @@ mod tests {
             let mut fp = FilePager::open(&path).unwrap();
             fp.allocate().unwrap();
             let pool = BufferPool::new(fp, 4);
-            pool.with_page_mut(0, |p| p.insert(b"flushed").unwrap()).unwrap();
+            pool.with_page_mut(0, |p| p.insert(b"flushed").unwrap())
+                .unwrap();
             pool.flush().unwrap();
         }
         let fp = FilePager::open(&path).unwrap();

@@ -35,7 +35,6 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use chronos_core::chronon::Chronon;
-use chronos_obs::Recorder;
 use chronos_core::error::CoreError;
 use chronos_core::period::Period;
 use chronos_core::relation::historical::HistoricalRelation;
@@ -44,8 +43,11 @@ use chronos_core::relation::{HistoricalOp, Validity};
 use chronos_core::schema::{Schema, TemporalSignature};
 use chronos_core::timepoint::TimePoint;
 use chronos_core::tuple::Tuple;
+use chronos_obs::Recorder;
 
-use crate::codec::{get_period, get_tuple, get_validity, put_period, put_tuple, put_validity, Reader};
+use crate::codec::{
+    get_period, get_tuple, get_validity, put_period, put_tuple, put_validity, Reader,
+};
 use crate::error::{StorageError, StorageResult};
 use crate::heap::HeapFile;
 use crate::index::IntervalTree;
@@ -69,7 +71,11 @@ fn decode_row(bytes: &[u8]) -> StorageResult<BitemporalRow> {
     if !r.is_exhausted() {
         return Err(StorageError::Corrupt("trailing bytes after row".into()));
     }
-    Ok(BitemporalRow { tuple, validity, tx })
+    Ok(BitemporalRow {
+        tuple,
+        validity,
+        tx,
+    })
 }
 
 /// Default checkpoint interval: one materialised state every K commits.
@@ -164,10 +170,7 @@ impl StoredBitemporalTable<MemPager> {
             table
                 .commit_internal(rec.tx_time, &rec.ops, false)
                 .map_err(|e| {
-                    StorageError::Corrupt(format!(
-                        "log replay failed at tx {}: {e}",
-                        rec.tx_time
-                    ))
+                    StorageError::Corrupt(format!("log replay failed at tx {}: {e}", rec.tx_time))
                 })?;
         }
         table.wal = Some(Wal::open(wal_path)?);
@@ -384,7 +387,9 @@ impl<S: PageStore> StoredBitemporalTable<S> {
     pub fn try_rollback_checkpointed(&self, t: Chronon) -> StorageResult<HistoricalRelation> {
         let span = self.recorder.span("storage/rollback");
         let visible = self.commit_log.partition_point(|(commit, _)| *commit <= t);
-        let idx = self.checkpoints.partition_point(|(commits, _)| *commits <= visible);
+        let idx = self
+            .checkpoints
+            .partition_point(|(commits, _)| *commits <= visible);
         let (mut replayed, mut state) = match idx.checked_sub(1) {
             Some(i) => {
                 let (commits, snap) = &self.checkpoints[i];
@@ -429,7 +434,8 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         span.detail("tx-index stab");
         let mut rids = Vec::new();
         self.recorder.count(|m| &m.index_probes);
-        self.tx_index.stab(TimePoint::at(t), |_, rid| rids.push(*rid));
+        self.tx_index
+            .stab(TimePoint::at(t), |_, rid| rids.push(*rid));
         let mut out = HistoricalRelation::new(self.schema.clone(), self.signature);
         // Deterministic order: by record id.
         rids.sort_unstable();
@@ -517,7 +523,8 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         span.detail("tx-index stab");
         let mut rids = Vec::new();
         self.recorder.count(|m| &m.index_probes);
-        self.tx_index.stab(TimePoint::at(t), |_, rid| rids.push(*rid));
+        self.tx_index
+            .stab(TimePoint::at(t), |_, rid| rids.push(*rid));
         rids.sort_unstable();
         let rows = self.decode_rows_filtered(&rids, |_| true)?;
         span.rows_out(rows.len() as u64);
@@ -549,7 +556,8 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         span.detail("tx-index stab + valid filter");
         let mut rids = Vec::new();
         self.recorder.count(|m| &m.index_probes);
-        self.tx_index.stab(TimePoint::at(as_of), |_, rid| rids.push(*rid));
+        self.tx_index
+            .stab(TimePoint::at(as_of), |_, rid| rids.push(*rid));
         rids.sort_unstable();
         let rows = self.decode_rows_filtered(&rids, |row| row.validity.valid_at(valid))?;
         span.rows_out(rows.len() as u64);
@@ -563,7 +571,8 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         span.detail("valid-interval-tree stab");
         let mut rids = Vec::new();
         self.recorder.count(|m| &m.index_probes);
-        self.valid_index.stab(TimePoint::at(t), |_, rid| rids.push(*rid));
+        self.valid_index
+            .stab(TimePoint::at(t), |_, rid| rids.push(*rid));
         rids.sort_unstable();
         let rows =
             self.decode_rows_filtered(&rids, |row| row.is_current() && row.validity.valid_at(t))?;
@@ -622,6 +631,7 @@ impl<S: PageStore> StoredBitemporalTable<S> {
             }
         }
 
+        crate::fault::crash_point("table.commit.apply")?;
         for op in ops {
             match op {
                 HistoricalOp::Insert { tuple, validity } => {
@@ -729,11 +739,7 @@ impl<S: PageStore> TemporalStore for StoredBitemporalTable<S> {
         self.signature
     }
 
-    fn commit(
-        &mut self,
-        tx_time: Chronon,
-        ops: &[HistoricalOp],
-    ) -> chronos_core::CoreResult<()> {
+    fn commit(&mut self, tx_time: Chronon, ops: &[HistoricalOp]) -> chronos_core::CoreResult<()> {
         self.try_commit(tx_time, ops).map_err(|e| match e {
             StorageError::Core(c) => c,
             other => CoreError::Invalid(other.to_string()),
@@ -777,7 +783,10 @@ mod tests {
 
     fn drive_figure_8<T: TemporalStore>(s: &mut T) {
         s.begin()
-            .insert(tuple(["Merrie", "associate"]), Period::from_start(d("09/01/77")))
+            .insert(
+                tuple(["Merrie", "associate"]),
+                Period::from_start(d("09/01/77")),
+            )
             .commit(d("08/25/77"))
             .unwrap();
         s.begin()
@@ -786,7 +795,10 @@ mod tests {
             .unwrap();
         s.begin()
             .remove(RowSelector::tuple(tuple(["Tom", "full"])))
-            .insert(tuple(["Tom", "associate"]), Period::from_start(d("12/05/82")))
+            .insert(
+                tuple(["Tom", "associate"]),
+                Period::from_start(d("12/05/82")),
+            )
             .commit(d("12/07/82"))
             .unwrap();
         s.begin()
@@ -798,7 +810,10 @@ mod tests {
             .commit(d("12/15/82"))
             .unwrap();
         s.begin()
-            .insert(tuple(["Mike", "assistant"]), Period::from_start(d("01/01/83")))
+            .insert(
+                tuple(["Mike", "assistant"]),
+                Period::from_start(d("01/01/83")),
+            )
             .commit(d("01/10/83"))
             .unwrap();
         s.begin()
@@ -812,10 +827,8 @@ mod tests {
 
     #[test]
     fn agrees_with_reference_bitemporal_table() {
-        let mut stored = StoredBitemporalTable::in_memory(
-            faculty_schema(),
-            TemporalSignature::Interval,
-        );
+        let mut stored =
+            StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
         let mut reference = BitemporalTable::new(faculty_schema(), TemporalSignature::Interval);
         drive_figure_8(&mut stored);
         drive_figure_8(&mut reference);
@@ -894,7 +907,9 @@ mod tests {
         assert_eq!(t.stored_tuples(), 7);
         assert_eq!(t.last_commit(), Some(d("02/25/84")));
         let rows = t.valid_at_as_of(d("12/05/82"), d("12/10/82")).unwrap();
-        assert!(rows.iter().any(|r| r.tuple.get(1).as_str() == Some("associate")));
+        assert!(rows
+            .iter()
+            .any(|r| r.tuple.get(1).as_str() == Some("associate")));
         // Other relations' records in the same log are ignored.
         let other = StoredBitemporalTable::open_durable(
             &path,
@@ -924,7 +939,10 @@ mod tests {
             drive_figure_8(&mut t);
         }
         {
-            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
             f.write_all(&[0x10, 0x00, 0x00, 0x00, 0xDE, 0xAD]).unwrap();
         }
         let t = StoredBitemporalTable::open_durable(
@@ -952,8 +970,7 @@ mod tests {
                 let prev = format!("row{}", i - 1);
                 txn = txn.set_validity(
                     RowSelector::tuple(tuple([prev.as_str(), "assistant"])),
-                    Period::new(Chronon::new(i as i64 - 1), Chronon::new(i as i64 + 100))
-                        .unwrap(),
+                    Period::new(Chronon::new(i as i64 - 1), Chronon::new(i as i64 + 100)).unwrap(),
                 );
             }
             txn.commit(t).unwrap();
@@ -962,8 +979,7 @@ mod tests {
 
     #[test]
     fn checkpointed_rollback_matches_indexed() {
-        let mut t =
-            StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
+        let mut t = StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
         t.set_checkpoint_interval(8).unwrap();
         drive_many(&mut t, 50);
         assert_eq!(t.checkpoints(), 50 / 8);
@@ -981,8 +997,7 @@ mod tests {
 
     #[test]
     fn reinterval_rebuilds_checkpoints() {
-        let mut t =
-            StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
+        let mut t = StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
         drive_many(&mut t, 30);
         let reference = t.try_rollback_indexed(Chronon::new(155)).unwrap();
         for k in [1, 4, 16, 64] {
@@ -1017,8 +1032,7 @@ mod tests {
 
     #[test]
     fn parallel_scan_matches_sequential_in_order() {
-        let mut t =
-            StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
+        let mut t = StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
         drive_many(&mut t, 200);
         t.set_parallel_threshold(1); // force the parallel paths
         assert!(t.heap.pages() > 1, "workload spans several pages");
@@ -1069,8 +1083,7 @@ mod tests {
 
     #[test]
     fn failed_commit_leaves_no_trace() {
-        let mut t =
-            StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
+        let mut t = StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
         drive_figure_8(&mut t);
         let before = t.stored_tuples();
         let err = t

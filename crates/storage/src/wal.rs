@@ -20,12 +20,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use chronos_core::chronon::Chronon;
-use chronos_obs::Recorder;
 use chronos_core::relation::{HistoricalOp, RowSelector};
+use chronos_obs::Recorder;
 
-use crate::codec::{
-    crc32, get_tuple, get_validity, put_tuple, put_uvarint, put_validity, Reader,
-};
+use crate::codec::{crc32, get_tuple, get_validity, put_tuple, put_uvarint, put_validity, Reader};
 use crate::error::{StorageError, StorageResult};
 
 /// One committed transaction, as logged.
@@ -153,6 +151,11 @@ pub struct Wal {
     file: File,
     path: PathBuf,
     recorder: Arc<Recorder>,
+    /// Length of the known-good, fsynced prefix.  A failed append
+    /// rolls the file back here so later appends never land *after*
+    /// garbage (which recovery would then truncate away, silently
+    /// losing them).
+    synced_len: u64,
 }
 
 impl Wal {
@@ -163,10 +166,12 @@ impl Wal {
             .append(true)
             .create(true)
             .open(path)?;
+        let synced_len = file.metadata()?.len();
         Ok(Wal {
             file,
             path: path.to_path_buf(),
             recorder: Arc::new(Recorder::disabled()),
+            synced_len,
         })
     }
 
@@ -181,16 +186,51 @@ impl Wal {
     }
 
     /// Appends one record (framed and checksummed) and syncs to disk.
+    ///
+    /// On error the file is rolled back to its last fsynced prefix
+    /// (best effort), so a failed append can never poison the tail and
+    /// swallow a *later* successful append at recovery time.
     pub fn append(&mut self, rec: &WalRecord) -> StorageResult<()> {
+        let result = self.append_inner(rec);
+        if result.is_err() {
+            // Best-effort self-heal; the original error is what the
+            // caller needs to see either way.
+            let _ = self.file.set_len(self.synced_len);
+            let _ = self.file.sync_data();
+        }
+        result
+    }
+
+    fn append_inner(&mut self, rec: &WalRecord) -> StorageResult<()> {
         let _span = self.recorder.span("wal/append");
+        crate::fault::crash_point("wal.append.pre_frame")?;
         let payload = encode_record(rec);
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        match crate::fault::write_decision("wal.append.frame", frame.len())? {
+            crate::fault::IoFault::Full => self.file.write_all(&frame)?,
+            crate::fault::IoFault::Torn { keep, unwind } => {
+                // Persist the tear before dying so the torn tail is
+                // really on disk for recovery to find.
+                self.file.write_all(&frame[..keep])?;
+                let _ = self.file.sync_data();
+                if unwind {
+                    return Err(crate::fault::injected_error("wal.append.frame").into());
+                }
+                crate::fault::crash_now("wal.append.frame");
+            }
+        }
         self.recorder.count(|m| &m.wal_appends);
+        crate::fault::crash_point("wal.append.pre_sync")?;
         self.file.sync_data()?;
+        // `synced_len` advances only once the whole append has
+        // succeeded: an error unwinding from the post-sync site rolls
+        // the (durable but *reported failed*) frame back, keeping the
+        // log consistent with what the caller was told.
+        crate::fault::crash_point("wal.append.post_sync")?;
+        self.synced_len += frame.len() as u64;
         self.recorder.count(|m| &m.wal_fsyncs);
         self.recorder.emit_event(
             "wal_append",
@@ -269,12 +309,25 @@ impl Wal {
         Ok(self.len()? == 0)
     }
 
+    /// Truncates the log back to `len` bytes (a prefix that was known
+    /// good), e.g. to roll back the frame of a commit whose in-memory
+    /// apply failed after the write-ahead append.
+    pub fn truncate_to(&mut self, len: u64) -> StorageResult<()> {
+        self.file.set_len(len)?;
+        self.file.sync_data()?;
+        self.synced_len = self.synced_len.min(len);
+        Ok(())
+    }
+
     /// Truncates the whole log (after a checkpoint has captured its
     /// effects).
     pub fn reset(&mut self) -> StorageResult<()> {
+        crate::fault::crash_point("wal.reset.pre_truncate")?;
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_data()?;
+        self.synced_len = 0;
+        crate::fault::crash_point("wal.reset.post_truncate")?;
         Ok(())
     }
 }

@@ -210,8 +210,7 @@ pub fn analyze_retrieve(
             target_vars.push(vi);
         }
     }
-    let out_schema =
-        Schema::new(out_attrs).map_err(|e| TquelError::Semantic(e.to_string()))?;
+    let out_schema = Schema::new(out_attrs).map_err(|e| TquelError::Semantic(e.to_string()))?;
 
     // Lower the where clause.
     let predicate = match &stmt.where_clause {
@@ -256,8 +255,8 @@ pub fn analyze_retrieve(
     // timestamped result; otherwise the result inherits valid time from
     // the target-list variables.  Aggregates summarize over time and
     // yield a pure static relation.
-    let result_valid = !aggregated
-        && (valid.is_some() || target_vars.iter().any(|&i| vars[i].has_valid_time()));
+    let result_valid =
+        !aggregated && (valid.is_some() || target_vars.iter().any(|&i| vars[i].has_valid_time()));
     let result_tx = result_valid
         && !target_vars.is_empty()
         && target_vars
@@ -324,9 +323,10 @@ impl<'a> Binder<'a> {
                 "range variable {var:?} is not declared (use 'range of {var} is <relation>')"
             ))
         })?;
-        let info = self.provider.info(relation).ok_or_else(|| {
-            TquelError::Semantic(format!("unknown relation {relation:?}"))
-        })?;
+        let info = self
+            .provider
+            .info(relation)
+            .ok_or_else(|| TquelError::Semantic(format!("unknown relation {relation:?}")))?;
         let offset = self.next_offset;
         self.next_offset += info.schema.arity();
         self.vars.push(VarBinding {
@@ -462,8 +462,9 @@ fn lower_where(
             };
             Ok(Predicate::Cmp(op, ea, eb))
         }
-        WhereExpr::And(a, b) => Ok(lower_where(a, vars, var_index)?
-            .and(lower_where(b, vars, var_index)?)),
+        WhereExpr::And(a, b) => {
+            Ok(lower_where(a, vars, var_index)?.and(lower_where(b, vars, var_index)?))
+        }
         WhereExpr::Or(a, b) => {
             Ok(lower_where(a, vars, var_index)?.or(lower_where(b, vars, var_index)?))
         }
@@ -489,8 +490,9 @@ fn lower_when(
             lower_texpr(a, vars, var_index)?,
             lower_texpr(b, vars, var_index)?,
         )),
-        WhenExpr::And(a, b) => Ok(lower_when(a, vars, var_index)?
-            .and(lower_when(b, vars, var_index)?)),
+        WhenExpr::And(a, b) => {
+            Ok(lower_when(a, vars, var_index)?.and(lower_when(b, vars, var_index)?))
+        }
         WhenExpr::Or(a, b) => Ok(TemporalPred::Or(
             Box::new(lower_when(a, vars, var_index)?),
             Box::new(lower_when(b, vars, var_index)?),

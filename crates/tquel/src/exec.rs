@@ -224,9 +224,9 @@ impl AggState {
         match self {
             AggState::Count(n) => *n += 1,
             AggState::SumInt(s) => {
-                *s += v.as_int().ok_or_else(|| {
-                    TquelError::Semantic("sum over a non-integer value".into())
-                })?;
+                *s += v
+                    .as_int()
+                    .ok_or_else(|| TquelError::Semantic("sum over a non-integer value".into()))?;
             }
             AggState::SumFloat(s) => match v {
                 Value::Float(x) => *s += x,
@@ -290,8 +290,7 @@ fn execute_aggregate(
         .zip(plan.out_schema.attributes())
         .map(|((_, t), out_attr)| match t {
             TargetPlan::Aggregate(func, flat) => {
-                let is_float =
-                    out_attr.attr_type() == chronos_core::value::AttrType::Float;
+                let is_float = out_attr.attr_type() == chronos_core::value::AttrType::Float;
                 (AggState::new(*func, is_float), *flat)
             }
             TargetPlan::Attr(_) => unreachable!("analysis rejects mixed target lists"),

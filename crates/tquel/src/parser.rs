@@ -265,9 +265,8 @@ impl Parser {
                 })
             }
             T::LParen => {
-                let func = AggFunc::from_name(&first).ok_or_else(|| {
-                    self.error(format!("unknown aggregate function {first:?}"))
-                })?;
+                let func = AggFunc::from_name(&first)
+                    .ok_or_else(|| self.error(format!("unknown aggregate function {first:?}")))?;
                 self.bump();
                 let var = self.ident()?;
                 self.expect(T::Dot)?;
@@ -291,9 +290,8 @@ impl Parser {
                 Ok(TargetExpr::Attr(AttrRef { var: first, attr }))
             }
             T::LParen => {
-                let func = AggFunc::from_name(&first).ok_or_else(|| {
-                    self.error(format!("unknown aggregate function {first:?}"))
-                })?;
+                let func = AggFunc::from_name(&first)
+                    .ok_or_else(|| self.error(format!("unknown aggregate function {first:?}")))?;
                 self.bump();
                 let var = self.ident()?;
                 self.expect(T::Dot)?;
@@ -441,7 +439,9 @@ impl Parser {
             "float" | "f8" => Ok(AttrType::Float),
             "bool" | "boolean" => Ok(AttrType::Bool),
             "date" => Ok(AttrType::Date),
-            other => Err(TquelError::Semantic(format!("unknown attribute type {other:?}"))),
+            other => Err(TquelError::Semantic(format!(
+                "unknown attribute type {other:?}"
+            ))),
         }
     }
 
@@ -736,13 +736,11 @@ mod tests {
             },
             other => panic!("{other:?}"),
         }
-        let stmt =
-            parse_statement(r#"retrieve (f.name) valid at end of f"#).unwrap();
+        let stmt = parse_statement(r#"retrieve (f.name) valid at end of f"#).unwrap();
         match stmt {
-            Statement::Retrieve(r) => assert!(matches!(
-                r.valid,
-                Some(ValidClause::At(TexprAst::EndOf(_)))
-            )),
+            Statement::Retrieve(r) => {
+                assert!(matches!(r.valid, Some(ValidClause::At(TexprAst::EndOf(_)))))
+            }
             other => panic!("{other:?}"),
         }
     }
@@ -812,10 +810,9 @@ mod tests {
     #[test]
     fn boolean_precedence_in_where() {
         // a or b and c  parses as  a or (b and c)
-        let stmt = parse_statement(
-            r#"retrieve (f.rank) where f.a = "1" or f.b = "2" and f.c = "3""#,
-        )
-        .unwrap();
+        let stmt =
+            parse_statement(r#"retrieve (f.rank) where f.a = "1" or f.b = "2" and f.c = "3""#)
+                .unwrap();
         match stmt {
             Statement::Retrieve(r) => match r.where_clause.unwrap() {
                 WhereExpr::Or(_, right) => {

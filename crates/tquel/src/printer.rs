@@ -14,8 +14,11 @@ use crate::exec::ResultRelation;
 /// Renders a result relation as an aligned text table.
 pub fn render(rel: &ResultRelation) -> String {
     let has_valid = rel.rows.iter().any(|r| r.validity.is_some())
-        || matches!(rel.kind, chronos_core::taxonomy::DatabaseClass::Historical
-            | chronos_core::taxonomy::DatabaseClass::Temporal);
+        || matches!(
+            rel.kind,
+            chronos_core::taxonomy::DatabaseClass::Historical
+                | chronos_core::taxonomy::DatabaseClass::Temporal
+        );
     let has_tx = rel.rows.iter().any(|r| r.tx.is_some())
         || rel.kind == chronos_core::taxonomy::DatabaseClass::Temporal;
 
@@ -111,7 +114,10 @@ mod tests {
         assert!(s.contains("09/01/77"), "{s}");
         assert!(s.contains("∞"), "{s}");
         assert!(s.contains("08/25/77") && s.contains("12/15/82"), "{s}");
-        assert!(s.contains("||"), "double bar separates temporal domains: {s}");
+        assert!(
+            s.contains("||"),
+            "double bar separates temporal domains: {s}"
+        );
     }
 
     #[test]

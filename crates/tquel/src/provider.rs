@@ -70,6 +70,5 @@ pub trait RelationProvider {
     /// The rows come back behind an [`Arc`] so a caching provider can
     /// serve repeated scans of the same bitemporal coordinate without
     /// copying the row set.
-    fn scan(&self, relation: &str, as_of: Option<&AsOfSpec>)
-        -> TquelResult<Arc<Vec<SourceRow>>>;
+    fn scan(&self, relation: &str, as_of: Option<&AsOfSpec>) -> TquelResult<Arc<Vec<SourceRow>>>;
 }

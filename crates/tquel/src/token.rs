@@ -168,28 +168,46 @@ pub fn lex(src: &str) -> TquelResult<Vec<Token>> {
                 }
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(TquelError::Lex {
@@ -200,19 +218,31 @@ pub fn lex(src: &str) -> TquelResult<Vec<Token>> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -265,8 +295,7 @@ pub fn lex(src: &str) -> TquelResult<Vec<Token>> {
                 let mut is_float = false;
                 while i < bytes.len()
                     && ((bytes[i] as char).is_ascii_digit()
-                        || (bytes[i] == b'.'
-                            && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)))
+                        || (bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)))
                 {
                     if bytes[i] == b'.' {
                         is_float = true;
@@ -285,7 +314,10 @@ pub fn lex(src: &str) -> TquelResult<Vec<Token>> {
                         offset: start,
                     })?)
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 i += 1;
@@ -304,7 +336,10 @@ pub fn lex(src: &str) -> TquelResult<Vec<Token>> {
                     Some(k) => TokenKind::Keyword(k),
                     None => TokenKind::Ident(text.to_string()),
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             other => {
                 return Err(TquelError::Lex {
@@ -360,7 +395,10 @@ mod tests {
     #[test]
     fn keywords_are_case_insensitive() {
         assert_eq!(kinds("RETRIEVE Retrieve retrieve").len(), 4);
-        assert!(matches!(kinds("WHEN")[0], TokenKind::Keyword(Keyword::When)));
+        assert!(matches!(
+            kinds("WHEN")[0],
+            TokenKind::Keyword(Keyword::When)
+        ));
     }
 
     #[test]

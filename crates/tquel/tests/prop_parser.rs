@@ -113,13 +113,12 @@ fn arb_targets() -> impl Strategy<Value = Vec<Target>> {
         Just(AggFunc::Min),
         Just(AggFunc::Max),
     ];
-    let plain = (prop::option::of(arb_ident()), arb_attr_ref())
-        .prop_map(|(name, a)| Target {
-            name,
-            expr: TargetExpr::Attr(a),
-        });
-    let aggregate = (prop::option::of(arb_ident()), agg, arb_attr_ref())
-        .prop_map(|(name, f, a)| Target {
+    let plain = (prop::option::of(arb_ident()), arb_attr_ref()).prop_map(|(name, a)| Target {
+        name,
+        expr: TargetExpr::Attr(a),
+    });
+    let aggregate =
+        (prop::option::of(arb_ident()), agg, arb_attr_ref()).prop_map(|(name, f, a)| Target {
             name,
             expr: TargetExpr::Aggregate(f, a),
         });
@@ -164,13 +163,16 @@ fn arb_statement() -> impl Strategy<Value = Statement> {
         (arb_ident(), arb_ident())
             .prop_map(|(var, relation)| Statement::RangeDecl { var, relation }),
         arb_retrieve(),
-        (arb_ident(), arb_assignments(), prop::option::of(arb_valid())).prop_map(
-            |(relation, assignments, valid)| Statement::Append {
+        (
+            arb_ident(),
+            arb_assignments(),
+            prop::option::of(arb_valid())
+        )
+            .prop_map(|(relation, assignments, valid)| Statement::Append {
                 relation,
                 assignments,
                 valid,
-            }
-        ),
+            }),
         (arb_ident(), prop::option::of(arb_where()))
             .prop_map(|(var, where_clause)| Statement::Delete { var, where_clause }),
         (
@@ -179,12 +181,14 @@ fn arb_statement() -> impl Strategy<Value = Statement> {
             prop::option::of(arb_valid()),
             prop::option::of(arb_where())
         )
-            .prop_map(|(var, assignments, valid, where_clause)| Statement::Replace {
-                var,
-                assignments,
-                valid,
-                where_clause,
-            }),
+            .prop_map(
+                |(var, assignments, valid, where_clause)| Statement::Replace {
+                    var,
+                    assignments,
+                    valid,
+                    where_clause,
+                }
+            ),
         (
             arb_ident(),
             prop::collection::vec(

@@ -27,24 +27,42 @@ fn main() {
 
     let mut at = |day: &str, stmt: &str| {
         clock.advance_to(date(day).unwrap());
-        db.session().run(stmt).unwrap_or_else(|e| panic!("{stmt}: {e}"));
+        db.session()
+            .run(stmt)
+            .unwrap_or_else(|e| panic!("{stmt}: {e}"));
     };
 
     // Development history of a bracket and a housing.
-    at("01/05/84", r#"append to parts (part = "bracket", revision = "A", material = "steel")"#);
-    at("01/05/84", r#"append to parts (part = "housing", revision = "A", material = "aluminum")"#);
+    at(
+        "01/05/84",
+        r#"append to parts (part = "bracket", revision = "A", material = "steel")"#,
+    );
+    at(
+        "01/05/84",
+        r#"append to parts (part = "housing", revision = "A", material = "aluminum")"#,
+    );
     // Rev B of the bracket switches material.
-    at("03/12/84",
-       r#"range of p is parts
-          replace p (revision = "B", material = "titanium") where p.part = "bracket""#);
+    at(
+        "03/12/84",
+        r#"range of p is parts
+          replace p (revision = "B", material = "titanium") where p.part = "bracket""#,
+    );
     // The housing is dropped from the product…
-    at("05/20/84", r#"range of p is parts delete p where p.part = "housing""#);
+    at(
+        "05/20/84",
+        r#"range of p is parts delete p where p.part = "housing""#,
+    );
     // …and a cover is added.
-    at("05/20/84", r#"append to parts (part = "cover", revision = "A", material = "abs")"#);
+    at(
+        "05/20/84",
+        r#"append to parts (part = "cover", revision = "A", material = "abs")"#,
+    );
     // Rev C fixes the bracket again.
-    at("08/02/84",
-       r#"range of p is parts
-          replace p (revision = "C", material = "titanium") where p.part = "bracket""#);
+    at(
+        "08/02/84",
+        r#"range of p is parts
+          replace p (revision = "C", material = "titanium") where p.part = "bracket""#,
+    );
 
     // Ship dates and the configurations they froze.
     for ship in ["02/01/84", "04/15/84", "09/01/84"] {

@@ -30,17 +30,23 @@ fn main() {
 
     let mut at = |day: &str, stmt: &str| {
         clock.advance_to(date(day).unwrap());
-        db.session().run(stmt).unwrap_or_else(|e| panic!("{stmt}: {e}"));
+        db.session()
+            .run(stmt)
+            .unwrap_or_else(|e| panic!("{stmt}: {e}"));
     };
 
     // Merrie's salary is $4,000/month from the start of 1983.
-    at("01/01/83",
-       r#"append to salary (name = "Merrie", monthly = 4000) valid from "01/01/83" to forever"#);
+    at(
+        "01/01/83",
+        r#"append to salary (name = "Merrie", monthly = 4000) valid from "01/01/83" to forever"#,
+    );
     // On 12/01/83 a raise to $5,000 is recorded, retroactive to 08/01/83.
-    at("12/01/83",
-       r#"range of s is salary
+    at(
+        "12/01/83",
+        r#"range of s is salary
           replace s (monthly = 5000) valid from "08/01/83" to forever
-          where s.name = "Merrie""#);
+          where s.name = "Merrie""#,
+    );
 
     // Payroll ran on the first of each month, paying what the database
     // said *on that day* (a rollback query per pay date).

@@ -54,7 +54,10 @@ fn main() {
                where p.name = "Merrie" and p.rank = "full""#,
         )
         .expect("query");
-    println!("Merrie's promotion to full was effective {}", res.rows[0].tuple.get(0));
+    println!(
+        "Merrie's promotion to full was effective {}",
+        res.rows[0].tuple.get(0)
+    );
     assert_eq!(res.column_strings(0), ["12/01/82"]);
 
     // Audit: compare the three kinds of time per event.

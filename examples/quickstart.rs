@@ -28,30 +28,47 @@ fn main() {
 
     let mut at = |day: &str, stmt: &str| {
         clock.advance_to(date(day).unwrap());
-        db.session().run(stmt).unwrap_or_else(|e| panic!("{stmt}: {e}"));
-        println!("[{day}] {}", stmt.split_whitespace().collect::<Vec<_>>().join(" "));
+        db.session()
+            .run(stmt)
+            .unwrap_or_else(|e| panic!("{stmt}: {e}"));
+        println!(
+            "[{day}] {}",
+            stmt.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
     };
 
     // Merrie is hired (recorded a week early — postactive).
-    at("08/25/77",
-       r#"append to faculty (name = "Merrie", rank = "associate") valid from "09/01/77" to forever"#);
+    at(
+        "08/25/77",
+        r#"append to faculty (name = "Merrie", rank = "associate") valid from "09/01/77" to forever"#,
+    );
     // Tom is entered as full…
-    at("12/01/82",
-       r#"append to faculty (name = "Tom", rank = "full") valid from "12/05/82" to forever"#);
+    at(
+        "12/01/82",
+        r#"append to faculty (name = "Tom", rank = "full") valid from "12/05/82" to forever"#,
+    );
     // …and corrected to associate.
-    at("12/07/82",
-       r#"range of f is faculty
-          replace f (rank = "associate") valid from "12/05/82" to forever where f.name = "Tom""#);
+    at(
+        "12/07/82",
+        r#"range of f is faculty
+          replace f (rank = "associate") valid from "12/05/82" to forever where f.name = "Tom""#,
+    );
     // Merrie's promotion is recorded two weeks late — retroactive.
-    at("12/15/82",
-       r#"range of f is faculty
-          replace f (rank = "full") valid from "12/01/82" to forever where f.name = "Merrie""#);
+    at(
+        "12/15/82",
+        r#"range of f is faculty
+          replace f (rank = "full") valid from "12/01/82" to forever where f.name = "Merrie""#,
+    );
     // Mike is hired, and later leaves effective 03/01/84.
-    at("01/10/83",
-       r#"append to faculty (name = "Mike", rank = "assistant") valid from "01/01/83" to forever"#);
-    at("02/25/84",
-       r#"range of f is faculty
-          replace f (rank = "assistant") valid from "01/01/83" to "03/01/84" where f.name = "Mike""#);
+    at(
+        "01/10/83",
+        r#"append to faculty (name = "Mike", rank = "assistant") valid from "01/01/83" to forever"#,
+    );
+    at(
+        "02/25/84",
+        r#"range of f is faculty
+          replace f (rank = "assistant") valid from "01/01/83" to "03/01/84" where f.name = "Mike""#,
+    );
 
     clock.advance_to(date("01/01/85").unwrap());
     let mut q = |title: &str, src: &str| {

@@ -71,7 +71,11 @@ fn main() {
     // where it changes.
     println!("\nevery head-count change:");
     for (p, v) in heads.pieces_in(window) {
-        println!("  {:>10} .. {:<10}  {v}", p.start().to_string(), p.end().to_string());
+        println!(
+            "  {:>10} .. {:<10}  {v}",
+            p.start().to_string(),
+            p.end().to_string()
+        );
     }
 
     // Monthly salary budget over time.

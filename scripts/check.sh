@@ -1,7 +1,31 @@
 #!/usr/bin/env bash
-# Full local gate: build, tests, lints, bench smoke.  Run from anywhere.
+# Full local gate: build, tests, lints, bench smoke, fault matrix, and
+# the CLI smoke suites.  Run from anywhere.
+#
+#   CHRONOS_SKIP_BENCH=1 scripts/check.sh    # skip the criterion smoke
+#
+# Every workdir is a mktemp -d cleaned up on any exit path, and every
+# batch heredoc's exit code is checked — the CLI exits non-zero when a
+# statement fails, so a broken script can't pass silently.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+workdirs=()
+cleanup() {
+  if [ "${#workdirs[@]}" -gt 0 ]; then
+    rm -rf "${workdirs[@]}"
+  fi
+}
+trap cleanup EXIT
+die() {
+  echo "$1" >&2
+  shift
+  for extra in "$@"; do echo "$extra"; done
+  exit 1
+}
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --release"
 cargo build --release --offline
@@ -12,8 +36,22 @@ cargo test -q --offline
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --offline -- -D warnings
 
-echo "==> bench smoke (cargo bench -p chronos-bench -- --test)"
-cargo bench -p chronos-bench --offline -- --test
+echo "==> proptest regressions policy (counterexamples must be committed)"
+if [ -n "$(git status --porcelain -- '*.proptest-regressions' 2>/dev/null)" ]; then
+  git status --porcelain -- '*.proptest-regressions'
+  die "proptest found new counterexamples: commit the *.proptest-regressions files"
+fi
+
+if [ "${CHRONOS_SKIP_BENCH:-0}" = "1" ]; then
+  echo "==> bench smoke skipped (CHRONOS_SKIP_BENCH=1)"
+else
+  echo "==> bench smoke (cargo bench -p chronos-bench -- --test)"
+  cargo bench -p chronos-bench --offline -- --test
+fi
+
+echo "==> fault matrix (every crash site: workload -> crash -> recover -> verify)"
+EXPERIMENTS_ONLY=faults ./target/release/experiments \
+  || die "fault matrix failed"
 
 echo "==> observability smoke (explain per relation class + overhead budget)"
 # One explain per relation class through the CLI; the span tree must
@@ -47,26 +85,25 @@ explain retrieve (t.rank)
 
 profile select (t.rank) where t.name = "Merrie"
 EOF
-)
+) || die "explain smoke: batch script failed"
 [ "$(grep -c 'tquel/exec' <<<"$explain_out")" -eq 5 ] \
-  || { echo "explain smoke: expected 5 span trees"; echo "$explain_out"; exit 1; }
+  || die "explain smoke: expected 5 span trees" "$explain_out"
 grep -q 'storage/scan' <<<"$explain_out" \
-  || { echo "explain smoke: storage span missing"; echo "$explain_out"; exit 1; }
+  || die "explain smoke: storage span missing" "$explain_out"
 grep -q 'counters:' <<<"$explain_out" \
-  || { echo "explain smoke: counter line missing"; echo "$explain_out"; exit 1; }
+  || die "explain smoke: counter line missing" "$explain_out"
 # T9 asserts the disabled recorder stays within the <5% overhead budget;
 # T10 does the same for the slow-query wrapper and measures /metrics
 # scrape latency under load; T11 for the background stats sampler on
 # the timeslice workload.
-t9_out=$(EXPERIMENTS_ONLY=T9,T10,T11 ./target/release/experiments)
+t9_out=$(EXPERIMENTS_ONLY=T9,T10,T11 ./target/release/experiments) \
+  || die "observability experiments failed"
 [ "$(grep -c 'within budget' <<<"$t9_out")" -eq 3 ] \
-  || { echo "observability overhead budget exceeded"; echo "$t9_out"; exit 1; }
-
-echo "==> clippy over the obs modules (-D warnings)"
-cargo clippy -p chronos-obs --offline -- -D warnings
+  || die "observability overhead budget exceeded" "$t9_out"
 
 echo "==> operational surface smoke (/healthz + /metrics over raw TCP)"
 obs_dir=$(mktemp -d)
+workdirs+=("$obs_dir")
 obs_out=$(./target/release/chronos --batch --obs-addr 127.0.0.1:0 \
             --slow-threshold-ns 0 "$obs_dir/db" <<'EOF'
 create faculty (name = str, rank = str) as temporal
@@ -80,26 +117,26 @@ append to faculty (name = "Merrie", rank = "associate")
 \slow
 \q
 EOF
-)
+) || die "obs smoke: batch script failed"
 grep -q '^200 /healthz' <<<"$obs_out" \
-  || { echo "obs smoke: /healthz not 200"; echo "$obs_out"; exit 1; }
+  || die "obs smoke: /healthz not 200" "$obs_out"
 grep -q '^200 /metrics' <<<"$obs_out" \
-  || { echo "obs smoke: /metrics not 200"; echo "$obs_out"; exit 1; }
+  || die "obs smoke: /metrics not 200" "$obs_out"
 grep -q '^200 /slow' <<<"$obs_out" \
-  || { echo "obs smoke: /slow not 200"; echo "$obs_out"; exit 1; }
+  || die "obs smoke: /slow not 200" "$obs_out"
 grep -q '^200 /readyz' <<<"$obs_out" \
-  || { echo "obs smoke: /readyz not 200"; echo "$obs_out"; exit 1; }
+  || die "obs smoke: /readyz not 200" "$obs_out"
 grep -q 'chronos_wal_appends 1' <<<"$obs_out" \
-  || { echo "obs smoke: scrape missing live counters"; echo "$obs_out"; exit 1; }
+  || die "obs smoke: scrape missing live counters" "$obs_out"
 grep -q 'session/statement' <<<"$obs_out" \
-  || { echo "obs smoke: slow log missing span tree"; echo "$obs_out"; exit 1; }
+  || die "obs smoke: slow log missing span tree" "$obs_out"
 # The event journal the run produced must be well-formed JSONL.
 ./target/release/chronos --check-jsonl "$obs_dir/db/events.jsonl" \
-  || { echo "obs smoke: events.jsonl malformed"; exit 1; }
-rm -rf "$obs_dir"
+  || die "obs smoke: events.jsonl malformed"
 
 echo "==> temporal introspection smoke (sys\$stats via TQuel + /history)"
 intro_dir=$(mktemp -d)
+workdirs+=("$intro_dir")
 intro_out=$(./target/release/chronos --batch --obs-addr 127.0.0.1:0 \
               --sample-interval-ms 20 "$intro_dir/db" <<'EOF'
 \advance 01/01/80
@@ -121,34 +158,73 @@ retrieve (r.name, r.class, r.tuples)
 \obs /readyz
 \q
 EOF
-)
+) || die "introspection smoke: batch script failed"
 grep -q 'commits | 1' <<<"$intro_out" \
-  || { echo "introspection smoke: sys\$stats missing the commit sample"; echo "$intro_out"; exit 1; }
+  || die "introspection smoke: sys\$stats missing the commit sample" "$intro_out"
 grep -q 'faculty | temporal' <<<"$intro_out" \
-  || { echo "introspection smoke: sys\$relations missing the catalog row"; echo "$intro_out"; exit 1; }
+  || die "introspection smoke: sys\$relations missing the catalog row" "$intro_out"
 grep -q 'top operators' <<<"$intro_out" \
-  || { echo "introspection smoke: \\top produced nothing"; echo "$intro_out"; exit 1; }
+  || die "introspection smoke: \\top produced nothing" "$intro_out"
 grep -q '200 /stats' <<<"$intro_out" \
-  || { echo "introspection smoke: /stats not 200"; echo "$intro_out"; exit 1; }
+  || die "introspection smoke: /stats not 200" "$intro_out"
 grep -q '"telemetry"' <<<"$intro_out" \
-  || { echo "introspection smoke: /stats missing telemetry section"; echo "$intro_out"; exit 1; }
+  || die "introspection smoke: /stats missing telemetry section" "$intro_out"
 grep -q '200 /history' <<<"$intro_out" \
-  || { echo "introspection smoke: /history not 200"; echo "$intro_out"; exit 1; }
+  || die "introspection smoke: /history not 200" "$intro_out"
 grep -q '"metric": "commits"' <<<"$intro_out" \
-  || { echo "introspection smoke: /history body wrong"; echo "$intro_out"; exit 1; }
+  || die "introspection smoke: /history body wrong" "$intro_out"
 grep -q '200 /events' <<<"$intro_out" \
-  || { echo "introspection smoke: /events not 200"; echo "$intro_out"; exit 1; }
+  || die "introspection smoke: /events not 200" "$intro_out"
 grep -q '"sampler_running": true' <<<"$intro_out" \
-  || { echo "introspection smoke: /readyz missing sampler flag"; echo "$intro_out"; exit 1; }
+  || die "introspection smoke: /readyz missing sampler flag" "$intro_out"
 # The /stats and /history bodies must be well-formed JSON; reuse the
 # JSONL validator by extracting each body onto one line.
 grep -A1 '^200 /stats' <<<"$intro_out" | tail -1 > "$intro_dir/bodies.jsonl"
 grep -A1 '^200 /history' <<<"$intro_out" | tail -1 >> "$intro_dir/bodies.jsonl"
 ./target/release/chronos --check-jsonl "$intro_dir/bodies.jsonl" \
-  || { echo "introspection smoke: HTTP bodies malformed"; exit 1; }
+  || die "introspection smoke: HTTP bodies malformed"
 # The run's journal records the sampler lifecycle.
 grep -q 'sampler_start' "$intro_dir/db/events.jsonl" \
-  || { echo "introspection smoke: sampler_start not journaled"; exit 1; }
-rm -rf "$intro_dir"
+  || die "introspection smoke: sampler_start not journaled"
+
+echo "==> negative checks (deliberate corruption must be caught)"
+neg_dir=$(mktemp -d)
+workdirs+=("$neg_dir")
+# Build a small durable database to corrupt.
+./target/release/chronos --batch "$neg_dir/db" >/dev/null <<'EOF'
+\advance 01/01/80
+create faculty (name = str, rank = str) as temporal
+
+append to faculty (name = "Merrie", rank = "associate")
+
+append to faculty (name = "Tom", rank = "assistant")
+EOF
+# 1. A statement error in batch mode exits non-zero.
+if echo 'append to nosuch (x = "y")' | ./target/release/chronos --batch >/dev/null 2>&1; then
+  die "negative: batch statement error did not exit non-zero"
+fi
+# 2. A corrupted catalog refuses to open (checksums are load-bearing).
+printf '\xAA' >> "$neg_dir/db/catalog"
+if ./target/release/chronos --batch "$neg_dir/db" </dev/null >/dev/null 2>&1; then
+  die "negative: corrupted catalog opened cleanly"
+fi
+# Undo the catalog damage for the WAL check below.
+rm -rf "$neg_dir/db"
+./target/release/chronos --batch "$neg_dir/db" >/dev/null <<'EOF'
+\advance 01/01/80
+create faculty (name = str, rank = str) as temporal
+
+append to faculty (name = "Merrie", rank = "associate")
+
+append to faculty (name = "Tom", rank = "assistant")
+EOF
+# 3. A torn WAL tail recovers gracefully AND the degradation is
+#    journaled as a wal_truncated event.
+wal_len=$(wc -c < "$neg_dir/db/wal")
+truncate -s $((wal_len - 3)) "$neg_dir/db/wal"
+./target/release/chronos --batch "$neg_dir/db" </dev/null >/dev/null 2>&1 \
+  || die "negative: torn WAL tail must degrade gracefully, not fail"
+grep -q '"event": "wal_truncated"' "$neg_dir/db/events.jsonl" \
+  || die "negative: torn-tail recovery was not journaled"
 
 echo "==> all checks passed"

@@ -122,7 +122,11 @@ fn concurrent_bitemporal_point_queries_agree_with_serial() {
     let t = Arc::new(t);
     // Serial answers.
     let serial: Vec<usize> = (0..100i64)
-        .map(|v| t.valid_at_as_of(Chronon::new(v), Chronon::new(99)).unwrap().len())
+        .map(|v| {
+            t.valid_at_as_of(Chronon::new(v), Chronon::new(99))
+                .unwrap()
+                .len()
+        })
         .collect();
     // The same queries from many threads (read-only sharing).
     crossbeam::scope(|s| {

@@ -29,8 +29,14 @@ fn populated(dir: &Path) {
         .run("create faculty (name = str, rank = str) as temporal")
         .unwrap();
     for (day, stmt) in [
-        ("02/01/80", r#"append to faculty (name = "Merrie", rank = "associate")"#),
-        ("03/01/80", r#"append to faculty (name = "Tom", rank = "assistant")"#),
+        (
+            "02/01/80",
+            r#"append to faculty (name = "Merrie", rank = "associate")"#,
+        ),
+        (
+            "03/01/80",
+            r#"append to faculty (name = "Tom", rank = "assistant")"#,
+        ),
         (
             "04/01/80",
             r#"range of f is faculty replace f (rank = "full") where f.name = "Merrie""#,
@@ -66,7 +72,9 @@ fn reopen_reproduces_the_database() {
     // And the belief history survived too.
     let res = db
         .session()
-        .query(r#"range of f is faculty retrieve (f.rank) where f.name = "Merrie" as of "03/15/80""#)
+        .query(
+            r#"range of f is faculty retrieve (f.rank) where f.name = "Merrie" as of "03/15/80""#,
+        )
         .unwrap();
     assert_eq!(res.column_strings(0), ["associate"]);
     std::fs::remove_dir_all(&dir).unwrap();
@@ -90,7 +98,10 @@ fn new_commits_after_reopen_stay_append_only() {
     // The whole thing replays again.
     let clock = Arc::new(ManualClock::new(d("01/01/81")));
     let db = Database::open(&dir, clock).unwrap();
-    assert_eq!(db.relation("faculty").unwrap().as_temporal().transactions(), 4);
+    assert_eq!(
+        db.relation("faculty").unwrap().as_temporal().transactions(),
+        4
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -103,7 +114,8 @@ fn torn_wal_tail_is_truncated_on_open() {
             .append(true)
             .open(dir.join("wal"))
             .unwrap();
-        f.write_all(&[0x99, 0x00, 0x00, 0x00, 0xDE, 0xAD, 0xBE]).unwrap();
+        f.write_all(&[0x99, 0x00, 0x00, 0x00, 0xDE, 0xAD, 0xBE])
+            .unwrap();
     }
     let clock = Arc::new(ManualClock::new(d("01/01/81")));
     let db = Database::open(&dir, clock).unwrap();
@@ -111,6 +123,72 @@ fn torn_wal_tail_is_truncated_on_open() {
         db.relation("faculty").unwrap().as_temporal().transactions(),
         3,
         "all intact commits survive, the torn frame is dropped"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_mid_record_recovers_and_journals_wal_truncated() {
+    let dir = temp_dir("midrec");
+    populated(&dir);
+    // Cut the log mid-way through its *last* record: a crash during the
+    // final append, torn at an arbitrary byte.
+    let wal_path = dir.join("wal");
+    let len = std::fs::metadata(&wal_path).unwrap().len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_path)
+        .unwrap();
+    f.set_len(len - 3).unwrap();
+    drop(f);
+    let clock = Arc::new(ManualClock::new(d("01/01/81")));
+    let db = Database::open(&dir, clock).expect("torn tail must degrade, not fail");
+    assert_eq!(
+        db.relation("faculty").unwrap().as_temporal().transactions(),
+        2,
+        "the two intact commits survive, the torn third is dropped"
+    );
+    // Graceful degradation is journaled, not silent.
+    let journal = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+    let line = journal
+        .lines()
+        .find(|l| l.contains("\"event\": \"wal_truncated\""))
+        .expect("wal_truncated event journaled");
+    assert!(
+        line.contains("\"torn_bytes\": "),
+        "event records the torn span: {line}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checksum_flip_in_last_record_recovers_and_journals_wal_truncated() {
+    let dir = temp_dir("crcflip");
+    populated(&dir);
+    // Walk the `[len][crc][payload]` framing to the last record and
+    // flip one byte of its stored checksum (bit-rot on the crc itself).
+    let wal_path = dir.join("wal");
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    let mut offset = 0usize;
+    let mut last = 0usize;
+    while offset + 8 <= bytes.len() {
+        last = offset;
+        let frame_len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 8 + frame_len;
+    }
+    bytes[last + 4] ^= 0xFF;
+    std::fs::write(&wal_path, &bytes).unwrap();
+    let clock = Arc::new(ManualClock::new(d("01/01/81")));
+    let db = Database::open(&dir, clock).expect("checksum mismatch must degrade, not fail");
+    assert_eq!(
+        db.relation("faculty").unwrap().as_temporal().transactions(),
+        2,
+        "recovery keeps the prefix before the damaged record"
+    );
+    let journal = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+    assert!(
+        journal.contains("\"event\": \"wal_truncated\""),
+        "dropping the damaged record must be journaled"
     );
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -129,7 +207,10 @@ fn interior_corruption_keeps_the_valid_prefix() {
     let clock = Arc::new(ManualClock::new(d("01/01/81")));
     let db = Database::open(&dir, clock).unwrap();
     // Only the first commit survives; framing is lost from the bad frame.
-    assert_eq!(db.relation("faculty").unwrap().as_temporal().transactions(), 1);
+    assert_eq!(
+        db.relation("faculty").unwrap().as_temporal().transactions(),
+        1
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -185,7 +266,11 @@ fn checkpoint_bounds_recovery_and_preserves_history() {
             .session()
             .query(r#"range of f is faculty retrieve (f.rank) where f.name = "Merrie" as of "03/15/80""#)
             .unwrap();
-        assert_eq!(res.column_strings(0), ["associate"], "pre-checkpoint belief intact");
+        assert_eq!(
+            res.column_strings(0),
+            ["associate"],
+            "pre-checkpoint belief intact"
+        );
         // New commits land in the (fresh) log on top of the checkpoint…
         clock.advance_to(d("08/01/80"));
         db.session()
@@ -233,7 +318,9 @@ fn checkpoint_round_trips_every_class() {
                 .unwrap();
             clock.tick(1);
             db.session()
-                .run(&format!(r#"range of v is {rel} delete v where v.name = "x""#))
+                .run(&format!(
+                    r#"range of v is {rel} delete v where v.name = "x""#
+                ))
                 .unwrap();
             clock.tick(1);
             db.session()
@@ -320,7 +407,9 @@ fn mixed_classes_replay_correctly() {
                 .unwrap();
             clock.tick(1);
             db.session()
-                .run(&format!(r#"range of v is {rel} delete v where v.name = "x""#))
+                .run(&format!(
+                    r#"range of v is {rel} delete v where v.name = "x""#
+                ))
                 .unwrap();
         }
     }

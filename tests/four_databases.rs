@@ -35,7 +35,9 @@ fn db_with_all_classes() -> (Database, Arc<ManualClock>) {
 fn run_story(db: &mut Database, clock: &Arc<ManualClock>, rel: &str) {
     clock.advance_to(d("01/05/80"));
     db.session()
-        .run(&format!(r#"append to {rel} (name = "Merrie", rank = "associate")"#))
+        .run(&format!(
+            r#"append to {rel} (name = "Merrie", rank = "associate")"#
+        ))
         .unwrap();
     clock.advance_to(d("06/01/82"));
     db.session()

@@ -57,8 +57,12 @@ fn sys_stats_as_of_returns_the_then_current_counters() {
     db.session()
         .run("create faculty (name = str, rank = str) as temporal")
         .expect("create");
-    step(&mut db, &clock, "01/05/80",
-        r#"append to faculty (name = "Merrie", rank = "associate")"#);
+    step(
+        &mut db,
+        &clock,
+        "01/05/80",
+        r#"append to faculty (name = "Merrie", rank = "associate")"#,
+    );
 
     clock.advance_to(d("02/01/80"));
     let t1 = db.sample_now();
@@ -66,10 +70,18 @@ fn sys_stats_as_of_returns_the_then_current_counters() {
     let commits_t1 = db.engine_stats().metrics.commits as i64;
     assert_eq!(commits_t1, 1);
 
-    step(&mut db, &clock, "02/10/80",
-        r#"append to faculty (name = "Tom", rank = "full")"#);
-    step(&mut db, &clock, "02/11/80",
-        r#"append to faculty (name = "Jane", rank = "assistant")"#);
+    step(
+        &mut db,
+        &clock,
+        "02/10/80",
+        r#"append to faculty (name = "Tom", rank = "full")"#,
+    );
+    step(
+        &mut db,
+        &clock,
+        "02/11/80",
+        r#"append to faculty (name = "Jane", rank = "assistant")"#,
+    );
 
     clock.advance_to(d("03/01/80"));
     let t2 = db.sample_now();
@@ -103,10 +115,20 @@ fn when_clause_selects_samples_by_their_sampling_event() {
     db.session()
         .run("create faculty (name = str) as temporal")
         .expect("create");
-    step(&mut db, &clock, "01/05/80", r#"append to faculty (name = "Merrie")"#);
+    step(
+        &mut db,
+        &clock,
+        "01/05/80",
+        r#"append to faculty (name = "Merrie")"#,
+    );
     clock.advance_to(d("02/01/80"));
     db.sample_now();
-    step(&mut db, &clock, "02/10/80", r#"append to faculty (name = "Tom")"#);
+    step(
+        &mut db,
+        &clock,
+        "02/10/80",
+        r#"append to faculty (name = "Tom")"#,
+    );
     clock.advance_to(d("03/01/80"));
     db.sample_now();
 
@@ -134,10 +156,18 @@ fn sys_relations_rolls_the_catalog_back_across_ddl() {
     db.session()
         .run("create faculty (name = str, rank = str) as temporal")
         .expect("create");
-    step(&mut db, &clock, "01/05/80",
-        r#"append to faculty (name = "Merrie", rank = "associate")"#);
-    step(&mut db, &clock, "02/10/80",
-        r#"append to faculty (name = "Tom", rank = "full")"#);
+    step(
+        &mut db,
+        &clock,
+        "01/05/80",
+        r#"append to faculty (name = "Merrie", rank = "associate")"#,
+    );
+    step(
+        &mut db,
+        &clock,
+        "02/10/80",
+        r#"append to faculty (name = "Tom", rank = "full")"#,
+    );
     clock.advance_to(d("04/01/80"));
     db.session()
         .run("create dept (name = str) as static")
@@ -151,7 +181,10 @@ fn sys_relations_rolls_the_catalog_back_across_ddl() {
     let mut names = now.column_strings(0);
     names.sort();
     assert_eq!(names, ["dept", "faculty"]);
-    assert!(now.rows.iter().all(|r| r.validity.is_none() && r.tx.is_none()));
+    assert!(now
+        .rows
+        .iter()
+        .all(|r| r.validity.is_none() && r.tx.is_none()));
 
     // As of before dept existed: faculty alone, with the tuple count it
     // had then.
@@ -210,7 +243,12 @@ fn aggregates_run_over_sys_stats() {
     db.session()
         .run("create faculty (name = str) as temporal")
         .expect("create");
-    step(&mut db, &clock, "01/05/80", r#"append to faculty (name = "Merrie")"#);
+    step(
+        &mut db,
+        &clock,
+        "01/05/80",
+        r#"append to faculty (name = "Merrie")"#,
+    );
     clock.advance_to(d("02/01/80"));
     db.sample_now();
     let res = db
@@ -252,11 +290,16 @@ fn background_sampler_and_system_relations_on_a_durable_database() {
     db.session()
         .run("create faculty (name = str, rank = str) as temporal")
         .expect("create");
-    step(&mut db, &clock, "02/01/80",
-        r#"append to faculty (name = "Merrie", rank = "associate")"#);
+    step(
+        &mut db,
+        &clock,
+        "02/01/80",
+        r#"append to faculty (name = "Merrie", rank = "associate")"#,
+    );
 
     assert!(!db.sampler_running());
-    db.start_stats_sampler(Duration::from_millis(5)).expect("sampler");
+    db.start_stats_sampler(Duration::from_millis(5))
+        .expect("sampler");
     assert!(db.sampler_running());
     let (status, ready) = http_get(&addr, "/readyz").expect("GET /readyz");
     assert_eq!(status, 200);
@@ -265,7 +308,10 @@ fn background_sampler_and_system_relations_on_a_durable_database() {
     // Wait for the thread to take at least two samples.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while db.telemetry().stats().samples_taken < 2 {
-        assert!(std::time::Instant::now() < deadline, "sampler never sampled");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sampler never sampled"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
 
@@ -292,7 +338,9 @@ fn background_sampler_and_system_relations_on_a_durable_database() {
     assert!(stats.telemetry.samples_taken >= 2);
     assert!(!stats.telemetry.sampler_running);
     assert!(stats.to_json().contains("\"telemetry\""));
-    assert!(stats.to_prometheus().contains("chronos_telemetry_samples_taken"));
+    assert!(stats
+        .to_prometheus()
+        .contains("chronos_telemetry_samples_taken"));
 
     // sys$events projects the journal into TQuel…
     let res = db
@@ -331,7 +379,10 @@ fn background_sampler_and_system_relations_on_a_durable_database() {
     drop(db);
     // The journal recorded the sampler lifecycle durably.
     let journal = std::fs::read_to_string(dir.join("events.jsonl")).expect("journal");
-    assert!(journal.contains("\"event\": \"sampler_start\""), "{journal}");
+    assert!(
+        journal.contains("\"event\": \"sampler_start\""),
+        "{journal}"
+    );
     assert!(journal.contains("\"event\": \"sampler_stop\""), "{journal}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -342,9 +393,11 @@ fn background_sampler_and_system_relations_on_a_durable_database() {
 fn sampler_restart_replaces_the_previous_thread() {
     let clock = Arc::new(ManualClock::new(d("01/01/80")));
     let mut db = Database::in_memory(clock);
-    db.start_stats_sampler(Duration::from_millis(400)).expect("first");
+    db.start_stats_sampler(Duration::from_millis(400))
+        .expect("first");
     assert!(db.sampler_running());
-    db.start_stats_sampler(Duration::from_millis(400)).expect("second");
+    db.start_stats_sampler(Duration::from_millis(400))
+        .expect("second");
     assert!(db.sampler_running());
     db.stop_stats_sampler();
     assert!(!db.sampler_running());

@@ -27,20 +27,36 @@ fn figure8_db() -> (Database, Arc<ManualClock>) {
     db.session()
         .run("create faculty (name = str, rank = str) as temporal")
         .expect("create");
-    step(&mut db, &clock, "08/25/77",
+    step(
+        &mut db,
+        &clock,
+        "08/25/77",
         r#"append to faculty (name = "Merrie", rank = "associate")
-           valid from "09/01/77" to forever"#);
-    step(&mut db, &clock, "12/01/82",
+           valid from "09/01/77" to forever"#,
+    );
+    step(
+        &mut db,
+        &clock,
+        "12/01/82",
         r#"append to faculty (name = "Tom", rank = "full")
-           valid from "12/05/82" to forever"#);
-    step(&mut db, &clock, "12/07/82",
+           valid from "12/05/82" to forever"#,
+    );
+    step(
+        &mut db,
+        &clock,
+        "12/07/82",
         r#"range of f is faculty
            replace f (rank = "associate") valid from "12/05/82" to forever
-           where f.name = "Tom""#);
-    step(&mut db, &clock, "12/15/82",
+           where f.name = "Tom""#,
+    );
+    step(
+        &mut db,
+        &clock,
+        "12/15/82",
         r#"range of f is faculty
            replace f (rank = "full") valid from "12/01/82" to forever
-           where f.name = "Merrie""#);
+           where f.name = "Merrie""#,
+    );
     (db, clock)
 }
 
@@ -72,7 +88,10 @@ fn profile_names_the_access_path_for_a_figure8_rollback_query() {
         report.contains("storage/asof") && report.contains("tx-index stab"),
         "access path not named in:\n{report}"
     );
-    assert!(report.contains("counters:"), "counter line missing:\n{report}");
+    assert!(
+        report.contains("counters:"),
+        "counter line missing:\n{report}"
+    );
 
     // The report's counters and the registry agree: the traced query
     // advanced the same global counters engine_stats() snapshots.
@@ -105,8 +124,14 @@ fn explain_omits_timings_but_keeps_the_span_tree() {
             profile: false,
             report,
         } => {
-            assert!(report.contains("tquel/exec"), "span tree missing:\n{report}");
-            assert!(report.contains("storage/scan"), "span tree missing:\n{report}");
+            assert!(
+                report.contains("tquel/exec"),
+                "span tree missing:\n{report}"
+            );
+            assert!(
+                report.contains("storage/scan"),
+                "span tree missing:\n{report}"
+            );
         }
         other => panic!("expected an explain report, got {other:?}"),
     }
@@ -120,8 +145,7 @@ fn built_table(transactions: usize, seed: u64) -> StoredBitemporalTable {
         correction_pct: 25,
         seed,
     });
-    let mut table =
-        StoredBitemporalTable::in_memory(w.schema.clone(), TemporalSignature::Interval);
+    let mut table = StoredBitemporalTable::in_memory(w.schema.clone(), TemporalSignature::Interval);
     for tx in &w.transactions {
         table.try_commit(tx.tx_time, &tx.ops).expect("valid");
     }
@@ -137,8 +161,7 @@ fn rollback_spans_name_checkpoint_hit_vs_full_replay() {
         correction_pct: 25,
         seed: 11,
     });
-    let mut table =
-        StoredBitemporalTable::in_memory(w.schema.clone(), TemporalSignature::Interval);
+    let mut table = StoredBitemporalTable::in_memory(w.schema.clone(), TemporalSignature::Interval);
     let mut commit_times = Vec::new();
     for tx in &w.transactions {
         table.try_commit(tx.tx_time, &tx.ops).expect("valid");
@@ -155,7 +178,9 @@ fn rollback_spans_name_checkpoint_hit_vs_full_replay() {
     recorder.begin_trace();
     table.try_rollback_checkpointed(late).expect("rollback");
     let report = recorder.end_trace(&before).expect("capture active");
-    let span = report.span_named("storage/rollback").expect("span recorded");
+    let span = report
+        .span_named("storage/rollback")
+        .expect("span recorded");
     assert!(span.detail.contains("checkpoint hit"), "{}", span.detail);
     assert_eq!(report.delta.rollback_checkpoint_hits, 1);
     assert!(
@@ -170,7 +195,9 @@ fn rollback_spans_name_checkpoint_hit_vs_full_replay() {
     recorder.begin_trace();
     table.try_rollback_checkpointed(early).expect("rollback");
     let report = recorder.end_trace(&before).expect("capture active");
-    let span = report.span_named("storage/rollback").expect("span recorded");
+    let span = report
+        .span_named("storage/rollback")
+        .expect("span recorded");
     assert!(span.detail.contains("full replay"), "{}", span.detail);
     assert_eq!(report.delta.rollback_checkpoint_hits, 0);
 
@@ -179,7 +206,9 @@ fn rollback_spans_name_checkpoint_hit_vs_full_replay() {
     recorder.begin_trace();
     table.try_rollback_indexed(late).expect("rollback");
     let report = recorder.end_trace(&before).expect("capture active");
-    let span = report.span_named("storage/rollback").expect("span recorded");
+    let span = report
+        .span_named("storage/rollback")
+        .expect("span recorded");
     assert!(span.detail.contains("tx-index stab"), "{}", span.detail);
     assert_eq!(report.delta.index_probes, 1);
 }

@@ -57,7 +57,9 @@ fn figure8_db() -> (Database, Arc<ManualClock>) {
         ),
     ] {
         clock.advance_to(d(day));
-        db.session().run(stmt).unwrap_or_else(|e| panic!("{stmt}: {e}"));
+        db.session()
+            .run(stmt)
+            .unwrap_or_else(|e| panic!("{stmt}: {e}"));
     }
     (db, clock)
 }
@@ -160,8 +162,7 @@ fn exporter_survives_concurrent_scrapes_during_writes() {
                 s.spawn(move || {
                     let mut last_commits = 0u64;
                     for _ in 0..SCRAPES {
-                        let (status, metrics) =
-                            http_get(&addr, "/metrics").expect("GET /metrics");
+                        let (status, metrics) = http_get(&addr, "/metrics").expect("GET /metrics");
                         assert_eq!(status, 200);
                         let commits = metrics
                             .lines()
@@ -326,7 +327,11 @@ fn slow_log_disabled_threshold_captures_nothing() {
         .expect("query");
     assert!(db.recorder().slowlog().is_empty());
     assert_eq!(db.recorder().slowlog().admitted(), 0);
-    assert!(db.recorder().slowlog().to_json().contains("\"entries\": []"));
+    assert!(db
+        .recorder()
+        .slowlog()
+        .to_json()
+        .contains("\"entries\": []"));
 }
 
 #[test]
@@ -361,11 +366,7 @@ fn recovery_event_matches_the_replayed_table_state() {
 
     let clock = Arc::new(ManualClock::new(d("01/01/81")));
     let db = Database::open(&dir, clock).expect("reopen");
-    let replayed_txns = db
-        .relation("faculty")
-        .unwrap()
-        .as_temporal()
-        .transactions() as u64;
+    let replayed_txns = db.relation("faculty").unwrap().as_temporal().transactions() as u64;
     assert_eq!(replayed_txns, 1, "only the valid prefix replays");
 
     let journal = std::fs::read_to_string(dir.join("events.jsonl")).expect("journal");

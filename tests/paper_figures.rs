@@ -24,7 +24,10 @@ fn figure_1_rows_and_notes() {
     assert_eq!(rows.len(), 13);
     // Ben-Zvi contributes both Registration (append-only representation)
     // and Effective (modifiable reality).
-    let benzvi: Vec<_> = rows.iter().filter(|r| r.reference.contains("Ben-Zvi")).collect();
+    let benzvi: Vec<_> = rows
+        .iter()
+        .filter(|r| r.reference.contains("Ben-Zvi"))
+        .collect();
     assert_eq!(benzvi.len(), 2);
     assert_eq!(benzvi[0].append_only, AppendOnly::Yes);
     assert_eq!(benzvi[1].append_only, AppendOnly::No);
@@ -32,10 +35,16 @@ fn figure_1_rows_and_notes() {
     assert!(rows
         .iter()
         .any(|r| r.terminology == "Physical" && r.append_only == AppendOnly::CorrectionsOnly));
-    assert!(rows.iter().any(|r| r.terminology == "Data-Valid-Time-From/To"
-        && r.append_only == AppendOnly::FutureChangesOnly));
-    assert!(rows.iter().any(|r| r.terminology == "Event" && r.unsupported));
-    assert!(rows.iter().any(|r| r.terminology == "Logical" && r.unsupported));
+    assert!(rows
+        .iter()
+        .any(|r| r.terminology == "Data-Valid-Time-From/To"
+            && r.append_only == AppendOnly::FutureChangesOnly));
+    assert!(rows
+        .iter()
+        .any(|r| r.terminology == "Event" && r.unsupported));
+    assert!(rows
+        .iter()
+        .any(|r| r.terminology == "Logical" && r.unsupported));
 }
 
 #[test]
@@ -45,11 +54,9 @@ fn figure_2_and_static_query() {
     assert!(r.contains(&tuple(["Merrie", "full"])));
     assert!(r.contains(&tuple(["Tom", "associate"])));
     // retrieve (f.rank) where f.name = "Merrie" => full
-    let sel = chronos_algebra::ops::select(
-        &r,
-        &chronos_algebra::expr::Predicate::attr_eq(0, "Merrie"),
-    )
-    .unwrap();
+    let sel =
+        chronos_algebra::ops::select(&r, &chronos_algebra::expr::Predicate::attr_eq(0, "Merrie"))
+            .unwrap();
     let ranks = chronos_algebra::ops::project(&sel, &[1]).unwrap();
     assert_eq!(ranks.sorted(), vec![tuple(["full"])]);
 }
@@ -84,7 +91,8 @@ fn figure_4_exact_rows_and_rollback() {
             None => Period::from_start(d(start)),
         };
         assert!(
-            rows.iter().any(|row| row.tuple == tuple([name, rank]) && row.tx == tx),
+            rows.iter()
+                .any(|row| row.tuple == tuple([name, rank]) && row.tx == tx),
             "missing Figure 4 row {name} {rank}"
         );
     }
@@ -126,13 +134,17 @@ fn figure_6_exact_rows_and_timeslices() {
     ];
     for (name, rank, from, to) in expect {
         assert!(
-            r.rows().iter().any(|row| row.tuple == tuple([name, rank])
-                && row.validity.period() == per(from, to)),
+            r.rows()
+                .iter()
+                .any(|row| row.tuple == tuple([name, rank])
+                    && row.validity.period() == per(from, to)),
             "missing Figure 6 row {name} {rank}"
         );
     }
     // Historical query: Merrie's rank 2 years before the paper.
-    assert!(r.valid_at(d("12/01/80")).contains(&tuple(["Merrie", "associate"])));
+    assert!(r
+        .valid_at(d("12/01/80"))
+        .contains(&tuple(["Merrie", "associate"])));
 }
 
 #[test]
@@ -154,22 +166,56 @@ fn figure_8_exact_seven_rows() {
     let rows = r.rows();
     assert_eq!(rows.len(), 7);
     let expect = [
-        ("Merrie", "associate", "09/01/77", None, "08/25/77", Some("12/15/82")),
-        ("Merrie", "associate", "09/01/77", Some("12/01/82"), "12/15/82", None),
+        (
+            "Merrie",
+            "associate",
+            "09/01/77",
+            None,
+            "08/25/77",
+            Some("12/15/82"),
+        ),
+        (
+            "Merrie",
+            "associate",
+            "09/01/77",
+            Some("12/01/82"),
+            "12/15/82",
+            None,
+        ),
         ("Merrie", "full", "12/01/82", None, "12/15/82", None),
-        ("Tom", "full", "12/05/82", None, "12/01/82", Some("12/07/82")),
+        (
+            "Tom",
+            "full",
+            "12/05/82",
+            None,
+            "12/01/82",
+            Some("12/07/82"),
+        ),
         ("Tom", "associate", "12/05/82", None, "12/07/82", None),
-        ("Mike", "assistant", "01/01/83", None, "01/10/83", Some("02/25/84")),
-        ("Mike", "assistant", "01/01/83", Some("03/01/84"), "02/25/84", None),
+        (
+            "Mike",
+            "assistant",
+            "01/01/83",
+            None,
+            "01/10/83",
+            Some("02/25/84"),
+        ),
+        (
+            "Mike",
+            "assistant",
+            "01/01/83",
+            Some("03/01/84"),
+            "02/25/84",
+            None,
+        ),
     ];
     for (name, rank, vf, vt, ts, te) in expect {
         let validity = Validity::Interval(per(vf, vt));
         let tx = per(ts, te);
         assert!(
-            rows.iter()
-                .any(|row| row.tuple == tuple([name, rank])
-                    && row.validity == validity
-                    && row.tx == tx),
+            rows.iter().any(|row| row.tuple == tuple([name, rank])
+                && row.validity == validity
+                && row.tx == tx),
             "missing Figure 8 row {name} {rank} valid {validity} tx {tx}"
         );
     }
@@ -185,8 +231,9 @@ fn figure_9_event_relation_rows() {
     let merrie_full = r
         .rows()
         .iter()
-        .find(|row| row.tuple.get(0).as_str() == Some("Merrie")
-            && row.tuple.get(1).as_str() == Some("full"))
+        .find(|row| {
+            row.tuple.get(0).as_str() == Some("Merrie") && row.tuple.get(1).as_str() == Some("full")
+        })
         .unwrap();
     assert_eq!(merrie_full.tuple.get(2).as_date(), Some(d("12/01/82")));
     assert_eq!(merrie_full.validity, Validity::Event(d("12/11/82")));
@@ -247,7 +294,11 @@ fn renderings_are_stable_tables() {
         ("fig4", render_figure_4(), "12/15/82"),
         ("fig5", render_figure_5(), "after modification 4"),
         ("fig6", render_figure_6(), "12/05/82"),
-        ("fig7", render_figure_7(), "historical state after transaction 4"),
+        (
+            "fig7",
+            render_figure_7(),
+            "historical state after transaction 4",
+        ),
         ("fig8", render_figure_8(), "∞"),
         ("fig9", render_figure_9(), "effective date"),
         ("fig10", render_figure_10(), "Temporal"),

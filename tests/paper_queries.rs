@@ -24,21 +24,33 @@ fn paper_db() -> (Database, Arc<ManualClock>) {
         .run("create faculty (name = str, rank = str) as temporal")
         .unwrap();
     let steps: &[(&str, &str)] = &[
-        ("08/25/77",
-         r#"append to faculty (name = "Merrie", rank = "associate") valid from "09/01/77" to forever"#),
-        ("12/01/82",
-         r#"append to faculty (name = "Tom", rank = "full") valid from "12/05/82" to forever"#),
-        ("12/07/82",
-         r#"range of f is faculty
-            replace f (rank = "associate") valid from "12/05/82" to forever where f.name = "Tom""#),
-        ("12/15/82",
-         r#"range of f is faculty
-            replace f (rank = "full") valid from "12/01/82" to forever where f.name = "Merrie""#),
-        ("01/10/83",
-         r#"append to faculty (name = "Mike", rank = "assistant") valid from "01/01/83" to forever"#),
-        ("02/25/84",
-         r#"range of f is faculty
-            replace f (rank = "assistant") valid from "01/01/83" to "03/01/84" where f.name = "Mike""#),
+        (
+            "08/25/77",
+            r#"append to faculty (name = "Merrie", rank = "associate") valid from "09/01/77" to forever"#,
+        ),
+        (
+            "12/01/82",
+            r#"append to faculty (name = "Tom", rank = "full") valid from "12/05/82" to forever"#,
+        ),
+        (
+            "12/07/82",
+            r#"range of f is faculty
+            replace f (rank = "associate") valid from "12/05/82" to forever where f.name = "Tom""#,
+        ),
+        (
+            "12/15/82",
+            r#"range of f is faculty
+            replace f (rank = "full") valid from "12/01/82" to forever where f.name = "Merrie""#,
+        ),
+        (
+            "01/10/83",
+            r#"append to faculty (name = "Mike", rank = "assistant") valid from "01/01/83" to forever"#,
+        ),
+        (
+            "02/25/84",
+            r#"range of f is faculty
+            replace f (rank = "assistant") valid from "01/01/83" to "03/01/84" where f.name = "Mike""#,
+        ),
     ];
     for (day, stmt) in steps {
         clock.advance_to(d(day));
@@ -164,7 +176,10 @@ fn query_4_bitemporal_as_of_pair() {
         row.validity,
         Some(Validity::Interval(Period::from_start(d("09/01/77"))))
     );
-    assert_eq!(row.tx, Some(Period::new(d("08/25/77"), d("12/15/82")).unwrap()));
+    assert_eq!(
+        row.tx,
+        Some(Period::new(d("08/25/77"), d("12/15/82")).unwrap())
+    );
     assert_eq!(early.kind, DatabaseClass::Temporal);
 
     // "If a similar query is made as of 12/20/82, the answer would be
@@ -212,7 +227,9 @@ fn the_inconsistency_window_is_observable() {
     // database exposes the window precisely.
     let (mut db, _clock) = paper_db();
     let mut window = Vec::new();
-    for day in ["11/30/82", "12/01/82", "12/10/82", "12/14/82", "12/15/82", "12/16/82"] {
+    for day in [
+        "11/30/82", "12/01/82", "12/10/82", "12/14/82", "12/15/82", "12/16/82",
+    ] {
         // What the database believed *on `day`* about Merrie's rank on
         // `day` — valid and transaction time pinned to the same instant…
         let as_stored = db

@@ -86,9 +86,18 @@ fn named_targets_and_multi_attribute_projection() {
 fn when_clause_full_predicate_algebra() {
     let (mut db, clock) = db();
     for (day, stmt) in [
-        ("02/01/80", r#"append to faculty (name = "A", rank = "r1") valid from "01/01/80" to "01/01/82""#),
-        ("02/02/80", r#"append to faculty (name = "B", rank = "r2") valid from "01/01/81" to "01/01/83""#),
-        ("02/03/80", r#"append to faculty (name = "C", rank = "r3") valid from "06/01/83" to forever"#),
+        (
+            "02/01/80",
+            r#"append to faculty (name = "A", rank = "r1") valid from "01/01/80" to "01/01/82""#,
+        ),
+        (
+            "02/02/80",
+            r#"append to faculty (name = "B", rank = "r2") valid from "01/01/81" to "01/01/83""#,
+        ),
+        (
+            "02/03/80",
+            r#"append to faculty (name = "C", rank = "r3") valid from "06/01/83" to forever"#,
+        ),
     ] {
         clock.advance_to(d(day));
         db.session().run(stmt).unwrap();
@@ -101,7 +110,10 @@ fn when_clause_full_predicate_algebra() {
     };
     // overlap with a constant.
     assert_eq!(
-        names(&mut db, r#"range of f is faculty retrieve (f.name) when f overlap "06/01/81""#),
+        names(
+            &mut db,
+            r#"range of f is faculty retrieve (f.name) when f overlap "06/01/81""#
+        ),
         ["A", "B"]
     );
     // precede.
@@ -158,7 +170,10 @@ fn valid_clause_controls_derived_timestamps() {
         Validity::Interval(p) => p,
         other => panic!("{other:?}"),
     };
-    assert_eq!(per.start(), chronos_core::timepoint::TimePoint::at(d("01/01/80")));
+    assert_eq!(
+        per.start(),
+        chronos_core::timepoint::TimePoint::at(d("01/01/80"))
+    );
     assert_eq!(
         per.end(),
         chronos_core::timepoint::TimePoint::at(d("06/01/80")),
@@ -204,7 +219,11 @@ fn as_of_through_windows() {
             .len()
     };
     assert_eq!(count_as_of(&mut db, "06/01/80"), 1);
-    assert_eq!(count_as_of(&mut db, "06/01/81"), 1, "A's validity closed, version still stored");
+    assert_eq!(
+        count_as_of(&mut db, "06/01/81"),
+        1,
+        "A's validity closed, version still stored"
+    );
     assert_eq!(count_as_of(&mut db, "06/01/82"), 2);
     // Window sees every version current at some point inside it.
     let res = db
@@ -231,10 +250,7 @@ fn destroy_then_query_fails_cleanly() {
     let (mut db, _c) = db();
     let out = db.session().run("destroy faculty").unwrap();
     assert!(matches!(out[0], ExecOutcome::Destroyed));
-    let err = db
-        .session()
-        .run("range of f is faculty")
-        .unwrap_err();
+    let err = db.session().run("range of f is faculty").unwrap_err();
     assert!(matches!(err, DbError::Catalog(_)));
     assert!(db.session().run("destroy faculty").is_err());
 }
@@ -248,16 +264,16 @@ fn diagnostics_name_the_problem() {
         .unwrap();
     let mut expect_err = |q: &str, needle: &str| {
         let err = db.session().query(q).unwrap_err().to_string();
-        assert!(err.contains(needle), "query {q:?}\n  error {err:?}\n  wanted {needle:?}");
+        assert!(
+            err.contains(needle),
+            "query {q:?}\n  error {err:?}\n  wanted {needle:?}"
+        );
     };
     expect_err(
         r#"range of f is faculty retrieve (f.salary)"#,
         "no attribute",
     );
-    expect_err(
-        r#"retrieve (g.rank)"#,
-        "not declared",
-    );
+    expect_err(r#"retrieve (g.rank)"#, "not declared");
     expect_err(
         r#"range of f is faculty retrieve (f.rank) where f.name = 3"#,
         "type mismatch",
@@ -308,11 +324,20 @@ fn retrieve_into_materializes_derived_relations() {
     // itself a temporal relation that further queries range over.
     let (mut db, clock) = db();
     for (day, stmt) in [
-        ("02/01/80", r#"append to faculty (name = "Merrie", rank = "associate") valid from "01/01/80" to forever"#),
-        ("02/02/80", r#"append to faculty (name = "Tom", rank = "assistant") valid from "01/15/80" to forever"#),
-        ("06/01/82", r#"range of f is faculty
+        (
+            "02/01/80",
+            r#"append to faculty (name = "Merrie", rank = "associate") valid from "01/01/80" to forever"#,
+        ),
+        (
+            "02/02/80",
+            r#"append to faculty (name = "Tom", rank = "assistant") valid from "01/15/80" to forever"#,
+        ),
+        (
+            "06/01/82",
+            r#"range of f is faculty
                         replace f (rank = "full") valid from "05/01/82" to forever
-                        where f.name = "Merrie""#),
+                        where f.name = "Merrie""#,
+        ),
     ] {
         clock.advance_to(d(day));
         db.session().run(stmt).unwrap();
@@ -389,7 +414,9 @@ fn aggregate_queries() {
     {
         clock.advance_to(d("01/01/80") + 1 + i as i64);
         db.session()
-            .run(&format!(r#"append to payroll (name = "{name}", salary = {sal})"#))
+            .run(&format!(
+                r#"append to payroll (name = "{name}", salary = {sal})"#
+            ))
             .unwrap();
     }
     // Count/sum/avg/min/max over the qualifying rows.
