@@ -125,6 +125,9 @@ fn main() {
     if want("T11") {
         t11_stats = Some(t11_temporal_introspection());
     }
+    if want("T12") {
+        t12_concurrent_service();
+    }
     if want("faults") {
         faults_matrix();
     }
@@ -1164,4 +1167,257 @@ fn overhead_check() {
         "disabled recorder overhead {ratio:.3} exceeds the 5% budget"
     );
     println!("observability overhead: disabled-recorder ratio {ratio:.3} — within budget (<1.05)");
+}
+
+// ---------------------------------------------------------------------
+// T12 — concurrent MVCC query service (EXPERIMENTS_ONLY=T12)
+// ---------------------------------------------------------------------
+
+/// Per-statement think time of the closed-loop readers.  A closed loop
+/// models interactive sessions: each client waits `think`, issues one
+/// statement, and blocks for the answer, so single-session throughput
+/// is bounded by `1 / (think + round trip)` and adding sessions raises
+/// aggregate throughput until the core saturates.
+const T12_THINK_US: u64 = 400;
+
+/// One row of the closed-loop read sweep (serialized to
+/// BENCH_concurrency.json).
+struct T12ReadRow {
+    sessions: usize,
+    statements: u64,
+    elapsed_ms: f64,
+    per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// One row of the group-commit write rounds.
+struct T12WriteRow {
+    writers: usize,
+    commits: u64,
+    fsyncs: u64,
+    fsyncs_per_commit: f64,
+    batches: u64,
+    fsyncs_saved: u64,
+    avg_batch: f64,
+    elapsed_ms: f64,
+}
+
+fn t12_percentile_us(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
+fn t12_read_round(addr: &str, sessions: usize) -> T12ReadRow {
+    let barrier = Arc::new(std::sync::Barrier::new(sessions + 1));
+    let mut handles = Vec::new();
+    for _ in 0..sessions {
+        let addr = addr.to_string();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = chronos_db::QueryClient::connect(&addr).expect("connect");
+            let q = "range of f is faculty retrieve (f.name, f.rank)";
+            // Warm the connection and pin the session's snapshot.
+            assert!(client.execute(q).expect("warmup").ok);
+            barrier.wait();
+            let deadline = Instant::now() + std::time::Duration::from_millis(600);
+            let mut lats_us = Vec::new();
+            while Instant::now() < deadline {
+                std::thread::sleep(std::time::Duration::from_micros(T12_THINK_US));
+                let t0 = Instant::now();
+                let resp = client.execute_pinned(q).expect("read");
+                assert!(resp.ok, "{}", resp.body);
+                lats_us.push(t0.elapsed().as_nanos() as u64 / 1_000);
+            }
+            lats_us
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    let mut all: Vec<u64> = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("reader thread"));
+    }
+    let elapsed = t0.elapsed();
+    all.sort_unstable();
+    T12ReadRow {
+        sessions,
+        statements: all.len() as u64,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        per_sec: all.len() as f64 / elapsed.as_secs_f64(),
+        p50_us: t12_percentile_us(&all, 50.0),
+        p99_us: t12_percentile_us(&all, 99.0),
+    }
+}
+
+fn t12_write_round(engine: &Arc<chronos_db::Engine>, writers: usize) -> T12WriteRow {
+    const COMMITS_EACH: usize = 50;
+    let before = engine.stats();
+    let barrier = Arc::new(std::sync::Barrier::new(writers + 1));
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let engine = Arc::clone(engine);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut session = engine.session();
+            barrier.wait();
+            for j in 0..COMMITS_EACH {
+                session
+                    .run(&format!(
+                        r#"append to faculty (name = "w{w}n{writers}b{j:03}", rank = "associate")"#
+                    ))
+                    .expect("writer append");
+            }
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    let elapsed = t0.elapsed();
+    let after = engine.stats();
+    let commits = after.metrics.commits - before.metrics.commits;
+    let fsyncs = after.metrics.wal_fsyncs - before.metrics.wal_fsyncs;
+    let batches = after.metrics.group_commit_batches - before.metrics.group_commit_batches;
+    T12WriteRow {
+        writers,
+        commits,
+        fsyncs,
+        fsyncs_per_commit: fsyncs as f64 / commits.max(1) as f64,
+        batches,
+        fsyncs_saved: after.metrics.group_fsyncs_saved - before.metrics.group_fsyncs_saved,
+        avg_batch: commits as f64 / batches.max(1) as f64,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+    }
+}
+
+fn t12_concurrent_service() {
+    heading("T12: concurrent MVCC query service — snapshot readers + group commit");
+    // A durable directory under target/ so the group fsyncs hit a real
+    // file rather than an in-memory log.
+    let dir = std::path::PathBuf::from("target/t12-service-db");
+    let _ = std::fs::remove_dir_all(&dir);
+    let clock = Arc::new(ManualClock::new(Chronon::new(0)));
+    let db = Database::open(&dir, clock.clone() as _).expect("open t12 db");
+    let engine = chronos_db::Engine::start(db);
+    {
+        let mut s = engine.session();
+        s.run("create faculty (name = str, rank = str) as temporal")
+            .expect("create");
+        for i in 0..50 {
+            clock.tick(1);
+            s.run(&format!(
+                r#"append to faculty (name = "prof{i:03}", rank = "assistant")"#
+            ))
+            .expect("seed append");
+        }
+    }
+    let server = chronos_db::QueryServer::serve(Arc::clone(&engine), "127.0.0.1:0").expect("serve");
+    let addr = server.addr().to_string();
+
+    println!("closed-loop readers over loopback (think {T12_THINK_US} µs per statement):");
+    println!(
+        "{:>8} | {:>10} | {:>10} | {:>8} | {:>8}",
+        "sessions", "stmts", "stmts/sec", "p50 µs", "p99 µs"
+    );
+    let mut reads = Vec::new();
+    for &n in &[1usize, 2, 4, 8] {
+        let row = t12_read_round(&addr, n);
+        println!(
+            "{:>8} | {:>10} | {:>10.0} | {:>8.0} | {:>8.0}",
+            row.sessions, row.statements, row.per_sec, row.p50_us, row.p99_us
+        );
+        reads.push(row);
+    }
+    let scaling = reads.last().map(|r| r.per_sec).unwrap_or(0.0)
+        / reads.first().map(|r| r.per_sec.max(1.0)).unwrap_or(1.0);
+    println!("read scaling 1 → 8 sessions: {scaling:.2}x");
+
+    println!("\ngroup commit (no-think writer sessions, 50 commits each):");
+    println!(
+        "{:>8} | {:>8} | {:>7} | {:>14} | {:>8} | {:>10} | {:>10}",
+        "writers", "commits", "fsyncs", "fsyncs/commit", "batches", "avg batch", "saved"
+    );
+    let mut writes = Vec::new();
+    for &n in &[1usize, 8] {
+        let row = t12_write_round(&engine, n);
+        println!(
+            "{:>8} | {:>8} | {:>7} | {:>14.3} | {:>8} | {:>10.2} | {:>10}",
+            row.writers,
+            row.commits,
+            row.fsyncs,
+            row.fsyncs_per_commit,
+            row.batches,
+            row.avg_batch,
+            row.fsyncs_saved
+        );
+        writes.push(row);
+    }
+    let batch_hist = &engine.stats().metrics.group_batch_size;
+    let (batch_p50, batch_p99) = (
+        batch_hist.percentile(50.0).unwrap_or(0),
+        batch_hist.percentile(99.0).unwrap_or(0),
+    );
+
+    server.shutdown();
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    write_bench_concurrency_json(&reads, scaling, &writes, batch_p50, batch_p99);
+}
+
+/// Emits the T12 sweep as `BENCH_concurrency.json` (hand-rolled JSON,
+/// same discipline as the other BENCH_* writers).
+fn write_bench_concurrency_json(
+    reads: &[T12ReadRow],
+    scaling: f64,
+    writes: &[T12WriteRow],
+    batch_p50: u64,
+    batch_p99: u64,
+) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"T12 concurrent MVCC query service\",\n");
+    out.push_str("  \"model\": \"closed-loop\",\n");
+    out.push_str(&format!("  \"think_us\": {T12_THINK_US},\n"));
+    out.push_str("  \"reads\": [\n");
+    for (i, r) in reads.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"sessions\": {}, \"statements\": {}, \"elapsed_ms\": {:.1}, \"stmts_per_sec\": {:.1}, \"p50_us\": {:.0}, \"p99_us\": {:.0}}}{}\n",
+            r.sessions,
+            r.statements,
+            r.elapsed_ms,
+            r.per_sec,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 < reads.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"read_scaling_1_to_8\": {scaling:.3},\n"));
+    out.push_str("  \"writes\": [\n");
+    for (i, w) in writes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"writers\": {}, \"commits\": {}, \"fsyncs\": {}, \"fsyncs_per_commit\": {:.3}, \"batches\": {}, \"avg_batch\": {:.2}, \"fsyncs_saved\": {}, \"elapsed_ms\": {:.1}}}{}\n",
+            w.writers,
+            w.commits,
+            w.fsyncs,
+            w.fsyncs_per_commit,
+            w.batches,
+            w.avg_batch,
+            w.fsyncs_saved,
+            w.elapsed_ms,
+            if i + 1 < writes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"group_batch_size_p50\": {batch_p50},\n"));
+    out.push_str(&format!("  \"group_batch_size_p99\": {batch_p99}\n"));
+    out.push_str("}\n");
+    match std::fs::write("BENCH_concurrency.json", &out) {
+        Ok(()) => println!("(wrote BENCH_concurrency.json)"),
+        Err(e) => println!("(could not write BENCH_concurrency.json: {e})"),
+    }
 }

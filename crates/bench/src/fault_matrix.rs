@@ -34,10 +34,14 @@ use chronos_core::calendar::date;
 use chronos_core::chronon::Chronon;
 use chronos_core::clock::ManualClock;
 use chronos_core::relation::temporal::TemporalStore as _;
-use chronos_db::{Database, ObsBootstrap};
+use chronos_db::{Database, Engine, ObsBootstrap};
 use chronos_obs::fault::{self, FaultPlan};
 use chronos_obs::http_get;
 use chronos_storage::wal::Wal;
+
+/// The one site only the group-commit engine path exercises: plain
+/// `Database::commit` syncs inline and never calls `Wal::group_sync`.
+const GROUP_FSYNC_SITE: &str = "wal.group_fsync";
 
 /// Environment variable carrying the child's database directory.
 pub const CHILD_DIR_ENV: &str = "CHRONOS_FAULT_DIR";
@@ -132,6 +136,34 @@ pub fn run_steps(
             Step::Checkpoint(day) => {
                 clock.advance_to(d(day));
                 db.checkpoint().map_err(|e| (i, e.to_string()))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`run_steps`] through a shared [`Engine`]: every statement runs in
+/// a fresh snapshot-pinned session, so each commit is one group-commit
+/// batch and every data-carrying `Wal::group_sync` is a scheduled hit
+/// of the `wal.group_fsync` site.
+pub fn run_steps_engine(
+    engine: &std::sync::Arc<Engine>,
+    clock: &ManualClock,
+    from: usize,
+) -> Result<(), (usize, String)> {
+    for (i, step) in STEPS.iter().enumerate().skip(from) {
+        match step {
+            Step::Stmt(day, stmt) => {
+                clock.advance_to(d(day));
+                engine.session().run(stmt).map_err(|e| (i, e.to_string()))?;
+            }
+            Step::Query(day, q) => {
+                clock.advance_to(d(day));
+                engine.session().query(q).map_err(|e| (i, e.to_string()))?;
+            }
+            Step::Checkpoint(day) => {
+                clock.advance_to(d(day));
+                engine.checkpoint().map_err(|e| (i, e.to_string()))?;
             }
         }
     }
@@ -233,6 +265,11 @@ pub fn site_specs() -> Vec<SiteSpec> {
         // The journal emits from the first open on; hit 6 lands inside
         // the commit stretch of the workload.
         spec("journal.emit", 6, None),
+        // Engine path only: a serial run of the 6-commit workload makes
+        // 6 data-carrying group syncs; hit 4 is the first commit after
+        // the checkpoint, so the crash leaves 3 commits durable (all
+        // covered by the checkpoint image) and an empty log.
+        spec(GROUP_FSYNC_SITE, 4, None),
     ];
     // The schedule and the registry must cover the same sites, or the
     // matrix silently under-tests.
@@ -264,6 +301,22 @@ pub fn maybe_run_child() {
             std::process::exit(3);
         }
     };
+    if std::env::var("CHRONOS_FAULT_SITE").as_deref() == Ok(GROUP_FSYNC_SITE) {
+        // Route the workload through the group-commit engine; the
+        // crash fires on its writer thread and kills the process.
+        let engine = Engine::start(db);
+        match run_steps_engine(&engine, &clock, 0) {
+            Ok(()) => {
+                engine.shutdown();
+                println!("fault child: workload completed without crashing");
+                std::process::exit(0);
+            }
+            Err((i, e)) => {
+                eprintln!("fault child: step {i} unwound instead of crashing: {e}");
+                std::process::exit(4);
+            }
+        }
+    }
     match run_steps(&mut db, &clock, 0) {
         Ok(()) => {
             // The armed site never fired (or only unwound): the parent
@@ -443,7 +496,12 @@ pub fn run_unwind_matrix() -> Result<Vec<String>, String> {
     let mut summaries = Vec::new();
     let mut failures = Vec::new();
     for spec in site_specs() {
-        match run_one_unwind(&spec) {
+        let outcome = if spec.site == GROUP_FSYNC_SITE {
+            run_one_unwind_engine(&spec)
+        } else {
+            run_one_unwind(&spec)
+        };
+        match outcome {
             Ok(line) => summaries.push(line),
             Err(e) => failures.push(format!("{}: {e}", spec.site)),
         }
@@ -526,6 +584,94 @@ fn run_one_unwind(spec: &SiteSpec) -> Result<String, String> {
     let _ = std::fs::remove_dir_all(&dir);
     Ok(format!(
         "{:<28} {detail}; full-oracle equality ok",
+        spec.site
+    ))
+}
+
+/// Unwind coverage for the group-fsync site, which only the engine's
+/// group-commit path reaches.  A failed group fsync must error-ack the
+/// batch, poison the engine (no further submissions), and leave the
+/// acked commit prefix on disk; a fresh engine over a reopened
+/// database then completes the workload.
+fn run_one_unwind_engine(spec: &SiteSpec) -> Result<String, String> {
+    let dir = matrix_dir(&format!("unwind.{}", spec.site));
+    let clock = Arc::new(ManualClock::new(d("01/01/80")));
+    let db =
+        Database::open(&dir, Arc::clone(&clock) as _).map_err(|e| format!("initial open: {e}"))?;
+    let engine = Engine::start(db);
+    // Arm after open so hit 1 lands in the workload, not in recovery.
+    fault::install(Arc::new(FaultPlan {
+        site: spec.site.to_string(),
+        hit: 1,
+        torn_keep: spec.keep,
+        unwind: true,
+    }));
+    let outcome = run_steps_engine(&engine, &clock, 0);
+    fault::clear();
+    let (failed_at, err) = match outcome {
+        Err(pair) => pair,
+        Ok(()) => {
+            engine.shutdown();
+            return Err("workload completed but the group fsync should have unwound".into());
+        }
+    };
+    if !err.contains("injected fault") && !err.contains(spec.site) {
+        engine.shutdown();
+        return Err(format!(
+            "step {failed_at} failed with an unrelated error: {err}"
+        ));
+    }
+    // A durability failure poisons the engine: retrying on the same
+    // instance must be refused, not silently absorbed.
+    match run_steps_engine(&engine, &clock, failed_at) {
+        Err((_, e)) if e.contains("poisoned") => {}
+        Err((i, e)) => {
+            engine.shutdown();
+            return Err(format!(
+                "poisoned engine failed step {i} with the wrong error: {e}"
+            ));
+        }
+        Ok(()) => {
+            engine.shutdown();
+            return Err("poisoned engine accepted further commits".into());
+        }
+    }
+    engine.shutdown();
+    drop(engine);
+    // A restart sees exactly the acked prefix…
+    let db2 = Database::open(&dir, Arc::clone(&clock) as _)
+        .map_err(|e| format!("reopen after injected error: {e}"))?;
+    let commits = db2
+        .relation(RELATION)
+        .map(|r| r.as_temporal().transactions())
+        .unwrap_or(0);
+    let oracle = oracle_with_commits(commits);
+    if canonical_rows(&db2, RELATION)? != canonical_rows(&oracle, RELATION)? {
+        return Err(format!(
+            "state after injected error diverges from oracle at {commits} commits"
+        ));
+    }
+    // …and a fresh engine completes the workload.
+    let engine2 = Engine::start(db2);
+    run_steps_engine(&engine2, &clock, failed_at)
+        .map_err(|(i, e)| format!("retry from step {i} failed: {e}"))?;
+    let oracle = oracle_with_commits(total_commits());
+    let want = canonical_rows(&oracle, RELATION)?;
+    let got = engine2.with_db(|db| canonical_rows(db, RELATION))?;
+    if got != want {
+        return Err("final state diverges from the full oracle".into());
+    }
+    engine2.shutdown();
+    drop(engine2);
+    // And the completed state is durable.
+    let db3 = Database::open(&dir, Arc::new(ManualClock::new(d("01/01/81"))) as _)
+        .map_err(|e| format!("final reopen: {e}"))?;
+    if canonical_rows(&db3, RELATION)? != want {
+        return Err("durable state diverges from the full oracle".into());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(format!(
+        "{:<28} error at step {failed_at}, poisoned, reopened + retried; full-oracle equality ok",
         spec.site
     ))
 }

@@ -13,7 +13,16 @@
 //! Flags:
 //!
 //! ```text
-//! --batch                  no prompt (for piped scripts)
+//! --batch                  no prompt (for piped scripts); any statement
+//!                          error makes the process exit non-zero
+//! --serve ADDR             also serve TQuel over TCP on ADDR (e.g.
+//!                          127.0.0.1:7878): concurrent clients each get
+//!                          a snapshot-pinned session; writes go through
+//!                          the group-commit queue.  The shell stays
+//!                          usable; the service stops when it exits.
+//! --connect ADDR           be a client of a running `--serve` instance
+//!                          instead of opening a database: statements
+//!                          are shipped to the server, results printed
 //! --obs-addr ADDR          serve /metrics /stats /slow /healthz /readyz
 //!                          on ADDR (e.g. 127.0.0.1:0); the bound
 //!                          address is printed to stderr.  For durable
@@ -55,7 +64,7 @@ use std::sync::Arc;
 
 use chronos_core::calendar::date;
 use chronos_core::clock::{Clock, ManualClock, SystemClock};
-use chronos_db::{Database, ExecOutcome, ObsBootstrap};
+use chronos_db::{Database, Engine, ExecOutcome, ObsBootstrap, QueryClient, QueryServer};
 use chronos_obs::export::ObsServer;
 use chronos_tquel::printer::render;
 
@@ -64,6 +73,8 @@ use chronos_tquel::printer::render;
 struct Args {
     dir: Option<std::path::PathBuf>,
     batch: bool,
+    serve_addr: Option<String>,
+    connect_addr: Option<String>,
     obs_addr: Option<String>,
     slow_threshold_ns: Option<u64>,
     sample_interval_ms: Option<u64>,
@@ -74,6 +85,8 @@ impl Args {
         let mut args = Args {
             dir: None,
             batch: false,
+            serve_addr: None,
+            connect_addr: None,
             obs_addr: None,
             slow_threshold_ns: None,
             sample_interval_ms: None,
@@ -82,6 +95,14 @@ impl Args {
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--batch" => args.batch = true,
+                "--serve" => {
+                    let addr = it.next().ok_or("--serve takes an address")?;
+                    args.serve_addr = Some(addr.clone());
+                }
+                "--connect" => {
+                    let addr = it.next().ok_or("--connect takes an address")?;
+                    args.connect_addr = Some(addr.clone());
+                }
                 "--obs-addr" => {
                     let addr = it.next().ok_or("--obs-addr takes an address")?;
                     args.obs_addr = Some(addr.clone());
@@ -144,6 +165,9 @@ impl Args {
                 }
             }
         }
+        if args.connect_addr.is_some() && (args.serve_addr.is_some() || args.dir.is_some()) {
+            return Err("--connect opens no database (drop --serve / the dir argument)".into());
+        }
         Ok(Some(args))
     }
 }
@@ -159,13 +183,31 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: chronos [--batch] [--obs-addr ADDR] [--slow-threshold-ns N] [--sample-interval-ms N] [dir]"
+                "usage: chronos [--batch] [--serve ADDR] [--obs-addr ADDR] [--slow-threshold-ns N] [--sample-interval-ms N] [dir]"
             );
+            eprintln!("       chronos [--batch] --connect ADDR");
             eprintln!("       chronos --get ADDR PATH");
             eprintln!("       chronos --check-jsonl FILE");
             std::process::exit(1);
         }
     };
+
+    if let Some(addr) = &args.connect_addr {
+        let client = match QueryClient::connect(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("connected to chronos service at {addr}");
+        let had_error = repl(Shell::Connect(client), None, &None, !args.batch);
+        if args.batch && had_error {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     // The clock starts at the epoch and only moves forward (transaction
     // time is append-only): `\advance` to any date — e.g. the paper's
     // 08/25/77 — before your first commit, or to today with
@@ -238,9 +280,133 @@ fn main() {
         chronos_core::calendar::Date::from_chronon(_today)
     );
 
+    let had_error = match &args.serve_addr {
+        Some(addr) => {
+            // Concurrent mode: the database moves into the shared
+            // engine; the local shell becomes one more session beside
+            // the network clients.
+            let engine = Engine::start(db);
+            let server = match QueryServer::serve(Arc::clone(&engine), addr) {
+                Ok(server) => {
+                    eprintln!("TQuel service at {} (chronos --connect)", server.addr());
+                    server
+                }
+                Err(e) => {
+                    eprintln!("cannot serve TQuel on {addr}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let had_error = repl(
+                Shell::Serve {
+                    session: engine.session(),
+                    engine: Arc::clone(&engine),
+                },
+                Some(&manual),
+                &obs_server,
+                !args.batch,
+            );
+            server.shutdown();
+            engine.shutdown();
+            had_error
+        }
+        None => repl(
+            Shell::Local(db.session()),
+            Some(&manual),
+            &obs_server,
+            !args.batch,
+        ),
+    };
+    drop(obs_server); // joins the accept thread
+    if args.batch && had_error {
+        std::process::exit(1);
+    }
+}
+
+/// The three faces of the shell: a session over an exclusively-owned
+/// database, a session beside a running TQuel service, or a network
+/// client of one.
+enum Shell<'a> {
+    Local(chronos_db::Session<&'a mut Database>),
+    Serve {
+        session: chronos_db::EngineSession,
+        engine: Arc<Engine>,
+    },
+    Connect(QueryClient),
+}
+
+impl Shell<'_> {
+    /// Runs one statement batch; returns `false` if it errored.
+    fn execute(&mut self, src: &str) -> bool {
+        match self {
+            Shell::Local(session) => match session.run(src) {
+                Ok(outcomes) => {
+                    print_outcomes(outcomes);
+                    true
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    false
+                }
+            },
+            Shell::Serve { session, .. } => {
+                // Mirror the service: each batch begins a fresh read
+                // snapshot, then holds it for the whole program.
+                session.refresh();
+                match session.run(src) {
+                    Ok(outcomes) => {
+                        print_outcomes(outcomes);
+                        true
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        false
+                    }
+                }
+            }
+            Shell::Connect(client) => match client.execute(src) {
+                Ok(response) => {
+                    print!("{}", response.body);
+                    if !response.ok {
+                        eprintln!("error: {}", response.body.trim_end());
+                    }
+                    response.ok
+                }
+                Err(e) => {
+                    eprintln!("error: connection failed: {e}");
+                    false
+                }
+            },
+        }
+    }
+
+    /// Runs `f` with read access to the engine state, if this shell
+    /// has any (a `--connect` client does not).
+    fn with_db<R>(&mut self, f: impl FnOnce(&Database) -> R) -> Option<R> {
+        match self {
+            Shell::Local(session) => Some(f(session.database())),
+            Shell::Serve { engine, .. } => Some(engine.with_db(f)),
+            Shell::Connect(_) => None,
+        }
+    }
+
+    fn checkpoint(&mut self) -> Option<Result<(), chronos_db::DbError>> {
+        match self {
+            Shell::Local(session) => Some(session.database().checkpoint()),
+            Shell::Serve { engine, .. } => Some(engine.checkpoint()),
+            Shell::Connect(_) => None,
+        }
+    }
+}
+
+/// The line loop shared by all three shell modes.  Returns true if any
+/// statement errored.
+fn repl(
+    mut shell: Shell<'_>,
+    manual: Option<&Arc<ManualClock>>,
+    obs_server: &Option<ObsServer>,
+    interactive: bool,
+) -> bool {
     let stdin = std::io::stdin();
-    let interactive = !args.batch;
-    let mut session = db.session();
     let mut buffer = String::new();
     // Batch scripts (heredocs in CI) must fail loudly: any statement
     // error makes the whole run exit non-zero.
@@ -257,59 +423,71 @@ fn main() {
         let trimmed = line.trim();
         if trimmed.starts_with('\\') {
             if !buffer.trim().is_empty() {
-                had_error |= !execute(&mut session, &buffer);
+                had_error |= !shell.execute(&buffer);
                 buffer.clear();
             }
             let mut parts = trimmed.split_whitespace();
             match parts.next() {
                 Some("\\q") | Some("\\quit") => break,
-                Some("\\d") => {
-                    let db = session.database();
+                Some("\\d") => match shell.with_db(|db| {
+                    let mut out = String::new();
                     for name in db.relation_names() {
                         let class = db.classify(&name).expect("cataloged");
                         let stored = db.relation(&name).expect("cataloged").stored_tuples();
-                        println!("  {name}  [{class}]  {stored} stored tuples");
+                        out.push_str(&format!("  {name}  [{class}]  {stored} stored tuples\n"));
                     }
                     for name in chronos_db::system_relation_names() {
-                        println!("  {name}  [system, read-only]");
+                        out.push_str(&format!("  {name}  [system, read-only]\n"));
                     }
-                }
-                Some("\\now") => {
-                    println!("  {}", chronos_core::calendar::Date::from_chronon(
-                        session.database().now()
-                    ));
-                }
-                Some("\\advance") => match parts.next().map(date) {
-                    Some(Ok(t)) => {
+                    out
+                }) {
+                    Some(listing) => print!("{listing}"),
+                    None => eprintln!("  \\d is not available over --connect"),
+                },
+                Some("\\now") => match shell.with_db(|db| db.now()) {
+                    Some(now) => {
+                        println!("  {}", chronos_core::calendar::Date::from_chronon(now))
+                    }
+                    None => eprintln!("  \\now is not available over --connect"),
+                },
+                Some("\\advance") => match (manual, parts.next().map(date)) {
+                    (Some(manual), Some(Ok(t))) => {
                         manual.advance_to(t);
                         println!("  clock at {}", chronos_core::calendar::Date::from_chronon(t));
                     }
+                    (None, _) => eprintln!("  \\advance is not available over --connect"),
                     _ => eprintln!("usage: \\advance mm/dd/yy"),
                 },
-                Some("\\checkpoint") => match session.database().checkpoint() {
-                    Ok(()) => println!("  checkpointed"),
-                    Err(e) => {
+                Some("\\checkpoint") => match shell.checkpoint() {
+                    Some(Ok(())) => println!("  checkpointed"),
+                    Some(Err(e)) => {
                         eprintln!("  {e}");
                         had_error = true;
                     }
+                    None => eprintln!("  \\checkpoint is not available over --connect"),
                 },
-                Some("\\stats") => {
-                    print!("{}", session.database().engine_stats().to_prometheus());
-                }
-                Some("\\slow") => {
-                    print!("{}", session.database().recorder().slowlog().render());
-                }
-                Some("\\sample") => {
-                    let at = session.database().sample_now();
-                    println!(
+                Some("\\stats") => match shell.with_db(|db| db.engine_stats().to_prometheus()) {
+                    Some(stats) => print!("{stats}"),
+                    None => eprintln!("  \\stats is not available over --connect"),
+                },
+                Some("\\slow") => match shell.with_db(|db| db.recorder().slowlog().render()) {
+                    Some(slow) => print!("{slow}"),
+                    None => eprintln!("  \\slow is not available over --connect"),
+                },
+                Some("\\sample") => match shell.with_db(|db| db.sample_now()) {
+                    Some(at) => println!(
                         "  sampled at {} (retrieve from sys$stats)",
                         chronos_core::calendar::Date::from_chronon(at)
-                    );
-                }
+                    ),
+                    None => eprintln!("  \\sample is not available over --connect"),
+                },
                 Some("\\top") => {
-                    print!("{}", render_top(session.database().recorder().recent_events()));
+                    match shell.with_db(|db| render_top(db.recorder().recent_events())) {
+                        Some(top) => print!("{top}"),
+                        None => eprintln!("  \\top is not available over --connect"),
+                    }
                 }
-                Some("\\obs") => match (&obs_server, parts.next()) {
+                Some("\\obs") => match (obs_server, parts.next()) {
                     (Some(server), Some(path)) => {
                         match chronos_obs::http_get(&server.addr().to_string(), path) {
                             Ok((status, body)) => {
@@ -327,7 +505,7 @@ fn main() {
             }
         } else if trimmed.is_empty() {
             if !buffer.trim().is_empty() {
-                had_error |= !execute(&mut session, &buffer);
+                had_error |= !shell.execute(&buffer);
                 buffer.clear();
             }
         } else {
@@ -340,13 +518,9 @@ fn main() {
         }
     }
     if !buffer.trim().is_empty() {
-        had_error |= !execute(&mut session, &buffer);
+        had_error |= !shell.execute(&buffer);
     }
-    drop(session);
-    drop(obs_server); // joins the accept thread
-    if args.batch && had_error {
-        std::process::exit(1);
-    }
+    had_error
 }
 
 /// Aggregates the recorder's span ring into a "top operators" table:
@@ -376,47 +550,39 @@ fn render_top(events: Vec<chronos_obs::RingEvent>) -> String {
     out
 }
 
-/// Runs one statement batch; returns `false` if it errored.
-fn execute(session: &mut chronos_db::Session<'_>, src: &str) -> bool {
-    match session.run(src) {
-        Ok(outcomes) => {
-            for outcome in outcomes {
-                match outcome {
-                    ExecOutcome::Retrieved(rel) => {
-                        print!("{}", render(&rel));
-                        println!(
-                            "({} row{})",
-                            rel.len(),
-                            if rel.len() == 1 { "" } else { "s" }
-                        );
-                    }
-                    ExecOutcome::Appended(t) => {
-                        println!(
-                            "appended (transaction time {})",
-                            chronos_core::calendar::Date::from_chronon(t)
-                        );
-                    }
-                    ExecOutcome::Materialized { relation, rows } => {
-                        println!("materialized {rows} row(s) into {relation}");
-                    }
-                    ExecOutcome::Deleted(n) => println!("deleted {n} row(s)"),
-                    ExecOutcome::Replaced(n) => println!("replaced {n} row(s)"),
-                    ExecOutcome::Created => println!("created"),
-                    ExecOutcome::Destroyed => println!("destroyed"),
-                    ExecOutcome::Explained { profile, report } => {
-                        println!("{} plan:", if profile { "profile" } else { "explain" });
-                        for line in report.lines() {
-                            println!("  {line}");
-                        }
-                    }
-                    ExecOutcome::Declared => {}
+/// Prints a statement batch's outcomes (the local-session twin of the
+/// service's `render_outcomes`).
+fn print_outcomes(outcomes: Vec<ExecOutcome>) {
+    for outcome in outcomes {
+        match outcome {
+            ExecOutcome::Retrieved(rel) => {
+                print!("{}", render(&rel));
+                println!(
+                    "({} row{})",
+                    rel.len(),
+                    if rel.len() == 1 { "" } else { "s" }
+                );
+            }
+            ExecOutcome::Appended(t) => {
+                println!(
+                    "appended (transaction time {})",
+                    chronos_core::calendar::Date::from_chronon(t)
+                );
+            }
+            ExecOutcome::Materialized { relation, rows } => {
+                println!("materialized {rows} row(s) into {relation}");
+            }
+            ExecOutcome::Deleted(n) => println!("deleted {n} row(s)"),
+            ExecOutcome::Replaced(n) => println!("replaced {n} row(s)"),
+            ExecOutcome::Created => println!("created"),
+            ExecOutcome::Destroyed => println!("destroyed"),
+            ExecOutcome::Explained { profile, report } => {
+                println!("{} plan:", if profile { "profile" } else { "explain" });
+                for line in report.lines() {
+                    println!("  {line}");
                 }
             }
-            true
-        }
-        Err(e) => {
-            eprintln!("error: {e}");
-            false
+            ExecOutcome::Declared => {}
         }
     }
 }

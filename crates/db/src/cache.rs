@@ -14,12 +14,14 @@
 //! relation's epoch, and a cached entry is served only while its
 //! recorded epoch is current.  Entries for historical coordinates are
 //! *logically* immortal — a rollback relation's state `as of t` never
-//! changes once `t` is in the past — but a commit still invalidates
-//! them conservatively because a scan with `as_of = None` (or an
-//! `as of` at or beyond the new commit time) does observe the new
-//! state.  Distinguishing the two would need the commit time threaded
-//! through the key comparison; the conservative bump keeps the cache
-//! trivially correct and still wins on read-heavy workloads.
+//! changes once `t` is strictly before every future commit time — and
+//! the cache exploits that: an entry inserted with `frozen = true`
+//! (the inserter proved `t` below the transaction manager's next
+//! commit time) survives epoch bumps and is only dropped by a
+//! *generation* bump, which structural changes (create, destroy,
+//! materialize) issue.  Frozen entries are what make many concurrent
+//! snapshot-pinned readers cheap: a pinned session's scans keep
+//! hitting while the writer commits underneath it.
 //!
 //! Eviction is least-recently-used over a small fixed capacity: each
 //! access stamps the entry with a monotone use counter and inserts
@@ -50,6 +52,9 @@ pub struct CacheStats {
     /// Epoch bumps recorded (one per commit/create/destroy/materialize
     /// touching any relation).
     pub epoch_bumps: u64,
+    /// Hits served by frozen entries across an epoch bump — scans a
+    /// non-frozen entry would have re-run.
+    pub frozen_hits: u64,
 }
 
 #[derive(Clone)]
@@ -57,6 +62,11 @@ struct Entry {
     rows: Arc<Vec<SourceRow>>,
     /// Relation epoch the rows were scanned at.
     epoch: u64,
+    /// Relation generation (structural version) at scan time.
+    generation: u64,
+    /// Immortal under commits: the coordinate is a fully-past
+    /// transaction time that no future commit can rewrite.
+    frozen: bool,
     /// LRU stamp: the use counter at last access.
     last_used: u64,
 }
@@ -68,6 +78,9 @@ pub struct QueryCache {
     /// Per-relation modification epochs (bumped on every commit, create,
     /// destroy, and materialize touching the relation).
     epochs: HashMap<String, u64>,
+    /// Per-relation structural generations (bumped on create, destroy,
+    /// and materialize only); the drop signal for frozen entries.
+    generations: HashMap<String, u64>,
     use_counter: u64,
     stats: CacheStats,
 }
@@ -80,6 +93,7 @@ impl QueryCache {
             capacity,
             entries: HashMap::new(),
             epochs: HashMap::new(),
+            generations: HashMap::new(),
             use_counter: 0,
             stats: CacheStats::default(),
         }
@@ -89,17 +103,28 @@ impl QueryCache {
         self.epochs.get(relation).copied().unwrap_or(0)
     }
 
+    fn generation_of(&self, relation: &str) -> u64 {
+        self.generations.get(relation).copied().unwrap_or(0)
+    }
+
     /// Looks up a cached scan, refreshing its LRU stamp.  A stale entry
-    /// (relation committed to since it was cached) is dropped and
+    /// (relation committed to since it was cached, unless frozen; or
+    /// structurally replaced since it was cached) is dropped and
     /// reported as a miss.
     pub fn get(&mut self, relation: &str, as_of: Option<&AsOfSpec>) -> Option<Arc<Vec<SourceRow>>> {
         let key = (relation.to_string(), as_of.copied());
-        let current = self.epoch_of(relation);
+        let epoch = self.epoch_of(relation);
+        let generation = self.generation_of(relation);
         match self.entries.get_mut(&key) {
-            Some(entry) if entry.epoch == current => {
+            Some(entry)
+                if entry.generation == generation && (entry.frozen || entry.epoch == epoch) =>
+            {
                 self.use_counter += 1;
                 entry.last_used = self.use_counter;
                 self.stats.hits += 1;
+                if entry.frozen && entry.epoch != epoch {
+                    self.stats.frozen_hits += 1;
+                }
                 Some(Arc::clone(&entry.rows))
             }
             Some(_) => {
@@ -115,9 +140,18 @@ impl QueryCache {
         }
     }
 
-    /// Caches a scan result at the relation's current epoch, evicting
-    /// the least-recently-used entry when full.
-    pub fn insert(&mut self, relation: &str, as_of: Option<&AsOfSpec>, rows: Arc<Vec<SourceRow>>) {
+    /// Caches a scan result at the relation's current epoch and
+    /// generation, evicting the least-recently-used entry when full.
+    /// `frozen` asserts the coordinate is immune to future commits (the
+    /// caller proved its transaction time is below every commit time
+    /// the engine can still allocate); such entries outlive epoch bumps.
+    pub fn insert(
+        &mut self,
+        relation: &str,
+        as_of: Option<&AsOfSpec>,
+        rows: Arc<Vec<SourceRow>>,
+        frozen: bool,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -135,21 +169,32 @@ impl QueryCache {
         }
         self.use_counter += 1;
         let epoch = self.epoch_of(relation);
+        let generation = self.generation_of(relation);
         self.entries.insert(
             key,
             Entry {
                 rows,
                 epoch,
+                generation,
+                frozen,
                 last_used: self.use_counter,
             },
         );
     }
 
-    /// Records a modification of `relation`: bumps its epoch so cached
-    /// entries become stale (they are dropped lazily on next lookup).
+    /// Records a commit to `relation`: bumps its epoch so non-frozen
+    /// cached entries become stale (dropped lazily on next lookup).
     pub fn bump_epoch(&mut self, relation: &str) {
         *self.epochs.entry(relation.to_string()).or_insert(0) += 1;
         self.stats.epoch_bumps += 1;
+    }
+
+    /// Records a structural change of `relation` (create, destroy,
+    /// materialize): bumps its generation — which stales *every* entry,
+    /// frozen ones included — along with its epoch.
+    pub fn bump_generation(&mut self, relation: &str) {
+        *self.generations.entry(relation.to_string()).or_insert(0) += 1;
+        self.bump_epoch(relation);
     }
 
     /// Drops every entry (epochs are kept — they order modifications,
@@ -192,7 +237,7 @@ mod tests {
     fn hit_after_insert_miss_after_bump() {
         let mut c = QueryCache::new(4);
         assert!(c.get("faculty", None).is_none());
-        c.insert("faculty", None, rows("a"));
+        c.insert("faculty", None, rows("a"), false);
         let hit = c.get("faculty", None).expect("cached");
         assert_eq!(hit[0].tuple, tuple(["a"]));
         c.bump_epoch("faculty");
@@ -205,8 +250,8 @@ mod tests {
     fn distinct_coordinates_are_distinct_entries() {
         let mut c = QueryCache::new(4);
         let at = AsOfSpec::At(Chronon::new(10));
-        c.insert("r", None, rows("current"));
-        c.insert("r", Some(&at), rows("past"));
+        c.insert("r", None, rows("current"), false);
+        c.insert("r", Some(&at), rows("past"), false);
         assert_eq!(c.len(), 2);
         assert_eq!(c.get("r", Some(&at)).unwrap()[0].tuple, tuple(["past"]));
         assert_eq!(c.get("r", None).unwrap()[0].tuple, tuple(["current"]));
@@ -215,10 +260,10 @@ mod tests {
     #[test]
     fn lru_evicts_the_coldest_entry() {
         let mut c = QueryCache::new(2);
-        c.insert("a", None, rows("a"));
-        c.insert("b", None, rows("b"));
+        c.insert("a", None, rows("a"), false);
+        c.insert("b", None, rows("b"), false);
         assert!(c.get("a", None).is_some()); // warm "a"
-        c.insert("c", None, rows("c")); // evicts "b"
+        c.insert("c", None, rows("c"), false); // evicts "b"
         assert_eq!(c.stats().evictions, 1);
         assert!(c.get("a", None).is_some());
         assert!(c.get("b", None).is_none());
@@ -228,8 +273,33 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let mut c = QueryCache::new(0);
-        c.insert("r", None, rows("x"));
+        c.insert("r", None, rows("x"), false);
         assert!(c.is_empty());
         assert!(c.get("r", None).is_none());
+    }
+
+    #[test]
+    fn frozen_entries_survive_commits_but_not_structural_changes() {
+        let mut c = QueryCache::new(4);
+        let past = AsOfSpec::At(Chronon::new(10));
+        c.insert("r", Some(&past), rows("past"), true);
+        c.insert("r", None, rows("current"), false);
+        c.bump_epoch("r"); // a commit lands
+        assert!(
+            c.get("r", Some(&past)).is_some(),
+            "fully-past coordinate survives the commit"
+        );
+        assert!(c.get("r", None).is_none(), "current state is stale");
+        assert_eq!(c.stats().frozen_hits, 1);
+        // Many commits later the frozen entry still serves.
+        for _ in 0..5 {
+            c.bump_epoch("r");
+        }
+        assert!(c.get("r", Some(&past)).is_some());
+        assert_eq!(c.stats().frozen_hits, 2);
+        // Destroy + recreate must drop it: same name, new history.
+        c.bump_generation("r");
+        assert!(c.get("r", Some(&past)).is_none(), "generation bump stales");
+        assert_eq!(c.stats().invalidations, 2);
     }
 }

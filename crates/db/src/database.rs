@@ -43,7 +43,10 @@ pub struct Database {
     relations: HashMap<String, Relation>,
     txn: TxnManager,
     dir: Option<PathBuf>,
-    wal: Option<Wal>,
+    /// The write-ahead log, shared behind a mutex so the group-commit
+    /// writer can fsync a batch *after* releasing the database's write
+    /// lock (readers proceed during the fsync; see `crate::engine`).
+    wal: Option<Arc<Mutex<Wal>>>,
     /// Memoized relation scans ([`RelationProvider::scan`] takes
     /// `&self`, hence the mutex).  `Arc`-shared so the HTTP exporter
     /// can read cache stats without borrowing the database.
@@ -209,7 +212,7 @@ impl Database {
             relations,
             txn: TxnManager::resuming_after(Arc::clone(&clock), last_commit),
             dir: Some(dir.to_path_buf()),
-            wal: Some(wal),
+            wal: Some(Arc::new(Mutex::new(wal))),
             cache: Arc::clone(&obs.cache),
             recorder,
             health: Arc::clone(&obs.health),
@@ -254,8 +257,9 @@ impl Database {
             self.txn.last_commit_time(),
             &images,
         )?;
-        let wal_bytes_truncated = match &mut self.wal {
+        let wal_bytes_truncated = match &self.wal {
             Some(wal) => {
+                let mut wal = wal.lock();
                 let len = wal.len().unwrap_or(0);
                 wal.reset()?;
                 len
@@ -327,9 +331,19 @@ impl Database {
         Ok(())
     }
 
-    /// Invalidates cached scans of `relation` and journals why.
+    /// Invalidates cached scans of `relation` and journals why.  A
+    /// commit bumps only the epoch (frozen fully-past entries keep
+    /// serving); structural reasons (create, destroy, materialize)
+    /// bump the generation, which stales frozen entries too.
     fn bump_epoch(&self, relation: &str, reason: &str) {
-        self.cache.lock().bump_epoch(relation);
+        {
+            let mut cache = self.cache.lock();
+            if reason == "commit" {
+                cache.bump_epoch(relation);
+            } else {
+                cache.bump_generation(relation);
+            }
+        }
         self.recorder.emit_event(
             "cache_epoch_bump",
             &[("relation", relation.into()), ("reason", reason.into())],
@@ -359,9 +373,31 @@ impl Database {
     }
 
     /// Commits a transaction against one relation: allocates the
-    /// transaction time, validates, logs (write-ahead), applies.
-    /// Returns the transaction time.
+    /// transaction time, validates, logs (write-ahead, fsynced),
+    /// applies.  Returns the transaction time.
     pub fn commit(&mut self, relation: &str, ops: &[HistoricalOp]) -> DbResult<Chronon> {
+        self.commit_with_sync(relation, ops, true)
+    }
+
+    /// [`commit`](Self::commit) with the WAL frame *staged* instead of
+    /// fsynced: the group-commit writer (`crate::engine`) calls this
+    /// for each transaction in a batch, then makes the whole batch
+    /// durable with one `Wal::group_sync`.  The commit must not be
+    /// acknowledged until that covering fsync succeeds.
+    pub(crate) fn commit_unsynced(
+        &mut self,
+        relation: &str,
+        ops: &[HistoricalOp],
+    ) -> DbResult<Chronon> {
+        self.commit_with_sync(relation, ops, false)
+    }
+
+    fn commit_with_sync(
+        &mut self,
+        relation: &str,
+        ops: &[HistoricalOp],
+        sync: bool,
+    ) -> DbResult<Chronon> {
         // Clone the handle so the span's borrow doesn't pin `self`.
         let recorder = Arc::clone(&self.recorder);
         let span = recorder.span("db/commit");
@@ -383,14 +419,20 @@ impl Database {
             .expect("catalog and stores in sync");
         let tx_time = self.txn.next_commit_time();
         rel.validate(tx_time, ops)?;
-        let wal_len_before = match &mut self.wal {
+        let wal_len_before = match &self.wal {
             Some(wal) => {
+                let mut wal = wal.lock();
                 let len = wal.len()?;
-                wal.append(&WalRecord {
+                let rec = WalRecord {
                     rel_id,
                     tx_time,
                     ops: ops.to_vec(),
-                })?;
+                };
+                if sync {
+                    wal.append(&rec)?;
+                } else {
+                    wal.append_no_sync(&rec)?;
+                }
                 Some(len)
             }
             None => None,
@@ -404,8 +446,8 @@ impl Database {
             // (an I/O fault in the heap/pager path).  The record is
             // already in the log; roll it back so the database never
             // resurrects at reopen a commit it reported as failed.
-            if let (Some(wal), Some(len)) = (&mut self.wal, wal_len_before) {
-                let _ = wal.truncate_to(len);
+            if let (Some(wal), Some(len)) = (&self.wal, wal_len_before) {
+                let _ = wal.lock().truncate_to(len);
             }
             return Err(DbError::Storage(chronos_storage::StorageError::Corrupt(
                 format!("commit apply failed after write-ahead (log rolled back): {e}"),
@@ -419,6 +461,18 @@ impl Database {
         // `sys$relations` rollback view exact.
         self.record_catalog_sample(tx_time);
         Ok(tx_time)
+    }
+
+    /// The shared WAL handle, for the group-commit writer's
+    /// post-batch fsync.  `None` for in-memory databases.
+    pub(crate) fn wal_handle(&self) -> Option<Arc<Mutex<Wal>>> {
+        self.wal.clone()
+    }
+
+    /// The most recently allocated commit time, if any transaction has
+    /// ever committed (snapshot sessions pin this at `begin`).
+    pub fn last_commit_time(&self) -> Option<Chronon> {
+        self.txn.last_commit_time()
     }
 
     /// The engine's observability handle.  Shared (behind the `Arc`)
@@ -575,7 +629,7 @@ impl Database {
     }
 
     /// Starts a session for executing TQuel programs.
-    pub fn session(&mut self) -> Session<'_> {
+    pub fn session(&mut self) -> Session<&mut Database> {
         Session::new(self)
     }
 
@@ -777,9 +831,15 @@ impl RelationProvider for Database {
             let before = cache.stats();
             let got = cache.get(relation, as_of);
             // Mirror the cache's own accounting (a stale entry dropped
-            // on lookup counts as an invalidation) into the registry.
-            if cache.stats().invalidations > before.invalidations {
+            // on lookup counts as an invalidation; a frozen entry
+            // served across an epoch bump counts as a frozen hit) into
+            // the registry.
+            let after = cache.stats();
+            if after.invalidations > before.invalidations {
                 self.recorder.count(|m| &m.cache_invalidations);
+            }
+            if after.frozen_hits > before.frozen_hits {
+                self.recorder.count(|m| &m.cache_frozen_hits);
             }
             got
         };
@@ -804,9 +864,19 @@ impl RelationProvider for Database {
                 other => TquelError::Semantic(other.to_string()),
             })?;
         {
+            // A coordinate strictly below the next commit time can never
+            // be rewritten (transaction time is append-only and the
+            // commit clock is monotone), so the entry is frozen: it
+            // outlives commit epoch bumps and only structural changes
+            // drop it.
+            let frozen = match as_of {
+                Some(AsOfSpec::At(t)) => *t < self.txn.peek_now(),
+                Some(AsOfSpec::Through(_, t2)) => *t2 < self.txn.peek_now(),
+                None => false,
+            };
             let mut cache = self.cache.lock();
             let before = cache.stats();
-            cache.insert(relation, as_of, Arc::clone(&rows));
+            cache.insert(relation, as_of, Arc::clone(&rows), frozen);
             if cache.stats().evictions > before.evictions {
                 self.recorder.count(|m| &m.cache_evictions);
             }
@@ -840,13 +910,14 @@ impl EngineStats {
         format!(
             "{{\"metrics\": {}, \"cache\": {{\"hits\": {}, \"misses\": {}, \
              \"invalidations\": {}, \"evictions\": {}, \"epoch_bumps\": {}, \
-             \"entries\": {}}}, \"journal\": {}, \"telemetry\": {}}}",
+             \"frozen_hits\": {}, \"entries\": {}}}, \"journal\": {}, \"telemetry\": {}}}",
             self.metrics.to_json(),
             self.cache.hits,
             self.cache.misses,
             self.cache.invalidations,
             self.cache.evictions,
             self.cache.epoch_bumps,
+            self.cache.frozen_hits,
             self.cache_entries,
             match &self.journal {
                 Some(j) => j.to_json(),
@@ -866,7 +937,14 @@ impl EngineStats {
             ("query_cache_invalidations", self.cache.invalidations),
             ("query_cache_evictions", self.cache.evictions),
             ("query_cache_epoch_bumps", self.cache.epoch_bumps),
+            ("query_cache_frozen_hits", self.cache.frozen_hits),
             ("query_cache_entries", self.cache_entries as u64),
+            (
+                "active_sessions",
+                self.metrics
+                    .sessions_opened
+                    .saturating_sub(self.metrics.sessions_closed),
+            ),
         ] {
             out.push_str(&format!(
                 "# TYPE chronos_{name} gauge\nchronos_{name} {v}\n"

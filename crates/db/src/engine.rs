@@ -1,0 +1,585 @@
+//! The concurrent query engine: shared MVCC core + group-commit writer.
+//!
+//! [`Database`] is single-threaded by construction (`&mut self` on
+//! every mutation).  [`Engine`] wraps one database behind an
+//! `Arc`-shared core so many sessions run in parallel:
+//!
+//! * **Readers** take the engine's `RwLock` in read mode and scan
+//!   through the existing as-of machinery.  Each [`EngineSession`]
+//!   pins a *snapshot* — the durable commit watermark at `begin` —
+//!   and every scan of a transaction-time relation is clamped to that
+//!   pin, so a session sees one consistent transaction-time state no
+//!   matter how many commits land underneath it (see
+//!   [`PinnedProvider`]).
+//!
+//! * **Writers** never touch the database directly.  All mutation is
+//!   funneled through a bounded submission queue drained by a single
+//!   writer thread, which applies each commit serially (preserving
+//!   the WAL's replay order) but *stages* the WAL frames and covers a
+//!   whole batch with **one** fsync — group commit.  Submitters block
+//!   until the covering fsync completes, so an acknowledged commit is
+//!   durable; under concurrency the natural batch size approaches the
+//!   number of in-flight writers and the fsync-per-commit cost drops
+//!   toward `1/batch`.
+//!
+//! * **Exclusive operations** (DDL, `retrieve into`, checkpoints) run
+//!   alone on the writer thread between batches, with the write lock
+//!   held and the previous batch's fsync already on disk — this
+//!   serializes WAL resets against group syncs by construction.
+//!
+//! ## Visibility and the durable watermark
+//!
+//! The writer applies a commit to the in-memory state *before* its
+//! covering fsync.  Snapshot pins are taken from the **durable**
+//! watermark (the last fsync-covered commit), so a pinned session can
+//! never observe a commit that a crash could still revoke.  Relations
+//! without transaction time (static, historical) cannot be clamped
+//! and read at read-committed isolation; the same holds for the
+//! latest-state scans that lower `delete`/`replace` statements.
+//!
+//! If the covering fsync *fails*, the staged frames have been rolled
+//! back but the in-memory state already applied them: the engine
+//! poisons itself — every later submission is refused with the
+//! original error and the process must reopen the database, which
+//! replays exactly the durable prefix.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+
+use chronos_core::chronon::Chronon;
+use chronos_core::relation::HistoricalOp;
+use chronos_obs::trace::Recorder;
+use parking_lot::{Mutex, RwLock};
+
+use crate::database::{Database, EngineStats};
+use crate::error::{DbError, DbResult};
+use crate::session::{Session, SessionBackend};
+use chronos_tquel::ast::Retrieve;
+use chronos_tquel::exec::{execute_retrieve_traced, ResultRelation};
+use chronos_tquel::provider::{AsOfSpec, RelationInfo, RelationProvider, SourceRow};
+use chronos_tquel::TquelResult;
+
+/// Submissions the writer thread accepts before producers block.
+/// Bounds memory under a submission storm; large enough that closed-
+/// loop writers never stall on it.
+const SUBMISSION_QUEUE_CAP: usize = 256;
+
+/// The snapshot pin used when the database has no durable commit yet:
+/// far enough in the past that every transaction-time relation reads
+/// as empty, yet far from `i64::MIN` so period arithmetic cannot wrap.
+fn empty_pin() -> Chronon {
+    Chronon::new(i64::MIN / 4)
+}
+
+enum WriterReq {
+    /// One session's statement: ops against a single relation,
+    /// acknowledged (with the allocated transaction time) only after
+    /// the covering group fsync.
+    Commit {
+        relation: String,
+        ops: Vec<HistoricalOp>,
+        reply: SyncSender<DbResult<Chronon>>,
+    },
+    /// An operation that must run alone (DDL, materialize,
+    /// checkpoint); the closure owns its own reply channel.
+    Exclusive {
+        f: Box<dyn FnOnce(&mut Database) + Send + 'static>,
+    },
+}
+
+struct WriterState {
+    queue: VecDeque<WriterReq>,
+    /// Set by the first fsync failure: the in-memory state holds
+    /// commits the log does not, so the engine refuses further work.
+    poisoned: Option<String>,
+    stopping: bool,
+}
+
+/// A shared, concurrently-usable database engine.
+///
+/// Create one with [`Engine::start`]; open sessions with
+/// [`Engine::session`]; shut down with [`Engine::shutdown`] (or let
+/// `Drop` do it).
+pub struct Engine {
+    db: RwLock<Database>,
+    state: StdMutex<WriterState>,
+    cond: Condvar,
+    /// Last fsync-covered commit time — what new sessions pin.
+    durable: Mutex<Option<Chronon>>,
+    recorder: Arc<Recorder>,
+    writer: StdMutex<Option<JoinHandle<()>>>,
+    stopped: AtomicBool,
+}
+
+impl Engine {
+    /// Wraps `db` and starts the group-commit writer thread.
+    pub fn start(db: Database) -> Arc<Engine> {
+        let recorder = Arc::clone(db.recorder());
+        let durable = db.last_commit_time();
+        let engine = Arc::new(Engine {
+            db: RwLock::new(db),
+            state: StdMutex::new(WriterState {
+                queue: VecDeque::new(),
+                poisoned: None,
+                stopping: false,
+            }),
+            cond: Condvar::new(),
+            durable: Mutex::new(durable),
+            recorder,
+            writer: StdMutex::new(None),
+            stopped: AtomicBool::new(false),
+        });
+        let loop_engine = Arc::clone(&engine);
+        let handle = std::thread::Builder::new()
+            .name("chronos-writer".into())
+            .spawn(move || loop_engine.writer_loop())
+            .expect("spawn group-commit writer");
+        *engine.writer.lock().unwrap() = Some(handle);
+        engine
+    }
+
+    /// Opens a snapshot-pinned session.  The pin is the durable
+    /// watermark right now; [`EngineSession::refresh`] advances it.
+    pub fn session(self: &Arc<Engine>) -> EngineSession {
+        self.recorder.count(|m| &m.sessions_opened);
+        let pin = self.durable.lock().unwrap_or_else(empty_pin);
+        Session::with_backend(EngineBackend {
+            engine: Arc::clone(self),
+            pin,
+        })
+    }
+
+    /// The last commit covered by an fsync (what a new session pins).
+    pub fn durable_watermark(&self) -> Option<Chronon> {
+        *self.durable.lock()
+    }
+
+    /// Runs `f` with shared read access to the core — the engine-side
+    /// counterpart of [`Database`]'s introspection surface (stats,
+    /// recorder, telemetry, `now`).
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.db.read())
+    }
+
+    /// Snapshot of every engine instrument (see
+    /// [`Database::engine_stats`]).
+    pub fn stats(&self) -> EngineStats {
+        self.db.read().engine_stats()
+    }
+
+    /// The observability recorder shared with the wrapped database.
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// Submits one commit to the writer and blocks until it is
+    /// durable (or failed).  The returned chronon is the allocated
+    /// transaction time.
+    pub fn commit(&self, relation: &str, ops: &[HistoricalOp]) -> DbResult<Chronon> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.submit(WriterReq::Commit {
+            relation: relation.to_string(),
+            ops: ops.to_vec(),
+            reply,
+        })?;
+        rx.recv()
+            .map_err(|_| DbError::Service("write service stopped before acknowledging".into()))?
+    }
+
+    /// Runs `f` alone on the writer thread with exclusive access —
+    /// after the previous batch's fsync, before the next batch.  DDL,
+    /// `retrieve into`, and checkpoints go through here.
+    pub fn exclusive<R, F>(&self, f: F) -> DbResult<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Database) -> R + Send + 'static,
+    {
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.submit(WriterReq::Exclusive {
+            f: Box::new(move |db| {
+                let _ = reply.send(f(db));
+            }),
+        })?;
+        rx.recv()
+            .map_err(|_| DbError::Service("write service stopped before acknowledging".into()))
+    }
+
+    /// Checkpoints the wrapped database (exclusive; see
+    /// [`Database::checkpoint`]).
+    pub fn checkpoint(&self) -> DbResult<()> {
+        self.exclusive(|db| db.checkpoint())?
+    }
+
+    fn submit(&self, req: WriterReq) -> DbResult<()> {
+        let mut st = self
+            .state
+            .lock()
+            .expect("writer state poisoned (writer thread panicked)");
+        loop {
+            if let Some(msg) = &st.poisoned {
+                return Err(DbError::Service(format!(
+                    "engine poisoned by a durability failure ({msg}); reopen required"
+                )));
+            }
+            if st.stopping {
+                return Err(DbError::Service("write service is shut down".into()));
+            }
+            if st.queue.len() < SUBMISSION_QUEUE_CAP {
+                break;
+            }
+            st = self
+                .cond
+                .wait(st)
+                .expect("writer state poisoned (writer thread panicked)");
+        }
+        st.queue.push_back(req);
+        drop(st);
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Stops the writer thread after draining every queued request.
+    /// Idempotent; also run by `Drop`.
+    pub fn shutdown(&self) {
+        if self.stopped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let mut st = self.state.lock().expect("writer state poisoned");
+            st.stopping = true;
+        }
+        self.cond.notify_all();
+        let handle = self.writer.lock().unwrap().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+    // ------------------------------------------------------------
+    // the writer thread
+    // ------------------------------------------------------------
+
+    fn writer_loop(&self) {
+        loop {
+            // Wait for work; drain the longest prefix of same-kind
+            // requests (a run of commits forms one group; an
+            // exclusive runs alone).
+            let batch: Vec<WriterReq> = {
+                let mut st = self.state.lock().expect("writer state poisoned");
+                loop {
+                    if !st.queue.is_empty() {
+                        break;
+                    }
+                    if st.stopping {
+                        return;
+                    }
+                    st = self.cond.wait(st).expect("writer state poisoned");
+                }
+                let mut batch = Vec::new();
+                while let Some(front) = st.queue.front() {
+                    let commit = matches!(front, WriterReq::Commit { .. });
+                    if batch.is_empty() {
+                        let req = st.queue.pop_front().expect("checked front");
+                        let solo = !commit;
+                        batch.push(req);
+                        if solo {
+                            break;
+                        }
+                    } else if commit {
+                        batch.push(st.queue.pop_front().expect("checked front"));
+                    } else {
+                        break;
+                    }
+                }
+                batch
+            };
+            // Producers blocked on a full queue can move again.
+            self.cond.notify_all();
+            match batch.first() {
+                Some(WriterReq::Exclusive { .. }) => {
+                    for req in batch {
+                        if let WriterReq::Exclusive { f } = req {
+                            let mut db = self.db.write();
+                            f(&mut db);
+                            // DDL may have committed (materialize
+                            // checkpoints; creates persist the
+                            // catalog): those paths fsync on their
+                            // own, so the watermark follows.
+                            let t = db.last_commit_time();
+                            drop(db);
+                            *self.durable.lock() = t;
+                        }
+                    }
+                }
+                Some(WriterReq::Commit { .. }) => self.run_commit_group(batch),
+                None => {}
+            }
+        }
+    }
+
+    /// Applies a run of commits serially, covers the whole batch with
+    /// one fsync, and acknowledges each submitter.
+    fn run_commit_group(&self, batch: Vec<WriterReq>) {
+        let mut acks: Vec<(SyncSender<DbResult<Chronon>>, DbResult<Chronon>)> =
+            Vec::with_capacity(batch.len());
+        let mut applied = 0u64;
+        let mut max_tx: Option<Chronon> = None;
+        let wal = {
+            let mut db = self.db.write();
+            let wal = db.wal_handle();
+            for req in batch {
+                let WriterReq::Commit {
+                    relation,
+                    ops,
+                    reply,
+                } = req
+                else {
+                    unreachable!("commit group contains only commits");
+                };
+                // A failed statement (validation, unknown relation)
+                // rolls back its own staged frame inside the
+                // database; the rest of the batch is unaffected.
+                let result = db.commit_unsynced(&relation, &ops);
+                if let Ok(t) = &result {
+                    applied += 1;
+                    max_tx = Some(max_tx.map_or(*t, |m: Chronon| m.max(*t)));
+                }
+                acks.push((reply, result));
+            }
+            wal
+            // Write lock drops here: readers resume while we fsync.
+        };
+        let sync_result = match (&wal, applied) {
+            (Some(wal), n) if n > 0 => wal.lock().group_sync().map_err(DbError::Storage),
+            _ => Ok(()),
+        };
+        match sync_result {
+            Ok(()) => {
+                if applied > 0 {
+                    if let Some(t) = max_tx {
+                        let mut durable = self.durable.lock();
+                        *durable = Some(durable.map_or(t, |d| d.max(t)));
+                    }
+                    self.recorder.count(|m| &m.group_commit_batches);
+                    // The histogram generically records "ns"; here the
+                    // recorded value is a batch size (a count).
+                    self.recorder
+                        .record_latency(|m| &m.group_batch_size, applied);
+                    if wal.is_some() && applied > 1 {
+                        self.recorder
+                            .count_n(|m| &m.group_fsyncs_saved, applied - 1);
+                    }
+                    self.recorder.emit_event(
+                        "group_commit",
+                        &[
+                            ("batch", applied.into()),
+                            ("fsyncs_saved", applied.saturating_sub(1).into()),
+                        ],
+                    );
+                }
+                for (reply, result) in acks {
+                    let _ = reply.send(result);
+                }
+            }
+            Err(e) => {
+                // The staged frames are gone from the log but applied
+                // in memory: refuse all further work.
+                let msg = e.to_string();
+                {
+                    let mut st = self.state.lock().expect("writer state poisoned");
+                    st.poisoned = Some(msg.clone());
+                }
+                self.cond.notify_all();
+                for (reply, result) in acks {
+                    let _ = reply.send(match result {
+                        Ok(_) => Err(DbError::Service(format!(
+                            "commit lost: group fsync failed ({msg}); reopen required"
+                        ))),
+                        err => err,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ----------------------------------------------------------------
+// snapshot-pinned sessions
+// ----------------------------------------------------------------
+
+/// A TQuel session over a shared [`Engine`] (see
+/// [`Engine::session`]): [`Session`] generic over the engine backend.
+pub type EngineSession = Session<EngineBackend>;
+
+/// [`SessionBackend`] that routes reads through a snapshot pin and
+/// writes through the group-commit queue.
+pub struct EngineBackend {
+    engine: Arc<Engine>,
+    /// The session's transaction-time snapshot: scans of relations
+    /// with transaction time are clamped to `<= pin`.
+    pin: Chronon,
+}
+
+impl EngineBackend {
+    fn pinned<'a>(&self, db: &'a Database) -> PinnedProvider<'a> {
+        PinnedProvider { db, pin: self.pin }
+    }
+}
+
+impl SessionBackend for EngineBackend {
+    fn info(&self, relation: &str) -> Option<RelationInfo> {
+        self.engine.db.read().info(relation)
+    }
+
+    fn now(&self) -> Chronon {
+        self.engine.db.read().now()
+    }
+
+    fn recorder(&self) -> Arc<Recorder> {
+        Arc::clone(&self.engine.recorder)
+    }
+
+    fn commit(&mut self, relation: &str, ops: &[HistoricalOp]) -> DbResult<Chronon> {
+        let t = self.engine.commit(relation, ops)?;
+        // Read-your-writes: the session's snapshot advances to cover
+        // its own (now durable) commit.
+        self.pin = self.pin.max(t);
+        Ok(t)
+    }
+
+    fn scan_latest(&self, relation: &str) -> DbResult<Vec<SourceRow>> {
+        // Modification lowering reads the *latest* state (read
+        // committed): a delete must close the facts that exist now,
+        // not the ones the snapshot remembers.
+        let db = self.engine.db.read();
+        let rel = db
+            .relation(relation)
+            .ok_or_else(|| DbError::Catalog(format!("unknown relation {relation:?}")))?;
+        rel.scan(None)
+    }
+
+    fn retrieve(
+        &mut self,
+        stmt: &Retrieve,
+        ranges: &std::collections::HashMap<String, String>,
+        recorder: Option<&Recorder>,
+    ) -> TquelResult<ResultRelation> {
+        let db = self.engine.db.read();
+        let provider = self.pinned(&db);
+        match recorder {
+            Some(r) => execute_retrieve_traced(stmt, ranges, &provider, r),
+            None => execute_retrieve_traced(
+                stmt,
+                ranges,
+                &provider,
+                chronos_obs::trace::noop_recorder(),
+            ),
+        }
+    }
+
+    fn materialize(&mut self, name: &str, result: &ResultRelation) -> DbResult<()> {
+        let name = name.to_string();
+        let result = result.clone();
+        self.engine
+            .exclusive(move |db| db.materialize(&name, &result))?
+    }
+
+    fn create_relation(
+        &mut self,
+        name: &str,
+        schema: chronos_core::schema::Schema,
+        class: chronos_core::schema::RelationClass,
+        signature: chronos_core::schema::TemporalSignature,
+    ) -> DbResult<()> {
+        let name = name.to_string();
+        self.engine
+            .exclusive(move |db| db.create_relation(&name, schema, class, signature))?
+    }
+
+    fn destroy_relation(&mut self, name: &str) -> DbResult<()> {
+        let name = name.to_string();
+        self.engine
+            .exclusive(move |db| db.destroy_relation(&name))?
+    }
+}
+
+impl Drop for EngineBackend {
+    fn drop(&mut self) {
+        self.engine.recorder.count(|m| &m.sessions_closed);
+    }
+}
+
+impl Session<EngineBackend> {
+    /// The session's current snapshot pin.
+    pub fn pin(&self) -> Chronon {
+        self.backend().pin
+    }
+
+    /// Advances the snapshot to the current durable watermark —
+    /// "begin a new read transaction".  Pins never move backwards.
+    pub fn refresh(&mut self) {
+        let durable = self
+            .backend()
+            .engine
+            .durable_watermark()
+            .unwrap_or_else(empty_pin);
+        let backend = self.backend_mut();
+        backend.pin = backend.pin.max(durable);
+    }
+
+    /// The engine this session talks to.
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.backend().engine)
+    }
+}
+
+/// A [`RelationProvider`] view of the core clamped to a snapshot pin.
+///
+/// Relations with transaction time (rollback, temporal) are read `as
+/// of min(requested, pin)` — a query can look further back than its
+/// snapshot but never past it.  Classes without transaction time and
+/// the `sys$` projections pass through unclamped (read committed).
+struct PinnedProvider<'a> {
+    db: &'a Database,
+    pin: Chronon,
+}
+
+impl PinnedProvider<'_> {
+    fn clamps(&self, relation: &str) -> bool {
+        use chronos_core::schema::RelationClass;
+        !crate::introspect::is_system(relation)
+            && matches!(
+                self.db.info(relation).map(|i| i.class),
+                Some(RelationClass::StaticRollback | RelationClass::Temporal)
+            )
+    }
+}
+
+impl RelationProvider for PinnedProvider<'_> {
+    fn info(&self, relation: &str) -> Option<RelationInfo> {
+        self.db.info(relation)
+    }
+
+    fn scan(&self, relation: &str, as_of: Option<&AsOfSpec>) -> TquelResult<Arc<Vec<SourceRow>>> {
+        if !self.clamps(relation) {
+            return self.db.scan(relation, as_of);
+        }
+        let clamped = match as_of {
+            None => AsOfSpec::At(self.pin),
+            Some(AsOfSpec::At(t)) => AsOfSpec::At((*t).min(self.pin)),
+            Some(AsOfSpec::Through(t1, t2)) => {
+                AsOfSpec::Through((*t1).min(self.pin), (*t2).min(self.pin))
+            }
+        };
+        self.db.scan(relation, Some(&clamped))
+    }
+}

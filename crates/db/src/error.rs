@@ -17,6 +17,9 @@ pub enum DbError {
     /// A capability violation: the statement needs a time the relation's
     /// class does not support (e.g. `as of` on a historical relation).
     Capability(String),
+    /// The concurrent write service cannot take the request (stopped,
+    /// or poisoned by an earlier durability failure).
+    Service(String),
     /// A query-language error.
     Tquel(TquelError),
     /// A relation-model error.
@@ -30,6 +33,7 @@ impl fmt::Display for DbError {
         match self {
             DbError::Catalog(m) => write!(f, "catalog error: {m}"),
             DbError::Capability(m) => write!(f, "capability violation: {m}"),
+            DbError::Service(m) => write!(f, "service error: {m}"),
             DbError::Tquel(e) => write!(f, "{e}"),
             DbError::Core(e) => write!(f, "{e}"),
             DbError::Storage(e) => write!(f, "{e}"),

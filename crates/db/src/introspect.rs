@@ -383,9 +383,9 @@ fn periods_of(ats: impl Iterator<Item = Chronon>) -> Vec<Period> {
 }
 
 /// Flattens an [`EngineStats`] into the `sys$stats` metric set: every
-/// registry counter, the query-cache section, and the two latency
-/// histograms' p50/p99.  Values saturate into `i64` (the engine will
-/// not live long enough to overflow them honestly).
+/// registry counter, the query-cache section, the derived session
+/// gauge, and the histograms' p50/p99.  Values saturate into `i64`
+/// (the engine will not live long enough to overflow them honestly).
 pub fn flatten_stats(stats: &EngineStats) -> Vec<(&'static str, i64)> {
     fn clamp(v: u64) -> i64 {
         v.min(i64::MAX as u64) as i64
@@ -404,7 +404,17 @@ pub fn flatten_stats(stats: &EngineStats) -> Vec<(&'static str, i64)> {
     ));
     out.push(("query_cache_evictions", clamp(stats.cache.evictions)));
     out.push(("query_cache_epoch_bumps", clamp(stats.cache.epoch_bumps)));
+    out.push(("query_cache_frozen_hits", clamp(stats.cache.frozen_hits)));
     out.push(("query_cache_entries", clamp(stats.cache_entries as u64)));
+    out.push((
+        "active_sessions",
+        clamp(
+            stats
+                .metrics
+                .sessions_opened
+                .saturating_sub(stats.metrics.sessions_closed),
+        ),
+    ));
     for (name_p50, name_p99, h) in [
         (
             "commit_latency_p50_ns",
@@ -415,6 +425,11 @@ pub fn flatten_stats(stats: &EngineStats) -> Vec<(&'static str, i64)> {
             "query_latency_p50_ns",
             "query_latency_p99_ns",
             &stats.metrics.query_latency,
+        ),
+        (
+            "group_batch_size_p50",
+            "group_batch_size_p99",
+            &stats.metrics.group_batch_size,
         ),
     ] {
         out.push((name_p50, clamp(h.percentile(50.0).unwrap_or(0))));

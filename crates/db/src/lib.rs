@@ -27,16 +27,20 @@ pub mod cache;
 pub mod catalog;
 pub mod checkpoint;
 pub mod database;
+pub mod engine;
 pub mod error;
 pub mod introspect;
+pub mod net;
 pub mod observe;
 pub mod relation;
 pub mod session;
 
 pub use database::{Database, EngineStats};
+pub use engine::{Engine, EngineBackend, EngineSession};
 pub use error::{DbError, DbResult};
 pub use introspect::{
     is_system, system_relation_names, TelemetryStats, TelemetryStore, SYS_PREFIX,
 };
+pub use net::{QueryClient, QueryServer};
 pub use observe::ObsBootstrap;
-pub use session::{ExecOutcome, Session};
+pub use session::{ExecOutcome, Session, SessionBackend};

@@ -1,0 +1,389 @@
+//! The TQuel network endpoint: a zero-dependency TCP query service.
+//!
+//! [`QueryServer`] accepts connections on a `TcpListener` and gives
+//! each one its own thread owning a snapshot-pinned
+//! [`EngineSession`](crate::engine::EngineSession) — the wire-level
+//! twin of the embedded observability exporter in `chronos-obs`
+//! (single accept loop, stop-flag + connect-kick shutdown), but
+//! read-write and session-oriented.
+//!
+//! ## Protocol
+//!
+//! Length-prefixed binary frames, little-endian, over one TCP stream:
+//!
+//! ```text
+//! request:   [u32 len] [u8 opcode] [payload: len-1 bytes]
+//! response:  [u32 len] [u8 status] [payload: len-1 bytes]
+//! ```
+//!
+//! | opcode | meaning                                                |
+//! |--------|--------------------------------------------------------|
+//! | 1      | execute: payload is a UTF-8 TQuel program; the pin is  |
+//! |        | refreshed first (each request begins a read snapshot)  |
+//! | 2      | ping: payload ignored, answers `pong`                  |
+//! | 3      | execute pinned: as 1, but the session keeps the        |
+//! |        | snapshot it pinned at connect (or last refreshed)      |
+//!
+//! | status | meaning                                                |
+//! |--------|--------------------------------------------------------|
+//! | 0      | ok — payload is the rendered outcomes (CLI text)       |
+//! | 1      | error — payload is the error message                   |
+//!
+//! A frame longer than [`MAX_FRAME_BYTES`] is a protocol violation and
+//! closes the connection.  Statements acknowledge only after their
+//! covering group fsync, so a status-0 `append` is durable.
+//!
+//! [`QueryClient`] is the matching blocking client (used by the CLI's
+//! `--connect` mode and the bench harness).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+use chronos_tquel::printer::render;
+
+use crate::engine::Engine;
+use crate::session::ExecOutcome;
+
+/// Hard cap on one frame (request or response).
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Execute a TQuel program under a fresh snapshot.
+pub const OP_EXECUTE: u8 = 1;
+/// Liveness probe.
+pub const OP_PING: u8 = 2;
+/// Execute a TQuel program under the session's existing snapshot.
+pub const OP_EXECUTE_PINNED: u8 = 3;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+/// How often blocked connection reads re-check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// One response from the query service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// True iff the request succeeded (status byte 0).
+    pub ok: bool,
+    /// Rendered outcomes on success, the error message on failure.
+    pub body: String,
+}
+
+/// A running TQuel query service; shuts down when dropped.
+pub struct QueryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<StdMutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl QueryServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serves TQuel sessions over `engine` from background threads —
+    /// one acceptor plus one thread per connection.
+    pub fn serve(engine: Arc<Engine>, addr: &str) -> std::io::Result<QueryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(StdMutex::new(Vec::new()));
+        let stop_flag = Arc::clone(&stop);
+        let conn_reg = Arc::clone(&conns);
+        let accept = std::thread::Builder::new()
+            .name("chronos-serve".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let engine = Arc::clone(&engine);
+                    let stop = Arc::clone(&stop_flag);
+                    let handle = std::thread::Builder::new()
+                        .name("chronos-conn".to_string())
+                        .spawn(move || {
+                            // A dropped connection is the client's
+                            // problem; the server keeps accepting.
+                            let _ = serve_connection(stream, &engine, &stop);
+                        });
+                    if let Ok(handle) = handle {
+                        conn_reg.lock().expect("conns lock").push(handle);
+                    }
+                }
+            })?;
+        Ok(QueryServer {
+            addr,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (useful with `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, disconnects every session, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = self.conns.lock().expect("conns lock").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// One connection's request loop: owns a pinned session for its whole
+/// lifetime.  Returns when the peer hangs up, violates the protocol,
+/// or the server stops.
+fn serve_connection(
+    mut stream: TcpStream,
+    engine: &Arc<Engine>,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let mut session = engine.session();
+    let mut buf: Vec<u8> = Vec::new();
+    while let Some((opcode, payload)) = read_frame(&mut stream, stop, &mut buf)? {
+        let (status, body) = match opcode {
+            OP_PING => (STATUS_OK, "pong".to_string()),
+            OP_EXECUTE | OP_EXECUTE_PINNED => match String::from_utf8(payload) {
+                Ok(src) => {
+                    if opcode == OP_EXECUTE {
+                        // Each request is its own read transaction:
+                        // see everything durable up to now, then hold
+                        // that snapshot for the whole program.
+                        session.refresh();
+                    }
+                    match session.run(&src) {
+                        Ok(outcomes) => (STATUS_OK, render_outcomes(&outcomes)),
+                        Err(e) => (STATUS_ERR, e.to_string()),
+                    }
+                }
+                Err(_) => (STATUS_ERR, "payload is not UTF-8".to_string()),
+            },
+            other => (STATUS_ERR, format!("unknown opcode {other}")),
+        };
+        write_frame(&mut stream, status, body.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Extracts the next complete frame from `stream`, buffering partial
+/// reads in `buf` and re-checking `stop` every [`POLL_INTERVAL`].
+/// `Ok(None)` means orderly end (EOF or server stop).
+fn read_frame(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<Option<(u8, Vec<u8>)>> {
+    loop {
+        if buf.len() >= 4 {
+            let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+            if len == 0 || len > MAX_FRAME_BYTES {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad frame length {len}"),
+                ));
+            }
+            if buf.len() >= 4 + len {
+                let opcode = buf[4];
+                let payload = buf[5..4 + len].to_vec();
+                buf.drain(..4 + len);
+                return Ok(Some((opcode, payload)));
+            }
+        }
+        if stop.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, head: u8, payload: &[u8]) -> std::io::Result<()> {
+    let len = 1 + payload.len();
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame too large ({len} bytes)"),
+        ));
+    }
+    let mut frame = Vec::with_capacity(4 + len);
+    frame.extend_from_slice(&(len as u32).to_le_bytes());
+    frame.push(head);
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+/// Renders a statement batch's outcomes the way the CLI prints them —
+/// the response body of a status-0 execute.
+pub fn render_outcomes(outcomes: &[ExecOutcome]) -> String {
+    let mut out = String::new();
+    for outcome in outcomes {
+        match outcome {
+            ExecOutcome::Retrieved(rel) => {
+                out.push_str(&render(rel));
+                out.push_str(&format!(
+                    "({} row{})\n",
+                    rel.len(),
+                    if rel.len() == 1 { "" } else { "s" }
+                ));
+            }
+            ExecOutcome::Appended(t) => {
+                out.push_str(&format!(
+                    "appended (transaction time {})\n",
+                    chronos_core::calendar::Date::from_chronon(*t)
+                ));
+            }
+            ExecOutcome::Materialized { relation, rows } => {
+                out.push_str(&format!("materialized {rows} row(s) into {relation}\n"));
+            }
+            ExecOutcome::Deleted(n) => out.push_str(&format!("deleted {n} row(s)\n")),
+            ExecOutcome::Replaced(n) => out.push_str(&format!("replaced {n} row(s)\n")),
+            ExecOutcome::Created => out.push_str("created\n"),
+            ExecOutcome::Destroyed => out.push_str("destroyed\n"),
+            ExecOutcome::Explained { profile, report } => {
+                out.push_str(&format!(
+                    "{} plan:\n",
+                    if *profile { "profile" } else { "explain" }
+                ));
+                for line in report.lines() {
+                    out.push_str(&format!("  {line}\n"));
+                }
+            }
+            ExecOutcome::Declared => {}
+        }
+    }
+    out
+}
+
+/// A blocking client for the query service: one TCP connection, one
+/// server-side session.
+pub struct QueryClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl QueryClient {
+    /// Connects to a running [`QueryServer`].
+    pub fn connect(addr: &str) -> std::io::Result<QueryClient> {
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+        let stream = TcpStream::connect_timeout(&sock, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        // Generous: an execute blocks on its covering group fsync.
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(QueryClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Executes a TQuel program under a fresh snapshot.
+    pub fn execute(&mut self, src: &str) -> std::io::Result<Response> {
+        self.request(OP_EXECUTE, src.as_bytes())
+    }
+
+    /// Executes a TQuel program under the session's pinned snapshot
+    /// (taken at connect, or at the last plain `execute`).
+    pub fn execute_pinned(&mut self, src: &str) -> std::io::Result<Response> {
+        self.request(OP_EXECUTE_PINNED, src.as_bytes())
+    }
+
+    /// Liveness probe; true iff the server answered `pong`.
+    pub fn ping(&mut self) -> std::io::Result<bool> {
+        let r = self.request(OP_PING, b"")?;
+        Ok(r.ok && r.body == "pong")
+    }
+
+    fn request(&mut self, opcode: u8, payload: &[u8]) -> std::io::Result<Response> {
+        write_frame(&mut self.stream, opcode, payload)?;
+        let (status, payload) = self.read_response()?;
+        Ok(Response {
+            ok: status == STATUS_OK,
+            body: String::from_utf8_lossy(&payload).into_owned(),
+        })
+    }
+
+    fn read_response(&mut self) -> std::io::Result<(u8, Vec<u8>)> {
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+                if len == 0 || len > MAX_FRAME_BYTES {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad frame length {len}"),
+                    ));
+                }
+                if self.buf.len() >= 4 + len {
+                    let status = self.buf[4];
+                    let payload = self.buf[5..4 + len].to_vec();
+                    self.buf.drain(..4 + len);
+                    return Ok((status, payload));
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryClient").finish()
+    }
+}

@@ -22,6 +22,7 @@
 //!   retracts and re-records.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use chronos_core::calendar::date;
 use chronos_core::chronon::Chronon;
@@ -31,13 +32,16 @@ use chronos_core::schema::{RelationClass, Schema, TemporalSignature};
 use chronos_core::timepoint::TimePoint;
 use chronos_core::tuple::Tuple;
 use chronos_core::value::{AttrType, Value};
+use chronos_obs::trace::Recorder;
 use chronos_tquel::analyze::{analyze_valid_const, analyze_where_single, ValidPlan};
-use chronos_tquel::ast::{Assignment, ClassAst, Operand, Statement, ValidClause, WhereExpr};
+use chronos_tquel::ast::{
+    Assignment, ClassAst, Operand, Retrieve, Statement, ValidClause, WhereExpr,
+};
 use chronos_tquel::exec::{execute_retrieve, execute_retrieve_traced, ResultRelation};
 use chronos_tquel::parser::{parse_program, parse_statement};
-use chronos_tquel::provider::RelationInfo;
+use chronos_tquel::provider::{RelationInfo, SourceRow};
 use chronos_tquel::unparse::unparse;
-use chronos_tquel::TquelError;
+use chronos_tquel::{TquelError, TquelResult};
 
 use crate::database::Database;
 use crate::error::{DbError, DbResult};
@@ -85,23 +89,144 @@ impl ExecOutcome {
     }
 }
 
-/// An interactive session over a database.
-pub struct Session<'a> {
-    db: &'a mut Database,
+/// What a [`Session`] needs from the engine underneath it.
+///
+/// Two implementations exist: `&mut Database` executes directly
+/// against an exclusively-owned database (the original single-
+/// threaded path), and [`EngineBackend`](crate::engine::EngineBackend)
+/// routes reads through a snapshot pin and writes through the
+/// group-commit queue of a shared [`Engine`](crate::engine::Engine).
+pub trait SessionBackend {
+    /// Catalog lookup (stored relations and `sys$` projections).
+    fn info(&self, relation: &str) -> Option<RelationInfo>;
+
+    /// The transaction time the next commit would receive.
+    fn now(&self) -> Chronon;
+
+    /// The observability recorder statements report into.
+    fn recorder(&self) -> Arc<Recorder>;
+
+    /// Commits `ops` to `relation`; the returned chronon is the
+    /// allocated transaction time, durable on return.
+    fn commit(&mut self, relation: &str, ops: &[HistoricalOp]) -> DbResult<Chronon>;
+
+    /// Scans the latest stored state of `relation` (modification
+    /// lowering: `delete`/`replace` act on what exists *now*).
+    fn scan_latest(&self, relation: &str) -> DbResult<Vec<SourceRow>>;
+
+    /// Runs a retrieve; with `recorder` the traced evaluator records
+    /// analyze/scan/product spans into it (`explain`/`profile`).
+    fn retrieve(
+        &mut self,
+        stmt: &Retrieve,
+        ranges: &HashMap<String, String>,
+        recorder: Option<&Recorder>,
+    ) -> TquelResult<ResultRelation>;
+
+    /// Materializes a derived relation (`retrieve into`).
+    fn materialize(&mut self, name: &str, result: &ResultRelation) -> DbResult<()>;
+
+    /// Defines a new relation.
+    fn create_relation(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        class: RelationClass,
+        signature: TemporalSignature,
+    ) -> DbResult<()>;
+
+    /// Drops a relation and its store.
+    fn destroy_relation(&mut self, name: &str) -> DbResult<()>;
+}
+
+impl SessionBackend for &mut Database {
+    fn info(&self, relation: &str) -> Option<RelationInfo> {
+        chronos_tquel::provider::RelationProvider::info(&**self, relation)
+    }
+
+    fn now(&self) -> Chronon {
+        Database::now(self)
+    }
+
+    fn recorder(&self) -> Arc<Recorder> {
+        Arc::clone(Database::recorder(self))
+    }
+
+    fn commit(&mut self, relation: &str, ops: &[HistoricalOp]) -> DbResult<Chronon> {
+        Database::commit(self, relation, ops)
+    }
+
+    fn scan_latest(&self, relation: &str) -> DbResult<Vec<SourceRow>> {
+        self.relation(relation)
+            .ok_or_else(|| DbError::Catalog(format!("unknown relation {relation:?}")))?
+            .scan(None)
+    }
+
+    fn retrieve(
+        &mut self,
+        stmt: &Retrieve,
+        ranges: &HashMap<String, String>,
+        recorder: Option<&Recorder>,
+    ) -> TquelResult<ResultRelation> {
+        match recorder {
+            Some(r) => execute_retrieve_traced(stmt, ranges, &**self, r),
+            None => execute_retrieve(stmt, ranges, &**self),
+        }
+    }
+
+    fn materialize(&mut self, name: &str, result: &ResultRelation) -> DbResult<()> {
+        Database::materialize(self, name, result)
+    }
+
+    fn create_relation(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        class: RelationClass,
+        signature: TemporalSignature,
+    ) -> DbResult<()> {
+        Database::create_relation(self, name, schema, class, signature)
+    }
+
+    fn destroy_relation(&mut self, name: &str) -> DbResult<()> {
+        Database::destroy_relation(self, name)
+    }
+}
+
+/// An interactive session over a database or engine.
+pub struct Session<B: SessionBackend> {
+    backend: B,
     ranges: HashMap<String, String>,
 }
 
-impl<'a> Session<'a> {
-    pub(crate) fn new(db: &'a mut Database) -> Session<'a> {
-        Session {
-            db,
-            ranges: HashMap::new(),
-        }
+impl<'a> Session<&'a mut Database> {
+    pub(crate) fn new(db: &'a mut Database) -> Session<&'a mut Database> {
+        Session::with_backend(db)
     }
 
     /// The underlying database.
     pub fn database(&mut self) -> &mut Database {
-        self.db
+        self.backend
+    }
+}
+
+impl<B: SessionBackend> Session<B> {
+    /// Wraps a backend in a fresh session (no range declarations).
+    pub(crate) fn with_backend(backend: B) -> Session<B> {
+        Session {
+            backend,
+            ranges: HashMap::new(),
+        }
+    }
+
+    /// The session's backend.
+    pub(crate) fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The session's backend, mutably.
+    pub(crate) fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 
     /// Parses and executes a TQuel program, returning one outcome per
@@ -135,18 +260,17 @@ impl<'a> Session<'a> {
             Statement::RangeDecl { var, relation } => {
                 // Resolve through the provider so `sys$` system relations
                 // (catalog-less) are rangeable just like stored ones.
-                use chronos_tquel::provider::RelationProvider as _;
-                if self.db.info(relation).is_none() {
+                if self.backend.info(relation).is_none() {
                     return Err(DbError::Catalog(format!("unknown relation {relation:?}")));
                 }
                 self.ranges.insert(var.clone(), relation.clone());
                 Ok(ExecOutcome::Declared)
             }
             Statement::Retrieve(r) => {
-                let result = execute_retrieve(r, &self.ranges, self.db)?;
+                let result = self.backend.retrieve(r, &self.ranges, None)?;
                 if let Some(into) = &r.into {
                     let n = result.len();
-                    self.db.materialize(into, &result)?;
+                    self.backend.materialize(into, &result)?;
                     return Ok(ExecOutcome::Materialized {
                         relation: into.clone(),
                         rows: n,
@@ -189,12 +313,12 @@ impl<'a> Session<'a> {
                 } else {
                     TemporalSignature::Interval
                 };
-                self.db
+                self.backend
                     .create_relation(relation, schema, class, signature)?;
                 Ok(ExecOutcome::Created)
             }
             Statement::Destroy { relation } => {
-                self.db.destroy_relation(relation)?;
+                self.backend.destroy_relation(relation)?;
                 Ok(ExecOutcome::Destroyed)
             }
             Statement::Explain { profile, inner } => self.explain(*profile, inner),
@@ -215,13 +339,13 @@ impl<'a> Session<'a> {
         // steal that capture (newest trace request wins), so it — and
         // any disabled recorder or slow log — takes the plain path.
         let capture = {
-            let recorder = self.db.recorder();
+            let recorder = self.backend.recorder();
             recorder.is_enabled() && recorder.slowlog().is_enabled()
         } && !matches!(stmt, Statement::Explain { .. });
         if !capture {
             return self.execute(stmt);
         }
-        let recorder = std::sync::Arc::clone(self.db.recorder());
+        let recorder = self.backend.recorder();
         let threshold = recorder.slowlog().threshold_ns();
         let before = recorder.snapshot();
         recorder.begin_trace();
@@ -246,7 +370,7 @@ impl<'a> Session<'a> {
                     statement.clone(),
                     elapsed_ns,
                     report.render(true),
-                    self.db.now().ticks(),
+                    self.backend.now().ticks(),
                 );
                 recorder.emit_event(
                     "slow_query",
@@ -266,7 +390,7 @@ impl<'a> Session<'a> {
     /// span tree (`explain` shows structure, access paths, and row
     /// counts; `profile` adds wall times).
     fn explain(&mut self, profile: bool, inner: &Statement) -> DbResult<ExecOutcome> {
-        let recorder = std::sync::Arc::clone(self.db.recorder());
+        let recorder = self.backend.recorder();
         let before = recorder.snapshot();
         recorder.begin_trace();
         // Parse cost is measured honestly by re-parsing the statement's
@@ -281,10 +405,10 @@ impl<'a> Session<'a> {
             // Retrieves run through the traced evaluator so analyze /
             // scan / product spans land in this capture.
             Statement::Retrieve(r) => {
-                match execute_retrieve_traced(r, &self.ranges, self.db, &recorder) {
+                match self.backend.retrieve(r, &self.ranges, Some(&recorder)) {
                     Ok(result) => {
                         if let Some(into) = &r.into {
-                            self.db.materialize(into, &result).map(|_| ())
+                            self.backend.materialize(into, &result).map(|_| ())
                         } else {
                             Ok(())
                         }
@@ -320,7 +444,7 @@ impl<'a> Session<'a> {
         let tuple = build_tuple(&info.schema, assignments)?;
         let validity = self.modification_validity(&info, valid, None)?;
         let ops = [HistoricalOp::Insert { tuple, validity }];
-        let t = self.db.commit(relation, &ops)?;
+        let t = self.backend.commit(relation, &ops)?;
         Ok(ExecOutcome::Appended(t))
     }
 
@@ -333,8 +457,8 @@ impl<'a> Session<'a> {
         reject_system_modification(&relation)?;
         let info = self.info(&relation)?;
         let pred = self.lower_where(where_clause, var, &info)?;
-        let now = self.db.now();
-        let rows = self.db.relation(&relation).expect("resolved").scan(None)?;
+        let now = self.backend.now();
+        let rows = self.backend.scan_latest(&relation)?;
         let mut ops = Vec::new();
         for row in &rows {
             if !pred.eval(&row.tuple).map_err(TquelError::Core)? {
@@ -373,7 +497,7 @@ impl<'a> Session<'a> {
             return Ok(ExecOutcome::Deleted(0));
         }
         let n = ops.len();
-        self.db.commit(&relation, &ops)?;
+        self.backend.commit(&relation, &ops)?;
         Ok(ExecOutcome::Deleted(n))
     }
 
@@ -392,7 +516,7 @@ impl<'a> Session<'a> {
         reject_system_modification(&relation)?;
         let info = self.info(&relation)?;
         let pred = self.lower_where(where_clause, var, &info)?;
-        let rows = self.db.relation(&relation).expect("resolved").scan(None)?;
+        let rows = self.backend.scan_latest(&relation)?;
 
         let mut ops = Vec::new();
         let mut affected = 0usize;
@@ -454,7 +578,7 @@ impl<'a> Session<'a> {
         if ops.is_empty() {
             return Ok(ExecOutcome::Replaced(0));
         }
-        self.db.commit(&relation, &ops)?;
+        self.backend.commit(&relation, &ops)?;
         Ok(ExecOutcome::Replaced(affected))
     }
 
@@ -463,8 +587,7 @@ impl<'a> Session<'a> {
     // ----------------------------------------------------------------
 
     fn info(&self, relation: &str) -> DbResult<RelationInfo> {
-        use chronos_tquel::provider::RelationProvider as _;
-        self.db
+        self.backend
             .info(relation)
             .ok_or_else(|| DbError::Catalog(format!("unknown relation {relation:?}")))
     }
@@ -512,7 +635,7 @@ impl<'a> Session<'a> {
             // placeholder ignored by the store.
             return Ok(Validity::Interval(Period::ALWAYS));
         }
-        let now = self.db.now();
+        let now = self.backend.now();
         match (info.signature, valid) {
             (TemporalSignature::Event, None) => Ok(Validity::Event(now)),
             (TemporalSignature::Event, Some(clause)) => match analyze_valid_const(clause)? {

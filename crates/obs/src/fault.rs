@@ -46,6 +46,7 @@ pub const CRASH_SITES: &[(&str, &str)] = &[
     ("wal.append.frame", "storage/wal.rs"),
     ("wal.append.pre_sync", "storage/wal.rs"),
     ("wal.append.post_sync", "storage/wal.rs"),
+    ("wal.group_fsync", "storage/wal.rs"),
     ("wal.reset.pre_truncate", "storage/wal.rs"),
     ("wal.reset.post_truncate", "storage/wal.rs"),
     ("pager.read.miss", "storage/pager.rs"),
@@ -211,6 +212,28 @@ pub fn crash_point(site: &str) -> std::io::Result<()> {
     }
 }
 
+/// Peeks whether the *next* execution of `site` would kill the process
+/// (as opposed to proceeding or unwinding).  Does **not** consume a
+/// hit.  This lets a site that has staged unsynced bytes model a power
+/// cut — dropping the staged bytes from the file — before the
+/// subsequent [`crash_point`] fires, the same way torn-write sites
+/// persist their tear before dying.
+pub fn crash_imminent(site: &str) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let reg = registry().lock().expect("fault registry poisoned");
+    let Some(plan) = reg.plan.clone() else {
+        return false;
+    };
+    let next_hit = reg.hits.get(site).copied().unwrap_or(0) + 1;
+    drop(reg);
+    matches!(
+        plan.decide(site, next_hit, 0),
+        FaultAction::Crash | FaultAction::Torn { unwind: false, .. }
+    )
+}
+
 /// The fate of a buffer about to be written at a write site.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum IoFault {
@@ -339,6 +362,21 @@ mod tests {
         assert!(crash_point("pager.read.miss").is_err());
         clear();
         assert!(crash_point("pager.read.miss").is_ok());
+    }
+
+    #[test]
+    fn crash_imminent_peeks_without_consuming_a_hit() {
+        let _g = guard();
+        install(Arc::new(FaultPlan::crash_at("wal.group_fsync", 2)));
+        assert!(!crash_imminent("wal.group_fsync"), "next hit is 1, not 2");
+        assert!(crash_point("wal.group_fsync").is_ok()); // consumes hit 1
+        assert!(crash_imminent("wal.group_fsync"), "next hit would crash");
+        assert!(crash_imminent("wal.group_fsync"), "peek does not consume");
+        // Unwind plans are not imminent crashes.
+        install(Arc::new(FaultPlan::error_at("wal.group_fsync", 1)));
+        assert!(!crash_imminent("wal.group_fsync"));
+        clear();
+        assert!(!crash_imminent("wal.group_fsync"));
     }
 
     #[test]

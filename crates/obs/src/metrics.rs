@@ -162,16 +162,25 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     pub cache_evictions: u64,
     pub cache_invalidations: u64,
+    pub cache_frozen_hits: u64,
     pub commits: u64,
+    pub sessions_opened: u64,
+    pub sessions_closed: u64,
+    pub group_commit_batches: u64,
+    pub group_fsyncs_saved: u64,
     pub commit_latency: HistogramSnapshot,
     pub query_latency: HistogramSnapshot,
+    /// Commits per group-commit batch.  Same power-of-two machinery as
+    /// the latency histograms, but the recorded value is a *count*
+    /// (commits covered by one WAL fsync), not nanoseconds.
+    pub group_batch_size: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
     /// `(name, value)` pairs for every plain counter, in exposition
     /// order.  Keeping this as the single enumeration point means the
     /// JSON and Prometheus renderings can never drift apart.
-    pub fn counters(&self) -> [(&'static str, u64); 14] {
+    pub fn counters(&self) -> [(&'static str, u64); 19] {
         [
             ("pager_page_reads", self.pager_page_reads),
             ("pager_page_writes", self.pager_page_writes),
@@ -186,7 +195,12 @@ impl MetricsSnapshot {
             ("cache_misses", self.cache_misses),
             ("cache_evictions", self.cache_evictions),
             ("cache_invalidations", self.cache_invalidations),
+            ("cache_frozen_hits", self.cache_frozen_hits),
             ("commits", self.commits),
+            ("sessions_opened", self.sessions_opened),
+            ("sessions_closed", self.sessions_closed),
+            ("group_commit_batches", self.group_commit_batches),
+            ("group_fsyncs_saved", self.group_fsyncs_saved),
         ]
     }
 
@@ -196,6 +210,7 @@ impl MetricsSnapshot {
         self.counters().iter().all(|(_, v)| *v == 0)
             && self.commit_latency.samples == 0
             && self.query_latency.samples == 0
+            && self.group_batch_size.samples == 0
     }
 
     /// Counter-wise difference against an earlier snapshot.
@@ -215,9 +230,15 @@ impl MetricsSnapshot {
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,
             cache_invalidations: self.cache_invalidations - earlier.cache_invalidations,
+            cache_frozen_hits: self.cache_frozen_hits - earlier.cache_frozen_hits,
             commits: self.commits - earlier.commits,
+            sessions_opened: self.sessions_opened - earlier.sessions_opened,
+            sessions_closed: self.sessions_closed - earlier.sessions_closed,
+            group_commit_batches: self.group_commit_batches - earlier.group_commit_batches,
+            group_fsyncs_saved: self.group_fsyncs_saved - earlier.group_fsyncs_saved,
             commit_latency: self.commit_latency.since(&earlier.commit_latency),
             query_latency: self.query_latency.since(&earlier.query_latency),
+            group_batch_size: self.group_batch_size.since(&earlier.group_batch_size),
         }
     }
 
@@ -234,6 +255,9 @@ impl MetricsSnapshot {
         for (name, h) in [
             ("commit_latency", &self.commit_latency),
             ("query_latency", &self.query_latency),
+            // Bucket bounds and totals read in commits-per-batch, not
+            // nanoseconds, for this one (see the field docs).
+            ("group_batch_size", &self.group_batch_size),
         ] {
             out.push_str(&format!(
                 ", \"{name}\": {{\"samples\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"buckets\": [",
@@ -276,6 +300,7 @@ impl MetricsSnapshot {
         for (name, h) in [
             ("commit_latency_ns", &self.commit_latency),
             ("query_latency_ns", &self.query_latency),
+            ("group_batch_size", &self.group_batch_size),
         ] {
             out.push_str(&format!("# TYPE chronos_{name} histogram\n"));
             let mut cumulative = 0u64;

@@ -78,9 +78,16 @@ pub struct Instruments {
     pub cache_misses: Counter,
     pub cache_evictions: Counter,
     pub cache_invalidations: Counter,
+    pub cache_frozen_hits: Counter,
     pub commits: Counter,
+    pub sessions_opened: Counter,
+    pub sessions_closed: Counter,
+    pub group_commit_batches: Counter,
+    pub group_fsyncs_saved: Counter,
     pub commit_latency: LatencyHistogram,
     pub query_latency: LatencyHistogram,
+    /// Commits per group-commit batch (value is a count, not ns).
+    pub group_batch_size: LatencyHistogram,
 }
 
 /// The engine-wide observability handle.
@@ -186,9 +193,15 @@ impl Recorder {
             cache_misses: m.cache_misses.get(),
             cache_evictions: m.cache_evictions.get(),
             cache_invalidations: m.cache_invalidations.get(),
+            cache_frozen_hits: m.cache_frozen_hits.get(),
             commits: m.commits.get(),
+            sessions_opened: m.sessions_opened.get(),
+            sessions_closed: m.sessions_closed.get(),
+            group_commit_batches: m.group_commit_batches.get(),
+            group_fsyncs_saved: m.group_fsyncs_saved.get(),
             commit_latency: m.commit_latency.snapshot(),
             query_latency: m.query_latency.snapshot(),
+            group_batch_size: m.group_batch_size.snapshot(),
         }
     }
 

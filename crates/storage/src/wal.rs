@@ -156,6 +156,12 @@ pub struct Wal {
     /// garbage (which recovery would then truncate away, silently
     /// losing them).
     synced_len: u64,
+    /// End of the last intact frame, synced or not.  Frames between
+    /// `synced_len` and here were staged by [`Wal::append_no_sync`] and
+    /// await a [`Wal::group_sync`]; a failed staging rolls back to this
+    /// boundary rather than `synced_len` so one bad append in a batch
+    /// cannot erase its already-staged siblings.
+    logical_len: u64,
 }
 
 impl Wal {
@@ -172,6 +178,7 @@ impl Wal {
             path: path.to_path_buf(),
             recorder: Arc::new(Recorder::disabled()),
             synced_len,
+            logical_len: synced_len,
         })
     }
 
@@ -197,12 +204,41 @@ impl Wal {
             // caller needs to see either way.
             let _ = self.file.set_len(self.synced_len);
             let _ = self.file.sync_data();
+            self.logical_len = self.synced_len;
         }
         result
     }
 
     fn append_inner(&mut self, rec: &WalRecord) -> StorageResult<()> {
-        let _span = self.recorder.span("wal/append");
+        let recorder = Arc::clone(&self.recorder);
+        let _span = recorder.span("wal/append");
+        let frame_len = self.write_frame(rec)?;
+        crate::fault::crash_point("wal.append.pre_sync")?;
+        self.file.sync_data()?;
+        // `synced_len` advances only once the whole append has
+        // succeeded: an error unwinding from the post-sync site rolls
+        // the (durable but *reported failed*) frame back, keeping the
+        // log consistent with what the caller was told.
+        crate::fault::crash_point("wal.append.post_sync")?;
+        self.synced_len = self.logical_len;
+        self.recorder.count(|m| &m.wal_fsyncs);
+        self.recorder.emit_event(
+            "wal_append",
+            &[
+                ("rel_id", u64::from(rec.rel_id).into()),
+                ("ops", rec.ops.len().into()),
+                ("frame_bytes", frame_len.into()),
+                ("fsync", true.into()),
+            ],
+        );
+        Ok(())
+    }
+
+    /// Frames, checksums, and writes one record without syncing,
+    /// honoring the `wal.append.pre_frame`/`wal.append.frame` fault
+    /// sites.  Advances `logical_len` past the new frame and returns
+    /// the frame length.
+    fn write_frame(&mut self, rec: &WalRecord) -> StorageResult<usize> {
         crate::fault::crash_point("wal.append.pre_frame")?;
         let payload = encode_record(rec);
         let mut frame = Vec::with_capacity(payload.len() + 8);
@@ -222,26 +258,88 @@ impl Wal {
                 crate::fault::crash_now("wal.append.frame");
             }
         }
+        self.logical_len += frame.len() as u64;
         self.recorder.count(|m| &m.wal_appends);
-        crate::fault::crash_point("wal.append.pre_sync")?;
-        self.file.sync_data()?;
-        // `synced_len` advances only once the whole append has
-        // succeeded: an error unwinding from the post-sync site rolls
-        // the (durable but *reported failed*) frame back, keeping the
-        // log consistent with what the caller was told.
-        crate::fault::crash_point("wal.append.post_sync")?;
-        self.synced_len += frame.len() as u64;
-        self.recorder.count(|m| &m.wal_fsyncs);
+        Ok(frame.len())
+    }
+
+    /// Appends one record (framed and checksummed) **without** syncing:
+    /// the frame is staged until the next [`Wal::group_sync`] makes the
+    /// whole batch durable under a single fsync (group commit).
+    ///
+    /// On error the file is rolled back to the end of the last intact
+    /// frame — which may itself still be staged — so a failed append
+    /// never erases frames already staged by the same batch.
+    pub fn append_no_sync(&mut self, rec: &WalRecord) -> StorageResult<()> {
+        let restore = self.logical_len;
+        let result = self.append_no_sync_inner(rec);
+        if result.is_err() {
+            let _ = self.file.set_len(restore);
+            let _ = self.file.sync_data();
+            self.logical_len = restore;
+        }
+        result
+    }
+
+    fn append_no_sync_inner(&mut self, rec: &WalRecord) -> StorageResult<()> {
+        let recorder = Arc::clone(&self.recorder);
+        let _span = recorder.span("wal/append");
+        let frame_len = self.write_frame(rec)?;
         self.recorder.emit_event(
             "wal_append",
             &[
                 ("rel_id", u64::from(rec.rel_id).into()),
                 ("ops", rec.ops.len().into()),
-                ("frame_bytes", frame.len().into()),
-                ("fsync", true.into()),
+                ("frame_bytes", frame_len.into()),
+                ("fsync", false.into()),
             ],
         );
         Ok(())
+    }
+
+    /// Makes every staged frame durable under one fsync.  A no-op (no
+    /// fsync, no fault-site hit) when nothing is staged.
+    ///
+    /// On error the staged frames are rolled back to the fsynced
+    /// prefix: the caller is about to report every covered commit as
+    /// failed, and a frame that was never acknowledged must not
+    /// resurrect its commit at recovery.
+    pub fn group_sync(&mut self) -> StorageResult<()> {
+        if self.logical_len == self.synced_len {
+            return Ok(());
+        }
+        let result = self.group_sync_inner();
+        if result.is_err() {
+            let _ = self.file.set_len(self.synced_len);
+            let _ = self.file.sync_data();
+            self.logical_len = self.synced_len;
+        }
+        result
+    }
+
+    fn group_sync_inner(&mut self) -> StorageResult<()> {
+        let _span = self.recorder.span("wal/group_sync");
+        if crate::fault::crash_imminent("wal.group_fsync") {
+            // An injected crash here models a power cut at the
+            // group-commit boundary: the staged frames are exactly the
+            // bytes such a cut may drop, so drop them deterministically
+            // before dying (the same way torn-write sites persist their
+            // tear first).  Every acked commit stays durable; the
+            // unacked batch vanishes.
+            let _ = self.file.set_len(self.synced_len);
+            let _ = self.file.sync_data();
+        }
+        crate::fault::crash_point("wal.group_fsync")?;
+        self.file.sync_data()?;
+        self.synced_len = self.logical_len;
+        self.recorder.count(|m| &m.wal_fsyncs);
+        Ok(())
+    }
+
+    /// Bytes staged by [`Wal::append_no_sync`] and not yet covered by a
+    /// [`Wal::group_sync`].
+    pub fn pending_bytes(&self) -> u64 {
+        self.logical_len - self.synced_len
     }
 
     /// Reads every record, tolerating a torn tail.
@@ -316,6 +414,7 @@ impl Wal {
         self.file.set_len(len)?;
         self.file.sync_data()?;
         self.synced_len = self.synced_len.min(len);
+        self.logical_len = len;
         Ok(())
     }
 
@@ -327,6 +426,7 @@ impl Wal {
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_data()?;
         self.synced_len = 0;
+        self.logical_len = 0;
         crate::fault::crash_point("wal.reset.post_truncate")?;
         Ok(())
     }
@@ -450,6 +550,55 @@ mod tests {
         let rec = Wal::recover(&path).unwrap();
         assert_eq!(rec.records.len(), 1, "only the first record survives");
         assert!(rec.torn_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// One test covers both group-commit scenarios (staging + unwind):
+    /// the unwind half arms the process-global fault registry, and a
+    /// single test keeps the only `group_sync` callers in this binary
+    /// from racing an armed plan.
+    #[test]
+    fn group_append_stages_until_group_sync_and_unwinds_cleanly() {
+        let path = temp_wal("group");
+        let mut wal = Wal::open(&path).unwrap();
+        let recs = sample_records();
+        for rec in &recs {
+            wal.append_no_sync(rec).unwrap();
+        }
+        assert!(wal.pending_bytes() > 0, "frames staged, not yet synced");
+        // The frames are in the file (recovery would replay them after
+        // a kill that leaves the page cache intact) …
+        assert_eq!(Wal::recover(&path).unwrap().records, recs);
+        // … and one group_sync covers them all.
+        wal.group_sync().unwrap();
+        assert_eq!(wal.pending_bytes(), 0);
+        // With nothing staged, group_sync is a no-op.
+        wal.group_sync().unwrap();
+        assert_eq!(Wal::recover(&path).unwrap().records, recs);
+
+        // A failed group fsync must drop exactly the staged batch.
+        let synced = wal.len().unwrap();
+        wal.append_no_sync(&recs[0]).unwrap();
+        wal.append_no_sync(&recs[1]).unwrap();
+        crate::fault::install(std::sync::Arc::new(crate::fault::FaultPlan::error_at(
+            "wal.group_fsync",
+            1,
+        )));
+        let err = wal.group_sync().unwrap_err();
+        crate::fault::clear();
+        assert!(err.to_string().contains("wal.group_fsync"), "{err}");
+        // The staged batch is gone; the fsynced prefix survives.
+        assert_eq!(wal.pending_bytes(), 0);
+        assert_eq!(wal.len().unwrap(), synced);
+        assert_eq!(Wal::recover(&path).unwrap().records, recs);
+        // The log is usable again after the error.
+        wal.append_no_sync(&recs[0]).unwrap();
+        wal.group_sync().unwrap();
+        assert_eq!(
+            Wal::recover(&path).unwrap().records.len(),
+            recs.len() + 1,
+            "post-error staging works"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -187,6 +187,50 @@ grep -A1 '^200 /history' <<<"$intro_out" | tail -1 >> "$intro_dir/bodies.jsonl"
 grep -q 'sampler_start' "$intro_dir/db/events.jsonl" \
   || die "introspection smoke: sampler_start not journaled"
 
+echo "==> TQuel service smoke (--serve / --connect over loopback)"
+svc_dir=$(mktemp -d)
+workdirs+=("$svc_dir")
+svc_log="$svc_dir/serve.log"
+# Hold the serving shell's stdin open on a fifo so it idles while the
+# client runs; closing fd 9 later gives it EOF and a clean shutdown.
+mkfifo "$svc_dir/stdin"
+./target/release/chronos --batch --serve 127.0.0.1:0 "$svc_dir/db" \
+  < "$svc_dir/stdin" > "$svc_log" 2>&1 &
+svc_pid=$!
+exec 9> "$svc_dir/stdin"
+svc_addr=""
+for _ in $(seq 1 100); do
+  svc_addr=$(sed -n 's/.*TQuel service at \([0-9.:]*\).*/\1/p' "$svc_log" | head -1)
+  [ -n "$svc_addr" ] && break
+  sleep 0.1
+done
+[ -n "$svc_addr" ] || die "service smoke: server never announced its address" "$(cat "$svc_log")"
+connect_out=$(./target/release/chronos --batch --connect "$svc_addr" <<'EOF'
+create faculty (name = str, rank = str) as temporal
+
+append to faculty (name = "Merrie", rank = "associate")
+
+range of f is faculty
+retrieve (f.name, f.rank)
+EOF
+) || die "service smoke: --connect batch replay failed" "$connect_out"
+grep -q 'Merrie' <<<"$connect_out" \
+  || die "service smoke: remote retrieve missing the committed row" "$connect_out"
+# A statement error over the wire must exit non-zero, like local batch.
+if echo 'retrieve (zzz.name)' | ./target/release/chronos --batch --connect "$svc_addr" >/dev/null 2>&1; then
+  die "service smoke: remote statement error did not exit non-zero"
+fi
+exec 9>&-
+wait "$svc_pid" || die "service smoke: serving shell exited non-zero" "$(cat "$svc_log")"
+# The commit arrived over the wire but must be durably on disk.
+svc_rows=$(./target/release/chronos --batch "$svc_dir/db" <<'EOF'
+range of f is faculty
+retrieve (f.name, f.rank)
+EOF
+) || die "service smoke: reopening the served database failed"
+grep -q 'Merrie' <<<"$svc_rows" \
+  || die "service smoke: remote commit not durable after shutdown" "$svc_rows"
+
 echo "==> negative checks (deliberate corruption must be caught)"
 neg_dir=$(mktemp -d)
 workdirs+=("$neg_dir")

@@ -1,0 +1,124 @@
+//! The TQuel network service end to end over loopback: many clients
+//! against one engine, snapshot semantics of pinned vs refreshing
+//! requests, error propagation, and clean shutdown.
+
+use std::sync::Arc;
+
+use chronos_core::chronon::Chronon;
+use chronos_core::clock::ManualClock;
+use chronos_db::{Database, Engine, QueryClient, QueryServer};
+
+fn serve_fresh() -> (Arc<Engine>, QueryServer) {
+    let clock = Arc::new(ManualClock::new(Chronon::new(0)));
+    let db = Database::in_memory(clock);
+    let engine = Engine::start(db);
+    engine
+        .session()
+        .run("create faculty (name = str, rank = str) as temporal")
+        .expect("create");
+    let server = QueryServer::serve(Arc::clone(&engine), "127.0.0.1:0").expect("serve");
+    (engine, server)
+}
+
+#[test]
+fn four_clients_replay_fifty_statements_each() {
+    let (engine, server) = serve_fresh();
+    let addr = server.addr().to_string();
+    let mut handles = Vec::new();
+    for c in 0..4 {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = QueryClient::connect(&addr).expect("connect");
+            assert!(client.ping().expect("ping"), "service answers ping");
+            for i in 0..50 {
+                let resp = if i % 5 == 4 {
+                    // Every fifth statement reads back through the
+                    // same connection's session.
+                    client
+                        .execute("range of f is faculty retrieve (f.name)")
+                        .expect("retrieve round trip")
+                } else {
+                    client
+                        .execute(&format!(
+                            r#"append to faculty (name = "c{c}s{i:02}", rank = "assistant")"#
+                        ))
+                        .expect("append round trip")
+                };
+                assert!(resp.ok, "statement {i} on client {c} failed: {}", resp.body);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    // 4 clients × 40 appends each actually committed.
+    let stats = engine.stats();
+    assert_eq!(stats.metrics.commits, 160);
+    let rows = engine
+        .session()
+        .query("range of f is faculty retrieve (f.name)")
+        .expect("final count")
+        .rows
+        .len();
+    assert_eq!(rows, 160);
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn pinned_requests_hold_their_snapshot_but_execute_refreshes() {
+    let (engine, server) = serve_fresh();
+    let addr = server.addr().to_string();
+    let mut reader = QueryClient::connect(&addr).expect("reader connect");
+    let mut writer = QueryClient::connect(&addr).expect("writer connect");
+    let q = "range of f is faculty retrieve (f.name)";
+    // Pin the reader's connection at the empty relation.
+    let before = reader.execute_pinned(q).expect("pin");
+    assert!(before.ok);
+    let resp = writer
+        .execute(r#"append to faculty (name = "Merrie", rank = "full")"#)
+        .expect("append");
+    assert!(resp.ok, "{}", resp.body);
+    // Pinned requests keep serving the old snapshot...
+    let pinned = reader.execute_pinned(q).expect("pinned read");
+    assert_eq!(pinned.body, before.body, "pinned snapshot moved");
+    // ...while a plain execute refreshes to the durable watermark.
+    let fresh = reader.execute(q).expect("refreshing read");
+    assert_ne!(fresh.body, before.body, "execute must see the commit");
+    assert!(fresh.body.contains("Merrie"));
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn service_reports_errors_without_dropping_the_connection() {
+    let (engine, server) = serve_fresh();
+    let addr = server.addr().to_string();
+    let mut client = QueryClient::connect(&addr).expect("connect");
+    let bad = client.execute("retrieve (f.name)").expect("round trip");
+    assert!(!bad.ok, "undeclared range variable must fail");
+    assert!(!bad.body.is_empty(), "error responses carry a message");
+    // The connection (and its session) survives the error.
+    let good = client
+        .execute(r#"append to faculty (name = "Ann", rank = "lecturer")"#)
+        .expect("round trip after error");
+    assert!(good.ok, "{}", good.body);
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_unblocks_connected_clients() {
+    let (engine, server) = serve_fresh();
+    let addr = server.addr().to_string();
+    let mut client = QueryClient::connect(&addr).expect("connect");
+    assert!(client.ping().expect("ping"));
+    server.shutdown();
+    // Further requests fail at the transport layer rather than hanging.
+    let outcome = client.ping();
+    assert!(
+        outcome.is_err() || !outcome.unwrap(),
+        "ping succeeded against a stopped server"
+    );
+    engine.shutdown();
+}
