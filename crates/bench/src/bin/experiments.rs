@@ -31,7 +31,14 @@
 //!   the disabled threshold (`u64::MAX`);
 //! * **T11** — temporal introspection: the background stats sampler's
 //!   overhead on the timeslice workload, and the latency of querying
-//!   the telemetry itself (`retrieve` over `sys$stats`).
+//!   the telemetry itself (`retrieve` over `sys$stats`);
+//! * **T12** — the concurrent MVCC query service: closed-loop snapshot
+//!   readers over loopback and group-commit write rounds;
+//! * **T13** — concurrency-aware observability: the full tracing +
+//!   telemetry stack (enabled recorder, per-statement trace ids, the
+//!   background sampler) priced against a disabled-recorder twin under
+//!   the 8-writer group-commit workload, with the writer-queue depth
+//!   trajectory and the per-stage commit latency decomposition.
 //!
 //! Set `EXPERIMENTS_ONLY=<ids>` (comma-separated, e.g. `T9,T10,T11`) to
 //! run a subset.
@@ -128,14 +135,19 @@ fn main() {
     if want("T12") {
         t12_concurrent_service();
     }
+    let mut t13_stats = None;
+    if want("T13") {
+        t13_stats = Some(t13_observability_overhead());
+    }
     if want("faults") {
         faults_matrix();
     }
-    if t9_rows.is_some() || t10_stats.is_some() || t11_stats.is_some() {
+    if t9_rows.is_some() || t10_stats.is_some() || t11_stats.is_some() || t13_stats.is_some() {
         write_bench_observability_json(
             t9_rows.as_deref().unwrap_or(&[]),
             t10_stats.as_ref(),
             t11_stats.as_ref(),
+            t13_stats.as_ref(),
         );
     }
     println!("\nDone.  These tables are recorded in EXPERIMENTS.md.");
@@ -1081,12 +1093,17 @@ fn t11_temporal_introspection() -> T11Stats {
     }
 }
 
-/// Emits the T9 sweep plus the T10/T11 stats as
+/// Emits the T9 sweep plus the T10/T11/T13 stats as
 /// `BENCH_observability.json`.  Hand-rolled JSON: the workspace
 /// deliberately has no serde.
-fn write_bench_observability_json(rows: &[ObsRow], t10: Option<&T10Stats>, t11: Option<&T11Stats>) {
-    let mut out = String::from("{\n  \"experiment\": \"T9+T10+T11\",\n");
-    out.push_str("  \"description\": \"replayed transactions per checkpoint interval; operational surface; temporal introspection\",\n");
+fn write_bench_observability_json(
+    rows: &[ObsRow],
+    t10: Option<&T10Stats>,
+    t11: Option<&T11Stats>,
+    t13: Option<&T13Stats>,
+) {
+    let mut out = String::from("{\n  \"experiment\": \"T9+T10+T11+T13\",\n");
+    out.push_str("  \"description\": \"replayed transactions per checkpoint interval; operational surface; temporal introspection; concurrency-aware observability\",\n");
     out.push_str("  \"source\": \"engine metrics registry + embedded HTTP exporter\",\n");
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -1119,6 +1136,32 @@ fn write_bench_observability_json(rows: &[ObsRow], t10: Option<&T10Stats>, t11: 
              \"samples_taken\": {}, \"telemetry_query_ns\": {}}}",
             t.iters, t.sampler_overhead_ratio, t.samples_taken, t.telemetry_query_ns
         ));
+    }
+    if let Some(t) = t13 {
+        out.push_str(&format!(
+            ",\n  \"t13\": {{\"writers\": {}, \"rounds\": {}, \"enabled_ms_median\": {:.1}, \
+             \"disabled_ms_median\": {:.1}, \"overhead_ratio\": {:.4}, \"queue_hwm\": {}, \
+             \"queue_depth_peak_sampled\": {}, \"queue_depth_samples\": {}, \"stages\": [",
+            t.writers,
+            t.rounds,
+            t.enabled_ms,
+            t.disabled_ms,
+            t.overhead_ratio,
+            t.queue_hwm,
+            t.queue_depth_peak_sampled,
+            t.queue_depth_samples,
+        ));
+        for (i, s) in t.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"stage\": \"{}\", \"samples\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                if i > 0 { ", " } else { "" },
+                s.name,
+                s.samples,
+                s.p50_ns,
+                s.p99_ns
+            ));
+        }
+        out.push_str("]}");
     }
     out.push_str("\n}\n");
     match std::fs::write("BENCH_observability.json", &out) {
@@ -1367,6 +1410,231 @@ fn t12_concurrent_service() {
     engine.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
     write_bench_concurrency_json(&reads, scaling, &writes, batch_p50, batch_p99);
+}
+
+// ---------------------------------------------------------------------
+// T13 — concurrency-aware observability: the tracing + telemetry stack
+// priced under the 8-writer group-commit workload (EXPERIMENTS_ONLY=T13)
+// ---------------------------------------------------------------------
+
+/// One per-stage row of the commit latency decomposition.
+struct T13StageRow {
+    name: &'static str,
+    samples: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// The T13 measurements (serialized to BENCH_observability.json).
+struct T13Stats {
+    writers: usize,
+    rounds: usize,
+    /// Median per-round wall time with the full observability stack on.
+    enabled_ms: f64,
+    /// The same workload against the disabled-recorder twin.
+    disabled_ms: f64,
+    /// enabled / disabled — the price of observing the engine.
+    overhead_ratio: f64,
+    queue_hwm: u64,
+    queue_depth_peak_sampled: u64,
+    queue_depth_samples: usize,
+    stages: Vec<T13StageRow>,
+}
+
+/// One group-commit write round: `writers` no-think sessions, 50
+/// commits each.  With `traced`, every statement carries a
+/// client-chosen trace id (the `--connect --trace-id` path).
+fn t13_write_round(
+    engine: &Arc<chronos_db::Engine>,
+    writers: usize,
+    traced: bool,
+    round: usize,
+) -> f64 {
+    const COMMITS_EACH: usize = 50;
+    let barrier = Arc::new(std::sync::Barrier::new(writers + 1));
+    let mut handles = Vec::new();
+    for w in 0..writers {
+        let engine = Arc::clone(engine);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut session = engine.session();
+            barrier.wait();
+            for j in 0..COMMITS_EACH {
+                if traced {
+                    session.set_trace_id(format!("t13-r{round}-w{w}-s{j:03}"));
+                }
+                session
+                    .run(&format!(
+                        r#"append to faculty (name = "r{round}w{w}b{j:03}", rank = "associate")"#
+                    ))
+                    .expect("writer append");
+            }
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn t13_observability_overhead() -> T13Stats {
+    heading(
+        "T13: concurrency-aware observability — tracing + telemetry under 8-writer group commit",
+    );
+    const WRITERS: usize = 8;
+    const ROUNDS: usize = 5;
+
+    // Two durable twins under target/: one with the default (enabled)
+    // recorder, client-chosen trace ids, and the background stats
+    // sampler — the full observability stack — and one whose recorder
+    // short-circuits every instrument.  Both pay the same real fsyncs.
+    let dir_on = std::path::PathBuf::from("target/t13-obs-on-db");
+    let dir_off = std::path::PathBuf::from("target/t13-obs-off-db");
+    let _ = std::fs::remove_dir_all(&dir_on);
+    let _ = std::fs::remove_dir_all(&dir_off);
+    let clock_on = Arc::new(ManualClock::new(Chronon::new(0)));
+    let mut db_on = Database::open(&dir_on, clock_on as _).expect("open t13 enabled db");
+    db_on
+        .start_stats_sampler(std::time::Duration::from_millis(25))
+        .expect("sampler");
+    let engine_on = chronos_db::Engine::start(db_on);
+    let clock_off = Arc::new(ManualClock::new(Chronon::new(0)));
+    let obs_off = chronos_db::ObsBootstrap::disabled();
+    let db_off =
+        Database::open_with_obs(&dir_off, clock_off as _, &obs_off).expect("open t13 disabled db");
+    let engine_off = chronos_db::Engine::start(db_off);
+    for engine in [&engine_on, &engine_off] {
+        engine
+            .session()
+            .run("create faculty (name = str, rank = str) as temporal")
+            .expect("create");
+    }
+
+    // Poll the writer-queue depth gauge on the observed twin while its
+    // rounds run: the trajectory the dashboards would graph.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let poller = {
+        let (engine, stop) = (Arc::clone(&engine_on), Arc::clone(&stop));
+        std::thread::spawn(move || -> Vec<u64> {
+            let mut depths = Vec::new();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                depths.push(engine.stats().metrics.commit_queue_depth);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            depths
+        })
+    };
+
+    // One uncounted warmup pair, then paired rounds; the ratio of
+    // medians absorbs fsync jitter better than per-pair ratios.
+    t13_write_round(&engine_on, WRITERS, true, 99);
+    t13_write_round(&engine_off, WRITERS, false, 99);
+    let (mut on_ms, mut off_ms) = (Vec::new(), Vec::new());
+    for r in 0..ROUNDS {
+        on_ms.push(t13_write_round(&engine_on, WRITERS, true, r));
+        off_ms.push(t13_write_round(&engine_off, WRITERS, false, r));
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let depths = poller.join().expect("queue-depth poller");
+
+    // A few reads so the read-side contention timer has samples too.
+    {
+        let mut s = engine_on.session();
+        for _ in 0..10 {
+            s.refresh();
+            s.query("range of f is faculty retrieve (f.name)")
+                .expect("read round");
+        }
+    }
+
+    let median = |v: &mut Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    let enabled_ms = median(&mut on_ms);
+    let disabled_ms = median(&mut off_ms);
+    let ratio = enabled_ms / disabled_ms.max(1e-9);
+
+    let stats = engine_on.stats();
+    let m = &stats.metrics;
+    assert!(
+        m.commit_queue_hwm > 0,
+        "8 writers never made the commit queue nonempty"
+    );
+    let stages: Vec<T13StageRow> = [
+        ("commit_queue_wait", &m.commit_queue_wait),
+        ("commit_lock_wait", &m.commit_lock_wait),
+        ("commit_apply", &m.commit_apply),
+        ("commit_fsync", &m.commit_fsync),
+        ("commit_ack", &m.commit_ack),
+        ("read_lock_wait", &m.read_lock_wait),
+    ]
+    .into_iter()
+    .map(|(name, h)| T13StageRow {
+        name,
+        samples: h.samples,
+        p50_ns: h.percentile(50.0).unwrap_or(0),
+        p99_ns: h.percentile(99.0).unwrap_or(0),
+    })
+    .collect();
+    for s in &stages {
+        // The read-side timer only fires on retrieves (checked above);
+        // every commit-side stage must have fired during the rounds.
+        assert!(
+            s.samples > 0,
+            "stage {} recorded no samples under the write rounds",
+            s.name
+        );
+    }
+    assert!(
+        engine_off.stats().metrics.is_zero(),
+        "the disabled twin recorded metrics"
+    );
+
+    println!(
+        "{:>8} | {:>12} | {:>13} | {:>8}",
+        "writers", "enabled ms", "disabled ms", "ratio"
+    );
+    println!("{WRITERS:>8} | {enabled_ms:>12.1} | {disabled_ms:>13.1} | {ratio:>8.3}");
+    assert!(
+        ratio < 1.05,
+        "observability overhead {ratio:.3} exceeds the 5% budget"
+    );
+    println!("tracing + telemetry overhead ratio {ratio:.3} — within budget (<1.05)");
+    let peak_sampled = depths.iter().copied().max().unwrap_or(0);
+    println!(
+        "writer queue: high-watermark {} (gauge), peak {} over {} sampled depths",
+        m.commit_queue_hwm,
+        peak_sampled,
+        depths.len()
+    );
+    println!("commit latency decomposition (enabled twin):");
+    for s in &stages {
+        println!(
+            "  {:>18}: {:>8} sample(s)  p50 {:>9} ns  p99 {:>9} ns",
+            s.name, s.samples, s.p50_ns, s.p99_ns
+        );
+    }
+
+    let queue_depth_samples = depths.len();
+    let t13 = T13Stats {
+        writers: WRITERS,
+        rounds: ROUNDS,
+        enabled_ms,
+        disabled_ms,
+        overhead_ratio: ratio,
+        queue_hwm: m.commit_queue_hwm,
+        queue_depth_peak_sampled: peak_sampled,
+        queue_depth_samples,
+        stages,
+    };
+    engine_on.shutdown();
+    engine_off.shutdown();
+    let _ = std::fs::remove_dir_all(&dir_on);
+    let _ = std::fs::remove_dir_all(&dir_off);
+    t13
 }
 
 /// Emits the T12 sweep as `BENCH_concurrency.json` (hand-rolled JSON,

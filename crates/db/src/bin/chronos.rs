@@ -23,6 +23,12 @@
 //! --connect ADDR           be a client of a running `--serve` instance
 //!                          instead of opening a database: statements
 //!                          are shipped to the server, results printed
+//! --trace-id ID            (with --connect) stamp every shipped batch
+//!                          with this trace id instead of letting the
+//!                          server mint one — the id the server echoes
+//!                          back is printed to stderr, and the same id
+//!                          appears in the server's slow-query log,
+//!                          `sys$sessions`, and events journal
 //! --obs-addr ADDR          serve /metrics /stats /slow /healthz /readyz
 //!                          on ADDR (e.g. 127.0.0.1:0); the bound
 //!                          address is printed to stderr.  For durable
@@ -49,6 +55,7 @@
 //! \now               show the database clock
 //! \advance mm/dd/yy  move the clock forward (great for replaying the paper)
 //! \stats             engine counters (Prometheus text exposition)
+//! \sessions          live sessions and connections (who is pinned where)
 //! \slow              the slow-query log (captured profiles)
 //! \sample            take one telemetry sample now (into sys$stats)
 //! \top               top operators by time over the recent span ring
@@ -75,6 +82,7 @@ struct Args {
     batch: bool,
     serve_addr: Option<String>,
     connect_addr: Option<String>,
+    trace_id: Option<String>,
     obs_addr: Option<String>,
     slow_threshold_ns: Option<u64>,
     sample_interval_ms: Option<u64>,
@@ -87,6 +95,7 @@ impl Args {
             batch: false,
             serve_addr: None,
             connect_addr: None,
+            trace_id: None,
             obs_addr: None,
             slow_threshold_ns: None,
             sample_interval_ms: None,
@@ -102,6 +111,13 @@ impl Args {
                 "--connect" => {
                     let addr = it.next().ok_or("--connect takes an address")?;
                     args.connect_addr = Some(addr.clone());
+                }
+                "--trace-id" => {
+                    let id = it.next().ok_or("--trace-id takes an id")?;
+                    if id.is_empty() || id.len() > 255 {
+                        return Err("--trace-id must be 1..=255 bytes".into());
+                    }
+                    args.trace_id = Some(id.clone());
                 }
                 "--obs-addr" => {
                     let addr = it.next().ok_or("--obs-addr takes an address")?;
@@ -168,6 +184,9 @@ impl Args {
         if args.connect_addr.is_some() && (args.serve_addr.is_some() || args.dir.is_some()) {
             return Err("--connect opens no database (drop --serve / the dir argument)".into());
         }
+        if args.trace_id.is_some() && args.connect_addr.is_none() {
+            return Err("--trace-id only applies to --connect mode".into());
+        }
         Ok(Some(args))
     }
 }
@@ -185,7 +204,7 @@ fn main() {
             eprintln!(
                 "usage: chronos [--batch] [--serve ADDR] [--obs-addr ADDR] [--slow-threshold-ns N] [--sample-interval-ms N] [dir]"
             );
-            eprintln!("       chronos [--batch] --connect ADDR");
+            eprintln!("       chronos [--batch] --connect ADDR [--trace-id ID]");
             eprintln!("       chronos --get ADDR PATH");
             eprintln!("       chronos --check-jsonl FILE");
             std::process::exit(1);
@@ -201,7 +220,15 @@ fn main() {
             }
         };
         eprintln!("connected to chronos service at {addr}");
-        let had_error = repl(Shell::Connect(client), None, &None, !args.batch);
+        let had_error = repl(
+            Shell::Connect {
+                client,
+                trace_id: args.trace_id.clone(),
+            },
+            None,
+            &None,
+            !args.batch,
+        );
         if args.batch && had_error {
             std::process::exit(1);
         }
@@ -331,7 +358,10 @@ enum Shell<'a> {
         session: chronos_db::EngineSession,
         engine: Arc<Engine>,
     },
-    Connect(QueryClient),
+    Connect {
+        client: QueryClient,
+        trace_id: Option<String>,
+    },
 }
 
 impl Shell<'_> {
@@ -363,19 +393,28 @@ impl Shell<'_> {
                     }
                 }
             }
-            Shell::Connect(client) => match client.execute(src) {
-                Ok(response) => {
-                    print!("{}", response.body);
-                    if !response.ok {
-                        eprintln!("error: {}", response.body.trim_end());
+            Shell::Connect { client, trace_id } => {
+                let result = match trace_id {
+                    Some(id) => client.execute_traced(src, id),
+                    None => client.execute(src),
+                };
+                match result {
+                    Ok(response) => {
+                        if trace_id.is_some() {
+                            eprintln!("  [trace {}]", response.trace_id);
+                        }
+                        print!("{}", response.body);
+                        if !response.ok {
+                            eprintln!("error: {}", response.body.trim_end());
+                        }
+                        response.ok
                     }
-                    response.ok
+                    Err(e) => {
+                        eprintln!("error: connection failed: {e}");
+                        false
+                    }
                 }
-                Err(e) => {
-                    eprintln!("error: connection failed: {e}");
-                    false
-                }
-            },
+            }
         }
     }
 
@@ -385,7 +424,7 @@ impl Shell<'_> {
         match self {
             Shell::Local(session) => Some(f(session.database())),
             Shell::Serve { engine, .. } => Some(engine.with_db(f)),
-            Shell::Connect(_) => None,
+            Shell::Connect { .. } => None,
         }
     }
 
@@ -393,7 +432,7 @@ impl Shell<'_> {
         match self {
             Shell::Local(session) => Some(session.database().checkpoint()),
             Shell::Serve { engine, .. } => Some(engine.checkpoint()),
-            Shell::Connect(_) => None,
+            Shell::Connect { .. } => None,
         }
     }
 }
@@ -470,6 +509,15 @@ fn repl(
                     Some(stats) => print!("{stats}"),
                     None => eprintln!("  \\stats is not available over --connect"),
                 },
+                Some("\\sessions") => match shell.with_db(|db| {
+                    render_sessions(
+                        db.session_registry().sessions(),
+                        db.session_registry().connections(),
+                    )
+                }) {
+                    Some(listing) => print!("{listing}"),
+                    None => eprintln!("  \\sessions is not available over --connect"),
+                },
                 Some("\\slow") => match shell.with_db(|db| db.recorder().slowlog().render()) {
                     Some(slow) => print!("{slow}"),
                     None => eprintln!("  \\slow is not available over --connect"),
@@ -500,7 +548,7 @@ fn repl(
                     (None, _) => eprintln!("  no exporter (start with --obs-addr ADDR)"),
                     (_, None) => eprintln!("usage: \\obs /healthz"),
                 },
-                Some(other) => eprintln!("unknown command {other} (try \\d, \\now, \\advance, \\checkpoint, \\stats, \\slow, \\sample, \\top, \\obs, \\q)"),
+                Some(other) => eprintln!("unknown command {other} (try \\d, \\now, \\advance, \\checkpoint, \\stats, \\sessions, \\slow, \\sample, \\top, \\obs, \\q)"),
                 None => {}
             }
         } else if trimmed.is_empty() {
@@ -521,6 +569,47 @@ fn repl(
         had_error |= !shell.execute(&buffer);
     }
     had_error
+}
+
+/// Renders the live session/connection registry (the `\sessions` twin
+/// of the exporter's `/sessions` endpoint and the `sys$sessions` /
+/// `sys$connections` system relations).
+fn render_sessions(
+    sessions: Vec<chronos_db::SessionRow>,
+    connections: Vec<chronos_db::ConnRow>,
+) -> String {
+    let mut out = String::new();
+    if sessions.is_empty() {
+        out.push_str("  (no live sessions)\n");
+    } else {
+        out.push_str("  session      pin  statements      idle  trace\n");
+        for s in &sessions {
+            out.push_str(&format!(
+                "  {:>7}  {:>7}  {:>10}  {:>6}ms  {}\n",
+                s.session_id,
+                s.pin_ticks,
+                s.statements,
+                s.idle_ns / 1_000_000,
+                if s.trace_id.is_empty() {
+                    "-"
+                } else {
+                    &s.trace_id
+                },
+            ));
+        }
+    }
+    if connections.is_empty() {
+        out.push_str("  (no network connections)\n");
+    } else {
+        out.push_str("  conn  session  requests    bytes in   bytes out  peer\n");
+        for c in &connections {
+            out.push_str(&format!(
+                "  {:>4}  {:>7}  {:>8}  {:>10}  {:>10}  {}\n",
+                c.conn_id, c.session_id, c.requests, c.bytes_in, c.bytes_out, c.peer
+            ));
+        }
+    }
+    out
 }
 
 /// Aggregates the recorder's span ring into a "top operators" table:

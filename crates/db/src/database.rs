@@ -31,7 +31,8 @@ use crate::cache::{CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
 use crate::introspect::{
-    is_system, system_info, CatalogRow, StatsSampler, TelemetryStats, TelemetryStore,
+    is_system, system_info, CatalogRow, SessionRegistry, StatsSampler, TelemetryStats,
+    TelemetryStore,
 };
 use crate::observe::{DbObsSource, ObsBootstrap};
 use crate::relation::Relation;
@@ -62,6 +63,10 @@ pub struct Database {
     /// Sample rings backing the `sys$stats` / `sys$relations` system
     /// relations; `Arc`-shared with the sampler and the HTTP exporter.
     telemetry: Arc<TelemetryStore>,
+    /// Live session/connection registry backing `sys$sessions` and
+    /// `sys$connections`; `Arc`-shared with the engine, the TQuel
+    /// service, and the HTTP exporter (`/sessions`).
+    registry: Arc<SessionRegistry>,
     /// The background stats sampler, when started.
     sampler: Option<StatsSampler>,
 }
@@ -81,6 +86,7 @@ impl Database {
             health: Arc::new(Health::ready_now()),
             clock,
             telemetry: Arc::new(TelemetryStore::default()),
+            registry: Arc::new(SessionRegistry::default()),
             sampler: None,
         };
         db.record_catalog_sample(db.txn.peek_now());
@@ -218,6 +224,7 @@ impl Database {
             health: Arc::clone(&obs.health),
             clock,
             telemetry,
+            registry: Arc::clone(&obs.registry),
             sampler: None,
         };
         db.record_catalog_sample(db.txn.peek_now());
@@ -507,6 +514,7 @@ impl Database {
                 health: Arc::clone(&self.health),
                 cache: Arc::clone(&self.cache),
                 telemetry: Arc::clone(&self.telemetry),
+                registry: Arc::clone(&self.registry),
             }),
         )
     }
@@ -642,6 +650,12 @@ impl Database {
         &self.telemetry
     }
 
+    /// The session/connection registry backing `sys$sessions` and
+    /// `sys$connections`.
+    pub fn session_registry(&self) -> &Arc<SessionRegistry> {
+        &self.registry
+    }
+
     /// Takes one stats + catalog sample right now, at the transaction
     /// time the next commit would receive.  Returns that chronon.  The
     /// deterministic counterpart of the background sampler (tests and
@@ -651,6 +665,7 @@ impl Database {
         let stats = self.engine_stats();
         self.telemetry.record_stats(at, &stats);
         self.record_catalog_sample(at);
+        self.registry.record_sample(at);
         at
     }
 
@@ -688,6 +703,7 @@ impl Database {
             Arc::clone(&self.health),
             Arc::clone(&self.cache),
             Arc::clone(&self.telemetry),
+            Arc::clone(&self.registry),
             Arc::clone(&self.clock),
         )?;
         self.sampler = Some(sampler);
@@ -719,6 +735,11 @@ impl Database {
         let rows = match relation {
             "sys$stats" => self.telemetry.stats_scan(as_of),
             "sys$relations" => self.telemetry.catalog_scan(as_of),
+            "sys$sessions" => self.registry.sessions_scan(as_of),
+            "sys$connections" => {
+                reject_system_as_of(relation, as_of)?;
+                self.registry.connections_scan()
+            }
             "sys$slow" => {
                 reject_system_as_of(relation, as_of)?;
                 self.recorder

@@ -48,6 +48,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::SyncSender;
 use std::sync::{mpsc, Arc, Condvar, Mutex as StdMutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use chronos_core::chronon::Chronon;
 use chronos_core::relation::HistoricalOp;
@@ -56,6 +57,7 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::database::{Database, EngineStats};
 use crate::error::{DbError, DbResult};
+use crate::introspect::SessionRegistry;
 use crate::session::{Session, SessionBackend};
 use chronos_tquel::ast::Retrieve;
 use chronos_tquel::exec::{execute_retrieve_traced, ResultRelation};
@@ -82,6 +84,9 @@ enum WriterReq {
         relation: String,
         ops: Vec<HistoricalOp>,
         reply: SyncSender<DbResult<Chronon>>,
+        /// When the submitter enqueued the request; the writer records
+        /// the dequeue delta into the `commit_queue_wait` histogram.
+        enqueued: Instant,
     },
     /// An operation that must run alone (DDL, materialize,
     /// checkpoint); the closure owns its own reply channel.
@@ -110,6 +115,9 @@ pub struct Engine {
     /// Last fsync-covered commit time — what new sessions pin.
     durable: Mutex<Option<Chronon>>,
     recorder: Arc<Recorder>,
+    /// Live session/connection introspection, shared with the wrapped
+    /// database (`sys$sessions`) and the TQuel service.
+    registry: Arc<SessionRegistry>,
     writer: StdMutex<Option<JoinHandle<()>>>,
     stopped: AtomicBool,
 }
@@ -118,6 +126,7 @@ impl Engine {
     /// Wraps `db` and starts the group-commit writer thread.
     pub fn start(db: Database) -> Arc<Engine> {
         let recorder = Arc::clone(db.recorder());
+        let registry = Arc::clone(db.session_registry());
         let durable = db.last_commit_time();
         let engine = Arc::new(Engine {
             db: RwLock::new(db),
@@ -129,6 +138,7 @@ impl Engine {
             cond: Condvar::new(),
             durable: Mutex::new(durable),
             recorder,
+            registry,
             writer: StdMutex::new(None),
             stopped: AtomicBool::new(false),
         });
@@ -146,10 +156,18 @@ impl Engine {
     pub fn session(self: &Arc<Engine>) -> EngineSession {
         self.recorder.count(|m| &m.sessions_opened);
         let pin = self.durable.lock().unwrap_or_else(empty_pin);
+        let session_id = self.registry.register_session(pin.ticks());
         Session::with_backend(EngineBackend {
             engine: Arc::clone(self),
             pin,
+            session_id,
         })
+    }
+
+    /// The live session/connection registry (`sys$sessions`,
+    /// `/sessions`, and the TQuel service's connection accounting).
+    pub fn session_registry(&self) -> &Arc<SessionRegistry> {
+        &self.registry
     }
 
     /// The last commit covered by an fsync (what a new session pins).
@@ -184,6 +202,7 @@ impl Engine {
             relation: relation.to_string(),
             ops: ops.to_vec(),
             reply,
+            enqueued: Instant::now(),
         })?;
         rx.recv()
             .map_err(|_| DbError::Service("write service stopped before acknowledging".into()))?
@@ -218,6 +237,7 @@ impl Engine {
             .state
             .lock()
             .expect("writer state poisoned (writer thread panicked)");
+        let mut stalled = false;
         loop {
             if let Some(msg) = &st.poisoned {
                 return Err(DbError::Service(format!(
@@ -230,12 +250,20 @@ impl Engine {
             if st.queue.len() < SUBMISSION_QUEUE_CAP {
                 break;
             }
+            // Backpressure: counted once per blocked submission, not
+            // once per condvar wakeup.
+            if !stalled {
+                stalled = true;
+                self.recorder.count(|m| &m.submit_stalls);
+            }
             st = self
                 .cond
                 .wait(st)
                 .expect("writer state poisoned (writer thread panicked)");
         }
         st.queue.push_back(req);
+        self.recorder
+            .set_gauge(|m| &m.commit_queue_depth, st.queue.len() as u64);
         drop(st);
         self.cond.notify_all();
         Ok(())
@@ -294,10 +322,22 @@ impl Engine {
                         break;
                     }
                 }
+                self.recorder
+                    .set_gauge(|m| &m.commit_queue_depth, st.queue.len() as u64);
                 batch
             };
             // Producers blocked on a full queue can move again.
             self.cond.notify_all();
+            // Queue-wait decomposition: submit → drain, per request.
+            let drained_at = Instant::now();
+            for req in &batch {
+                if let WriterReq::Commit { enqueued, .. } = req {
+                    self.recorder.record_latency(
+                        |m| &m.commit_queue_wait,
+                        drained_at.duration_since(*enqueued).as_nanos() as u64,
+                    );
+                }
+            }
             match batch.first() {
                 Some(WriterReq::Exclusive { .. }) => {
                     for req in batch {
@@ -328,13 +368,20 @@ impl Engine {
         let mut applied = 0u64;
         let mut max_tx: Option<Chronon> = None;
         let wal = {
+            let lock_started = Instant::now();
             let mut db = self.db.write();
+            self.recorder.record_latency(
+                |m| &m.commit_lock_wait,
+                lock_started.elapsed().as_nanos() as u64,
+            );
+            let apply_started = Instant::now();
             let wal = db.wal_handle();
             for req in batch {
                 let WriterReq::Commit {
                     relation,
                     ops,
                     reply,
+                    ..
                 } = req
                 else {
                     unreachable!("commit group contains only commits");
@@ -349,11 +396,23 @@ impl Engine {
                 }
                 acks.push((reply, result));
             }
+            self.recorder.record_latency(
+                |m| &m.commit_apply,
+                apply_started.elapsed().as_nanos() as u64,
+            );
             wal
             // Write lock drops here: readers resume while we fsync.
         };
+        let fsync_started = Instant::now();
         let sync_result = match (&wal, applied) {
-            (Some(wal), n) if n > 0 => wal.lock().group_sync().map_err(DbError::Storage),
+            (Some(wal), n) if n > 0 => {
+                let r = wal.lock().group_sync().map_err(DbError::Storage);
+                self.recorder.record_latency(
+                    |m| &m.commit_fsync,
+                    fsync_started.elapsed().as_nanos() as u64,
+                );
+                r
+            }
             _ => Ok(()),
         };
         match sync_result {
@@ -380,9 +439,12 @@ impl Engine {
                         ],
                     );
                 }
+                let ack_started = Instant::now();
                 for (reply, result) in acks {
                     let _ = reply.send(result);
                 }
+                self.recorder
+                    .record_latency(|m| &m.commit_ack, ack_started.elapsed().as_nanos() as u64);
             }
             Err(e) => {
                 // The staged frames are gone from the log but applied
@@ -427,11 +489,25 @@ pub struct EngineBackend {
     /// The session's transaction-time snapshot: scans of relations
     /// with transaction time are clamped to `<= pin`.
     pin: Chronon,
+    /// Registry id (`sys$sessions` row key).
+    session_id: u64,
 }
 
 impl EngineBackend {
     fn pinned<'a>(&self, db: &'a Database) -> PinnedProvider<'a> {
         PinnedProvider { db, pin: self.pin }
+    }
+
+    /// Takes the core's read lock, recording the acquisition wait into
+    /// the `read_lock_wait` histogram (read-side contention with the
+    /// group-commit writer).
+    fn read_db(&self) -> parking_lot::RwLockReadGuard<'_, Database> {
+        let started = Instant::now();
+        let db = self.engine.db.read();
+        self.engine
+            .recorder
+            .record_latency(|m| &m.read_lock_wait, started.elapsed().as_nanos() as u64);
+        db
     }
 }
 
@@ -453,14 +529,27 @@ impl SessionBackend for EngineBackend {
         // Read-your-writes: the session's snapshot advances to cover
         // its own (now durable) commit.
         self.pin = self.pin.max(t);
+        self.engine
+            .registry
+            .session_refreshed(self.session_id, self.pin.ticks());
         Ok(t)
+    }
+
+    fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    fn note_statement(&self, trace_id: &str) {
+        self.engine
+            .registry
+            .note_statement(self.session_id, trace_id);
     }
 
     fn scan_latest(&self, relation: &str) -> DbResult<Vec<SourceRow>> {
         // Modification lowering reads the *latest* state (read
         // committed): a delete must close the facts that exist now,
         // not the ones the snapshot remembers.
-        let db = self.engine.db.read();
+        let db = self.read_db();
         let rel = db
             .relation(relation)
             .ok_or_else(|| DbError::Catalog(format!("unknown relation {relation:?}")))?;
@@ -473,7 +562,7 @@ impl SessionBackend for EngineBackend {
         ranges: &std::collections::HashMap<String, String>,
         recorder: Option<&Recorder>,
     ) -> TquelResult<ResultRelation> {
-        let db = self.engine.db.read();
+        let db = self.read_db();
         let provider = self.pinned(&db);
         match recorder {
             Some(r) => execute_retrieve_traced(stmt, ranges, &provider, r),
@@ -514,6 +603,7 @@ impl SessionBackend for EngineBackend {
 
 impl Drop for EngineBackend {
     fn drop(&mut self) {
+        self.engine.registry.deregister_session(self.session_id);
         self.engine.recorder.count(|m| &m.sessions_closed);
     }
 }
@@ -534,6 +624,15 @@ impl Session<EngineBackend> {
             .unwrap_or_else(empty_pin);
         let backend = self.backend_mut();
         backend.pin = backend.pin.max(durable);
+        backend
+            .engine
+            .registry
+            .session_refreshed(backend.session_id, backend.pin.ticks());
+    }
+
+    /// The session's registry id (the `sys$sessions` row key).
+    pub fn session_id(&self) -> u64 {
+        self.backend().session_id
     }
 
     /// The engine this session talks to.

@@ -7,12 +7,14 @@
 //! namespace, so operators ask "what was the cache hit rate as of
 //! yesterday" in TQuel itself:
 //!
-//! | relation        | class            | contents                           |
-//! |-----------------|------------------|------------------------------------|
-//! | `sys$stats`     | temporal (event) | sampled `engine_stats()` counters  |
-//! | `sys$relations` | static rollback  | catalog history (name/class/sizes) |
-//! | `sys$slow`      | historical (event)| slow-query admissions             |
-//! | `sys$events`    | static           | tail of the JSONL event journal    |
+//! | relation          | class            | contents                           |
+//! |-------------------|------------------|------------------------------------|
+//! | `sys$stats`       | temporal (event) | sampled `engine_stats()` counters  |
+//! | `sys$relations`   | static rollback  | catalog history (name/class/sizes) |
+//! | `sys$slow`        | historical (event)| slow-query admissions             |
+//! | `sys$events`      | static           | tail of the JSONL event journal    |
+//! | `sys$sessions`    | static rollback  | live + sampled session state       |
+//! | `sys$connections` | static           | live network connections           |
 //!
 //! `sys$stats` rows carry both timestamps: validity is the sampling
 //! event, and the transaction period of sample *i* is
@@ -26,7 +28,7 @@
 //! with optional JSONL spill beside the WAL; the [`StatsSampler`] is
 //! the background thread that feeds it on a configurable interval.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -352,6 +354,312 @@ impl TelemetryStore {
     }
 }
 
+/// One registered session's state, as reported by `sys$sessions`,
+/// `/sessions`, and the CLI's `\sessions`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRow {
+    /// Engine-unique session id (1-based; 0 means "unregistered").
+    pub session_id: u64,
+    /// The snapshot pin watermark, in chronon ticks.
+    pub pin_ticks: i64,
+    /// Statements executed by this session so far.
+    pub statements: u64,
+    /// Nanoseconds since the session last executed a statement (or was
+    /// opened).  Frozen at sampling time in sampled rows.
+    pub idle_ns: u64,
+    /// Trace id of the session's most recent statement (empty before
+    /// the first one).
+    pub trace_id: String,
+}
+
+/// One live network connection, as reported by `sys$connections`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnRow {
+    /// Server-unique connection id (1-based).
+    pub conn_id: u64,
+    /// Peer address as reported by the listener.
+    pub peer: String,
+    /// The engine session serving this connection.
+    pub session_id: u64,
+    /// Frames handled on this connection (executes + pings + errors).
+    pub requests: u64,
+    /// Payload bytes received on this connection.
+    pub bytes_in: u64,
+    /// Payload bytes sent on this connection.
+    pub bytes_out: u64,
+}
+
+struct LiveSession {
+    pin_ticks: i64,
+    statements: u64,
+    last_active: std::time::Instant,
+    trace_id: String,
+}
+
+/// The session samples ring entry: every registered session's state at
+/// one transaction-time coordinate.
+struct SessionSample {
+    at: Chronon,
+    rows: Vec<SessionRow>,
+}
+
+/// Live registry of engine sessions and network connections, with a
+/// bounded sample ring giving `sys$sessions` a rollback (`as of`) view.
+///
+/// `Arc`-shared between the `Database` (scans, sampling), the `Engine`
+/// (session registration), the TQuel service (connection registration),
+/// and the HTTP exporter (`/sessions`).  Everything here is
+/// diagnostic: the registry never fails an engine operation.
+pub struct SessionRegistry {
+    next_session: AtomicU64,
+    next_conn: AtomicU64,
+    sessions: Mutex<BTreeMap<u64, LiveSession>>,
+    connections: Mutex<BTreeMap<u64, ConnRow>>,
+    samples: Mutex<VecDeque<SessionSample>>,
+    capacity: usize,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new(DEFAULT_TELEMETRY_CAPACITY)
+    }
+}
+
+impl SessionRegistry {
+    /// A registry retaining up to `capacity` session samples.
+    pub fn new(capacity: usize) -> SessionRegistry {
+        SessionRegistry {
+            next_session: AtomicU64::new(1),
+            next_conn: AtomicU64::new(1),
+            sessions: Mutex::new(BTreeMap::new()),
+            connections: Mutex::new(BTreeMap::new()),
+            samples: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Registers a new session pinned at `pin_ticks`; returns its id.
+    pub fn register_session(&self, pin_ticks: i64) -> u64 {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions.lock().insert(
+            id,
+            LiveSession {
+                pin_ticks,
+                statements: 0,
+                last_active: std::time::Instant::now(),
+                trace_id: String::new(),
+            },
+        );
+        id
+    }
+
+    /// Updates a session's pin watermark (snapshot refresh).
+    pub fn session_refreshed(&self, id: u64, pin_ticks: i64) {
+        if let Some(s) = self.sessions.lock().get_mut(&id) {
+            s.pin_ticks = pin_ticks;
+        }
+    }
+
+    /// Records one executed statement under `trace_id`.
+    pub fn note_statement(&self, id: u64, trace_id: &str) {
+        if let Some(s) = self.sessions.lock().get_mut(&id) {
+            s.statements += 1;
+            s.last_active = std::time::Instant::now();
+            s.trace_id = trace_id.to_string();
+        }
+    }
+
+    /// Removes a closed session from the live table (samples keep it).
+    pub fn deregister_session(&self, id: u64) {
+        self.sessions.lock().remove(&id);
+    }
+
+    /// Registers a network connection serving `session_id`; returns its
+    /// connection id.
+    pub fn register_connection(&self, peer: String, session_id: u64) -> u64 {
+        let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        self.connections.lock().insert(
+            id,
+            ConnRow {
+                conn_id: id,
+                peer,
+                session_id,
+                requests: 0,
+                bytes_in: 0,
+                bytes_out: 0,
+            },
+        );
+        id
+    }
+
+    /// Adds one handled frame's traffic to a connection's totals.
+    pub fn record_conn_io(&self, id: u64, bytes_in: u64, bytes_out: u64) {
+        if let Some(c) = self.connections.lock().get_mut(&id) {
+            c.requests += 1;
+            c.bytes_in += bytes_in;
+            c.bytes_out += bytes_out;
+        }
+    }
+
+    /// Removes a closed connection from the live table.
+    pub fn deregister_connection(&self, id: u64) {
+        self.connections.lock().remove(&id);
+    }
+
+    /// Live session rows, id order.
+    pub fn sessions(&self) -> Vec<SessionRow> {
+        self.sessions
+            .lock()
+            .iter()
+            .map(|(&id, s)| SessionRow {
+                session_id: id,
+                pin_ticks: s.pin_ticks,
+                statements: s.statements,
+                idle_ns: s.last_active.elapsed().as_nanos() as u64,
+                trace_id: s.trace_id.clone(),
+            })
+            .collect()
+    }
+
+    /// Live connection rows, id order.
+    pub fn connections(&self) -> Vec<ConnRow> {
+        self.connections.lock().values().cloned().collect()
+    }
+
+    /// Records every live session's state at transaction time `at`
+    /// (same newest-wins clamping as the telemetry rings), giving the
+    /// `as of` view its coordinates.
+    pub fn record_sample(&self, at: Chronon) {
+        let rows = self.sessions();
+        let mut ring = self.samples.lock();
+        if let Some(last) = ring.back_mut() {
+            if at <= last.at {
+                let at = last.at;
+                *last = SessionSample { at, rows };
+                return;
+            }
+        }
+        ring.push_back(SessionSample { at, rows });
+        if ring.len() > self.capacity {
+            ring.pop_front();
+        }
+    }
+
+    /// The `sys$sessions` scan.  Current state reads the live table;
+    /// `as of` reads the sample ring with the same currency-period
+    /// semantics as `sys$stats` (`[at_i, at_{i+1})`, newest to
+    /// forever).  Rollback semantics: rows come back pure static.
+    pub fn sessions_scan(&self, as_of: Option<&AsOfSpec>) -> Vec<SourceRow> {
+        let rows: Vec<SessionRow> = match as_of {
+            None => self.sessions(),
+            Some(AsOfSpec::At(t)) => {
+                let ring = self.samples.lock();
+                ring.iter()
+                    .rev()
+                    .find(|s| s.at <= *t)
+                    .map(|s| s.rows.clone())
+                    .unwrap_or_default()
+            }
+            Some(AsOfSpec::Through(t1, t2)) => {
+                let window = Period::clamped(*t1, t2.succ());
+                let ring = self.samples.lock();
+                let periods = periods_of(ring.iter().map(|s| s.at));
+                let mut out: Vec<SessionRow> = Vec::new();
+                for (s, p) in ring.iter().zip(periods) {
+                    if p.overlaps(window) {
+                        for row in &s.rows {
+                            if !out.contains(row) {
+                                out.push(row.clone());
+                            }
+                        }
+                    }
+                }
+                out
+            }
+        };
+        rows.iter()
+            .map(|r| SourceRow {
+                tuple: Tuple::new(vec![
+                    Value::Int(r.session_id.min(i64::MAX as u64) as i64),
+                    Value::Int(r.pin_ticks),
+                    Value::Int(r.statements.min(i64::MAX as u64) as i64),
+                    Value::Int(r.idle_ns.min(i64::MAX as u64) as i64),
+                    Value::str(&r.trace_id),
+                ]),
+                validity: None,
+                tx: None,
+            })
+            .collect()
+    }
+
+    /// The `sys$connections` scan (live only; connections have no
+    /// sampled history).
+    pub fn connections_scan(&self) -> Vec<SourceRow> {
+        self.connections()
+            .iter()
+            .map(|c| SourceRow {
+                tuple: Tuple::new(vec![
+                    Value::Int(c.conn_id.min(i64::MAX as u64) as i64),
+                    Value::str(&c.peer),
+                    Value::Int(c.session_id.min(i64::MAX as u64) as i64),
+                    Value::Int(c.requests.min(i64::MAX as u64) as i64),
+                    Value::Int(c.bytes_in.min(i64::MAX as u64) as i64),
+                    Value::Int(c.bytes_out.min(i64::MAX as u64) as i64),
+                ]),
+                validity: None,
+                tx: None,
+            })
+            .collect()
+    }
+
+    /// Hand-rolled JSON body for the `/sessions` HTTP endpoint.
+    pub fn to_json(&self) -> String {
+        use chronos_obs::events::escape_json;
+        let mut out = String::from("{\"sessions\": [");
+        for (i, s) in self.sessions().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"session\": {}, \"pin\": {}, \"statements\": {}, \
+                 \"idle_ns\": {}, \"trace_id\": \"{}\"}}",
+                s.session_id,
+                s.pin_ticks,
+                s.statements,
+                s.idle_ns,
+                escape_json(&s.trace_id)
+            ));
+        }
+        out.push_str("], \"connections\": [");
+        for (i, c) in self.connections().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"conn\": {}, \"peer\": \"{}\", \"session\": {}, \
+                 \"requests\": {}, \"bytes_in\": {}, \"bytes_out\": {}}}",
+                c.conn_id,
+                escape_json(&c.peer),
+                c.session_id,
+                c.requests,
+                c.bytes_in,
+                c.bytes_out
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl std::fmt::Debug for SessionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionRegistry")
+            .field("sessions", &self.sessions.lock().len())
+            .field("connections", &self.connections.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl std::fmt::Debug for TelemetryStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TelemetryStore")
@@ -415,6 +723,9 @@ pub fn flatten_stats(stats: &EngineStats) -> Vec<(&'static str, i64)> {
                 .saturating_sub(stats.metrics.sessions_closed),
         ),
     ));
+    for (name, v) in stats.metrics.gauges() {
+        out.push((name, clamp(v)));
+    }
     for (name_p50, name_p99, h) in [
         (
             "commit_latency_p50_ns",
@@ -430,6 +741,36 @@ pub fn flatten_stats(stats: &EngineStats) -> Vec<(&'static str, i64)> {
             "group_batch_size_p50",
             "group_batch_size_p99",
             &stats.metrics.group_batch_size,
+        ),
+        (
+            "commit_queue_wait_p50_ns",
+            "commit_queue_wait_p99_ns",
+            &stats.metrics.commit_queue_wait,
+        ),
+        (
+            "commit_lock_wait_p50_ns",
+            "commit_lock_wait_p99_ns",
+            &stats.metrics.commit_lock_wait,
+        ),
+        (
+            "commit_apply_p50_ns",
+            "commit_apply_p99_ns",
+            &stats.metrics.commit_apply,
+        ),
+        (
+            "commit_fsync_p50_ns",
+            "commit_fsync_p99_ns",
+            &stats.metrics.commit_fsync,
+        ),
+        (
+            "commit_ack_p50_ns",
+            "commit_ack_p99_ns",
+            &stats.metrics.commit_ack,
+        ),
+        (
+            "read_lock_wait_p50_ns",
+            "read_lock_wait_p99_ns",
+            &stats.metrics.read_lock_wait,
         ),
     ] {
         out.push((name_p50, clamp(h.percentile(50.0).unwrap_or(0))));
@@ -481,6 +822,29 @@ pub fn system_info(name: &str) -> Option<RelationInfo> {
             RelationClass::Static,
             TemporalSignature::Interval,
         ),
+        "sys$sessions" => (
+            Schema::new(vec![
+                Attribute::new("session", AttrType::Int),
+                Attribute::new("pin", AttrType::Int),
+                Attribute::new("statements", AttrType::Int),
+                Attribute::new("idle_ns", AttrType::Int),
+                Attribute::new("trace_id", AttrType::Str),
+            ]),
+            RelationClass::StaticRollback,
+            TemporalSignature::Interval,
+        ),
+        "sys$connections" => (
+            Schema::new(vec![
+                Attribute::new("conn", AttrType::Int),
+                Attribute::new("peer", AttrType::Str),
+                Attribute::new("session", AttrType::Int),
+                Attribute::new("requests", AttrType::Int),
+                Attribute::new("bytes_in", AttrType::Int),
+                Attribute::new("bytes_out", AttrType::Int),
+            ]),
+            RelationClass::Static,
+            TemporalSignature::Interval,
+        ),
         _ => return None,
     };
     Some(RelationInfo {
@@ -492,8 +856,15 @@ pub fn system_info(name: &str) -> Option<RelationInfo> {
 
 /// Names of the system relations, in name order (the CLI's `\d` lists
 /// them after user relations).
-pub fn system_relation_names() -> [&'static str; 4] {
-    ["sys$events", "sys$relations", "sys$slow", "sys$stats"]
+pub fn system_relation_names() -> [&'static str; 6] {
+    [
+        "sys$connections",
+        "sys$events",
+        "sys$relations",
+        "sys$sessions",
+        "sys$slow",
+        "sys$stats",
+    ]
 }
 
 /// The background stats sampler: a thread that snapshots
@@ -515,6 +886,7 @@ impl StatsSampler {
         health: Arc<Health>,
         cache: Arc<Mutex<QueryCache>>,
         telemetry: Arc<TelemetryStore>,
+        registry: Arc<SessionRegistry>,
         clock: Arc<dyn Clock>,
     ) -> std::io::Result<StatsSampler> {
         let stop = Arc::new(AtomicBool::new(false));
@@ -530,7 +902,9 @@ impl StatsSampler {
             .spawn(move || {
                 while !stop_flag.load(Ordering::Acquire) {
                     let stats = crate::observe::engine_stats_from(&recorder, &cache, &telemetry);
-                    telemetry.record_stats(clock.now(), &stats);
+                    let at = clock.now();
+                    telemetry.record_stats(at, &stats);
+                    registry.record_sample(at);
                     // Sleep in short slices so stop() stays responsive
                     // even with multi-second intervals.
                     let mut remaining = interval;
@@ -712,6 +1086,56 @@ mod tests {
             ]
         );
         assert!(store.history("no_such_metric", 3).is_empty());
+    }
+
+    #[test]
+    fn session_registry_tracks_live_state_and_answers_as_of() {
+        let reg = SessionRegistry::new(8);
+        let a = reg.register_session(5);
+        let b = reg.register_session(5);
+        assert_ne!(a, b);
+        reg.note_statement(a, "t-cli");
+        reg.note_statement(a, "t-cli2");
+        reg.session_refreshed(b, 9);
+        reg.record_sample(Chronon::new(10));
+        reg.deregister_session(b);
+        reg.record_sample(Chronon::new(20));
+
+        // Live scan: only session `a` remains, with its latest trace.
+        let live = reg.sessions_scan(None);
+        assert_eq!(live.len(), 1);
+        assert_eq!(live[0].tuple.get(0).as_int(), Some(a as i64));
+        assert_eq!(live[0].tuple.get(2).as_int(), Some(2));
+        assert_eq!(live[0].tuple.get(4).as_str(), Some("t-cli2"));
+        // As of the first sample: both sessions, b refreshed to pin 9.
+        let then = reg.sessions_scan(Some(&AsOfSpec::At(Chronon::new(15))));
+        assert_eq!(then.len(), 2);
+        assert!(then.iter().any(
+            |r| r.tuple.get(0).as_int() == Some(b as i64) && r.tuple.get(1).as_int() == Some(9)
+        ));
+        // Before any sample was taken: nothing was current.
+        assert!(reg
+            .sessions_scan(Some(&AsOfSpec::At(Chronon::new(1))))
+            .is_empty());
+        // Rollback rows are pure static.
+        assert!(then.iter().all(|r| r.validity.is_none() && r.tx.is_none()));
+    }
+
+    #[test]
+    fn session_registry_connections_and_json() {
+        let reg = SessionRegistry::default();
+        let s = reg.register_session(0);
+        let c = reg.register_connection("127.0.0.1:9999".to_string(), s);
+        reg.record_conn_io(c, 64, 128);
+        reg.record_conn_io(c, 10, 20);
+        let conns = reg.connections_scan();
+        assert_eq!(conns.len(), 1);
+        assert_eq!(conns[0].tuple.get(3).as_int(), Some(2));
+        assert_eq!(conns[0].tuple.get(4).as_int(), Some(74));
+        assert_eq!(conns[0].tuple.get(5).as_int(), Some(148));
+        chronos_obs::validate_json(&reg.to_json()).unwrap();
+        reg.deregister_connection(c);
+        assert!(reg.connections_scan().is_empty());
     }
 
     #[test]

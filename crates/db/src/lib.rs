@@ -39,8 +39,9 @@ pub use database::{Database, EngineStats};
 pub use engine::{Engine, EngineBackend, EngineSession};
 pub use error::{DbError, DbResult};
 pub use introspect::{
-    is_system, system_relation_names, TelemetryStats, TelemetryStore, SYS_PREFIX,
+    is_system, system_relation_names, ConnRow, SessionRegistry, SessionRow, TelemetryStats,
+    TelemetryStore, SYS_PREFIX,
 };
-pub use net::{QueryClient, QueryServer};
+pub use net::{QueryClient, QueryServer, Response};
 pub use observe::ObsBootstrap;
 pub use session::{ExecOutcome, Session, SessionBackend};

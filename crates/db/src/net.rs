@@ -13,25 +13,33 @@
 //!
 //! ```text
 //! request:   [u32 len] [u8 opcode] [payload: len-1 bytes]
-//! response:  [u32 len] [u8 status] [payload: len-1 bytes]
+//! response:  [u32 len] [u8 status] [u8 trace_len] [trace_id] [body]
 //! ```
 //!
-//! | opcode | meaning                                                |
-//! |--------|--------------------------------------------------------|
-//! | 1      | execute: payload is a UTF-8 TQuel program; the pin is  |
-//! |        | refreshed first (each request begins a read snapshot)  |
-//! | 2      | ping: payload ignored, answers `pong`                  |
-//! | 3      | execute pinned: as 1, but the session keeps the        |
-//! |        | snapshot it pinned at connect (or last refreshed)      |
+//! | opcode | payload | meaning                                      |
+//! |--------|---------|----------------------------------------------|
+//! | 1      | `[u8 trace_len][trace_id][UTF-8 program]` — execute  |
+//! |        | under a fresh snapshot (the pin refreshes first).    |
+//! |        | `trace_len 0` asks the server to mint the trace id.  |
+//! | 2      | ignored — ping, answers `pong`                       |
+//! | 3      | as 1, but the session keeps its existing snapshot    |
 //!
 //! | status | meaning                                                |
 //! |--------|--------------------------------------------------------|
-//! | 0      | ok — payload is the rendered outcomes (CLI text)       |
-//! | 1      | error — payload is the error message                   |
+//! | 0      | ok — body is the rendered outcomes (CLI text)          |
+//! | 1      | error — body is the error message                      |
 //!
-//! A frame longer than [`MAX_FRAME_BYTES`] is a protocol violation and
-//! closes the connection.  Statements acknowledge only after their
-//! covering group fsync, so a status-0 `append` is durable.
+//! Every response carries the trace id the request ran under
+//! (client-chosen when supplied, server-minted otherwise; empty for
+//! pings and protocol errors), so clients can correlate a wire
+//! response with the server's slow-query log, `sys$sessions`, and
+//! events journal.
+//!
+//! A frame longer than [`MAX_FRAME_BYTES`] (or truncated mid-frame by
+//! a hangup) is a protocol violation: the server answers one clean
+//! error frame (best effort), counts it in `net_errors`, and closes.
+//! Statements acknowledge only after their covering group fsync, so a
+//! status-0 `append` is durable.
 //!
 //! [`QueryClient`] is the matching blocking client (used by the CLI's
 //! `--connect` mode and the bench harness).
@@ -42,9 +50,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex as StdMutex};
 use std::time::Duration;
 
+use chronos_obs::Recorder;
 use chronos_tquel::printer::render;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineSession};
+use crate::introspect::SessionRegistry;
 use crate::session::ExecOutcome;
 
 /// Hard cap on one frame (request or response).
@@ -68,6 +78,10 @@ const POLL_INTERVAL: Duration = Duration::from_millis(250);
 pub struct Response {
     /// True iff the request succeeded (status byte 0).
     pub ok: bool,
+    /// The trace id the request ran under — the client-chosen id when
+    /// one was supplied, the server-minted one otherwise (empty for
+    /// pings and protocol errors).
+    pub trace_id: String,
     /// Rendered outcomes on success, the error message on failure.
     pub body: String,
 }
@@ -172,36 +186,126 @@ fn serve_connection(
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let recorder = Arc::clone(engine.recorder());
+    let registry = Arc::clone(engine.session_registry());
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
     let mut session = engine.session();
+    let conn_id = registry.register_connection(peer, session.session_id());
+    let result = serve_requests(
+        &mut stream,
+        stop,
+        &mut session,
+        &recorder,
+        &registry,
+        conn_id,
+    );
+    registry.deregister_connection(conn_id);
+    result
+}
+
+/// The per-connection request loop, factored out so the registry entry
+/// is removed on every exit path.
+fn serve_requests(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    session: &mut EngineSession,
+    recorder: &Recorder,
+    registry: &SessionRegistry,
+    conn_id: u64,
+) -> std::io::Result<()> {
     let mut buf: Vec<u8> = Vec::new();
-    while let Some((opcode, payload)) = read_frame(&mut stream, stop, &mut buf)? {
-        let (status, body) = match opcode {
-            OP_PING => (STATUS_OK, "pong".to_string()),
-            OP_EXECUTE | OP_EXECUTE_PINNED => match String::from_utf8(payload) {
-                Ok(src) => {
+    loop {
+        let (opcode, payload) = match read_frame(stream, stop, &mut buf) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Protocol violation (oversized length word, truncated
+                // frame): answer one clean error frame — best effort,
+                // the peer may already be gone — count it, and close.
+                recorder.count(|m| &m.net_requests);
+                recorder.count(|m| &m.net_errors);
+                registry.record_conn_io(conn_id, 0, 0);
+                let body = format!("protocol error: {e}");
+                let _ = write_response(stream, STATUS_ERR, "", body.as_bytes());
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
+        let frame_in = (4 + 1 + payload.len()) as u64;
+        recorder.count(|m| &m.net_requests);
+        recorder.count_n(|m| &m.net_bytes_in, frame_in);
+        let (status, trace, body) = match opcode {
+            OP_PING => (STATUS_OK, String::new(), "pong".to_string()),
+            OP_EXECUTE | OP_EXECUTE_PINNED => match decode_execute(&payload) {
+                Ok((trace_id, src)) => {
                     if opcode == OP_EXECUTE {
                         // Each request is its own read transaction:
                         // see everything durable up to now, then hold
                         // that snapshot for the whole program.
                         session.refresh();
                     }
-                    match session.run(&src) {
-                        Ok(outcomes) => (STATUS_OK, render_outcomes(&outcomes)),
-                        Err(e) => (STATUS_ERR, e.to_string()),
+                    session.set_trace_id(trace_id);
+                    let result = session.run(src);
+                    // `run` resolved the trace id (client-chosen or
+                    // minted); echo it either way so the client can
+                    // correlate even a failed request.
+                    let trace = session.last_trace_id().to_string();
+                    match result {
+                        Ok(outcomes) => (STATUS_OK, trace, render_outcomes(&outcomes)),
+                        Err(e) => (STATUS_ERR, trace, e.to_string()),
                     }
                 }
-                Err(_) => (STATUS_ERR, "payload is not UTF-8".to_string()),
+                Err(msg) => (STATUS_ERR, String::new(), msg),
             },
-            other => (STATUS_ERR, format!("unknown opcode {other}")),
+            other => (STATUS_ERR, String::new(), format!("unknown opcode {other}")),
         };
-        write_frame(&mut stream, status, body.as_bytes())?;
+        if status == STATUS_ERR {
+            recorder.count(|m| &m.net_errors);
+        }
+        let frame_out = (4 + 1 + 1 + trace.len() + body.len()) as u64;
+        write_response(stream, status, &trace, body.as_bytes())?;
+        recorder.count_n(|m| &m.net_bytes_out, frame_out);
+        registry.record_conn_io(conn_id, frame_in, frame_out);
     }
-    Ok(())
+}
+
+/// Splits an execute payload into its trace-id prefix and program text.
+fn decode_execute(payload: &[u8]) -> Result<(&str, &str), String> {
+    let Some((&tlen, rest)) = payload.split_first() else {
+        return Err("empty execute payload".to_string());
+    };
+    let tlen = tlen as usize;
+    if rest.len() < tlen {
+        return Err(format!("trace id length {tlen} exceeds the payload"));
+    }
+    let trace =
+        std::str::from_utf8(&rest[..tlen]).map_err(|_| "trace id is not UTF-8".to_string())?;
+    let src = std::str::from_utf8(&rest[tlen..]).map_err(|_| "payload is not UTF-8".to_string())?;
+    Ok((trace, src))
+}
+
+/// Writes one `[status][trace_len][trace_id][body]` response frame.
+fn write_response(
+    stream: &mut TcpStream,
+    status: u8,
+    trace: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    debug_assert!(trace.len() <= u8::MAX as usize);
+    let mut payload = Vec::with_capacity(1 + trace.len() + body.len());
+    payload.push(trace.len() as u8);
+    payload.extend_from_slice(trace.as_bytes());
+    payload.extend_from_slice(body);
+    write_frame(stream, status, &payload)
 }
 
 /// Extracts the next complete frame from `stream`, buffering partial
 /// reads in `buf` and re-checking `stop` every [`POLL_INTERVAL`].
-/// `Ok(None)` means orderly end (EOF or server stop).
+/// `Ok(None)` means orderly end (EOF between frames, or server stop);
+/// EOF with a partial frame buffered is an `InvalidData` error.
 fn read_frame(
     stream: &mut TcpStream,
     stop: &AtomicBool,
@@ -228,7 +332,16 @@ fn read_frame(
         }
         let mut chunk = [0u8; 4096];
         match stream.read(&mut chunk) {
-            Ok(0) => return Ok(None),
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                // The peer hung up mid-frame.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("truncated frame ({} bytes buffered at EOF)", buf.len()),
+                ));
+            }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -324,15 +437,24 @@ impl QueryClient {
         })
     }
 
-    /// Executes a TQuel program under a fresh snapshot.
+    /// Executes a TQuel program under a fresh snapshot; the server
+    /// mints the trace id (echoed in [`Response::trace_id`]).
     pub fn execute(&mut self, src: &str) -> std::io::Result<Response> {
-        self.request(OP_EXECUTE, src.as_bytes())
+        self.execute_traced(src, "")
+    }
+
+    /// [`execute`](Self::execute) under a client-chosen trace id
+    /// (at most 255 bytes; empty asks the server to mint one), for
+    /// end-to-end correlation with the server's slow-query log,
+    /// `sys$sessions`, and events journal.
+    pub fn execute_traced(&mut self, src: &str, trace_id: &str) -> std::io::Result<Response> {
+        self.request(OP_EXECUTE, &encode_execute(src, trace_id)?)
     }
 
     /// Executes a TQuel program under the session's pinned snapshot
     /// (taken at connect, or at the last plain `execute`).
     pub fn execute_pinned(&mut self, src: &str) -> std::io::Result<Response> {
-        self.request(OP_EXECUTE_PINNED, src.as_bytes())
+        self.request(OP_EXECUTE_PINNED, &encode_execute(src, "")?)
     }
 
     /// Liveness probe; true iff the server answered `pong`.
@@ -344,9 +466,24 @@ impl QueryClient {
     fn request(&mut self, opcode: u8, payload: &[u8]) -> std::io::Result<Response> {
         write_frame(&mut self.stream, opcode, payload)?;
         let (status, payload) = self.read_response()?;
+        // Every response leads with its trace-id prefix.
+        let Some((&tlen, rest)) = payload.split_first() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "empty response frame",
+            ));
+        };
+        let tlen = tlen as usize;
+        if rest.len() < tlen {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("response trace id length {tlen} exceeds the payload"),
+            ));
+        }
         Ok(Response {
             ok: status == STATUS_OK,
-            body: String::from_utf8_lossy(&payload).into_owned(),
+            trace_id: String::from_utf8_lossy(&rest[..tlen]).into_owned(),
+            body: String::from_utf8_lossy(&rest[tlen..]).into_owned(),
         })
     }
 
@@ -380,6 +517,21 @@ impl QueryClient {
             }
         }
     }
+}
+
+/// Builds an execute payload: `[u8 trace_len][trace_id][program]`.
+fn encode_execute(src: &str, trace_id: &str) -> std::io::Result<Vec<u8>> {
+    if trace_id.len() > u8::MAX as usize {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("trace id too long ({} bytes, max 255)", trace_id.len()),
+        ));
+    }
+    let mut payload = Vec::with_capacity(1 + trace_id.len() + src.len());
+    payload.push(trace_id.len() as u8);
+    payload.extend_from_slice(trace_id.as_bytes());
+    payload.extend_from_slice(src.as_bytes());
+    Ok(payload)
 }
 
 impl std::fmt::Debug for QueryClient {

@@ -25,7 +25,7 @@ use chronos_obs::Recorder;
 
 use crate::cache::{QueryCache, DEFAULT_CACHE_CAPACITY};
 use crate::database::EngineStats;
-use crate::introspect::TelemetryStore;
+use crate::introspect::{SessionRegistry, TelemetryStore};
 
 /// Pre-created engine handles shared between a [`Database`] and the
 /// exporter serving it.
@@ -36,6 +36,7 @@ pub struct ObsBootstrap {
     pub(crate) health: Arc<Health>,
     pub(crate) cache: Arc<Mutex<QueryCache>>,
     pub(crate) telemetry: Arc<TelemetryStore>,
+    pub(crate) registry: Arc<SessionRegistry>,
 }
 
 impl Default for ObsBootstrap {
@@ -52,6 +53,18 @@ impl ObsBootstrap {
             health: Arc::new(Health::starting()),
             cache: Arc::new(Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY))),
             telemetry: Arc::new(TelemetryStore::default()),
+            registry: Arc::new(SessionRegistry::default()),
+        }
+    }
+
+    /// Handles whose recorder is *disabled*: every instrument
+    /// short-circuits to a branch.  The overhead experiments open one
+    /// database with these and one with the default to price the
+    /// observability layer itself.
+    pub fn disabled() -> ObsBootstrap {
+        ObsBootstrap {
+            recorder: Arc::new(Recorder::disabled()),
+            ..ObsBootstrap::new()
         }
     }
 
@@ -70,6 +83,11 @@ impl ObsBootstrap {
         &self.telemetry
     }
 
+    /// The shared session/connection registry (`/sessions`).
+    pub fn session_registry(&self) -> &Arc<SessionRegistry> {
+        &self.registry
+    }
+
     /// Starts the HTTP exporter over these handles.  Endpoints answer
     /// immediately; `/healthz` stays 503 until a database opened with
     /// this bootstrap finishes recovery.
@@ -81,6 +99,7 @@ impl ObsBootstrap {
                 health: Arc::clone(&self.health),
                 cache: Arc::clone(&self.cache),
                 telemetry: Arc::clone(&self.telemetry),
+                registry: Arc::clone(&self.registry),
             }),
         )
     }
@@ -93,6 +112,7 @@ pub(crate) struct DbObsSource {
     pub(crate) health: Arc<Health>,
     pub(crate) cache: Arc<Mutex<QueryCache>>,
     pub(crate) telemetry: Arc<TelemetryStore>,
+    pub(crate) registry: Arc<SessionRegistry>,
 }
 
 impl ObsSource for DbObsSource {
@@ -140,6 +160,10 @@ impl ObsSource for DbObsSource {
         }
         out.push_str("]}");
         out
+    }
+
+    fn sessions_json(&self) -> String {
+        self.registry.to_json()
     }
 
     fn health(&self) -> &Health {

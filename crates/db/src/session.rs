@@ -106,6 +106,16 @@ pub trait SessionBackend {
     /// The observability recorder statements report into.
     fn recorder(&self) -> Arc<Recorder>;
 
+    /// The engine-unique session id; 0 for local, unregistered
+    /// backends (the CLI's embedded `&mut Database` session).
+    fn session_id(&self) -> u64 {
+        0
+    }
+
+    /// Hook invoked once per executed statement with its trace id
+    /// (engine backends mirror it into the live session registry).
+    fn note_statement(&self, _trace_id: &str) {}
+
     /// Commits `ops` to `relation`; the returned chronon is the
     /// allocated transaction time, durable on return.
     fn commit(&mut self, relation: &str, ops: &[HistoricalOp]) -> DbResult<Chronon>;
@@ -197,6 +207,14 @@ impl SessionBackend for &mut Database {
 pub struct Session<B: SessionBackend> {
     backend: B,
     ranges: HashMap<String, String>,
+    /// Trace id to attribute the next [`run`](Self::run) to
+    /// (client-chosen, set via [`set_trace_id`](Self::set_trace_id));
+    /// consumed by the next `run`, which mints one otherwise.
+    pending_trace: Option<String>,
+    /// Trace id of the most recent [`run`](Self::run) (empty before the
+    /// first one); echoed in wire responses and stamped on slow-log
+    /// admissions and `slow_query` journal events.
+    last_trace: String,
 }
 
 impl<'a> Session<&'a mut Database> {
@@ -216,7 +234,24 @@ impl<B: SessionBackend> Session<B> {
         Session {
             backend,
             ranges: HashMap::new(),
+            pending_trace: None,
+            last_trace: String::new(),
         }
+    }
+
+    /// Attributes the next [`run`](Self::run) to `trace_id` instead of
+    /// a minted one (the TQuel service sets the client-chosen id here).
+    pub fn set_trace_id(&mut self, trace_id: impl Into<String>) {
+        let trace_id = trace_id.into();
+        if !trace_id.is_empty() {
+            self.pending_trace = Some(trace_id);
+        }
+    }
+
+    /// The trace id of the most recent [`run`](Self::run) (empty before
+    /// the first one).
+    pub fn last_trace_id(&self) -> &str {
+        &self.last_trace
     }
 
     /// The session's backend.
@@ -232,6 +267,12 @@ impl<B: SessionBackend> Session<B> {
     /// Parses and executes a TQuel program, returning one outcome per
     /// statement.  Execution stops at the first error.
     pub fn run(&mut self, src: &str) -> DbResult<Vec<ExecOutcome>> {
+        // One trace id per request: the whole program runs under the
+        // client-chosen id when one is pending, a minted one otherwise.
+        self.last_trace = self
+            .pending_trace
+            .take()
+            .unwrap_or_else(chronos_obs::next_trace_id);
         let stmts = parse_program(src)?;
         let mut out = Vec::with_capacity(stmts.len());
         for stmt in &stmts {
@@ -335,6 +376,7 @@ impl<B: SessionBackend> Session<B> {
     /// load and a branch on top of [`execute`](Self::execute); the T10
     /// experiment asserts that overhead stays under 5%.
     pub fn execute_monitored(&mut self, stmt: &Statement) -> DbResult<ExecOutcome> {
+        self.backend.note_statement(&self.last_trace);
         // `explain`/`profile` runs its own capture; wrapping it would
         // steal that capture (newest trace request wins), so it — and
         // any disabled recorder or slow log — takes the plain path.
@@ -371,6 +413,8 @@ impl<B: SessionBackend> Session<B> {
                     elapsed_ns,
                     report.render(true),
                     self.backend.now().ticks(),
+                    self.backend.session_id(),
+                    self.last_trace.clone(),
                 );
                 recorder.emit_event(
                     "slow_query",
@@ -378,6 +422,8 @@ impl<B: SessionBackend> Session<B> {
                         ("slow_seq", seq.into()),
                         ("duration_ns", elapsed_ns.into()),
                         ("threshold_ns", threshold.into()),
+                        ("session", self.backend.session_id().into()),
+                        ("trace_id", self.last_trace.as_str().into()),
                         ("statement", statement.as_str().into()),
                     ],
                 );

@@ -1,13 +1,14 @@
 //! The embedded HTTP observability exporter.
 //!
 //! A zero-dependency HTTP/1.1 server over [`std::net::TcpListener`]
-//! serving seven read-only endpoints:
+//! serving eight read-only endpoints:
 //!
 //! | endpoint               | body                                   | status    |
 //! |------------------------|----------------------------------------|-----------|
 //! | `/metrics`             | Prometheus text exposition             | 200       |
 //! | `/stats`               | engine stats JSON                      | 200       |
 //! | `/slow`                | slow-query log JSON                    | 200       |
+//! | `/sessions`            | live session/connection JSON           | 200       |
 //! | `/events?n=N`          | last N event-journal entries (JSON)    | 200       |
 //! | `/history?metric=&n=`  | sampled metric history (JSON)          | 200       |
 //! | `/healthz`             | `ok` / `starting`                      | 200 / 503 |
@@ -126,6 +127,11 @@ pub trait ObsSource: Send + Sync {
             crate::events::escape_json(metric)
         )
     }
+    /// `/sessions`: live session and connection introspection JSON.
+    /// Sources without an engine session registry report empty lists.
+    fn sessions_json(&self) -> String {
+        "{\"sessions\": [], \"connections\": []}".to_string()
+    }
     /// Readiness for `/healthz` + `/readyz`.
     fn health(&self) -> &Health;
 }
@@ -238,6 +244,7 @@ fn handle_connection(mut stream: TcpStream, source: &dyn ObsSource) -> std::io::
         "/metrics" => respond(&mut stream, 200, "OK", PROM, &source.prometheus()),
         "/stats" => respond(&mut stream, 200, "OK", JSON, &source.stats_json()),
         "/slow" => respond(&mut stream, 200, "OK", JSON, &source.slow_json()),
+        "/sessions" => respond(&mut stream, 200, "OK", JSON, &source.sessions_json()),
         "/events" => {
             let n = query_param(query, "n")
                 .and_then(|v| v.parse().ok())
@@ -424,6 +431,11 @@ mod tests {
             (200, "{\"metrics\": {}}\n".into())
         );
         assert_eq!(http_get(&addr, "/slow").unwrap(), (200, "[]\n".into()));
+        // The default sessions body for sources without a registry.
+        assert_eq!(
+            http_get(&addr, "/sessions").unwrap(),
+            (200, "{\"sessions\": [], \"connections\": []}\n".into())
+        );
         assert_eq!(http_get(&addr, "/healthz").unwrap(), (200, "ok\n".into()));
         let (status, body) = http_get(&addr, "/readyz").unwrap();
         assert_eq!(status, 200);

@@ -22,8 +22,9 @@ pub use events::{
     parse_event_summary, validate_json, validate_jsonl, EventJournal, EventValue, JournalStats,
 };
 pub use export::{http_get, serve, Health, ObsServer, ObsSource};
-pub use metrics::{Counter, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
+pub use metrics::{Counter, Gauge, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use slowlog::{SlowEntry, SlowLog, SLOWLOG_DISABLED};
 pub use trace::{
-    noop_recorder, Instruments, Recorder, RingEvent, SpanGuard, SpanRecord, TraceReport,
+    next_trace_id, noop_recorder, Instruments, Recorder, RingEvent, SpanGuard, SpanRecord,
+    TraceReport,
 };

@@ -35,6 +35,42 @@ impl Counter {
     }
 }
 
+/// A last-value-wins gauge with a monotone high-watermark, for level
+/// readings (queue depth) rather than event counts.  Same relaxed
+/// atomics as [`Counter`]: the reading is advisory, not a fence.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high_watermark: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+            high_watermark: AtomicU64::new(0),
+        }
+    }
+
+    /// Publish a new level and fold it into the high-watermark.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high_watermark.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever published.
+    #[inline]
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark.load(Ordering::Relaxed)
+    }
+}
+
 /// Number of histogram buckets: bucket 39 covers everything at or
 /// above `2^39` ns (~9.2 minutes), far beyond any single operation.
 pub const HISTOGRAM_BUCKETS: usize = 40;
@@ -168,19 +204,44 @@ pub struct MetricsSnapshot {
     pub sessions_closed: u64,
     pub group_commit_batches: u64,
     pub group_fsyncs_saved: u64,
+    /// Submissions that found the bounded writer queue full and had to
+    /// block (backpressure events, not blocked nanoseconds).
+    pub submit_stalls: u64,
+    pub net_requests: u64,
+    pub net_errors: u64,
+    pub net_bytes_in: u64,
+    pub net_bytes_out: u64,
+    /// Writer-queue depth at the last submit/drain (gauge).
+    pub commit_queue_depth: u64,
+    /// Deepest the writer queue has ever been (gauge high-watermark).
+    pub commit_queue_hwm: u64,
     pub commit_latency: HistogramSnapshot,
     pub query_latency: HistogramSnapshot,
     /// Commits per group-commit batch.  Same power-of-two machinery as
     /// the latency histograms, but the recorded value is a *count*
     /// (commits covered by one WAL fsync), not nanoseconds.
     pub group_batch_size: HistogramSnapshot,
+    /// Commit-latency decomposition: submit-to-dequeue wait in the
+    /// bounded writer queue.
+    pub commit_queue_wait: HistogramSnapshot,
+    /// Commit-latency decomposition: writer thread waiting for the
+    /// database write lock.
+    pub commit_lock_wait: HistogramSnapshot,
+    /// Commit-latency decomposition: applying the batch under the lock.
+    pub commit_apply: HistogramSnapshot,
+    /// Commit-latency decomposition: the covering group fsync.
+    pub commit_fsync: HistogramSnapshot,
+    /// Commit-latency decomposition: acking the batch's sessions.
+    pub commit_ack: HistogramSnapshot,
+    /// Read-side contention: time spent acquiring the shared read lock.
+    pub read_lock_wait: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
     /// `(name, value)` pairs for every plain counter, in exposition
     /// order.  Keeping this as the single enumeration point means the
     /// JSON and Prometheus renderings can never drift apart.
-    pub fn counters(&self) -> [(&'static str, u64); 19] {
+    pub fn counters(&self) -> [(&'static str, u64); 24] {
         [
             ("pager_page_reads", self.pager_page_reads),
             ("pager_page_writes", self.pager_page_writes),
@@ -201,6 +262,38 @@ impl MetricsSnapshot {
             ("sessions_closed", self.sessions_closed),
             ("group_commit_batches", self.group_commit_batches),
             ("group_fsyncs_saved", self.group_fsyncs_saved),
+            ("submit_stalls", self.submit_stalls),
+            ("net_requests", self.net_requests),
+            ("net_errors", self.net_errors),
+            ("net_bytes_in", self.net_bytes_in),
+            ("net_bytes_out", self.net_bytes_out),
+        ]
+    }
+
+    /// `(name, value)` pairs for every gauge (level readings, not
+    /// monotone counts), in exposition order.
+    pub fn gauges(&self) -> [(&'static str, u64); 2] {
+        [
+            ("commit_queue_depth", self.commit_queue_depth),
+            ("commit_queue_hwm", self.commit_queue_hwm),
+        ]
+    }
+
+    /// `(name, snapshot)` pairs for every histogram, in exposition
+    /// order — the single enumeration point for the JSON and
+    /// Prometheus renderings.  `group_batch_size` reads in commits per
+    /// batch, everything else in nanoseconds.
+    pub fn histograms(&self) -> [(&'static str, &HistogramSnapshot); 9] {
+        [
+            ("commit_latency", &self.commit_latency),
+            ("query_latency", &self.query_latency),
+            ("group_batch_size", &self.group_batch_size),
+            ("commit_queue_wait", &self.commit_queue_wait),
+            ("commit_lock_wait", &self.commit_lock_wait),
+            ("commit_apply", &self.commit_apply),
+            ("commit_fsync", &self.commit_fsync),
+            ("commit_ack", &self.commit_ack),
+            ("read_lock_wait", &self.read_lock_wait),
         ]
     }
 
@@ -208,9 +301,8 @@ impl MetricsSnapshot {
     /// invariant asserted by the figures smoke check.
     pub fn is_zero(&self) -> bool {
         self.counters().iter().all(|(_, v)| *v == 0)
-            && self.commit_latency.samples == 0
-            && self.query_latency.samples == 0
-            && self.group_batch_size.samples == 0
+            && self.gauges().iter().all(|(_, v)| *v == 0)
+            && self.histograms().iter().all(|(_, h)| h.samples == 0)
     }
 
     /// Counter-wise difference against an earlier snapshot.
@@ -236,9 +328,24 @@ impl MetricsSnapshot {
             sessions_closed: self.sessions_closed - earlier.sessions_closed,
             group_commit_batches: self.group_commit_batches - earlier.group_commit_batches,
             group_fsyncs_saved: self.group_fsyncs_saved - earlier.group_fsyncs_saved,
+            submit_stalls: self.submit_stalls - earlier.submit_stalls,
+            net_requests: self.net_requests - earlier.net_requests,
+            net_errors: self.net_errors - earlier.net_errors,
+            net_bytes_in: self.net_bytes_in - earlier.net_bytes_in,
+            net_bytes_out: self.net_bytes_out - earlier.net_bytes_out,
+            // Gauges are level readings; a difference is meaningless,
+            // so the delta carries the later reading unchanged.
+            commit_queue_depth: self.commit_queue_depth,
+            commit_queue_hwm: self.commit_queue_hwm,
             commit_latency: self.commit_latency.since(&earlier.commit_latency),
             query_latency: self.query_latency.since(&earlier.query_latency),
             group_batch_size: self.group_batch_size.since(&earlier.group_batch_size),
+            commit_queue_wait: self.commit_queue_wait.since(&earlier.commit_queue_wait),
+            commit_lock_wait: self.commit_lock_wait.since(&earlier.commit_lock_wait),
+            commit_apply: self.commit_apply.since(&earlier.commit_apply),
+            commit_fsync: self.commit_fsync.since(&earlier.commit_fsync),
+            commit_ack: self.commit_ack.since(&earlier.commit_ack),
+            read_lock_wait: self.read_lock_wait.since(&earlier.read_lock_wait),
         }
     }
 
@@ -252,13 +359,10 @@ impl MetricsSnapshot {
             }
             out.push_str(&format!("\"{name}\": {v}"));
         }
-        for (name, h) in [
-            ("commit_latency", &self.commit_latency),
-            ("query_latency", &self.query_latency),
-            // Bucket bounds and totals read in commits-per-batch, not
-            // nanoseconds, for this one (see the field docs).
-            ("group_batch_size", &self.group_batch_size),
-        ] {
+        for (name, v) in self.gauges() {
+            out.push_str(&format!(", \"{name}\": {v}"));
+        }
+        for (name, h) in self.histograms() {
             out.push_str(&format!(
                 ", \"{name}\": {{\"samples\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"buckets\": [",
                 h.samples,
@@ -297,11 +401,19 @@ impl MetricsSnapshot {
                 "# TYPE chronos_{name} counter\nchronos_{name} {v}\n"
             ));
         }
-        for (name, h) in [
-            ("commit_latency_ns", &self.commit_latency),
-            ("query_latency_ns", &self.query_latency),
-            ("group_batch_size", &self.group_batch_size),
-        ] {
+        for (name, v) in self.gauges() {
+            out.push_str(&format!(
+                "# TYPE chronos_{name} gauge\nchronos_{name} {v}\n"
+            ));
+        }
+        for (plain, h) in self.histograms() {
+            // Latency families carry an explicit `_ns` unit suffix;
+            // `group_batch_size` reads in commits per batch.
+            let name = if plain == "group_batch_size" {
+                plain.to_string()
+            } else {
+                format!("{plain}_ns")
+            };
             out.push_str(&format!("# TYPE chronos_{name} histogram\n"));
             let mut cumulative = 0u64;
             for (i, &c) in h.buckets.iter().enumerate() {

@@ -43,6 +43,13 @@ pub struct SlowEntry {
     /// Transaction-clock reading (chronon ticks) at admission; lets the
     /// `sys$slow` system relation index entries in engine time.
     pub at_tick: i64,
+    /// The engine session that ran the statement (0 = a local,
+    /// unregistered session such as the CLI's embedded one).
+    pub session_id: u64,
+    /// The request trace id the statement ran under (client-chosen or
+    /// server-minted), correlating this entry with the events journal
+    /// and the wire response.
+    pub trace_id: String,
 }
 
 #[derive(Default)]
@@ -94,8 +101,18 @@ impl SlowLog {
     }
 
     /// Admits one slow statement; returns its global seq number.
-    /// `at_tick` is the transaction clock's current chronon reading.
-    pub fn admit(&self, statement: String, duration_ns: u64, report: String, at_tick: i64) -> u64 {
+    /// `at_tick` is the transaction clock's current chronon reading;
+    /// `session_id`/`trace_id` attribute the entry to the session and
+    /// request that produced it.
+    pub fn admit(
+        &self,
+        statement: String,
+        duration_ns: u64,
+        report: String,
+        at_tick: i64,
+        session_id: u64,
+        trace_id: String,
+    ) -> u64 {
         let mut inner = self.inner.lock().unwrap();
         let seq = inner.seq;
         inner.seq += 1;
@@ -105,6 +122,8 @@ impl SlowLog {
             duration_ns,
             report,
             at_tick,
+            session_id,
+            trace_id,
         };
         if inner.entries.len() < self.capacity {
             inner.entries.push(entry);
@@ -165,10 +184,13 @@ impl SlowLog {
             }
             out.push_str(&format!(
                 "{{\"seq\": {}, \"duration_ns\": {}, \"at_tick\": {}, \
+                 \"session\": {}, \"trace_id\": \"{}\", \
                  \"statement\": \"{}\", \"report\": \"{}\"}}",
                 e.seq,
                 e.duration_ns,
                 e.at_tick,
+                e.session_id,
+                escape_json(&e.trace_id),
                 escape_json(&e.statement),
                 escape_json(&e.report)
             ));
@@ -192,9 +214,15 @@ impl SlowLog {
         let mut out = String::new();
         for e in &entries {
             out.push_str(&format!(
-                "#{} ({} ns)  {}\n",
+                "#{} ({} ns) [session {} trace {}]  {}\n",
                 e.seq,
                 e.duration_ns,
+                e.session_id,
+                if e.trace_id.is_empty() {
+                    "-"
+                } else {
+                    &e.trace_id
+                },
                 e.statement.replace('\n', " ")
             ));
             for line in e.report.lines() {
@@ -234,7 +262,14 @@ mod tests {
         let log = SlowLog::new(3);
         log.set_threshold_ns(0);
         for i in 0..5 {
-            log.admit(format!("stmt {i}"), i, format!("report {i}"), i as i64);
+            log.admit(
+                format!("stmt {i}"),
+                i,
+                format!("report {i}"),
+                i as i64,
+                i,
+                format!("t-{i}"),
+            );
         }
         let entries = log.entries();
         assert_eq!(entries.len(), 3);
@@ -254,6 +289,8 @@ mod tests {
             42,
             "tquel/exec [path \"quoted\"]\n  storage/scan\n".to_string(),
             7,
+            3,
+            "cli\"quoted\\id".to_string(),
         );
         validate_json(&log.to_json()).unwrap();
     }
@@ -261,10 +298,10 @@ mod tests {
     #[test]
     fn clear_empties_but_seq_continues() {
         let log = SlowLog::new(2);
-        log.admit("a".into(), 1, String::new(), 0);
+        log.admit("a".into(), 1, String::new(), 0, 0, String::new());
         log.clear();
         assert!(log.is_empty());
-        let seq = log.admit("b".into(), 1, String::new(), 0);
+        let seq = log.admit("b".into(), 1, String::new(), 0, 0, String::new());
         assert_eq!(seq, 1);
     }
 }

@@ -18,11 +18,20 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::events::{EventJournal, EventValue};
-use crate::metrics::{Counter, LatencyHistogram, MetricsSnapshot};
+use crate::metrics::{Counter, Gauge, LatencyHistogram, MetricsSnapshot};
 use crate::slowlog::SlowLog;
 
 /// How many finished spans the background event ring retains.
 pub const EVENT_RING_CAPACITY: usize = 256;
+
+/// Mint a process-unique request trace id (`t-<hex>`), for statements
+/// that arrived without a client-chosen one.  A plain counter keeps it
+/// zero-dependency, allocation-cheap, and collision-free within one
+/// server process — the scope a trace id must be unique in.
+pub fn next_trace_id() -> String {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    format!("t-{:08x}", NEXT.fetch_add(1, Ordering::Relaxed))
+}
 
 /// A process-wide disabled recorder, for call sites that must accept a
 /// `&Recorder` but have none threaded to them.
@@ -84,10 +93,26 @@ pub struct Instruments {
     pub sessions_closed: Counter,
     pub group_commit_batches: Counter,
     pub group_fsyncs_saved: Counter,
+    /// Submissions that found the bounded writer queue full.
+    pub submit_stalls: Counter,
+    pub net_requests: Counter,
+    pub net_errors: Counter,
+    pub net_bytes_in: Counter,
+    pub net_bytes_out: Counter,
+    /// Writer-queue depth (level + high-watermark).
+    pub commit_queue_depth: Gauge,
     pub commit_latency: LatencyHistogram,
     pub query_latency: LatencyHistogram,
     /// Commits per group-commit batch (value is a count, not ns).
     pub group_batch_size: LatencyHistogram,
+    /// Commit-latency decomposition stages (all ns; see DESIGN §6d).
+    pub commit_queue_wait: LatencyHistogram,
+    pub commit_lock_wait: LatencyHistogram,
+    pub commit_apply: LatencyHistogram,
+    pub commit_fsync: LatencyHistogram,
+    pub commit_ack: LatencyHistogram,
+    /// Read-side shared-lock acquisition wait.
+    pub read_lock_wait: LatencyHistogram,
 }
 
 /// The engine-wide observability handle.
@@ -199,9 +224,22 @@ impl Recorder {
             sessions_closed: m.sessions_closed.get(),
             group_commit_batches: m.group_commit_batches.get(),
             group_fsyncs_saved: m.group_fsyncs_saved.get(),
+            submit_stalls: m.submit_stalls.get(),
+            net_requests: m.net_requests.get(),
+            net_errors: m.net_errors.get(),
+            net_bytes_in: m.net_bytes_in.get(),
+            net_bytes_out: m.net_bytes_out.get(),
+            commit_queue_depth: m.commit_queue_depth.get(),
+            commit_queue_hwm: m.commit_queue_depth.high_watermark(),
             commit_latency: m.commit_latency.snapshot(),
             query_latency: m.query_latency.snapshot(),
             group_batch_size: m.group_batch_size.snapshot(),
+            commit_queue_wait: m.commit_queue_wait.snapshot(),
+            commit_lock_wait: m.commit_lock_wait.snapshot(),
+            commit_apply: m.commit_apply.snapshot(),
+            commit_fsync: m.commit_fsync.snapshot(),
+            commit_ack: m.commit_ack.snapshot(),
+            read_lock_wait: m.read_lock_wait.snapshot(),
         }
     }
 
@@ -225,6 +263,13 @@ impl Recorder {
     pub fn record_latency(&self, pick: impl FnOnce(&Instruments) -> &LatencyHistogram, ns: u64) {
         if self.enabled {
             pick(&self.metrics).record_ns(ns);
+        }
+    }
+
+    #[inline]
+    pub fn set_gauge(&self, pick: impl FnOnce(&Instruments) -> &Gauge, v: u64) {
+        if self.enabled {
+            pick(&self.metrics).set(v);
         }
     }
 

@@ -95,10 +95,12 @@ grep -q 'counters:' <<<"$explain_out" \
 # T9 asserts the disabled recorder stays within the <5% overhead budget;
 # T10 does the same for the slow-query wrapper and measures /metrics
 # scrape latency under load; T11 for the background stats sampler on
-# the timeslice workload.
-t9_out=$(EXPERIMENTS_ONLY=T9,T10,T11 ./target/release/experiments) \
+# the timeslice workload; T13 for tracing + pipeline telemetry under
+# 8-writer group-commit load.  Running all four keeps every section of
+# BENCH_observability.json fresh (the writer emits the whole file).
+t9_out=$(EXPERIMENTS_ONLY=T9,T10,T11,T13 ./target/release/experiments) \
   || die "observability experiments failed"
-[ "$(grep -c 'within budget' <<<"$t9_out")" -eq 3 ] \
+[ "$(grep -c 'within budget' <<<"$t9_out")" -eq 4 ] \
   || die "observability overhead budget exceeded" "$t9_out"
 
 echo "==> operational surface smoke (/healthz + /metrics over raw TCP)"
@@ -113,8 +115,10 @@ append to faculty (name = "Merrie", rank = "associate")
 \obs /healthz
 \obs /metrics
 \obs /slow
+\obs /sessions
 \obs /readyz
 \slow
+\sessions
 \q
 EOF
 ) || die "obs smoke: batch script failed"
@@ -124,8 +128,14 @@ grep -q '^200 /metrics' <<<"$obs_out" \
   || die "obs smoke: /metrics not 200" "$obs_out"
 grep -q '^200 /slow' <<<"$obs_out" \
   || die "obs smoke: /slow not 200" "$obs_out"
+grep -q '^200 /sessions' <<<"$obs_out" \
+  || die "obs smoke: /sessions not 200" "$obs_out"
+grep -q '"sessions"' <<<"$obs_out" \
+  || die "obs smoke: /sessions body missing the sessions list" "$obs_out"
 grep -q '^200 /readyz' <<<"$obs_out" \
   || die "obs smoke: /readyz not 200" "$obs_out"
+grep -q 'no live sessions\|idle' <<<"$obs_out" \
+  || die "obs smoke: \\sessions produced nothing" "$obs_out"
 grep -q 'chronos_wal_appends 1' <<<"$obs_out" \
   || die "obs smoke: scrape missing live counters" "$obs_out"
 grep -q 'session/statement' <<<"$obs_out" \
@@ -194,7 +204,8 @@ svc_log="$svc_dir/serve.log"
 # Hold the serving shell's stdin open on a fifo so it idles while the
 # client runs; closing fd 9 later gives it EOF and a clean shutdown.
 mkfifo "$svc_dir/stdin"
-./target/release/chronos --batch --serve 127.0.0.1:0 "$svc_dir/db" \
+./target/release/chronos --batch --serve 127.0.0.1:0 --obs-addr 127.0.0.1:0 \
+  --slow-threshold-ns 0 "$svc_dir/db" \
   < "$svc_dir/stdin" > "$svc_log" 2>&1 &
 svc_pid=$!
 exec 9> "$svc_dir/stdin"
@@ -205,6 +216,8 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [ -n "$svc_addr" ] || die "service smoke: server never announced its address" "$(cat "$svc_log")"
+svc_obs=$(sed -n 's|.*observability at http://\([0-9.:]*\)/.*|\1|p' "$svc_log" | head -1)
+[ -n "$svc_obs" ] || die "service smoke: server never announced its exporter" "$(cat "$svc_log")"
 connect_out=$(./target/release/chronos --batch --connect "$svc_addr" <<'EOF'
 create faculty (name = str, rank = str) as temporal
 
@@ -216,6 +229,25 @@ EOF
 ) || die "service smoke: --connect batch replay failed" "$connect_out"
 grep -q 'Merrie' <<<"$connect_out" \
   || die "service smoke: remote retrieve missing the committed row" "$connect_out"
+# End-to-end trace correlation: a client-chosen trace id must come back
+# in the response AND show up in the server's slow-query log, live
+# session registry, and events journal.
+traced_out=$(./target/release/chronos --batch --connect "$svc_addr" \
+               --trace-id tr-check-1 2>&1 <<'EOF'
+range of f is faculty
+retrieve (f.name, f.rank)
+EOF
+) || die "service smoke: traced --connect replay failed" "$traced_out"
+grep -q '\[trace tr-check-1\]' <<<"$traced_out" \
+  || die "service smoke: response did not echo the client trace id" "$traced_out"
+slow_body=$(./target/release/chronos --get "$svc_obs" /slow) \
+  || die "service smoke: GET /slow failed"
+grep -q 'tr-check-1' <<<"$slow_body" \
+  || die "service smoke: trace id missing from the slow-query log" "$slow_body"
+sessions_body=$(./target/release/chronos --get "$svc_obs" /sessions) \
+  || die "service smoke: GET /sessions failed"
+grep -q '"sessions"' <<<"$sessions_body" \
+  || die "service smoke: /sessions body missing the sessions list" "$sessions_body"
 # A statement error over the wire must exit non-zero, like local batch.
 if echo 'retrieve (zzz.name)' | ./target/release/chronos --batch --connect "$svc_addr" >/dev/null 2>&1; then
   die "service smoke: remote statement error did not exit non-zero"
@@ -230,6 +262,9 @@ EOF
 ) || die "service smoke: reopening the served database failed"
 grep -q 'Merrie' <<<"$svc_rows" \
   || die "service smoke: remote commit not durable after shutdown" "$svc_rows"
+# The traced statement's slow_query event was journaled with its id.
+grep -q 'tr-check-1' "$svc_dir/db/events.jsonl" \
+  || die "service smoke: trace id missing from the events journal"
 
 echo "==> negative checks (deliberate corruption must be caught)"
 neg_dir=$(mktemp -d)

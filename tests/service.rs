@@ -108,6 +108,158 @@ fn service_reports_errors_without_dropping_the_connection() {
 }
 
 #[test]
+fn client_chosen_trace_id_round_trips_end_to_end() {
+    let clock = Arc::new(ManualClock::new(Chronon::new(0)));
+    let db = Database::in_memory(clock);
+    // Capture everything so the traced statement lands in the slow log.
+    db.set_slow_query_threshold_ns(0);
+    let engine = Engine::start(db);
+    engine
+        .session()
+        .run("create faculty (name = str, rank = str) as temporal")
+        .expect("create");
+    let server = QueryServer::serve(Arc::clone(&engine), "127.0.0.1:0").expect("serve");
+    let addr = server.addr().to_string();
+
+    let mut client = QueryClient::connect(&addr).expect("connect");
+    let resp = client
+        .execute_traced(
+            r#"append to faculty (name = "Merrie", rank = "full")"#,
+            "req-42",
+        )
+        .expect("traced execute");
+    assert!(resp.ok, "{}", resp.body);
+    // The wire response echoes the client-chosen id...
+    assert_eq!(resp.trace_id, "req-42");
+    // ...the slow-query log carries it...
+    let slow = engine.with_db(|db| db.recorder().slowlog().to_json());
+    assert!(
+        slow.contains("\"req-42\""),
+        "slow log missing trace: {slow}"
+    );
+    // ...and a second connection sees it live in sys$sessions.
+    let mut observer = QueryClient::connect(&addr).expect("observer connect");
+    let sessions = observer
+        .execute("range of s is sys$sessions retrieve (s.trace_id)")
+        .expect("sys$sessions over the wire");
+    assert!(sessions.ok, "{}", sessions.body);
+    assert!(
+        sessions.body.contains("req-42"),
+        "sys$sessions missing trace: {}",
+        sessions.body
+    );
+    // Without a client id the server mints one and still echoes it.
+    let minted = client
+        .execute("range of f is faculty retrieve (f.name)")
+        .expect("untraced execute");
+    assert!(minted.ok, "{}", minted.body);
+    assert!(
+        minted.trace_id.starts_with("t-"),
+        "server-minted id has the t- prefix, got {:?}",
+        minted.trace_id
+    );
+    // Oversized client-side trace ids are a typed local error, not a frame.
+    let too_long = "x".repeat(256);
+    let err = client
+        .execute_traced("retrieve (f.name)", &too_long)
+        .expect_err("trace over 255 bytes must fail client-side");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    server.shutdown();
+    engine.shutdown();
+}
+
+/// Reads everything the server sends before closing, then parses the
+/// single `[u32 len][u8 status][u8 trace_len][trace][body]` frame.
+fn read_error_frame(stream: &mut std::net::TcpStream) -> (u8, String) {
+    use std::io::Read;
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("drain connection");
+    assert!(bytes.len() >= 6, "no complete frame, got {bytes:?}");
+    let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+    assert_eq!(4 + len, bytes.len(), "exactly one frame before close");
+    let status = bytes[4];
+    let trace_len = bytes[5] as usize;
+    assert_eq!(trace_len, 0, "protocol errors carry no trace id");
+    (status, String::from_utf8_lossy(&bytes[6..]).into_owned())
+}
+
+#[test]
+fn oversized_frame_gets_a_clean_error_frame_and_close() {
+    use std::io::Write;
+    let (engine, server) = serve_fresh();
+    let addr = server.addr();
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    // A length word over the cap is rejected before any payload is read.
+    let huge = (chronos_db::net::MAX_FRAME_BYTES + 1) as u32;
+    raw.write_all(&huge.to_le_bytes()).expect("send length");
+    raw.flush().expect("flush");
+    let (status, body) = read_error_frame(&mut raw);
+    assert_eq!(status, 1, "protocol violations answer STATUS_ERR");
+    assert!(
+        body.contains("protocol error") && body.contains("bad frame length"),
+        "unexpected body: {body}"
+    );
+    // The violation is visible in the net metrics...
+    let stats = engine.stats();
+    assert!(stats.metrics.net_errors >= 1, "net_errors not counted");
+    // ...and the server keeps accepting fresh connections.
+    let mut client = QueryClient::connect(&addr.to_string()).expect("reconnect");
+    assert!(client.ping().expect("ping after violation"));
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn truncated_frame_gets_a_clean_error_frame_and_close() {
+    use std::io::Write;
+    let (engine, server) = serve_fresh();
+    let addr = server.addr();
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    // Promise a 100-byte frame, deliver 6, hang up mid-frame.
+    raw.write_all(&100u32.to_le_bytes()).expect("send length");
+    raw.write_all(&[1u8; 6]).expect("send partial payload");
+    raw.flush().expect("flush");
+    raw.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let (status, body) = read_error_frame(&mut raw);
+    assert_eq!(status, 1, "truncation answers STATUS_ERR");
+    assert!(
+        body.contains("protocol error") && body.contains("truncated frame"),
+        "unexpected body: {body}"
+    );
+    let stats = engine.stats();
+    assert!(stats.metrics.net_errors >= 1, "net_errors not counted");
+    assert!(
+        stats.metrics.net_requests >= 1,
+        "violations still count as requests"
+    );
+    let mut client = QueryClient::connect(&addr.to_string()).expect("reconnect");
+    assert!(client.ping().expect("ping after truncation"));
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn pings_count_in_net_metrics() {
+    let (engine, server) = serve_fresh();
+    let addr = server.addr().to_string();
+    let before = engine.stats().metrics;
+    let mut client = QueryClient::connect(&addr).expect("connect");
+    for _ in 0..3 {
+        assert!(client.ping().expect("ping"));
+    }
+    let after = engine.stats().metrics;
+    assert!(
+        after.net_requests >= before.net_requests + 3,
+        "pings must count as requests"
+    );
+    assert!(after.net_bytes_in > before.net_bytes_in);
+    assert!(after.net_bytes_out > before.net_bytes_out);
+    assert_eq!(after.net_errors, before.net_errors, "pings are not errors");
+    server.shutdown();
+    engine.shutdown();
+}
+
+#[test]
 fn shutdown_unblocks_connected_clients() {
     let (engine, server) = serve_fresh();
     let addr = server.addr().to_string();
