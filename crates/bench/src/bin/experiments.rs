@@ -38,7 +38,12 @@
 //!   telemetry stack (enabled recorder, per-statement trace ids, the
 //!   background sampler) priced against a disabled-recorder twin under
 //!   the 8-writer group-commit workload, with the writer-queue depth
-//!   trajectory and the per-stage commit latency decomposition.
+//!   trajectory and the per-stage commit latency decomposition;
+//! * **T14** — workload analytics: query fingerprinting plus `analyze`
+//!   statistics collection priced against a disabled-recorder twin on a
+//!   read-dominant workload over a 6000-version temporal relation,
+//!   with the fingerprint store's dedup verified (one entry for every
+//!   literal variation of the same statement shape).
 //!
 //! Set `EXPERIMENTS_ONLY=<ids>` (comma-separated, e.g. `T9,T10,T11`) to
 //! run a subset.
@@ -139,15 +144,25 @@ fn main() {
     if want("T13") {
         t13_stats = Some(t13_observability_overhead());
     }
+    let mut t14_stats = None;
+    if want("T14") {
+        t14_stats = Some(t14_workload_analytics());
+    }
     if want("faults") {
         faults_matrix();
     }
-    if t9_rows.is_some() || t10_stats.is_some() || t11_stats.is_some() || t13_stats.is_some() {
+    if t9_rows.is_some()
+        || t10_stats.is_some()
+        || t11_stats.is_some()
+        || t13_stats.is_some()
+        || t14_stats.is_some()
+    {
         write_bench_observability_json(
             t9_rows.as_deref().unwrap_or(&[]),
             t10_stats.as_ref(),
             t11_stats.as_ref(),
             t13_stats.as_ref(),
+            t14_stats.as_ref(),
         );
     }
     println!("\nDone.  These tables are recorded in EXPERIMENTS.md.");
@@ -1101,9 +1116,10 @@ fn write_bench_observability_json(
     t10: Option<&T10Stats>,
     t11: Option<&T11Stats>,
     t13: Option<&T13Stats>,
+    t14: Option<&T14Stats>,
 ) {
-    let mut out = String::from("{\n  \"experiment\": \"T9+T10+T11+T13\",\n");
-    out.push_str("  \"description\": \"replayed transactions per checkpoint interval; operational surface; temporal introspection; concurrency-aware observability\",\n");
+    let mut out = String::from("{\n  \"experiment\": \"T9+T10+T11+T13+T14\",\n");
+    out.push_str("  \"description\": \"replayed transactions per checkpoint interval; operational surface; temporal introspection; concurrency-aware observability; workload analytics\",\n");
     out.push_str("  \"source\": \"engine metrics registry + embedded HTTP exporter\",\n");
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -1162,6 +1178,23 @@ fn write_bench_observability_json(
             ));
         }
         out.push_str("]}");
+    }
+    if let Some(t) = t14 {
+        out.push_str(&format!(
+            ",\n  \"t14\": {{\"rounds\": {}, \"queries_per_round\": {}, \"versions\": {}, \
+             \"enabled_ms_median\": {:.1}, \"disabled_ms_median\": {:.1}, \
+             \"overhead_ratio\": {:.4}, \"fingerprints\": {}, \"retrieve_calls\": {}, \
+             \"tablestats\": {}}}",
+            t.rounds,
+            t.queries_per_round,
+            t.versions,
+            t.enabled_ms,
+            t.disabled_ms,
+            t.overhead_ratio,
+            t.fingerprints,
+            t.retrieve_calls,
+            t.tablestats,
+        ));
     }
     out.push_str("\n}\n");
     match std::fs::write("BENCH_observability.json", &out) {
@@ -1635,6 +1668,174 @@ fn t13_observability_overhead() -> T13Stats {
     let _ = std::fs::remove_dir_all(&dir_on);
     let _ = std::fs::remove_dir_all(&dir_off);
     t13
+}
+
+// ---------------------------------------------------------------------
+// T14 — workload analytics: query fingerprinting + analyze statistics
+// priced against a disabled-recorder twin (EXPERIMENTS_ONLY=T14)
+// ---------------------------------------------------------------------
+
+/// The T14 measurements (serialized to BENCH_observability.json).
+struct T14Stats {
+    rounds: usize,
+    queries_per_round: usize,
+    /// Stored versions of the analyzed relation (chains of 3 per key).
+    versions: i64,
+    /// Best per-round wall time with fingerprinting + analyze on.
+    enabled_ms: f64,
+    /// The same workload against the disabled-recorder twin.
+    disabled_ms: f64,
+    /// enabled / disabled — the price of workload analytics.
+    overhead_ratio: f64,
+    /// Entries in the fingerprint store after all rounds.
+    fingerprints: usize,
+    /// Calls folded into the single retrieve-shaped fingerprint.
+    retrieve_calls: u64,
+    /// Statistics in the relation's latest `sys$tablestats` sample.
+    tablestats: usize,
+}
+
+/// One analytics round: `queries` same-shape retrieves with rotating
+/// literals, then one `analyze` pass over the relation.
+fn t14_round(db: &mut Database, queries: usize, round: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut s = db.session();
+    for q in 0..queries {
+        let name = (round * queries + q) % 2000;
+        s.query(&format!(
+            r#"range of p is people retrieve (p.rank) where p.name = "p{name}""#
+        ))
+        .expect("t14 retrieve");
+    }
+    s.run("analyze people").expect("t14 analyze");
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn t14_workload_analytics() -> T14Stats {
+    heading("T14: workload analytics — query fingerprinting + analyze vs a disabled-recorder twin");
+    const ROUNDS: usize = 5;
+    const QUERIES: usize = 200;
+    const KEYS: usize = 2000;
+
+    // Durable twins under target/, populated identically: 2000 facts,
+    // then a sweeping replace — 6000 stored versions in chains of 3.
+    // The measured rounds are read-dominant (retrieves + analyze), so
+    // the twins differ only in the recorder the statements report into.
+    let dir_on = std::path::PathBuf::from("target/t14-analytics-on-db");
+    let dir_off = std::path::PathBuf::from("target/t14-analytics-off-db");
+    let _ = std::fs::remove_dir_all(&dir_on);
+    let _ = std::fs::remove_dir_all(&dir_off);
+    let clock_on = Arc::new(ManualClock::new(Chronon::new(0)));
+    let mut db_on = Database::open(&dir_on, clock_on.clone() as _).expect("open t14 enabled db");
+    let clock_off = Arc::new(ManualClock::new(Chronon::new(0)));
+    let obs_off = chronos_db::ObsBootstrap::disabled();
+    let mut db_off = Database::open_with_obs(&dir_off, clock_off.clone() as _, &obs_off)
+        .expect("open t14 disabled db");
+    for (db, clock) in [(&mut db_on, &clock_on), (&mut db_off, &clock_off)] {
+        let mut s = db.session();
+        s.run("create people (name = str, rank = str) as temporal")
+            .expect("create");
+        let mut program = String::new();
+        for i in 0..KEYS {
+            program.push_str(&format!(
+                "append to people (name = \"p{i}\", rank = \"junior\")\n"
+            ));
+        }
+        s.run(&program).expect("seed appends");
+        drop(s);
+        clock.advance_to(Chronon::new(1000));
+        db.session()
+            .run(r#"range of p is people replace p (rank = "senior") where p.rank = "junior""#)
+            .expect("seed replace");
+    }
+
+    // One uncounted warmup pair, then interleaved paired rounds.  The
+    // rounds are read-only, so noise is one-sided (scheduler stalls
+    // only ever slow a round down): comparing each side's *minimum*
+    // estimates the true cost, as overhead_check does for tight loops.
+    t14_round(&mut db_on, QUERIES, 99);
+    t14_round(&mut db_off, QUERIES, 99);
+    let (mut on_ms, mut off_ms) = (Vec::new(), Vec::new());
+    for r in 0..ROUNDS {
+        on_ms.push(t14_round(&mut db_on, QUERIES, r));
+        off_ms.push(t14_round(&mut db_off, QUERIES, r));
+    }
+
+    let best = |v: &[f64]| -> f64 { v.iter().copied().fold(f64::INFINITY, f64::min) };
+    let enabled_ms = best(&on_ms);
+    let disabled_ms = best(&off_ms);
+    let ratio = enabled_ms / disabled_ms.max(1e-9);
+
+    // Dedup: (ROUNDS+1) * QUERIES literal variations of one statement
+    // shape must have folded into a single retrieve-kind fingerprint.
+    let entries = db_on.recorder().fingerprints().entries();
+    let retrieves: Vec<_> = entries.iter().filter(|e| e.kind == "retrieve").collect();
+    assert_eq!(
+        retrieves.len(),
+        1,
+        "literal variations split the fingerprint: {retrieves:#?}"
+    );
+    let retrieve_calls = retrieves[0].calls;
+    assert_eq!(retrieve_calls as usize, (ROUNDS + 1) * QUERIES);
+    assert!(
+        retrieves[0].statement.contains("\"?\""),
+        "literals survived normalization: {}",
+        retrieves[0].statement
+    );
+
+    // The analyze passes populated sys$tablestats, and the repeated
+    // samples agree (the relation did not change between rounds).
+    let stats_rel = db_on
+        .session()
+        .query(r#"range of ts is sys$tablestats retrieve (ts.stat, ts.value) where ts.relation = "people""#)
+        .expect("tablestats query");
+    let versions = stats_rel
+        .rows
+        .iter()
+        .find(|r| r.tuple.get(0).to_string() == "versions")
+        .map(|r| r.tuple.get(1).to_string().parse::<i64>().expect("int"))
+        .expect("versions stat");
+    assert_eq!(
+        versions,
+        3 * KEYS as i64,
+        "analyze saw a different relation"
+    );
+    assert!(
+        db_off.recorder().fingerprints().entries().is_empty(),
+        "the disabled twin recorded fingerprints"
+    );
+
+    println!(
+        "{:>8} | {:>12} | {:>13} | {:>8}",
+        "rounds", "enabled ms", "disabled ms", "ratio"
+    );
+    println!("{ROUNDS:>8} | {enabled_ms:>12.1} | {disabled_ms:>13.1} | {ratio:>8.3}");
+    assert!(
+        ratio < 1.05,
+        "workload-analytics overhead {ratio:.3} exceeds the 5% budget"
+    );
+    println!("fingerprinting + analyze overhead ratio {ratio:.3} — within budget (<1.05)");
+    println!(
+        "fingerprints: {} entries; retrieve shape folded {} calls; latest sample: {} statistics",
+        entries.len(),
+        retrieve_calls,
+        stats_rel.len()
+    );
+
+    let t14 = T14Stats {
+        rounds: ROUNDS,
+        queries_per_round: QUERIES,
+        versions,
+        enabled_ms,
+        disabled_ms,
+        overhead_ratio: ratio,
+        fingerprints: entries.len(),
+        retrieve_calls,
+        tablestats: stats_rel.len(),
+    };
+    let _ = std::fs::remove_dir_all(&dir_on);
+    let _ = std::fs::remove_dir_all(&dir_off);
+    t14
 }
 
 /// Emits the T12 sweep as `BENCH_concurrency.json` (hand-rolled JSON,

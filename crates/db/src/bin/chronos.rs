@@ -41,6 +41,10 @@
 //!                          N ms a snapshot of the engine counters is
 //!                          appended to the `sys$stats` system relation
 //!                          (queryable in TQuel, served at /history)
+//! --stats-json             one-shot mode: open the database (replaying
+//!                          its WAL if durable), print one engine-stats
+//!                          snapshot as JSON to stdout, exit — the same
+//!                          document /stats serves, without a server
 //! --get ADDR PATH          one-shot mode: HTTP GET PATH from a running
 //!                          exporter at ADDR, print status + body, exit
 //! --check-jsonl FILE       one-shot mode: validate FILE as JSONL
@@ -86,6 +90,7 @@ struct Args {
     obs_addr: Option<String>,
     slow_threshold_ns: Option<u64>,
     sample_interval_ms: Option<u64>,
+    stats_json: bool,
 }
 
 impl Args {
@@ -99,6 +104,7 @@ impl Args {
             obs_addr: None,
             slow_threshold_ns: None,
             sample_interval_ms: None,
+            stats_json: false,
         };
         let mut it = argv.iter();
         while let Some(arg) = it.next() {
@@ -140,6 +146,7 @@ impl Args {
                     }
                     args.sample_interval_ms = Some(n);
                 }
+                "--stats-json" => args.stats_json = true,
                 "--get" => {
                     let addr = it.next().ok_or("--get takes ADDR PATH")?;
                     let path = it.next().ok_or("--get takes ADDR PATH")?;
@@ -187,6 +194,11 @@ impl Args {
         if args.trace_id.is_some() && args.connect_addr.is_none() {
             return Err("--trace-id only applies to --connect mode".into());
         }
+        if args.stats_json && args.connect_addr.is_some() {
+            return Err(
+                "--stats-json opens a database; use --get ADDR /stats against a server".into(),
+            );
+        }
         Ok(Some(args))
     }
 }
@@ -202,7 +214,7 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: chronos [--batch] [--serve ADDR] [--obs-addr ADDR] [--slow-threshold-ns N] [--sample-interval-ms N] [dir]"
+                "usage: chronos [--batch] [--serve ADDR] [--obs-addr ADDR] [--slow-threshold-ns N] [--sample-interval-ms N] [--stats-json] [dir]"
             );
             eprintln!("       chronos [--batch] --connect ADDR [--trace-id ID]");
             eprintln!("       chronos --get ADDR PATH");
@@ -289,6 +301,12 @@ fn main() {
             db
         }
     };
+    if args.stats_json {
+        // One-shot: the engine-stats snapshot (the /stats document) on
+        // stdout, then exit — scriptable without binding an exporter.
+        println!("{}", db.engine_stats().to_json());
+        return;
+    }
     if let Some(ns) = args.slow_threshold_ns {
         db.set_slow_query_threshold_ns(ns);
     }
@@ -530,7 +548,13 @@ fn repl(
                     None => eprintln!("  \\sample is not available over --connect"),
                 },
                 Some("\\top") => {
-                    match shell.with_db(|db| render_top(db.recorder().recent_events())) {
+                    match shell.with_db(|db| {
+                        // Operators by time (the span ring), then the
+                        // workload's query fingerprints by call count.
+                        let mut top = render_top(db.recorder().recent_events());
+                        top.push_str(&db.recorder().fingerprints().render());
+                        top
+                    }) {
                         Some(top) => print!("{top}"),
                         None => eprintln!("  \\top is not available over --connect"),
                     }
@@ -670,6 +694,9 @@ fn print_outcomes(outcomes: Vec<ExecOutcome>) {
                 for line in report.lines() {
                     println!("  {line}");
                 }
+            }
+            ExecOutcome::Analyzed { relation, stats } => {
+                println!("analyzed {relation} ({stats} statistic(s) into sys$tablestats)");
             }
             ExecOutcome::Declared => {}
         }

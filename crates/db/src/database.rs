@@ -322,6 +322,7 @@ impl Database {
             return Err(DbError::Catalog(format!("unknown relation {name:?}")));
         }
         self.relations.remove(name);
+        self.telemetry.forget_tablestats(name);
         self.bump_epoch(name, "destroy");
         self.persist_catalog()?;
         self.record_catalog_sample(self.txn.peek_now());
@@ -722,6 +723,83 @@ impl Database {
         self.telemetry.sampler_running()
     }
 
+    /// Collects temporal storage statistics for `relation` into the
+    /// `sys$tablestats` telemetry ring (the `analyze` statement):
+    /// row/version counts, a version-chain-length histogram, valid- and
+    /// transaction-time interval-duration histograms, a valid-time
+    /// overlap-density histogram, checkpoint density, and a
+    /// distinct-key estimate.  With no declared keys, version chains
+    /// group by the first attribute's value — a heuristic the catalog
+    /// will refine once key declarations exist.  Returns the number of
+    /// statistic rows recorded.  Takes `&self`: the stores are read-only
+    /// here and the telemetry ring is interior-mutable, so the engine
+    /// analyzes under its read lock.
+    pub fn analyze_relation(&self, relation: &str) -> DbResult<usize> {
+        if is_system(relation) {
+            return Err(DbError::Capability(format!(
+                "cannot analyze {relation}: system relations are telemetry, not storage"
+            )));
+        }
+        let span = self.recorder.span("db/analyze");
+        span.detail(relation.to_string());
+        let rel = self
+            .relations
+            .get(relation)
+            .ok_or_else(|| DbError::Catalog(format!("unknown relation {relation:?}")))?;
+        let mut stats: Vec<(String, i64)> = Vec::new();
+        match rel {
+            Relation::Static(r) => {
+                let tuples: Vec<_> = r.iter().collect();
+                push_stat(&mut stats, "rows", tuples.len() as i64);
+                push_stat(&mut stats, "versions", tuples.len() as i64);
+                push_key_stats(&mut stats, tuples.iter().map(|t| key_of(t)));
+            }
+            Relation::Rollback(r) => {
+                let all = r.store().rows();
+                let current = all.iter().filter(|row| row.is_current()).count();
+                push_stat(&mut stats, "rows", current as i64);
+                push_stat(&mut stats, "versions", all.len() as i64);
+                push_key_stats(&mut stats, all.iter().map(|row| key_of(&row.tuple)));
+                push_duration_histogram(&mut stats, "tx_dur", all.iter().map(|row| row.tx));
+            }
+            Relation::Historical(r) => {
+                let all = r.rows();
+                push_stat(&mut stats, "rows", all.len() as i64);
+                push_stat(&mut stats, "versions", all.len() as i64);
+                push_key_stats(&mut stats, all.iter().map(|row| key_of(&row.tuple)));
+                let valid: Vec<_> = all.iter().map(|row| row.validity.period()).collect();
+                push_duration_histogram(&mut stats, "vt_dur", valid.iter().copied());
+                push_overlap_histogram(&mut stats, &valid);
+            }
+            Relation::Temporal(r) => {
+                let all = r.scan_rows()?;
+                let current = all.iter().filter(|row| row.is_current()).count();
+                push_stat(&mut stats, "rows", current as i64);
+                push_stat(&mut stats, "versions", all.len() as i64);
+                push_key_stats(&mut stats, all.iter().map(|row| key_of(&row.tuple)));
+                let valid: Vec<_> = all.iter().map(|row| row.validity.period()).collect();
+                push_duration_histogram(&mut stats, "vt_dur", valid.iter().copied());
+                push_duration_histogram(&mut stats, "tx_dur", all.iter().map(|row| row.tx));
+                push_overlap_histogram(&mut stats, &valid);
+            }
+        }
+        push_stat(
+            &mut stats,
+            "checkpoint_k",
+            relation_checkpoint_k(rel) as i64,
+        );
+        push_stat(&mut stats, "bytes", relation_bytes(rel) as i64);
+        let count = stats.len();
+        let at = self.txn.peek_now();
+        self.telemetry.record_tablestats(at, relation, stats);
+        self.recorder.emit_event(
+            "analyze",
+            &[("relation", relation.into()), ("stats", count.into())],
+        );
+        span.rows_out(count as u64);
+        Ok(count)
+    }
+
     /// Scan of one system relation.  System scans bypass the query
     /// cache: telemetry is volatile and never bumps relation epochs, so
     /// a cached entry would serve stale history.
@@ -734,8 +812,36 @@ impl Database {
         span.detail(format!("{relation} (system)"));
         let rows = match relation {
             "sys$stats" => self.telemetry.stats_scan(as_of),
+            "sys$tablestats" => self.telemetry.tablestats_scan(as_of),
             "sys$relations" => self.telemetry.catalog_scan(as_of),
             "sys$sessions" => self.registry.sessions_scan(as_of),
+            "sys$queries" => {
+                reject_system_as_of(relation, as_of)?;
+                self.recorder
+                    .fingerprints()
+                    .entries()
+                    .iter()
+                    .map(|e| SourceRow {
+                        tuple: chronos_core::tuple::Tuple::new(vec![
+                            chronos_core::value::Value::str(format!("{:016x}", e.hash)),
+                            chronos_core::value::Value::str(&e.statement),
+                            chronos_core::value::Value::str(e.kind),
+                            chronos_core::value::Value::Int(e.calls.min(i64::MAX as u64) as i64),
+                            chronos_core::value::Value::Int(e.p50_ns.min(i64::MAX as u64) as i64),
+                            chronos_core::value::Value::Int(e.p99_ns.min(i64::MAX as u64) as i64),
+                            chronos_core::value::Value::Int(e.rows_out.min(i64::MAX as u64) as i64),
+                            chronos_core::value::Value::Int(
+                                e.cache_hits.min(i64::MAX as u64) as i64
+                            ),
+                            chronos_core::value::Value::Int(
+                                e.cache_misses.min(i64::MAX as u64) as i64
+                            ),
+                        ]),
+                        validity: None,
+                        tx: None,
+                    })
+                    .collect()
+            }
             "sys$connections" => {
                 reject_system_as_of(relation, as_of)?;
                 self.registry.connections_scan()
@@ -812,6 +918,142 @@ fn relation_checkpoint_k(rel: &Relation) -> usize {
             crate::relation::ROLLBACK_CHECKPOINT_INTERVAL
         }
         _ => 0,
+    }
+}
+
+fn push_stat(stats: &mut Vec<(String, i64)>, name: &str, value: i64) {
+    stats.push((name.to_string(), value));
+}
+
+/// Version-chain grouping key: the first attribute's rendered value
+/// (the relation model declares no keys yet, so this is the documented
+/// heuristic behind `distinct_keys` and the chain-length histogram).
+fn key_of(tuple: &chronos_core::tuple::Tuple) -> String {
+    tuple
+        .try_get(0)
+        .map(|v| format!("{v:?}"))
+        .unwrap_or_default()
+}
+
+/// `distinct_keys` plus the version-chain-length histogram
+/// (`chain_len_le_{1,2,4,8,16}` / `chain_len_gt_16`): how many versions
+/// each key has accumulated.
+fn push_key_stats(stats: &mut Vec<(String, i64)>, keys: impl Iterator<Item = String>) {
+    let mut chains: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
+    for key in keys {
+        *chains.entry(key).or_insert(0) += 1;
+    }
+    push_stat(stats, "distinct_keys", chains.len() as i64);
+    let mut buckets = [0i64; 6];
+    for &len in chains.values() {
+        let idx = match len {
+            ..=1 => 0,
+            2 => 1,
+            3..=4 => 2,
+            5..=8 => 3,
+            9..=16 => 4,
+            _ => 5,
+        };
+        buckets[idx] += 1;
+    }
+    for (name, count) in [
+        "chain_len_le_1",
+        "chain_len_le_2",
+        "chain_len_le_4",
+        "chain_len_le_8",
+        "chain_len_le_16",
+        "chain_len_gt_16",
+    ]
+    .iter()
+    .zip(buckets)
+    {
+        push_stat(stats, name, count);
+    }
+}
+
+/// Interval-duration histogram over `periods`, in chronon ticks:
+/// `<prefix>_le_{1,4,16,64,256}`, `<prefix>_gt_256`, and
+/// `<prefix>_open` for periods reaching `forever` (still-current
+/// transaction periods, open valid intervals).
+fn push_duration_histogram(
+    stats: &mut Vec<(String, i64)>,
+    prefix: &str,
+    periods: impl Iterator<Item = chronos_core::period::Period>,
+) {
+    let mut buckets = [0i64; 6];
+    let mut open = 0i64;
+    for p in periods {
+        match p.duration() {
+            None => open += 1,
+            Some(d) => {
+                let idx = match d {
+                    ..=1 => 0,
+                    2..=4 => 1,
+                    5..=16 => 2,
+                    17..=64 => 3,
+                    65..=256 => 4,
+                    _ => 5,
+                };
+                buckets[idx] += 1;
+            }
+        }
+    }
+    for (suffix, count) in ["le_1", "le_4", "le_16", "le_64", "le_256", "gt_256"]
+        .iter()
+        .zip(buckets)
+    {
+        push_stat(stats, &format!("{prefix}_{suffix}"), count);
+    }
+    push_stat(stats, &format!("{prefix}_open"), open);
+}
+
+/// Valid-time overlap-density histogram: a sweep line over the interval
+/// endpoints records, at each interval start, how many intervals are
+/// concurrently valid (`overlap_le_{1,2,4,8}` / `overlap_gt_8`).  This
+/// is the distribution property Mkaouar & Bouaziz identify as the
+/// dominant temporal-join cost driver.
+fn push_overlap_histogram(
+    stats: &mut Vec<(String, i64)>,
+    periods: &[chronos_core::period::Period],
+) {
+    use chronos_core::timepoint::TimePoint;
+    let mut events: Vec<(TimePoint, i32)> = Vec::with_capacity(periods.len() * 2);
+    for p in periods {
+        if p.is_empty() {
+            continue;
+        }
+        events.push((p.start(), 1));
+        events.push((p.end(), -1));
+    }
+    // Ends sort before starts at equal points: `[a, b)` and `[b, c)` do
+    // not overlap.
+    events.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut live = 0i64;
+    let mut buckets = [0i64; 5];
+    for (_, delta) in events {
+        live += delta as i64;
+        if delta > 0 {
+            let idx = match live {
+                ..=1 => 0,
+                2 => 1,
+                3..=4 => 2,
+                5..=8 => 3,
+                _ => 4,
+            };
+            buckets[idx] += 1;
+        }
+    }
+    for (name, count) in [
+        "overlap_le_1",
+        "overlap_le_2",
+        "overlap_le_4",
+        "overlap_le_8",
+        "overlap_gt_8",
+    ]
+    .iter()
+    .zip(buckets)
+    {
+        push_stat(stats, name, count);
     }
 }
 
@@ -904,6 +1146,16 @@ impl RelationProvider for Database {
         }
         span.rows_out(rows.len() as u64);
         Ok(rows)
+    }
+
+    fn estimated_rows(&self, relation: &str) -> Option<u64> {
+        // The latest `analyze` sample's current-row count — `scan(None)`
+        // yields current rows in every class, so "rows" (not "versions")
+        // is the comparable estimate.  Never-analyzed relations (and all
+        // sys$ telemetry) answer None.
+        self.telemetry
+            .latest_tablestat(relation, "rows")
+            .map(|v| v.max(0) as u64)
     }
 }
 

@@ -599,6 +599,13 @@ impl SessionBackend for EngineBackend {
         self.engine
             .exclusive(move |db| db.destroy_relation(&name))?
     }
+
+    fn analyze(&mut self, relation: &str) -> DbResult<usize> {
+        // A read-lock suffices: statistics collection only scans
+        // storage and records into the (interior-mutable) telemetry
+        // rings — no catalog mutation.
+        self.read_db().analyze_relation(relation)
+    }
 }
 
 impl Drop for EngineBackend {
@@ -680,5 +687,11 @@ impl RelationProvider for PinnedProvider<'_> {
             }
         };
         self.db.scan(relation, Some(&clamped))
+    }
+
+    fn estimated_rows(&self, relation: &str) -> Option<u64> {
+        // Statistics are telemetry, not versioned state — the latest
+        // analyze sample answers regardless of the snapshot pin.
+        RelationProvider::estimated_rows(self.db, relation)
     }
 }

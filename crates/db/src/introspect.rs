@@ -15,6 +15,8 @@
 //! | `sys$events`      | static           | tail of the JSONL event journal    |
 //! | `sys$sessions`    | static rollback  | live + sampled session state       |
 //! | `sys$connections` | static           | live network connections           |
+//! | `sys$queries`     | static           | per-fingerprint workload aggregates|
+//! | `sys$tablestats`  | temporal (event) | `analyze` storage statistics       |
 //!
 //! `sys$stats` rows carry both timestamps: validity is the sampling
 //! event, and the transaction period of sample *i* is
@@ -89,6 +91,28 @@ struct CatalogSample {
     rows: Vec<CatalogRow>,
 }
 
+/// One per-relation statistic as collected by `analyze`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStatRow {
+    /// The analyzed relation.
+    pub relation: String,
+    /// Statistic name (`rows`, `versions`, `chain_len_le_4`, …).
+    pub stat: String,
+    /// Statistic value.
+    pub value: i64,
+    /// Transaction-clock reading of the `analyze` that produced this
+    /// row — its valid-time event (carried forward unchanged when later
+    /// analyzes of *other* relations produce new samples).
+    pub analyzed_at: Chronon,
+}
+
+/// All relations' statistics as known after one `analyze`.
+#[derive(Debug, Clone)]
+struct TableStatsSample {
+    at: Chronon,
+    rows: Vec<TableStatRow>,
+}
+
 /// Counters describing the telemetry subsystem itself, surfaced through
 /// `engine_stats()`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +154,7 @@ pub struct TelemetryStore {
     capacity: usize,
     stats: Mutex<VecDeque<StatSample>>,
     catalog: Mutex<VecDeque<CatalogSample>>,
+    tablestats: Mutex<VecDeque<TableStatsSample>>,
     spill_path: Mutex<Option<PathBuf>>,
     samples_taken: AtomicU64,
     samples_spilled: AtomicU64,
@@ -149,6 +174,7 @@ impl TelemetryStore {
             capacity: capacity.max(1),
             stats: Mutex::new(VecDeque::new()),
             catalog: Mutex::new(VecDeque::new()),
+            tablestats: Mutex::new(VecDeque::new()),
             spill_path: Mutex::new(None),
             samples_taken: AtomicU64::new(0),
             samples_spilled: AtomicU64::new(0),
@@ -224,6 +250,116 @@ impl TelemetryStore {
         if ring.len() > self.capacity {
             ring.pop_front();
         }
+    }
+
+    /// Records the statistics `analyze <relation>` collected at
+    /// transaction time `at`.  The new sample carries forward the
+    /// previous sample's rows for every *other* relation (with their
+    /// original `analyzed_at`) and replaces the analyzed relation's —
+    /// so the newest sample always holds the complete statistics state,
+    /// and `as of` shows how a relation's shape evolved across
+    /// successive analyzes.  Same newest-wins clamping as
+    /// [`record_stats`](Self::record_stats).
+    pub fn record_tablestats(&self, at: Chronon, relation: &str, stats: Vec<(String, i64)>) {
+        let mut ring = self.tablestats.lock();
+        let mut rows: Vec<TableStatRow> = ring
+            .back()
+            .map(|s| {
+                s.rows
+                    .iter()
+                    .filter(|r| r.relation != relation)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        rows.extend(stats.into_iter().map(|(stat, value)| TableStatRow {
+            relation: relation.to_string(),
+            stat,
+            value,
+            analyzed_at: at,
+        }));
+        rows.sort_by(|a, b| a.relation.cmp(&b.relation).then(a.stat.cmp(&b.stat)));
+        if let Some(last) = ring.back_mut() {
+            if at <= last.at {
+                let at = last.at;
+                *last = TableStatsSample { at, rows };
+                return;
+            }
+        }
+        ring.push_back(TableStatsSample { at, rows });
+        if ring.len() > self.capacity {
+            ring.pop_front();
+        }
+    }
+
+    /// Drops every statistic recorded for `relation` (called on
+    /// `destroy`, so a recreated relation starts unanalyzed).
+    pub fn forget_tablestats(&self, relation: &str) {
+        let mut ring = self.tablestats.lock();
+        for s in ring.iter_mut() {
+            s.rows.retain(|r| r.relation != relation);
+        }
+    }
+
+    /// The latest recorded value of one statistic for `relation`
+    /// (`None` until the relation is analyzed) — the planner-facing
+    /// lookup behind `RelationProvider::estimated_rows`.
+    pub fn latest_tablestat(&self, relation: &str, stat: &str) -> Option<i64> {
+        let ring = self.tablestats.lock();
+        ring.back().and_then(|s| {
+            s.rows
+                .iter()
+                .find(|r| r.relation == relation && r.stat == stat)
+                .map(|r| r.value)
+        })
+    }
+
+    /// The `sys$tablestats` scan: tall `(relation, stat, value)` rows.
+    /// Validity is the `analyze` collection event; the transaction
+    /// period of sample *i* is `[at_i, at_{i+1})`, the newest extending
+    /// to `forever` — the same currency semantics as `sys$stats`.
+    pub fn tablestats_scan(&self, as_of: Option<&AsOfSpec>) -> Vec<SourceRow> {
+        let ring = self.tablestats.lock();
+        let periods = periods_of(ring.iter().map(|s| s.at));
+        let selected: Vec<usize> = match as_of {
+            None => (!ring.is_empty())
+                .then(|| ring.len() - 1)
+                .into_iter()
+                .collect(),
+            Some(AsOfSpec::At(t)) => ring
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, s)| s.at <= *t)
+                .map(|(i, _)| i)
+                .into_iter()
+                .collect(),
+            Some(AsOfSpec::Through(t1, t2)) => {
+                let window = Period::clamped(*t1, t2.succ());
+                periods
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.overlaps(window))
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+        };
+        let mut rows = Vec::new();
+        for i in selected {
+            let s = &ring[i];
+            for r in &s.rows {
+                rows.push(SourceRow {
+                    tuple: Tuple::new(vec![
+                        Value::str(&r.relation),
+                        Value::str(&r.stat),
+                        Value::Int(r.value),
+                    ]),
+                    validity: Some(Validity::Event(r.analyzed_at)),
+                    tx: Some(periods[i]),
+                });
+            }
+        }
+        rows
     }
 
     /// Appends an evicted sample to the spill file (best effort — the
@@ -845,6 +981,31 @@ pub fn system_info(name: &str) -> Option<RelationInfo> {
             RelationClass::Static,
             TemporalSignature::Interval,
         ),
+        // "kind" for the same reason as sys$events: `event` is reserved.
+        "sys$queries" => (
+            Schema::new(vec![
+                Attribute::new("fingerprint", AttrType::Str),
+                Attribute::new("statement", AttrType::Str),
+                Attribute::new("kind", AttrType::Str),
+                Attribute::new("calls", AttrType::Int),
+                Attribute::new("p50_ns", AttrType::Int),
+                Attribute::new("p99_ns", AttrType::Int),
+                Attribute::new("rows_out", AttrType::Int),
+                Attribute::new("cache_hits", AttrType::Int),
+                Attribute::new("cache_misses", AttrType::Int),
+            ]),
+            RelationClass::Static,
+            TemporalSignature::Interval,
+        ),
+        "sys$tablestats" => (
+            Schema::new(vec![
+                Attribute::new("relation", AttrType::Str),
+                Attribute::new("stat", AttrType::Str),
+                Attribute::new("value", AttrType::Int),
+            ]),
+            RelationClass::Temporal,
+            TemporalSignature::Event,
+        ),
         _ => return None,
     };
     Some(RelationInfo {
@@ -856,14 +1017,16 @@ pub fn system_info(name: &str) -> Option<RelationInfo> {
 
 /// Names of the system relations, in name order (the CLI's `\d` lists
 /// them after user relations).
-pub fn system_relation_names() -> [&'static str; 6] {
+pub fn system_relation_names() -> [&'static str; 8] {
     [
         "sys$connections",
         "sys$events",
+        "sys$queries",
         "sys$relations",
         "sys$sessions",
         "sys$slow",
         "sys$stats",
+        "sys$tablestats",
     ]
 }
 
@@ -1136,6 +1299,50 @@ mod tests {
         chronos_obs::validate_json(&reg.to_json()).unwrap();
         reg.deregister_connection(c);
         assert!(reg.connections_scan().is_empty());
+    }
+
+    #[test]
+    fn tablestats_carry_forward_and_answer_as_of() {
+        let store = TelemetryStore::new(8);
+        let stats = |v: i64| vec![("rows".to_string(), v), ("versions".to_string(), v * 2)];
+        store.record_tablestats(Chronon::new(10), "faculty", stats(5));
+        store.record_tablestats(Chronon::new(20), "dept", stats(3));
+        store.record_tablestats(Chronon::new(30), "faculty", stats(9));
+
+        let value_of = |as_of: Option<&AsOfSpec>, rel: &str, stat: &str| -> Option<i64> {
+            store
+                .tablestats_scan(as_of)
+                .iter()
+                .find(|r| {
+                    r.tuple.get(0).as_str() == Some(rel) && r.tuple.get(1).as_str() == Some(stat)
+                })
+                .map(|r| r.tuple.get(2).as_int().unwrap())
+        };
+        // Current: the newest sample holds both relations (carry-forward).
+        assert_eq!(value_of(None, "faculty", "rows"), Some(9));
+        assert_eq!(value_of(None, "dept", "rows"), Some(3));
+        // As of t: the relation's shape at that time.
+        assert_eq!(
+            value_of(Some(&AsOfSpec::At(Chronon::new(25))), "faculty", "rows"),
+            Some(5)
+        );
+        assert_eq!(
+            value_of(Some(&AsOfSpec::At(Chronon::new(15))), "dept", "rows"),
+            None
+        );
+        // Valid time is the collection event, carried forward unchanged.
+        let current = store.tablestats_scan(None);
+        let dept = current
+            .iter()
+            .find(|r| r.tuple.get(0).as_str() == Some("dept"))
+            .unwrap();
+        assert_eq!(dept.validity, Some(Validity::Event(Chronon::new(20))));
+        // Planner lookup sees the newest value; destroy forgets.
+        assert_eq!(store.latest_tablestat("faculty", "versions"), Some(18));
+        assert_eq!(store.latest_tablestat("faculty", "nope"), None);
+        store.forget_tablestats("faculty");
+        assert_eq!(store.latest_tablestat("faculty", "rows"), None);
+        assert_eq!(store.latest_tablestat("dept", "rows"), Some(3));
     }
 
     #[test]

@@ -406,6 +406,11 @@ pub fn render_outcomes(outcomes: &[ExecOutcome]) -> String {
                     out.push_str(&format!("  {line}\n"));
                 }
             }
+            ExecOutcome::Analyzed { relation, stats } => {
+                out.push_str(&format!(
+                    "analyzed {relation} ({stats} statistic(s) into sys$tablestats)\n"
+                ));
+            }
             ExecOutcome::Declared => {}
         }
     }

@@ -128,6 +128,10 @@ impl ObsSource for DbObsSource {
         self.recorder.slowlog().to_json()
     }
 
+    fn queries_json(&self) -> String {
+        self.recorder.fingerprints().to_json()
+    }
+
     fn events_json(&self, n: usize) -> String {
         match self.recorder.journal() {
             Some(journal) => {

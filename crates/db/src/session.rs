@@ -77,6 +77,13 @@ pub enum ExecOutcome {
         /// The rendered span tree plus counter deltas.
         report: String,
     },
+    /// An `analyze` collected storage statistics into `sys$tablestats`.
+    Analyzed {
+        /// The analyzed relation.
+        relation: String,
+        /// How many statistics the sample holds.
+        stats: usize,
+    },
 }
 
 impl ExecOutcome {
@@ -147,6 +154,10 @@ pub trait SessionBackend {
 
     /// Drops a relation and its store.
     fn destroy_relation(&mut self, name: &str) -> DbResult<()>;
+
+    /// Collects storage statistics for `relation` into
+    /// `sys$tablestats`; returns how many statistics the sample holds.
+    fn analyze(&mut self, relation: &str) -> DbResult<usize>;
 }
 
 impl SessionBackend for &mut Database {
@@ -201,6 +212,10 @@ impl SessionBackend for &mut Database {
     fn destroy_relation(&mut self, name: &str) -> DbResult<()> {
         Database::destroy_relation(self, name)
     }
+
+    fn analyze(&mut self, relation: &str) -> DbResult<usize> {
+        Database::analyze_relation(self, relation)
+    }
 }
 
 /// An interactive session over a database or engine.
@@ -215,6 +230,15 @@ pub struct Session<B: SessionBackend> {
     /// first one); echoed in wire responses and stamped on slow-log
     /// admissions and `slow_query` journal events.
     last_trace: String,
+    /// Single-entry fingerprint memo: the last fingerprinted statement
+    /// with its hash and normalized text.  Shell and driver loops
+    /// re-execute structurally identical statements, and a structural
+    /// equality check is far cheaper than the clone + unparse + hash it
+    /// replaces — the T10 overhead budget depends on this.  Statements
+    /// differing only in literals miss (their fingerprints coincide,
+    /// but the memo cannot know that without normalizing) and take the
+    /// full path.
+    fp_memo: Option<(Statement, u64, String)>,
 }
 
 impl<'a> Session<&'a mut Database> {
@@ -236,6 +260,7 @@ impl<B: SessionBackend> Session<B> {
             ranges: HashMap::new(),
             pending_trace: None,
             last_trace: String::new(),
+            fp_memo: None,
         }
     }
 
@@ -363,36 +388,52 @@ impl<B: SessionBackend> Session<B> {
                 Ok(ExecOutcome::Destroyed)
             }
             Statement::Explain { profile, inner } => self.explain(*profile, inner),
+            Statement::Analyze { relation } => {
+                let stats = self.backend.analyze(relation)?;
+                Ok(ExecOutcome::Analyzed {
+                    relation: relation.clone(),
+                    stats,
+                })
+            }
         }
     }
 
-    /// [`execute`](Self::execute) wrapped in slow-query capture.
+    /// [`execute`](Self::execute) wrapped in workload analytics and
+    /// slow-query capture.
     ///
-    /// When the statement's wall time meets the recorder's slow-log
-    /// threshold, its rendered span tree plus counter deltas — the
-    /// `profile` artifact — is admitted to the bounded slow-query ring
-    /// and a `slow_query` event is journaled.  With the slow log
-    /// disabled (threshold `u64::MAX`, the default) this is one atomic
+    /// With the recorder enabled, every statement's execution is folded
+    /// into the query-fingerprint store under its literal-normalized
+    /// hash (calls, latency, rows out, cache hits/misses — the
+    /// `sys$queries` projection).  When additionally the statement's
+    /// wall time meets the recorder's slow-log threshold, its rendered
+    /// span tree plus counter deltas — the `profile` artifact — is
+    /// admitted to the bounded slow-query ring and a `slow_query` event
+    /// is journaled.  With the recorder disabled this is one atomic
     /// load and a branch on top of [`execute`](Self::execute); the T10
-    /// experiment asserts that overhead stays under 5%.
+    /// and T14 experiments assert that overhead stays under 5%.
     pub fn execute_monitored(&mut self, stmt: &Statement) -> DbResult<ExecOutcome> {
         self.backend.note_statement(&self.last_trace);
-        // `explain`/`profile` runs its own capture; wrapping it would
-        // steal that capture (newest trace request wins), so it — and
-        // any disabled recorder or slow log — takes the plain path.
-        let capture = {
-            let recorder = self.backend.recorder();
-            recorder.is_enabled() && recorder.slowlog().is_enabled()
-        } && !matches!(stmt, Statement::Explain { .. });
-        if !capture {
+        // `explain`/`profile` runs its own capture (wrapping it would
+        // steal that capture — newest trace request wins) and records
+        // its own fingerprint, so it — and any disabled recorder —
+        // takes the plain path.
+        let recorder = self.backend.recorder();
+        if !recorder.is_enabled() || matches!(stmt, Statement::Explain { .. }) {
             return self.execute(stmt);
         }
-        let recorder = self.backend.recorder();
+        // Span capture is dearer than fingerprint aggregation, so it
+        // stays gated behind the slow log being armed.
+        let capture = recorder.slowlog().is_enabled();
         let threshold = recorder.slowlog().threshold_ns();
-        let before = recorder.snapshot();
-        recorder.begin_trace();
+        let hits_before = recorder.instruments().cache_hits.get();
+        let misses_before = recorder.instruments().cache_misses.get();
+        let before = capture.then(|| {
+            let snapshot = recorder.snapshot();
+            recorder.begin_trace();
+            snapshot
+        });
         let started = std::time::Instant::now();
-        let result = {
+        let result = if capture {
             // The root span guarantees every captured profile has a
             // non-empty tree; access-path details (e.g. a rollback
             // reconstruction's "checkpoint hit" vs "full replay") are
@@ -400,13 +441,47 @@ impl<B: SessionBackend> Session<B> {
             let span = recorder.span("session/statement");
             span.detail(statement_kind(stmt).to_string());
             self.execute(stmt)
+        } else {
+            self.execute(stmt)
         };
         let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         // End the capture even on error so a failed statement does not
         // leave a stale capture eating later spans.
-        let report = recorder.end_trace(&before);
-        if elapsed_ns >= threshold {
-            if let Some(report) = report {
+        let report = before.as_ref().and_then(|b| recorder.end_trace(b));
+        let rows_out = match &result {
+            Ok(ExecOutcome::Retrieved(r)) => r.len() as u64,
+            Ok(ExecOutcome::Materialized { rows, .. }) => *rows as u64,
+            _ => 0,
+        };
+        if !self.fp_memo.as_ref().is_some_and(|(s, ..)| s == stmt) {
+            let (hash, normalized) = chronos_tquel::fingerprint(stmt);
+            self.fp_memo = Some((stmt.clone(), hash, normalized));
+        }
+        let (_, hash, normalized) = self.fp_memo.as_ref().expect("memo just filled");
+        let hash = *hash;
+        recorder.fingerprints().record(
+            hash,
+            normalized,
+            statement_kind(stmt),
+            elapsed_ns,
+            rows_out,
+            recorder
+                .instruments()
+                .cache_hits
+                .get()
+                .saturating_sub(hits_before),
+            recorder
+                .instruments()
+                .cache_misses
+                .get()
+                .saturating_sub(misses_before),
+            report.as_ref().and_then(access_path_of).as_deref(),
+        );
+        if let Some(report) = report {
+            for (_, factor) in report.misestimates() {
+                recorder.fingerprints().record_misestimate(hash, factor);
+            }
+            if elapsed_ns >= threshold {
                 let statement = unparse(stmt);
                 let seq = recorder.slowlog().admit(
                     statement.clone(),
@@ -447,12 +522,15 @@ impl<B: SessionBackend> Session<B> {
             span.rows_out(text.len() as u64);
             let _ = parse_statement(&text);
         }
+        let started = std::time::Instant::now();
+        let mut rows_out = 0u64;
         let result: DbResult<()> = match inner {
             // Retrieves run through the traced evaluator so analyze /
             // scan / product spans land in this capture.
             Statement::Retrieve(r) => {
                 match self.backend.retrieve(r, &self.ranges, Some(&recorder)) {
                     Ok(result) => {
+                        rows_out = result.len() as u64;
                         if let Some(into) = &r.into {
                             self.backend.materialize(into, &result).map(|_| ())
                         } else {
@@ -466,10 +544,33 @@ impl<B: SessionBackend> Session<B> {
             // layer spans it emits are captured all the same.
             other => self.execute(other).map(|_| ()),
         };
+        let elapsed_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         // End the capture even on error so a failed statement does not
         // leave a stale capture eating later spans.
         let report = recorder.end_trace(&before);
         result?;
+        // The *inner* statement's fingerprint absorbs this execution —
+        // an explained retrieve is the same workload shape as a bare
+        // one — along with any estimated-vs-actual misestimation
+        // factors its operators exposed.
+        if recorder.is_enabled() {
+            let (hash, normalized) = chronos_tquel::fingerprint(inner);
+            recorder.fingerprints().record(
+                hash,
+                &normalized,
+                statement_kind(inner),
+                elapsed_ns,
+                rows_out,
+                0,
+                0,
+                report.as_ref().and_then(access_path_of).as_deref(),
+            );
+            if let Some(report) = &report {
+                for (_, factor) in report.misestimates() {
+                    recorder.fingerprints().record_misestimate(hash, factor);
+                }
+            }
+        }
         let report = report
             .map(|r| r.render(profile))
             .unwrap_or_else(|| "(tracing disabled on this database)".to_string());
@@ -745,7 +846,21 @@ fn statement_kind(stmt: &Statement) -> &'static str {
         Statement::Create { .. } => "create",
         Statement::Destroy { .. } => "destroy",
         Statement::Explain { .. } => "explain",
+        Statement::Analyze { .. } => "analyze",
     }
+}
+
+/// The access-path label a traced execution exposed: the detail of the
+/// deepest storage-layer span (scan strategy, checkpoint hit vs full
+/// replay, cache hit).  `None` when the capture recorded no such span.
+fn access_path_of(report: &chronos_obs::trace::TraceReport) -> Option<String> {
+    report
+        .spans
+        .iter()
+        .rev()
+        .filter(|s| s.name.starts_with("db/") || s.name.starts_with("storage/"))
+        .find(|s| !s.detail.is_empty())
+        .map(|s| s.detail.clone())
 }
 
 fn literal_value(op: &Operand, expected: AttrType) -> DbResult<Value> {

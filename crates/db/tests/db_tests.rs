@@ -331,3 +331,176 @@ fn event_relation_appends_take_valid_at() {
     assert_eq!(res.column_strings(0), ["09/01/77"]);
     assert_eq!(res.rows[0].validity, Some(Validity::Event(d("08/25/77"))));
 }
+
+// ---------------------------------------------------------------------
+// workload analytics: analyze / sys$tablestats / sys$queries / explain
+// ---------------------------------------------------------------------
+
+/// Queries `sys$tablestats` for one relation's latest sample as a
+/// `stat -> value` map (optionally rolled back with `as of`).
+fn tablestats_map(
+    db: &mut Database,
+    relation: &str,
+    as_of: Option<&str>,
+) -> std::collections::HashMap<String, i64> {
+    let as_of = as_of.map(|t| format!(" as of \"{t}\"")).unwrap_or_default();
+    let res = db
+        .session()
+        .query(&format!(
+            r#"range of ts is sys$tablestats
+               retrieve (ts.stat, ts.value) where ts.relation = "{relation}"{as_of}"#
+        ))
+        .unwrap();
+    res.rows
+        .iter()
+        .map(|r| {
+            (
+                r.tuple.get(0).to_string(),
+                r.tuple.get(1).to_string().parse::<i64>().unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn analyze_populates_sys_tablestats_with_histograms() {
+    let clock = Arc::new(ManualClock::new(d("01/01/77")));
+    let mut db = Database::in_memory(clock.clone());
+    let mut s = db.session();
+    s.run("create people (name = str, rank = str) as temporal")
+        .unwrap();
+    // 500 facts, then a sweeping retroactive replace: 1000 stored
+    // versions in chains of length 2.
+    let mut program = String::new();
+    for i in 0..500 {
+        program.push_str(&format!(
+            "append to people (name = \"p{i}\", rank = \"junior\")\n"
+        ));
+    }
+    s.run(&program).unwrap();
+    clock.advance_to(d("01/01/80"));
+    s.run(r#"range of p is people replace p (rank = "senior") where p.rank = "junior""#)
+        .unwrap();
+
+    let out = s.run("analyze people").unwrap();
+    match &out[0] {
+        ExecOutcome::Analyzed { relation, stats } => {
+            assert_eq!(relation, "people");
+            assert!(
+                *stats > 10,
+                "expected a full statistics sample, got {stats}"
+            );
+        }
+        other => panic!("expected Analyzed, got {other:?}"),
+    }
+    drop(s);
+
+    // A temporal replace supersedes the old version (its transaction
+    // period closes), stores a correction copy with closed validity,
+    // and opens the new version: 3 versions per key.
+    let map = tablestats_map(&mut db, "people", None);
+    assert_eq!(map["versions"], 1500);
+    assert_eq!(map["rows"], 1000, "tx-current versions after the replace");
+    assert_eq!(map["distinct_keys"], 500);
+    assert_eq!(
+        map["chain_len_le_4"], 500,
+        "every key has exactly 3 versions"
+    );
+    // The replace closed 500 validity intervals (3 years each) and left
+    // 1000 open; transaction periods mirror that shape.
+    let closed_vt: i64 = [
+        "vt_dur_le_1",
+        "vt_dur_le_4",
+        "vt_dur_le_16",
+        "vt_dur_le_64",
+        "vt_dur_le_256",
+        "vt_dur_gt_256",
+    ]
+    .iter()
+    .map(|k| map[*k])
+    .sum();
+    assert_eq!(closed_vt, 500);
+    assert_eq!(map["vt_dur_open"], 1000);
+    assert_eq!(map["tx_dur_open"], 1000);
+    // All 500 superseded intervals cover [77, 80): peak concurrency is
+    // far past the last bucket edge.
+    assert!(
+        map["overlap_gt_8"] > 0,
+        "overlap histogram is empty: {map:?}"
+    );
+}
+
+#[test]
+fn sys_tablestats_as_of_shows_statistics_evolution() {
+    let clock = Arc::new(ManualClock::new(d("01/01/77")));
+    let mut db = Database::in_memory(clock.clone());
+    let mut s = db.session();
+    s.run("create people (name = str) as temporal").unwrap();
+    s.run(r#"append to people (name = "a")"#).unwrap();
+    s.run("analyze people").unwrap();
+    clock.advance_to(d("01/01/80"));
+    s.run(r#"append to people (name = "b")"#).unwrap();
+    s.run("analyze people").unwrap();
+    drop(s);
+
+    assert_eq!(tablestats_map(&mut db, "people", None)["versions"], 2);
+    // Rolled back between the two samples, the first one answers.
+    assert_eq!(
+        tablestats_map(&mut db, "people", Some("01/01/78"))["versions"],
+        1
+    );
+}
+
+#[test]
+fn same_shape_queries_share_one_fingerprint() {
+    let (mut db, clock) = fresh_db();
+    build_figure_8(&mut db, &clock);
+    let mut s = db.session();
+    s.query(r#"range of f is faculty retrieve (f.rank) where f.name = "Mike""#)
+        .unwrap();
+    s.query(r#"range of f is faculty retrieve (f.rank) where f.name = "Tom""#)
+        .unwrap();
+    let res = s
+        .query(r#"range of q is sys$queries retrieve (q.statement, q.calls) where q.kind = "retrieve""#)
+        .unwrap();
+    assert_eq!(res.len(), 1, "two literals, one fingerprint: {res:?}");
+    let statement = res.rows[0].tuple.get(0).to_string();
+    assert!(
+        statement.contains("\"?\""),
+        "literals should be normalized away: {statement}"
+    );
+    assert_eq!(res.rows[0].tuple.get(1).to_string(), "2");
+}
+
+#[test]
+fn explain_shows_estimated_vs_actual_after_analyze() {
+    let (mut db, clock) = fresh_db();
+    build_figure_8(&mut db, &clock);
+    let mut s = db.session();
+    s.run("analyze faculty").unwrap();
+    let out = s
+        .run(r#"range of f is faculty explain retrieve (f.rank) where f.name = "Mike""#)
+        .unwrap();
+    let report = match &out[1] {
+        ExecOutcome::Explained { report, .. } => report.clone(),
+        other => panic!("expected Explained, got {other:?}"),
+    };
+    assert!(
+        report.contains("est="),
+        "explain should show the statistics-based estimate: {report}"
+    );
+}
+
+#[test]
+fn connections_as_of_rejection_names_the_relation() {
+    let (mut db, _clock) = fresh_db();
+    let err = db
+        .session()
+        .query(r#"range of c is sys$connections retrieve (c.peer) as of "01/01/80""#)
+        .unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("sys$connections"),
+        "the rejection should name the relation, not just the range variable: {msg}"
+    );
+}

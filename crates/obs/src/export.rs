@@ -1,13 +1,14 @@
 //! The embedded HTTP observability exporter.
 //!
 //! A zero-dependency HTTP/1.1 server over [`std::net::TcpListener`]
-//! serving eight read-only endpoints:
+//! serving nine read-only endpoints:
 //!
 //! | endpoint               | body                                   | status    |
 //! |------------------------|----------------------------------------|-----------|
 //! | `/metrics`             | Prometheus text exposition             | 200       |
 //! | `/stats`               | engine stats JSON                      | 200       |
 //! | `/slow`                | slow-query log JSON                    | 200       |
+//! | `/queries`             | query-fingerprint workload JSON        | 200       |
 //! | `/sessions`            | live session/connection JSON           | 200       |
 //! | `/events?n=N`          | last N event-journal entries (JSON)    | 200       |
 //! | `/history?metric=&n=`  | sampled metric history (JSON)          | 200       |
@@ -112,6 +113,11 @@ pub trait ObsSource: Send + Sync {
     fn stats_json(&self) -> String;
     /// `/slow`: slow-query log JSON.
     fn slow_json(&self) -> String;
+    /// `/queries`: query-fingerprint workload aggregates JSON.
+    /// Sources without a fingerprint store report an empty list.
+    fn queries_json(&self) -> String {
+        "{\"queries\": []}".to_string()
+    }
     /// `/events?n=N`: last `n` event-journal entries as a JSON array of
     /// objects.  Sources without a journal return `{"events": []}`.
     fn events_json(&self, n: usize) -> String {
@@ -244,6 +250,7 @@ fn handle_connection(mut stream: TcpStream, source: &dyn ObsSource) -> std::io::
         "/metrics" => respond(&mut stream, 200, "OK", PROM, &source.prometheus()),
         "/stats" => respond(&mut stream, 200, "OK", JSON, &source.stats_json()),
         "/slow" => respond(&mut stream, 200, "OK", JSON, &source.slow_json()),
+        "/queries" => respond(&mut stream, 200, "OK", JSON, &source.queries_json()),
         "/sessions" => respond(&mut stream, 200, "OK", JSON, &source.sessions_json()),
         "/events" => {
             let n = query_param(query, "n")
@@ -431,6 +438,11 @@ mod tests {
             (200, "{\"metrics\": {}}\n".into())
         );
         assert_eq!(http_get(&addr, "/slow").unwrap(), (200, "[]\n".into()));
+        // The default queries body for sources without a fingerprint store.
+        assert_eq!(
+            http_get(&addr, "/queries").unwrap(),
+            (200, "{\"queries\": []}\n".into())
+        );
         // The default sessions body for sources without a registry.
         assert_eq!(
             http_get(&addr, "/sessions").unwrap(),

@@ -14,6 +14,7 @@
 pub mod events;
 pub mod export;
 pub mod fault;
+pub mod fingerprint;
 pub mod metrics;
 pub mod slowlog;
 pub mod trace;
@@ -22,9 +23,10 @@ pub use events::{
     parse_event_summary, validate_json, validate_jsonl, EventJournal, EventValue, JournalStats,
 };
 pub use export::{http_get, serve, Health, ObsServer, ObsSource};
+pub use fingerprint::{FingerprintStats, QueryFingerprints};
 pub use metrics::{Counter, Gauge, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use slowlog::{SlowEntry, SlowLog, SLOWLOG_DISABLED};
 pub use trace::{
-    next_trace_id, noop_recorder, Instruments, Recorder, RingEvent, SpanGuard, SpanRecord,
-    TraceReport,
+    misestimate_x1000, next_trace_id, noop_recorder, Instruments, Recorder, RingEvent, SpanGuard,
+    SpanRecord, TraceReport,
 };

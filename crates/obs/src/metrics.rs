@@ -559,6 +559,36 @@ mod tests {
     }
 
     #[test]
+    fn gauge_enumeration_is_consistent_across_renderings() {
+        // The queue-depth gauge pair must appear, under the same names,
+        // in the enumeration point, the JSON body, and the Prometheus
+        // exposition — the no-drift invariant for every scraper.
+        let mut s = MetricsSnapshot::default();
+        s.commit_queue_depth = 3;
+        s.commit_queue_hwm = 9;
+        let gauges = s.gauges();
+        assert_eq!(gauges.len(), 2);
+        assert_eq!(gauges[0], ("commit_queue_depth", 3));
+        assert_eq!(gauges[1], ("commit_queue_hwm", 9));
+        let json = s.to_json();
+        let prom = s.to_prometheus();
+        for (name, v) in gauges {
+            assert!(
+                json.contains(&format!("\"{name}\": {v}")),
+                "JSON missing gauge {name}"
+            );
+            assert!(
+                prom.contains(&format!("# TYPE chronos_{name} gauge")),
+                "Prometheus missing gauge TYPE line for {name}"
+            );
+            assert!(
+                prom.contains(&format!("chronos_{name} {v}")),
+                "Prometheus missing gauge sample for {name}"
+            );
+        }
+    }
+
+    #[test]
     fn zero_detection() {
         let mut s = MetricsSnapshot::default();
         assert!(s.is_zero());

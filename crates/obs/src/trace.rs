@@ -18,6 +18,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::events::{EventJournal, EventValue};
+use crate::fingerprint::QueryFingerprints;
 use crate::metrics::{Counter, Gauge, LatencyHistogram, MetricsSnapshot};
 use crate::slowlog::SlowLog;
 
@@ -51,6 +52,10 @@ pub struct SpanRecord {
     pub duration_ns: u64,
     pub rows_in: Option<u64>,
     pub rows_out: Option<u64>,
+    /// Statistics-based row-count estimate for this operator (from
+    /// `analyze`-collected table statistics), shown beside the actual
+    /// count so misestimation is visible in `explain`/`profile`.
+    pub rows_est: Option<u64>,
 }
 
 /// A finished span in the background event ring.
@@ -122,6 +127,10 @@ pub struct Recorder {
     trace: Mutex<TraceState>,
     /// Slow-statement captures (disabled until a threshold is set).
     slowlog: SlowLog,
+    /// Per-statement-shape workload aggregates (always on while the
+    /// recorder is enabled; one mutex-guarded vector probe per
+    /// statement, priced in EXPERIMENTS.md T14).
+    fingerprints: QueryFingerprints,
     /// Lifecycle event sink, present only on databases that attached a
     /// journal (durable ones); `has_journal` is the lock-free fast path.
     journal: Mutex<Option<Arc<EventJournal>>>,
@@ -142,6 +151,7 @@ impl Recorder {
             metrics: Instruments::default(),
             trace: Mutex::new(TraceState::default()),
             slowlog: SlowLog::default(),
+            fingerprints: QueryFingerprints::default(),
             journal: Mutex::new(None),
             has_journal: AtomicBool::new(false),
         }
@@ -154,6 +164,7 @@ impl Recorder {
             metrics: Instruments::default(),
             trace: Mutex::new(TraceState::default()),
             slowlog: SlowLog::default(),
+            fingerprints: QueryFingerprints::default(),
             journal: Mutex::new(None),
             has_journal: AtomicBool::new(false),
         }
@@ -172,6 +183,12 @@ impl Recorder {
     /// The slow-query log (disabled until a threshold is set).
     pub fn slowlog(&self) -> &SlowLog {
         &self.slowlog
+    }
+
+    /// The query-fingerprint store (recording whenever the recorder is
+    /// enabled; callers gate on [`is_enabled`](Self::is_enabled)).
+    pub fn fingerprints(&self) -> &QueryFingerprints {
+        &self.fingerprints
     }
 
     /// Attaches the lifecycle event journal; subsequent
@@ -322,6 +339,7 @@ impl Recorder {
                 duration_ns: 0,
                 rows_in: None,
                 rows_out: None,
+                rows_est: None,
             });
             spans.len() - 1
         });
@@ -420,6 +438,13 @@ impl SpanGuard<'_> {
             rec.annotate(i, |r| r.rows_out = Some(n));
         }
     }
+
+    /// Statistics-based row-count estimate for this operator.
+    pub fn rows_est(&self, n: u64) {
+        if let (Some(rec), Some(i)) = (self.rec, self.index) {
+            rec.annotate(i, |r| r.rows_est = Some(n));
+        }
+    }
 }
 
 impl Drop for SpanGuard<'_> {
@@ -443,6 +468,19 @@ impl TraceReport {
         self.spans.iter().find(|s| s.name == name)
     }
 
+    /// Per-operator misestimation factors (×1000) for every span that
+    /// carries both an estimate and an actual row count — what the
+    /// session layer feeds back into the fingerprint store.
+    pub fn misestimates(&self) -> Vec<(&'static str, u64)> {
+        self.spans
+            .iter()
+            .filter_map(|s| match (s.rows_est, s.rows_out) {
+                (Some(est), Some(actual)) => Some((s.name, misestimate_x1000(est, actual))),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Render the span tree.  With `timings` (profile mode) each row
     /// carries its wall time; without (explain mode) only structure,
     /// row counts, and access-path details are shown.
@@ -459,6 +497,17 @@ impl TraceReport {
             }
             if let Some(n) = s.rows_out {
                 out.push_str(&format!(" rows_out={n}"));
+            }
+            if let Some(est) = s.rows_est {
+                out.push_str(&format!(" est={est}"));
+                if let Some(actual) = s.rows_out {
+                    let x1000 = misestimate_x1000(est, actual);
+                    out.push_str(&format!(
+                        " ({}{:.1}x)",
+                        if est >= actual { "over " } else { "under " },
+                        x1000 as f64 / 1000.0
+                    ));
+                }
             }
             if timings {
                 out.push_str(&format!(" ({})", fmt_ns(s.duration_ns)));
@@ -479,6 +528,15 @@ impl TraceReport {
         ));
         out
     }
+}
+
+/// Symmetric misestimation factor ×1000: `max/min` of estimate and
+/// actual (so 2× over and 2× under both read 2000), with zeroes
+/// clamped to 1 so an empty side reads as a finite factor.  1000 is a
+/// perfect estimate.
+pub fn misestimate_x1000(est: u64, actual: u64) -> u64 {
+    let (hi, lo) = (est.max(actual).max(1), est.min(actual).max(1));
+    hi.saturating_mul(1000) / lo
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -543,6 +601,28 @@ mod tests {
         let rendered = report.render(true);
         assert!(rendered.contains("scan [sequential] rows_out=5"));
         assert!(rendered.contains("rows_scanned=5"));
+    }
+
+    #[test]
+    fn rows_est_renders_with_misestimation_factor() {
+        let r = Recorder::new();
+        let before = r.snapshot();
+        r.begin_trace();
+        {
+            let scan = r.span("scan");
+            scan.rows_est(100);
+            scan.rows_out(10);
+        }
+        let report = r.end_trace(&before).expect("capture active");
+        let rendered = report.render(false);
+        assert!(
+            rendered.contains("rows_out=10 est=100 (over 10.0x)"),
+            "{rendered}"
+        );
+        assert_eq!(report.misestimates(), vec![("scan", 10_000)]);
+        assert_eq!(misestimate_x1000(10, 100), 10_000, "symmetric");
+        assert_eq!(misestimate_x1000(7, 7), 1_000, "perfect");
+        assert_eq!(misestimate_x1000(0, 5), 5_000, "zero clamps to 1");
     }
 
     #[test]

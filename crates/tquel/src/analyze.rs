@@ -244,8 +244,8 @@ pub fn analyze_retrieve(
         for v in &vars {
             if !v.has_transaction_time() {
                 return Err(TquelError::Semantic(format!(
-                    "'as of' requires rollback support, but {} ranges over a {} relation",
-                    v.name, v.info.class
+                    "'as of' requires rollback support, but {} ranges over {} — a {} relation",
+                    v.name, v.relation, v.info.class
                 )));
             }
         }

@@ -275,4 +275,11 @@ pub enum Statement {
         /// The statement being traced.
         inner: Box<Statement>,
     },
+    /// `analyze rel` — collect temporal storage statistics for a
+    /// relation into the `sys$tablestats` system relation.  Like
+    /// `explain`, `analyze` is a contextual identifier, not reserved.
+    Analyze {
+        /// The relation to collect statistics over.
+        relation: String,
+    },
 }

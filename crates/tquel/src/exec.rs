@@ -101,18 +101,39 @@ pub fn execute_plan_traced(
     // Scan each range variable (shared row sets — a caching provider
     // hands the same Arc to every retrieve at the same coordinate).
     let mut scans: Vec<std::sync::Arc<Vec<SourceRow>>> = Vec::with_capacity(plan.vars.len());
+    let mut estimates: Vec<Option<u64>> = Vec::with_capacity(plan.vars.len());
     for v in &plan.vars {
         let span = recorder.span("tquel/scan");
         span.detail(format!("{} over {}", v.name, v.relation));
+        // Statistics describe the current state, so estimates only apply
+        // to non-rollback scans; `as of` operators show actuals alone.
+        let est = if plan.as_of.is_none() {
+            provider.estimated_rows(&v.relation)
+        } else {
+            None
+        };
+        if let Some(est) = est {
+            span.rows_est(est);
+        }
+        estimates.push(est);
         let rows = provider.scan(&v.relation, plan.as_of.as_ref())?;
         span.rows_out(rows.len() as u64);
         scans.push(rows);
     }
     let combinations: u64 = scans.iter().map(|s| s.len() as u64).product();
+    // The product's input estimate is the product of the per-scan
+    // estimates — defined only when every scan had one.
+    let est_combinations: Option<u64> = estimates
+        .iter()
+        .copied()
+        .try_fold(1u64, |acc, e| e.map(|e| acc.saturating_mul(e)));
 
     if plan.aggregated {
         let span = recorder.span("tquel/aggregate");
         span.rows_in(combinations);
+        if let Some(est) = est_combinations {
+            span.rows_est(est);
+        }
         let result = execute_aggregate(plan, &scans)?;
         span.rows_out(result.len() as u64);
         exec_span.rows_out(result.len() as u64);
@@ -120,6 +141,9 @@ pub fn execute_plan_traced(
     }
     let product_span = recorder.span("tquel/product");
     product_span.rows_in(combinations);
+    if let Some(est) = est_combinations {
+        product_span.rows_est(est);
+    }
 
     let kind = match (plan.result_valid, plan.result_tx) {
         (true, true) => DatabaseClass::Temporal,

@@ -1,0 +1,231 @@
+//! Statement fingerprinting: literal-insensitive workload shapes.
+//!
+//! Two statements that differ only in their literals — `where f.name =
+//! "Merrie"` versus `where f.name = "Tom"`, `as of "12/10/82"` versus
+//! `as of "06/01/81"` — exercise the same plan and belong to the same
+//! workload entry.  [`normalize_statement`] rewrites an AST so every
+//! scalar literal (string, int, float) becomes the string `"?"` and
+//! every date literal becomes the date `"?"`, preserving everything
+//! structural: statement kind, range variables, relations, attribute
+//! names, operators, clause order, and nesting.  The normalized AST is
+//! then unparsed and hashed with FNV-1a (64-bit), giving a stable
+//! fingerprint plus a human-readable normalized text like
+//!
+//! ```text
+//! retrieve (f.rank) where f.name = "?" as of "?"
+//! ```
+//!
+//! The rules, with worked examples, are documented in DESIGN.md §6e.
+//! Because the normalized text is itself valid TQuel (`"?"` is an
+//! ordinary string literal), it round-trips through the parser — a
+//! property the tests pin down.
+
+use crate::ast::*;
+use crate::unparse::unparse;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over `bytes` — tiny, dependency-free, and stable across
+/// platforms and runs (unlike `DefaultHasher`, which is randomly
+/// seeded per process).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fingerprints a statement: returns the FNV-1a hash of the normalized
+/// text together with the normalized text itself.
+pub fn fingerprint(stmt: &Statement) -> (u64, String) {
+    let text = unparse(&normalize_statement(stmt));
+    (fnv1a(text.as_bytes()), text)
+}
+
+/// Rewrites `stmt` with every literal replaced by `"?"`, keeping the
+/// structure intact.  The result still parses.
+pub fn normalize_statement(stmt: &Statement) -> Statement {
+    match stmt {
+        Statement::RangeDecl { .. } | Statement::Create { .. } | Statement::Destroy { .. } => {
+            stmt.clone()
+        }
+        Statement::Analyze { .. } => stmt.clone(),
+        Statement::Retrieve(r) => Statement::Retrieve(Retrieve {
+            into: r.into.clone(),
+            targets: r.targets.clone(),
+            valid: r.valid.as_ref().map(norm_valid),
+            where_clause: r.where_clause.as_ref().map(norm_where),
+            when_clause: r.when_clause.as_ref().map(norm_when),
+            as_of: r.as_of.as_ref().map(norm_as_of),
+        }),
+        Statement::Append {
+            relation,
+            assignments,
+            valid,
+        } => Statement::Append {
+            relation: relation.clone(),
+            assignments: assignments.iter().map(norm_assignment).collect(),
+            valid: valid.as_ref().map(norm_valid),
+        },
+        Statement::Delete { var, where_clause } => Statement::Delete {
+            var: var.clone(),
+            where_clause: where_clause.as_ref().map(norm_where),
+        },
+        Statement::Replace {
+            var,
+            assignments,
+            valid,
+            where_clause,
+        } => Statement::Replace {
+            var: var.clone(),
+            assignments: assignments.iter().map(norm_assignment).collect(),
+            valid: valid.as_ref().map(norm_valid),
+            where_clause: where_clause.as_ref().map(norm_where),
+        },
+        Statement::Explain { profile, inner } => Statement::Explain {
+            profile: *profile,
+            inner: Box::new(normalize_statement(inner)),
+        },
+    }
+}
+
+fn norm_operand(op: &Operand) -> Operand {
+    match op {
+        Operand::Attr(a) => Operand::Attr(a.clone()),
+        Operand::Str(_) | Operand::Int(_) | Operand::Float(_) => Operand::Str("?".into()),
+    }
+}
+
+fn norm_assignment(a: &Assignment) -> Assignment {
+    Assignment {
+        attr: a.attr.clone(),
+        value: norm_operand(&a.value),
+    }
+}
+
+fn norm_where(w: &WhereExpr) -> WhereExpr {
+    match w {
+        WhereExpr::Cmp(op, l, r) => WhereExpr::Cmp(*op, norm_operand(l), norm_operand(r)),
+        WhereExpr::And(l, r) => WhereExpr::And(Box::new(norm_where(l)), Box::new(norm_where(r))),
+        WhereExpr::Or(l, r) => WhereExpr::Or(Box::new(norm_where(l)), Box::new(norm_where(r))),
+        WhereExpr::Not(e) => WhereExpr::Not(Box::new(norm_where(e))),
+    }
+}
+
+fn norm_texpr(e: &TexprAst) -> TexprAst {
+    match e {
+        TexprAst::Var(v) => TexprAst::Var(v.clone()),
+        TexprAst::Date(_) => TexprAst::Date("?".into()),
+        TexprAst::Forever => TexprAst::Forever,
+        TexprAst::StartOf(inner) => TexprAst::StartOf(Box::new(norm_texpr(inner))),
+        TexprAst::EndOf(inner) => TexprAst::EndOf(Box::new(norm_texpr(inner))),
+        TexprAst::Extend(l, r) => {
+            TexprAst::Extend(Box::new(norm_texpr(l)), Box::new(norm_texpr(r)))
+        }
+        TexprAst::Overlap(l, r) => {
+            TexprAst::Overlap(Box::new(norm_texpr(l)), Box::new(norm_texpr(r)))
+        }
+    }
+}
+
+fn norm_when(w: &WhenExpr) -> WhenExpr {
+    match w {
+        WhenExpr::Overlap(l, r) => WhenExpr::Overlap(norm_texpr(l), norm_texpr(r)),
+        WhenExpr::Precede(l, r) => WhenExpr::Precede(norm_texpr(l), norm_texpr(r)),
+        WhenExpr::Equal(l, r) => WhenExpr::Equal(norm_texpr(l), norm_texpr(r)),
+        WhenExpr::And(l, r) => WhenExpr::And(Box::new(norm_when(l)), Box::new(norm_when(r))),
+        WhenExpr::Or(l, r) => WhenExpr::Or(Box::new(norm_when(l)), Box::new(norm_when(r))),
+        WhenExpr::Not(e) => WhenExpr::Not(Box::new(norm_when(e))),
+    }
+}
+
+fn norm_valid(v: &ValidClause) -> ValidClause {
+    match v {
+        ValidClause::At(e) => ValidClause::At(norm_texpr(e)),
+        ValidClause::FromTo(a, b) => ValidClause::FromTo(norm_texpr(a), norm_texpr(b)),
+    }
+}
+
+fn norm_as_of(a: &AsOfClause) -> AsOfClause {
+    AsOfClause {
+        at: norm_texpr(&a.at),
+        through: a.through.as_ref().map(norm_texpr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn fp(src: &str) -> (u64, String) {
+        fingerprint(&parse_statement(src).unwrap())
+    }
+
+    #[test]
+    fn literals_collapse_to_one_fingerprint() {
+        let (h1, t1) = fp(r#"retrieve (f.rank) where f.name = "Merrie" as of "12/10/82""#);
+        let (h2, t2) = fp(r#"retrieve (f.rank) where f.name = "Tom" as of "06/01/81""#);
+        assert_eq!(h1, h2);
+        assert_eq!(t1, t2);
+        assert_eq!(t1, r#"retrieve (f.rank) where f.name = "?" as of "?""#);
+        // Int and float literals normalize the same way.
+        let (h3, _) = fp("retrieve (f.a) where f.x = 3");
+        let (h4, _) = fp("retrieve (f.a) where f.x = 99");
+        assert_eq!(h3, h4);
+    }
+
+    #[test]
+    fn structure_still_distinguishes() {
+        let (base, _) = fp(r#"retrieve (f.rank) where f.name = "Merrie""#);
+        // Different target list, predicate shape, attribute, or kind:
+        // all distinct shapes.
+        assert_ne!(base, fp(r#"retrieve (f.name) where f.name = "Merrie""#).0);
+        assert_ne!(base, fp(r#"retrieve (f.rank) where f.rank = "Merrie""#).0);
+        assert_ne!(base, fp(r#"retrieve (f.rank) where f.name != "Merrie""#).0);
+        assert_ne!(base, fp(r#"retrieve (f.rank)"#).0);
+        assert_ne!(base, fp(r#"delete f where f.name = "Merrie""#).0);
+    }
+
+    #[test]
+    fn normalized_text_round_trips() {
+        for src in [
+            r#"retrieve (f.rank) where f.name = "Merrie" and f.x = 3 or not f.y = 2.5"#,
+            r#"append to faculty (name = "Tom", rank = "full") valid from "09/01/77" to forever"#,
+            r#"replace f (rank = "full") valid at "12/01/82" where f.name = "Merrie""#,
+            r#"retrieve (f1.rank) when f1 overlap start of f2 as of "12/10/82" through "12/20/82""#,
+            "explain analyze faculty",
+        ] {
+            let norm = normalize_statement(&parse_statement(src).unwrap());
+            let text = unparse(&norm);
+            let reparsed = parse_statement(&text)
+                .unwrap_or_else(|e| panic!("normalized text unparseable: {text:?}: {e}"));
+            assert_eq!(reparsed, norm, "round trip changed the shape: {text}");
+        }
+    }
+
+    #[test]
+    fn structural_statements_pass_through() {
+        let (_, t) = fp("analyze faculty");
+        assert_eq!(t, "analyze faculty");
+        let (_, t) = fp("range of f is faculty");
+        assert_eq!(t, "range of f is faculty");
+        // Explain wraps: the inner statement's literals still collapse.
+        let (h1, _) = fp(r#"explain retrieve (f.rank) where f.name = "A""#);
+        let (h2, _) = fp(r#"explain retrieve (f.rank) where f.name = "B""#);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn hash_is_stable_across_runs() {
+        // FNV-1a is seedless: pin one value so accidental algorithm
+        // changes (which would orphan persisted fingerprints) show up.
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

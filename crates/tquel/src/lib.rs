@@ -38,6 +38,7 @@ pub mod analyze;
 pub mod ast;
 pub mod error;
 pub mod exec;
+pub mod fingerprint;
 pub mod parser;
 pub mod printer;
 pub mod provider;
@@ -45,4 +46,5 @@ pub mod token;
 pub mod unparse;
 
 pub use error::{TquelError, TquelResult};
+pub use fingerprint::{fingerprint, normalize_statement};
 pub use parser::{parse_program, parse_statement};

@@ -6,8 +6,10 @@
 //! statement   := range | retrieve | append | delete | replace
 //!              | create | destroy
 //!              | ("explain" | "profile") statement
+//!              | "analyze" ident
 //!              ; "select" is accepted as an alias for "retrieve";
-//!              ; all three are contextual identifiers, not reserved
+//!              ; explain/profile/select/analyze are contextual
+//!              ; identifiers, not reserved
 //! range       := "range" "of" ident "is" ident
 //! retrieve    := "retrieve" ["into" ident] "(" target {"," target} ")"
 //!                { "valid" valid | "where" wexpr | "when" pred
@@ -166,6 +168,11 @@ impl Parser {
                 // SQL-flavoured alias for `retrieve`.
                 self.bump();
                 self.retrieve_tail()
+            }
+            T::Ident(s) if s.eq_ignore_ascii_case("analyze") => {
+                self.bump();
+                let relation = self.ident()?;
+                Ok(Statement::Analyze { relation })
             }
             _ => Err(self.error("expected a statement")),
         }
@@ -883,6 +890,25 @@ mod tests {
         assert!(parse_statement("retrieve (f.rank) when f1 f2").is_err());
         assert!(parse_statement("retrieve (f.rank) extra").is_err());
         assert!(parse_statement("create r (a = blob)").is_err());
+    }
+
+    #[test]
+    fn analyze_is_contextual() {
+        assert_eq!(
+            parse_statement("analyze faculty").unwrap(),
+            Statement::Analyze {
+                relation: "faculty".into()
+            }
+        );
+        // Case-insensitive, like the other contextual statement words.
+        assert!(matches!(
+            parse_statement("ANALYZE faculty").unwrap(),
+            Statement::Analyze { .. }
+        ));
+        // The word stays available as an ordinary identifier elsewhere.
+        assert!(parse_statement("range of a is analyze").is_ok());
+        // A relation name is mandatory.
+        assert!(parse_statement("analyze").is_err());
     }
 
     #[test]

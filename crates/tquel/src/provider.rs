@@ -71,4 +71,15 @@ pub trait RelationProvider {
     /// serve repeated scans of the same bitemporal coordinate without
     /// copying the row set.
     fn scan(&self, relation: &str, as_of: Option<&AsOfSpec>) -> TquelResult<Arc<Vec<SourceRow>>>;
+
+    /// Estimated row count for a *current-state* scan of `relation`,
+    /// from whatever statistics the provider keeps (`chronos-db` answers
+    /// from the latest `analyze` sample in `sys$tablestats`).  `None`
+    /// when the relation has never been analyzed — the evaluator then
+    /// omits the estimated-vs-actual column for that operator rather
+    /// than invent a number.
+    fn estimated_rows(&self, relation: &str) -> Option<u64> {
+        let _ = relation;
+        None
+    }
 }

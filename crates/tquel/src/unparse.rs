@@ -96,6 +96,9 @@ pub fn unparse(stmt: &Statement) -> String {
             out.push_str(if *profile { "profile " } else { "explain " });
             out.push_str(&unparse(inner));
         }
+        Statement::Analyze { relation } => {
+            let _ = write!(out, "analyze {relation}");
+        }
     }
     out
 }
@@ -402,6 +405,8 @@ mod tests {
         round_trip(r#"explain retrieve (f.rank) where f.name = "Merrie""#);
         round_trip(r#"profile retrieve (f.rank) as of "12/10/82""#);
         round_trip("explain destroy faculty");
+        round_trip("analyze faculty");
+        round_trip("explain analyze faculty");
         // `select` is a parse-time alias: it round-trips *as* retrieve.
         let alias = parse_statement(r#"profile select (f.rank) where f.name = "Tom""#).unwrap();
         let canonical =

@@ -96,11 +96,12 @@ grep -q 'counters:' <<<"$explain_out" \
 # T10 does the same for the slow-query wrapper and measures /metrics
 # scrape latency under load; T11 for the background stats sampler on
 # the timeslice workload; T13 for tracing + pipeline telemetry under
-# 8-writer group-commit load.  Running all four keeps every section of
+# 8-writer group-commit load; T14 for query fingerprinting + analyze on
+# a read-dominant workload.  Running all five keeps every section of
 # BENCH_observability.json fresh (the writer emits the whole file).
-t9_out=$(EXPERIMENTS_ONLY=T9,T10,T11,T13 ./target/release/experiments) \
+t9_out=$(EXPERIMENTS_ONLY=T9,T10,T11,T13,T14 ./target/release/experiments) \
   || die "observability experiments failed"
-[ "$(grep -c 'within budget' <<<"$t9_out")" -eq 4 ] \
+[ "$(grep -c 'within budget' <<<"$t9_out")" -eq 5 ] \
   || die "observability overhead budget exceeded" "$t9_out"
 
 echo "==> operational surface smoke (/healthz + /metrics over raw TCP)"
@@ -196,6 +197,57 @@ grep -A1 '^200 /history' <<<"$intro_out" | tail -1 >> "$intro_dir/bodies.jsonl"
 # The run's journal records the sampler lifecycle.
 grep -q 'sampler_start' "$intro_dir/db/events.jsonl" \
   || die "introspection smoke: sampler_start not journaled"
+
+echo "==> workload analytics smoke (analyze / sys\$tablestats / sys\$queries / --stats-json)"
+wa_dir=$(mktemp -d)
+workdirs+=("$wa_dir")
+wa_out=$(./target/release/chronos --batch --obs-addr 127.0.0.1:0 "$wa_dir/db" <<'EOF'
+\advance 01/01/80
+create faculty (name = str, rank = str) as temporal
+
+append to faculty (name = "Merrie", rank = "associate")
+
+append to faculty (name = "Tom", rank = "assistant")
+
+range of f is faculty
+retrieve (f.rank) where f.name = "Merrie"
+
+retrieve (f.rank) where f.name = "Tom"
+
+analyze faculty
+
+range of ts is sys$tablestats
+retrieve (ts.stat, ts.value) where ts.relation = "faculty" and ts.stat = "versions"
+
+range of q is sys$queries
+retrieve (q.statement, q.calls) where q.kind = "retrieve"
+
+\top
+\obs /queries
+\q
+EOF
+) || die "analytics smoke: batch script failed"
+grep -q 'analyzed faculty' <<<"$wa_out" \
+  || die "analytics smoke: analyze produced no confirmation" "$wa_out"
+grep -q 'versions | 2' <<<"$wa_out" \
+  || die "analytics smoke: sys\$tablestats missing the versions stat" "$wa_out"
+# Two literal variations of the same retrieve shape: one fingerprint,
+# two calls, literals normalized to "?".
+grep -Eq 'f\.name = "\?" *\| 2' <<<"$wa_out" \
+  || die "analytics smoke: fingerprint dedup failed" "$wa_out"
+grep -q '200 /queries' <<<"$wa_out" \
+  || die "analytics smoke: /queries not 200" "$wa_out"
+grep -q '"queries"' <<<"$wa_out" \
+  || die "analytics smoke: /queries body missing the queries list" "$wa_out"
+grep -q 'workload fingerprints' <<<"$wa_out" \
+  || die "analytics smoke: \\top missing the fingerprint section" "$wa_out"
+# --stats-json: one engine-stats snapshot on stdout, well-formed JSON.
+./target/release/chronos --stats-json "$wa_dir/db" > "$wa_dir/stats.json" \
+  || die "analytics smoke: --stats-json failed"
+./target/release/chronos --check-jsonl "$wa_dir/stats.json" \
+  || die "analytics smoke: --stats-json output malformed"
+grep -q '"metrics"' "$wa_dir/stats.json" \
+  || die "analytics smoke: --stats-json missing the metrics section"
 
 echo "==> TQuel service smoke (--serve / --connect over loopback)"
 svc_dir=$(mktemp -d)
