@@ -43,7 +43,11 @@
 //!   statistics collection priced against a disabled-recorder twin on a
 //!   read-dominant workload over a 6000-version temporal relation,
 //!   with the fingerprint store's dedup verified (one entry for every
-//!   literal variation of the same statement shape).
+//!   literal variation of the same statement shape);
+//! * **T17** — physical storage shape: version-chain length swept
+//!   against the measured duplication factor and bytes/version of the
+//!   paged heap (the numbers `sys$pages`, `/storage`, and `analyze`
+//!   report), recorded in `BENCH_storage.json`.
 //!
 //! Set `EXPERIMENTS_ONLY=<ids>` (comma-separated, e.g. `T9,T10,T11`) to
 //! run a subset.
@@ -147,6 +151,10 @@ fn main() {
     let mut t14_stats = None;
     if want("T14") {
         t14_stats = Some(t14_workload_analytics());
+    }
+    if want("T17") {
+        let rows = t17_physical_storage();
+        write_bench_storage_json(&rows);
     }
     if want("faults") {
         faults_matrix();
@@ -1888,5 +1896,125 @@ fn write_bench_concurrency_json(
     match std::fs::write("BENCH_concurrency.json", &out) {
         Ok(()) => println!("(wrote BENCH_concurrency.json)"),
         Err(e) => println!("(could not write BENCH_concurrency.json: {e})"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// T17 — physical storage: version-chain length vs duplication factor
+// (EXPERIMENTS_ONLY=T17)
+// ---------------------------------------------------------------------
+
+/// One sweep point of the T17 chain-length experiment (serialized to
+/// BENCH_storage.json).
+struct T17Row {
+    chain_len: usize,
+    keys: usize,
+    versions: u64,
+    pages: u32,
+    bytes_on_disk: u64,
+    occupancy_x1000: u64,
+    bytes_per_version: u64,
+    dup_factor_x1000: u64,
+}
+
+/// Grows per-key version chains by replacement rounds and reads the
+/// paged heap's measured shape back through `physical_stats` — the same
+/// numbers `sys$pages`, the exporter's `/storage` document, and
+/// `analyze` report.  The paper's duplication argument (§5) is about
+/// exactly this: every version of a key re-stores the bytes the
+/// versions share.
+fn t17_physical_storage() -> Vec<T17Row> {
+    heading("T17: physical storage — version-chain length vs duplication factor");
+    println!(
+        "{:>6} | {:>6} | {:>9} | {:>6} | {:>9} | {:>9} | {:>7} | {:>8}",
+        "chain", "keys", "versions", "pages", "disk KB", "occup ‰", "B/vers", "dup ‰"
+    );
+    const KEYS: usize = 128;
+    let mut rows = Vec::new();
+    for &chain in &[1usize, 2, 4, 8, 16, 32] {
+        let mut table = StoredBitemporalTable::in_memory(
+            chronos_core::schema::faculty_schema(),
+            TemporalSignature::Interval,
+        );
+        let mut day = 1_000i64;
+        for round in 0..chain {
+            let mut ops = Vec::with_capacity(KEYS * 2);
+            for k in 0..KEYS {
+                let name = format!("prof{k:05}");
+                if round > 0 {
+                    let prev = format!("rank{:03}", round - 1);
+                    ops.push(HistoricalOp::remove(RowSelector::tuple(tuple([
+                        name.as_str(),
+                        prev.as_str(),
+                    ]))));
+                }
+                let rank = format!("rank{round:03}");
+                ops.push(HistoricalOp::insert(
+                    tuple([name.as_str(), rank.as_str()]),
+                    Validity::Interval(Period::from_start(Chronon::new(day))),
+                ));
+            }
+            table.try_commit(Chronon::new(day), &ops).expect("valid");
+            day += 10;
+        }
+        let p = table.physical_stats().expect("stats");
+        assert_eq!(
+            p.versions,
+            (KEYS * chain) as u64,
+            "every replacement round adds one stored version per key"
+        );
+        println!(
+            "{:>6} | {:>6} | {:>9} | {:>6} | {:>9.1} | {:>9} | {:>7} | {:>8}",
+            chain,
+            KEYS,
+            p.versions,
+            p.pages,
+            p.bytes_on_disk as f64 / 1e3,
+            p.occupancy_x1000,
+            p.bytes_per_version,
+            p.dup_factor_x1000,
+        );
+        rows.push(T17Row {
+            chain_len: chain,
+            keys: KEYS,
+            versions: p.versions,
+            pages: p.pages,
+            bytes_on_disk: p.bytes_on_disk,
+            occupancy_x1000: p.occupancy_x1000,
+            bytes_per_version: p.bytes_per_version,
+            dup_factor_x1000: p.dup_factor_x1000,
+        });
+    }
+    println!("(each round closes a key's current version and opens a new one; the");
+    println!(" versions of one key re-store the bytes they share, so the measured");
+    println!(" duplication factor grows with chain length while bytes/version is flat)");
+    rows
+}
+
+/// Emits the T17 sweep as `BENCH_storage.json` (hand-rolled JSON, same
+/// discipline as the other BENCH_* writers).
+fn write_bench_storage_json(rows: &[T17Row]) {
+    let mut out = String::from("{\n  \"experiment\": \"T17 physical storage shape\",\n");
+    out.push_str("  \"chain_sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"chain_len\": {}, \"keys\": {}, \"versions\": {}, \"pages\": {}, \
+             \"bytes_on_disk\": {}, \"occupancy_x1000\": {}, \"bytes_per_version\": {}, \
+             \"dup_factor_x1000\": {}}}{}\n",
+            r.chain_len,
+            r.keys,
+            r.versions,
+            r.pages,
+            r.bytes_on_disk,
+            r.occupancy_x1000,
+            r.bytes_per_version,
+            r.dup_factor_x1000,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_storage.json", &out) {
+        Ok(()) => println!("(wrote BENCH_storage.json)"),
+        Err(e) => println!("(could not write BENCH_storage.json: {e})"),
     }
 }

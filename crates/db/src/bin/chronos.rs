@@ -29,8 +29,9 @@
 //!                          back is printed to stderr, and the same id
 //!                          appears in the server's slow-query log,
 //!                          `sys$sessions`, and events journal
-//! --obs-addr ADDR          serve /metrics /stats /slow /healthz /readyz
-//!                          on ADDR (e.g. 127.0.0.1:0); the bound
+//! --obs-addr ADDR          serve /metrics /stats /slow /wal /storage
+//!                          /healthz /readyz on ADDR (e.g.
+//!                          127.0.0.1:0); the bound
 //!                          address is printed to stderr.  For durable
 //!                          databases the exporter starts *before*
 //!                          recovery, so /healthz reports 503 until the
@@ -49,6 +50,16 @@
 //!                          exporter at ADDR, print status + body, exit
 //! --check-jsonl FILE       one-shot mode: validate FILE as JSONL
 //!                          (e.g. a database's events.jsonl), exit
+//! --inspect DIR            one-shot doctor mode: walk a database
+//!                          directory read-only — WITHOUT running
+//!                          recovery — validating the WAL frame by
+//!                          frame, the checkpoint, the catalog, and the
+//!                          events journal; print a report and exit 0
+//!                          (clean), 2 (torn/corrupt, offsets named),
+//!                          or 1 (directory unreadable)
+//! --inspect-json DIR       the same walk, but dump one JSON object
+//!                          per WAL frame (plus a tail verdict) as
+//!                          JSONL on stdout
 //! ```
 //!
 //! Shell commands start with `\`:
@@ -177,6 +188,25 @@ impl Args {
                         }
                     }
                 }
+                "--inspect" | "--inspect-json" => {
+                    let json = arg == "--inspect-json";
+                    let dir = it.next().ok_or(format!("{arg} takes a database dir"))?;
+                    let dir = std::path::Path::new(dir);
+                    match chronos_db::doctor::inspect(dir) {
+                        Ok(report) => {
+                            if json {
+                                print!("{}", report.frames_jsonl());
+                            } else {
+                                print!("{}", report.human_report());
+                            }
+                            std::process::exit(report.exit_code());
+                        }
+                        Err(e) => {
+                            eprintln!("cannot inspect {}: {e}", dir.display());
+                            std::process::exit(1);
+                        }
+                    }
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag {other}"));
                 }
@@ -219,6 +249,7 @@ fn main() {
             eprintln!("       chronos [--batch] --connect ADDR [--trace-id ID]");
             eprintln!("       chronos --get ADDR PATH");
             eprintln!("       chronos --check-jsonl FILE");
+            eprintln!("       chronos --inspect DIR | --inspect-json DIR");
             std::process::exit(1);
         }
     };

@@ -31,8 +31,8 @@ use crate::cache::{CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
 use crate::introspect::{
-    is_system, system_info, CatalogRow, SessionRegistry, StatsSampler, TelemetryStats,
-    TelemetryStore,
+    is_system, system_info, CatalogRow, PhysicalStore, SessionRegistry, StatsSampler,
+    TelemetryStats, TelemetryStore,
 };
 use crate::observe::{DbObsSource, ObsBootstrap};
 use crate::relation::Relation;
@@ -67,6 +67,10 @@ pub struct Database {
     /// `sys$connections`; `Arc`-shared with the engine, the TQuel
     /// service, and the HTTP exporter (`/sessions`).
     registry: Arc<SessionRegistry>,
+    /// Physical-storage snapshot documents served on `/wal` and
+    /// `/storage`; `Arc`-shared with the HTTP exporter and refreshed by
+    /// [`Database::refresh_physical_snapshots`].
+    physical: Arc<PhysicalStore>,
     /// The background stats sampler, when started.
     sampler: Option<StatsSampler>,
 }
@@ -87,9 +91,11 @@ impl Database {
             clock,
             telemetry: Arc::new(TelemetryStore::default()),
             registry: Arc::new(SessionRegistry::default()),
+            physical: Arc::new(PhysicalStore::default()),
             sampler: None,
         };
         db.record_catalog_sample(db.txn.peek_now());
+        db.refresh_physical_snapshots();
         db
     }
 
@@ -225,9 +231,11 @@ impl Database {
             clock,
             telemetry,
             registry: Arc::clone(&obs.registry),
+            physical: Arc::clone(&obs.physical),
             sampler: None,
         };
         db.record_catalog_sample(db.txn.peek_now());
+        db.refresh_physical_snapshots();
         Ok(db)
     }
 
@@ -280,6 +288,8 @@ impl Database {
                 ("wal_bytes_truncated", wal_bytes_truncated.into()),
             ],
         );
+        // The checkpoint just rewrote the on-disk shape wholesale.
+        self.refresh_physical_snapshots();
         Ok(())
     }
 
@@ -516,6 +526,7 @@ impl Database {
                 cache: Arc::clone(&self.cache),
                 telemetry: Arc::clone(&self.telemetry),
                 registry: Arc::clone(&self.registry),
+                physical: Arc::clone(&self.physical),
             }),
         )
     }
@@ -667,6 +678,7 @@ impl Database {
         self.telemetry.record_stats(at, &stats);
         self.record_catalog_sample(at);
         self.registry.record_sample(at);
+        self.refresh_physical_snapshots();
         at
     }
 
@@ -789,6 +801,20 @@ impl Database {
             relation_checkpoint_k(rel) as i64,
         );
         push_stat(&mut stats, "bytes", relation_bytes(rel) as i64);
+        // Physical per-version accounting: measured off the heap for
+        // temporal relations, estimated (duplication-free) otherwise.
+        let (bytes_per_version, dup_factor) = match rel {
+            Relation::Temporal(r) => {
+                let p = r.physical_stats()?;
+                (p.bytes_per_version as i64, p.dup_factor_x1000 as i64)
+            }
+            other => {
+                let versions = other.stored_tuples().max(1) as i64;
+                (relation_bytes(rel) as i64 / versions, 1000)
+            }
+        };
+        push_stat(&mut stats, "bytes_per_version", bytes_per_version);
+        push_stat(&mut stats, "dup_factor_x1000", dup_factor);
         let count = stats.len();
         let at = self.txn.peek_now();
         self.telemetry.record_tablestats(at, relation, stats);
@@ -887,10 +913,201 @@ impl Database {
                     None => Vec::new(),
                 }
             }
+            "sys$wal" => {
+                reject_system_as_of(relation, as_of)?;
+                self.wal_stat_rows()
+                    .into_iter()
+                    .map(|(stat, value, detail)| SourceRow {
+                        tuple: chronos_core::tuple::Tuple::new(vec![
+                            chronos_core::value::Value::str(stat),
+                            chronos_core::value::Value::Int(value),
+                            chronos_core::value::Value::str(detail),
+                        ]),
+                        validity: None,
+                        tx: None,
+                    })
+                    .collect()
+            }
+            "sys$pages" => {
+                reject_system_as_of(relation, as_of)?;
+                self.pages_rows()
+                    .iter()
+                    .map(|r| SourceRow {
+                        tuple: chronos_core::tuple::Tuple::new(vec![
+                            chronos_core::value::Value::str(&r.relation),
+                            chronos_core::value::Value::str(&r.class),
+                            chronos_core::value::Value::Int(r.pages),
+                            chronos_core::value::Value::Int(r.bytes_disk),
+                            chronos_core::value::Value::Int(r.records),
+                            chronos_core::value::Value::Int(r.occupancy_x1000),
+                            chronos_core::value::Value::Int(r.versions),
+                            chronos_core::value::Value::Int(r.bytes_per_version),
+                            chronos_core::value::Value::Int(r.dup_factor_x1000),
+                        ]),
+                        validity: None,
+                        tx: None,
+                    })
+                    .collect()
+            }
             other => return Err(TquelError::Semantic(format!("unknown relation {other:?}"))),
         };
         span.rows_out(rows.len() as u64);
         Ok(Arc::new(rows))
+    }
+
+    /// The tall `(stat, value, detail)` rows behind `sys$wal`: an
+    /// offline frame walk of the log file combined with the live
+    /// handle's watermarks.  The walk runs under the WAL lock, so the
+    /// view is quiesced against concurrent appends.
+    fn wal_stat_rows(&self) -> Vec<(String, i64, String)> {
+        use chronos_storage::inspect::{scan_wal, TailState};
+        let mut rows: Vec<(String, i64, String)> = Vec::new();
+        let mut push =
+            |stat: &str, value: i64, detail: String| rows.push((stat.to_string(), value, detail));
+        let Some(wal) = &self.wal else {
+            push(
+                "durable",
+                0,
+                "in-memory database: no write-ahead log".into(),
+            );
+            return rows;
+        };
+        let wal = wal.lock();
+        let scan = match scan_wal(wal.path()) {
+            Ok(scan) => scan,
+            Err(e) => {
+                push("durable", 1, format!("wal unreadable: {e}"));
+                return rows;
+            }
+        };
+        push("durable", 1, String::new());
+        push("frames", scan.frames.len() as i64, String::new());
+        push("bytes", clamp_i64(scan.total_len), String::new());
+        push("valid_bytes", clamp_i64(scan.valid_len), String::new());
+        push(
+            "synced_bytes",
+            clamp_i64(wal.synced_len()),
+            "fsynced watermark".into(),
+        );
+        push(
+            "pending_bytes",
+            clamp_i64(wal.pending_bytes()),
+            "staged, awaiting group fsync".into(),
+        );
+        let (lsn_first, lsn_last) = scan.lsn_range().unwrap_or((0, 0));
+        push("lsn_first", lsn_first, String::new());
+        push("lsn_last", lsn_last, String::new());
+        let (inserts, removes, set_validities) = scan.op_totals();
+        push("ops_insert", clamp_i64(inserts), String::new());
+        push("ops_remove", clamp_i64(removes), String::new());
+        push("ops_set_validity", clamp_i64(set_validities), String::new());
+        for (class, frames, bytes) in scan.classes() {
+            push(
+                &format!("frames_{class}"),
+                clamp_i64(frames),
+                format!("{bytes} bytes"),
+            );
+        }
+        let tail_detail = match &scan.tail {
+            TailState::Clean => "clean".to_string(),
+            TailState::Torn { offset, bytes } => {
+                format!("torn tail: {bytes} incomplete bytes at offset {offset}")
+            }
+            TailState::Corrupt { reason, .. } => reason.clone(),
+        };
+        push(
+            "tail_bad_bytes",
+            clamp_i64(scan.tail.bad_bytes()),
+            tail_detail,
+        );
+        push("truncations", clamp_i64(wal.truncations()), String::new());
+        push(
+            "last_truncation_bytes",
+            clamp_i64(wal.last_truncation_bytes()),
+            String::new(),
+        );
+        rows
+    }
+
+    /// The wide per-relation rows behind `sys$pages` (plus pseudo-rows,
+    /// class `file`, sizing the durable directory's on-disk files).
+    fn pages_rows(&self) -> Vec<PagesRow> {
+        let mut rows = Vec::new();
+        for (name, entry) in self.catalog.iter() {
+            let rel = self
+                .relations
+                .get(name)
+                .expect("catalog and stores in sync");
+            let row = match rel {
+                Relation::Temporal(r) => match r.physical_stats() {
+                    Ok(p) => PagesRow {
+                        relation: name.clone(),
+                        class: entry.class.to_string(),
+                        pages: i64::from(p.pages),
+                        bytes_disk: clamp_i64(p.bytes_on_disk),
+                        records: clamp_i64(p.versions),
+                        occupancy_x1000: clamp_i64(p.occupancy_x1000),
+                        versions: clamp_i64(p.versions),
+                        bytes_per_version: clamp_i64(p.bytes_per_version),
+                        dup_factor_x1000: clamp_i64(p.dup_factor_x1000),
+                    },
+                    Err(_) => continue,
+                },
+                other => {
+                    // No heap behind the in-memory classes: estimate
+                    // from tuple counts, like `sys$relations` bytes.
+                    let versions = other.stored_tuples() as i64;
+                    let bytes = relation_bytes(rel) as i64;
+                    PagesRow {
+                        relation: name.clone(),
+                        class: entry.class.to_string(),
+                        pages: 0,
+                        bytes_disk: bytes,
+                        records: versions,
+                        occupancy_x1000: 1000,
+                        versions,
+                        bytes_per_version: if versions == 0 { 0 } else { bytes / versions },
+                        dup_factor_x1000: 1000,
+                    }
+                }
+            };
+            rows.push(row);
+        }
+        if let Some(dir) = &self.dir {
+            for file in ["catalog", "checkpoint", "wal", "events.jsonl"] {
+                let Ok(meta) = std::fs::metadata(dir.join(file)) else {
+                    continue;
+                };
+                rows.push(PagesRow {
+                    relation: format!("file:{file}"),
+                    class: "file".to_string(),
+                    pages: 0,
+                    bytes_disk: clamp_i64(meta.len()),
+                    records: 0,
+                    occupancy_x1000: 0,
+                    versions: 0,
+                    bytes_per_version: 0,
+                    dup_factor_x1000: 0,
+                });
+            }
+        }
+        rows
+    }
+
+    /// Recomputes the `/wal` and `/storage` exporter documents from the
+    /// current physical state.  Runs at open, at every explicit or
+    /// checkpoint-driven sample — the endpoints are "as of last
+    /// sample", like `/stats`.
+    pub fn refresh_physical_snapshots(&self) {
+        self.physical
+            .set_wal_json(wal_json_doc(&self.wal_stat_rows()));
+        self.physical
+            .set_storage_json(storage_json_doc(&self.pages_rows()));
+    }
+
+    /// The physical-snapshot store serving `/wal` + `/storage`.
+    pub fn physical_store(&self) -> &Arc<PhysicalStore> {
+        &self.physical
     }
 }
 
@@ -898,6 +1115,68 @@ impl Drop for Database {
     fn drop(&mut self) {
         self.stop_stats_sampler();
     }
+}
+
+/// One `sys$pages` row; also one object of the `/storage` document.
+#[derive(Debug, Clone)]
+struct PagesRow {
+    relation: String,
+    class: String,
+    pages: i64,
+    bytes_disk: i64,
+    records: i64,
+    occupancy_x1000: i64,
+    versions: i64,
+    bytes_per_version: i64,
+    dup_factor_x1000: i64,
+}
+
+fn clamp_i64(v: u64) -> i64 {
+    v.min(i64::MAX as u64) as i64
+}
+
+/// Renders the `sys$wal` rows as the `/wal` JSON document, so the
+/// endpoint and the system relation agree field for field.
+fn wal_json_doc(rows: &[(String, i64, String)]) -> String {
+    let mut out = String::from("{\"wal\": [");
+    for (i, (stat, value, detail)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"stat\": \"{}\", \"value\": {value}, \"detail\": \"{}\"}}",
+            chronos_obs::events::escape_json(stat),
+            chronos_obs::events::escape_json(detail)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the `sys$pages` rows as the `/storage` JSON document.
+fn storage_json_doc(rows: &[PagesRow]) -> String {
+    let mut out = String::from("{\"storage\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"relation\": \"{}\", \"class\": \"{}\", \"pages\": {}, \
+             \"bytes_disk\": {}, \"records\": {}, \"occupancy_x1000\": {}, \
+             \"versions\": {}, \"bytes_per_version\": {}, \"dup_factor_x1000\": {}}}",
+            chronos_obs::events::escape_json(&r.relation),
+            chronos_obs::events::escape_json(&r.class),
+            r.pages,
+            r.bytes_disk,
+            r.records,
+            r.occupancy_x1000,
+            r.versions,
+            r.bytes_per_version,
+            r.dup_factor_x1000
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Rough resident size of a relation's store in bytes: exact heap pages

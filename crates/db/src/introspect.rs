@@ -17,6 +17,8 @@
 //! | `sys$connections` | static           | live network connections           |
 //! | `sys$queries`     | static           | per-fingerprint workload aggregates|
 //! | `sys$tablestats`  | temporal (event) | `analyze` storage statistics       |
+//! | `sys$wal`         | static           | physical WAL frame/watermark stats |
+//! | `sys$pages`       | static           | per-relation heap/page statistics  |
 //!
 //! `sys$stats` rows carry both timestamps: validity is the sampling
 //! event, and the transaction period of sample *i* is
@@ -915,6 +917,48 @@ pub fn flatten_stats(stats: &EngineStats) -> Vec<(&'static str, i64)> {
     out
 }
 
+/// Shared snapshot of the physical-storage observability documents the
+/// exporter serves on `/wal` and `/storage`.  The database refreshes
+/// both strings at every telemetry sample and checkpoint; the exporter
+/// thread only ever reads, so the endpoints stay cheap and never borrow
+/// the engine ("as of last sample" semantics, like `/stats`).
+#[derive(Debug)]
+pub struct PhysicalStore {
+    wal_json: Mutex<String>,
+    storage_json: Mutex<String>,
+}
+
+impl Default for PhysicalStore {
+    fn default() -> PhysicalStore {
+        PhysicalStore {
+            wal_json: Mutex::new("{\"wal\": []}".to_string()),
+            storage_json: Mutex::new("{\"storage\": []}".to_string()),
+        }
+    }
+}
+
+impl PhysicalStore {
+    /// Replaces the `/wal` document.
+    pub fn set_wal_json(&self, doc: String) {
+        *self.wal_json.lock() = doc;
+    }
+
+    /// The current `/wal` document.
+    pub fn wal_json(&self) -> String {
+        self.wal_json.lock().clone()
+    }
+
+    /// Replaces the `/storage` document.
+    pub fn set_storage_json(&self, doc: String) {
+        *self.storage_json.lock() = doc;
+    }
+
+    /// The current `/storage` document.
+    pub fn storage_json(&self) -> String {
+        self.storage_json.lock().clone()
+    }
+}
+
 /// Catalog/provider metadata for the system relations; `None` for
 /// unknown `sys$` names (they surface as ordinary unknown relations).
 pub fn system_info(name: &str) -> Option<RelationInfo> {
@@ -1006,6 +1050,34 @@ pub fn system_info(name: &str) -> Option<RelationInfo> {
             RelationClass::Temporal,
             TemporalSignature::Event,
         ),
+        // Physical WAL introspection: one row per stat, with a free-form
+        // detail column (tail state, truncation info).
+        "sys$wal" => (
+            Schema::new(vec![
+                Attribute::new("stat", AttrType::Str),
+                Attribute::new("value", AttrType::Int),
+                Attribute::new("detail", AttrType::Str),
+            ]),
+            RelationClass::Static,
+            TemporalSignature::Interval,
+        ),
+        // Physical heap/page stats: one row per relation (plus rows for
+        // the on-disk files: checkpoint, catalog, wal, journal).
+        "sys$pages" => (
+            Schema::new(vec![
+                Attribute::new("relation", AttrType::Str),
+                Attribute::new("class", AttrType::Str),
+                Attribute::new("pages", AttrType::Int),
+                Attribute::new("bytes_disk", AttrType::Int),
+                Attribute::new("records", AttrType::Int),
+                Attribute::new("occupancy_x1000", AttrType::Int),
+                Attribute::new("versions", AttrType::Int),
+                Attribute::new("bytes_per_version", AttrType::Int),
+                Attribute::new("dup_factor_x1000", AttrType::Int),
+            ]),
+            RelationClass::Static,
+            TemporalSignature::Interval,
+        ),
         _ => return None,
     };
     Some(RelationInfo {
@@ -1017,16 +1089,18 @@ pub fn system_info(name: &str) -> Option<RelationInfo> {
 
 /// Names of the system relations, in name order (the CLI's `\d` lists
 /// them after user relations).
-pub fn system_relation_names() -> [&'static str; 8] {
+pub fn system_relation_names() -> [&'static str; 10] {
     [
         "sys$connections",
         "sys$events",
+        "sys$pages",
         "sys$queries",
         "sys$relations",
         "sys$sessions",
         "sys$slow",
         "sys$stats",
         "sys$tablestats",
+        "sys$wal",
     ]
 }
 

@@ -27,6 +27,7 @@ pub mod cache;
 pub mod catalog;
 pub mod checkpoint;
 pub mod database;
+pub mod doctor;
 pub mod engine;
 pub mod error;
 pub mod introspect;
@@ -36,6 +37,7 @@ pub mod relation;
 pub mod session;
 
 pub use database::{Database, EngineStats};
+pub use doctor::{inspect, Inspection};
 pub use engine::{Engine, EngineBackend, EngineSession};
 pub use error::{DbError, DbResult};
 pub use introspect::{

@@ -25,7 +25,7 @@ use chronos_obs::Recorder;
 
 use crate::cache::{QueryCache, DEFAULT_CACHE_CAPACITY};
 use crate::database::EngineStats;
-use crate::introspect::{SessionRegistry, TelemetryStore};
+use crate::introspect::{PhysicalStore, SessionRegistry, TelemetryStore};
 
 /// Pre-created engine handles shared between a [`Database`] and the
 /// exporter serving it.
@@ -37,6 +37,7 @@ pub struct ObsBootstrap {
     pub(crate) cache: Arc<Mutex<QueryCache>>,
     pub(crate) telemetry: Arc<TelemetryStore>,
     pub(crate) registry: Arc<SessionRegistry>,
+    pub(crate) physical: Arc<PhysicalStore>,
 }
 
 impl Default for ObsBootstrap {
@@ -54,6 +55,7 @@ impl ObsBootstrap {
             cache: Arc::new(Mutex::new(QueryCache::new(DEFAULT_CACHE_CAPACITY))),
             telemetry: Arc::new(TelemetryStore::default()),
             registry: Arc::new(SessionRegistry::default()),
+            physical: Arc::new(PhysicalStore::default()),
         }
     }
 
@@ -88,6 +90,11 @@ impl ObsBootstrap {
         &self.registry
     }
 
+    /// The shared physical-storage snapshot (`/wal` + `/storage`).
+    pub fn physical(&self) -> &Arc<PhysicalStore> {
+        &self.physical
+    }
+
     /// Starts the HTTP exporter over these handles.  Endpoints answer
     /// immediately; `/healthz` stays 503 until a database opened with
     /// this bootstrap finishes recovery.
@@ -100,6 +107,7 @@ impl ObsBootstrap {
                 cache: Arc::clone(&self.cache),
                 telemetry: Arc::clone(&self.telemetry),
                 registry: Arc::clone(&self.registry),
+                physical: Arc::clone(&self.physical),
             }),
         )
     }
@@ -113,6 +121,7 @@ pub(crate) struct DbObsSource {
     pub(crate) cache: Arc<Mutex<QueryCache>>,
     pub(crate) telemetry: Arc<TelemetryStore>,
     pub(crate) registry: Arc<SessionRegistry>,
+    pub(crate) physical: Arc<PhysicalStore>,
 }
 
 impl ObsSource for DbObsSource {
@@ -168,6 +177,14 @@ impl ObsSource for DbObsSource {
 
     fn sessions_json(&self) -> String {
         self.registry.to_json()
+    }
+
+    fn wal_json(&self) -> String {
+        self.physical.wal_json()
+    }
+
+    fn storage_json(&self) -> String {
+        self.physical.storage_json()
     }
 
     fn health(&self) -> &Health {

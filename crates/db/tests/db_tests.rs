@@ -504,3 +504,133 @@ fn connections_as_of_rejection_names_the_relation() {
         "the rejection should name the relation, not just the range variable: {msg}"
     );
 }
+
+/// Reads the `sys$wal` system relation into `stat -> value`.
+fn sys_wal_map(db: &mut Database) -> std::collections::HashMap<String, i64> {
+    let res = db
+        .session()
+        .query(r#"range of w is sys$wal retrieve (w.stat, w.value)"#)
+        .unwrap();
+    res.rows
+        .iter()
+        .map(|r| {
+            (
+                r.tuple.get(0).to_string(),
+                r.tuple.get(1).to_string().parse::<i64>().unwrap(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn sys_wal_agrees_with_the_offline_inspector() {
+    let dir = std::env::temp_dir().join(format!("chronos-db-syswal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let clock = Arc::new(ManualClock::new(d("01/01/77")));
+    let mut db = Database::open(&dir, clock.clone()).unwrap();
+    db.session()
+        .run("create faculty (name = str, rank = str) as temporal")
+        .unwrap();
+    build_figure_8(&mut db, &clock);
+
+    // Live view (the sys$wal relation) vs the offline walker the
+    // doctor uses, on a quiesced database: they must agree exactly.
+    let map = sys_wal_map(&mut db);
+    let scan = chronos_storage::inspect::scan_wal(&dir.join("wal")).unwrap();
+    assert_eq!(map["durable"], 1);
+    assert_eq!(map["frames"], scan.frames.len() as i64);
+    assert_eq!(map["bytes"], scan.total_len as i64);
+    assert_eq!(map["valid_bytes"], scan.valid_len as i64);
+    assert_eq!(map["tail_bad_bytes"], 0);
+    let (ins, rem, setv) = scan.op_totals();
+    assert_eq!(map["ops_insert"], ins as i64);
+    assert_eq!(map["ops_remove"], rem as i64);
+    assert_eq!(map["ops_set_validity"], setv as i64);
+    assert!(map["frames"] > 0, "figure 8 committed six transactions");
+    assert_eq!(
+        map["lsn_last"],
+        d("02/25/84").ticks(),
+        "last frame carries the last commit time"
+    );
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sys_wal_reports_truncations_after_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("chronos-db-waltrunc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let clock = Arc::new(ManualClock::new(d("01/01/77")));
+    let mut db = Database::open(&dir, clock.clone()).unwrap();
+    db.session()
+        .run("create faculty (name = str, rank = str) as temporal")
+        .unwrap();
+    build_figure_8(&mut db, &clock);
+    let written = sys_wal_map(&mut db)["bytes"];
+    assert!(written > 0);
+    db.checkpoint().unwrap();
+    let map = sys_wal_map(&mut db);
+    assert_eq!(map["bytes"], 0, "checkpoint resets the log");
+    assert_eq!(map["truncations"], 1);
+    assert_eq!(map["last_truncation_bytes"], written);
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sys_pages_reports_physical_shape() {
+    let (mut db, clock) = fresh_db();
+    build_figure_8(&mut db, &clock);
+    let res = db
+        .session()
+        .query(
+            r#"range of p is sys$pages
+               retrieve (p.versions, p.pages, p.bytes_per_version, p.dup_factor_x1000)
+               where p.relation = "faculty""#,
+        )
+        .unwrap();
+    assert_eq!(res.len(), 1);
+    let row = &res.rows[0].tuple;
+    let versions: i64 = row.get(0).to_string().parse().unwrap();
+    let pages: i64 = row.get(1).to_string().parse().unwrap();
+    let bytes_per_version: i64 = row.get(2).to_string().parse().unwrap();
+    let dup: i64 = row.get(3).to_string().parse().unwrap();
+    assert_eq!(versions, 7, "the seven stored rows of Figure 8");
+    assert!(pages >= 1);
+    assert!(bytes_per_version > 0);
+    assert!(
+        dup > 1000,
+        "version chains share key bytes, so duplication > 1.0x: {dup}"
+    );
+}
+
+#[test]
+fn storage_system_relations_reject_writes_and_as_of_by_name() {
+    let (mut db, _clock) = fresh_db();
+    let err = db
+        .session()
+        .run(r#"append to sys$wal (stat = "x", value = 1, detail = "y")"#)
+        .unwrap_err();
+    assert!(
+        format!("{err}").contains("sys$wal"),
+        "write rejection should name the relation: {err}"
+    );
+    let err = db
+        .session()
+        .query(r#"range of p is sys$pages retrieve (p.relation) as of "01/01/80""#)
+        .unwrap_err();
+    assert!(
+        format!("{err}").contains("sys$pages"),
+        "as-of rejection should name the relation: {err}"
+    );
+}
+
+#[test]
+fn analyze_records_bytes_per_version_and_duplication() {
+    let (mut db, clock) = fresh_db();
+    build_figure_8(&mut db, &clock);
+    db.session().run("analyze faculty").unwrap();
+    let map = tablestats_map(&mut db, "faculty", None);
+    assert!(map["bytes_per_version"] > 0, "stats: {map:?}");
+    assert!(map["dup_factor_x1000"] > 1000, "stats: {map:?}");
+}

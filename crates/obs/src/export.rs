@@ -1,7 +1,7 @@
 //! The embedded HTTP observability exporter.
 //!
 //! A zero-dependency HTTP/1.1 server over [`std::net::TcpListener`]
-//! serving nine read-only endpoints:
+//! serving eleven read-only endpoints:
 //!
 //! | endpoint               | body                                   | status    |
 //! |------------------------|----------------------------------------|-----------|
@@ -12,6 +12,8 @@
 //! | `/sessions`            | live session/connection JSON           | 200       |
 //! | `/events?n=N`          | last N event-journal entries (JSON)    | 200       |
 //! | `/history?metric=&n=`  | sampled metric history (JSON)          | 200       |
+//! | `/wal`                 | physical WAL statistics (JSON)         | 200       |
+//! | `/storage`             | per-relation page/heap stats (JSON)    | 200       |
 //! | `/healthz`             | `ok` / `starting`                      | 200 / 503 |
 //! | `/readyz`              | readiness detail JSON                  | 200 / 503 |
 //!
@@ -138,6 +140,17 @@ pub trait ObsSource: Send + Sync {
     fn sessions_json(&self) -> String {
         "{\"sessions\": [], \"connections\": []}".to_string()
     }
+    /// `/wal`: physical WAL statistics (the `sys$wal` rows as JSON).
+    /// Sources without a physical snapshot report an empty list.
+    fn wal_json(&self) -> String {
+        "{\"wal\": []}".to_string()
+    }
+    /// `/storage`: per-relation page/heap statistics (the `sys$pages`
+    /// rows as JSON).  Sources without a physical snapshot report an
+    /// empty list.
+    fn storage_json(&self) -> String {
+        "{\"storage\": []}".to_string()
+    }
     /// Readiness for `/healthz` + `/readyz`.
     fn health(&self) -> &Health;
 }
@@ -252,6 +265,8 @@ fn handle_connection(mut stream: TcpStream, source: &dyn ObsSource) -> std::io::
         "/slow" => respond(&mut stream, 200, "OK", JSON, &source.slow_json()),
         "/queries" => respond(&mut stream, 200, "OK", JSON, &source.queries_json()),
         "/sessions" => respond(&mut stream, 200, "OK", JSON, &source.sessions_json()),
+        "/wal" => respond(&mut stream, 200, "OK", JSON, &source.wal_json()),
+        "/storage" => respond(&mut stream, 200, "OK", JSON, &source.storage_json()),
         "/events" => {
             let n = query_param(query, "n")
                 .and_then(|v| v.parse().ok())
@@ -447,6 +462,16 @@ mod tests {
         assert_eq!(
             http_get(&addr, "/sessions").unwrap(),
             (200, "{\"sessions\": [], \"connections\": []}\n".into())
+        );
+        // The default physical-storage bodies for sources without a
+        // snapshot store.
+        assert_eq!(
+            http_get(&addr, "/wal").unwrap(),
+            (200, "{\"wal\": []}\n".into())
+        );
+        assert_eq!(
+            http_get(&addr, "/storage").unwrap(),
+            (200, "{\"storage\": []}\n".into())
         );
         assert_eq!(http_get(&addr, "/healthz").unwrap(), (200, "ok\n".into()));
         let (status, body) = http_get(&addr, "/readyz").unwrap();

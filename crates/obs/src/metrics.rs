@@ -490,6 +490,36 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_exposition_is_cumulative_with_sum_and_count() {
+        // The scrape must carry real histogram series — monotone
+        // cumulative `_bucket{le=...}` counts ending at `+Inf`, plus
+        // `_sum` and `_count` — not just summary quantiles.
+        let h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record_ns(100);
+        }
+        for _ in 0..10 {
+            h.record_ns(1_000_000);
+        }
+        let mut m = MetricsSnapshot::default();
+        m.query_latency = h.snapshot();
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE chronos_query_latency_ns histogram"));
+        assert!(text.contains("chronos_query_latency_ns_bucket{le=\"128\"} 90"));
+        // Cumulative: the slow bucket reports 90 + 10, not 10.
+        assert!(text.contains(&format!(
+            "chronos_query_latency_ns_bucket{{le=\"{}\"}} 100",
+            1u64 << 20
+        )));
+        assert!(text.contains("chronos_query_latency_ns_bucket{le=\"+Inf\"} 100"));
+        assert!(text.contains(&format!(
+            "chronos_query_latency_ns_sum {}",
+            90 * 100 + 10 * 1_000_000
+        )));
+        assert!(text.contains("chronos_query_latency_ns_count 100"));
+    }
+
+    #[test]
     fn histogram_since_is_counterwise() {
         let h = LatencyHistogram::new();
         h.record_ns(10);

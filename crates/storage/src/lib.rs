@@ -32,6 +32,7 @@ pub mod error;
 pub use chronos_obs::fault;
 pub mod heap;
 pub mod index;
+pub mod inspect;
 pub mod page;
 pub mod pager;
 pub mod table;

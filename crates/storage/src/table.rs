@@ -78,6 +78,50 @@ fn decode_row(bytes: &[u8]) -> StorageResult<BitemporalRow> {
     })
 }
 
+/// Physical storage statistics for one table, measured by walking the
+/// heap (see [`StoredBitemporalTable::physical_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhysicalStats {
+    /// Heap pages allocated.
+    pub pages: u32,
+    /// Pages × 8 KiB: what the heap costs on disk (or in the pager).
+    pub bytes_on_disk: u64,
+    /// Live record count — every stored version of every row.
+    pub versions: u64,
+    /// Bytes of live record payload across all pages.
+    pub occupied_bytes: u64,
+    /// Payload bytes per 1000 bytes on disk (page occupancy, permille).
+    pub occupancy_x1000: u64,
+    /// `bytes_on_disk / versions`: the all-in physical cost of storing
+    /// one version.
+    pub bytes_per_version: u64,
+    /// Measured version duplication, ×1000.  Each version is priced at
+    /// (its encoded length − bytes shared with the previous version of
+    /// the same key), where *shared* is the common prefix plus common
+    /// suffix — a cheap stand-in for a delta encoding.  The factor is
+    /// `occupied_bytes × 1000 / Σ delta`: 1000 means versions share
+    /// nothing; 3000 means two of every three stored bytes repeat the
+    /// previous version — the "excessive duplication" the paper warns
+    /// rollback stores pay for.
+    pub dup_factor_x1000: u64,
+}
+
+/// Bytes a prefix/suffix delta encoding of `b` against `a` would not
+/// need to store: the longest common prefix plus the longest common
+/// suffix of the remainder, capped at the shorter length.
+fn shared_bytes(a: &[u8], b: &[u8]) -> usize {
+    let max = a.len().min(b.len());
+    let prefix = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take_while(|(x, y)| x == y)
+        .count()
+        .min(max - prefix);
+    prefix + suffix
+}
+
 /// Default checkpoint interval: one materialised state every K commits.
 pub const DEFAULT_CHECKPOINT_INTERVAL: usize = 64;
 
@@ -510,6 +554,52 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         self.heap.pages()
     }
 
+    /// Walks the heap and measures the table's physical shape: pages,
+    /// occupancy, bytes per version, and the duplication factor between
+    /// consecutive versions of the same key (grouped by first attribute,
+    /// ordered by transaction start).  One pass over the pages plus a
+    /// sort — cheap enough for `analyze` and `sys$pages`.
+    pub fn physical_stats(&self) -> StorageResult<PhysicalStats> {
+        let mut versions: Vec<(String, TimePoint, Vec<u8>)> = Vec::with_capacity(self.heap.len());
+        let mut scan_err = None;
+        self.heap.scan(|_, data| match decode_row(data) {
+            Ok(row) => {
+                let key = row
+                    .tuple
+                    .try_get(0)
+                    .map(|v| format!("{v:?}"))
+                    .unwrap_or_default();
+                versions.push((key, row.tx.start(), data.to_vec()));
+            }
+            Err(e) => scan_err = Some(e),
+        })?;
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        versions.sort_by(|a, b| (a.0.as_str(), a.1).cmp(&(b.0.as_str(), b.1)));
+        let occupied: u64 = versions.iter().map(|v| v.2.len() as u64).sum();
+        let mut delta = 0u64;
+        for (i, (key, _, bytes)) in versions.iter().enumerate() {
+            let prev = versions[..i].last().filter(|p| p.0 == *key);
+            delta += match prev {
+                Some(p) => (bytes.len() - shared_bytes(&p.2, bytes)) as u64,
+                None => bytes.len() as u64,
+            };
+        }
+        let pages = self.heap.pages();
+        let bytes_on_disk = u64::from(pages) * crate::page::PAGE_SIZE as u64;
+        let n = versions.len() as u64;
+        Ok(PhysicalStats {
+            pages,
+            bytes_on_disk,
+            versions: n,
+            occupied_bytes: occupied,
+            occupancy_x1000: (occupied * 1000).checked_div(bytes_on_disk).unwrap_or(0),
+            bytes_per_version: bytes_on_disk.checked_div(n).unwrap_or(0),
+            dup_factor_x1000: (occupied * 1000).checked_div(delta).unwrap_or(1000),
+        })
+    }
+
     /// Borrowed view of the current historical state (avoids the clone
     /// in [`TemporalStore::current`]).
     pub fn current_ref(&self) -> &HistoricalRelation {
@@ -879,6 +969,42 @@ mod tests {
         // overlap scan.
         let q = Period::new(d("01/01/83"), d("01/01/84")).unwrap();
         assert_eq!(stored.current_overlapping(q).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn physical_stats_measure_versions_and_duplication() {
+        let mut t = StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
+        let empty = t.physical_stats().unwrap();
+        assert_eq!(empty.versions, 0);
+        assert_eq!(empty.dup_factor_x1000, 1000, "no versions, no duplication");
+        drive_figure_8(&mut t);
+        let stats = t.physical_stats().unwrap();
+        assert_eq!(stats.versions, 7);
+        assert_eq!(stats.pages, t.heap_pages());
+        assert_eq!(
+            stats.bytes_on_disk,
+            u64::from(stats.pages) * crate::page::PAGE_SIZE as u64
+        );
+        assert!(stats.occupied_bytes > 0);
+        assert!(stats.occupied_bytes <= stats.bytes_on_disk);
+        assert_eq!(
+            stats.occupancy_x1000,
+            stats.occupied_bytes * 1000 / stats.bytes_on_disk
+        );
+        assert_eq!(stats.bytes_per_version, stats.bytes_on_disk / 7);
+        // Merrie and Mike each store consecutive versions differing only
+        // in a few timestamp bytes, so measured duplication exceeds 1.0×.
+        assert!(stats.dup_factor_x1000 > 1000, "{stats:?}");
+    }
+
+    #[test]
+    fn shared_bytes_prices_prefix_plus_suffix() {
+        assert_eq!(shared_bytes(b"abcdef", b"abcxef"), 5);
+        assert_eq!(shared_bytes(b"abc", b"abc"), 3);
+        assert_eq!(shared_bytes(b"abc", b"xyz"), 0);
+        // Prefix and suffix overlap is capped at the shorter length.
+        assert_eq!(shared_bytes(b"aaaa", b"aaaaaa"), 4);
+        assert_eq!(shared_bytes(b"", b"abc"), 0);
     }
 
     #[test]

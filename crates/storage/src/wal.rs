@@ -162,6 +162,12 @@ pub struct Wal {
     /// boundary rather than `synced_len` so one bad append in a batch
     /// cannot erase its already-staged siblings.
     logical_len: u64,
+    /// How many times this handle has truncated the log (rollback of a
+    /// failed apply via [`Wal::truncate_to`], or a post-checkpoint
+    /// [`Wal::reset`]).  Surfaced by `sys$wal`.
+    truncations: u64,
+    /// Bytes dropped by the most recent truncation, if any.
+    last_truncation_bytes: u64,
 }
 
 impl Wal {
@@ -179,6 +185,8 @@ impl Wal {
             recorder: Arc::new(Recorder::disabled()),
             synced_len,
             logical_len: synced_len,
+            truncations: 0,
+            last_truncation_bytes: 0,
         })
     }
 
@@ -342,6 +350,35 @@ impl Wal {
         self.logical_len - self.synced_len
     }
 
+    /// Length of the known-good, fsynced prefix (the durability
+    /// watermark `sys$wal` reports).
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
+    /// End of the last intact frame, synced or not.
+    pub fn logical_len(&self) -> u64 {
+        self.logical_len
+    }
+
+    /// How many truncations this handle has performed (rollbacks and
+    /// post-checkpoint resets).
+    pub fn truncations(&self) -> u64 {
+        self.truncations
+    }
+
+    /// Bytes dropped by the most recent truncation (0 if none yet).
+    pub fn last_truncation_bytes(&self) -> u64 {
+        self.last_truncation_bytes
+    }
+
+    fn note_truncation(&mut self, dropped: u64) {
+        if dropped > 0 {
+            self.truncations += 1;
+            self.last_truncation_bytes = dropped;
+        }
+    }
+
     /// Reads every record, tolerating a torn tail.
     ///
     /// Returns an error only for corruption *within* the valid prefix
@@ -413,6 +450,7 @@ impl Wal {
     pub fn truncate_to(&mut self, len: u64) -> StorageResult<()> {
         self.file.set_len(len)?;
         self.file.sync_data()?;
+        self.note_truncation(self.logical_len.saturating_sub(len));
         self.synced_len = self.synced_len.min(len);
         self.logical_len = len;
         Ok(())
@@ -425,6 +463,7 @@ impl Wal {
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_data()?;
+        self.note_truncation(self.logical_len);
         self.synced_len = 0;
         self.logical_len = 0;
         crate::fault::crash_point("wal.reset.post_truncate")?;

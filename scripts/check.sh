@@ -113,10 +113,13 @@ create faculty (name = str, rank = str) as temporal
 
 append to faculty (name = "Merrie", rank = "associate")
 
+\sample
 \obs /healthz
 \obs /metrics
 \obs /slow
 \obs /sessions
+\obs /wal
+\obs /storage
 \obs /readyz
 \slow
 \sessions
@@ -133,6 +136,14 @@ grep -q '^200 /sessions' <<<"$obs_out" \
   || die "obs smoke: /sessions not 200" "$obs_out"
 grep -q '"sessions"' <<<"$obs_out" \
   || die "obs smoke: /sessions body missing the sessions list" "$obs_out"
+grep -q '^200 /wal' <<<"$obs_out" \
+  || die "obs smoke: /wal not 200" "$obs_out"
+grep -q '"stat": "frames"' <<<"$obs_out" \
+  || die "obs smoke: /wal body missing the frame stats" "$obs_out"
+grep -q '^200 /storage' <<<"$obs_out" \
+  || die "obs smoke: /storage not 200" "$obs_out"
+grep -q '"relation": "faculty"' <<<"$obs_out" \
+  || die "obs smoke: /storage body missing the faculty row" "$obs_out"
 grep -q '^200 /readyz' <<<"$obs_out" \
   || die "obs smoke: /readyz not 200" "$obs_out"
 grep -q 'no live sessions\|idle' <<<"$obs_out" \
@@ -349,10 +360,28 @@ append to faculty (name = "Merrie", rank = "associate")
 
 append to faculty (name = "Tom", rank = "assistant")
 EOF
-# 3. A torn WAL tail recovers gracefully AND the degradation is
-#    journaled as a wal_truncated event.
+# 3. The offline doctor passes a clean database (exit 0, clean verdict)
+#    without touching it.
+inspect_out=$(./target/release/chronos --inspect "$neg_dir/db") \
+  || die "inspect smoke: clean database did not inspect clean" "$inspect_out"
+grep -q 'verdict: clean' <<<"$inspect_out" \
+  || die "inspect smoke: clean verdict missing" "$inspect_out"
+./target/release/chronos --inspect-json "$neg_dir/db" | grep -q '"tail": "clean"' \
+  || die "inspect smoke: JSONL dump missing the clean tail verdict"
+# 4. A torn WAL tail: the doctor diagnoses it (exit 2, offset named,
+#    file unmodified), then recovery degrades gracefully AND the
+#    degradation is journaled as a wal_truncated event.
 wal_len=$(wc -c < "$neg_dir/db/wal")
 truncate -s $((wal_len - 3)) "$neg_dir/db/wal"
+if inspect_out=$(./target/release/chronos --inspect "$neg_dir/db"); then
+  die "inspect smoke: torn WAL inspected clean" "$inspect_out"
+fi
+grep -q 'torn tail' <<<"$inspect_out" \
+  || die "inspect smoke: torn-tail diagnosis missing" "$inspect_out"
+grep -q 'at offset' <<<"$inspect_out" \
+  || die "inspect smoke: torn-tail offset missing" "$inspect_out"
+[ "$(wc -c < "$neg_dir/db/wal")" -eq $((wal_len - 3)) ] \
+  || die "inspect smoke: the doctor mutated the WAL"
 ./target/release/chronos --batch "$neg_dir/db" </dev/null >/dev/null 2>&1 \
   || die "negative: torn WAL tail must degrade gracefully, not fail"
 grep -q '"event": "wal_truncated"' "$neg_dir/db/events.jsonl" \
