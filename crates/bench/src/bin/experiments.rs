@@ -44,6 +44,11 @@
 //!   read-dominant workload over a 6000-version temporal relation,
 //!   with the fingerprint store's dedup verified (one entry for every
 //!   literal variation of the same statement shape);
+//! * **T16** — frozen segments: bytes/version and as-of point-query
+//!   latency of the delta-coded, mmap-backed segment format against
+//!   the pure paged heap, swept over version-chain length (the
+//!   tentpole claim: ≤1.3× duplication and ≥2× point-lookup speedup
+//!   at chain length 32), recorded in `BENCH_storage.json`;
 //! * **T17** — physical storage shape: version-chain length swept
 //!   against the measured duplication factor and bytes/version of the
 //!   paged heap (the numbers `sys$pages`, `/storage`, and `analyze`
@@ -152,9 +157,19 @@ fn main() {
     if want("T14") {
         t14_stats = Some(t14_workload_analytics());
     }
+    let mut t17_rows = None;
     if want("T17") {
-        let rows = t17_physical_storage();
-        write_bench_storage_json(&rows);
+        t17_rows = Some(t17_physical_storage());
+    }
+    let mut t16_rows = None;
+    if want("T16") {
+        t16_rows = Some(t16_frozen_segments());
+    }
+    if t17_rows.is_some() || t16_rows.is_some() {
+        write_bench_storage_json(
+            t17_rows.as_deref().unwrap_or(&[]),
+            t16_rows.as_deref().unwrap_or(&[]),
+        );
     }
     if want("faults") {
         faults_matrix();
@@ -1991,12 +2006,179 @@ fn t17_physical_storage() -> Vec<T17Row> {
     rows
 }
 
-/// Emits the T17 sweep as `BENCH_storage.json` (hand-rolled JSON, same
-/// discipline as the other BENCH_* writers).
-fn write_bench_storage_json(rows: &[T17Row]) {
+// ---------------------------------------------------------------------
+// T16 — frozen segments: bytes/version + as-of point-query latency,
+// heap vs segments (EXPERIMENTS_ONLY=T16)
+// ---------------------------------------------------------------------
+
+/// One sweep point of the T16 heap-vs-segment comparison.
+struct T16Row {
+    chain_len: usize,
+    keys: usize,
+    frozen_versions: u64,
+    heap_bytes_per_version: u64,
+    heap_dup_x1000: u64,
+    seg_bytes_per_version: u64,
+    seg_dup_x1000: u64,
+    seg_file_bytes: u64,
+    heap_lookup_ns: u64,
+    seg_lookup_ns: u64,
+    speedup_x1000: u64,
+}
+
+/// Grows per-key version chains by replacement rounds (the T17
+/// driver); returns the commit days, for picking as-of probe times.
+fn t16_drive(table: &mut StoredBitemporalTable, keys: usize, chain: usize) -> Vec<i64> {
+    let mut days = Vec::with_capacity(chain);
+    let mut day = 1_000i64;
+    for round in 0..chain {
+        let mut ops = Vec::with_capacity(keys * 2);
+        for k in 0..keys {
+            let name = format!("prof{k:05}");
+            if round > 0 {
+                let prev = format!("rank{:03}", round - 1);
+                ops.push(HistoricalOp::remove(RowSelector::tuple(tuple([
+                    name.as_str(),
+                    prev.as_str(),
+                ]))));
+            }
+            let rank = format!("rank{round:03}");
+            ops.push(HistoricalOp::insert(
+                tuple([name.as_str(), rank.as_str()]),
+                Validity::Interval(Period::from_start(Chronon::new(day))),
+            ));
+        }
+        table.try_commit(Chronon::new(day), &ops).expect("valid");
+        days.push(day);
+        day += 10;
+    }
+    days
+}
+
+/// Freezes one of two identically-driven tables and measures both
+/// physical shape (bytes/version, duplication) and as-of point-lookup
+/// latency, heap vs segment.  The tentpole's acceptance bar — ≤1.3×
+/// duplication and ≥2× lookup speedup at chain length 32 — is
+/// asserted here, so a codec or skip-path regression fails the run.
+fn t16_frozen_segments() -> Vec<T16Row> {
+    heading("T16: frozen segments — bytes/version + as-of point lookup, heap vs segments");
+    println!(
+        "{:>6} | {:>8} | {:>8} | {:>7} | {:>7} | {:>9} | {:>9} | {:>8}",
+        "chain", "B/v heap", "B/v seg", "dup hp", "dup seg", "heap ns", "seg ns", "speedup"
+    );
+    const KEYS: usize = 128;
+    let mut rows = Vec::new();
+    for &chain in &[4usize, 8, 16, 32] {
+        let schema = chronos_core::schema::faculty_schema();
+        let mut heap_only =
+            StoredBitemporalTable::in_memory(schema.clone(), TemporalSignature::Interval);
+        let mut frozen = StoredBitemporalTable::in_memory(schema, TemporalSignature::Interval);
+        let days = t16_drive(&mut heap_only, KEYS, chain);
+        t16_drive(&mut frozen, KEYS, chain);
+
+        let seg_path =
+            std::env::temp_dir().join(format!("chronos-t16-{}-{chain}.seg", std::process::id()));
+        let _ = std::fs::remove_file(&seg_path);
+        let report = frozen
+            .freeze_into(&seg_path)
+            .expect("freeze")
+            .expect("chains past round one always leave closed versions");
+        assert_eq!(report.versions, (KEYS * (chain - 1)) as u64);
+        let heap_stats = heap_only.physical_stats().expect("stats");
+        let seg_stats = frozen.segments()[0].stats();
+
+        // As-of point probes in the middle of history: every key is
+        // alive, so the heap must stab + decode + filter a full
+        // timeslice while the segment walks one delta chain.
+        let probes: Vec<(Value, Chronon)> = (0..64)
+            .map(|i| {
+                (
+                    Value::str(format!("prof{:05}", (i * 7) % KEYS)),
+                    Chronon::new(days[(i * 5) % (chain - 1)] + 5),
+                )
+            })
+            .collect();
+        for (key, t) in &probes {
+            let mut a: Vec<String> = heap_only
+                .lookup_key_as_of(key, *t)
+                .expect("heap lookup")
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            let mut b: Vec<String> = frozen
+                .lookup_key_as_of(key, *t)
+                .expect("segment lookup")
+                .iter()
+                .map(|r| format!("{r:?}"))
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "heap and segment answers must be byte-identical");
+        }
+        let mut i = 0usize;
+        let heap_ns = time_ns(64, || {
+            let (key, t) = &probes[i % probes.len()];
+            i += 1;
+            std::hint::black_box(heap_only.lookup_key_as_of(key, *t).expect("heap lookup"));
+        });
+        let mut j = 0usize;
+        let seg_ns = time_ns(64, || {
+            let (key, t) = &probes[j % probes.len()];
+            j += 1;
+            std::hint::black_box(frozen.lookup_key_as_of(key, *t).expect("segment lookup"));
+        });
+        let speedup_x1000 = heap_ns * 1000 / seg_ns.max(1);
+        println!(
+            "{:>6} | {:>8} | {:>8} | {:>7} | {:>7} | {:>9} | {:>9} | {:>7.2}x",
+            chain,
+            heap_stats.bytes_per_version,
+            seg_stats.bytes_per_version,
+            heap_stats.dup_factor_x1000,
+            seg_stats.dup_factor_x1000,
+            heap_ns,
+            seg_ns,
+            speedup_x1000 as f64 / 1000.0,
+        );
+        if chain == 32 {
+            assert!(
+                seg_stats.dup_factor_x1000 <= 1300,
+                "segment duplication at chain 32 must stay ≤1.3x: {}",
+                seg_stats.dup_factor_x1000
+            );
+            assert!(
+                speedup_x1000 >= 2000,
+                "segment point lookups at chain 32 must be ≥2x faster: {speedup_x1000}"
+            );
+        }
+        rows.push(T16Row {
+            chain_len: chain,
+            keys: KEYS,
+            frozen_versions: report.versions,
+            heap_bytes_per_version: heap_stats.bytes_per_version,
+            heap_dup_x1000: heap_stats.dup_factor_x1000,
+            seg_bytes_per_version: seg_stats.bytes_per_version,
+            seg_dup_x1000: seg_stats.dup_factor_x1000,
+            seg_file_bytes: seg_stats.file_bytes,
+            heap_lookup_ns: heap_ns,
+            seg_lookup_ns: seg_ns,
+            speedup_x1000,
+        });
+        drop(frozen);
+        let _ = std::fs::remove_file(&seg_path);
+    }
+    println!("(the heap re-stores what a key's versions share and stabs a whole");
+    println!(" timeslice per lookup; the segment stores prefix/suffix deltas and");
+    println!(" walks one chain found by bloom filter + binary search)");
+    rows
+}
+
+/// Emits the T17 sweep and the T16 heap-vs-segment comparison as
+/// `BENCH_storage.json` (hand-rolled JSON, same discipline as the
+/// other BENCH_* writers).
+fn write_bench_storage_json(t17: &[T17Row], t16: &[T16Row]) {
     let mut out = String::from("{\n  \"experiment\": \"T17 physical storage shape\",\n");
     out.push_str("  \"chain_sweep\": [\n");
-    for (i, r) in rows.iter().enumerate() {
+    for (i, r) in t17.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"chain_len\": {}, \"keys\": {}, \"versions\": {}, \"pages\": {}, \
              \"bytes_on_disk\": {}, \"occupancy_x1000\": {}, \"bytes_per_version\": {}, \
@@ -2009,7 +2191,30 @@ fn write_bench_storage_json(rows: &[T17Row]) {
             r.occupancy_x1000,
             r.bytes_per_version,
             r.dup_factor_x1000,
-            if i + 1 < rows.len() { "," } else { "" }
+            if i + 1 < t17.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"frozen_segments\": [\n");
+    for (i, r) in t16.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"chain_len\": {}, \"keys\": {}, \"frozen_versions\": {}, \
+             \"heap_bytes_per_version\": {}, \"heap_dup_x1000\": {}, \
+             \"seg_bytes_per_version\": {}, \"seg_dup_x1000\": {}, \
+             \"seg_file_bytes\": {}, \"heap_lookup_ns\": {}, \"seg_lookup_ns\": {}, \
+             \"speedup_x1000\": {}}}{}\n",
+            r.chain_len,
+            r.keys,
+            r.frozen_versions,
+            r.heap_bytes_per_version,
+            r.heap_dup_x1000,
+            r.seg_bytes_per_version,
+            r.seg_dup_x1000,
+            r.seg_file_bytes,
+            r.heap_lookup_ns,
+            r.seg_lookup_ns,
+            r.speedup_x1000,
+            if i + 1 < t16.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

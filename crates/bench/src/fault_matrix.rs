@@ -66,6 +66,10 @@ pub enum Step {
     Query(&'static str, &'static str),
     /// `Database::checkpoint()`.
     Checkpoint(&'static str),
+    /// `Database::freeze_relation(RELATION)` — migrates closed
+    /// versions into a segment (no logical state; the heap stays
+    /// authoritative until the segment is durable and mapped).
+    Freeze(&'static str),
 }
 
 /// The fixed workload: 6 commits around one checkpoint, plus a query.
@@ -106,6 +110,8 @@ pub const STEPS: &[Step] = &[
         "08/01/80",
         r#"append to faculty (name = "Ann", rank = "lecturer")"#,
     ),
+    // The replace and the delete above closed two versions: freezable.
+    Step::Freeze("09/01/80"),
 ];
 
 /// Number of commit steps in [`STEPS`].
@@ -137,6 +143,11 @@ pub fn run_steps(
                 clock.advance_to(d(day));
                 db.checkpoint().map_err(|e| (i, e.to_string()))?;
             }
+            Step::Freeze(day) => {
+                clock.advance_to(d(day));
+                db.freeze_relation(RELATION)
+                    .map_err(|e| (i, e.to_string()))?;
+            }
         }
     }
     Ok(())
@@ -165,6 +176,13 @@ pub fn run_steps_engine(
                 clock.advance_to(d(day));
                 engine.checkpoint().map_err(|e| (i, e.to_string()))?;
             }
+            Step::Freeze(day) => {
+                clock.advance_to(d(day));
+                engine
+                    .session()
+                    .run("freeze faculty")
+                    .map_err(|e| (i, e.to_string()))?;
+            }
         }
     }
     Ok(())
@@ -190,7 +208,7 @@ pub fn oracle_with_commits(commits: usize) -> Database {
                     done += 1;
                 }
             }
-            Step::Query(..) | Step::Checkpoint(_) => {}
+            Step::Query(..) | Step::Checkpoint(_) | Step::Freeze(_) => {}
         }
     }
     db
@@ -265,6 +283,13 @@ pub fn site_specs() -> Vec<SiteSpec> {
         // The journal emits from the first open on; hit 6 lands inside
         // the commit stretch of the workload.
         spec("journal.emit", 6, None),
+        // The freeze step runs once, at the end of the workload; all 6
+        // commits are durable when it dies, and the heap stays
+        // authoritative at every point in the segment's tmp → fsync →
+        // rename → mmap-validate pipeline.
+        spec("segment.write", 1, None),
+        spec("segment.rename", 1, None),
+        spec("segment.mmap_open", 1, None),
         // Engine path only: a serial run of the 6-commit workload makes
         // 6 data-carrying group syncs; hit 4 is the first commit after
         // the checkpoint, so the crash leaves 3 commits durable (all

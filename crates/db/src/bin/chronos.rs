@@ -729,6 +729,21 @@ fn print_outcomes(outcomes: Vec<ExecOutcome>) {
             ExecOutcome::Analyzed { relation, stats } => {
                 println!("analyzed {relation} ({stats} statistic(s) into sys$tablestats)");
             }
+            ExecOutcome::Frozen {
+                relation,
+                versions,
+                chains,
+                file_bytes,
+            } => {
+                if versions == 0 {
+                    println!("froze {relation}: nothing freezable");
+                } else {
+                    println!(
+                        "froze {relation}: {versions} version(s) in {chains} chain(s), \
+                         {file_bytes} bytes"
+                    );
+                }
+            }
             ExecOutcome::Declared => {}
         }
     }

@@ -38,6 +38,22 @@ use crate::observe::{DbObsSource, ObsBootstrap};
 use crate::relation::Relation;
 use crate::session::Session;
 
+/// Closed versions a temporal relation accumulates before a checkpoint
+/// freezes them into an immutable segment.
+pub const DEFAULT_FREEZE_THRESHOLD: usize = 128;
+
+/// Deletes stale segment files (best effort: segments are a cache).
+fn purge_segments(seg_dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(seg_dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
 /// A ChronosDB database instance.
 pub struct Database {
     catalog: Catalog,
@@ -73,6 +89,24 @@ pub struct Database {
     physical: Arc<PhysicalStore>,
     /// The background stats sampler, when started.
     sampler: Option<StatsSampler>,
+    /// Closed-version count at which a checkpoint freezes a temporal
+    /// relation's history into an immutable segment.
+    freeze_threshold: usize,
+}
+
+/// What [`Database::freeze_relation`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreezeOutcome {
+    /// Relation the freeze targeted.
+    pub relation: String,
+    /// Closed versions moved off the heap (0 ⇒ nothing was freezable).
+    pub versions: u64,
+    /// Distinct version chains (first-attribute keys) in the segment.
+    pub chains: u64,
+    /// On-disk size of the segment file written, bytes.
+    pub file_bytes: u64,
+    /// Path of the segment, relative to the database directory.
+    pub path: Option<String>,
 }
 
 impl Database {
@@ -93,6 +127,7 @@ impl Database {
             registry: Arc::new(SessionRegistry::default()),
             physical: Arc::new(PhysicalStore::default()),
             sampler: None,
+            freeze_threshold: DEFAULT_FREEZE_THRESHOLD,
         };
         db.record_catalog_sample(db.txn.peek_now());
         db.refresh_physical_snapshots();
@@ -117,6 +152,12 @@ impl Database {
         obs: &ObsBootstrap,
     ) -> DbResult<Database> {
         std::fs::create_dir_all(dir).map_err(chronos_storage::StorageError::from)?;
+        // Frozen segments are a rebuildable physical cache: every row
+        // they hold is also in the checkpoint image (capture merges
+        // segments back in) or replayable from the log.  Recovery
+        // therefore rebuilds the full heap and discards stale segment
+        // files wholesale; a later checkpoint re-freezes.
+        purge_segments(&dir.join("segments"));
         let recorder = Arc::clone(&obs.recorder);
         // The lifecycle journal lives beside the WAL.  Journaling is
         // diagnostic: a journal that cannot be opened is skipped, never
@@ -233,6 +274,7 @@ impl Database {
             registry: Arc::clone(&obs.registry),
             physical: Arc::clone(&obs.physical),
             sampler: None,
+            freeze_threshold: DEFAULT_FREEZE_THRESHOLD,
         };
         db.record_catalog_sample(db.txn.peek_now());
         db.refresh_physical_snapshots();
@@ -288,9 +330,89 @@ impl Database {
                 ("wal_bytes_truncated", wal_bytes_truncated.into()),
             ],
         );
+        // Heap rows whose transaction period closed are immutable
+        // forever; once enough pile up, freeze them into mmap-backed
+        // segments.  Doing it *after* the checkpoint image is durable
+        // keeps the heap authoritative: a crash anywhere in the freeze
+        // loses only a rebuildable cache.
+        let to_freeze: Vec<String> = self
+            .relations
+            .iter()
+            .filter(|(_, rel)| match rel {
+                Relation::Temporal(t) => t.frozen_version_count() >= self.freeze_threshold,
+                _ => false,
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in to_freeze {
+            self.freeze_relation(&name)?;
+        }
         // The checkpoint just rewrote the on-disk shape wholesale.
         self.refresh_physical_snapshots();
         Ok(())
+    }
+
+    /// Overrides the closed-version count at which [`checkpoint`]
+    /// (Self::checkpoint) auto-freezes a relation.
+    pub fn set_freeze_threshold(&mut self, versions: usize) {
+        self.freeze_threshold = versions;
+    }
+
+    /// Freezes `name`'s closed versions into an immutable mmap-backed
+    /// segment under `dir/segments/`, leaving the mutable tail on the
+    /// pager.  Explicit counterpart of the checkpoint-time auto-freeze;
+    /// durable, temporal relations only.
+    pub fn freeze_relation(&mut self, name: &str) -> DbResult<FreezeOutcome> {
+        Self::reject_system_write(name)?;
+        let Some(dir) = self.dir.clone() else {
+            return Err(DbError::Capability(
+                "freeze requires a durable database (segments live on disk)".into(),
+            ));
+        };
+        let Some(rel) = self.relations.get_mut(name) else {
+            return Err(DbError::Catalog(format!("unknown relation {name:?}")));
+        };
+        let Relation::Temporal(table) = rel else {
+            return Err(DbError::Capability(format!(
+                "{name:?} is not a temporal relation: only temporal histories freeze"
+            )));
+        };
+        let seg_dir = dir.join("segments");
+        std::fs::create_dir_all(&seg_dir).map_err(chronos_storage::StorageError::from)?;
+        let file = format!("{name}-{}.seg", table.segments().len());
+        let report = table.freeze_into(&seg_dir.join(&file))?;
+        let outcome = match report {
+            Some(r) => FreezeOutcome {
+                relation: name.to_string(),
+                versions: r.versions,
+                chains: r.chains,
+                file_bytes: r.file_bytes,
+                path: Some(format!("segments/{file}")),
+            },
+            None => FreezeOutcome {
+                relation: name.to_string(),
+                versions: 0,
+                chains: 0,
+                file_bytes: 0,
+                path: None,
+            },
+        };
+        if outcome.path.is_some() {
+            // The relation's physical shape changed: stale every cached
+            // scan, journal the migration, and resample the exporters.
+            self.bump_epoch(name, "freeze");
+            self.recorder.emit_event(
+                "relation_frozen",
+                &[
+                    ("relation", name.into()),
+                    ("versions", outcome.versions.into()),
+                    ("chains", outcome.chains.into()),
+                    ("file_bytes", outcome.file_bytes.into()),
+                ],
+            );
+            self.refresh_physical_snapshots();
+        }
+        Ok(outcome)
     }
 
     /// True iff the database persists to disk.
@@ -1039,20 +1161,43 @@ impl Database {
                 .get(name)
                 .expect("catalog and stores in sync");
             let row = match rel {
-                Relation::Temporal(r) => match r.physical_stats() {
-                    Ok(p) => PagesRow {
-                        relation: name.clone(),
-                        class: entry.class.to_string(),
-                        pages: i64::from(p.pages),
-                        bytes_disk: clamp_i64(p.bytes_on_disk),
-                        records: clamp_i64(p.versions),
-                        occupancy_x1000: clamp_i64(p.occupancy_x1000),
-                        versions: clamp_i64(p.versions),
-                        bytes_per_version: clamp_i64(p.bytes_per_version),
-                        dup_factor_x1000: clamp_i64(p.dup_factor_x1000),
-                    },
-                    Err(_) => continue,
-                },
+                Relation::Temporal(r) => {
+                    // One row per frozen segment: sized from the mapped
+                    // file, with the segment's own duplication factor
+                    // (delta-coded, so ≈1000 where the heap duplicates).
+                    for seg in r.segments() {
+                        let s = seg.stats();
+                        rows.push(PagesRow {
+                            relation: name.clone(),
+                            class: "segment".to_string(),
+                            pages: 0,
+                            bytes_disk: clamp_i64(s.file_bytes),
+                            records: clamp_i64(s.versions),
+                            occupancy_x1000: clamp_i64(
+                                (s.stored_bytes * 1000)
+                                    .checked_div(s.file_bytes)
+                                    .unwrap_or(0),
+                            ),
+                            versions: clamp_i64(s.versions),
+                            bytes_per_version: clamp_i64(s.bytes_per_version),
+                            dup_factor_x1000: clamp_i64(s.dup_factor_x1000),
+                        });
+                    }
+                    match r.physical_stats() {
+                        Ok(p) => PagesRow {
+                            relation: name.clone(),
+                            class: entry.class.to_string(),
+                            pages: i64::from(p.pages),
+                            bytes_disk: clamp_i64(p.bytes_on_disk),
+                            records: clamp_i64(p.versions),
+                            occupancy_x1000: clamp_i64(p.occupancy_x1000),
+                            versions: clamp_i64(p.versions),
+                            bytes_per_version: clamp_i64(p.bytes_per_version),
+                            dup_factor_x1000: clamp_i64(p.dup_factor_x1000),
+                        },
+                        Err(_) => continue,
+                    }
+                }
                 other => {
                     // No heap behind the in-memory classes: estimate
                     // from tuple counts, like `sys$relations` bytes.
@@ -1089,6 +1234,27 @@ impl Database {
                     bytes_per_version: 0,
                     dup_factor_x1000: 0,
                 });
+            }
+            if let Ok(entries) = std::fs::read_dir(dir.join("segments")) {
+                let mut seg_files: Vec<_> = entries
+                    .flatten()
+                    .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+                    .collect();
+                seg_files.sort_by_key(|e| e.file_name());
+                for entry in seg_files {
+                    let Ok(meta) = entry.metadata() else { continue };
+                    rows.push(PagesRow {
+                        relation: format!("file:segments/{}", entry.file_name().to_string_lossy()),
+                        class: "file".to_string(),
+                        pages: 0,
+                        bytes_disk: clamp_i64(meta.len()),
+                        records: 0,
+                        occupancy_x1000: 0,
+                        versions: 0,
+                        bytes_per_version: 0,
+                        dup_factor_x1000: 0,
+                    });
+                }
             }
         }
         rows

@@ -606,6 +606,14 @@ impl SessionBackend for EngineBackend {
         // rings — no catalog mutation.
         self.read_db().analyze_relation(relation)
     }
+
+    fn freeze(&mut self, relation: &str) -> DbResult<crate::database::FreezeOutcome> {
+        // Structural migration of the relation's physical store:
+        // needs the writer lock, like create/destroy.
+        let relation = relation.to_string();
+        self.engine
+            .exclusive(move |db| db.freeze_relation(&relation))?
+    }
 }
 
 impl Drop for EngineBackend {

@@ -411,6 +411,21 @@ pub fn render_outcomes(outcomes: &[ExecOutcome]) -> String {
                     "analyzed {relation} ({stats} statistic(s) into sys$tablestats)\n"
                 ));
             }
+            ExecOutcome::Frozen {
+                relation,
+                versions,
+                chains,
+                file_bytes,
+            } => {
+                if *versions == 0 {
+                    out.push_str(&format!("froze {relation}: nothing freezable\n"));
+                } else {
+                    out.push_str(&format!(
+                        "froze {relation}: {versions} version(s) in {chains} chain(s), \
+                         {file_bytes} bytes\n"
+                    ));
+                }
+            }
             ExecOutcome::Declared => {}
         }
     }

@@ -84,6 +84,17 @@ pub enum ExecOutcome {
         /// How many statistics the sample holds.
         stats: usize,
     },
+    /// A `freeze` migrated closed versions into an immutable segment.
+    Frozen {
+        /// The frozen relation.
+        relation: String,
+        /// Versions moved off the heap (0 ⇒ nothing was freezable).
+        versions: u64,
+        /// Distinct version chains in the segment.
+        chains: u64,
+        /// On-disk size of the segment written, bytes.
+        file_bytes: u64,
+    },
 }
 
 impl ExecOutcome {
@@ -158,6 +169,9 @@ pub trait SessionBackend {
     /// Collects storage statistics for `relation` into
     /// `sys$tablestats`; returns how many statistics the sample holds.
     fn analyze(&mut self, relation: &str) -> DbResult<usize>;
+
+    /// Freezes `relation`'s closed versions into an immutable segment.
+    fn freeze(&mut self, relation: &str) -> DbResult<crate::database::FreezeOutcome>;
 }
 
 impl SessionBackend for &mut Database {
@@ -215,6 +229,10 @@ impl SessionBackend for &mut Database {
 
     fn analyze(&mut self, relation: &str) -> DbResult<usize> {
         Database::analyze_relation(self, relation)
+    }
+
+    fn freeze(&mut self, relation: &str) -> DbResult<crate::database::FreezeOutcome> {
+        Database::freeze_relation(self, relation)
     }
 }
 
@@ -393,6 +411,15 @@ impl<B: SessionBackend> Session<B> {
                 Ok(ExecOutcome::Analyzed {
                     relation: relation.clone(),
                     stats,
+                })
+            }
+            Statement::Freeze { relation } => {
+                let outcome = self.backend.freeze(relation)?;
+                Ok(ExecOutcome::Frozen {
+                    relation: outcome.relation,
+                    versions: outcome.versions,
+                    chains: outcome.chains,
+                    file_bytes: outcome.file_bytes,
                 })
             }
         }
@@ -847,6 +874,7 @@ fn statement_kind(stmt: &Statement) -> &'static str {
         Statement::Destroy { .. } => "destroy",
         Statement::Explain { .. } => "explain",
         Statement::Analyze { .. } => "analyze",
+        Statement::Freeze { .. } => "freeze",
     }
 }
 

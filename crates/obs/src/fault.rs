@@ -53,6 +53,9 @@ pub const CRASH_SITES: &[(&str, &str)] = &[
     ("pager.allocate", "storage/pager.rs"),
     ("heap.insert", "storage/heap.rs"),
     ("table.commit.apply", "storage/table.rs"),
+    ("segment.write", "storage/segment.rs"),
+    ("segment.rename", "storage/segment.rs"),
+    ("segment.mmap_open", "storage/segment.rs"),
     ("checkpoint.save.pre_write", "db/checkpoint.rs"),
     ("checkpoint.save.pre_rename", "db/checkpoint.rs"),
     ("checkpoint.save.post_rename", "db/checkpoint.rs"),

@@ -194,6 +194,12 @@ pub struct MetricsSnapshot {
     pub index_probes: u64,
     pub rollback_checkpoint_hits: u64,
     pub rollback_txns_replayed: u64,
+    /// Frozen-segment reads that consulted a segment's map.
+    pub segment_hits: u64,
+    /// Frozen segments skipped wholesale (tx-range or bloom miss).
+    pub segment_skips: u64,
+    /// Bloom probes that passed but found no chain in the directory.
+    pub segment_bloom_fps: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub cache_evictions: u64,
@@ -241,7 +247,7 @@ impl MetricsSnapshot {
     /// `(name, value)` pairs for every plain counter, in exposition
     /// order.  Keeping this as the single enumeration point means the
     /// JSON and Prometheus renderings can never drift apart.
-    pub fn counters(&self) -> [(&'static str, u64); 24] {
+    pub fn counters(&self) -> [(&'static str, u64); 27] {
         [
             ("pager_page_reads", self.pager_page_reads),
             ("pager_page_writes", self.pager_page_writes),
@@ -252,6 +258,9 @@ impl MetricsSnapshot {
             ("index_probes", self.index_probes),
             ("rollback_checkpoint_hits", self.rollback_checkpoint_hits),
             ("rollback_txns_replayed", self.rollback_txns_replayed),
+            ("segment_hits", self.segment_hits),
+            ("segment_skips", self.segment_skips),
+            ("segment_bloom_fps", self.segment_bloom_fps),
             ("cache_hits", self.cache_hits),
             ("cache_misses", self.cache_misses),
             ("cache_evictions", self.cache_evictions),
@@ -318,6 +327,9 @@ impl MetricsSnapshot {
             rollback_checkpoint_hits: self.rollback_checkpoint_hits
                 - earlier.rollback_checkpoint_hits,
             rollback_txns_replayed: self.rollback_txns_replayed - earlier.rollback_txns_replayed,
+            segment_hits: self.segment_hits - earlier.segment_hits,
+            segment_skips: self.segment_skips - earlier.segment_skips,
+            segment_bloom_fps: self.segment_bloom_fps - earlier.segment_bloom_fps,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             cache_evictions: self.cache_evictions - earlier.cache_evictions,

@@ -88,6 +88,12 @@ pub struct Instruments {
     pub index_probes: Counter,
     pub rollback_checkpoint_hits: Counter,
     pub rollback_txns_replayed: Counter,
+    /// Frozen-segment reads that consulted a segment's map.
+    pub segment_hits: Counter,
+    /// Frozen segments skipped wholesale (tx-range or bloom miss).
+    pub segment_skips: Counter,
+    /// Bloom probes that passed but found no chain in the directory.
+    pub segment_bloom_fps: Counter,
     pub cache_hits: Counter,
     pub cache_misses: Counter,
     pub cache_evictions: Counter,
@@ -231,6 +237,9 @@ impl Recorder {
             index_probes: m.index_probes.get(),
             rollback_checkpoint_hits: m.rollback_checkpoint_hits.get(),
             rollback_txns_replayed: m.rollback_txns_replayed.get(),
+            segment_hits: m.segment_hits.get(),
+            segment_skips: m.segment_skips.get(),
+            segment_bloom_fps: m.segment_bloom_fps.get(),
             cache_hits: m.cache_hits.get(),
             cache_misses: m.cache_misses.get(),
             cache_evictions: m.cache_evictions.get(),

@@ -146,6 +146,15 @@ impl<'a> Reader<'a> {
         Ok(((u >> 1) as i64) ^ -((u & 1) as i64))
     }
 
+    /// Advances past `n` bytes without interpreting them.
+    pub fn skip(&mut self, n: usize) -> StorageResult<()> {
+        if self.remaining() < n {
+            return Err(self.corrupt("skip overruns buffer"));
+        }
+        self.pos += n;
+        Ok(())
+    }
+
     /// Reads a length-prefixed byte blob.
     pub fn get_bytes(&mut self) -> StorageResult<&'a [u8]> {
         let len = self.get_uvarint()? as usize;

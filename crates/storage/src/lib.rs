@@ -35,6 +35,7 @@ pub mod index;
 pub mod inspect;
 pub mod page;
 pub mod pager;
+pub mod segment;
 pub mod table;
 pub mod txn;
 pub mod wal;

@@ -34,6 +34,8 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
+use chronos_core::value::Value;
+
 use chronos_core::chronon::Chronon;
 use chronos_core::error::CoreError;
 use chronos_core::period::Period;
@@ -53,6 +55,7 @@ use crate::heap::HeapFile;
 use crate::index::IntervalTree;
 use crate::page::RecordId;
 use crate::pager::{BufferPool, MemPager, PageStore};
+use crate::segment::{self, FreezeReport, Segment};
 use crate::wal::{Wal, WalRecord};
 
 fn encode_row(tuple: &Tuple, validity: Validity, tx: Period) -> Vec<u8> {
@@ -109,7 +112,7 @@ pub struct PhysicalStats {
 /// Bytes a prefix/suffix delta encoding of `b` against `a` would not
 /// need to store: the longest common prefix plus the longest common
 /// suffix of the remainder, capped at the shorter length.
-fn shared_bytes(a: &[u8], b: &[u8]) -> usize {
+pub(crate) fn shared_bytes(a: &[u8], b: &[u8]) -> usize {
     let max = a.len().min(b.len());
     let prefix = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
     let suffix = a
@@ -165,6 +168,12 @@ pub struct StoredBitemporalTable<S: PageStore = MemPager> {
     checkpoints: Vec<(usize, HistoricalRelation)>,
     checkpoint_every: usize,
     parallel_threshold: usize,
+    /// Frozen history: immutable, delta-encoded, mmap-backed segments
+    /// holding versions whose transaction period is wholly past.  The
+    /// heap keeps only the mutable tail; reads merge both.  Segments
+    /// are a rebuildable cache — the WAL and checkpoint images alone
+    /// reconstruct every row, so losing one is never lossy.
+    segments: Vec<Arc<Segment>>,
     /// Engine instruments and trace spans; a disabled recorder until
     /// the owning `Database` (or a test) hands down a live one.
     recorder: Arc<Recorder>,
@@ -191,6 +200,7 @@ impl StoredBitemporalTable<MemPager> {
             checkpoints: Vec::new(),
             checkpoint_every: DEFAULT_CHECKPOINT_INTERVAL,
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            segments: Vec::new(),
             recorder: Arc::new(Recorder::disabled()),
         }
     }
@@ -277,8 +287,9 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         Ok(table)
     }
 
-    /// All physical rows (decoded from the heap).  Dispatches to the
-    /// parallel scan above the row-count threshold.
+    /// All physical rows: frozen segments first (in key order per
+    /// segment), then the heap tail.  Dispatches to the parallel scan
+    /// above the row-count threshold.
     pub fn scan_rows(&self) -> StorageResult<Vec<BitemporalRow>> {
         let span = self.recorder.span("storage/scan");
         let parallel = self.heap.len() >= self.parallel_threshold && self.heap.pages() > 1;
@@ -287,13 +298,63 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         } else {
             "sequential heap scan"
         });
-        let rows = if parallel {
+        let mut rows = self.segment_rows()?;
+        rows.extend(if parallel {
             self.scan_rows_parallel()
         } else {
             self.scan_rows_sequential()
-        }?;
+        }?);
         span.rows_out(rows.len() as u64);
         Ok(rows)
+    }
+
+    /// Every row held by frozen segments, in attach order (empty while
+    /// nothing is frozen — the overwhelmingly common case).
+    pub fn segment_rows(&self) -> StorageResult<Vec<BitemporalRow>> {
+        if self.segments.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            self.recorder.count(|m| &m.segment_hits);
+            out.extend(seg.rows()?);
+        }
+        Ok(out)
+    }
+
+    /// Segment rows stored as of `t`, skipping segments whose
+    /// transaction-time range excludes `t` without touching their maps.
+    fn segment_rows_at(&self, t: Chronon) -> StorageResult<Vec<BitemporalRow>> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            if !seg.covers(t) {
+                self.recorder.count(|m| &m.segment_skips);
+                continue;
+            }
+            self.recorder.count(|m| &m.segment_hits);
+            for idx in 0..seg.chains() as usize {
+                out.extend(seg.chain_rows_at(idx, t)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Segment rows whose transaction period overlaps `window`.
+    fn segment_rows_during(&self, window: Period) -> StorageResult<Vec<BitemporalRow>> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            if !seg.covers_window(window) {
+                self.recorder.count(|m| &m.segment_skips);
+                continue;
+            }
+            self.recorder.count(|m| &m.segment_hits);
+            out.extend(
+                seg.rows()?
+                    .into_iter()
+                    .filter(|row| row.tx.overlaps(window)),
+            );
+        }
+        Ok(out)
     }
 
     /// Single-threaded full scan in page order (the reference path the
@@ -481,6 +542,10 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         self.tx_index
             .stab(TimePoint::at(t), |_, rid| rids.push(*rid));
         let mut out = HistoricalRelation::new(self.schema.clone(), self.signature);
+        for row in self.segment_rows_at(t)? {
+            out.insert(row.tuple, row.validity)
+                .map_err(StorageError::Core)?;
+        }
         // Deterministic order: by record id.
         rids.sort_unstable();
         for row in self.decode_rows_filtered(&rids, |_| true)? {
@@ -606,17 +671,18 @@ impl<S: PageStore> StoredBitemporalTable<S> {
         &self.current
     }
 
-    /// Rows stored as of transaction time `t`, via the transaction-time
-    /// index (each with its full timestamps).
+    /// Rows stored as of transaction time `t`: frozen segments (range-
+    /// skipped) plus the heap tail via the transaction-time index.
     pub fn rows_at(&self, t: Chronon) -> StorageResult<Vec<BitemporalRow>> {
         let span = self.recorder.span("storage/asof");
         span.detail("tx-index stab");
+        let mut rows = self.segment_rows_at(t)?;
         let mut rids = Vec::new();
         self.recorder.count(|m| &m.index_probes);
         self.tx_index
             .stab(TimePoint::at(t), |_, rid| rids.push(*rid));
         rids.sort_unstable();
-        let rows = self.decode_rows_filtered(&rids, |_| true)?;
+        rows.extend(self.decode_rows_filtered(&rids, |_| true)?);
         span.rows_out(rows.len() as u64);
         Ok(rows)
     }
@@ -626,11 +692,12 @@ impl<S: PageStore> StoredBitemporalTable<S> {
     pub fn rows_during(&self, window: Period) -> StorageResult<Vec<BitemporalRow>> {
         let span = self.recorder.span("storage/asof");
         span.detail("tx-index overlap");
+        let mut rows = self.segment_rows_during(window)?;
         let mut rids = Vec::new();
         self.recorder.count(|m| &m.index_probes);
         self.tx_index.overlapping(window, |_, rid| rids.push(*rid));
         rids.sort_unstable();
-        let rows = self.decode_rows_filtered(&rids, |_| true)?;
+        rows.extend(self.decode_rows_filtered(&rids, |_| true)?);
         span.rows_out(rows.len() as u64);
         Ok(rows)
     }
@@ -644,12 +711,57 @@ impl<S: PageStore> StoredBitemporalTable<S> {
     ) -> StorageResult<Vec<BitemporalRow>> {
         let span = self.recorder.span("storage/bitemporal-point");
         span.detail("tx-index stab + valid filter");
+        let mut rows: Vec<BitemporalRow> = self
+            .segment_rows_at(as_of)?
+            .into_iter()
+            .filter(|row| row.validity.valid_at(valid))
+            .collect();
         let mut rids = Vec::new();
         self.recorder.count(|m| &m.index_probes);
         self.tx_index
             .stab(TimePoint::at(as_of), |_, rid| rids.push(*rid));
         rids.sort_unstable();
-        let rows = self.decode_rows_filtered(&rids, |row| row.validity.valid_at(valid))?;
+        rows.extend(self.decode_rows_filtered(&rids, |row| row.validity.valid_at(valid))?);
+        span.rows_out(rows.len() as u64);
+        Ok(rows)
+    }
+
+    /// As-of point lookup by first-attribute key: the query the segment
+    /// skip machinery is built for.  Segments outside the as-of's
+    /// transaction-time range, and segments whose bloom filter rules the
+    /// key out, are skipped without materialising a single tuple; a
+    /// matching chain is found by directory key compare and only then
+    /// decoded.  The heap tail falls back to a tx-index stab plus a
+    /// decode-and-filter (there is no key index on the heap).
+    pub fn lookup_key_as_of(
+        &self,
+        key: &Value,
+        as_of: Chronon,
+    ) -> StorageResult<Vec<BitemporalRow>> {
+        let span = self.recorder.span("storage/point-lookup");
+        let key_bytes = segment::value_key_bytes(key);
+        let mut rows = Vec::new();
+        for seg in &self.segments {
+            if !seg.covers(as_of) || !seg.may_contain(&key_bytes) {
+                self.recorder.count(|m| &m.segment_skips);
+                continue;
+            }
+            match seg.find_chain(&key_bytes) {
+                None => self.recorder.count(|m| &m.segment_bloom_fps),
+                Some(idx) => {
+                    self.recorder.count(|m| &m.segment_hits);
+                    rows.extend(seg.chain_rows_at(idx, as_of)?);
+                }
+            }
+        }
+        let mut rids = Vec::new();
+        self.recorder.count(|m| &m.index_probes);
+        self.tx_index
+            .stab(TimePoint::at(as_of), |_, rid| rids.push(*rid));
+        rids.sort_unstable();
+        rows.extend(
+            self.decode_rows_filtered(&rids, |row| row.tuple.try_get(0).is_some_and(|v| v == key))?,
+        );
         span.rows_out(rows.len() as u64);
         Ok(rows)
     }
@@ -818,6 +930,78 @@ impl<S: PageStore> StoredBitemporalTable<S> {
     pub fn flush(&self) -> StorageResult<()> {
         self.heap.pool().flush()
     }
+
+    /// The frozen segments attached to this table.
+    pub fn segments(&self) -> &[Arc<Segment>] {
+        &self.segments
+    }
+
+    /// Versions held by frozen segments.
+    pub fn segment_versions(&self) -> usize {
+        self.segments.iter().map(|s| s.versions() as usize).sum()
+    }
+
+    /// Versions still on the heap whose transaction period is closed —
+    /// immutable forever, hence freezable.  Cheap: the heap row count
+    /// minus the open (current) rows tracked by the version map.
+    pub fn frozen_version_count(&self) -> usize {
+        self.heap.len() - self.current_rids.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// Freezes every closed version out of the heap into an immutable
+    /// segment at `path`, leaving the mutable tail (open transaction
+    /// periods) on the pager.  Returns `None` when nothing is
+    /// freezable.  Ordering of the durability steps is what makes a
+    /// crash at any point harmless:
+    ///
+    /// 1. the segment is written to a `.tmp` sibling, fsynced, and
+    ///    renamed into place (`segment.write` / `segment.rename`);
+    /// 2. the segment is mapped and validated (`segment.mmap_open`);
+    /// 3. only then are the frozen rows deleted from the heap and
+    ///    de-indexed.
+    ///
+    /// The WAL and checkpoint images remain the authority throughout —
+    /// recovery rebuilds the full heap and discards stale segments, so
+    /// an interrupted freeze is simply redone later.
+    pub fn freeze_into(&mut self, path: &Path) -> StorageResult<Option<FreezeReport>> {
+        let span = self.recorder.span("storage/freeze");
+        let mut victims: Vec<(RecordId, BitemporalRow)> = Vec::new();
+        let mut scan_err = None;
+        self.heap.scan(|rid, bytes| match decode_row(bytes) {
+            Ok(row) => {
+                if !row.is_current() {
+                    victims.push((rid, row));
+                }
+            }
+            Err(e) => scan_err = Some(e),
+        })?;
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        if victims.is_empty() {
+            span.detail("nothing frozen (no closed versions)");
+            return Ok(None);
+        }
+        let rows: Vec<BitemporalRow> = victims.iter().map(|(_, row)| row.clone()).collect();
+        let report = segment::write_segment(path, self.rel_id, &rows)?;
+        let seg = Arc::new(Segment::open(path)?);
+        // The segment is durable and mapped: the heap copies can go.
+        for (rid, row) in victims {
+            self.heap.delete(rid)?;
+            assert!(self.tx_index.remove(row.tx, &rid), "tx index in sync");
+            assert!(
+                self.valid_index.remove(row.validity.period(), &rid),
+                "valid index in sync"
+            );
+        }
+        span.detail(format!(
+            "froze {} version(s) in {} chain(s), {} bytes",
+            report.versions, report.chains, report.file_bytes
+        ));
+        span.rows_out(report.versions);
+        self.segments.push(seg);
+        Ok(Some(report))
+    }
 }
 
 impl<S: PageStore> TemporalStore for StoredBitemporalTable<S> {
@@ -854,7 +1038,7 @@ impl<S: PageStore> TemporalStore for StoredBitemporalTable<S> {
     }
 
     fn stored_tuples(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.segment_versions()
     }
 }
 
@@ -1204,6 +1388,96 @@ mod tests {
             t.try_rollback_checkpointed(at).unwrap(),
             t.try_rollback_indexed(at).unwrap()
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn seg_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "chronos-table-seg-{tag}-{}.seg",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn sorted_encodings(rows: &[BitemporalRow]) -> Vec<Vec<u8>> {
+        let mut enc: Vec<Vec<u8>> = rows
+            .iter()
+            .map(|r| encode_row(&r.tuple, r.validity, r.tx))
+            .collect();
+        enc.sort();
+        enc
+    }
+
+    #[test]
+    fn freeze_moves_closed_versions_and_preserves_answers_byte_identically() {
+        let mut t = StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
+        drive_figure_8(&mut t);
+        let before = t.scan_rows().unwrap();
+        let closed = t.frozen_version_count();
+        assert_eq!(closed, 3, "figure 8 closes three versions");
+
+        let path = seg_path("fig8");
+        let report = t.freeze_into(&path).unwrap().expect("something froze");
+        assert_eq!(report.versions as usize, closed);
+        assert_eq!(t.frozen_version_count(), 0, "tail holds only open rows");
+        assert_eq!(t.stored_tuples(), 7, "logical content unchanged");
+        assert_eq!(t.segment_versions(), closed);
+
+        // The mmap-backed answer is byte-identical to the heap answer.
+        let after = t.scan_rows().unwrap();
+        assert_eq!(sorted_encodings(&before), sorted_encodings(&after));
+
+        // Indexed reads merge segments and agree with the pre-freeze
+        // reference on every probe.
+        let probe = d("12/10/82");
+        assert_eq!(
+            sorted_encodings(&t.rows_at(probe).unwrap()),
+            sorted_encodings(
+                &before
+                    .iter()
+                    .filter(|r| r.tx.contains(probe))
+                    .cloned()
+                    .collect::<Vec<_>>()
+            )
+        );
+        for tick in (d("01/01/77").ticks()..=d("12/31/84").ticks()).step_by(7) {
+            let at = Chronon::new(tick);
+            assert_eq!(
+                t.try_rollback_indexed(at).unwrap(),
+                t.try_rollback_checkpointed(at).unwrap(),
+                "rollback mismatch at {at}"
+            );
+        }
+
+        // Nothing left to freeze: a second call is a no-op.
+        let again = seg_path("fig8-again");
+        assert!(t.freeze_into(&again).unwrap().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn point_lookup_agrees_between_heap_and_segments() {
+        let mut heap_only =
+            StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
+        let mut frozen =
+            StoredBitemporalTable::in_memory(faculty_schema(), TemporalSignature::Interval);
+        drive_many(&mut heap_only, 60);
+        drive_many(&mut frozen, 60);
+        let path = seg_path("lookup");
+        frozen.freeze_into(&path).unwrap().expect("chains froze");
+        for tick in [5, 35, 77, 140, 300, 601] {
+            let at = Chronon::new(tick);
+            for key in ["row2", "row9", "row31", "ghost"] {
+                let k = chronos_core::value::Value::str(key);
+                assert_eq!(
+                    sorted_encodings(&heap_only.lookup_key_as_of(&k, at).unwrap()),
+                    sorted_encodings(&frozen.lookup_key_as_of(&k, at).unwrap()),
+                    "lookup({key}) as of {at}"
+                );
+            }
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -1,6 +1,8 @@
 //! Property tests for the storage layer: codec fuzz round-trips, B+ tree
 //! vs `BTreeMap`, interval tree vs linear scan, WAL record round-trips,
-//! and the storage-backed table vs the reference bitemporal store.
+//! the storage-backed table vs the reference bitemporal store, and the
+//! frozen-segment format (delta codec and period coalescing round-trips,
+//! frozen table vs pure-heap table).
 
 use chronos_core::chronon::Chronon;
 use chronos_core::period::Period;
@@ -242,6 +244,186 @@ proptest! {
                 .collect();
             want.sort();
             prop_assert_eq!(got, want);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential: frozen segments vs the pure heap
+// ---------------------------------------------------------------------
+
+use chronos_core::relation::temporal::BitemporalRow;
+use chronos_storage::segment::{self, Segment};
+
+/// Unique temp path per proptest case.
+fn unique_seg_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "chronos-prop-{tag}-{}-{}.seg",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Arbitrary frozen version chains: per key, versions with strictly
+/// advancing, closed transaction periods — `abut == true` makes the
+/// next period start where the previous ended (the coalesce-encoded
+/// fast path), `false` leaves a gap (the full-period fallback).
+fn arb_frozen_chains() -> impl Strategy<Value = Vec<BitemporalRow>> {
+    let version = (0..RANKS.len(), arb_validity(), 1i64..40, any::<bool>());
+    prop::collection::vec((0..NAMES.len(), prop::collection::vec(version, 1..8)), 1..5).prop_map(
+        |keys| {
+            let mut rows = Vec::new();
+            for (ki, (n, versions)) in keys.into_iter().enumerate() {
+                // Distinct keys per chain: suffix the name with the index.
+                let name = format!("{}{}", NAMES[n], ki);
+                let mut start = 10;
+                for (r, validity, len, abut) in versions {
+                    let end = start + len;
+                    rows.push(BitemporalRow {
+                        tuple: tuple([name.as_str(), RANKS[r]]),
+                        validity,
+                        tx: Period::new(Chronon::new(start), Chronon::new(end)).unwrap(),
+                    });
+                    start = if abut { end } else { end + 3 };
+                }
+            }
+            rows
+        },
+    )
+}
+
+fn row_key(r: &BitemporalRow) -> (String, TimePoint, TimePoint) {
+    (format!("{:?}", r.tuple), r.tx.start(), r.tx.end())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode ∘ decode = id for the segment's delta codec and period
+    /// coalescing, over arbitrary version chains.
+    #[test]
+    fn segment_codec_round_trips(rows in arb_frozen_chains()) {
+        let path = unique_seg_path("codec");
+        segment::write_segment(&path, 42, &rows).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        prop_assert_eq!(seg.versions() as usize, rows.len());
+        let mut got = seg.rows().unwrap();
+        got.sort_by_key(row_key);
+        let mut want = rows.clone();
+        want.sort_by_key(row_key);
+        prop_assert_eq!(got, want);
+        // The image also passes the doctor's structural validation.
+        let bytes = std::fs::read(&path).unwrap();
+        prop_assert!(segment::check_bytes(&bytes).is_ok());
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A frozen table answers every query byte-identically to the
+    /// pure-heap table driven by the same script.
+    #[test]
+    fn frozen_table_equivalent_to_heap_table(script in arb_script()) {
+        let schema = faculty_schema();
+        let mut heap_only =
+            StoredBitemporalTable::in_memory(schema.clone(), TemporalSignature::Interval);
+        let mut frozen = StoredBitemporalTable::in_memory(schema, TemporalSignature::Interval);
+
+        let mut tx_time = Chronon::new(1000);
+        let mut commits = Vec::new();
+        for tx in &script {
+            let mut ops = Vec::new();
+            for s in tx {
+                // Replay through the heap table's own validation: an op
+                // the reference semantics accept is applied to both.
+                match s {
+                    ScriptOp::Insert(n, r, a, len) => {
+                        ops.push(HistoricalOp::insert(
+                            tuple([NAMES[*n], RANKS[*r]]),
+                            validity(*a, *len),
+                        ));
+                    }
+                    ScriptOp::RemoveNth(i) => {
+                        let current = heap_only.current();
+                        let rows = current.rows();
+                        if rows.is_empty() { continue; }
+                        let row = &rows[i % rows.len()];
+                        ops.push(HistoricalOp::remove(
+                            RowSelector::exact(row.tuple.clone(), row.validity),
+                        ));
+                    }
+                    ScriptOp::RestampNth(i, a, len) => {
+                        let current = heap_only.current();
+                        let rows = current.rows();
+                        if rows.is_empty() { continue; }
+                        let row = &rows[i % rows.len()];
+                        ops.push(HistoricalOp::set_validity(
+                            RowSelector::exact(row.tuple.clone(), row.validity),
+                            validity(*a, *len),
+                        ));
+                    }
+                }
+            }
+            if ops.is_empty() { continue; }
+            if heap_only.try_commit(tx_time, &ops).is_ok() {
+                frozen.try_commit(tx_time, &ops).expect("tables in lockstep");
+                commits.push(tx_time);
+            }
+            tx_time = tx_time + 3;
+        }
+
+        let path = unique_seg_path("diff");
+        let report = frozen.freeze_into(&path).unwrap();
+        prop_assert_eq!(
+            report.as_ref().map(|r| r.versions as usize).unwrap_or(0),
+            heap_only.frozen_version_count()
+        );
+
+        // Full scans are byte-identical as multisets.
+        let mut a = heap_only.scan_rows().unwrap();
+        let mut b = frozen.scan_rows().unwrap();
+        a.sort_by_key(row_key);
+        b.sort_by_key(row_key);
+        prop_assert_eq!(a, b);
+
+        // Rollbacks, as-of scans and point lookups agree at every
+        // commit boundary.
+        for &ct in &commits {
+            for probe in [ct - 1, ct, ct + 1] {
+                prop_assert_eq!(
+                    heap_only.rollback(probe),
+                    frozen.rollback(probe),
+                    "rollback at {}", probe
+                );
+                prop_assert_eq!(
+                    heap_only.try_rollback_indexed(probe).unwrap(),
+                    frozen.try_rollback_indexed(probe).unwrap(),
+                    "indexed rollback at {}", probe
+                );
+                let mut x = heap_only.rows_at(probe).unwrap();
+                let mut y = frozen.rows_at(probe).unwrap();
+                x.sort_by_key(row_key);
+                y.sort_by_key(row_key);
+                prop_assert_eq!(x, y, "rows_at {}", probe);
+                for name in NAMES {
+                    let k = Value::str(name);
+                    let mut x = heap_only.lookup_key_as_of(&k, probe).unwrap();
+                    let mut y = frozen.lookup_key_as_of(&k, probe).unwrap();
+                    x.sort_by_key(row_key);
+                    y.sort_by_key(row_key);
+                    prop_assert_eq!(x, y, "lookup({}) at {}", name, probe);
+                }
+            }
+        }
+        if report.is_some() {
+            std::fs::remove_file(&path).unwrap();
         }
     }
 }

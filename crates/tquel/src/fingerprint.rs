@@ -54,7 +54,7 @@ pub fn normalize_statement(stmt: &Statement) -> Statement {
         Statement::RangeDecl { .. } | Statement::Create { .. } | Statement::Destroy { .. } => {
             stmt.clone()
         }
-        Statement::Analyze { .. } => stmt.clone(),
+        Statement::Analyze { .. } | Statement::Freeze { .. } => stmt.clone(),
         Statement::Retrieve(r) => Statement::Retrieve(Retrieve {
             into: r.into.clone(),
             targets: r.targets.clone(),

@@ -7,8 +7,9 @@
 //!              | create | destroy
 //!              | ("explain" | "profile") statement
 //!              | "analyze" ident
+//!              | "freeze" ident
 //!              ; "select" is accepted as an alias for "retrieve";
-//!              ; explain/profile/select/analyze are contextual
+//!              ; explain/profile/select/analyze/freeze are contextual
 //!              ; identifiers, not reserved
 //! range       := "range" "of" ident "is" ident
 //! retrieve    := "retrieve" ["into" ident] "(" target {"," target} ")"
@@ -173,6 +174,11 @@ impl Parser {
                 self.bump();
                 let relation = self.ident()?;
                 Ok(Statement::Analyze { relation })
+            }
+            T::Ident(s) if s.eq_ignore_ascii_case("freeze") => {
+                self.bump();
+                let relation = self.ident()?;
+                Ok(Statement::Freeze { relation })
             }
             _ => Err(self.error("expected a statement")),
         }

@@ -96,6 +96,9 @@ pub fn unparse(stmt: &Statement) -> String {
             out.push_str(if *profile { "profile " } else { "explain " });
             out.push_str(&unparse(inner));
         }
+        Statement::Freeze { relation } => {
+            let _ = write!(out, "freeze {relation}");
+        }
         Statement::Analyze { relation } => {
             let _ = write!(out, "analyze {relation}");
         }
@@ -407,6 +410,7 @@ mod tests {
         round_trip("explain destroy faculty");
         round_trip("analyze faculty");
         round_trip("explain analyze faculty");
+        round_trip("freeze faculty");
         // `select` is a parse-time alias: it round-trips *as* retrieve.
         let alias = parse_statement(r#"profile select (f.rank) where f.name = "Tom""#).unwrap();
         let canonical =
